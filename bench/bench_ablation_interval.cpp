@@ -1,0 +1,114 @@
+// Ablation: what pruning buys at the system level (the paper's §I
+// motivation).  A failure/recompute simulation over one MG run: checkpoint
+// every K steps (full vs pruned containers, real write costs measured on
+// disk), inject deterministic failures, and account total checkpoint bytes
+// plus recomputed steps.
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ckpt/manager.hpp"
+#include "npb/mg.hpp"
+#include "support/format_util.hpp"
+#include "support/npb_random.hpp"
+#include "support/table_printer.hpp"
+
+using namespace scrutiny;
+
+namespace {
+
+struct SimulationResult {
+  std::uint64_t bytes_written = 0;
+  int checkpoints = 0;
+  int recomputed_steps = 0;
+};
+
+/// Runs `total_steps` of MG with checkpoints every `interval` steps and
+/// failures at fixed step numbers; every failure restarts from the newest
+/// checkpoint (step 0 if none yet).
+SimulationResult simulate(int total_steps, std::uint64_t interval,
+                          bool pruned, const core::AnalysisResult& analysis,
+                          const std::filesystem::path& dir) {
+  SimulationResult sim;
+  ckpt::ManagerConfig cfg;
+  // One directory per simulation: leftover slots from another interval
+  // would otherwise masquerade as newer checkpoints.
+  cfg.directory = dir / ((pruned ? "pruned_k" : "full_k") +
+                         std::to_string(interval));
+  std::error_code ec;
+  std::filesystem::remove_all(cfg.directory, ec);
+  cfg.basename = "mg";
+  cfg.interval = interval;
+  cfg.keep_slots = 2;
+  ckpt::CheckpointManager manager(cfg);
+  if (pruned) manager.set_prune_map(analysis.to_prune_map());
+
+  const std::vector<int> failure_steps = {7, 13, 17};
+  npb::MgApp<double> app;
+  app.init();
+  ckpt::CheckpointRegistry registry;
+  app.register_checkpoint(registry);
+
+  std::size_t next_failure = 0;
+  int step = 0;
+  while (step < total_steps) {
+    app.step();
+    ++step;
+    if (const auto report = manager.maybe_checkpoint(
+            static_cast<std::uint64_t>(step), registry)) {
+      sim.bytes_written += report->file_bytes;
+      ++sim.checkpoints;
+    }
+    if (next_failure < failure_steps.size() &&
+        step == failure_steps[next_failure]) {
+      ++next_failure;
+      // Crash: fresh state, restore newest checkpoint (or restart at 0).
+      app.init();
+      ckpt::CheckpointRegistry restart_registry;
+      app.register_checkpoint(restart_registry);
+      const auto restore = manager.restart(restart_registry);
+      const int resumed =
+          restore.has_value() ? static_cast<int>(restore->step) : 0;
+      sim.recomputed_steps += step - resumed;
+      step = resumed;
+    }
+  }
+  return sim;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "Interval ablation — checkpoint bytes vs. recomputation (MG, 3 "
+      "failures over a 20-step run)");
+  const auto analysis = benchutil::default_analysis(npb::BenchmarkId::MG);
+  const auto dir = benchutil::output_dir() / "interval";
+
+  TablePrinter table({"Interval", "Ckpts", "Full bytes", "Pruned bytes",
+                      "Saved", "Recomputed steps"});
+  for (std::uint64_t interval : {1, 2, 5, 10}) {
+    const SimulationResult full =
+        simulate(20, interval, false, analysis, dir);
+    const SimulationResult pruned =
+        simulate(20, interval, true, analysis, dir);
+    const double saved =
+        full.bytes_written == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(pruned.bytes_written) /
+                        static_cast<double>(full.bytes_written);
+    table.add_row({std::to_string(interval),
+                   std::to_string(full.checkpoints),
+                   human_bytes(full.bytes_written),
+                   human_bytes(pruned.bytes_written), percent(saved),
+                   std::to_string(full.recomputed_steps)});
+  }
+  table.print();
+  std::printf(
+      "\nThe per-checkpoint saving (~19%% on MG) multiplies with the\n"
+      "checkpoint frequency: the denser the C/R protection (left rows),\n"
+      "the more bytes criticality pruning removes from the I/O path —\n"
+      "while recomputation-on-failure is unchanged, since the pruned\n"
+      "restart is exact (bench_verify_restart).\n");
+  return 0;
+}

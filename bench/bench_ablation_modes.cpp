@@ -1,0 +1,71 @@
+// Ablation: the four analysis modes compared on agreement and cost.
+//   reverse-ad  — the paper's choice: one window record + one sweep/output
+//   read-set    — the Discussion's "algorithmic analysis"
+//   forward-ad  — one dual rerun per element (sampled here)
+//   finite-diff — two primal reruns per element (sampled here)
+#include "bench_util.hpp"
+#include "support/format_util.hpp"
+#include "support/table_printer.hpp"
+#include "support/timer.hpp"
+
+using namespace scrutiny;
+
+namespace {
+
+void run_benchmark_ablation(npb::BenchmarkId id) {
+  benchutil::print_header(std::string("Mode ablation on ") +
+                          npb::benchmark_name(id));
+  TablePrinter table({"Mode", "Uncritical(main var)", "Time",
+                      "Agrees with reverse-ad"});
+
+  const auto reverse = npb::analyze_benchmark(
+      id, npb::default_analysis_config(id, core::AnalysisMode::ReverseAD));
+  const std::string main_var = reverse.variables.front().name;
+
+  for (core::AnalysisMode mode :
+       {core::AnalysisMode::ReverseAD, core::AnalysisMode::ReadSet,
+        core::AnalysisMode::ForwardAD, core::AnalysisMode::FiniteDiff}) {
+    Timer timer;
+    const auto result =
+        npb::analyze_benchmark(id, npb::default_analysis_config(id, mode));
+    const double seconds = timer.seconds();
+    const auto& variable = *result.find(main_var);
+    const auto& reference = *reverse.find(main_var);
+
+    std::string agreement;
+    if (mode == core::AnalysisMode::ReverseAD) {
+      agreement = "-";
+    } else if (mode == core::AnalysisMode::ReadSet) {
+      agreement = variable.mask == reference.mask ? "exact" : "DIFFERS";
+    } else {
+      // Sampled modes are conservative: they may only ADD critical bits.
+      bool superset = true;
+      for (std::size_t e = 0; e < variable.mask.size(); ++e) {
+        if (reference.mask.test(e) && !variable.mask.test(e)) {
+          superset = false;
+          break;
+        }
+      }
+      agreement = superset ? "conservative superset (sampled)" : "UNSOUND";
+    }
+    table.add_row({analysis_mode_name(mode),
+                   with_commas(variable.uncritical_elements()),
+                   fixed(seconds * 1e3, 1) + " ms", agreement});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  run_benchmark_ablation(npb::BenchmarkId::CG);
+  run_benchmark_ablation(npb::BenchmarkId::BT);
+  std::printf(
+      "reverse mode resolves every element in one recorded window — the\n"
+      "cost asymmetry that motivates the paper's choice of Enzyme; the\n"
+      "sampled per-element modes only probe every 211th element and stay\n"
+      "conservative elsewhere.  read-set agrees exactly on NPB (paper V:\n"
+      "every uncritical element is simply never read).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the auxiliary-file representation.  The paper stores only
+// [start,end) runs of critical elements; this bench quantifies that choice
+// against a bitmap across the real NPB masks and synthetic densities.
+#include "bench_util.hpp"
+#include "mask/mask_stats.hpp"
+#include "support/format_util.hpp"
+#include "support/npb_random.hpp"
+#include "support/table_printer.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header(
+      "Region-list vs. bitmap auxiliary metadata on the NPB masks");
+  TablePrinter table({"Variable", "Elements", "Regions", "Region bytes",
+                      "Bitmap bytes", "Winner"});
+  for (npb::BenchmarkId id :
+       {npb::BenchmarkId::BT, npb::BenchmarkId::MG, npb::BenchmarkId::CG,
+        npb::BenchmarkId::LU, npb::BenchmarkId::FT}) {
+    const auto analysis = benchutil::default_analysis(id);
+    for (const auto& variable : analysis.variables) {
+      if (variable.is_integer) continue;
+      const RegionList regions = RegionList::from_mask(variable.mask);
+      const std::uint64_t region_bytes = regions.serialized_bytes();
+      const std::uint64_t bitmap_bytes = (variable.mask.size() + 7) / 8;
+      table.add_row({std::string(npb::benchmark_name(id)) + "(" +
+                         variable.name + ")",
+                     with_commas(variable.total_elements()),
+                     with_commas(regions.num_regions()),
+                     human_bytes(region_bytes), human_bytes(bitmap_bytes),
+                     region_bytes <= bitmap_bytes ? "regions" : "bitmap"});
+    }
+  }
+  table.print();
+
+  benchutil::print_header(
+      "Synthetic density sweep (10,140-element variable)");
+  TablePrinter sweep({"Critical density", "Regions", "Region bytes",
+                      "Bitmap bytes", "Winner"});
+  for (double density : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    CriticalMask mask(10140);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (hashed_uniform(i * 7919) < density) mask.set(i);
+    }
+    const RegionList regions = RegionList::from_mask(mask);
+    const std::uint64_t region_bytes = regions.serialized_bytes();
+    const std::uint64_t bitmap_bytes = (mask.size() + 7) / 8;
+    sweep.add_row({percent(density), with_commas(regions.num_regions()),
+                   human_bytes(region_bytes), human_bytes(bitmap_bytes),
+                   region_bytes <= bitmap_bytes ? "regions" : "bitmap"});
+  }
+  sweep.print();
+  std::printf(
+      "\nNPB masks are loop-bound artifacts with long runs — the paper's\n"
+      "region encoding is 1-3 orders of magnitude smaller than a bitmap\n"
+      "there.  Randomly scattered criticality (the synthetic rows) would\n"
+      "favor a bitmap; the library keeps regions since real patterns are\n"
+      "structured.\n");
+  return 0;
+}

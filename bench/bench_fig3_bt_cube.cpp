@@ -1,0 +1,56 @@
+// Reproduces Fig. 3: the critical/uncritical distribution inside BT's u —
+// uncritical planes at j = 12 and i = 12, everything else critical.  The
+// same distribution covers SP(u), LU(rsd/rho_i/qs) and LU u components
+// 0..3.
+#include "bench_util.hpp"
+#include "viz/viz.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header(
+      "Fig. 3 — critical/uncritical distribution of u in BT");
+  const auto analysis = benchutil::default_analysis(npb::BenchmarkId::BT);
+  const auto& u = *analysis.find("u");
+
+  // u[12][13][13][5]: all five component slices share the pattern; show
+  // component 0 as a 12x13x13 volume.
+  const CriticalMask slice = viz::extract_stride_submask(u.mask, 0, 5);
+  const viz::Shape3 shape{12, 13, 13};
+
+  std::printf("component m=0 as %zux%zux%zu ('#' critical, '.' "
+              "uncritical):\n\n",
+              shape.n0, shape.n1, shape.n2);
+  std::printf("slice x=0 (rows j, cols i):\n%s\n",
+              viz::ascii_slice(slice, shape, 0, 0).c_str());
+  std::printf("slice x=6:\n%s\n",
+              viz::ascii_slice(slice, shape, 0, 6).c_str());
+  std::printf("face j=12 (all uncritical):\n%s\n",
+              viz::ascii_slice(slice, shape, 1, 12).c_str());
+  std::printf("face i=11 (last critical plane):\n%s\n",
+              viz::ascii_slice(slice, shape, 2, 11).c_str());
+
+  bool pattern_ok = true;
+  for (int m = 0; m < 5; ++m) {
+    const CriticalMask component = viz::extract_stride_submask(u.mask, m, 5);
+    for (std::size_t k = 0; k < 12; ++k) {
+      for (std::size_t j = 0; j < 13; ++j) {
+        for (std::size_t i = 0; i < 13; ++i) {
+          const bool expected = j <= 11 && i <= 11;
+          pattern_ok &=
+              component.test((k * 13 + j) * 13 + i) == expected;
+        }
+      }
+    }
+  }
+  std::printf("uncritical = planes {j=12} union {i=12} for all five "
+              "components: %s\n",
+              benchutil::check_mark(pattern_ok));
+  std::printf("uncritical count: %zu / %zu (paper: 1500 / 10140)\n",
+              u.mask.count_uncritical(), u.mask.size());
+
+  const auto out = benchutil::output_dir() / "fig3_bt_u_m0.ppm";
+  viz::write_ppm_slices(out, slice, shape);
+  std::printf("image: %s\n", out.string().c_str());
+  return pattern_ok ? 0 : 1;
+}

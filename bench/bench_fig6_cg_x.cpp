@@ -1,0 +1,34 @@
+// Reproduces Fig. 6: CG's x — the first 1400 elements critical, the two
+// trailing workspace slots (NA+2 allocation) uncritical.
+#include "bench_util.hpp"
+#include "viz/viz.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header(
+      "Fig. 6 — critical/uncritical distribution of array x in CG");
+  const auto analysis = benchutil::default_analysis(npb::BenchmarkId::CG);
+  const auto& x = *analysis.find("x");
+
+  std::printf("flat strip (1402 elements):\n[%s]\n\n",
+              viz::ascii_strip(x.mask, 80).c_str());
+  std::printf("run-length structure: %s\n",
+              viz::run_length_summary(x.mask).c_str());
+  std::printf("last five elements: ");
+  for (std::size_t i = x.mask.size() - 5; i < x.mask.size(); ++i) {
+    std::printf("%c", x.mask.test(i) ? '#' : '.');
+  }
+  std::printf("\n");
+
+  bool pattern = x.mask.count_uncritical() == 2 && !x.mask.test(1400) &&
+                 !x.mask.test(1401) && x.mask.test(0) && x.mask.test(1399);
+  std::printf("1400 critical then 2 uncritical: %s (paper: NA = 1400, "
+              "allocation NA+2)\n",
+              benchutil::check_mark(pattern));
+
+  const auto out = benchutil::output_dir() / "fig6_cg_x.ppm";
+  viz::write_ppm_strip(out, x.mask, 64);
+  std::printf("image: %s\n", out.string().c_str());
+  return pattern ? 0 : 1;
+}

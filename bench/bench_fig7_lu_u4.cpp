@@ -1,0 +1,63 @@
+// Reproduces Fig. 7: LU's u[x][y][z][4] — the energy component is consumed
+// only through the three directional flux slabs
+//   [1-10][1-10][0-11]  U  [1-10][0-11][1-10]  U  [0-11][1-10][1-10]
+// leaving 428 uncritical elements (128 more than the Fig. 3 pattern).
+#include "bench_util.hpp"
+#include "viz/viz.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header(
+      "Fig. 7 — critical/uncritical distribution of u[x][y][z][4] in LU");
+  const auto analysis = benchutil::default_analysis(npb::BenchmarkId::LU);
+  const auto& u = *analysis.find("u");
+
+  const CriticalMask energy = viz::extract_stride_submask(u.mask, 4, 5);
+  const viz::Shape3 shape{12, 13, 13};
+
+  std::printf("energy slice x=0 (only the central 10x10 window is "
+              "critical):\n%s\n",
+              viz::ascii_slice(energy, shape, 0, 0).c_str());
+  std::printf("energy slice x=5 (full slab cross-section):\n%s\n",
+              viz::ascii_slice(energy, shape, 0, 5).c_str());
+
+  auto in_union = [](int k, int j, int i) {
+    const bool slab_z = k >= 1 && k <= 10 && j >= 1 && j <= 10 && i <= 11;
+    const bool slab_y = k >= 1 && k <= 10 && j <= 11 && i >= 1 && i <= 10;
+    const bool slab_x = k <= 11 && j >= 1 && j <= 10 && i >= 1 && i <= 10;
+    return slab_z || slab_y || slab_x;
+  };
+  bool pattern = true;
+  std::size_t uncritical = 0;
+  for (int k = 0; k < 12; ++k) {
+    for (int j = 0; j < 13; ++j) {
+      for (int i = 0; i < 13; ++i) {
+        const bool critical =
+            energy.test((static_cast<std::size_t>(k) * 13 + j) * 13 + i);
+        pattern &= critical == in_union(k, j, i);
+        uncritical += critical ? 0 : 1;
+      }
+    }
+  }
+  std::printf("mask equals the three-slab union: %s\n",
+              benchutil::check_mark(pattern));
+  std::printf("uncritical in the energy slice: %zu (paper: 428 — the 300 "
+              "of Fig. 3 plus 128 edge elements)\n",
+              uncritical);
+
+  // The four momentum slices must follow the Fig. 3 pattern.
+  bool momentum_ok = true;
+  for (int m = 0; m < 4; ++m) {
+    const CriticalMask component = viz::extract_stride_submask(u.mask, m, 5);
+    momentum_ok &= component.count_uncritical() == 300;
+  }
+  std::printf("components 0..3 follow the Fig. 3 pattern (300 uncritical "
+              "each): %s\n",
+              benchutil::check_mark(momentum_ok));
+
+  const auto out = benchutil::output_dir() / "fig7_lu_u4.ppm";
+  viz::write_ppm_slices(out, energy, shape);
+  std::printf("image: %s\n", out.string().c_str());
+  return pattern && momentum_ok ? 0 : 1;
+}

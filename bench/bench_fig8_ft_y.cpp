@@ -1,0 +1,53 @@
+// Reproduces Fig. 8: FT's y — only the padding plane (last index of the
+// 64x64x65 allocation) never participates, 4096 uncritical elements.
+#include "bench_util.hpp"
+#include "viz/viz.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header(
+      "Fig. 8 — critical/uncritical distribution of y in FT");
+  const auto analysis = benchutil::default_analysis(npb::BenchmarkId::FT);
+  const auto& y = *analysis.find("y");
+
+  const viz::Shape3 shape{64, 64, 65};
+  std::printf("one i0 plane (rows i1, cols i2; rightmost column is the "
+              "padding):\n");
+  const std::string plane = viz::ascii_slice(y.mask, shape, 0, 7);
+  // Print a trimmed window (first 12 rows) to keep the output readable.
+  std::size_t shown = 0, cursor = 0;
+  while (shown < 12 && cursor < plane.size()) {
+    const std::size_t eol = plane.find('\n', cursor);
+    std::printf("%s\n", plane.substr(cursor, eol - cursor).c_str());
+    cursor = eol + 1;
+    ++shown;
+  }
+  std::printf("...\n\n");
+
+  bool pattern = true;
+  for (std::size_t i0 = 0; i0 < 64 && pattern; ++i0) {
+    for (std::size_t i1 = 0; i1 < 64 && pattern; ++i1) {
+      for (std::size_t i2 = 0; i2 < 65; ++i2) {
+        const bool critical = y.mask.test((i0 * 64 + i1) * 65 + i2);
+        if (critical != (i2 < 64)) {
+          pattern = false;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("uncritical = exactly the padding plane i2 = 64: %s\n",
+              benchutil::check_mark(pattern));
+  std::printf("uncritical: %zu / %zu (paper: 4096 / 266240, 1.5%%)\n",
+              y.mask.count_uncritical(), y.mask.size());
+  std::printf("sums fully critical: %s (checksum history)\n",
+              benchutil::check_mark(
+                  analysis.find("sums")->mask.count_uncritical() == 0));
+
+  const auto out = benchutil::output_dir() / "fig8_ft_y.ppm";
+  viz::write_ppm_strip(out, viz::extract_range_submask(y.mask, 0, 65 * 64),
+                       65);
+  std::printf("image (one plane): %s\n", out.string().c_str());
+  return pattern ? 0 : 1;
+}

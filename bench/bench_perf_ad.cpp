@@ -1,0 +1,121 @@
+// google-benchmark: raw AD engine cost — primal vs. recording vs. adjoint
+// sweep on a 3D stencil kernel, plus the read-set tracker overhead.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+#include "ad/tape.hpp"
+
+namespace {
+
+using scrutiny::ad::ActiveTapeGuard;
+using scrutiny::ad::ActiveTrackerGuard;
+using scrutiny::ad::Marked;
+using scrutiny::ad::ReadSetTracker;
+using scrutiny::ad::Real;
+using scrutiny::ad::Tape;
+
+template <typename T>
+T stencil_pass(std::vector<T>& field, int n) {
+  T norm = T(0);
+  for (int i = 1; i + 1 < n; ++i) {
+    for (int j = 1; j + 1 < n; ++j) {
+      const int c = i * n + j;
+      const T updated = field[c] + 0.1 * (field[c - 1] + field[c + 1] +
+                                          field[c - n] + field[c + n] -
+                                          4.0 * field[c]);
+      field[c] = updated;
+      norm += updated * updated;
+    }
+  }
+  return norm;
+}
+
+void BM_StencilPrimalDouble(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> field(static_cast<std::size_t>(n) * n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stencil_pass(field, n));
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_StencilPrimalDouble)->Arg(64)->Arg(128);
+
+void BM_StencilRecordTape(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tape tape;
+    tape.reserve(static_cast<std::uint64_t>(n) * n * 16);
+    ActiveTapeGuard guard(tape);
+    std::vector<Real> field(static_cast<std::size_t>(n) * n, Real(1.0));
+    for (Real& value : field) value.register_input();
+    benchmark::DoNotOptimize(stencil_pass(field, n));
+    benchmark::DoNotOptimize(tape.num_statements());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_StencilRecordTape)->Arg(64)->Arg(128);
+
+void BM_StencilRecordAndSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tape tape;
+    tape.reserve(static_cast<std::uint64_t>(n) * n * 16);
+    std::vector<Real> field(static_cast<std::size_t>(n) * n, Real(1.0));
+    Real norm;
+    {
+      ActiveTapeGuard guard(tape);
+      for (Real& value : field) value.register_input();
+      norm = stencil_pass(field, n);
+    }
+    tape.set_adjoint(norm.id(), 1.0);
+    tape.evaluate();
+    benchmark::DoNotOptimize(tape.adjoint(field.front().id()));
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_StencilRecordAndSweep)->Arg(64)->Arg(128);
+
+void BM_StencilReadSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ReadSetTracker tracker(static_cast<std::size_t>(n) * n);
+    ActiveTrackerGuard guard(tracker);
+    std::vector<Marked<double>> field(static_cast<std::size_t>(n) * n,
+                                      Marked<double>(1.0));
+    std::int64_t origin = 0;
+    for (auto& value : field) value.set_origin(origin++);
+    benchmark::DoNotOptimize(stencil_pass(field, n));
+    benchmark::DoNotOptimize(tracker.count_read());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_StencilReadSet)->Arg(64)->Arg(128);
+
+void BM_TapeSweepOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Tape tape;
+  std::vector<Real> field(static_cast<std::size_t>(n) * n, Real(1.0));
+  Real norm;
+  {
+    ActiveTapeGuard guard(tape);
+    for (Real& value : field) value.register_input();
+    norm = stencil_pass(field, n);
+  }
+  for (auto _ : state) {
+    tape.clear_adjoints();
+    tape.set_adjoint(norm.id(), 1.0);
+    tape.evaluate();
+    benchmark::DoNotOptimize(tape.adjoint(field.front().id()));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(tape.num_statements()));
+}
+BENCHMARK(BM_TapeSweepOnly)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

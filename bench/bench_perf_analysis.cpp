@@ -1,0 +1,64 @@
+// google-benchmark: end-to-end criticality analysis cost per benchmark —
+// the price a user pays once, offline, to shrink every subsequent
+// checkpoint.
+#include <benchmark/benchmark.h>
+
+#include "npb/suite.hpp"
+
+namespace {
+
+using namespace scrutiny;
+
+void BM_AnalyzeReverse(benchmark::State& state) {
+  const auto id = static_cast<npb::BenchmarkId>(state.range(0));
+  const auto cfg =
+      npb::default_analysis_config(id, core::AnalysisMode::ReverseAD);
+  for (auto _ : state) {
+    const auto result = npb::analyze_benchmark(id, cfg);
+    benchmark::DoNotOptimize(result.variables.size());
+  }
+  state.SetLabel(npb::benchmark_name(id));
+}
+BENCHMARK(BM_AnalyzeReverse)
+    ->Arg(static_cast<int>(npb::BenchmarkId::BT))
+    ->Arg(static_cast<int>(npb::BenchmarkId::SP))
+    ->Arg(static_cast<int>(npb::BenchmarkId::LU))
+    ->Arg(static_cast<int>(npb::BenchmarkId::MG))
+    ->Arg(static_cast<int>(npb::BenchmarkId::CG))
+    ->Arg(static_cast<int>(npb::BenchmarkId::EP))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeReadSet(benchmark::State& state) {
+  const auto id = static_cast<npb::BenchmarkId>(state.range(0));
+  const auto cfg =
+      npb::default_analysis_config(id, core::AnalysisMode::ReadSet);
+  for (auto _ : state) {
+    const auto result = npb::analyze_benchmark(id, cfg);
+    benchmark::DoNotOptimize(result.variables.size());
+  }
+  state.SetLabel(npb::benchmark_name(id));
+}
+BENCHMARK(BM_AnalyzeReadSet)
+    ->Arg(static_cast<int>(npb::BenchmarkId::MG))
+    ->Arg(static_cast<int>(npb::BenchmarkId::CG))
+    ->Arg(static_cast<int>(npb::BenchmarkId::IS))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PrimalStep(benchmark::State& state) {
+  // Baseline: one plain-double iteration of the same app (what the tape
+  // multiplies).
+  const auto id = static_cast<npb::BenchmarkId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::golden_outputs(id));
+  }
+  state.SetLabel(npb::benchmark_name(id));
+}
+BENCHMARK(BM_PrimalStep)
+    ->Arg(static_cast<int>(npb::BenchmarkId::BT))
+    ->Arg(static_cast<int>(npb::BenchmarkId::MG))
+    ->Arg(static_cast<int>(npb::BenchmarkId::CG))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// google-benchmark: checkpoint container throughput, full vs. pruned, at
+// MG-scale payloads.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "support/npb_random.hpp"
+
+namespace {
+
+using namespace scrutiny;
+using namespace scrutiny::ckpt;
+
+struct IoFixture {
+  std::vector<double> data;
+  CheckpointRegistry registry;
+  PruneMap masks;
+  std::filesystem::path path;
+
+  explicit IoFixture(std::size_t elements, double critical_density) {
+    data.resize(elements);
+    for (std::size_t i = 0; i < elements; ++i) {
+      data[i] = hashed_uniform(i);
+    }
+    registry.register_f64("payload", data);
+    CriticalMask mask(elements);
+    for (std::size_t i = 0; i < elements; ++i) {
+      // Structured long runs, like the NPB masks.
+      if ((i / 512) % 8 != 0 || hashed_uniform(i) < critical_density) {
+        mask.set(i);
+      }
+    }
+    masks["payload"] = mask;
+    path = std::filesystem::temp_directory_path() /
+           ("scrutiny_perf_io_" + std::to_string(::getpid()) + ".ckpt");
+  }
+
+  ~IoFixture() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+void BM_WriteFull(benchmark::State& state) {
+  IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);
+  for (auto _ : state) {
+    const WriteReport report =
+        write_checkpoint(fixture.path, fixture.registry, 1);
+    benchmark::DoNotOptimize(report.file_bytes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_WriteFull)->Arg(46480)->Arg(262144);
+
+void BM_WritePruned(benchmark::State& state) {
+  IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);
+  for (auto _ : state) {
+    const WriteReport report = write_checkpoint(
+        fixture.path, fixture.registry, 1, &fixture.masks);
+    benchmark::DoNotOptimize(report.file_bytes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_WritePruned)->Arg(46480)->Arg(262144);
+
+void BM_RestoreFull(benchmark::State& state) {
+  IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);
+  write_checkpoint(fixture.path, fixture.registry, 1);
+  for (auto _ : state) {
+    const RestoreReport report =
+        restore_checkpoint(fixture.path, fixture.registry);
+    benchmark::DoNotOptimize(report.elements_restored);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_RestoreFull)->Arg(46480)->Arg(262144);
+
+void BM_RestorePruned(benchmark::State& state) {
+  IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);
+  write_checkpoint(fixture.path, fixture.registry, 1, &fixture.masks);
+  for (auto _ : state) {
+    const RestoreReport report =
+        restore_checkpoint(fixture.path, fixture.registry);
+    benchmark::DoNotOptimize(report.elements_restored);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_RestorePruned)->Arg(46480)->Arg(262144);
+
+void BM_MaskToRegions(benchmark::State& state) {
+  IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);
+  const CriticalMask& mask = fixture.masks.at("payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RegionList::from_mask(mask).num_regions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaskToRegions)->Arg(46480)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

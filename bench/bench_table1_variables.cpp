@@ -1,0 +1,35 @@
+// Reproduces Table I: the manually identified variables necessary for
+// checkpointing, with their shapes and element counts.
+#include "bench_util.hpp"
+#include "support/format_util.hpp"
+#include "support/table_printer.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header(
+      "Table I — variables necessary for checkpointing (class S)");
+  TablePrinter table({"Name", "Variable", "Shape", "Elements", "Type"});
+  for (npb::BenchmarkId id : npb::all_benchmarks()) {
+    const auto analysis = benchutil::default_analysis(id);
+    bool first = true;
+    for (const auto& variable : analysis.variables) {
+      std::string shape;
+      for (std::uint64_t extent : variable.shape) {
+        shape += "[" + std::to_string(extent) + "]";
+      }
+      table.add_row({first ? npb::benchmark_name(id) : "", variable.name,
+                     shape, with_commas(variable.total_elements()),
+                     variable.is_integer ? "int" : "double"});
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::printf(
+      "\nShapes match the paper's Table I: BT/SP u[12][13][13][5]; MG\n"
+      "u[46480], r[46480]; CG x[1402]; LU u/rsd[12][13][13][5],\n"
+      "rho_i/qs[12][13][13]; FT y[64][64][65] (dcomplex), sums[6]; EP\n"
+      "sx, sy, q[10]; IS key_array[65536], bucket_ptrs[512].\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Table II: the number of uncritical elements per checkpointed
+// variable, printed against the paper's reported values.
+#include <map>
+
+#include "bench_util.hpp"
+#include "npb/paper_reference.hpp"
+#include "support/format_util.hpp"
+#include "support/table_printer.hpp"
+
+using namespace scrutiny;
+
+int main() {
+  benchutil::print_header("Table II — number of uncritical elements");
+  TablePrinter table({"Benchmark(variable)", "Uncritical", "Total",
+                      "Uncritical rate", "Paper", "Match"});
+
+  std::map<npb::BenchmarkId, core::AnalysisResult> results;
+  bool all_match = true;
+  for (const auto& row : npb::paper_table2()) {
+    if (!results.count(row.benchmark)) {
+      results.emplace(row.benchmark,
+                      benchutil::default_analysis(row.benchmark));
+    }
+    const auto& analysis = results.at(row.benchmark);
+    const auto* variable = analysis.find(row.variable);
+    if (variable == nullptr) {
+      std::printf("missing variable %s(%s)\n",
+                  npb::benchmark_name(row.benchmark), row.variable);
+      return 1;
+    }
+    const bool match = variable->uncritical_elements() == row.uncritical &&
+                       variable->total_elements() == row.total;
+    all_match &= match;
+    table.add_row({std::string(npb::benchmark_name(row.benchmark)) + "(" +
+                       row.variable + ")",
+                   with_commas(variable->uncritical_elements()),
+                   with_commas(variable->total_elements()),
+                   percent(variable->uncritical_rate()),
+                   with_commas(row.uncritical) + " (" +
+                       percent(row.uncritical_rate) + ")",
+                   benchutil::check_mark(match)});
+  }
+  table.print();
+  std::printf("\n%s\n", npb::paper_discrepancy_notes());
+  std::printf("all rows match the paper: %s\n",
+              benchutil::check_mark(all_match));
+
+  // Variables the paper omits from Table II because they are fully
+  // critical (EP, IS, FT sums, loop counters).
+  benchutil::print_header("Fully-critical variables (not in Table II)");
+  TablePrinter extra({"Benchmark(variable)", "Elements", "Uncritical"});
+  for (npb::BenchmarkId id :
+       {npb::BenchmarkId::EP, npb::BenchmarkId::IS}) {
+    if (!results.count(id)) {
+      results.emplace(id, benchutil::default_analysis(id));
+    }
+    for (const auto& variable : results.at(id).variables) {
+      extra.add_row({std::string(npb::benchmark_name(id)) + "(" +
+                         variable.name + ")",
+                     with_commas(variable.total_elements()),
+                     with_commas(variable.uncritical_elements())});
+    }
+  }
+  extra.print();
+  return all_match ? 0 : 1;
+}

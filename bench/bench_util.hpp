@@ -1,0 +1,37 @@
+// Shared helpers for the reproduction bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/analysis_types.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::benchutil {
+
+inline const char* check_mark(bool ok) { return ok ? "yes" : "NO"; }
+
+/// Analysis with the benchmark's default placement (ReadSet for IS).
+inline core::AnalysisResult default_analysis(npb::BenchmarkId id) {
+  const auto mode = id == npb::BenchmarkId::IS
+                        ? core::AnalysisMode::ReadSet
+                        : core::AnalysisMode::ReverseAD;
+  return npb::analyze_benchmark(id, npb::default_analysis_config(id, mode));
+}
+
+/// Output directory for generated figures/checkpoints (created on demand).
+inline std::filesystem::path output_dir() {
+  const char* env = std::getenv("SCRUTINY_OUT_DIR");
+  std::filesystem::path dir = env != nullptr ? env : "scrutiny_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace scrutiny::benchutil

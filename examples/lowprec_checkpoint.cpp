@@ -1,0 +1,91 @@
+// The paper's future-work idea, end to end (§VII): keep uncritical
+// elements out of the checkpoint entirely AND store the lowest-impact
+// critical elements of CG's x in float32, then quantify what the precision
+// loss does to the verification values after a restart.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/failure.hpp"
+#include "ckpt/lowprec.hpp"
+#include "core/impact.hpp"
+#include "npb/cg.hpp"
+#include "npb/suite.hpp"
+#include "support/format_util.hpp"
+
+int main() {
+  using namespace scrutiny;
+
+  // Capture |d outputs / d element| magnitudes during the reverse sweep.
+  auto cfg = npb::default_analysis_config(npb::BenchmarkId::CG);
+  cfg.capture_impact = true;
+  const auto analysis = npb::analyze_benchmark(npb::BenchmarkId::CG, cfg);
+  const auto& x = *analysis.find("x");
+
+  // Impact distribution snapshot.
+  double min_impact = 1e300, max_impact = 0.0;
+  for (std::size_t e = 0; e < x.mask.size(); ++e) {
+    if (!x.mask.test(e)) continue;
+    min_impact = std::min(min_impact, x.impact[e]);
+    max_impact = std::max(max_impact, x.impact[e]);
+  }
+  std::printf("CG(x): %zu critical elements, impact range [%.3e, %.3e]\n",
+              x.mask.count_critical(), min_impact, max_impact);
+
+  // Golden run for comparison.
+  npb::CgApp<double> golden;
+  golden.init();
+  for (int s = 0; s < golden.total_steps(); ++s) golden.step();
+  const auto golden_out = golden.outputs();
+
+  std::filesystem::create_directories("scrutiny_out/lowprec");
+  std::printf("\n%-14s %-14s %-14s %-14s\n", "low fraction", "payload",
+              "zeta rel.err", "rnorm rel.err");
+  for (double fraction : {0.0, 0.5, 0.9, 1.0}) {
+    const core::ImpactPartition partition =
+        core::partition_by_impact(x, fraction);
+
+    ckpt::PrecisionMap plans;
+    plans["x"] = ckpt::PrecisionPlan{x.mask, partition.low_impact};
+
+    npb::CgApp<double> writer;
+    writer.init();
+    for (int s = 0; s < cfg.warmup_steps; ++s) writer.step();
+    ckpt::CheckpointRegistry registry;
+    writer.register_checkpoint(registry);
+    const std::filesystem::path path =
+        "scrutiny_out/lowprec/cg_" +
+        std::to_string(static_cast<int>(fraction * 100)) + ".ckpt";
+    const auto report = ckpt::write_mixed_checkpoint(
+        path, registry, static_cast<std::uint64_t>(cfg.warmup_steps),
+        plans);
+
+    npb::CgApp<double> restarted;
+    restarted.init();
+    ckpt::CheckpointRegistry restart_registry;
+    restarted.register_checkpoint(restart_registry);
+    ckpt::FailureInjector().poison_all(restart_registry);
+    const auto restore =
+        ckpt::restore_mixed_checkpoint(path, restart_registry);
+    for (int s = static_cast<int>(restore.step);
+         s < restarted.total_steps(); ++s) {
+      restarted.step();
+    }
+    const auto out = restarted.outputs();
+    const double zeta_err =
+        std::fabs(out[0] - golden_out[0]) / std::fabs(golden_out[0]);
+    const double rnorm_err =
+        std::fabs(out[1] - golden_out[1]) /
+        std::max(1e-300, std::fabs(golden_out[1]));
+    std::printf("%-14s %-14s %-14.3e %-14.3e\n",
+                percent(fraction).c_str(),
+                human_bytes(report.payload_bytes).c_str(), zeta_err,
+                rnorm_err);
+  }
+  std::printf(
+      "\nCG self-corrects: the inner solve re-derives z from A and x, so\n"
+      "float32 storage of low-impact x elements perturbs the verification\n"
+      "values only at the fp32 noise floor — checkpoints shrink by another\n"
+      "~half on top of the pruning of this paper.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Minimal complex number template usable with any scrutiny scalar type.
+//
+// std::complex<T> has unspecified behaviour for non-floating-point T, so the
+// FT mini-app (NPB `dcomplex`) uses this POD-style template instead.  Only
+// the operations the FFT kernels need are provided; twiddle factors are
+// computed in plain double and enter as passive constants.
+#pragma once
+
+#include <cmath>
+
+namespace scrutiny::ad {
+
+template <typename T>
+struct Complex {
+  T re{};
+  T im{};
+
+  constexpr Complex() = default;
+  constexpr Complex(T real, T imag) : re(real), im(imag) {}
+  constexpr explicit Complex(T real) : re(real), im(T(0)) {}
+
+  Complex& operator+=(const Complex& r) { return *this = *this + r; }
+  Complex& operator-=(const Complex& r) { return *this = *this - r; }
+  Complex& operator*=(const Complex& r) { return *this = *this * r; }
+
+  friend Complex operator+(const Complex& a, const Complex& b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend Complex operator-(const Complex& a, const Complex& b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend Complex operator*(const Complex& a, const Complex& b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  friend Complex operator*(const Complex& a, double s) {
+    return {a.re * s, a.im * s};
+  }
+  friend Complex operator*(double s, const Complex& a) { return a * s; }
+  friend Complex operator/(const Complex& a, double s) {
+    return {a.re / s, a.im / s};
+  }
+};
+
+template <typename T>
+[[nodiscard]] constexpr Complex<T> conj(const Complex<T>& a) {
+  return {a.re, T(0) - a.im};
+}
+
+/// Complex twiddle in plain double (enters AD code as a passive constant).
+[[nodiscard]] inline Complex<double> polar_unit(double angle) {
+  return {std::cos(angle), std::sin(angle)};
+}
+
+}  // namespace scrutiny::ad

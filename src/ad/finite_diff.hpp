@@ -1,0 +1,51 @@
+// Central finite-difference probe.
+//
+// The slowest but most assumption-free derivative oracle: perturb one state
+// element, rerun the window, and difference the outputs.  Used to
+// cross-validate the tape in tests and as the FiniteDiff analysis mode
+// (with sampling — a full probe is O(#elements) program runs).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::ad {
+
+struct FiniteDiffOptions {
+  double step = 1e-6;           ///< absolute perturbation h
+  double relative_step = 1e-7;  ///< h scaled by |x| when |x| is large
+};
+
+/// d(outputs)/d(state[index]) via central differences.
+/// `run` must be a pure function from the state vector to the outputs.
+inline std::vector<double> finite_diff_probe(
+    const std::function<std::vector<double>(const std::vector<double>&)>& run,
+    const std::vector<double>& state, std::size_t index,
+    const FiniteDiffOptions& options = {}) {
+  SCRUTINY_REQUIRE(index < state.size(), "finite-diff index out of range");
+  const double x = state[index];
+  const double h =
+      std::max(options.step, std::fabs(x) * options.relative_step);
+
+  std::vector<double> plus = state;
+  plus[index] = x + h;
+  std::vector<double> minus = state;
+  minus[index] = x - h;
+
+  const std::vector<double> out_plus = run(plus);
+  const std::vector<double> out_minus = run(minus);
+  SCRUTINY_REQUIRE(out_plus.size() == out_minus.size(),
+                   "finite-diff run produced inconsistent output counts");
+
+  std::vector<double> derivative(out_plus.size());
+  for (std::size_t m = 0; m < derivative.size(); ++m) {
+    derivative[m] = (out_plus[m] - out_minus[m]) / (2.0 * h);
+  }
+  return derivative;
+}
+
+}  // namespace scrutiny::ad

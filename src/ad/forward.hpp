@@ -1,0 +1,161 @@
+// Forward-mode AD scalar (dual numbers).
+//
+// Used for cross-validating the reverse tape (tests) and as an analysis
+// mode ablation: forward mode needs one program run per *input* element,
+// where reverse mode needs one sweep per *output* — the cost asymmetry the
+// paper exploits by choosing reverse-mode Enzyme.
+#pragma once
+
+#include <cmath>
+
+namespace scrutiny::ad {
+
+class Dual {
+ public:
+  constexpr Dual() noexcept : value_(0.0), deriv_(0.0) {}
+  constexpr Dual(double value) noexcept  // NOLINT: implicit by design
+      : value_(value), deriv_(0.0) {}
+  constexpr Dual(int value) noexcept  // NOLINT: implicit by design
+      : value_(static_cast<double>(value)), deriv_(0.0) {}
+  constexpr Dual(double value, double deriv) noexcept
+      : value_(value), deriv_(deriv) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr double derivative() const noexcept {
+    return deriv_;
+  }
+  void set_derivative(double d) noexcept { deriv_ = d; }
+
+  Dual& operator+=(const Dual& r) { return *this = *this + r; }
+  Dual& operator-=(const Dual& r) { return *this = *this - r; }
+  Dual& operator*=(const Dual& r) { return *this = *this * r; }
+  Dual& operator/=(const Dual& r) { return *this = *this / r; }
+
+  friend constexpr Dual operator+(const Dual& a, const Dual& b) {
+    return {a.value_ + b.value_, a.deriv_ + b.deriv_};
+  }
+  friend constexpr Dual operator-(const Dual& a, const Dual& b) {
+    return {a.value_ - b.value_, a.deriv_ - b.deriv_};
+  }
+  friend constexpr Dual operator*(const Dual& a, const Dual& b) {
+    return {a.value_ * b.value_, a.deriv_ * b.value_ + a.value_ * b.deriv_};
+  }
+  friend constexpr Dual operator/(const Dual& a, const Dual& b) {
+    // Primal value with plain-division rounding (bit-identical to the
+    // uninstrumented program); reciprocal only in the derivative.
+    const double inv = 1.0 / b.value_;
+    return {a.value_ / b.value_,
+            (a.deriv_ - a.value_ * inv * b.deriv_) * inv};
+  }
+  friend constexpr Dual operator-(const Dual& a) {
+    return {-a.value_, -a.deriv_};
+  }
+  friend constexpr Dual operator+(const Dual& a) { return a; }
+
+  friend constexpr bool operator<(const Dual& a, const Dual& b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(const Dual& a, const Dual& b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(const Dual& a, const Dual& b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(const Dual& a, const Dual& b) {
+    return a.value_ >= b.value_;
+  }
+  friend constexpr bool operator==(const Dual& a, const Dual& b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(const Dual& a, const Dual& b) {
+    return a.value_ != b.value_;
+  }
+
+ private:
+  double value_;
+  double deriv_;
+};
+
+inline Dual sqrt(const Dual& a) {
+  const double r = std::sqrt(a.value());
+  const double partial = r > 0.0 ? 0.5 / r : 0.0;
+  return {r, partial * a.derivative()};
+}
+inline Dual exp(const Dual& a) {
+  const double r = std::exp(a.value());
+  return {r, r * a.derivative()};
+}
+inline Dual log(const Dual& a) {
+  return {std::log(a.value()), a.derivative() / a.value()};
+}
+inline Dual log10(const Dual& a) {
+  return {std::log10(a.value()),
+          a.derivative() / (a.value() * 2.302585092994046)};
+}
+inline Dual sin(const Dual& a) {
+  return {std::sin(a.value()), std::cos(a.value()) * a.derivative()};
+}
+inline Dual cos(const Dual& a) {
+  return {std::cos(a.value()), -std::sin(a.value()) * a.derivative()};
+}
+inline Dual tan(const Dual& a) {
+  const double t = std::tan(a.value());
+  return {t, (1.0 + t * t) * a.derivative()};
+}
+inline Dual asin(const Dual& a) {
+  return {std::asin(a.value()),
+          a.derivative() / std::sqrt(1.0 - a.value() * a.value())};
+}
+inline Dual acos(const Dual& a) {
+  return {std::acos(a.value()),
+          -a.derivative() / std::sqrt(1.0 - a.value() * a.value())};
+}
+inline Dual atan(const Dual& a) {
+  return {std::atan(a.value()),
+          a.derivative() / (1.0 + a.value() * a.value())};
+}
+inline Dual atan2(const Dual& y, const Dual& x) {
+  const double denom = x.value() * x.value() + y.value() * y.value();
+  return {std::atan2(y.value(), x.value()),
+          (x.value() * y.derivative() - y.value() * x.derivative()) / denom};
+}
+inline Dual sinh(const Dual& a) {
+  return {std::sinh(a.value()), std::cosh(a.value()) * a.derivative()};
+}
+inline Dual cosh(const Dual& a) {
+  return {std::cosh(a.value()), std::sinh(a.value()) * a.derivative()};
+}
+inline Dual tanh(const Dual& a) {
+  const double t = std::tanh(a.value());
+  return {t, (1.0 - t * t) * a.derivative()};
+}
+inline Dual fabs(const Dual& a) {
+  const double sign = a.value() >= 0.0 ? 1.0 : -1.0;
+  return {std::fabs(a.value()), sign * a.derivative()};
+}
+inline Dual abs(const Dual& a) { return fabs(a); }
+inline Dual pow(const Dual& a, const Dual& b) {
+  const double r = std::pow(a.value(), b.value());
+  const double pa = b.value() * std::pow(a.value(), b.value() - 1.0);
+  const double pb = a.value() > 0.0 ? r * std::log(a.value()) : 0.0;
+  return {r, pa * a.derivative() + pb * b.derivative()};
+}
+inline Dual pow(const Dual& a, double b) {
+  return {std::pow(a.value(), b),
+          b * std::pow(a.value(), b - 1.0) * a.derivative()};
+}
+inline Dual max(const Dual& a, const Dual& b) {
+  return a.value() >= b.value() ? a : b;
+}
+inline Dual min(const Dual& a, const Dual& b) {
+  return a.value() <= b.value() ? a : b;
+}
+inline Dual fmax(const Dual& a, const Dual& b) { return max(a, b); }
+inline Dual fmin(const Dual& a, const Dual& b) { return min(a, b); }
+inline int to_int(const Dual& a) noexcept {
+  return static_cast<int>(a.value());
+}
+inline double floor(const Dual& a) noexcept { return std::floor(a.value()); }
+inline double ceil(const Dual& a) noexcept { return std::ceil(a.value()); }
+
+}  // namespace scrutiny::ad

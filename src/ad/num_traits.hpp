@@ -1,0 +1,55 @@
+// Uniform access to the primal value of any scrutiny scalar type.
+//
+// Kernels templated on the scalar type occasionally need the plain double
+// (diagnostics, verification tolerances, array indexing).  passive_value()
+// reads it without recording anything — including for Marked<T>, where a
+// normal .value() call would count as a program read.
+#pragma once
+
+#include <type_traits>
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::ad {
+
+template <typename T>
+struct ScalarTraits {
+  static constexpr bool is_ad_type = false;
+  static double passive_value(const T& x) noexcept {
+    return static_cast<double>(x);
+  }
+};
+
+template <>
+struct ScalarTraits<Real> {
+  static constexpr bool is_ad_type = true;
+  static double passive_value(const Real& x) noexcept { return x.value(); }
+};
+
+template <>
+struct ScalarTraits<Dual> {
+  static constexpr bool is_ad_type = true;
+  static double passive_value(const Dual& x) noexcept { return x.value(); }
+};
+
+template <typename U>
+struct ScalarTraits<Marked<U>> {
+  static constexpr bool is_ad_type = true;
+  static double passive_value(const Marked<U>& x) noexcept {
+    return static_cast<double>(x.peek());
+  }
+};
+
+/// Primal value of any scalar, never recording a read/tape statement.
+template <typename T>
+[[nodiscard]] double passive_value(const T& x) noexcept {
+  return ScalarTraits<T>::passive_value(x);
+}
+
+/// True for AD-instrumented scalar types.
+template <typename T>
+inline constexpr bool is_ad_scalar_v = ScalarTraits<T>::is_ad_type;
+
+}  // namespace scrutiny::ad

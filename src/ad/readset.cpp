@@ -1,0 +1,15 @@
+#include "ad/readset.hpp"
+
+namespace scrutiny::ad {
+
+namespace {
+thread_local ReadSetTracker* g_active_tracker = nullptr;
+}  // namespace
+
+ReadSetTracker* active_tracker() noexcept { return g_active_tracker; }
+
+void set_active_tracker(ReadSetTracker* tracker) noexcept {
+  g_active_tracker = tracker;
+}
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,251 @@
+// Read-set (activity) tracking scalar.
+//
+// The paper's Discussion notes that every uncritical element it found was
+// simply *never read* after the checkpoint, and wishes for an "algorithmic
+// analysis rather than AD analysis".  ad::Marked<T> implements exactly that:
+// each tracked value carries the index of the checkpoint element it came
+// from; the moment such a value is consumed by arithmetic, comparison or an
+// index computation, the element is marked "read" in the active
+// ReadSetTracker.  Overwriting a state slot replaces its origin, so elements
+// overwritten before any read stay unmarked — precisely "the checkpointed
+// value was never consumed".
+//
+// Differences from derivative-based criticality (exercised in tests and the
+// mode-ablation bench):
+//  * a value read only inside a branch condition is READ-critical but has
+//    zero derivative (AD misses it);
+//  * `y += x - x` or multiplication by a structural zero reads x but the
+//    derivative cancels (ReadSet conservative, AD tighter).
+// On all NPB variables the two agree, matching the paper's observation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::ad {
+
+/// Collects "element i of the checkpoint state was read" marks.
+class ReadSetTracker {
+ public:
+  explicit ReadSetTracker(std::size_t num_elements)
+      : read_(num_elements, 0) {}
+
+  void mark(std::int64_t origin) noexcept {
+    if (origin >= 0 && static_cast<std::size_t>(origin) < read_.size()) {
+      read_[static_cast<std::size_t>(origin)] = 1;
+    }
+  }
+
+  [[nodiscard]] bool was_read(std::size_t index) const {
+    SCRUTINY_REQUIRE(index < read_.size(), "read-set index out of range");
+    return read_[index] != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return read_.size(); }
+
+  [[nodiscard]] std::size_t count_read() const noexcept {
+    std::size_t n = 0;
+    for (std::uint8_t r : read_) n += r;
+    return n;
+  }
+
+  void clear() noexcept { std::fill(read_.begin(), read_.end(), 0); }
+
+ private:
+  std::vector<std::uint8_t> read_;
+};
+
+[[nodiscard]] ReadSetTracker* active_tracker() noexcept;
+void set_active_tracker(ReadSetTracker* tracker) noexcept;
+
+/// RAII activation, mirroring ActiveTapeGuard.
+class ActiveTrackerGuard {
+ public:
+  explicit ActiveTrackerGuard(ReadSetTracker& tracker) noexcept
+      : previous_(active_tracker()) {
+    set_active_tracker(&tracker);
+  }
+  ~ActiveTrackerGuard() { set_active_tracker(previous_); }
+  ActiveTrackerGuard(const ActiveTrackerGuard&) = delete;
+  ActiveTrackerGuard& operator=(const ActiveTrackerGuard&) = delete;
+
+ private:
+  ReadSetTracker* previous_;
+};
+
+inline constexpr std::int64_t kNoOrigin = -1;
+
+template <typename T>
+class Marked {
+ public:
+  constexpr Marked() noexcept : value_(T{}), origin_(kNoOrigin) {}
+  constexpr Marked(T value) noexcept  // NOLINT: implicit by design
+      : value_(value), origin_(kNoOrigin) {}
+  constexpr Marked(T value, std::int64_t origin) noexcept
+      : value_(value), origin_(origin) {}
+
+  // int literals appear throughout kernels templated on the scalar type.
+  template <typename U = T>
+    requires(!std::is_same_v<U, int>)
+  constexpr Marked(int value) noexcept  // NOLINT: implicit by design
+      : value_(static_cast<T>(value)), origin_(kNoOrigin) {}
+
+  /// Reads the value *without* marking; analysis plumbing only.
+  [[nodiscard]] constexpr T peek() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::int64_t origin() const noexcept {
+    return origin_;
+  }
+
+  /// Reads the value as the program would: marks the origin element.
+  [[nodiscard]] T value() const noexcept {
+    touch();
+    return value_;
+  }
+
+  void set_origin(std::int64_t origin) noexcept { origin_ = origin; }
+
+  void touch() const noexcept {
+    if (origin_ >= 0) {
+      if (ReadSetTracker* t = active_tracker(); t != nullptr) {
+        t->mark(origin_);
+      }
+    }
+  }
+
+  Marked& operator+=(const Marked& r) { return *this = *this + r; }
+  Marked& operator-=(const Marked& r) { return *this = *this - r; }
+  Marked& operator*=(const Marked& r) { return *this = *this * r; }
+  Marked& operator/=(const Marked& r) { return *this = *this / r; }
+
+  friend Marked operator+(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return Marked(a.value_ + b.value_);
+  }
+  friend Marked operator-(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return Marked(a.value_ - b.value_);
+  }
+  friend Marked operator*(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return Marked(a.value_ * b.value_);
+  }
+  friend Marked operator/(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return Marked(a.value_ / b.value_);
+  }
+  friend Marked operator-(const Marked& a) {
+    a.touch();
+    return Marked(-a.value_);
+  }
+  friend Marked operator+(const Marked& a) { return a; }
+
+  // Comparisons are reads: the checkpointed value steers control flow.
+  friend bool operator<(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return a.value_ < b.value_;
+  }
+  friend bool operator>(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return a.value_ > b.value_;
+  }
+  friend bool operator<=(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return a.value_ <= b.value_;
+  }
+  friend bool operator>=(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return a.value_ >= b.value_;
+  }
+  friend bool operator==(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(const Marked& a, const Marked& b) {
+    a.touch(); b.touch();
+    return a.value_ != b.value_;
+  }
+
+ private:
+  T value_;
+  std::int64_t origin_;
+};
+
+// Integer-only extras used by the IS mini-app.
+template <typename T>
+  requires std::is_integral_v<T>
+inline Marked<T> operator%(const Marked<T>& a, const Marked<T>& b) {
+  a.touch(); b.touch();
+  return Marked<T>(a.peek() % b.peek());
+}
+template <typename T>
+  requires std::is_integral_v<T>
+inline Marked<T> operator>>(const Marked<T>& a, int shift) {
+  a.touch();
+  return Marked<T>(a.peek() >> shift);
+}
+template <typename T>
+  requires std::is_integral_v<T>
+inline Marked<T> operator<<(const Marked<T>& a, int shift) {
+  a.touch();
+  return Marked<T>(a.peek() << shift);
+}
+
+// Math functions used by kernels templated on the scalar type.
+inline Marked<double> sqrt(const Marked<double>& a) {
+  return Marked<double>(std::sqrt(a.value()));
+}
+inline Marked<double> exp(const Marked<double>& a) {
+  return Marked<double>(std::exp(a.value()));
+}
+inline Marked<double> log(const Marked<double>& a) {
+  return Marked<double>(std::log(a.value()));
+}
+inline Marked<double> sin(const Marked<double>& a) {
+  return Marked<double>(std::sin(a.value()));
+}
+inline Marked<double> cos(const Marked<double>& a) {
+  return Marked<double>(std::cos(a.value()));
+}
+inline Marked<double> tan(const Marked<double>& a) {
+  return Marked<double>(std::tan(a.value()));
+}
+inline Marked<double> fabs(const Marked<double>& a) {
+  return Marked<double>(std::fabs(a.value()));
+}
+inline Marked<double> abs(const Marked<double>& a) { return fabs(a); }
+inline Marked<double> pow(const Marked<double>& a, const Marked<double>& b) {
+  return Marked<double>(std::pow(a.value(), b.value()));
+}
+inline Marked<double> pow(const Marked<double>& a, double b) {
+  return Marked<double>(std::pow(a.value(), b));
+}
+inline Marked<double> max(const Marked<double>& a, const Marked<double>& b) {
+  a.touch();
+  b.touch();
+  return a.peek() >= b.peek() ? a : b;
+}
+inline Marked<double> min(const Marked<double>& a, const Marked<double>& b) {
+  a.touch();
+  b.touch();
+  return a.peek() <= b.peek() ? a : b;
+}
+inline Marked<double> fmax(const Marked<double>& a, const Marked<double>& b) {
+  return max(a, b);
+}
+inline Marked<double> fmin(const Marked<double>& a, const Marked<double>& b) {
+  return min(a, b);
+}
+inline int to_int(const Marked<double>& a) noexcept {
+  return static_cast<int>(a.value());
+}
+inline double floor(const Marked<double>& a) noexcept {
+  return std::floor(a.value());
+}
+inline double ceil(const Marked<double>& a) noexcept {
+  return std::ceil(a.value());
+}
+
+}  // namespace scrutiny::ad

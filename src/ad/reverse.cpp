@@ -1,0 +1,11 @@
+#include "ad/reverse.hpp"
+
+#include <ostream>
+
+namespace scrutiny::ad {
+
+std::ostream& operator<<(std::ostream& os, const Real& a) {
+  return os << a.value();
+}
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,278 @@
+// Reverse-mode AD scalar.
+//
+// ad::Real behaves like double but records every arithmetic operation on the
+// thread-local active tape (see tape.hpp).  Code templated on the scalar
+// type runs unchanged; comparisons operate on primal values, so control flow
+// is fixed at the recorded trajectory — the standard operator-overloading AD
+// semantics, identical in effect to what Enzyme differentiates for a fixed
+// input.
+//
+// Copying a Real shares its tape identifier: the copy denotes the same value
+// node.  Assigning a new expression to a variable simply replaces the
+// identifier (the tape is single-assignment), so overwritten checkpoint
+// elements naturally stop receiving adjoints — exactly the semantics the
+// criticality analysis needs.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+#include "ad/tape.hpp"
+
+namespace scrutiny::ad {
+
+class Real {
+ public:
+  constexpr Real() noexcept : value_(0.0), id_(kPassiveId) {}
+  constexpr Real(double value) noexcept  // NOLINT: implicit by design
+      : value_(value), id_(kPassiveId) {}
+  constexpr Real(int value) noexcept  // NOLINT: implicit by design
+      : value_(static_cast<double>(value)), id_(kPassiveId) {}
+
+  constexpr Real(double value, Identifier id) noexcept
+      : value_(value), id_(id) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr Identifier id() const noexcept { return id_; }
+  [[nodiscard]] constexpr bool is_active() const noexcept {
+    return id_ != kPassiveId;
+  }
+
+  /// Registers this value as an independent tape input.
+  void register_input() {
+    Tape* tape = active_tape();
+    SCRUTINY_REQUIRE(tape != nullptr, "register_input without an active tape");
+    id_ = tape->register_input();
+  }
+
+  /// Adjoint accumulated by the last Tape::evaluate() call.
+  [[nodiscard]] double gradient() const {
+    const Tape* tape = active_tape();
+    return tape == nullptr ? 0.0 : tape->adjoint(id_);
+  }
+
+  Real& operator+=(const Real& rhs);
+  Real& operator-=(const Real& rhs);
+  Real& operator*=(const Real& rhs);
+  Real& operator/=(const Real& rhs);
+
+ private:
+  double value_;
+  Identifier id_;
+};
+
+namespace detail {
+
+inline Real unary(double value, double partial, const Real& a) {
+  Tape* tape = active_tape();
+  if (tape != nullptr && tape->is_recording() && a.is_active()) {
+    return Real(value, tape->push1(partial, a.id()));
+  }
+  return Real(value);
+}
+
+inline Real binary(double value, double pa, const Real& a, double pb,
+                   const Real& b) {
+  Tape* tape = active_tape();
+  if (tape != nullptr && tape->is_recording() &&
+      (a.is_active() || b.is_active())) {
+    return Real(value, tape->push2(pa, a.id(), pb, b.id()));
+  }
+  return Real(value);
+}
+
+}  // namespace detail
+
+// ---- arithmetic -------------------------------------------------------
+
+inline Real operator+(const Real& a, const Real& b) {
+  return detail::binary(a.value() + b.value(), 1.0, a, 1.0, b);
+}
+inline Real operator-(const Real& a, const Real& b) {
+  return detail::binary(a.value() - b.value(), 1.0, a, -1.0, b);
+}
+inline Real operator*(const Real& a, const Real& b) {
+  return detail::binary(a.value() * b.value(), b.value(), a, a.value(), b);
+}
+inline Real operator/(const Real& a, const Real& b) {
+  // The primal value uses the same single rounding as plain double
+  // division — the instrumented program must be bit-identical to the
+  // production program; only the partials use the reciprocal.
+  const double inv = 1.0 / b.value();
+  return detail::binary(a.value() / b.value(), inv, a,
+                        -a.value() * inv * inv, b);
+}
+
+inline Real operator-(const Real& a) {
+  return detail::unary(-a.value(), -1.0, a);
+}
+inline Real operator+(const Real& a) { return a; }
+
+inline Real& Real::operator+=(const Real& rhs) { return *this = *this + rhs; }
+inline Real& Real::operator-=(const Real& rhs) { return *this = *this - rhs; }
+inline Real& Real::operator*=(const Real& rhs) { return *this = *this * rhs; }
+inline Real& Real::operator/=(const Real& rhs) { return *this = *this / rhs; }
+
+// Mixed double/Real overloads resolve through the implicit constructor; the
+// explicit forms below avoid creating passive temporaries in hot loops.
+inline Real operator+(const Real& a, double b) {
+  return detail::unary(a.value() + b, 1.0, a);
+}
+inline Real operator+(double a, const Real& b) {
+  return detail::unary(a + b.value(), 1.0, b);
+}
+inline Real operator-(const Real& a, double b) {
+  return detail::unary(a.value() - b, 1.0, a);
+}
+inline Real operator-(double a, const Real& b) {
+  return detail::unary(a - b.value(), -1.0, b);
+}
+inline Real operator*(const Real& a, double b) {
+  return detail::unary(a.value() * b, b, a);
+}
+inline Real operator*(double a, const Real& b) {
+  return detail::unary(a * b.value(), a, b);
+}
+inline Real operator/(const Real& a, double b) {
+  return detail::unary(a.value() / b, 1.0 / b, a);
+}
+inline Real operator/(double a, const Real& b) {
+  const double inv = 1.0 / b.value();
+  return detail::unary(a / b.value(), -a * inv * inv, b);
+}
+
+// ---- comparisons (primal values) --------------------------------------
+
+inline bool operator<(const Real& a, const Real& b) {
+  return a.value() < b.value();
+}
+inline bool operator>(const Real& a, const Real& b) {
+  return a.value() > b.value();
+}
+inline bool operator<=(const Real& a, const Real& b) {
+  return a.value() <= b.value();
+}
+inline bool operator>=(const Real& a, const Real& b) {
+  return a.value() >= b.value();
+}
+inline bool operator==(const Real& a, const Real& b) {
+  return a.value() == b.value();
+}
+inline bool operator!=(const Real& a, const Real& b) {
+  return a.value() != b.value();
+}
+
+// ---- math functions ----------------------------------------------------
+
+inline Real sqrt(const Real& a) {
+  const double r = std::sqrt(a.value());
+  // d/dx sqrt(x) = 1/(2 sqrt(x)); at 0 clamp to 0 (subgradient choice).
+  const double partial = r > 0.0 ? 0.5 / r : 0.0;
+  return detail::unary(r, partial, a);
+}
+
+inline Real exp(const Real& a) {
+  const double r = std::exp(a.value());
+  return detail::unary(r, r, a);
+}
+
+inline Real log(const Real& a) {
+  return detail::unary(std::log(a.value()), 1.0 / a.value(), a);
+}
+
+inline Real log10(const Real& a) {
+  return detail::unary(std::log10(a.value()),
+                       1.0 / (a.value() * 2.302585092994046), a);
+}
+
+inline Real sin(const Real& a) {
+  return detail::unary(std::sin(a.value()), std::cos(a.value()), a);
+}
+
+inline Real cos(const Real& a) {
+  return detail::unary(std::cos(a.value()), -std::sin(a.value()), a);
+}
+
+inline Real tan(const Real& a) {
+  const double t = std::tan(a.value());
+  return detail::unary(t, 1.0 + t * t, a);
+}
+
+inline Real asin(const Real& a) {
+  return detail::unary(std::asin(a.value()),
+                       1.0 / std::sqrt(1.0 - a.value() * a.value()), a);
+}
+
+inline Real acos(const Real& a) {
+  return detail::unary(std::acos(a.value()),
+                       -1.0 / std::sqrt(1.0 - a.value() * a.value()), a);
+}
+
+inline Real atan(const Real& a) {
+  return detail::unary(std::atan(a.value()),
+                       1.0 / (1.0 + a.value() * a.value()), a);
+}
+
+inline Real atan2(const Real& y, const Real& x) {
+  const double denom = x.value() * x.value() + y.value() * y.value();
+  return detail::binary(std::atan2(y.value(), x.value()),
+                        x.value() / denom, y, -y.value() / denom, x);
+}
+
+inline Real sinh(const Real& a) {
+  return detail::unary(std::sinh(a.value()), std::cosh(a.value()), a);
+}
+
+inline Real cosh(const Real& a) {
+  return detail::unary(std::cosh(a.value()), std::sinh(a.value()), a);
+}
+
+inline Real tanh(const Real& a) {
+  const double t = std::tanh(a.value());
+  return detail::unary(t, 1.0 - t * t, a);
+}
+
+inline Real fabs(const Real& a) {
+  const double sign = a.value() >= 0.0 ? 1.0 : -1.0;
+  return detail::unary(std::fabs(a.value()), sign, a);
+}
+inline Real abs(const Real& a) { return fabs(a); }
+
+inline Real pow(const Real& a, const Real& b) {
+  const double r = std::pow(a.value(), b.value());
+  const double pa = b.value() * std::pow(a.value(), b.value() - 1.0);
+  const double pb = a.value() > 0.0 ? r * std::log(a.value()) : 0.0;
+  return detail::binary(r, pa, a, pb, b);
+}
+
+inline Real pow(const Real& a, double b) {
+  const double r = std::pow(a.value(), b);
+  return detail::unary(r, b * std::pow(a.value(), b - 1.0), a);
+}
+
+inline Real pow(double a, const Real& b) {
+  const double r = std::pow(a, b.value());
+  const double pb = a > 0.0 ? r * std::log(a) : 0.0;
+  return detail::unary(r, pb, b);
+}
+
+inline Real max(const Real& a, const Real& b) {
+  return a.value() >= b.value() ? a : b;
+}
+inline Real min(const Real& a, const Real& b) {
+  return a.value() <= b.value() ? a : b;
+}
+inline Real fmax(const Real& a, const Real& b) { return max(a, b); }
+inline Real fmin(const Real& a, const Real& b) { return min(a, b); }
+
+/// Truncation to integer; breaks the derivative chain (piecewise-constant),
+/// mirroring how index computations behave under Enzyme.
+inline int to_int(const Real& a) noexcept {
+  return static_cast<int>(a.value());
+}
+inline double floor(const Real& a) noexcept { return std::floor(a.value()); }
+inline double ceil(const Real& a) noexcept { return std::ceil(a.value()); }
+
+std::ostream& operator<<(std::ostream& os, const Real& a);
+
+}  // namespace scrutiny::ad

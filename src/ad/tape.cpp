@@ -1,0 +1,123 @@
+#include "ad/tape.hpp"
+
+#include <algorithm>
+
+namespace scrutiny::ad {
+
+namespace {
+thread_local Tape* g_active_tape = nullptr;
+}  // namespace
+
+Tape* active_tape() noexcept { return g_active_tape; }
+void set_active_tape(Tape* tape) noexcept { g_active_tape = tape; }
+
+void Tape::reserve(std::uint64_t statements, double args_per_statement) {
+  arg_ends_.reserve(statements);
+  const auto args =
+      static_cast<std::uint64_t>(static_cast<double>(statements) *
+                                 args_per_statement);
+  partials_.reserve(args);
+  arg_ids_.reserve(args);
+}
+
+Identifier Tape::register_input() {
+  arg_ends_.push_back(partials_.size());
+  ++num_inputs_;
+  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
+  return static_cast<Identifier>(arg_ends_.size());
+}
+
+Identifier Tape::push_statement(std::span<const double> partials,
+                                std::span<const Identifier> ids) {
+  SCRUTINY_REQUIRE(partials.size() == ids.size(),
+                   "mismatched statement arguments");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] != kPassiveId) {
+      partials_.push_back(partials[i]);
+      arg_ids_.push_back(ids[i]);
+    }
+  }
+  arg_ends_.push_back(partials_.size());
+  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
+  return static_cast<Identifier>(arg_ends_.size());
+}
+
+Identifier Tape::push1(double partial, Identifier id) {
+  if (id != kPassiveId) {
+    partials_.push_back(partial);
+    arg_ids_.push_back(id);
+  }
+  arg_ends_.push_back(partials_.size());
+  return static_cast<Identifier>(arg_ends_.size());
+}
+
+Identifier Tape::push2(double p0, Identifier id0, double p1, Identifier id1) {
+  if (id0 != kPassiveId) {
+    partials_.push_back(p0);
+    arg_ids_.push_back(id0);
+  }
+  if (id1 != kPassiveId) {
+    partials_.push_back(p1);
+    arg_ids_.push_back(id1);
+  }
+  arg_ends_.push_back(partials_.size());
+  return static_cast<Identifier>(arg_ends_.size());
+}
+
+void Tape::ensure_adjoints() {
+  if (adjoints_.size() < arg_ends_.size() + 1) {
+    adjoints_.resize(arg_ends_.size() + 1, 0.0);
+  }
+}
+
+void Tape::set_adjoint(Identifier id, double value) {
+  SCRUTINY_REQUIRE(id <= arg_ends_.size(), "adjoint id out of range");
+  ensure_adjoints();
+  adjoints_[id] = value;
+}
+
+double Tape::adjoint(Identifier id) const {
+  if (id >= adjoints_.size()) return 0.0;
+  return adjoints_[id];
+}
+
+void Tape::evaluate() {
+  ensure_adjoints();
+  const std::size_t n = arg_ends_.size();
+  for (std::size_t k = n; k-- > 0;) {
+    const double adj = adjoints_[k + 1];
+    if (adj == 0.0) continue;
+    const std::uint64_t begin = k == 0 ? 0 : arg_ends_[k - 1];
+    const std::uint64_t end = arg_ends_[k];
+    for (std::uint64_t a = begin; a < end; ++a) {
+      adjoints_[arg_ids_[a]] += partials_[a] * adj;
+    }
+  }
+}
+
+void Tape::clear_adjoints() {
+  std::fill(adjoints_.begin(), adjoints_.end(), 0.0);
+}
+
+void Tape::reset() {
+  arg_ends_.clear();
+  partials_.clear();
+  arg_ids_.clear();
+  adjoints_.clear();
+  num_inputs_ = 0;
+  recording_ = false;
+}
+
+TapeStats Tape::stats() const noexcept {
+  TapeStats s;
+  s.num_statements = arg_ends_.size();
+  s.num_arguments = partials_.size();
+  s.num_inputs = num_inputs_;
+  s.memory_bytes = arg_ends_.capacity() * sizeof(std::uint64_t) +
+                   partials_.capacity() * sizeof(double) +
+                   arg_ids_.capacity() * sizeof(Identifier) +
+                   adjoints_.capacity() * sizeof(double);
+  return s;
+}
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,138 @@
+// Linear statement tape for reverse-mode automatic differentiation.
+//
+// Design (CoDiPack-style "Jacobi tape"):
+//  * Every active value carries an Identifier. Identifier 0 is the passive
+//    id: constants and inactive values.
+//  * Identifiers are assigned sequentially: statement k produces the value
+//    with id k+1.  Registered inputs are empty statements (no arguments), so
+//    the tape never stores left-hand sides explicitly.
+//  * Each statement stores its argument list as (partial derivative, id)
+//    pairs; passive arguments are dropped at record time.
+//  * The reverse sweep walks statements backwards, propagating
+//    adjoint(lhs) * partial into each argument's adjoint slot.
+//
+// The tape is explicitly activated per analysis (RAII ActiveTapeGuard); AD
+// scalars consult the thread-local active tape, so code templated on the
+// scalar type records itself with zero changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::ad {
+
+/// Tape node identifier; 0 means "passive" (constant, not on the tape).
+using Identifier = std::uint32_t;
+
+inline constexpr Identifier kPassiveId = 0;
+
+/// Size/memory counters used by reports and the perf benches.
+struct TapeStats {
+  std::uint64_t num_statements = 0;
+  std::uint64_t num_arguments = 0;
+  std::uint64_t num_inputs = 0;
+  std::uint64_t memory_bytes = 0;
+};
+
+class Tape {
+ public:
+  Tape() = default;
+
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // ---- recording -----------------------------------------------------
+
+  /// Pre-sizes internal arrays for roughly `statements` statements with
+  /// `args_per_statement` average arguments.  Purely an optimization.
+  void reserve(std::uint64_t statements, double args_per_statement = 2.0);
+
+  void begin_recording() noexcept { recording_ = true; }
+  void end_recording() noexcept { recording_ = false; }
+  [[nodiscard]] bool is_recording() const noexcept { return recording_; }
+
+  /// Registers an independent input and returns its identifier.
+  Identifier register_input();
+
+  /// Records a statement with up to `n` active arguments.  Passive
+  /// arguments (id == 0) must be filtered by the caller (the scalar type
+  /// does this).  Returns the identifier of the produced value.
+  Identifier push_statement(std::span<const double> partials,
+                            std::span<const Identifier> ids);
+
+  /// Fast paths used by the scalar operators.
+  Identifier push1(double partial, Identifier id);
+  Identifier push2(double p0, Identifier id0, double p1, Identifier id1);
+
+  // ---- adjoint evaluation ---------------------------------------------
+
+  /// Sets the adjoint of `id` (typically 1.0 on an output).
+  void set_adjoint(Identifier id, double value);
+
+  [[nodiscard]] double adjoint(Identifier id) const;
+
+  /// Reverse sweep over the whole tape, accumulating adjoints.
+  void evaluate();
+
+  /// Zeroes all adjoints (keeps the recording).
+  void clear_adjoints();
+
+  /// Drops the recording and all adjoints; identifiers restart at 1.
+  void reset();
+
+  // ---- introspection ---------------------------------------------------
+
+  [[nodiscard]] TapeStats stats() const noexcept;
+
+  [[nodiscard]] std::uint64_t num_statements() const noexcept {
+    return arg_ends_.size();
+  }
+
+  /// Highest identifier handed out so far.
+  [[nodiscard]] Identifier max_identifier() const noexcept {
+    return static_cast<Identifier>(arg_ends_.size());
+  }
+
+ private:
+  void ensure_adjoints();
+
+  // Statement k covers argument range [arg_ends_[k-1], arg_ends_[k])
+  // (with arg_ends_[-1] == 0) and defines identifier k+1.
+  std::vector<std::uint64_t> arg_ends_;
+  std::vector<double> partials_;
+  std::vector<Identifier> arg_ids_;
+  std::vector<double> adjoints_;  // indexed by identifier; [0] is a sink
+  std::uint64_t num_inputs_ = 0;
+  bool recording_ = false;
+};
+
+/// Thread-local active tape used by ad::Real operators.
+[[nodiscard]] Tape* active_tape() noexcept;
+void set_active_tape(Tape* tape) noexcept;
+
+/// RAII: installs `tape` as the active tape and starts recording;
+/// restores the previous tape (and stops recording) on destruction.
+class ActiveTapeGuard {
+ public:
+  explicit ActiveTapeGuard(Tape& tape) noexcept
+      : previous_(active_tape()), tape_(&tape) {
+    set_active_tape(tape_);
+    tape_->begin_recording();
+  }
+  ~ActiveTapeGuard() {
+    tape_->end_recording();
+    set_active_tape(previous_);
+  }
+  ActiveTapeGuard(const ActiveTapeGuard&) = delete;
+  ActiveTapeGuard& operator=(const ActiveTapeGuard&) = delete;
+
+ private:
+  Tape* previous_;
+  Tape* tape_;
+};
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,188 @@
+#include "ckpt/checkpoint_io.hpp"
+
+#include <vector>
+
+#include "support/binary_io.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x53435255'434B5031ull;  // "SCRU CKP1"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kModeFull = 0;
+constexpr std::uint8_t kModePruned = 1;
+}  // namespace
+
+WriteReport write_checkpoint(const std::filesystem::path& path,
+                             const CheckpointRegistry& registry,
+                             std::uint64_t step, const PruneMap* masks) {
+  WriteReport report;
+  BinaryWriter writer(path);
+  writer.write(kMagic);
+  writer.write(kVersion);
+  writer.write(step);
+  writer.write(static_cast<std::uint32_t>(registry.size()));
+
+  for (const VariableInfo& variable : registry.variables()) {
+    writer.write_string(variable.name);
+    writer.write(static_cast<std::uint8_t>(variable.type));
+    writer.write(variable.element_size());
+    writer.write(variable.num_elements);
+    writer.write(static_cast<std::uint8_t>(variable.shape.size()));
+    for (std::uint64_t dim : variable.shape) writer.write(dim);
+
+    const CriticalMask* mask = nullptr;
+    if (masks != nullptr) {
+      const auto it = masks->find(variable.name);
+      if (it != masks->end()) {
+        SCRUTINY_REQUIRE(it->second.size() == variable.num_elements,
+                         "mask size mismatch for " + variable.name);
+        mask = &it->second;
+      }
+    }
+
+    // Pruning only pays off when the dropped elements outweigh the region
+    // metadata; tiny or fully-critical variables fall back to full mode
+    // (strictly-greater test: break even still exercises pruned I/O).
+    if (mask != nullptr) {
+      const RegionList regions = RegionList::from_mask(*mask);
+      const std::uint64_t pruned_cost =
+          regions.covered_elements() * variable.element_size() +
+          regions.serialized_bytes();
+      if (pruned_cost > variable.total_bytes()) mask = nullptr;
+    }
+
+    const std::span<std::byte> bytes = variable.bytes();
+    if (mask == nullptr) {
+      writer.write(kModeFull);
+      writer.write_bytes(bytes.data(), bytes.size());
+      report.payload_bytes += bytes.size();
+      report.elements_written += variable.num_elements;
+    } else {
+      writer.write(kModePruned);
+      const RegionList regions = RegionList::from_mask(*mask);
+      writer.write(static_cast<std::uint64_t>(regions.num_regions()));
+      for (const Region& region : regions.regions()) {
+        writer.write(region.begin);
+        writer.write(region.end);
+      }
+      report.aux_bytes += regions.serialized_bytes();
+      const std::uint32_t esize = variable.element_size();
+      for (const Region& region : regions.regions()) {
+        writer.write_bytes(bytes.data() + region.begin * esize,
+                           region.length() * esize);
+        report.payload_bytes += region.length() * esize;
+        report.elements_written += region.length();
+      }
+      report.elements_skipped +=
+          variable.num_elements - regions.covered_elements();
+    }
+  }
+
+  const std::uint64_t crc = writer.crc();
+  writer.write(crc);
+  writer.commit();
+  report.file_bytes = std::filesystem::file_size(path);
+  return report;
+}
+
+RestoreReport restore_checkpoint(const std::filesystem::path& path,
+                                 const CheckpointRegistry& registry) {
+  BinaryReader reader(path);
+  SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
+                   "not a checkpoint file: " + path.string());
+  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
+                   "unsupported checkpoint version: " + path.string());
+
+  RestoreReport report;
+  report.step = reader.read<std::uint64_t>();
+  const auto num_vars = reader.read<std::uint32_t>();
+
+  // First pass: scatter payloads into bound memory.
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    const std::string name = reader.read_string();
+    const auto dtype = static_cast<DataType>(reader.read<std::uint8_t>());
+    const auto element_size = reader.read<std::uint32_t>();
+    const auto num_elements = reader.read<std::uint64_t>();
+    const auto ndim = reader.read<std::uint8_t>();
+    for (std::uint8_t d = 0; d < ndim; ++d) {
+      (void)reader.read<std::uint64_t>();
+    }
+
+    const VariableInfo* variable = registry.find(name);
+    SCRUTINY_REQUIRE(variable != nullptr,
+                     "checkpoint has unknown variable: " + name);
+    SCRUTINY_REQUIRE(variable->type == dtype,
+                     "type mismatch restoring " + name);
+    SCRUTINY_REQUIRE(variable->num_elements == num_elements,
+                     "element count mismatch restoring " + name);
+    SCRUTINY_REQUIRE(variable->element_size() == element_size,
+                     "element size mismatch restoring " + name);
+
+    const std::span<std::byte> bytes = variable->bytes();
+    const auto mode = reader.read<std::uint8_t>();
+    if (mode == kModeFull) {
+      reader.read_bytes(bytes.data(), bytes.size());
+      report.elements_restored += num_elements;
+    } else {
+      SCRUTINY_REQUIRE(mode == kModePruned,
+                       "corrupt section mode in " + path.string());
+      report.pruned = true;
+      const auto num_regions = reader.read<std::uint64_t>();
+      std::vector<Region> regions(num_regions);
+      for (Region& region : regions) {
+        region.begin = reader.read<std::uint64_t>();
+        region.end = reader.read<std::uint64_t>();
+        SCRUTINY_REQUIRE(region.begin < region.end &&
+                             region.end <= num_elements,
+                         "corrupt region restoring " + name);
+      }
+      std::uint64_t restored = 0;
+      for (const Region& region : regions) {
+        reader.read_bytes(bytes.data() + region.begin * element_size,
+                          region.length() * element_size);
+        restored += region.length();
+      }
+      report.elements_restored += restored;
+      report.elements_untouched += num_elements - restored;
+    }
+  }
+
+  const std::uint64_t computed = reader.crc();
+  const auto stored = reader.read<std::uint64_t>();
+  SCRUTINY_REQUIRE(computed == stored,
+                   "checkpoint CRC mismatch (corrupt or torn file): " +
+                       path.string());
+  return report;
+}
+
+std::uint64_t peek_checkpoint_step(const std::filesystem::path& path) {
+  BinaryReader reader(path);
+  SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
+                   "not a checkpoint file: " + path.string());
+  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
+                   "unsupported checkpoint version: " + path.string());
+  return reader.read<std::uint64_t>();
+}
+
+void save_regions_sidecar(const std::filesystem::path& checkpoint_path,
+                          const CheckpointRegistry& registry,
+                          const PruneMap& masks) {
+  RegionFile file;
+  for (const VariableInfo& variable : registry.variables()) {
+    const auto it = masks.find(variable.name);
+    if (it == masks.end()) continue;
+    VariableRegions regions;
+    regions.name = variable.name;
+    regions.element_size = variable.element_size();
+    regions.total_elements = variable.num_elements;
+    regions.critical = RegionList::from_mask(it->second);
+    file.variables.push_back(std::move(regions));
+  }
+  std::filesystem::path sidecar = checkpoint_path;
+  sidecar += ".regions";
+  file.save(sidecar);
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,70 @@
+// Checkpoint container format: write and restore.
+//
+// Layout (little-endian, CRC-64 trailer over the whole file):
+//   magic u64 | version u32 | step u64 | num_vars u32
+//   per variable:
+//     name (len-prefixed) | dtype u8 | elem_size u32 | num_elements u64
+//     ndim u8 | dims u64[ndim] | mode u8 (0 = full, 1 = pruned)
+//     pruned only: num_regions u64 | (begin u64, end u64)[num_regions]
+//     payload bytes (full: all elements; pruned: concatenated regions)
+//   crc u64
+//
+// Pruned sections embed their region lists, so a checkpoint file is
+// self-contained; `save_regions_sidecar` additionally emits the paper's
+// standalone auxiliary file for inspection and for the Table III
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ckpt/registry.hpp"
+#include "mask/critical_mask.hpp"
+#include "mask/region_file.hpp"
+
+namespace scrutiny::ckpt {
+
+/// Per-variable criticality masks; variables without an entry are written
+/// in full.
+using PruneMap = std::map<std::string, CriticalMask>;
+
+struct WriteReport {
+  std::uint64_t file_bytes = 0;        ///< container size on disk
+  std::uint64_t payload_bytes = 0;     ///< element data written
+  std::uint64_t aux_bytes = 0;         ///< region metadata written
+  std::uint64_t elements_written = 0;
+  std::uint64_t elements_skipped = 0;  ///< uncritical elements dropped
+};
+
+/// Writes a checkpoint of every registered variable at `step`.
+WriteReport write_checkpoint(const std::filesystem::path& path,
+                             const CheckpointRegistry& registry,
+                             std::uint64_t step,
+                             const PruneMap* masks = nullptr);
+
+struct RestoreReport {
+  std::uint64_t step = 0;
+  std::uint64_t elements_restored = 0;
+  std::uint64_t elements_untouched = 0;  ///< uncritical, left as-is
+  bool pruned = false;
+};
+
+/// Restores into the registry's bound memory.  Pruned variables only
+/// overwrite their critical regions; uncritical elements keep whatever the
+/// memory currently holds (after a failure: garbage — by design).
+RestoreReport restore_checkpoint(const std::filesystem::path& path,
+                                 const CheckpointRegistry& registry);
+
+/// Reads only the step stamp (for slot selection).
+[[nodiscard]] std::uint64_t peek_checkpoint_step(
+    const std::filesystem::path& path);
+
+/// Emits the paper-style standalone auxiliary file next to a checkpoint.
+void save_regions_sidecar(const std::filesystem::path& checkpoint_path,
+                          const CheckpointRegistry& registry,
+                          const PruneMap& masks);
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,111 @@
+#include "ckpt/failure.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::ckpt {
+
+void FailureInjector::poison_element(const VariableInfo& variable,
+                                     std::uint64_t index) const {
+  std::byte* target = variable.data + index * variable.element_size();
+  switch (variable.type) {
+    case DataType::Float64: {
+      const double poison = policy_.use_nan
+                                ? std::numeric_limits<double>::quiet_NaN()
+                                : policy_.float_poison;
+      std::memcpy(target, &poison, sizeof(poison));
+      break;
+    }
+    case DataType::Complex128: {
+      const double poison = policy_.use_nan
+                                ? std::numeric_limits<double>::quiet_NaN()
+                                : policy_.float_poison;
+      std::memcpy(target, &poison, sizeof(poison));
+      std::memcpy(target + sizeof(double), &poison, sizeof(poison));
+      break;
+    }
+    case DataType::Int32:
+      std::memcpy(target, &policy_.int32_poison, sizeof(policy_.int32_poison));
+      break;
+    case DataType::Int64:
+      std::memcpy(target, &policy_.int64_poison, sizeof(policy_.int64_poison));
+      break;
+  }
+}
+
+void FailureInjector::poison_all(const CheckpointRegistry& registry) const {
+  for (const VariableInfo& variable : registry.variables()) {
+    for (std::uint64_t i = 0; i < variable.num_elements; ++i) {
+      poison_element(variable, i);
+    }
+  }
+}
+
+void FailureInjector::poison_uncritical(const CheckpointRegistry& registry,
+                                        const PruneMap& masks) const {
+  for (const VariableInfo& variable : registry.variables()) {
+    const auto it = masks.find(variable.name);
+    if (it == masks.end()) continue;
+    SCRUTINY_REQUIRE(it->second.size() == variable.num_elements,
+                     "mask size mismatch poisoning " + variable.name);
+    for (std::uint64_t i = 0; i < variable.num_elements; ++i) {
+      if (!it->second.test(static_cast<std::size_t>(i))) {
+        poison_element(variable, i);
+      }
+    }
+  }
+}
+
+std::size_t FailureInjector::corrupt_critical(
+    const CheckpointRegistry& registry, const PruneMap& masks,
+    const std::string& variable_name, std::size_t count) const {
+  const VariableInfo* variable = registry.find(variable_name);
+  SCRUTINY_REQUIRE(variable != nullptr,
+                   "unknown variable: " + variable_name);
+  const auto it = masks.find(variable_name);
+  SCRUTINY_REQUIRE(it != masks.end(), "no mask for: " + variable_name);
+
+  std::vector<std::uint64_t> critical_indices;
+  critical_indices.reserve(it->second.count_critical());
+  for (std::uint64_t i = 0; i < variable->num_elements; ++i) {
+    if (it->second.test(static_cast<std::size_t>(i))) {
+      critical_indices.push_back(i);
+    }
+  }
+  if (critical_indices.empty()) return 0;
+
+  std::size_t corrupted = 0;
+  std::uint64_t state = seed_;
+  for (std::size_t c = 0; c < count; ++c) {
+    const double u = hashed_uniform(state++);
+    const auto pick = static_cast<std::size_t>(
+        u * static_cast<double>(critical_indices.size()));
+    poison_element(*variable,
+                   critical_indices[std::min(pick,
+                                             critical_indices.size() - 1)]);
+    ++corrupted;
+  }
+  return corrupted;
+}
+
+void FailureInjector::corrupt_file(const std::filesystem::path& path,
+                                   std::uint64_t byte_offset) {
+  std::fstream stream(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+  SCRUTINY_REQUIRE(stream.good(), "cannot open for corruption: " +
+                                      path.string());
+  stream.seekg(static_cast<std::streamoff>(byte_offset));
+  char byte = 0;
+  stream.read(&byte, 1);
+  SCRUTINY_REQUIRE(stream.good(), "corrupt offset beyond end of file");
+  byte = static_cast<char>(byte ^ 0x40);
+  stream.seekp(static_cast<std::streamoff>(byte_offset));
+  stream.write(&byte, 1);
+}
+
+}  // namespace scrutiny::ckpt

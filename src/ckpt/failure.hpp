@@ -1,0 +1,62 @@
+// Deterministic failure injection.
+//
+// Reproduces the paper's verification methodology (§IV-C): after a simulated
+// failure, uncritical elements hold garbage while critical elements are
+// restored from the pruned checkpoint; the run must still pass verification.
+// Conversely, corrupting a *critical* element without restoring it must
+// break verification — the negative control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "ckpt/registry.hpp"
+#include "mask/critical_mask.hpp"
+
+namespace scrutiny::ckpt {
+
+/// Poison values chosen to scream if they ever enter a computation.
+struct PoisonPolicy {
+  double float_poison = 1.0e30;
+  bool use_nan = true;  ///< overrides float_poison with quiet NaN
+  std::int32_t int32_poison = 0x7FFFFFF0;
+  std::int64_t int64_poison = 0x7FFFFFFFFFFFFF0ll;
+};
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(std::uint64_t seed = 0x5ca1ab1eull,
+                           PoisonPolicy policy = {})
+      : seed_(seed), policy_(policy) {}
+
+  /// Overwrites EVERY element of every registered variable — simulates a
+  /// node loss where memory content is gone.
+  void poison_all(const CheckpointRegistry& registry) const;
+
+  /// Overwrites only elements marked uncritical in `masks` (variables
+  /// without a mask untouched).  After a pruned restore this is exactly the
+  /// state a restarted application sees.
+  void poison_uncritical(const CheckpointRegistry& registry,
+                         const PruneMap& masks) const;
+
+  /// Overwrites `count` randomly chosen *critical* elements of `variable`.
+  /// Returns the number of elements corrupted (≤ count).
+  std::size_t corrupt_critical(const CheckpointRegistry& registry,
+                               const PruneMap& masks,
+                               const std::string& variable,
+                               std::size_t count) const;
+
+  /// Flips one bit in the middle of a file — torn-write simulation for
+  /// CRC tests.
+  static void corrupt_file(const std::filesystem::path& path,
+                           std::uint64_t byte_offset);
+
+ private:
+  void poison_element(const VariableInfo& variable, std::uint64_t index) const;
+
+  std::uint64_t seed_;
+  PoisonPolicy policy_;
+};
+
+}  // namespace scrutiny::ckpt

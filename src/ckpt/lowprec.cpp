@@ -1,0 +1,183 @@
+#include "ckpt/lowprec.hpp"
+
+#include <vector>
+
+#include "mask/region.hpp"
+#include "support/binary_io.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x53435255'4D495831ull;  // "SCRU MIX1"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kModeFull = 0;
+constexpr std::uint8_t kModeMixed = 2;
+
+void write_regions(BinaryWriter& writer, const RegionList& regions) {
+  writer.write(static_cast<std::uint64_t>(regions.num_regions()));
+  for (const Region& region : regions.regions()) {
+    writer.write(region.begin);
+    writer.write(region.end);
+  }
+}
+
+RegionList read_regions(BinaryReader& reader, std::uint64_t limit,
+                        const std::string& context) {
+  RegionList regions;
+  const auto count = reader.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Region region;
+    region.begin = reader.read<std::uint64_t>();
+    region.end = reader.read<std::uint64_t>();
+    SCRUTINY_REQUIRE(region.begin < region.end && region.end <= limit,
+                     "corrupt region in " + context);
+    regions.append(region);
+  }
+  return regions;
+}
+}  // namespace
+
+MixedWriteReport write_mixed_checkpoint(const std::filesystem::path& path,
+                                        const CheckpointRegistry& registry,
+                                        std::uint64_t step,
+                                        const PrecisionMap& plans) {
+  MixedWriteReport report;
+  BinaryWriter writer(path);
+  writer.write(kMagic);
+  writer.write(kVersion);
+  writer.write(step);
+  writer.write(static_cast<std::uint32_t>(registry.size()));
+
+  for (const VariableInfo& variable : registry.variables()) {
+    writer.write_string(variable.name);
+    writer.write(static_cast<std::uint8_t>(variable.type));
+    writer.write(variable.num_elements);
+
+    const auto it = plans.find(variable.name);
+    const bool mixed =
+        it != plans.end() && variable.type == DataType::Float64;
+    if (!mixed) {
+      writer.write(kModeFull);
+      const auto bytes = variable.bytes();
+      writer.write_bytes(bytes.data(), bytes.size());
+      report.payload_bytes += bytes.size();
+      report.f64_elements += variable.num_elements;
+      continue;
+    }
+
+    const PrecisionPlan& plan = it->second;
+    SCRUTINY_REQUIRE(plan.critical.size() == variable.num_elements &&
+                         plan.low_impact.size() == variable.num_elements,
+                     "precision plan size mismatch: " + variable.name);
+
+    // High = critical AND NOT low_impact; low = critical AND low_impact.
+    CriticalMask high = plan.critical;
+    CriticalMask low = plan.low_impact;
+    low.merge_and(plan.critical);
+    CriticalMask not_low = low;
+    not_low.invert();
+    high.merge_and(not_low);
+
+    const RegionList high_regions = RegionList::from_mask(high);
+    const RegionList low_regions = RegionList::from_mask(low);
+
+    writer.write(kModeMixed);
+    write_regions(writer, high_regions);
+    write_regions(writer, low_regions);
+    report.aux_bytes +=
+        high_regions.serialized_bytes() + low_regions.serialized_bytes();
+
+    const auto* values = reinterpret_cast<const double*>(variable.data);
+    for (const Region& region : high_regions.regions()) {
+      writer.write_bytes(values + region.begin,
+                         region.length() * sizeof(double));
+      report.payload_bytes += region.length() * sizeof(double);
+      report.f64_elements += region.length();
+    }
+    std::vector<float> narrow;
+    for (const Region& region : low_regions.regions()) {
+      narrow.resize(static_cast<std::size_t>(region.length()));
+      for (std::uint64_t i = 0; i < region.length(); ++i) {
+        narrow[static_cast<std::size_t>(i)] =
+            static_cast<float>(values[region.begin + i]);
+      }
+      writer.write_bytes(narrow.data(), narrow.size() * sizeof(float));
+      report.payload_bytes += region.length() * sizeof(float);
+      report.f32_elements += region.length();
+    }
+    report.dropped_elements += variable.num_elements -
+                               high_regions.covered_elements() -
+                               low_regions.covered_elements();
+  }
+
+  const std::uint64_t crc = writer.crc();
+  writer.write(crc);
+  writer.commit();
+  report.file_bytes = std::filesystem::file_size(path);
+  return report;
+}
+
+MixedRestoreReport restore_mixed_checkpoint(
+    const std::filesystem::path& path, const CheckpointRegistry& registry) {
+  BinaryReader reader(path);
+  SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
+                   "not a mixed checkpoint: " + path.string());
+  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
+                   "unsupported mixed checkpoint version: " + path.string());
+
+  MixedRestoreReport report;
+  report.step = reader.read<std::uint64_t>();
+  const auto num_vars = reader.read<std::uint32_t>();
+
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    const std::string name = reader.read_string();
+    const auto dtype = static_cast<DataType>(reader.read<std::uint8_t>());
+    const auto num_elements = reader.read<std::uint64_t>();
+
+    const VariableInfo* variable = registry.find(name);
+    SCRUTINY_REQUIRE(variable != nullptr, "unknown variable: " + name);
+    SCRUTINY_REQUIRE(variable->type == dtype &&
+                         variable->num_elements == num_elements,
+                     "metadata mismatch restoring " + name);
+
+    const auto mode = reader.read<std::uint8_t>();
+    if (mode == kModeFull) {
+      const auto bytes = variable->bytes();
+      reader.read_bytes(bytes.data(), bytes.size());
+      report.f64_elements += num_elements;
+      continue;
+    }
+    SCRUTINY_REQUIRE(mode == kModeMixed,
+                     "corrupt section mode in " + path.string());
+    const RegionList high = read_regions(reader, num_elements, name);
+    const RegionList low = read_regions(reader, num_elements, name);
+
+    auto* values = reinterpret_cast<double*>(variable->data);
+    for (const Region& region : high.regions()) {
+      reader.read_bytes(values + region.begin,
+                        region.length() * sizeof(double));
+      report.f64_elements += region.length();
+    }
+    std::vector<float> narrow;
+    for (const Region& region : low.regions()) {
+      narrow.resize(static_cast<std::size_t>(region.length()));
+      reader.read_bytes(narrow.data(), narrow.size() * sizeof(float));
+      for (std::uint64_t i = 0; i < region.length(); ++i) {
+        values[region.begin + i] =
+            static_cast<double>(narrow[static_cast<std::size_t>(i)]);
+      }
+      report.f32_elements += region.length();
+    }
+    report.untouched_elements +=
+        num_elements - high.covered_elements() - low.covered_elements();
+  }
+
+  const std::uint64_t computed = reader.crc();
+  const auto stored = reader.read<std::uint64_t>();
+  SCRUTINY_REQUIRE(computed == stored,
+                   "mixed checkpoint CRC mismatch: " + path.string());
+  return report;
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,60 @@
+// Mixed-precision checkpointing — the paper's future-work direction (§VII):
+// "...potentially benefits to accelerate applications by using lower
+// precision for uncritical or even those elements that are of very low
+// impact in the future."
+//
+// Elements are written in three classes:
+//   * uncritical        -> dropped entirely (as in the pruned writer),
+//   * low-impact        -> stored as float32 (half the bytes),
+//   * high-impact       -> stored as float64.
+// The low-impact class comes from core::partition_by_impact over the
+// |∂output/∂element| magnitudes captured during the reverse sweep.
+// Restoring widens the f32 payload back to f64, introducing a bounded
+// relative error of ~1.2e-7 on low-impact elements only.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "ckpt/registry.hpp"
+#include "mask/critical_mask.hpp"
+
+namespace scrutiny::ckpt {
+
+/// Per-variable precision plan.
+struct PrecisionPlan {
+  CriticalMask critical;    ///< set = persist (same as PruneMap mask)
+  CriticalMask low_impact;  ///< subset of critical stored as f32
+};
+
+using PrecisionMap = std::map<std::string, PrecisionPlan>;
+
+struct MixedWriteReport {
+  std::uint64_t file_bytes = 0;
+  std::uint64_t f64_elements = 0;
+  std::uint64_t f32_elements = 0;
+  std::uint64_t dropped_elements = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t aux_bytes = 0;
+};
+
+/// Writes a mixed-precision checkpoint.  Only Float64 variables may carry a
+/// precision plan; other variables (and planless ones) are written in full.
+MixedWriteReport write_mixed_checkpoint(const std::filesystem::path& path,
+                                        const CheckpointRegistry& registry,
+                                        std::uint64_t step,
+                                        const PrecisionMap& plans);
+
+struct MixedRestoreReport {
+  std::uint64_t step = 0;
+  std::uint64_t f64_elements = 0;
+  std::uint64_t f32_elements = 0;
+  std::uint64_t untouched_elements = 0;
+};
+
+MixedRestoreReport restore_mixed_checkpoint(
+    const std::filesystem::path& path, const CheckpointRegistry& registry);
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,85 @@
+#include "ckpt/manager.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace scrutiny::ckpt {
+
+CheckpointManager::CheckpointManager(ManagerConfig config)
+    : config_(std::move(config)) {
+  SCRUTINY_REQUIRE(config_.interval > 0, "checkpoint interval must be > 0");
+  SCRUTINY_REQUIRE(config_.keep_slots > 0, "must keep at least one slot");
+  std::filesystem::create_directories(config_.directory);
+}
+
+std::filesystem::path CheckpointManager::path_for_step(
+    std::uint64_t step) const {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%08llu.ckpt",
+                static_cast<unsigned long long>(step));
+  return config_.directory / (config_.basename + suffix);
+}
+
+std::optional<WriteReport> CheckpointManager::maybe_checkpoint(
+    std::uint64_t step, const CheckpointRegistry& registry) {
+  if (step % config_.interval != 0) return std::nullopt;
+  return checkpoint_now(step, registry);
+}
+
+WriteReport CheckpointManager::checkpoint_now(
+    std::uint64_t step, const CheckpointRegistry& registry) {
+  const std::filesystem::path path = path_for_step(step);
+  const PruneMap* masks = masks_.empty() ? nullptr : &masks_;
+  WriteReport report = write_checkpoint(path, registry, step, masks);
+  if (config_.write_regions_sidecar && masks != nullptr) {
+    save_regions_sidecar(path, registry, masks_);
+  }
+  rotate_slots();
+  return report;
+}
+
+std::vector<std::filesystem::path> CheckpointManager::list_checkpoints()
+    const {
+  std::vector<std::filesystem::path> paths;
+  if (!std::filesystem::exists(config_.directory)) return paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind(config_.basename + ".", 0) == 0 &&
+        filename.size() > 5 &&
+        filename.compare(filename.size() - 5, 5, ".ckpt") == 0) {
+      paths.push_back(entry.path());
+    }
+  }
+  // Step number is zero-padded, so lexicographic descending = newest first.
+  std::sort(paths.begin(), paths.end(), std::greater<>());
+  return paths;
+}
+
+std::optional<RestoreReport> CheckpointManager::restart(
+    const CheckpointRegistry& registry) {
+  for (const std::filesystem::path& path : list_checkpoints()) {
+    try {
+      return restore_checkpoint(path, registry);
+    } catch (const ScrutinyError& error) {
+      log_warn("ckpt", "skipping unusable checkpoint " + path.string() +
+                           ": " + error.what());
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckpointManager::rotate_slots() {
+  std::vector<std::filesystem::path> paths = list_checkpoints();
+  for (std::size_t i = config_.keep_slots; i < paths.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(paths[i], ec);
+    std::filesystem::path sidecar = paths[i];
+    sidecar += ".regions";
+    std::filesystem::remove(sidecar, ec);
+  }
+}
+
+}  // namespace scrutiny::ckpt

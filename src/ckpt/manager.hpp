@@ -1,0 +1,72 @@
+// Checkpoint lifecycle management: intervals, slot rotation, latest-wins
+// restart.
+//
+// Mirrors how application-level C/R libraries (SCR, FTI, VELOC) are driven:
+// the application calls maybe_checkpoint(step) inside its main loop; the
+// manager decides when to write, keeps the newest `keep_slots` files, and
+// restart() finds the most recent valid checkpoint (skipping corrupt ones —
+// multi-version durability, §II-A of the paper).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "ckpt/registry.hpp"
+
+namespace scrutiny::ckpt {
+
+struct ManagerConfig {
+  std::filesystem::path directory = ".";
+  std::string basename = "ckpt";
+  std::uint64_t interval = 1;   ///< checkpoint every N steps
+  std::uint32_t keep_slots = 2; ///< newest files retained
+  bool write_regions_sidecar = false;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(ManagerConfig config);
+
+  /// Attaches criticality masks; subsequent writes prune with them.
+  void set_prune_map(PruneMap masks) { masks_ = std::move(masks); }
+  void clear_prune_map() { masks_.clear(); }
+  [[nodiscard]] bool pruning_enabled() const noexcept {
+    return !masks_.empty();
+  }
+
+  /// Writes a checkpoint if `step` is on the interval. Returns the report
+  /// when a checkpoint was written.
+  std::optional<WriteReport> maybe_checkpoint(
+      std::uint64_t step, const CheckpointRegistry& registry);
+
+  /// Unconditional write.
+  WriteReport checkpoint_now(std::uint64_t step,
+                             const CheckpointRegistry& registry);
+
+  /// Restores the newest valid checkpoint; returns nullopt when none exists.
+  /// Corrupt files (bad CRC/truncated) are skipped with a warning, falling
+  /// back to older slots.
+  std::optional<RestoreReport> restart(const CheckpointRegistry& registry);
+
+  /// Checkpoint files managed in this directory, newest step first.
+  [[nodiscard]] std::vector<std::filesystem::path> list_checkpoints() const;
+
+  [[nodiscard]] const ManagerConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] std::filesystem::path path_for_step(
+      std::uint64_t step) const;
+
+ private:
+  void rotate_slots();
+
+  ManagerConfig config_;
+  PruneMap masks_;
+};
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,91 @@
+#include "ckpt/registry.hpp"
+
+namespace scrutiny::ckpt {
+
+void CheckpointRegistry::add(VariableInfo info) {
+  SCRUTINY_REQUIRE(!info.name.empty(), "variable name must not be empty");
+  SCRUTINY_REQUIRE(find(info.name) == nullptr,
+                   "duplicate variable name: " + info.name);
+  if (!info.shape.empty()) {
+    std::uint64_t product = 1;
+    for (std::uint64_t extent : info.shape) product *= extent;
+    SCRUTINY_REQUIRE(product == info.num_elements,
+                     "shape does not match element count: " + info.name);
+  }
+  variables_.push_back(std::move(info));
+}
+
+void CheckpointRegistry::register_f64(const std::string& name,
+                                      std::span<double> data,
+                                      std::vector<std::uint64_t> shape) {
+  VariableInfo info;
+  info.name = name;
+  info.type = DataType::Float64;
+  info.num_elements = data.size();
+  info.shape = std::move(shape);
+  info.data = reinterpret_cast<std::byte*>(data.data());
+  add(std::move(info));
+}
+
+void CheckpointRegistry::register_i32(const std::string& name,
+                                      std::span<std::int32_t> data,
+                                      std::vector<std::uint64_t> shape) {
+  VariableInfo info;
+  info.name = name;
+  info.type = DataType::Int32;
+  info.num_elements = data.size();
+  info.shape = std::move(shape);
+  info.data = reinterpret_cast<std::byte*>(data.data());
+  add(std::move(info));
+}
+
+void CheckpointRegistry::register_i64(const std::string& name,
+                                      std::span<std::int64_t> data,
+                                      std::vector<std::uint64_t> shape) {
+  VariableInfo info;
+  info.name = name;
+  info.type = DataType::Int64;
+  info.num_elements = data.size();
+  info.shape = std::move(shape);
+  info.data = reinterpret_cast<std::byte*>(data.data());
+  add(std::move(info));
+}
+
+void CheckpointRegistry::register_c128(const std::string& name,
+                                       std::span<double> reim_pairs,
+                                       std::vector<std::uint64_t> shape) {
+  SCRUTINY_REQUIRE(reim_pairs.size() % 2 == 0,
+                   "complex variable needs an even number of doubles: " +
+                       name);
+  VariableInfo info;
+  info.name = name;
+  info.type = DataType::Complex128;
+  info.num_elements = reim_pairs.size() / 2;
+  info.shape = std::move(shape);
+  info.data = reinterpret_cast<std::byte*>(reim_pairs.data());
+  add(std::move(info));
+}
+
+const VariableInfo* CheckpointRegistry::find(const std::string& name) const {
+  for (const VariableInfo& variable : variables_) {
+    if (variable.name == name) return &variable;
+  }
+  return nullptr;
+}
+
+VariableInfo* CheckpointRegistry::find(const std::string& name) {
+  for (VariableInfo& variable : variables_) {
+    if (variable.name == name) return &variable;
+  }
+  return nullptr;
+}
+
+std::uint64_t CheckpointRegistry::total_payload_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const VariableInfo& variable : variables_) {
+    total += variable.total_bytes();
+  }
+  return total;
+}
+
+}  // namespace scrutiny::ckpt

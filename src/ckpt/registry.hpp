@@ -1,0 +1,62 @@
+// Registry of variables necessary for checkpointing.
+//
+// Applications register the variables they determined necessary (the paper
+// does this "manually by trial-and-error", Table I); the registry is then
+// handed to the writer/reader and, together with per-variable criticality
+// masks, defines exactly what a checkpoint contains.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckpt/variable.hpp"
+
+namespace scrutiny::ckpt {
+
+class CheckpointRegistry {
+ public:
+  /// Registers a typed array.  The memory must outlive the registry use.
+  void register_f64(const std::string& name, std::span<double> data,
+                    std::vector<std::uint64_t> shape = {});
+  void register_i32(const std::string& name, std::span<std::int32_t> data,
+                    std::vector<std::uint64_t> shape = {});
+  void register_i64(const std::string& name, std::span<std::int64_t> data,
+                    std::vector<std::uint64_t> shape = {});
+  /// `data` views interleaved (re,im) pairs; num_elements = pairs.
+  void register_c128(const std::string& name, std::span<double> reim_pairs,
+                     std::vector<std::uint64_t> shape = {});
+
+  /// Scalar convenience (span of one).
+  void register_scalar(const std::string& name, double& value) {
+    register_f64(name, std::span<double>(&value, 1));
+  }
+  void register_scalar(const std::string& name, std::int32_t& value) {
+    register_i32(name, std::span<std::int32_t>(&value, 1));
+  }
+  void register_scalar(const std::string& name, std::int64_t& value) {
+    register_i64(name, std::span<std::int64_t>(&value, 1));
+  }
+
+  [[nodiscard]] const std::vector<VariableInfo>& variables() const noexcept {
+    return variables_;
+  }
+
+  [[nodiscard]] const VariableInfo* find(const std::string& name) const;
+  [[nodiscard]] VariableInfo* find(const std::string& name);
+
+  /// Sum of all payload bytes (the "Original" column of Table III).
+  [[nodiscard]] std::uint64_t total_payload_bytes() const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return variables_.size();
+  }
+
+ private:
+  void add(VariableInfo info);
+
+  std::vector<VariableInfo> variables_;
+};
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,69 @@
+// Checkpoint variable descriptors.
+//
+// A "variable" in the paper's sense (§III-A): a named memory region whose
+// elements are candidates for checkpointing.  The registry stores untyped
+// byte views plus element metadata so the writer/reader can treat doubles,
+// ints and dcomplex uniformly; criticality masks index *elements*, never
+// bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+enum class DataType : std::uint8_t {
+  Float64 = 0,
+  Int32 = 1,
+  Int64 = 2,
+  Complex128 = 3,  ///< NPB dcomplex: two doubles per element
+};
+
+[[nodiscard]] constexpr std::uint32_t element_size_of(DataType type) {
+  switch (type) {
+    case DataType::Float64: return 8;
+    case DataType::Int32: return 4;
+    case DataType::Int64: return 8;
+    case DataType::Complex128: return 16;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr const char* data_type_name(DataType type) {
+  switch (type) {
+    case DataType::Float64: return "f64";
+    case DataType::Int32: return "i32";
+    case DataType::Int64: return "i64";
+    case DataType::Complex128: return "c128";
+  }
+  return "?";
+}
+
+struct VariableInfo {
+  std::string name;
+  DataType type = DataType::Float64;
+  std::uint64_t num_elements = 0;
+  std::vector<std::uint64_t> shape;  ///< row-major; empty for scalars
+  std::byte* data = nullptr;         ///< bound application memory
+
+  [[nodiscard]] std::uint32_t element_size() const noexcept {
+    return element_size_of(type);
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return num_elements * element_size();
+  }
+  [[nodiscard]] std::span<std::byte> bytes() const {
+    SCRUTINY_REQUIRE(data != nullptr, "variable not bound: " + name);
+    return {data, static_cast<std::size_t>(total_bytes())};
+  }
+  [[nodiscard]] bool is_integer() const noexcept {
+    return type == DataType::Int32 || type == DataType::Int64;
+  }
+};
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,159 @@
+// scrutiny — command-line front end.
+//
+// Subcommands:
+//   analyze <bench> [--mode reverse-ad|forward-ad|read-set|finite-diff]
+//                   [--warmup N] [--window N] [--threshold X]
+//       Run the criticality analysis and print the Table II rows.
+//   storage <bench> [--dir PATH]
+//       Write full + pruned checkpoints and print the Table III row.
+//   verify <bench> [--dir PATH]
+//       Run the §IV-C restart verification protocol.
+//   viz <bench> <variable> [--out PATH.ppm] [--width N]
+//       Emit the critical/uncritical distribution as ASCII + PPM.
+//   list
+//       Show the benchmark inventory (Table I).
+#include <cstdio>
+#include <string>
+
+#include "core/report.hpp"
+#include "npb/expected_masks.hpp"
+#include "npb/paper_reference.hpp"
+#include "npb/suite.hpp"
+#include "support/cli_args.hpp"
+#include "support/error.hpp"
+#include "support/format_util.hpp"
+#include "support/table_printer.hpp"
+#include "viz/viz.hpp"
+
+namespace {
+
+using namespace scrutiny;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scrutiny <analyze|storage|verify|viz|list> "
+               "[benchmark] [options]\n");
+  return 2;
+}
+
+core::AnalysisMode parse_mode(const std::string& text) {
+  if (text == "reverse-ad") return core::AnalysisMode::ReverseAD;
+  if (text == "forward-ad") return core::AnalysisMode::ForwardAD;
+  if (text == "read-set") return core::AnalysisMode::ReadSet;
+  if (text == "finite-diff") return core::AnalysisMode::FiniteDiff;
+  throw ScrutinyError("unknown analysis mode: " + text);
+}
+
+int cmd_list() {
+  TablePrinter table({"Benchmark", "Variable", "Elements", "Type"});
+  for (npb::BenchmarkId id : npb::all_benchmarks()) {
+    const auto analysis = npb::analyze_benchmark(
+        id, npb::default_analysis_config(
+                id, id == npb::BenchmarkId::IS
+                        ? core::AnalysisMode::ReadSet
+                        : core::AnalysisMode::ReverseAD));
+    for (const auto& variable : analysis.variables) {
+      table.add_row({npb::benchmark_name(id), variable.name,
+                     with_commas(variable.total_elements()),
+                     variable.is_integer ? "int" : "float"});
+    }
+    table.add_rule();
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_analyze(npb::BenchmarkId id, const CliArgs& args) {
+  core::AnalysisConfig cfg = npb::default_analysis_config(
+      id, parse_mode(args.get("mode", "reverse-ad")));
+  cfg.warmup_steps = static_cast<int>(args.get_int("warmup",
+                                                   cfg.warmup_steps));
+  cfg.window_steps = static_cast<int>(args.get_int("window",
+                                                   cfg.window_steps));
+  cfg.threshold = args.get_double("threshold", cfg.threshold);
+  const auto result = npb::analyze_benchmark(id, cfg);
+  std::fputs(core::format_analysis_summary(result).c_str(), stdout);
+  std::fputs(core::format_criticality_table(result).c_str(), stdout);
+  return 0;
+}
+
+int cmd_storage(npb::BenchmarkId id, const CliArgs& args) {
+  const auto analysis = npb::analyze_benchmark(
+      id, npb::default_analysis_config(
+              id, id == npb::BenchmarkId::IS ? core::AnalysisMode::ReadSet
+                                             : core::AnalysisMode::ReverseAD));
+  const auto comparison = npb::compare_checkpoint_storage(
+      id, analysis, args.get("dir", "scrutiny_ckpt_out"));
+  TablePrinter table({"Benchmark", "Original", "Optimized", "Storage saved"});
+  table.add_row({comparison.program, human_bytes(comparison.payload_full),
+                 human_bytes(comparison.payload_pruned),
+                 percent(comparison.payload_saving())});
+  table.print();
+  return 0;
+}
+
+int cmd_verify(npb::BenchmarkId id, const CliArgs& args) {
+  const auto analysis = npb::analyze_benchmark(
+      id, npb::default_analysis_config(
+              id, id == npb::BenchmarkId::IS ? core::AnalysisMode::ReadSet
+                                             : core::AnalysisMode::ReverseAD));
+  const auto verification = npb::verify_restart(
+      id, analysis, args.get("dir", "scrutiny_ckpt_out"));
+  std::printf("pruned restart matches uninterrupted run: %s\n",
+              verification.pruned_restart_matches ? "YES" : "NO");
+  std::printf("critical-corruption detected:             %s\n",
+              verification.negative_control_detected ? "YES" : "NO");
+  return verification.pruned_restart_matches &&
+                 verification.negative_control_detected
+             ? 0
+             : 1;
+}
+
+int cmd_viz(npb::BenchmarkId id, const CliArgs& args) {
+  if (args.positional().size() < 3) return usage();
+  const std::string variable = args.positional()[2];
+  const auto analysis = npb::analyze_benchmark(
+      id, npb::default_analysis_config(
+              id, id == npb::BenchmarkId::IS ? core::AnalysisMode::ReadSet
+                                             : core::AnalysisMode::ReverseAD));
+  const auto* result = analysis.find(variable);
+  SCRUTINY_REQUIRE(result != nullptr,
+                   "no such variable in " + analysis.program + ": " +
+                       variable);
+  const auto width =
+      static_cast<std::size_t>(args.get_int("width", 80));
+  std::printf("%s(%s): %s\n", analysis.program.c_str(), variable.c_str(),
+              viz::run_length_summary(result->mask).c_str());
+  std::printf("[%s]\n", viz::ascii_strip(result->mask, width).c_str());
+  const std::string out =
+      args.get("out", analysis.program + "_" + variable + ".ppm");
+  viz::write_ppm_strip(out, result->mask, 256);
+  std::printf("image written: %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string command = args.positional()[0];
+  try {
+    if (command == "list") return cmd_list();
+    if (args.positional().size() < 2) return usage();
+    const auto id = npb::parse_benchmark(args.positional()[1]);
+    if (!id.has_value()) {
+      std::fprintf(stderr, "unknown benchmark: %s\n",
+                   args.positional()[1].c_str());
+      return 2;
+    }
+    if (command == "analyze") return cmd_analyze(*id, args);
+    if (command == "storage") return cmd_storage(*id, args);
+    if (command == "verify") return cmd_verify(*id, args);
+    if (command == "viz") return cmd_viz(*id, args);
+    return usage();
+  } catch (const scrutiny::ScrutinyError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,114 @@
+// Types shared by the criticality analyzer and its consumers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ad/tape.hpp"
+#include "ckpt/checkpoint_io.hpp"
+#include "mask/critical_mask.hpp"
+
+namespace scrutiny::core {
+
+/// How element criticality is decided.
+enum class AnalysisMode : std::uint8_t {
+  ReverseAD,   ///< the paper's method: one reverse sweep per output
+  ForwardAD,   ///< one dual-number run per element (ablation baseline)
+  ReadSet,     ///< "was the checkpointed value ever consumed" activity
+  FiniteDiff,  ///< central differences, two reruns per element
+};
+
+[[nodiscard]] constexpr const char* analysis_mode_name(AnalysisMode mode) {
+  switch (mode) {
+    case AnalysisMode::ReverseAD: return "reverse-ad";
+    case AnalysisMode::ForwardAD: return "forward-ad";
+    case AnalysisMode::ReadSet: return "read-set";
+    case AnalysisMode::FiniteDiff: return "finite-diff";
+  }
+  return "?";
+}
+
+struct AnalysisConfig {
+  AnalysisMode mode = AnalysisMode::ReverseAD;
+
+  /// Steps run before the checkpoint is (conceptually) taken.
+  int warmup_steps = 0;
+
+  /// Post-checkpoint steps the analysis covers.  Criticality is defined
+  /// over this window plus the output/verification computation; NPB access
+  /// patterns are iteration-stationary, so one window step already exposes
+  /// the paper's read sets (larger windows can only add critical elements).
+  int window_steps = 1;
+
+  /// |derivative| must exceed this to count as "impact".  0 = any nonzero,
+  /// the paper's criterion.
+  double threshold = 0.0;
+
+  /// ForwardAD/FiniteDiff: probe every `sample_stride`-th element; skipped
+  /// elements are conservatively marked critical.
+  std::uint64_t sample_stride = 1;
+
+  /// Optional tape pre-sizing (statements); 0 = grow on demand.
+  std::uint64_t tape_reserve_statements = 0;
+
+  /// Non-differentiable integer variables are critical by policy (the
+  /// paper's treatment of loop indices and sort keys).
+  bool integers_critical_by_type = true;
+
+  /// ReverseAD only: also accumulate per-element |adjoint| magnitudes —
+  /// the impact ranking behind the paper's future-work idea of storing
+  /// low-impact elements in lower precision.
+  bool capture_impact = false;
+};
+
+/// Criticality verdict for one checkpointed variable.
+struct VariableCriticality {
+  std::string name;
+  std::vector<std::uint64_t> shape;  ///< element-granularity shape
+  std::uint32_t element_size = 0;    ///< bytes per element on disk
+  bool is_integer = false;
+  CriticalMask mask;                 ///< bit per element, set = critical
+
+  /// Present when AnalysisConfig::capture_impact: Σ_outputs |∂out/∂elem|
+  /// (max over the components of a multi-component element).
+  std::vector<double> impact;
+
+  [[nodiscard]] std::size_t total_elements() const noexcept {
+    return mask.size();
+  }
+  [[nodiscard]] std::size_t uncritical_elements() const noexcept {
+    return mask.count_uncritical();
+  }
+  [[nodiscard]] double uncritical_rate() const noexcept {
+    return mask.uncritical_rate();
+  }
+};
+
+struct AnalysisResult {
+  std::string program;
+  AnalysisMode mode = AnalysisMode::ReverseAD;
+  std::vector<VariableCriticality> variables;
+  std::size_t num_outputs = 0;
+  ad::TapeStats tape_stats;   ///< ReverseAD only
+  double record_seconds = 0.0;
+  double sweep_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] const VariableCriticality* find(
+      const std::string& name) const {
+    for (const VariableCriticality& v : variables) {
+      if (v.name == name) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Masks in the form the pruned checkpoint writer consumes.
+  [[nodiscard]] ckpt::PruneMap to_prune_map() const {
+    ckpt::PruneMap map;
+    for (const VariableCriticality& v : variables) map[v.name] = v.mask;
+    return map;
+  }
+};
+
+}  // namespace scrutiny::core

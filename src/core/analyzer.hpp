@@ -1,0 +1,413 @@
+// The criticality analyzer — the paper's core contribution.
+//
+// Given a program templated on its scalar type, the analyzer decides, for
+// every element of every checkpointed variable, whether that element can
+// influence the program's outputs over the post-checkpoint window:
+//
+//   ReverseAD (paper): run the window once with ad::Real recording on the
+//     tape; one reverse sweep per program output harvests ∂out/∂element for
+//     ALL elements simultaneously.
+//   ForwardAD: one dual-number rerun per element — the cost mirror-image of
+//     reverse mode, kept as an ablation and cross-check.
+//   ReadSet: track whether each checkpointed value is consumed before being
+//     overwritten (the "algorithmic analysis" of the paper's Discussion).
+//   FiniteDiff: two primal reruns per element, assumption-free baseline.
+//
+// Program concept (see src/npb for eight implementations):
+//
+//   template <typename T> class App {
+//    public:
+//     using Config = ...;                      // scalar-type independent
+//     static constexpr const char* kName;
+//     explicit App(const Config&);
+//     void init();                             // deterministic setup
+//     void step();                             // one main-loop iteration
+//     std::vector<T> outputs();                // verification values
+//     std::vector<core::VarBind<T>> checkpoint_bindings();
+//   };
+//
+// App must be copyable (ForwardAD/FiniteDiff replay from copies).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ad/forward.hpp"
+#include "ad/num_traits.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+#include "ad/tape.hpp"
+#include "core/analysis_types.hpp"
+#include "core/var_bind.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace scrutiny::core {
+
+namespace detail {
+
+/// Builds the result skeleton (names, shapes, default masks) from bindings.
+template <typename T>
+void init_result_variables(AnalysisResult& result,
+                           const std::vector<VarBind<T>>& binds,
+                           const AnalysisConfig& cfg, bool default_critical) {
+  for (const VarBind<T>& bind : binds) {
+    bind.validate();
+    VariableCriticality variable;
+    variable.name = bind.name;
+    variable.shape = bind.shape;
+    variable.element_size = bind.element_size;
+    variable.is_integer = bind.is_integer;
+    if (bind.is_integer) {
+      variable.mask = CriticalMask(bind.num_elements,
+                                   cfg.integers_critical_by_type);
+    } else {
+      variable.mask = CriticalMask(bind.num_elements, default_critical);
+    }
+    if (cfg.capture_impact && !bind.is_integer) {
+      variable.impact.assign(bind.num_elements, 0.0);
+    }
+    result.variables.push_back(std::move(variable));
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// ReverseAD
+// ---------------------------------------------------------------------------
+
+template <template <typename> class App>
+AnalysisResult analyze_reverse_ad(const typename App<ad::Real>::Config& acfg,
+                                  const AnalysisConfig& cfg) {
+  Timer total_timer;
+  AnalysisResult result;
+  result.program = App<ad::Real>::kName;
+  result.mode = AnalysisMode::ReverseAD;
+
+  App<ad::Real> app(acfg);
+  app.init();
+  for (int s = 0; s < cfg.warmup_steps; ++s) app.step();
+
+  ad::Tape tape;
+  if (cfg.tape_reserve_statements > 0) {
+    tape.reserve(cfg.tape_reserve_statements);
+  }
+
+  std::vector<VarBind<ad::Real>> binds;
+  std::vector<std::vector<ad::Identifier>> input_ids;
+  std::vector<ad::Real> outputs;
+
+  Timer record_timer;
+  {
+    ad::ActiveTapeGuard guard(tape);
+    binds = app.checkpoint_bindings();
+    detail::init_result_variables(result, binds, cfg,
+                                  /*default_critical=*/false);
+    input_ids.resize(binds.size());
+    for (std::size_t b = 0; b < binds.size(); ++b) {
+      if (binds[b].is_integer) continue;
+      input_ids[b].reserve(binds[b].values.size());
+      for (ad::Real& value : binds[b].values) {
+        value.register_input();
+        input_ids[b].push_back(value.id());
+      }
+    }
+    for (int s = 0; s < cfg.window_steps; ++s) app.step();
+    outputs = app.outputs();
+  }
+  result.record_seconds = record_timer.seconds();
+  result.num_outputs = outputs.size();
+  result.tape_stats = tape.stats();
+
+  Timer sweep_timer;
+  for (const ad::Real& output : outputs) {
+    if (!output.is_active()) continue;  // constant output: no dependencies
+    tape.clear_adjoints();
+    tape.set_adjoint(output.id(), 1.0);
+    tape.evaluate();
+
+    for (std::size_t b = 0; b < binds.size(); ++b) {
+      if (binds[b].is_integer) continue;
+      VariableCriticality& variable = result.variables[b];
+      const std::uint32_t comps = binds[b].components_per_element;
+      for (std::size_t c = 0; c < input_ids[b].size(); ++c) {
+        const double adj = std::fabs(tape.adjoint(input_ids[b][c]));
+        if (adj > cfg.threshold) {
+          variable.mask.set(c / comps, true);
+        }
+        if (cfg.capture_impact) {
+          double& slot = variable.impact[c / comps];
+          slot = std::max(slot, adj);
+        }
+      }
+    }
+  }
+  result.sweep_seconds = sweep_timer.seconds();
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ReadSet
+// ---------------------------------------------------------------------------
+
+template <template <typename> class App, typename Inner = double>
+AnalysisResult analyze_read_set(
+    const typename App<ad::Marked<Inner>>::Config& acfg,
+    const AnalysisConfig& cfg) {
+  using M = ad::Marked<Inner>;
+  Timer total_timer;
+  AnalysisResult result;
+  result.program = App<M>::kName;
+  result.mode = AnalysisMode::ReadSet;
+
+  App<M> app(acfg);
+  app.init();
+  for (int s = 0; s < cfg.warmup_steps; ++s) app.step();
+
+  std::vector<VarBind<M>> binds = app.checkpoint_bindings();
+  detail::init_result_variables(result, binds, cfg,
+                                /*default_critical=*/false);
+
+  std::uint64_t total_components = 0;
+  for (const VarBind<M>& bind : binds) {
+    if (!bind.is_integer) total_components += bind.values.size();
+  }
+  ad::ReadSetTracker tracker(static_cast<std::size_t>(total_components));
+
+  Timer record_timer;
+  {
+    ad::ActiveTrackerGuard guard(tracker);
+    std::int64_t offset = 0;
+    for (VarBind<M>& bind : binds) {
+      if (bind.is_integer) continue;
+      for (M& value : bind.values) value.set_origin(offset++);
+    }
+    for (int s = 0; s < cfg.window_steps; ++s) app.step();
+    std::vector<M> outputs = app.outputs();
+    result.num_outputs = outputs.size();
+  }
+  result.record_seconds = record_timer.seconds();
+
+  std::size_t offset = 0;
+  for (std::size_t b = 0; b < binds.size(); ++b) {
+    if (binds[b].is_integer) continue;
+    VariableCriticality& variable = result.variables[b];
+    const std::uint32_t comps = binds[b].components_per_element;
+    for (std::size_t c = 0; c < binds[b].values.size(); ++c) {
+      if (tracker.was_read(offset + c)) {
+        variable.mask.set(c / comps, true);
+      }
+    }
+    offset += binds[b].values.size();
+  }
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ForwardAD / FiniteDiff — per-element replay from a warmed-up base copy
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Per-component probe bookkeeping shared by the two replay modes.
+struct ProbeSite {
+  std::size_t bind_index;
+  std::size_t component_index;
+};
+
+template <typename T>
+std::vector<ProbeSite> collect_probe_sites(
+    const std::vector<VarBind<T>>& binds, std::uint64_t stride) {
+  std::vector<ProbeSite> sites;
+  for (std::size_t b = 0; b < binds.size(); ++b) {
+    if (binds[b].is_integer) continue;
+    for (std::size_t c = 0; c < binds[b].values.size();
+         c += static_cast<std::size_t>(stride)) {
+      sites.push_back(ProbeSite{b, c});
+    }
+  }
+  return sites;
+}
+
+}  // namespace detail
+
+template <template <typename> class App>
+AnalysisResult analyze_forward_ad(const typename App<ad::Dual>::Config& acfg,
+                                  const AnalysisConfig& cfg) {
+  Timer total_timer;
+  AnalysisResult result;
+  result.program = App<ad::Dual>::kName;
+  result.mode = AnalysisMode::ForwardAD;
+
+  App<ad::Dual> base(acfg);
+  base.init();
+  for (int s = 0; s < cfg.warmup_steps; ++s) base.step();
+
+  std::vector<VarBind<ad::Dual>> base_binds = base.checkpoint_bindings();
+  // Unprobed elements (sampling) stay conservatively critical.
+  detail::init_result_variables(result, base_binds, cfg,
+                                /*default_critical=*/true);
+
+  const std::uint64_t stride = std::max<std::uint64_t>(1, cfg.sample_stride);
+  const std::vector<detail::ProbeSite> sites =
+      detail::collect_probe_sites(base_binds, stride);
+  std::vector<std::uint8_t> verdict(sites.size(), 0);  // 1 = critical
+
+  Timer record_timer;
+#if defined(SCRUTINY_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (std::size_t p = 0; p < sites.size(); ++p) {
+    App<ad::Dual> run = base;
+    std::vector<VarBind<ad::Dual>> binds = run.checkpoint_bindings();
+    binds[sites[p].bind_index].values[sites[p].component_index]
+        .set_derivative(1.0);
+    for (int s = 0; s < cfg.window_steps; ++s) run.step();
+    for (const ad::Dual& out : run.outputs()) {
+      if (std::fabs(out.derivative()) > cfg.threshold) {
+        verdict[p] = 1;
+        break;
+      }
+    }
+  }
+  result.record_seconds = record_timer.seconds();
+
+  // Fold component verdicts into element masks.  With sampling, an element
+  // is uncritical only if every probed component of it was uncritical and
+  // at least one component was probed.
+  for (std::size_t b = 0; b < base_binds.size(); ++b) {
+    if (base_binds[b].is_integer) continue;
+    result.variables[b].mask.set_all(false);
+  }
+  std::vector<std::vector<std::uint8_t>> any_probe(base_binds.size());
+  for (std::size_t b = 0; b < base_binds.size(); ++b) {
+    if (!base_binds[b].is_integer) {
+      any_probe[b].assign(base_binds[b].num_elements, 0);
+    }
+  }
+  for (std::size_t p = 0; p < sites.size(); ++p) {
+    const auto [b, c] = sites[p];
+    const std::size_t element = c / base_binds[b].components_per_element;
+    any_probe[b][element] = 1;
+    if (verdict[p] != 0) {
+      result.variables[b].mask.set(element, true);
+    }
+  }
+  for (std::size_t b = 0; b < base_binds.size(); ++b) {
+    if (base_binds[b].is_integer) continue;
+    for (std::size_t e = 0; e < base_binds[b].num_elements; ++e) {
+      if (any_probe[b][e] == 0) {
+        result.variables[b].mask.set(e, true);  // unsampled: conservative
+      }
+    }
+  }
+
+  result.num_outputs = base.outputs().size();
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+template <template <typename> class App>
+AnalysisResult analyze_finite_diff(const typename App<double>::Config& acfg,
+                                   const AnalysisConfig& cfg) {
+  Timer total_timer;
+  AnalysisResult result;
+  result.program = App<double>::kName;
+  result.mode = AnalysisMode::FiniteDiff;
+
+  App<double> base(acfg);
+  base.init();
+  for (int s = 0; s < cfg.warmup_steps; ++s) base.step();
+
+  std::vector<VarBind<double>> base_binds = base.checkpoint_bindings();
+  detail::init_result_variables(result, base_binds, cfg,
+                                /*default_critical=*/true);
+
+  const std::uint64_t stride = std::max<std::uint64_t>(1, cfg.sample_stride);
+  const std::vector<detail::ProbeSite> sites =
+      detail::collect_probe_sites(base_binds, stride);
+  std::vector<std::uint8_t> verdict(sites.size(), 0);
+
+  auto run_window = [&cfg](App<double> run,
+                           std::size_t bind_index, std::size_t component,
+                           double delta) {
+    std::vector<VarBind<double>> binds = run.checkpoint_bindings();
+    binds[bind_index].values[component] += delta;
+    for (int s = 0; s < cfg.window_steps; ++s) run.step();
+    return run.outputs();
+  };
+
+  Timer record_timer;
+#if defined(SCRUTINY_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (std::size_t p = 0; p < sites.size(); ++p) {
+    const auto [b, c] = sites[p];
+    const double x = base_binds[b].values[c];
+    const double h = std::max(1e-6, std::fabs(x) * 1e-7);
+    const std::vector<double> plus = run_window(base, b, c, +h);
+    const std::vector<double> minus = run_window(base, b, c, -h);
+    for (std::size_t m = 0; m < plus.size(); ++m) {
+      const double d = std::fabs(plus[m] - minus[m]) / (2.0 * h);
+      if (d > cfg.threshold) {
+        verdict[p] = 1;
+        break;
+      }
+    }
+  }
+  result.record_seconds = record_timer.seconds();
+
+  for (std::size_t b = 0; b < base_binds.size(); ++b) {
+    if (base_binds[b].is_integer) continue;
+    result.variables[b].mask.set_all(false);
+  }
+  std::vector<std::vector<std::uint8_t>> any_probe(base_binds.size());
+  for (std::size_t b = 0; b < base_binds.size(); ++b) {
+    if (!base_binds[b].is_integer) {
+      any_probe[b].assign(base_binds[b].num_elements, 0);
+    }
+  }
+  for (std::size_t p = 0; p < sites.size(); ++p) {
+    const auto [b, c] = sites[p];
+    const std::size_t element = c / base_binds[b].components_per_element;
+    any_probe[b][element] = 1;
+    if (verdict[p] != 0) result.variables[b].mask.set(element, true);
+  }
+  for (std::size_t b = 0; b < base_binds.size(); ++b) {
+    if (base_binds[b].is_integer) continue;
+    for (std::size_t e = 0; e < base_binds[b].num_elements; ++e) {
+      if (any_probe[b][e] == 0) result.variables[b].mask.set(e, true);
+    }
+  }
+
+  result.num_outputs = base.outputs().size();
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Mode dispatch
+// ---------------------------------------------------------------------------
+
+/// Runs the configured analysis mode on program `App`.
+template <template <typename> class App>
+AnalysisResult analyze_program(const typename App<double>::Config& acfg,
+                               const AnalysisConfig& cfg) {
+  switch (cfg.mode) {
+    case AnalysisMode::ReverseAD:
+      return analyze_reverse_ad<App>(acfg, cfg);
+    case AnalysisMode::ForwardAD:
+      return analyze_forward_ad<App>(acfg, cfg);
+    case AnalysisMode::ReadSet:
+      return analyze_read_set<App>(acfg, cfg);
+    case AnalysisMode::FiniteDiff:
+      return analyze_finite_diff<App>(acfg, cfg);
+  }
+  throw ScrutinyError("unknown analysis mode");
+}
+
+}  // namespace scrutiny::core

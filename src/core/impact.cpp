@@ -1,0 +1,52 @@
+#include "core/impact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+
+ImpactPartition partition_by_impact(const VariableCriticality& variable,
+                                    double low_fraction) {
+  SCRUTINY_REQUIRE(!variable.impact.empty(),
+                   "impact data not captured for " + variable.name +
+                       " (set AnalysisConfig::capture_impact)");
+  SCRUTINY_REQUIRE(low_fraction >= 0.0 && low_fraction <= 1.0,
+                   "low_fraction must be in [0,1]");
+
+  std::vector<double> critical_impacts;
+  critical_impacts.reserve(variable.mask.count_critical());
+  for (std::size_t e = 0; e < variable.mask.size(); ++e) {
+    if (variable.mask.test(e)) critical_impacts.push_back(variable.impact[e]);
+  }
+
+  ImpactPartition partition;
+  partition.low_impact = CriticalMask(variable.mask.size(), false);
+  if (critical_impacts.empty()) return partition;
+
+  const auto cut = static_cast<std::size_t>(
+      low_fraction * static_cast<double>(critical_impacts.size()));
+  if (cut == 0) {
+    partition.num_high = critical_impacts.size();
+    return partition;
+  }
+  std::nth_element(critical_impacts.begin(),
+                   critical_impacts.begin() + (cut - 1),
+                   critical_impacts.end());
+  partition.impact_threshold = critical_impacts[cut - 1];
+
+  for (std::size_t e = 0; e < variable.mask.size(); ++e) {
+    if (!variable.mask.test(e)) continue;
+    if (variable.impact[e] <= partition.impact_threshold &&
+        partition.num_low < cut) {
+      partition.low_impact.set(e, true);
+      ++partition.num_low;
+    } else {
+      ++partition.num_high;
+    }
+  }
+  return partition;
+}
+
+}  // namespace scrutiny::core

@@ -1,0 +1,35 @@
+// Impact-magnitude ranking — the paper's future-work direction (§VII):
+// "accelerate applications by using lower precision for uncritical or even
+// those elements that are of very low impact".
+//
+// When AnalysisConfig::capture_impact is set, ReverseAD accumulates the
+// largest |∂out/∂element| seen across outputs.  partition_by_impact splits
+// the *critical* elements into a high-impact set (kept at full precision)
+// and a low-impact set (eligible for float32 storage); see
+// ckpt/lowprec.hpp for the mixed-precision writer that consumes it.
+#pragma once
+
+#include <cstddef>
+
+#include "core/analysis_types.hpp"
+#include "mask/critical_mask.hpp"
+
+namespace scrutiny::core {
+
+struct ImpactPartition {
+  /// Set bit = low-impact critical element (candidate for reduced
+  /// precision).  Uncritical elements are never set (they are dropped
+  /// entirely, not demoted).
+  CriticalMask low_impact;
+  double impact_threshold = 0.0;  ///< |∂out/∂elem| at the split point
+  std::size_t num_low = 0;
+  std::size_t num_high = 0;
+};
+
+/// Splits the critical elements of `variable` at the given quantile of the
+/// impact distribution: the lowest `low_fraction` of critical elements (by
+/// impact magnitude) become low-impact.  Requires captured impact data.
+[[nodiscard]] ImpactPartition partition_by_impact(
+    const VariableCriticality& variable, double low_fraction);
+
+}  // namespace scrutiny::core

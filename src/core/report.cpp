@@ -1,0 +1,77 @@
+#include "core/report.hpp"
+
+#include "mask/region.hpp"
+#include "support/format_util.hpp"
+#include "support/table_printer.hpp"
+
+namespace scrutiny::core {
+
+std::vector<CriticalityRow> criticality_rows(const AnalysisResult& result) {
+  std::vector<CriticalityRow> rows;
+  for (const VariableCriticality& variable : result.variables) {
+    CriticalityRow row;
+    row.variable = result.program + "(" + variable.name + ")";
+    row.uncritical = variable.uncritical_elements();
+    row.total = variable.total_elements();
+    row.uncritical_rate = variable.uncritical_rate();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string format_criticality_table(const AnalysisResult& result) {
+  TablePrinter table({"Benchmark(variable)", "Uncritical", "Total",
+                      "Uncritical rate"});
+  for (const CriticalityRow& row : criticality_rows(result)) {
+    table.add_row({row.variable, with_commas(row.uncritical),
+                   with_commas(row.total), percent(row.uncritical_rate)});
+  }
+  return table.to_string();
+}
+
+StorageRow summarize_storage(const AnalysisResult& result) {
+  StorageRow row;
+  row.program = result.program;
+  for (const VariableCriticality& variable : result.variables) {
+    const std::uint64_t esize = variable.element_size;
+    row.original_bytes += variable.total_elements() * esize;
+    const RegionList regions = RegionList::from_mask(variable.mask);
+    row.optimized_bytes += regions.covered_elements() * esize;
+    row.optimized_bytes += regions.serialized_bytes();
+  }
+  if (row.original_bytes > 0) {
+    row.saved_fraction = 1.0 - static_cast<double>(row.optimized_bytes) /
+                                   static_cast<double>(row.original_bytes);
+  }
+  return row;
+}
+
+std::string format_storage_table(const std::vector<StorageRow>& rows) {
+  TablePrinter table({"Benchmark", "Original", "Optimized", "Storage saved"});
+  for (const StorageRow& row : rows) {
+    table.add_row({row.program, human_bytes(row.original_bytes),
+                   human_bytes(row.optimized_bytes),
+                   percent(row.saved_fraction)});
+  }
+  return table.to_string();
+}
+
+std::string format_analysis_summary(const AnalysisResult& result) {
+  std::string text;
+  text += "program: " + result.program + "\n";
+  text += "mode: ";
+  text += analysis_mode_name(result.mode);
+  text += "\n";
+  text += "outputs: " + std::to_string(result.num_outputs) + "\n";
+  if (result.mode == AnalysisMode::ReverseAD) {
+    text += "tape statements: " + with_commas(result.tape_stats.num_statements) +
+            " (" + human_bytes(result.tape_stats.memory_bytes) + ")\n";
+    text += "tape inputs: " + with_commas(result.tape_stats.num_inputs) + "\n";
+  }
+  text += "record time: " + fixed(result.record_seconds * 1e3, 2) + " ms\n";
+  text += "sweep time: " + fixed(result.sweep_seconds * 1e3, 2) + " ms\n";
+  text += "total time: " + fixed(result.total_seconds * 1e3, 2) + " ms\n";
+  return text;
+}
+
+}  // namespace scrutiny::core

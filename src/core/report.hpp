@@ -1,0 +1,47 @@
+// Report generation: the analyzer's results in the shape of the paper's
+// Table II (uncritical element counts) and Table III (checkpoint storage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis_types.hpp"
+
+namespace scrutiny::core {
+
+/// One Table II row.
+struct CriticalityRow {
+  std::string variable;  ///< "BT(u)" style label
+  std::uint64_t uncritical = 0;
+  std::uint64_t total = 0;
+  double uncritical_rate = 0.0;
+};
+
+[[nodiscard]] std::vector<CriticalityRow> criticality_rows(
+    const AnalysisResult& result);
+
+/// Renders Table II for one program (ASCII).
+[[nodiscard]] std::string format_criticality_table(
+    const AnalysisResult& result);
+
+/// One Table III row: storage with and without uncritical elements.
+struct StorageRow {
+  std::string program;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t optimized_bytes = 0;  ///< critical payload + region metadata
+  double saved_fraction = 0.0;
+};
+
+/// Aggregates all variables of one analysis into the program's storage row.
+[[nodiscard]] StorageRow summarize_storage(const AnalysisResult& result);
+
+/// Renders a multi-program Table III.
+[[nodiscard]] std::string format_storage_table(
+    const std::vector<StorageRow>& rows);
+
+/// Human-readable analysis summary (mode, tape size, timings).
+[[nodiscard]] std::string format_analysis_summary(
+    const AnalysisResult& result);
+
+}  // namespace scrutiny::core

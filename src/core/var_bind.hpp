@@ -1,0 +1,102 @@
+// Variable bindings: how a program exposes its checkpoint state to the
+// analyzer.
+//
+// A binding views the live storage of one checkpointed variable in the
+// scalar type the program is currently instantiated with.  Multi-component
+// elements (NPB dcomplex) expose components_per_element = 2; the mask the
+// analyzer produces is per *element* (a dcomplex element is critical when
+// either component has impact), matching the paper's element notion and the
+// on-disk element size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+
+template <typename T>
+struct VarBind {
+  std::string name;
+  std::span<T> values;  ///< flat component storage; empty for integer vars
+  std::uint32_t components_per_element = 1;
+  std::uint64_t num_elements = 0;
+  std::uint32_t element_size = 8;  ///< bytes per element in a checkpoint
+  std::vector<std::uint64_t> shape;  ///< element-granularity, row-major
+  bool is_integer = false;
+
+  [[nodiscard]] std::uint64_t num_components() const noexcept {
+    return num_elements * components_per_element;
+  }
+
+  void validate() const {
+    if (is_integer) {
+      SCRUTINY_REQUIRE(values.empty(),
+                       "integer binding must not carry float storage: " +
+                           name);
+      SCRUTINY_REQUIRE(num_elements > 0, "empty integer binding: " + name);
+    } else {
+      SCRUTINY_REQUIRE(values.size() == num_components(),
+                       "binding storage size mismatch: " + name);
+    }
+  }
+};
+
+/// Float-array binding helper.
+template <typename T>
+[[nodiscard]] VarBind<T> bind_array(std::string name, std::span<T> values,
+                                    std::vector<std::uint64_t> shape = {}) {
+  VarBind<T> bind;
+  bind.name = std::move(name);
+  bind.values = values;
+  bind.num_elements = values.size();
+  bind.element_size = 8;
+  bind.shape = std::move(shape);
+  if (bind.shape.empty()) bind.shape = {bind.num_elements};
+  return bind;
+}
+
+/// Complex-array binding: `components` views the interleaved (re,im) pairs.
+template <typename T>
+[[nodiscard]] VarBind<T> bind_complex_array(
+    std::string name, std::span<T> components,
+    std::vector<std::uint64_t> shape = {}) {
+  SCRUTINY_REQUIRE(components.size() % 2 == 0,
+                   "complex binding needs even component count");
+  VarBind<T> bind;
+  bind.name = std::move(name);
+  bind.values = components;
+  bind.components_per_element = 2;
+  bind.num_elements = components.size() / 2;
+  bind.element_size = 16;
+  bind.shape = std::move(shape);
+  if (bind.shape.empty()) bind.shape = {bind.num_elements};
+  return bind;
+}
+
+/// Scalar binding (span of one).
+template <typename T>
+[[nodiscard]] VarBind<T> bind_scalar(std::string name, T& value) {
+  return bind_array<T>(std::move(name), std::span<T>(&value, 1));
+}
+
+/// Integer variable binding (no storage view; criticality by policy).
+template <typename T>
+[[nodiscard]] VarBind<T> bind_integer(std::string name,
+                                      std::uint64_t num_elements,
+                                      std::uint32_t element_size = 4,
+                                      std::vector<std::uint64_t> shape = {}) {
+  VarBind<T> bind;
+  bind.name = std::move(name);
+  bind.num_elements = num_elements;
+  bind.element_size = element_size;
+  bind.is_integer = true;
+  bind.shape = std::move(shape);
+  if (bind.shape.empty()) bind.shape = {num_elements};
+  return bind;
+}
+
+}  // namespace scrutiny::core

@@ -1,0 +1,61 @@
+#include "mask/critical_mask.hpp"
+
+#include <bit>
+
+namespace scrutiny {
+
+CriticalMask::CriticalMask(std::size_t num_elements, bool initially_critical)
+    : size_(num_elements),
+      words_((num_elements + 63) / 64,
+             initially_critical ? ~0ull : 0ull) {
+  clear_tail_bits();
+}
+
+void CriticalMask::clear_tail_bits() noexcept {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ull << tail) - 1;
+  }
+}
+
+void CriticalMask::set_all(bool critical) {
+  std::fill(words_.begin(), words_.end(), critical ? ~0ull : 0ull);
+  clear_tail_bits();
+}
+
+std::size_t CriticalMask::count_critical() const noexcept {
+  std::size_t count = 0;
+  for (std::uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+double CriticalMask::uncritical_rate() const noexcept {
+  if (size_ == 0) return 0.0;
+  return static_cast<double>(count_uncritical()) /
+         static_cast<double>(size_);
+}
+
+void CriticalMask::merge_or(const CriticalMask& other) {
+  SCRUTINY_REQUIRE(size_ == other.size_, "mask size mismatch in merge_or");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
+void CriticalMask::merge_and(const CriticalMask& other) {
+  SCRUTINY_REQUIRE(size_ == other.size_, "mask size mismatch in merge_and");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+}
+
+void CriticalMask::invert() {
+  for (std::uint64_t& word : words_) word = ~word;
+  clear_tail_bits();
+}
+
+bool CriticalMask::operator==(const CriticalMask& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,75 @@
+// Per-element criticality mask.
+//
+// One bit per element of a checkpointed variable: set = critical (must be
+// persisted), clear = uncritical (safe to drop).  This is the central data
+// structure the analyzer produces and the pruned checkpoint writer consumes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny {
+
+class CriticalMask {
+ public:
+  CriticalMask() = default;
+
+  /// All elements start uncritical unless `initially_critical`.
+  explicit CriticalMask(std::size_t num_elements,
+                        bool initially_critical = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool test(std::size_t index) const {
+    SCRUTINY_REQUIRE(index < size_, "mask index out of range");
+    return (words_[index >> 6] >> (index & 63)) & 1u;
+  }
+
+  void set(std::size_t index, bool critical = true) {
+    SCRUTINY_REQUIRE(index < size_, "mask index out of range");
+    const std::uint64_t bit = 1ull << (index & 63);
+    if (critical) {
+      words_[index >> 6] |= bit;
+    } else {
+      words_[index >> 6] &= ~bit;
+    }
+  }
+
+  void set_all(bool critical);
+
+  /// Number of critical elements.
+  [[nodiscard]] std::size_t count_critical() const noexcept;
+  [[nodiscard]] std::size_t count_uncritical() const noexcept {
+    return size_ - count_critical();
+  }
+
+  /// count_uncritical / size (0 for empty masks).
+  [[nodiscard]] double uncritical_rate() const noexcept;
+
+  /// Element-wise OR: an element critical for either analysis is critical.
+  void merge_or(const CriticalMask& other);
+
+  /// Element-wise AND.
+  void merge_and(const CriticalMask& other);
+
+  /// Flips every bit.
+  void invert();
+
+  [[nodiscard]] bool operator==(const CriticalMask& other) const noexcept;
+
+  /// Raw word access for hashing/serialization.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  void clear_tail_bits() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace scrutiny

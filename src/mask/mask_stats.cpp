@@ -1,0 +1,54 @@
+#include "mask/mask_stats.hpp"
+
+#include <algorithm>
+
+namespace scrutiny {
+
+MaskStats compute_mask_stats(const CriticalMask& mask) {
+  MaskStats stats;
+  stats.total_elements = mask.size();
+  stats.critical_elements = mask.count_critical();
+  stats.uncritical_elements = stats.total_elements - stats.critical_elements;
+  stats.uncritical_rate = mask.uncritical_rate();
+
+  std::size_t i = 0;
+  while (i < mask.size()) {
+    const bool critical = mask.test(i);
+    std::size_t run = 0;
+    while (i < mask.size() && mask.test(i) == critical) {
+      ++run;
+      ++i;
+    }
+    if (critical) {
+      ++stats.num_critical_runs;
+      stats.longest_critical_run = std::max(stats.longest_critical_run, run);
+    } else {
+      stats.longest_uncritical_run =
+          std::max(stats.longest_uncritical_run, run);
+    }
+  }
+  return stats;
+}
+
+std::map<std::size_t, std::size_t> critical_run_histogram(
+    const CriticalMask& mask) {
+  std::map<std::size_t, std::size_t> histogram;
+  const RegionList regions = RegionList::from_mask(mask);
+  for (const Region& region : regions.regions()) {
+    ++histogram[static_cast<std::size_t>(region.length())];
+  }
+  return histogram;
+}
+
+StorageEstimate estimate_storage(const CriticalMask& mask,
+                                 std::uint32_t element_size) {
+  StorageEstimate estimate;
+  estimate.full_bytes =
+      static_cast<std::uint64_t>(mask.size()) * element_size;
+  estimate.pruned_payload_bytes =
+      static_cast<std::uint64_t>(mask.count_critical()) * element_size;
+  estimate.aux_bytes = RegionList::from_mask(mask).serialized_bytes();
+  return estimate;
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,50 @@
+// Statistics over criticality masks: run-length histograms, rates, and the
+// storage arithmetic behind Table III.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mask/critical_mask.hpp"
+#include "mask/region.hpp"
+
+namespace scrutiny {
+
+struct MaskStats {
+  std::size_t total_elements = 0;
+  std::size_t critical_elements = 0;
+  std::size_t uncritical_elements = 0;
+  double uncritical_rate = 0.0;
+  std::size_t num_critical_runs = 0;
+  std::size_t longest_critical_run = 0;
+  std::size_t longest_uncritical_run = 0;
+};
+
+[[nodiscard]] MaskStats compute_mask_stats(const CriticalMask& mask);
+
+/// Histogram of critical-run lengths (for the figure-series benches).
+[[nodiscard]] std::map<std::size_t, std::size_t> critical_run_histogram(
+    const CriticalMask& mask);
+
+/// Storage math for one variable: full vs pruned bytes including the
+/// auxiliary region metadata.
+struct StorageEstimate {
+  std::uint64_t full_bytes = 0;
+  std::uint64_t pruned_payload_bytes = 0;
+  std::uint64_t aux_bytes = 0;
+
+  [[nodiscard]] std::uint64_t pruned_total_bytes() const noexcept {
+    return pruned_payload_bytes + aux_bytes;
+  }
+  [[nodiscard]] double saving_fraction() const noexcept {
+    if (full_bytes == 0) return 0.0;
+    return 1.0 - static_cast<double>(pruned_total_bytes()) /
+                     static_cast<double>(full_bytes);
+  }
+};
+
+[[nodiscard]] StorageEstimate estimate_storage(const CriticalMask& mask,
+                                               std::uint32_t element_size);
+
+}  // namespace scrutiny

@@ -1,0 +1,75 @@
+#include "mask/region.hpp"
+
+#include <algorithm>
+
+namespace scrutiny {
+
+RegionList RegionList::from_mask(const CriticalMask& mask) {
+  RegionList list;
+  const std::size_t n = mask.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!mask.test(i)) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < n && mask.test(i)) ++i;
+    list.append(Region{begin, i});
+  }
+  return list;
+}
+
+CriticalMask RegionList::to_mask(std::size_t size) const {
+  CriticalMask mask(size, false);
+  for (const Region& region : regions_) {
+    SCRUTINY_REQUIRE(region.end <= size, "region exceeds mask size");
+    for (std::uint64_t i = region.begin; i < region.end; ++i) {
+      mask.set(static_cast<std::size_t>(i), true);
+    }
+  }
+  return mask;
+}
+
+void RegionList::append(Region region) {
+  SCRUTINY_REQUIRE(region.begin < region.end, "empty or inverted region");
+  if (!regions_.empty()) {
+    SCRUTINY_REQUIRE(regions_.back().end <= region.begin,
+                     "regions must be appended in order");
+    if (regions_.back().end == region.begin) {
+      regions_.back().end = region.end;
+      return;
+    }
+  }
+  regions_.push_back(region);
+}
+
+std::uint64_t RegionList::covered_elements() const noexcept {
+  std::uint64_t total = 0;
+  for (const Region& region : regions_) total += region.length();
+  return total;
+}
+
+bool RegionList::contains(std::uint64_t index) const noexcept {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), index,
+      [](std::uint64_t value, const Region& r) { return value < r.begin; });
+  if (it == regions_.begin()) return false;
+  --it;
+  return index >= it->begin && index < it->end;
+}
+
+RegionList RegionList::complement(std::uint64_t size) const {
+  RegionList result;
+  std::uint64_t cursor = 0;
+  for (const Region& region : regions_) {
+    if (region.begin > cursor) {
+      result.append(Region{cursor, region.begin});
+    }
+    cursor = region.end;
+  }
+  if (cursor < size) result.append(Region{cursor, size});
+  return result;
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,70 @@
+// Run-length regions of critical elements.
+//
+// The paper's auxiliary file "only records the start and end locations of
+// the region of continuous critical elements" — RegionList is that
+// representation: a sorted list of disjoint half-open [begin,end) runs.
+// It converts to/from CriticalMask losslessly and is what the pruned
+// checkpoint format stores.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mask/critical_mask.hpp"
+
+namespace scrutiny {
+
+struct Region {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  ///< exclusive
+
+  [[nodiscard]] std::uint64_t length() const noexcept { return end - begin; }
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+class RegionList {
+ public:
+  RegionList() = default;
+
+  /// Builds the minimal run-length representation of a mask's critical bits.
+  static RegionList from_mask(const CriticalMask& mask);
+
+  /// Reconstructs the mask (`size` = total element count).
+  [[nodiscard]] CriticalMask to_mask(std::size_t size) const;
+
+  /// Appends a region; must be ordered and disjoint from the previous one
+  /// (adjacent regions are coalesced).
+  void append(Region region);
+
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+
+  [[nodiscard]] std::size_t num_regions() const noexcept {
+    return regions_.size();
+  }
+
+  /// Total number of covered (critical) elements.
+  [[nodiscard]] std::uint64_t covered_elements() const noexcept;
+
+  /// True when `index` falls inside some region (binary search).
+  [[nodiscard]] bool contains(std::uint64_t index) const noexcept;
+
+  /// Regions covering [0,size) that this list does NOT cover.
+  [[nodiscard]] RegionList complement(std::uint64_t size) const;
+
+  /// Serialized size of the auxiliary representation in bytes
+  /// (two u64 per region) — the metadata overhead Table III must charge.
+  [[nodiscard]] std::uint64_t serialized_bytes() const noexcept {
+    return regions_.size() * 2 * sizeof(std::uint64_t);
+  }
+
+  friend bool operator==(const RegionList&, const RegionList&) = default;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace scrutiny

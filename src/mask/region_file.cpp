@@ -1,0 +1,72 @@
+#include "mask/region_file.hpp"
+
+#include "support/binary_io.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x53435255'52454731ull;  // "SCRU REG1"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+const VariableRegions* RegionFile::find(const std::string& name) const {
+  for (const VariableRegions& v : variables) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+void RegionFile::save(const std::filesystem::path& path) const {
+  BinaryWriter writer(path);
+  writer.write(kMagic);
+  writer.write(kVersion);
+  writer.write(static_cast<std::uint32_t>(variables.size()));
+  for (const VariableRegions& variable : variables) {
+    writer.write_string(variable.name);
+    writer.write(variable.element_size);
+    writer.write(variable.total_elements);
+    writer.write(static_cast<std::uint64_t>(variable.critical.num_regions()));
+    for (const Region& region : variable.critical.regions()) {
+      writer.write(region.begin);
+      writer.write(region.end);
+    }
+  }
+  const std::uint64_t crc = writer.crc();
+  writer.write(crc);
+  writer.commit();
+}
+
+RegionFile RegionFile::load(const std::filesystem::path& path) {
+  BinaryReader reader(path);
+  SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
+                   "not a region file: " + path.string());
+  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
+                   "unsupported region file version: " + path.string());
+
+  RegionFile file;
+  const auto num_variables = reader.read<std::uint32_t>();
+  for (std::uint32_t v = 0; v < num_variables; ++v) {
+    VariableRegions variable;
+    variable.name = reader.read_string();
+    variable.element_size = reader.read<std::uint32_t>();
+    variable.total_elements = reader.read<std::uint64_t>();
+    const auto num_regions = reader.read<std::uint64_t>();
+    for (std::uint64_t r = 0; r < num_regions; ++r) {
+      Region region;
+      region.begin = reader.read<std::uint64_t>();
+      region.end = reader.read<std::uint64_t>();
+      SCRUTINY_REQUIRE(region.end <= variable.total_elements,
+                       "region out of bounds in " + path.string());
+      variable.critical.append(region);
+    }
+    file.variables.push_back(std::move(variable));
+  }
+  const std::uint64_t computed = reader.crc();
+  const auto stored = reader.read<std::uint64_t>();
+  SCRUTINY_REQUIRE(computed == stored,
+                   "region file CRC mismatch: " + path.string());
+  return file;
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,40 @@
+// The auxiliary region file (".regions").
+//
+// Paper §III-B: "We save the location of critical elements in an auxiliary
+// file, which allows us to load individual elements from checkpoints
+// precisely."  The file stores, per variable: name, element size, total
+// element count, and the [begin,end) runs of critical elements, guarded by
+// a CRC-64 trailer.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mask/region.hpp"
+
+namespace scrutiny {
+
+struct VariableRegions {
+  std::string name;
+  std::uint32_t element_size = 0;  ///< bytes per element
+  std::uint64_t total_elements = 0;
+  RegionList critical;
+
+  friend bool operator==(const VariableRegions&,
+                         const VariableRegions&) = default;
+};
+
+struct RegionFile {
+  std::vector<VariableRegions> variables;
+
+  [[nodiscard]] const VariableRegions* find(const std::string& name) const;
+
+  void save(const std::filesystem::path& path) const;
+  static RegionFile load(const std::filesystem::path& path);
+
+  friend bool operator==(const RegionFile&, const RegionFile&) = default;
+};
+
+}  // namespace scrutiny

@@ -1,0 +1,184 @@
+// Dense 5x5 block operations for the BT solver and banded line solvers for
+// SP — the building blocks of the ADI sweeps, generic over the scalar type.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "ad/num_traits.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::npb {
+
+inline constexpr int kBlockSize = 5;
+
+template <typename T>
+using Vec5 = std::array<T, kBlockSize>;
+
+template <typename T>
+using Mat5 = std::array<std::array<T, kBlockSize>, kBlockSize>;
+
+template <typename T>
+[[nodiscard]] Mat5<T> mat5_zero() {
+  Mat5<T> m{};
+  for (auto& row : m) row.fill(T(0));
+  return m;
+}
+
+template <typename T>
+[[nodiscard]] Mat5<T> mat5_identity(double scale = 1.0) {
+  Mat5<T> m = mat5_zero<T>();
+  for (int i = 0; i < kBlockSize; ++i) m[i][i] = T(scale);
+  return m;
+}
+
+template <typename T>
+[[nodiscard]] Vec5<T> vec5_zero() {
+  Vec5<T> v;
+  v.fill(T(0));
+  return v;
+}
+
+template <typename T>
+[[nodiscard]] Vec5<T> matvec5(const Mat5<T>& m, const Vec5<T>& v) {
+  Vec5<T> out = vec5_zero<T>();
+  for (int r = 0; r < kBlockSize; ++r) {
+    for (int c = 0; c < kBlockSize; ++c) {
+      out[r] += m[r][c] * v[c];
+    }
+  }
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] Mat5<T> matmul5(const Mat5<T>& a, const Mat5<T>& b) {
+  Mat5<T> out = mat5_zero<T>();
+  for (int r = 0; r < kBlockSize; ++r) {
+    for (int k = 0; k < kBlockSize; ++k) {
+      for (int c = 0; c < kBlockSize; ++c) {
+        out[r][c] += a[r][k] * b[k][c];
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] Mat5<T> matsub5(const Mat5<T>& a, const Mat5<T>& b) {
+  Mat5<T> out;
+  for (int r = 0; r < kBlockSize; ++r) {
+    for (int c = 0; c < kBlockSize; ++c) {
+      out[r][c] = a[r][c] - b[r][c];
+    }
+  }
+  return out;
+}
+
+/// Gauss–Jordan inverse with partial pivoting.  Pivot selection compares
+/// primal magnitudes only, so the recorded control flow is the same one the
+/// primal run takes — the standard operator-overloading AD treatment.
+template <typename T>
+[[nodiscard]] Mat5<T> matinv5(Mat5<T> a) {
+  using std::fabs;
+  Mat5<T> inv = mat5_identity<T>();
+  for (int col = 0; col < kBlockSize; ++col) {
+    int pivot = col;
+    double best = ad::passive_value(fabs(a[col][col]));
+    for (int r = col + 1; r < kBlockSize; ++r) {
+      const double candidate = ad::passive_value(fabs(a[r][col]));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    SCRUTINY_REQUIRE(best > 0.0, "singular 5x5 block");
+    if (pivot != col) {
+      std::swap(a[pivot], a[col]);
+      std::swap(inv[pivot], inv[col]);
+    }
+    const T diag = a[col][col];
+    for (int c = 0; c < kBlockSize; ++c) {
+      a[col][c] /= diag;
+      inv[col][c] /= diag;
+    }
+    for (int r = 0; r < kBlockSize; ++r) {
+      if (r == col) continue;
+      const T factor = a[r][col];
+      if (ad::passive_value(factor) == 0.0) continue;
+      for (int c = 0; c < kBlockSize; ++c) {
+        a[r][c] -= factor * a[col][c];
+        inv[r][c] -= factor * inv[col][c];
+      }
+    }
+  }
+  return inv;
+}
+
+/// Block-tridiagonal Thomas solve for one grid line.
+///
+/// Solves, for cells c = 0..n-1:
+///   A[c]·x[c-1] + B[c]·x[c] + C[c]·x[c+1] = rhs[c]
+/// with x[-1] and x[n] folded into rhs by the caller (Dirichlet boundary
+/// contributions).  Overwrites rhs with the solution.
+template <typename T>
+void solve_block_tridiag(std::size_t n, Mat5<T>* a, Mat5<T>* b, Mat5<T>* c,
+                         Vec5<T>* rhs) {
+  // Forward elimination: c[i] <- (b[i] - a[i] c[i-1])^-1 c[i],
+  //                      rhs[i] <- (b[i] - a[i] c[i-1])^-1 (rhs[i]-a[i] r[i-1])
+  for (std::size_t i = 0; i < n; ++i) {
+    Mat5<T> denom = b[i];
+    if (i > 0) {
+      denom = matsub5(denom, matmul5(a[i], c[i - 1]));
+      const Vec5<T> coupled = matvec5(a[i], rhs[i - 1]);
+      for (int m = 0; m < kBlockSize; ++m) rhs[i][m] -= coupled[m];
+    }
+    const Mat5<T> inv = matinv5(denom);
+    c[i] = matmul5(inv, c[i]);
+    rhs[i] = matvec5(inv, rhs[i]);
+  }
+  // Back substitution.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const Vec5<T> coupled = matvec5(c[i], rhs[i + 1]);
+    for (int m = 0; m < kBlockSize; ++m) rhs[i][m] -= coupled[m];
+  }
+}
+
+/// Scalar pentadiagonal solve for one grid line (SP).
+///
+/// Solves a2[c]·x[c-2] + a1[c]·x[c-1] + d[c]·x[c] + e1[c]·x[c+1]
+///        + e2[c]·x[c+2] = rhs[c] for c = 0..n-1, bands clipped at the
+/// ends (boundary contributions pre-folded into rhs).  Overwrites rhs with
+/// the solution.  Coefficient arrays are modified in place.
+///
+/// Band LU without pivoting (the SP systems are diagonally dominant by
+/// construction): while reducing row i against row i-1, row i+1's a2 is
+/// eliminated against the same pivot row, so no fill-in leaves the bands —
+/// the same forward-sweep structure as NPB's x/y/z_solve.
+template <typename T>
+void solve_pentadiag(std::size_t n, T* a2, T* a1, T* d, T* e1, T* e2,
+                     T* rhs) {
+  SCRUTINY_REQUIRE(n >= 3, "pentadiagonal line too short");
+  for (std::size_t i = 1; i < n; ++i) {
+    // Row i: eliminate a1[i] (column i-1) against pivot row i-1.
+    const T m1 = a1[i] / d[i - 1];
+    d[i] -= m1 * e1[i - 1];
+    if (i + 1 < n) e1[i] -= m1 * e2[i - 1];
+    rhs[i] -= m1 * rhs[i - 1];
+    // Row i+1: eliminate a2[i+1] (column i-1) against the same pivot row.
+    if (i + 1 < n) {
+      const T m2 = a2[i + 1] / d[i - 1];
+      a1[i + 1] -= m2 * e1[i - 1];
+      d[i + 1] -= m2 * e2[i - 1];
+      rhs[i + 1] -= m2 * rhs[i - 1];
+    }
+  }
+  // Back substitution on the remaining upper-triangular bands (d, e1, e2).
+  rhs[n - 1] /= d[n - 1];
+  rhs[n - 2] = (rhs[n - 2] - e1[n - 2] * rhs[n - 1]) / d[n - 2];
+  for (std::size_t i = n - 2; i-- > 0;) {
+    rhs[i] = (rhs[i] - e1[i] * rhs[i + 1] - e2[i] * rhs[i + 2]) / d[i];
+  }
+}
+
+}  // namespace scrutiny::npb

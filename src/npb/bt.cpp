@@ -1,0 +1,14 @@
+#include "npb/bt.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class BtApp<double>;
+template class BtApp<ad::Real>;
+template class BtApp<ad::Dual>;
+template class BtApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

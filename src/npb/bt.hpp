@@ -1,0 +1,308 @@
+// BT — Block Tri-diagonal solver mini-app (NPB class S shapes).
+//
+// Checkpoint variables (paper Table I): double u[12][13][13][5], int step.
+//
+// One main-loop iteration performs an ADI-style approximate factorization:
+// a coupled 5-component RHS from central-difference stencils, then three
+// directional sweeps each solving block-tridiagonal systems (5x5 blocks,
+// mildly u-dependent) along every interior grid line, then the update
+// u += delta.  The verification output is NPB's error_norm: the RMS
+// difference to the analytic solution over grid_points[*] = 12 points per
+// axis — loop bounds 0..11 while u is allocated 12x13x13x5.  Exactly as the
+// paper's Fig. 2/3 analysis explains, the planes j = 12 and i = 12 are
+// never read, so 1500 of 10140 elements (14.8 %) are uncritical.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/block_matrix.hpp"
+#include "npb/npb_common.hpp"
+#include "support/array_nd.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct BtConfig {
+  int niter = 8;            ///< nominal main-loop length (class-S-mini)
+  double dt = 0.008;        ///< pseudo time step
+  double diffusivity = 0.4; ///< stencil strength
+  double coupling = 0.02;   ///< inter-component RHS coupling
+  double jac_scale = 0.015; ///< u-dependence of the implicit 5x5 blocks
+  double init_perturb = 0.05;  ///< interior perturbation of the exact field
+};
+
+template <typename T>
+class BtApp {
+ public:
+  using Config = BtConfig;
+  static constexpr const char* kName = "BT";
+
+  // Allocation extents (Table I) and the active grid (grid_points[*] = 12).
+  static constexpr int kD0 = 12;
+  static constexpr int kD1 = 13;
+  static constexpr int kD2 = 13;
+  static constexpr int kM = 5;
+  static constexpr int kGrid = 12;
+  static constexpr std::size_t kTotalElements =
+      static_cast<std::size_t>(kD0) * kD1 * kD2 * kM;
+
+  explicit BtApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+
+  /// error_norm per component: the verification values (5 outputs).
+  std::vector<T> outputs();
+
+  std::vector<core::VarBind<T>> checkpoint_bindings();
+
+  /// Binds the checkpoint variables into a registry (plain-double builds).
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>;
+
+  [[nodiscard]] int current_step() const noexcept { return step_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+  /// Analytic reference field (passive).
+  [[nodiscard]] static double exact(int k, int j, int i, int m) noexcept;
+
+ private:
+  View4D<T> u_view() noexcept {
+    return View4D<T>(u_.data(), kD0, kD1, kD2, kM);
+  }
+  View4D<T> rhs_view() noexcept {
+    return View4D<T>(rhs_.data(), kD0, kD1, kD2, kM);
+  }
+
+  void compute_rhs();
+  void sweep(int direction);
+  void add_update();
+
+  Config cfg_;
+  std::int32_t step_ = 0;
+  std::vector<T> u_;
+  std::vector<T> rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <typename T>
+double BtApp<T>::exact(int k, int j, int i, int m) noexcept {
+  // Smooth multi-component field; amplitudes per component like NPB's
+  // ce-coefficient table.
+  static constexpr std::array<double, kM> amplitude = {1.0, 0.8, 0.6, 0.4,
+                                                       0.2};
+  const double x = static_cast<double>(k) / (kGrid - 1);
+  const double y = static_cast<double>(j) / (kGrid - 1);
+  const double z = static_cast<double>(i) / (kGrid - 1);
+  return amplitude[m] *
+         (1.0 + 0.3 * std::sin(2.3 * x + 0.5 * m) +
+          0.2 * std::cos(1.7 * y - 0.3 * m) + 0.1 * std::sin(2.9 * z));
+}
+
+template <typename T>
+void BtApp<T>::init() {
+  step_ = 0;
+  u_.assign(kTotalElements, T(0));
+  rhs_.assign(kTotalElements, T(0));
+  auto u = u_view();
+  // NPB's initialize() fills the whole allocation, including the j = 12 and
+  // i = 12 planes that no later loop ever touches.
+  std::uint64_t h = 0;
+  for (int k = 0; k < kD0; ++k) {
+    for (int j = 0; j < kD1; ++j) {
+      for (int i = 0; i < kD2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          // Perturb the whole allocation (boundaries too): the error-norm
+          // sensitivity of a point is diff/norm, which must not be an
+          // exact zero at read-but-boundary points.
+          const double value = exact(k, j, i, m) +
+                               cfg_.init_perturb * (hashed_uniform(h) - 0.5);
+          ++h;
+          u(k, j, i, m) = T(value);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void BtApp<T>::compute_rhs() {
+  auto u = u_view();
+  auto rhs = rhs_view();
+  // Fixed component-coupling matrix (passive), like the flux Jacobian
+  // structure of the real BT equations.
+  static constexpr Mat5<double> kCoupling = {{{0.0, 0.4, 0.1, 0.0, 0.2},
+                                              {0.4, 0.0, 0.3, 0.1, 0.0},
+                                              {0.1, 0.3, 0.0, 0.4, 0.1},
+                                              {0.0, 0.1, 0.4, 0.0, 0.3},
+                                              {0.2, 0.0, 0.1, 0.3, 0.0}}};
+  const double theta = cfg_.dt * cfg_.diffusivity;
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          T laplacian = u(k + 1, j, i, m) + u(k - 1, j, i, m) +
+                        u(k, j + 1, i, m) + u(k, j - 1, i, m) +
+                        u(k, j, i + 1, m) + u(k, j, i - 1, m) -
+                        6.0 * u(k, j, i, m);
+          T coupled = T(0);
+          for (int n = 0; n < kM; ++n) {
+            coupled += kCoupling[m][n] * u(k, j, i, n);
+          }
+          const double forcing =
+              cfg_.dt * 0.05 * exact(k, j, i, m);  // keeps the field anchored
+          rhs(k, j, i, m) = theta * laplacian +
+                            cfg_.dt * cfg_.coupling * coupled + forcing;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void BtApp<T>::sweep(int direction) {
+  auto u = u_view();
+  auto rhs = rhs_view();
+  constexpr int kLine = kGrid - 2;  // interior cells 1..10
+  const double theta = cfg_.dt * cfg_.diffusivity;
+
+  // Rank-one u-dependence of the implicit blocks: J(v)[m][n] = s·v[m]·w[n].
+  static constexpr std::array<double, kM> kW = {0.3, 0.25, 0.2, 0.15, 0.1};
+  const double jac = cfg_.jac_scale;
+
+  auto cell_value = [&](int line_a, int line_b, int cell, int m) -> T& {
+    switch (direction) {
+      case 0: return u(cell, line_a, line_b, m);   // x: vary k
+      case 1: return u(line_a, cell, line_b, m);   // y: vary j
+      default: return u(line_a, line_b, cell, m);  // z: vary i
+    }
+  };
+  auto cell_rhs = [&](int line_a, int line_b, int cell, int m) -> T& {
+    switch (direction) {
+      case 0: return rhs(cell, line_a, line_b, m);
+      case 1: return rhs(line_a, cell, line_b, m);
+      default: return rhs(line_a, line_b, cell, m);
+    }
+  };
+
+  std::array<Mat5<T>, kLine> a, b, c;
+  std::array<Vec5<T>, kLine> r;
+
+  for (int la = 1; la <= kGrid - 2; ++la) {
+    for (int lb = 1; lb <= kGrid - 2; ++lb) {
+      for (int cell = 1; cell <= kGrid - 2; ++cell) {
+        const int idx = cell - 1;
+        a[idx] = mat5_identity<T>(-theta);
+        b[idx] = mat5_identity<T>(1.0 + 2.0 * theta);
+        c[idx] = mat5_identity<T>(-theta);
+        for (int m = 0; m < kM; ++m) {
+          for (int n = 0; n < kM; ++n) {
+            a[idx][m][n] -= jac * cell_value(la, lb, cell - 1, m) * kW[n];
+            b[idx][m][n] += jac * cell_value(la, lb, cell, m) * kW[n];
+            c[idx][m][n] -= jac * cell_value(la, lb, cell + 1, m) * kW[n];
+          }
+          r[idx][m] = cell_rhs(la, lb, cell, m);
+        }
+      }
+      // Dirichlet boundary contributions: the line endpoints (cell 0 and
+      // cell 11) enter the first and last interior rows.
+      Vec5<T> left, right;
+      for (int n = 0; n < kM; ++n) {
+        left[n] = cell_value(la, lb, 0, n);
+        right[n] = cell_value(la, lb, kGrid - 1, n);
+      }
+      const Vec5<T> lc = matvec5(a[0], left);
+      const Vec5<T> rc = matvec5(c[kLine - 1], right);
+      for (int m = 0; m < kM; ++m) {
+        r[0][m] -= lc[m];
+        r[kLine - 1][m] -= rc[m];
+      }
+      solve_block_tridiag<T>(kLine, a.data(), b.data(), c.data(), r.data());
+      for (int cell = 1; cell <= kGrid - 2; ++cell) {
+        for (int m = 0; m < kM; ++m) {
+          cell_rhs(la, lb, cell, m) = r[cell - 1][m];
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void BtApp<T>::add_update() {
+  auto u = u_view();
+  auto rhs = rhs_view();
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          u(k, j, i, m) += rhs(k, j, i, m);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void BtApp<T>::step() {
+  compute_rhs();
+  sweep(0);
+  sweep(1);
+  sweep(2);
+  add_update();
+  ++step_;
+}
+
+template <typename T>
+std::vector<T> BtApp<T>::outputs() {
+  using std::sqrt;
+  auto u = u_view();
+  std::vector<T> norms(kM, T(0));
+  // NPB error_norm: loops bounded by grid_points[*] = 12 — reads 0..11 per
+  // axis, never the allocated j = 12 / i = 12 planes.
+  for (int k = 0; k <= kGrid - 1; ++k) {
+    for (int j = 0; j <= kGrid - 1; ++j) {
+      for (int i = 0; i <= kGrid - 1; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          const T diff = u(k, j, i, m) - exact(k, j, i, m);
+          norms[m] += diff * diff;
+        }
+      }
+    }
+  }
+  const double scale = 1.0 / (static_cast<double>(kGrid) * kGrid * kGrid);
+  for (int m = 0; m < kM; ++m) {
+    norms[m] = sqrt(norms[m] * scale);
+  }
+  return norms;
+}
+
+template <typename T>
+std::vector<core::VarBind<T>> BtApp<T>::checkpoint_bindings() {
+  std::vector<core::VarBind<T>> binds;
+  binds.push_back(core::bind_array<T>(
+      "u", std::span<T>(u_.data(), u_.size()),
+      {static_cast<std::uint64_t>(kD0), kD1, kD2, kM}));
+  binds.push_back(core::bind_integer<T>("step", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename T>
+void BtApp<T>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<T, double>
+{
+  registry.register_f64("u", std::span<double>(u_.data(), u_.size()),
+                        {static_cast<std::uint64_t>(kD0), kD1, kD2, kM});
+  registry.register_scalar("step", step_);
+}
+
+extern template class BtApp<double>;
+
+}  // namespace scrutiny::npb

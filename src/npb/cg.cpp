@@ -1,0 +1,14 @@
+#include "npb/cg.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class CgApp<double>;
+template class CgApp<ad::Real>;
+template class CgApp<ad::Dual>;
+template class CgApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

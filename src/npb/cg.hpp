@@ -1,0 +1,201 @@
+// CG — Conjugate Gradient mini-app (NPB class S shapes).
+//
+// Checkpoint variables (Table I): double x[1402], int it.
+// x is allocated NA+2 = 1402 (NA = 1400 for class S); every loop in the
+// solver runs 0..NA-1, so the last two slots are workspace that is never
+// read — the paper's Fig. 6: 1400 critical elements followed by 2
+// uncritical ones (0.1 %).
+//
+// One outer iteration runs `cg_inner_iters` CG steps on A z = x with a
+// fixed sparse SPD matrix (built deterministically in init; the matrix is
+// derived data and is NOT checkpointed), computes
+// zeta = shift + 1/(x·z) and the residual norm, then replaces x with the
+// normalized z — exactly the NPB power-iteration structure.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/npb_common.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct CgConfig {
+  int niter = 6;
+  int cg_inner_iters = 15;  ///< NPB uses 25; trimmed for tape budget
+  double shift = 10.0;      ///< class-S eigenvalue shift
+  double dominance = 4.0;   ///< diagonal dominance of the SPD matrix
+};
+
+template <typename T>
+class CgApp {
+ public:
+  using Config = CgConfig;
+  static constexpr const char* kName = "CG";
+
+  static constexpr int kNa = 1400;
+  static constexpr std::size_t kXSize = kNa + 2;  ///< 1402 (Table I)
+
+  explicit CgApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+  std::vector<T> outputs();
+  std::vector<core::VarBind<T>> checkpoint_bindings();
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>;
+
+  [[nodiscard]] int current_step() const noexcept { return it_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+ private:
+  void matvec(const std::vector<T>& in, std::vector<T>& out) const;
+
+  Config cfg_;
+  std::int32_t it_ = 0;
+  std::vector<T> x_;
+  // CSR matrix (passive data: never differentiated, like NPB's makea
+  // output which is fixed for the whole run).
+  std::vector<int> row_begin_;
+  std::vector<int> col_;
+  std::vector<double> val_;
+  // Most recent solver diagnostics (outputs).
+  T zeta_{};
+  T rnorm_{};
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void CgApp<T>::init() {
+  it_ = 0;
+  x_.assign(kXSize, T(1.0));  // NPB: x = [1,...,1], including the +2 tail
+  zeta_ = T(0);
+  rnorm_ = T(0);
+
+  // Deterministic sparse SPD pattern: diagonal + symmetric bands at
+  // +-1, +-7, +-43 with hashed magnitudes (stands in for makea's
+  // randomly-structured matrix; same nonzeros-per-row ballpark as
+  // NONZER=7 for class S).
+  row_begin_.assign(kNa + 1, 0);
+  col_.clear();
+  val_.clear();
+  static constexpr int kBands[3] = {1, 7, 43};
+  auto band_value = [](int lo, int hi) {
+    return -0.15 - 0.1 * hashed_uniform(
+                             static_cast<std::uint64_t>(lo) * kNa + hi);
+  };
+  for (int row = 0; row < kNa; ++row) {
+    row_begin_[row] = static_cast<int>(col_.size());
+    for (int b = 2; b >= 0; --b) {
+      const int c = row - kBands[b];
+      if (c >= 0) {
+        col_.push_back(c);
+        val_.push_back(band_value(c, row));
+      }
+    }
+    col_.push_back(row);
+    val_.push_back(cfg_.dominance + hashed_uniform(row));
+    for (int b = 0; b < 3; ++b) {
+      const int c = row + kBands[b];
+      if (c < kNa) {
+        col_.push_back(c);
+        val_.push_back(band_value(row, c));
+      }
+    }
+  }
+  row_begin_[kNa] = static_cast<int>(col_.size());
+}
+
+template <typename T>
+void CgApp<T>::matvec(const std::vector<T>& in, std::vector<T>& out) const {
+  for (int row = 0; row < kNa; ++row) {
+    T sum = T(0);
+    for (int e = row_begin_[row]; e < row_begin_[row + 1]; ++e) {
+      sum += val_[e] * in[col_[e]];
+    }
+    out[row] = sum;
+  }
+}
+
+template <typename T>
+void CgApp<T>::step() {
+  using std::sqrt;
+  std::vector<T> z(kNa, T(0));
+  std::vector<T> r(kNa), p(kNa), q(kNa);
+
+  // conj_grad: solve A z = x.  The initial residual copies x — the read
+  // of the checkpointed vector (elements 0..1399 only).
+  T rho = T(0);
+  for (int i = 0; i < kNa; ++i) {
+    r[i] = x_[i];
+    p[i] = r[i];
+    rho += r[i] * r[i];
+  }
+  for (int inner = 0; inner < cfg_.cg_inner_iters; ++inner) {
+    matvec(p, q);
+    T pq = T(0);
+    for (int i = 0; i < kNa; ++i) pq += p[i] * q[i];
+    const T alpha = rho / pq;
+    T rho_new = T(0);
+    for (int i = 0; i < kNa; ++i) {
+      z[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+      rho_new += r[i] * r[i];
+    }
+    const T beta = rho_new / rho;
+    rho = rho_new;
+    for (int i = 0; i < kNa; ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  // ||x - A z|| — second read of x.
+  matvec(z, q);
+  T rn = T(0);
+  for (int i = 0; i < kNa; ++i) {
+    const T d = x_[i] - q[i];
+    rn += d * d;
+  }
+  rnorm_ = sqrt(rn);
+
+  // zeta and the power-iteration normalization x = z / ||z||.
+  T xz = T(0), zz = T(0);
+  for (int i = 0; i < kNa; ++i) {
+    xz += x_[i] * z[i];
+    zz += z[i] * z[i];
+  }
+  zeta_ = cfg_.shift + 1.0 / xz;
+  const T inv_norm = 1.0 / sqrt(zz);
+  for (int i = 0; i < kNa; ++i) x_[i] = inv_norm * z[i];
+  ++it_;
+}
+
+template <typename T>
+std::vector<T> CgApp<T>::outputs() {
+  return {zeta_, rnorm_};
+}
+
+template <typename T>
+std::vector<core::VarBind<T>> CgApp<T>::checkpoint_bindings() {
+  std::vector<core::VarBind<T>> binds;
+  binds.push_back(
+      core::bind_array<T>("x", std::span<T>(x_.data(), x_.size())));
+  binds.push_back(core::bind_integer<T>("it", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename T>
+void CgApp<T>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<T, double>
+{
+  registry.register_f64("x", std::span<double>(x_.data(), x_.size()));
+  registry.register_scalar("it", it_);
+}
+
+extern template class CgApp<double>;
+
+}  // namespace scrutiny::npb

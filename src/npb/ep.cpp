@@ -1,0 +1,14 @@
+#include "npb/ep.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class EpApp<double>;
+template class EpApp<ad::Real>;
+template class EpApp<ad::Dual>;
+template class EpApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

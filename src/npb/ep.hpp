@@ -1,0 +1,112 @@
+// EP — Embarrassingly Parallel Gaussian-pair mini-app (NPB structure).
+//
+// Checkpoint variables (Table I): double sx, double sy, double q[10],
+// int k.  Every element is critical: sx/sy/q are read-modify-write
+// accumulators whose history cannot be recomputed without replaying all
+// previous batches, and k is the loop index.
+//
+// Per main-loop iteration a fixed batch of uniform pairs is drawn from the
+// NPB randlc stream (seeded by absolute position, so a restarted run
+// regenerates the identical stream from k alone), accepted pairs are
+// transformed with the Marsaglia polar method, and the annulus counters
+// q[0..9] are bumped.  The random numbers are inputs, never differentiated.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/npb_common.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct EpConfig {
+  int niter = 8;
+  int pairs_per_step = 2048;  ///< class-S-mini batch (NPB: 2^24 total)
+  double seed = 271828183.0;
+};
+
+template <typename T>
+class EpApp {
+ public:
+  using Config = EpConfig;
+  static constexpr const char* kName = "EP";
+  static constexpr int kNumBins = 10;
+
+  explicit EpApp(const Config& config = {}) : cfg_(config) {}
+
+  void init() {
+    k_ = 0;
+    sx_ = T(0);
+    sy_ = T(0);
+    q_.assign(kNumBins, T(0));
+  }
+
+  void step() {
+    ++k_;
+    // Jump the stream to this batch's absolute position: restartability
+    // from the checkpointed k alone.
+    double seed = npb_skip_ahead(
+        cfg_.seed, kNpbDefaultMultiplier,
+        static_cast<std::int64_t>(k_ - 1) * 2 * cfg_.pairs_per_step);
+    for (int p = 0; p < cfg_.pairs_per_step; ++p) {
+      const double x1 = 2.0 * randlc(seed, kNpbDefaultMultiplier) - 1.0;
+      const double x2 = 2.0 * randlc(seed, kNpbDefaultMultiplier) - 1.0;
+      const double t = x1 * x1 + x2 * x2;
+      if (t > 1.0) continue;
+      const double factor = std::sqrt(-2.0 * std::log(t) / t);
+      const double gx = x1 * factor;
+      const double gy = x2 * factor;
+      sx_ += gx;  // read-modify-write: the checkpointed sums are consumed
+      sy_ += gy;
+      const int bin = static_cast<int>(std::fmax(std::fabs(gx),
+                                                 std::fabs(gy)));
+      q_[static_cast<std::size_t>(bin < kNumBins ? bin : kNumBins - 1)] +=
+          T(1);
+    }
+  }
+
+  std::vector<T> outputs() {
+    // NPB verification: the Gaussian sums and the total pair count
+    // (reads every annulus counter).
+    T gc = T(0);
+    for (const T& bin : q_) gc += bin;
+    return {sx_, sy_, gc};
+  }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    std::vector<core::VarBind<T>> binds;
+    binds.push_back(core::bind_scalar<T>("sx", sx_));
+    binds.push_back(core::bind_scalar<T>("sy", sy_));
+    binds.push_back(
+        core::bind_array<T>("q", std::span<T>(q_.data(), q_.size())));
+    binds.push_back(core::bind_integer<T>("k", 1, sizeof(std::int32_t)));
+    return binds;
+  }
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>
+  {
+    registry.register_scalar("sx", sx_);
+    registry.register_scalar("sy", sy_);
+    registry.register_f64("q", std::span<double>(q_.data(), q_.size()));
+    registry.register_scalar("k", k_);
+  }
+
+  [[nodiscard]] int current_step() const noexcept { return k_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+ private:
+  Config cfg_;
+  std::int32_t k_ = 0;
+  T sx_{};
+  T sy_{};
+  std::vector<T> q_;
+};
+
+extern template class EpApp<double>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,166 @@
+#include "npb/expected_masks.hpp"
+
+namespace scrutiny::npb {
+
+namespace {
+
+/// 12x13x13x5 with only the grid_points box 0..11 (per axis) read: the
+/// j=12 / i=12 planes are uncritical (BT/SP u, LU rsd; Fig. 3).
+CriticalMask grid_box_mask_4d() {
+  CriticalMask mask(12u * 13 * 13 * 5, false);
+  std::size_t e = 0;
+  for (int k = 0; k < 12; ++k) {
+    for (int j = 0; j < 13; ++j) {
+      for (int i = 0; i < 13; ++i) {
+        for (int m = 0; m < 5; ++m, ++e) {
+          if (j <= 11 && i <= 11) mask.set(e, true);
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+/// 12x13x13 with the grid_points box read (LU rho_i / qs).
+CriticalMask grid_box_mask_3d() {
+  CriticalMask mask(12u * 13 * 13, false);
+  std::size_t e = 0;
+  for (int k = 0; k < 12; ++k) {
+    for (int j = 0; j < 13; ++j) {
+      for (int i = 0; i < 13; ++i, ++e) {
+        if (j <= 11 && i <= 11) mask.set(e, true);
+      }
+    }
+  }
+  return mask;
+}
+
+/// LU u: momentum slices follow the grid box; the energy slice m=4 is read
+/// only through the three directional flux slabs (Fig. 7).
+CriticalMask lu_u_mask() {
+  CriticalMask mask(12u * 13 * 13 * 5, false);
+  auto in_slab_union = [](int k, int j, int i) {
+    const bool slab_z = k >= 1 && k <= 10 && j >= 1 && j <= 10 && i <= 11;
+    const bool slab_y = k >= 1 && k <= 10 && j <= 11 && i >= 1 && i <= 10;
+    const bool slab_x = k <= 11 && j >= 1 && j <= 10 && i >= 1 && i <= 10;
+    return slab_z || slab_y || slab_x;
+  };
+  std::size_t e = 0;
+  for (int k = 0; k < 12; ++k) {
+    for (int j = 0; j < 13; ++j) {
+      for (int i = 0; i < 13; ++i) {
+        for (int m = 0; m < 5; ++m, ++e) {
+          if (m < 4) {
+            if (j <= 11 && i <= 11) mask.set(e, true);
+          } else if (in_slab_union(k, j, i)) {
+            mask.set(e, true);
+          }
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+/// MG u: the finest level (34^3 leading elements) is critical; coarser
+/// chunks and tail slack are rebuilt before use (Fig. 4).
+CriticalMask mg_u_mask() {
+  CriticalMask mask(46480, false);
+  for (std::size_t e = 0; e < 39304; ++e) mask.set(e, true);
+  return mask;
+}
+
+/// MG r: the 33^3 sub-box (indices 0..32 per axis) of the finest level
+/// (Fig. 5's repetitive stripes; Table II's 10543 uncritical).
+CriticalMask mg_r_mask() {
+  CriticalMask mask(46480, false);
+  constexpr int kNm = 34;
+  for (int i3 = 0; i3 < kNm - 1; ++i3) {
+    for (int i2 = 0; i2 < kNm - 1; ++i2) {
+      for (int i1 = 0; i1 < kNm - 1; ++i1) {
+        mask.set((static_cast<std::size_t>(i3) * kNm + i2) * kNm + i1, true);
+      }
+    }
+  }
+  return mask;
+}
+
+/// CG x: first NA = 1400 elements read, the 2 workspace slots never
+/// (Fig. 6).
+CriticalMask cg_x_mask() {
+  CriticalMask mask(1402, false);
+  for (std::size_t e = 0; e < 1400; ++e) mask.set(e, true);
+  return mask;
+}
+
+/// FT y: the innermost padding plane (last index 64 of 65) is never read
+/// (Fig. 8).
+CriticalMask ft_y_mask() {
+  CriticalMask mask(64u * 64 * 65, false);
+  std::size_t e = 0;
+  for (int i0 = 0; i0 < 64; ++i0) {
+    for (int i1 = 0; i1 < 64; ++i1) {
+      for (int i2 = 0; i2 < 65; ++i2, ++e) {
+        if (i2 < 64) mask.set(e, true);
+      }
+    }
+  }
+  return mask;
+}
+
+CriticalMask all_critical(std::size_t n) { return CriticalMask(n, true); }
+
+}  // namespace
+
+std::optional<CriticalMask> expected_mask(BenchmarkId benchmark,
+                                          const std::string& variable) {
+  switch (benchmark) {
+    case BenchmarkId::BT:
+    case BenchmarkId::SP:
+      if (variable == "u") return grid_box_mask_4d();
+      if (variable == "step") return all_critical(1);
+      break;
+    case BenchmarkId::LU:
+      if (variable == "u") return lu_u_mask();
+      if (variable == "rsd") return grid_box_mask_4d();
+      if (variable == "rho_i" || variable == "qs") return grid_box_mask_3d();
+      if (variable == "istep") return all_critical(1);
+      break;
+    case BenchmarkId::MG:
+      if (variable == "u") return mg_u_mask();
+      if (variable == "r") return mg_r_mask();
+      if (variable == "it") return all_critical(1);
+      break;
+    case BenchmarkId::CG:
+      if (variable == "x") return cg_x_mask();
+      if (variable == "it") return all_critical(1);
+      break;
+    case BenchmarkId::FT:
+      if (variable == "y") return ft_y_mask();
+      if (variable == "sums") return all_critical(6);
+      if (variable == "kt") return all_critical(1);
+      break;
+    case BenchmarkId::EP:
+      if (variable == "sx" || variable == "sy") return all_critical(1);
+      if (variable == "q") return all_critical(10);
+      if (variable == "k") return all_critical(1);
+      break;
+    case BenchmarkId::IS:
+      if (variable == "key_array") return all_critical(65536);
+      if (variable == "bucket_ptrs") return all_critical(512);
+      if (variable == "passed_verification" || variable == "iteration") {
+        return all_critical(1);
+      }
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> expected_uncritical(BenchmarkId benchmark,
+                                               const std::string& variable) {
+  const auto mask = expected_mask(benchmark, variable);
+  if (!mask.has_value()) return std::nullopt;
+  return mask->count_uncritical();
+}
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,28 @@
+// Closed-form criticality oracles.
+//
+// Every uncritical element the paper reports is a deterministic function of
+// the access patterns (never-read allocation slack, padding planes, loop
+// bounds).  These oracles encode those read sets in closed form so the test
+// suite can require the analyzer's masks to match them bit for bit — the
+// strongest possible reproduction check for Table II and Figs. 3–8.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mask/critical_mask.hpp"
+#include "npb/npb_common.hpp"
+
+namespace scrutiny::npb {
+
+/// The expected mask for `variable` of `benchmark`, or nullopt when the
+/// pair is unknown.
+[[nodiscard]] std::optional<CriticalMask> expected_mask(
+    BenchmarkId benchmark, const std::string& variable);
+
+/// Expected uncritical element count (Table II; all-critical variables
+/// return 0).
+[[nodiscard]] std::optional<std::size_t> expected_uncritical(
+    BenchmarkId benchmark, const std::string& variable);
+
+}  // namespace scrutiny::npb

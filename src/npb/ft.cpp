@@ -1,0 +1,14 @@
+#include "npb/ft.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class FtApp<double>;
+template class FtApp<ad::Real>;
+template class FtApp<ad::Dual>;
+template class FtApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,258 @@
+// FT — 3D FFT spectral evolution mini-app (NPB class S shapes).
+//
+// Checkpoint variables (Table I): dcomplex y[64][64][65], dcomplex sums[6],
+// int kt.  y is the frequency-domain signal (NPB's u0 = FFT of the initial
+// condition); the innermost dimension is padded 64 -> 65 to break cache
+// aliasing, and the padding plane is written once at initialization but
+// never read again — the paper's Fig. 8: 4096 of 266240 elements (1.5 %)
+// uncritical "due to imperfect coding".
+//
+// One iteration: evolve the spectrum by the diffusion factor
+// exp(-4*alpha*pi^2*|k|^2 * t), inverse-FFT into a work array, and
+// accumulate the NPB checksum over 1024 scrambled sites into sums[kt]
+// (read-modify-write: every sums element is consumed, so sums is fully
+// critical, matching the paper).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "ad/complex.hpp"
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/npb_common.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct FtConfig {
+  int niter = 6;         ///< main-loop length == Table I's sums[6]
+  double alpha = 1e-4;   ///< diffusion constant (NPB uses 1e-6; scaled up
+                         ///< so class-S-mini spectra visibly evolve)
+};
+
+template <typename T>
+class FtApp {
+ public:
+  using Config = FtConfig;
+  static constexpr const char* kName = "FT";
+
+  static constexpr int kNx = 64;  ///< d0
+  static constexpr int kNy = 64;  ///< d1
+  static constexpr int kNz = 64;  ///< logical innermost extent
+  static constexpr int kNzPad = 65;  ///< allocated innermost extent
+  static constexpr std::size_t kElements =
+      static_cast<std::size_t>(kNx) * kNy * kNzPad;  ///< 266240
+
+  using C = ad::Complex<T>;
+  static_assert(sizeof(C) == 2 * sizeof(T),
+                "Complex<T> must be two contiguous scalars");
+
+  explicit FtApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+  std::vector<T> outputs();
+  std::vector<core::VarBind<T>> checkpoint_bindings();
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>;
+
+  [[nodiscard]] int current_step() const noexcept { return kt_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+  [[nodiscard]] static std::size_t flat_index(int i0, int i1,
+                                              int i2) noexcept {
+    return (static_cast<std::size_t>(i0) * kNy + i1) * kNzPad + i2;
+  }
+
+ private:
+  static C mul_passive(const C& a, double wre, double wim) {
+    return C(a.re * wre - a.im * wim, a.re * wim + a.im * wre);
+  }
+
+  /// Iterative radix-2 FFT over one strided line of 64 elements.
+  /// sign = -1: forward; sign = +1: inverse (scaled by 1/64).
+  static void fft_line(C* data, std::size_t stride, int sign);
+
+  void fft3d(std::vector<C>& a, int sign);
+
+  [[nodiscard]] double evolve_factor(int i0, int i1, int i2) const noexcept;
+
+  Config cfg_;
+  std::int32_t kt_ = 0;
+  std::vector<C> y_;     ///< checkpointed frequency state
+  std::vector<C> sums_;  ///< checkpointed checksum history
+  std::vector<C> work_;  ///< per-iteration spatial scratch (derived)
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void FtApp<T>::fft_line(C* data, std::size_t stride, int sign) {
+  constexpr int n = kNz;
+  // Bit-reversal permutation (moves record nothing on the tape).
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  for (int len = 2; len <= n; len <<= 1) {
+    const double angle = sign * kTwoPi / len;
+    const double wlen_re = std::cos(angle);
+    const double wlen_im = std::sin(angle);
+    for (int i = 0; i < n; i += len) {
+      double w_re = 1.0, w_im = 0.0;
+      for (int k = 0; k < len / 2; ++k) {
+        C& lo = data[(i + k) * stride];
+        C& hi = data[(i + k + len / 2) * stride];
+        const C t = mul_passive(hi, w_re, w_im);
+        hi = lo - t;
+        lo = lo + t;
+        const double next_re = w_re * wlen_re - w_im * wlen_im;
+        w_im = w_re * wlen_im + w_im * wlen_re;
+        w_re = next_re;
+      }
+    }
+  }
+  if (sign > 0) {
+    const double scale = 1.0 / n;
+    for (int i = 0; i < n; ++i) data[i * stride] = data[i * stride] * scale;
+  }
+}
+
+template <typename T>
+void FtApp<T>::fft3d(std::vector<C>& a, int sign) {
+  // Pass along d2 (contiguous lines; pad element 64 untouched).
+  for (int i0 = 0; i0 < kNx; ++i0) {
+    for (int i1 = 0; i1 < kNy; ++i1) {
+      fft_line(a.data() + flat_index(i0, i1, 0), 1, sign);
+    }
+  }
+  // Pass along d1.
+  for (int i0 = 0; i0 < kNx; ++i0) {
+    for (int i2 = 0; i2 < kNz; ++i2) {
+      fft_line(a.data() + flat_index(i0, 0, i2), kNzPad, sign);
+    }
+  }
+  // Pass along d0.
+  for (int i1 = 0; i1 < kNy; ++i1) {
+    for (int i2 = 0; i2 < kNz; ++i2) {
+      fft_line(a.data() + flat_index(0, i1, i2),
+               static_cast<std::size_t>(kNy) * kNzPad, sign);
+    }
+  }
+}
+
+template <typename T>
+double FtApp<T>::evolve_factor(int i0, int i1, int i2) const noexcept {
+  auto shifted = [](int k, int n) { return k <= n / 2 ? k : k - n; };
+  const double k0 = shifted(i0, kNx);
+  const double k1 = shifted(i1, kNy);
+  const double k2 = shifted(i2, kNz);
+  constexpr double kPiSq = 9.869604401089358;
+  return std::exp(-4.0 * cfg_.alpha * kPiSq * (k0 * k0 + k1 * k1 + k2 * k2) *
+                  static_cast<double>(kt_));
+}
+
+template <typename T>
+void FtApp<T>::init() {
+  kt_ = 0;
+  y_.assign(kElements, C(T(0), T(0)));
+  work_.assign(kElements, C(T(0), T(0)));
+  sums_.assign(static_cast<std::size_t>(cfg_.niter), C(T(0), T(0)));
+
+  // NPB compute_initial_conditions: the spatial field is filled from the
+  // randlc stream (the pad plane i2 = 64 is initialized too — written but
+  // never read afterwards).
+  double seed = 314159265.0;
+  for (int i0 = 0; i0 < kNx; ++i0) {
+    for (int i1 = 0; i1 < kNy; ++i1) {
+      for (int i2 = 0; i2 < kNzPad; ++i2) {
+        const double re = randlc(seed, kNpbDefaultMultiplier);
+        const double im = randlc(seed, kNpbDefaultMultiplier);
+        y_[flat_index(i0, i1, i2)] = C(T(re), T(im));
+      }
+    }
+  }
+  // y <- forward FFT of the initial condition: the frequency-domain signal
+  // the paper checkpoints.
+  fft3d(y_, -1);
+}
+
+template <typename T>
+void FtApp<T>::step() {
+  ++kt_;
+  // Evolve the spectrum into the work array; only the 64^3 logical grid is
+  // traversed, so the pad plane of y is never consumed.
+  for (int i0 = 0; i0 < kNx; ++i0) {
+    for (int i1 = 0; i1 < kNy; ++i1) {
+      for (int i2 = 0; i2 < kNz; ++i2) {
+        const double factor = evolve_factor(i0, i1, i2);
+        const std::size_t idx = flat_index(i0, i1, i2);
+        work_[idx] = y_[idx] * factor;
+      }
+    }
+  }
+  fft3d(work_, +1);
+
+  // Checksum over 1024 scrambled sites.  NPB samples the lattice
+  // (j, 3j, 5j) mod 64 unweighted — analytically, that makes every
+  // frequency mode with k0+3k1+5k2 != 0 (mod 64) cancel out of the
+  // checksum exactly, and a reverse tape reproduces those exact zeros
+  // (documented in EXPERIMENTS.md).  The mini-app uses hash-scrambled
+  // weighted sites, which keep the "sample 1024 cells" intent while the
+  // checksum stays sensitive to the full spectrum, as the paper reports.
+  C chk(T(0), T(0));
+  for (int j = 1; j <= 1024; ++j) {
+    const int q = static_cast<int>(hashed_uniform(3u * j) * kNx);
+    const int r = static_cast<int>(hashed_uniform(3u * j + 1) * kNy);
+    const int s = static_cast<int>(hashed_uniform(3u * j + 2) * kNz);
+    const double weight = 0.75 + 0.5 * hashed_uniform(7000u + j);
+    chk += work_[flat_index(q, r, s)] * weight;
+  }
+  sums_[static_cast<std::size_t>(kt_ - 1)] += chk * (1.0 / 1024.0);
+}
+
+template <typename T>
+std::vector<T> FtApp<T>::outputs() {
+  // The verification aggregates every per-iteration checksum (reads the
+  // full sums history).
+  C total(T(0), T(0));
+  for (const C& s : sums_) total += s;
+  return {total.re, total.im};
+}
+
+template <typename T>
+std::vector<core::VarBind<T>> FtApp<T>::checkpoint_bindings() {
+  std::vector<core::VarBind<T>> binds;
+  binds.push_back(core::bind_complex_array<T>(
+      "y", std::span<T>(reinterpret_cast<T*>(y_.data()), 2 * y_.size()),
+      {static_cast<std::uint64_t>(kNx), kNy, kNzPad}));
+  binds.push_back(core::bind_complex_array<T>(
+      "sums",
+      std::span<T>(reinterpret_cast<T*>(sums_.data()), 2 * sums_.size())));
+  binds.push_back(core::bind_integer<T>("kt", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename T>
+void FtApp<T>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<T, double>
+{
+  registry.register_c128(
+      "y",
+      std::span<double>(reinterpret_cast<double*>(y_.data()), 2 * y_.size()),
+      {static_cast<std::uint64_t>(kNx), kNy, kNzPad});
+  registry.register_c128(
+      "sums", std::span<double>(reinterpret_cast<double*>(sums_.data()),
+                                2 * sums_.size()));
+  registry.register_scalar("kt", kt_);
+}
+
+extern template class FtApp<double>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,10 @@
+#include "npb/is.hpp"
+
+#include "ad/readset.hpp"
+
+namespace scrutiny::npb {
+
+template class IsApp<std::int32_t>;
+template class IsApp<ad::Marked<std::int32_t>>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,234 @@
+// IS — Integer bucket-sort mini-app (NPB class S shapes).
+//
+// Checkpoint variables (Table I): int passed_verification,
+// int key_array[65536], int bucket_ptrs[512], int iteration.
+//
+// All variables are integers, so derivative analysis does not apply; the
+// paper classifies them critical by type ("store the indexes for other
+// arrays which makes them critical").  The ReadSet analysis mode CAN run
+// on them — IsApp is templated on the integer scalar so
+// ad::Marked<int32_t> instances confirm that every element is consumed:
+//  * the per-iteration verification checksums the full key array and all
+//    bucket pointers computed by the PREVIOUS iteration (read before the
+//    re-ranking overwrites them),
+//  * passed_verification is a read-modify-write counter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/npb_common.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct IsConfig {
+  int niter = 10;  ///< NPB MAX_ITERATIONS
+};
+
+template <typename I>
+class IsApp {
+ public:
+  using Config = IsConfig;
+  static constexpr const char* kName = "IS";
+
+  static constexpr int kNumKeys = 65536;   ///< class S: 2^16 keys
+  static constexpr int kMaxKey = 2048;     ///< class S: 2^11
+  static constexpr int kNumBuckets = 512;  ///< Table I: bucket_ptrs[512]
+  static constexpr int kBucketShift = 2;   ///< 2048 / 512 = 4 keys/bucket
+  static constexpr int kMaxIterations = 10;
+  static constexpr std::array<int, 5> kProbeSites = {37, 17003, 45777,
+                                                     60123, 2901};
+
+  explicit IsApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+  std::vector<I> outputs();
+  std::vector<core::VarBind<I>> checkpoint_bindings();
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<I, std::int32_t>;
+
+  [[nodiscard]] int current_step() const noexcept { return iteration_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+ private:
+  void rank_keys();
+
+  Config cfg_;
+  std::int32_t iteration_ = 0;
+  std::vector<I> key_array_;
+  std::vector<I> bucket_ptrs_;
+  I passed_verification_{};
+  I checksum_{};  ///< last verification checksum (derived, not checkpointed)
+  std::vector<int> bucket_size_;  ///< work
+  std::vector<int> key_buff_;    ///< work: sorted keys
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename I>
+void IsApp<I>::init() {
+  iteration_ = 0;
+  key_array_.assign(kNumKeys, I(0));
+  bucket_ptrs_.assign(kNumBuckets, I(0));
+  passed_verification_ = I(0);
+  checksum_ = I(0);
+  bucket_size_.assign(kNumBuckets, 0);
+  key_buff_.assign(kNumKeys, 0);
+
+  // NPB create_seq: keys from averaged randlc draws.
+  double seed = 314159265.0;
+  for (int i = 0; i < kNumKeys; ++i) {
+    double sum = 0.0;
+    for (int d = 0; d < 4; ++d) sum += randlc(seed, kNpbDefaultMultiplier);
+    const int key = static_cast<int>(sum * 0.25 * kMaxKey);
+    key_array_[static_cast<std::size_t>(i)] =
+        I(static_cast<std::int32_t>(key < kMaxKey ? key : kMaxKey - 1));
+  }
+  rank_keys();
+}
+
+template <typename I>
+void IsApp<I>::rank_keys() {
+  // Bucket histogram -> bucket_ptrs (the checkpointed ranking state).
+  std::fill(bucket_size_.begin(), bucket_size_.end(), 0);
+  for (int i = 0; i < kNumKeys; ++i) {
+    ++bucket_size_[index_value(key_array_[static_cast<std::size_t>(i)]) >>
+                   kBucketShift];
+  }
+  int running = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    bucket_ptrs_[static_cast<std::size_t>(b)] =
+        I(static_cast<std::int32_t>(running));
+    running += bucket_size_[b];
+  }
+  // Exact-key counting sort into the work buffer (NPB's key_buff ranking:
+  // bucket order alone leaves intra-bucket disorder).
+  std::vector<int> key_count(static_cast<std::size_t>(kMaxKey), 0);
+  for (int i = 0; i < kNumKeys; ++i) {
+    ++key_count[static_cast<std::size_t>(
+        index_value(key_array_[static_cast<std::size_t>(i)]))];
+  }
+  std::vector<int> key_start(static_cast<std::size_t>(kMaxKey), 0);
+  int offset = 0;
+  for (int k = 0; k < kMaxKey; ++k) {
+    key_start[static_cast<std::size_t>(k)] = offset;
+    offset += key_count[static_cast<std::size_t>(k)];
+  }
+  for (int i = 0; i < kNumKeys; ++i) {
+    const int key = index_value(key_array_[static_cast<std::size_t>(i)]);
+    key_buff_[static_cast<std::size_t>(
+        key_start[static_cast<std::size_t>(key)]++)] = key;
+  }
+}
+
+template <typename I>
+void IsApp<I>::step() {
+  // (a) Verification against the PREVIOUS iteration's ranking: checksum of
+  // all bucket pointers plus all keys — this is the read of the
+  // checkpointed state that makes both arrays fully critical.
+  I ptr_sum = I(0);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    ptr_sum += bucket_ptrs_[static_cast<std::size_t>(b)];
+  }
+  I key_sum = I(0);
+  for (int i = 0; i < kNumKeys; ++i) {
+    key_sum += key_array_[static_cast<std::size_t>(i)];
+  }
+  checksum_ = ptr_sum + key_sum;
+
+  // Partial verification (NPB-style): probe sites must rank in range.
+  for (int probe : kProbeSites) {
+    const int key =
+        index_value(key_array_[static_cast<std::size_t>(probe)]);
+    const int start = index_value(
+        bucket_ptrs_[static_cast<std::size_t>(key >> kBucketShift)]);
+    if (start >= 0 && start < kNumKeys) {
+      passed_verification_ += I(1);
+    }
+  }
+  // Prefix sums are non-decreasing by construction; a corrupted pointer
+  // table deterministically fails this count and shows up in the
+  // cumulative verification counter.
+  int monotonic = 0;
+  for (int b = 1; b < kNumBuckets; ++b) {
+    if (index_value(bucket_ptrs_[static_cast<std::size_t>(b - 1)]) <=
+        index_value(bucket_ptrs_[static_cast<std::size_t>(b)])) {
+      ++monotonic;
+    }
+  }
+  if (monotonic == kNumBuckets - 1) {
+    passed_verification_ += I(1);
+  }
+
+  // (b) NPB key mutation for this iteration (keys stay within
+  // [0, kMaxKey)).
+  key_array_[static_cast<std::size_t>(iteration_)] =
+      I(static_cast<std::int32_t>(iteration_));
+  key_array_[static_cast<std::size_t>(iteration_ + kMaxIterations)] =
+      I(static_cast<std::int32_t>(kMaxKey - 1 - iteration_));
+
+  // (c) Re-rank with the mutated keys (overwrites bucket_ptrs).
+  rank_keys();
+  ++iteration_;
+}
+
+template <typename I>
+std::vector<I> IsApp<I>::outputs() {
+  // Final verification: the counter, the last checksum, and a sortedness
+  // probe of the work buffer.
+  int violations = 0;
+  for (int i = 1; i < kNumKeys; ++i) {
+    if (key_buff_[static_cast<std::size_t>(i)] <
+        key_buff_[static_cast<std::size_t>(i - 1)]) {
+      ++violations;
+    }
+  }
+  return {passed_verification_, checksum_,
+          I(static_cast<std::int32_t>(violations))};
+}
+
+template <typename I>
+std::vector<core::VarBind<I>> IsApp<I>::checkpoint_bindings() {
+  std::vector<core::VarBind<I>> binds;
+  auto keys = core::bind_array<I>(
+      "key_array", std::span<I>(key_array_.data(), key_array_.size()));
+  keys.element_size = 4;
+  binds.push_back(std::move(keys));
+  auto ptrs = core::bind_array<I>(
+      "bucket_ptrs",
+      std::span<I>(bucket_ptrs_.data(), bucket_ptrs_.size()));
+  ptrs.element_size = 4;
+  binds.push_back(std::move(ptrs));
+  auto pv = core::bind_scalar<I>("passed_verification",
+                                 passed_verification_);
+  pv.element_size = 4;
+  binds.push_back(std::move(pv));
+  binds.push_back(
+      core::bind_integer<I>("iteration", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename I>
+void IsApp<I>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<I, std::int32_t>
+{
+  registry.register_i32("key_array", std::span<std::int32_t>(
+                                         key_array_.data(),
+                                         key_array_.size()));
+  registry.register_i32("bucket_ptrs",
+                        std::span<std::int32_t>(bucket_ptrs_.data(),
+                                                bucket_ptrs_.size()));
+  registry.register_scalar("passed_verification", passed_verification_);
+  registry.register_scalar("iteration", iteration_);
+}
+
+extern template class IsApp<std::int32_t>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,14 @@
+#include "npb/lu.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class LuApp<double>;
+template class LuApp<ad::Real>;
+template class LuApp<ad::Dual>;
+template class LuApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

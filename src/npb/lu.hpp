@@ -1,0 +1,358 @@
+// LU — Lower-Upper symmetric Gauss-Seidel (SSOR) mini-app (class S shapes).
+//
+// Checkpoint variables (Table I): double u[12][13][13][5],
+// double rho_i[12][13][13], double qs[12][13][13],
+// double rsd[12][13][13][5], int istep.
+//
+// One SSOR iteration:
+//  1. adaptive relaxation: omega is modulated by the means of rho_i, qs and
+//     rsd over the grid_points box 0..11 per axis — these linear full-box
+//     reads consume the checkpointed coefficient arrays (they are only
+//     recomputed at the END of the step, so a restart needs them);
+//  2. lower + upper Gauss-Seidel sweeps transform rsd in place into the
+//     update, reading rho_i at each cell;
+//  3. u += update on the interior, all five components;
+//  4. fresh residual: directional flux differences.  The energy component
+//     u[..][4] is consumed ONLY here, through the three per-direction
+//     stencils — reads cover exactly the slab union
+//     [1-10][1-10][0-11] ∪ [1-10][0-11][1-10] ∪ [0-11][1-10][1-10]
+//     (Fig. 7 of the paper: 428 uncritical elements in the fifth slice);
+//  5. rho_i and qs are recomputed from the new u for the next iteration.
+//
+// Verification outputs: error norms of the four momentum components
+// (0..11 per axis — the energy component is verified through the residual
+// norm, its fifth output), reproducing the paper's distinct m=4 pattern.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/npb_common.hpp"
+#include "support/array_nd.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct LuConfig {
+  int niter = 8;
+  double dt = 0.006;
+  double omega = 1.1;         ///< SSOR base relaxation factor
+  double diffusivity = 0.35;
+  double flux_scale = 0.08;   ///< energy-flux contribution strength
+  double adapt_scale = 0.05;  ///< sensitivity of omega to the global means
+  double init_perturb = 0.05;
+};
+
+template <typename T>
+class LuApp {
+ public:
+  using Config = LuConfig;
+  static constexpr const char* kName = "LU";
+
+  static constexpr int kD0 = 12;
+  static constexpr int kD1 = 13;
+  static constexpr int kD2 = 13;
+  static constexpr int kM = 5;
+  static constexpr int kGrid = 12;
+  static constexpr std::size_t kUElements =
+      static_cast<std::size_t>(kD0) * kD1 * kD2 * kM;
+  static constexpr std::size_t kCoefElements =
+      static_cast<std::size_t>(kD0) * kD1 * kD2;
+
+  explicit LuApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+  std::vector<T> outputs();
+  std::vector<core::VarBind<T>> checkpoint_bindings();
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>;
+
+  [[nodiscard]] int current_step() const noexcept { return istep_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+  [[nodiscard]] static double exact(int k, int j, int i, int m) noexcept;
+
+ private:
+  View4D<T> u_view() noexcept {
+    return View4D<T>(u_.data(), kD0, kD1, kD2, kM);
+  }
+  View4D<T> rsd_view() noexcept {
+    return View4D<T>(rsd_.data(), kD0, kD1, kD2, kM);
+  }
+  View3D<T> rho_view() noexcept {
+    return View3D<T>(rho_i_.data(), kD0, kD1, kD2);
+  }
+  View3D<T> qs_view() noexcept {
+    return View3D<T>(qs_.data(), kD0, kD1, kD2);
+  }
+
+  T adaptive_omega();
+  void ssor_sweeps(const T& omega_eff);
+  void update_u(const T& omega_eff);
+  void compute_residual();
+  void recompute_coefficients();
+
+  Config cfg_;
+  std::int32_t istep_ = 0;
+  std::vector<T> u_;
+  std::vector<T> rho_i_;
+  std::vector<T> qs_;
+  std::vector<T> rsd_;
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename T>
+double LuApp<T>::exact(int k, int j, int i, int m) noexcept {
+  static constexpr std::array<double, kM> amplitude = {1.1, 0.85, 0.65, 0.45,
+                                                       0.9};
+  const double x = static_cast<double>(k) / (kGrid - 1);
+  const double y = static_cast<double>(j) / (kGrid - 1);
+  const double z = static_cast<double>(i) / (kGrid - 1);
+  return amplitude[m] *
+         (1.4 + 0.3 * std::sin(1.9 * x + 0.6 * m) +
+          0.25 * std::cos(2.2 * y - 0.2 * m) + 0.2 * std::sin(2.5 * z + 0.1 * m));
+}
+
+template <typename T>
+void LuApp<T>::init() {
+  istep_ = 0;
+  u_.assign(kUElements, T(0));
+  rsd_.assign(kUElements, T(0));
+  rho_i_.assign(kCoefElements, T(0));
+  qs_.assign(kCoefElements, T(0));
+
+  auto u = u_view();
+  std::uint64_t h = 0x1u;
+  // The whole allocation is filled (NPB setiv/setbv style); the j=12 and
+  // i=12 planes hold values that no later computation ever reads.
+  for (int k = 0; k < kD0; ++k) {
+    for (int j = 0; j < kD1; ++j) {
+      for (int i = 0; i < kD2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          u(k, j, i, m) =
+              T(exact(k, j, i, m) +
+                cfg_.init_perturb * (hashed_uniform(h++) - 0.5));
+        }
+      }
+    }
+  }
+  recompute_coefficients();
+  compute_residual();
+}
+
+template <typename T>
+T LuApp<T>::adaptive_omega() {
+  auto rho = rho_view();
+  auto qs = qs_view();
+  auto rsd = rsd_view();
+  // Linear means over the grid_points box (0..11 per axis): the full-box
+  // consumption of the checkpointed coefficient state.
+  T rho_mean = T(0), qs_mean = T(0), rsd_mean = T(0);
+  for (int k = 0; k <= kGrid - 1; ++k) {
+    for (int j = 0; j <= kGrid - 1; ++j) {
+      for (int i = 0; i <= kGrid - 1; ++i) {
+        rho_mean += rho(k, j, i);
+        qs_mean += qs(k, j, i);
+        for (int m = 0; m < kM; ++m) rsd_mean += rsd(k, j, i, m);
+      }
+    }
+  }
+  const double inv_box = 1.0 / (static_cast<double>(kGrid) * kGrid * kGrid);
+  rho_mean *= inv_box;
+  qs_mean *= inv_box;
+  rsd_mean *= inv_box / kM;
+  return cfg_.omega /
+         (1.0 + cfg_.adapt_scale * (rho_mean + qs_mean + rsd_mean));
+}
+
+template <typename T>
+void LuApp<T>::ssor_sweeps(const T& omega_eff) {
+  auto rsd = rsd_view();
+  auto rho = rho_view();
+  const double dt = cfg_.dt;
+  // Lower sweep (ascending): rsd <- rsd + w * L(rsd), Gauss-Seidel in place.
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        const T coef = omega_eff * dt / (1.0 + rho(k, j, i));
+        for (int m = 0; m < kM; ++m) {
+          rsd(k, j, i, m) += coef * (rsd(k - 1, j, i, m) +
+                                     rsd(k, j - 1, i, m) +
+                                     rsd(k, j, i - 1, m));
+        }
+      }
+    }
+  }
+  // Upper sweep (descending).
+  for (int k = kGrid - 2; k >= 1; --k) {
+    for (int j = kGrid - 2; j >= 1; --j) {
+      for (int i = kGrid - 2; i >= 1; --i) {
+        const T coef = omega_eff * dt / (1.0 + rho(k, j, i));
+        for (int m = 0; m < kM; ++m) {
+          rsd(k, j, i, m) += coef * (rsd(k + 1, j, i, m) +
+                                     rsd(k, j + 1, i, m) +
+                                     rsd(k, j, i + 1, m));
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void LuApp<T>::update_u(const T& omega_eff) {
+  auto u = u_view();
+  auto rsd = rsd_view();
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          u(k, j, i, m) += omega_eff * rsd(k, j, i, m);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void LuApp<T>::compute_residual() {
+  auto u = u_view();
+  auto rsd = rsd_view();
+  auto rho = rho_view();
+  auto qs = qs_view();
+  const double th = cfg_.dt * cfg_.diffusivity;
+  const double fs = cfg_.dt * cfg_.flux_scale;
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        // Directional energy fluxes: the ONLY reads of u[..][4].  Each
+        // direction reads the component along the full line extent 0..11
+        // on interior transverse indices — the three slabs of Fig. 7.
+        const T flux_x = u(k + 1, j, i, 4) - 2.0 * u(k, j, i, 4) +
+                         u(k - 1, j, i, 4);
+        const T flux_y = u(k, j + 1, i, 4) - 2.0 * u(k, j, i, 4) +
+                         u(k, j - 1, i, 4);
+        const T flux_z = u(k, j, i + 1, 4) - 2.0 * u(k, j, i, 4) +
+                         u(k, j, i - 1, 4);
+        const T qcoef = 1.0 + 0.5 * qs(k, j, i);
+        for (int m = 0; m < kM - 1; ++m) {
+          const T laplacian = u(k + 1, j, i, m) + u(k - 1, j, i, m) +
+                              u(k, j + 1, i, m) + u(k, j - 1, i, m) +
+                              u(k, j, i + 1, m) + u(k, j, i - 1, m) -
+                              6.0 * u(k, j, i, m);
+          const double forcing = cfg_.dt * 0.05 * exact(k, j, i, m);
+          rsd(k, j, i, m) = th * laplacian * qcoef / (1.0 + rho(k, j, i)) +
+                            fs * (flux_x + flux_y + flux_z) + forcing;
+        }
+        // Energy equation: driven by its own fluxes and the momentum state.
+        const double forcing4 = cfg_.dt * 0.05 * exact(k, j, i, 4);
+        rsd(k, j, i, 4) = th * (flux_x + flux_y + flux_z) +
+                          fs * (u(k, j, i, 0) + u(k, j, i, 1) +
+                                u(k, j, i, 2) + u(k, j, i, 3)) +
+                          forcing4;
+      }
+    }
+  }
+}
+
+template <typename T>
+void LuApp<T>::recompute_coefficients() {
+  auto u = u_view();
+  auto rho = rho_view();
+  auto qs = qs_view();
+  // Grid loops 0..11 per axis: the index-12 slots are written by nothing,
+  // read by nothing — "declared but not invoked".
+  for (int k = 0; k <= kGrid - 1; ++k) {
+    for (int j = 0; j <= kGrid - 1; ++j) {
+      for (int i = 0; i <= kGrid - 1; ++i) {
+        rho(k, j, i) = 1.0 / (1.0 + u(k, j, i, 0) * u(k, j, i, 0));
+        qs(k, j, i) = 0.5 * (u(k, j, i, 1) * u(k, j, i, 1) +
+                             u(k, j, i, 2) * u(k, j, i, 2) +
+                             u(k, j, i, 3) * u(k, j, i, 3)) *
+                      rho(k, j, i);
+      }
+    }
+  }
+}
+
+template <typename T>
+void LuApp<T>::step() {
+  const T omega_eff = adaptive_omega();
+  ssor_sweeps(omega_eff);
+  update_u(omega_eff);
+  compute_residual();
+  recompute_coefficients();
+  ++istep_;
+}
+
+template <typename T>
+std::vector<T> LuApp<T>::outputs() {
+  using std::sqrt;
+  auto u = u_view();
+  auto rsd = rsd_view();
+  std::vector<T> norms(kM, T(0));
+  const double scale = 1.0 / (static_cast<double>(kGrid) * kGrid * kGrid);
+  // Momentum error norms (m = 0..3) over the grid_points box.
+  for (int k = 0; k <= kGrid - 1; ++k) {
+    for (int j = 0; j <= kGrid - 1; ++j) {
+      for (int i = 0; i <= kGrid - 1; ++i) {
+        for (int m = 0; m < kM - 1; ++m) {
+          const T diff = u(k, j, i, m) - exact(k, j, i, m);
+          norms[m] += diff * diff;
+        }
+        // Residual norm (fifth output) covers all five components.
+        for (int m = 0; m < kM; ++m) {
+          norms[4] += rsd(k, j, i, m) * rsd(k, j, i, m);
+        }
+      }
+    }
+  }
+  for (int m = 0; m < kM - 1; ++m) norms[m] = sqrt(norms[m] * scale);
+  norms[4] = sqrt(norms[4] * scale / kM);
+  return norms;
+}
+
+template <typename T>
+std::vector<core::VarBind<T>> LuApp<T>::checkpoint_bindings() {
+  std::vector<core::VarBind<T>> binds;
+  binds.push_back(core::bind_array<T>(
+      "u", std::span<T>(u_.data(), u_.size()),
+      {static_cast<std::uint64_t>(kD0), kD1, kD2, kM}));
+  binds.push_back(core::bind_array<T>(
+      "rho_i", std::span<T>(rho_i_.data(), rho_i_.size()),
+      {static_cast<std::uint64_t>(kD0), kD1, kD2}));
+  binds.push_back(core::bind_array<T>(
+      "qs", std::span<T>(qs_.data(), qs_.size()),
+      {static_cast<std::uint64_t>(kD0), kD1, kD2}));
+  binds.push_back(core::bind_array<T>(
+      "rsd", std::span<T>(rsd_.data(), rsd_.size()),
+      {static_cast<std::uint64_t>(kD0), kD1, kD2, kM}));
+  binds.push_back(core::bind_integer<T>("istep", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename T>
+void LuApp<T>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<T, double>
+{
+  registry.register_f64("u", std::span<double>(u_.data(), u_.size()),
+                        {static_cast<std::uint64_t>(kD0), kD1, kD2, kM});
+  registry.register_f64("rho_i",
+                        std::span<double>(rho_i_.data(), rho_i_.size()),
+                        {static_cast<std::uint64_t>(kD0), kD1, kD2});
+  registry.register_f64("qs", std::span<double>(qs_.data(), qs_.size()),
+                        {static_cast<std::uint64_t>(kD0), kD1, kD2});
+  registry.register_f64("rsd", std::span<double>(rsd_.data(), rsd_.size()),
+                        {static_cast<std::uint64_t>(kD0), kD1, kD2, kM});
+  registry.register_scalar("istep", istep_);
+}
+
+extern template class LuApp<double>;
+
+}  // namespace scrutiny::npb

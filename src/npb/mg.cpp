@@ -1,0 +1,14 @@
+#include "npb/mg.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class MgApp<double>;
+template class MgApp<ad::Real>;
+template class MgApp<ad::Dual>;
+template class MgApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,339 @@
+// MG — V-cycle multigrid mini-app (NPB class S shapes).
+//
+// Checkpoint variables (Table I): double u[46480], double r[46480], int it.
+// 46480 is NPB's NR allocation formula for class S:
+//   NR = ((NV + NM^2 + 5*NM + 7*LM + 6) / 7) * 8,  NV = 34^3, NM = 34, LM = 5
+// Both u and r store all five multigrid levels back to back
+// (34^3 | 18^3 | 10^3 | 6^3 | 4^3) with 64 slack doubles at the tail.
+//
+// Criticality structure reproduced from the paper:
+//  * u: only the finest level participates after a checkpoint — every
+//    coarser chunk is zeroed inside the V-cycle before any read, and the
+//    tail slack is never touched.  39304 contiguous critical elements,
+//    7176 uncritical (15.4 %) — Fig. 4.
+//  * r: coarse chunks are cleared + rewritten by restriction before reads;
+//    at the finest level the sweeps/norm read indices 0..32 per axis (the
+//    one-sided boundary convention plus the nx+1 norm loop bound), never
+//    the 33-plane.  Critical = 33^3 = 35937; uncritical = 10543 (22.7 %,
+//    Table II) arranged in the repetitive stripe pattern of Fig. 5.
+//
+// The right-hand side v is NOT checkpointed: it is regenerated
+// deterministically from the NPB random stream on restart (zran3 style).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/npb_common.hpp"
+#include "support/array_nd.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct MgConfig {
+  int niter = 6;
+  double smooth_omega = 0.6;   ///< psinv relaxation factor
+  double smooth_sigma = 0.1;   ///< neighbor weight in psinv
+  double lap_scale = 0.12;     ///< residual operator scale
+  double background = 0.01;    ///< nonzero initial guess amplitude
+};
+
+template <typename T>
+class MgApp {
+ public:
+  using Config = MgConfig;
+  static constexpr const char* kName = "MG";
+
+  static constexpr int kLm = 5;                 ///< log2 of the 32^3 grid
+  static constexpr int kLevels = kLm;           ///< levels 1..5, 5 = finest
+  static constexpr int kNm = 2 + (1 << kLm);    ///< 34: finest extent
+  static constexpr std::size_t kNv =
+      static_cast<std::size_t>(kNm) * kNm * kNm;  ///< 39304
+  /// NPB's class-S allocation: 46480 doubles.
+  static constexpr std::size_t kNr =
+      ((kNv + static_cast<std::size_t>(kNm) * kNm + 5 * kNm + 7 * kLm + 6) /
+       7) *
+      8;
+  static_assert(kNr == 46480, "class-S MG allocation must match the paper");
+
+  explicit MgApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+  std::vector<T> outputs();
+  std::vector<core::VarBind<T>> checkpoint_bindings();
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>;
+
+  [[nodiscard]] int current_step() const noexcept { return it_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+  /// Extent of level k (1-based, kLevels = finest).
+  [[nodiscard]] static constexpr int level_extent(int k) noexcept {
+    return 2 + (1 << k);
+  }
+  /// Offset of level k's chunk inside the flat arrays.
+  [[nodiscard]] static constexpr std::size_t level_offset(int k) noexcept {
+    std::size_t offset = 0;
+    for (int level = kLevels; level > k; --level) {
+      const std::size_t extent = level_extent(level);
+      offset += extent * extent * extent;
+    }
+    return offset;
+  }
+
+ private:
+  View3D<T> level_view(std::vector<T>& storage, int k) noexcept {
+    const int extent = level_extent(k);
+    return View3D<T>(storage.data() + level_offset(k), extent, extent,
+                     extent);
+  }
+
+  void zero_level(std::vector<T>& storage, int k);
+  void restrict_level(int fine_k);
+  void interpolate_level(int fine_k, bool additive);
+  void smooth_level(int k);
+  void residual_finest();
+
+  Config cfg_;
+  std::int32_t it_ = 0;
+  std::vector<T> u_;
+  std::vector<T> r_;
+  std::vector<double> v_;  ///< finest-level RHS; passive, regenerated
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void MgApp<T>::init() {
+  it_ = 0;
+  u_.assign(kNr, T(0));
+  r_.assign(kNr, T(0));
+  v_.assign(kNv, 0.0);
+
+  // zran3-style charges: +1 at ten deterministic interior sites, -1 at ten
+  // others, positions drawn from the NPB random stream.
+  double seed = 314159265.0;
+  const int interior = kNm - 2;
+  for (int charge = 0; charge < 20; ++charge) {
+    const int i3 = 1 + static_cast<int>(randlc(seed, kNpbDefaultMultiplier) *
+                                        interior);
+    const int i2 = 1 + static_cast<int>(randlc(seed, kNpbDefaultMultiplier) *
+                                        interior);
+    const int i1 = 1 + static_cast<int>(randlc(seed, kNpbDefaultMultiplier) *
+                                        interior);
+    const std::size_t idx =
+        (static_cast<std::size_t>(i3) * kNm + i2) * kNm + i1;
+    v_[idx] = charge < 10 ? 1.0 : -1.0;
+  }
+
+  // Nonzero background guess on the whole finest box (ghosts included);
+  // coarser chunks and the tail slack stay zero — they are rebuilt inside
+  // every V-cycle before being read.
+  std::uint64_t h = 0xabcdef;
+  for (std::size_t c = 0; c < kNv; ++c) {
+    u_[c] = T(cfg_.background * (0.5 + hashed_uniform(h++)));
+  }
+  // Residual of the background guess: interior from the operator, the
+  // one-sided boundary band keeps a small nonzero residual estimate.
+  for (std::size_t c = 0; c < kNv; ++c) {
+    r_[c] = T(cfg_.background * 0.1 * (0.5 + hashed_uniform(h++)));
+  }
+  residual_finest();
+}
+
+template <typename T>
+void MgApp<T>::zero_level(std::vector<T>& storage, int k) {
+  const int extent = level_extent(k);
+  const std::size_t offset = level_offset(k);
+  const std::size_t count =
+      static_cast<std::size_t>(extent) * extent * extent;
+  for (std::size_t c = 0; c < count; ++c) storage[offset + c] = T(0);
+}
+
+template <typename T>
+void MgApp<T>::restrict_level(int fine_k) {
+  // Two-point full weighting per axis: coarse interior cell ic reads fine
+  // cells {2ic-1, 2ic} — on the finest level the reads stay within 1..32.
+  auto fine = level_view(r_, fine_k);
+  auto coarse = level_view(r_, fine_k - 1);
+  const int coarse_extent = level_extent(fine_k - 1);
+  zero_level(r_, fine_k - 1);  // ghost clearing in lieu of NPB's comm3
+  for (int c3 = 1; c3 <= coarse_extent - 2; ++c3) {
+    for (int c2 = 1; c2 <= coarse_extent - 2; ++c2) {
+      for (int c1 = 1; c1 <= coarse_extent - 2; ++c1) {
+        T sum = T(0);
+        for (int d3 = -1; d3 <= 0; ++d3) {
+          for (int d2 = -1; d2 <= 0; ++d2) {
+            for (int d1 = -1; d1 <= 0; ++d1) {
+              sum += fine(2 * c3 + d3, 2 * c2 + d2, 2 * c1 + d1);
+            }
+          }
+        }
+        coarse(c3, c2, c1) = sum * 0.125;
+      }
+    }
+  }
+}
+
+template <typename T>
+void MgApp<T>::interpolate_level(int fine_k, bool additive) {
+  auto fine = level_view(u_, fine_k);
+  auto coarse = level_view(u_, fine_k - 1);
+  const int fine_extent = level_extent(fine_k);
+  for (int f3 = 1; f3 <= fine_extent - 3; ++f3) {
+    for (int f2 = 1; f2 <= fine_extent - 3; ++f2) {
+      for (int f1 = 1; f1 <= fine_extent - 3; ++f1) {
+        T sum = T(0);
+        for (int d3 = 0; d3 <= 1; ++d3) {
+          for (int d2 = 0; d2 <= 1; ++d2) {
+            for (int d1 = 0; d1 <= 1; ++d1) {
+              sum += coarse((f3 + d3) >> 1, (f2 + d2) >> 1, (f1 + d1) >> 1);
+            }
+          }
+        }
+        const T value = sum * 0.125;
+        if (additive) {
+          fine(f3, f2, f1) += value;
+        } else {
+          fine(f3, f2, f1) = value;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void MgApp<T>::smooth_level(int k) {
+  // psinv: one damped pass with NPB's full 27-point stencil over the
+  // one-sided interior 1..extent-3, reading r on the complete
+  // [0, extent-2]^3 neighbor box (faces, edges AND corners — the corner
+  // legs matter: without them, restriction output at coarse cells with
+  // two high-boundary coordinates would never be consumed).
+  auto u = level_view(u_, k);
+  auto r = level_view(r_, k);
+  const int extent = level_extent(k);
+  for (int i3 = 1; i3 <= extent - 3; ++i3) {
+    for (int i2 = 1; i2 <= extent - 3; ++i2) {
+      for (int i1 = 1; i1 <= extent - 3; ++i1) {
+        T faces = T(0), edges = T(0), corners = T(0);
+        for (int d3 = -1; d3 <= 1; ++d3) {
+          for (int d2 = -1; d2 <= 1; ++d2) {
+            for (int d1 = -1; d1 <= 1; ++d1) {
+              const int taps = (d3 != 0) + (d2 != 0) + (d1 != 0);
+              if (taps == 1) {
+                faces += r(i3 + d3, i2 + d2, i1 + d1);
+              } else if (taps == 2) {
+                edges += r(i3 + d3, i2 + d2, i1 + d1);
+              } else if (taps == 3) {
+                corners += r(i3 + d3, i2 + d2, i1 + d1);
+              }
+            }
+          }
+        }
+        u(i3, i2, i1) +=
+            cfg_.smooth_omega *
+            (r(i3, i2, i1) + cfg_.smooth_sigma * faces +
+             0.5 * cfg_.smooth_sigma * edges +
+             0.25 * cfg_.smooth_sigma * corners);
+      }
+    }
+  }
+}
+
+template <typename T>
+void MgApp<T>::residual_finest() {
+  auto u = level_view(u_, kLevels);
+  auto r = level_view(r_, kLevels);
+  for (int i3 = 1; i3 <= kNm - 3; ++i3) {
+    for (int i2 = 1; i2 <= kNm - 3; ++i2) {
+      for (int i1 = 1; i1 <= kNm - 3; ++i1) {
+        const T au = 6.0 * u(i3, i2, i1) - u(i3 + 1, i2, i1) -
+                     u(i3 - 1, i2, i1) - u(i3, i2 + 1, i1) -
+                     u(i3, i2 - 1, i1) - u(i3, i2, i1 + 1) -
+                     u(i3, i2, i1 - 1);
+        const std::size_t vidx =
+            (static_cast<std::size_t>(i3) * kNm + i2) * kNm + i1;
+        r(i3, i2, i1) = v_[vidx] - cfg_.lap_scale * au;
+      }
+    }
+  }
+}
+
+template <typename T>
+void MgApp<T>::step() {
+  // mg3P: restrict the residual down, solve coarsest, interpolate back up.
+  for (int k = kLevels; k >= 2; --k) restrict_level(k);
+  zero_level(u_, 1);
+  smooth_level(1);
+  for (int k = 2; k <= kLevels; ++k) {
+    if (k < kLevels) {
+      zero_level(u_, k);
+      interpolate_level(k, /*additive=*/false);
+      smooth_level(k);
+    } else {
+      interpolate_level(k, /*additive=*/true);
+      residual_finest();
+      smooth_level(k);
+    }
+  }
+  ++it_;
+}
+
+template <typename T>
+std::vector<T> MgApp<T>::outputs() {
+  using std::sqrt;
+  auto u = level_view(u_, kLevels);
+  auto r = level_view(r_, kLevels);
+  // rnm2 with the nx+1 loop bound: reads r over 0..32 per axis (33^3).
+  T rnorm = T(0);
+  constexpr int kRn = kNm - 1;  // 33
+  for (int i3 = 0; i3 < kRn; ++i3) {
+    for (int i2 = 0; i2 < kRn; ++i2) {
+      for (int i1 = 0; i1 < kRn; ++i1) {
+        rnorm += r(i3, i2, i1) * r(i3, i2, i1);
+      }
+    }
+  }
+  // Solution norm over the whole padded finest box (34^3).
+  T unorm = T(0);
+  for (int i3 = 0; i3 < kNm; ++i3) {
+    for (int i2 = 0; i2 < kNm; ++i2) {
+      for (int i1 = 0; i1 < kNm; ++i1) {
+        unorm += u(i3, i2, i1) * u(i3, i2, i1);
+      }
+    }
+  }
+  const double rn = static_cast<double>(kRn) * kRn * kRn;
+  const double un = static_cast<double>(kNm) * kNm * kNm;
+  return {sqrt(rnorm / rn), sqrt(unorm / un)};
+}
+
+template <typename T>
+std::vector<core::VarBind<T>> MgApp<T>::checkpoint_bindings() {
+  std::vector<core::VarBind<T>> binds;
+  binds.push_back(
+      core::bind_array<T>("u", std::span<T>(u_.data(), u_.size())));
+  binds.push_back(
+      core::bind_array<T>("r", std::span<T>(r_.data(), r_.size())));
+  binds.push_back(core::bind_integer<T>("it", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename T>
+void MgApp<T>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<T, double>
+{
+  registry.register_f64("u", std::span<double>(u_.data(), u_.size()));
+  registry.register_f64("r", std::span<double>(r_.data(), r_.size()));
+  registry.register_scalar("it", it_);
+}
+
+extern template class MgApp<double>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,24 @@
+#include "npb/npb_common.hpp"
+
+namespace scrutiny::npb {
+
+std::optional<BenchmarkId> parse_benchmark(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) {
+    upper.push_back(static_cast<char>(c >= 'a' && c <= 'z' ? c - 32 : c));
+  }
+  for (BenchmarkId id : all_benchmarks()) {
+    if (upper == benchmark_name(id)) return id;
+  }
+  return std::nullopt;
+}
+
+const std::vector<BenchmarkId>& all_benchmarks() {
+  static const std::vector<BenchmarkId> ids = {
+      BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU, BenchmarkId::MG,
+      BenchmarkId::CG, BenchmarkId::FT, BenchmarkId::EP, BenchmarkId::IS};
+  return ids;
+}
+
+}  // namespace scrutiny::npb

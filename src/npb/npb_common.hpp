@@ -1,0 +1,49 @@
+// Shared definitions for the NPB mini-app suite.
+//
+// The mini-apps reproduce, at NPB class-S variable shapes, the checkpoint
+// variables of Table I and the post-checkpoint access patterns the paper
+// reports.  Each app is templated on the scalar type so the same kernel
+// runs as plain double (production), ad::Real (reverse AD), ad::Dual
+// (forward AD) and ad::Marked<double> (read-set analysis).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ad/num_traits.hpp"
+
+namespace scrutiny::npb {
+
+enum class BenchmarkId : std::uint8_t { BT, SP, LU, MG, CG, FT, EP, IS };
+
+[[nodiscard]] constexpr const char* benchmark_name(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::BT: return "BT";
+    case BenchmarkId::SP: return "SP";
+    case BenchmarkId::LU: return "LU";
+    case BenchmarkId::MG: return "MG";
+    case BenchmarkId::CG: return "CG";
+    case BenchmarkId::FT: return "FT";
+    case BenchmarkId::EP: return "EP";
+    case BenchmarkId::IS: return "IS";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<BenchmarkId> parse_benchmark(
+    std::string_view name);
+
+[[nodiscard]] const std::vector<BenchmarkId>& all_benchmarks();
+
+/// Index extraction usable with both plain ints and ad::Marked<int>: for
+/// Marked this counts as a program read (indexing consumes the value).
+[[nodiscard]] inline int index_value(int v) noexcept { return v; }
+[[nodiscard]] inline int index_value(std::int32_t v, int) = delete;
+[[nodiscard]] inline int index_value(const ad::Marked<std::int32_t>& v) {
+  return static_cast<int>(v.value());
+}
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,52 @@
+#include "npb/paper_reference.hpp"
+
+#include <array>
+
+namespace scrutiny::npb {
+
+namespace {
+
+constexpr std::array<PaperCriticalityRow, 10> kTable2 = {{
+    {BenchmarkId::BT, "u", 1500, 10140, 0.148},
+    {BenchmarkId::SP, "u", 1500, 10140, 0.148},
+    {BenchmarkId::MG, "u", 7176, 46480, 0.154},
+    {BenchmarkId::MG, "r", 10543, 46480, 0.227},
+    {BenchmarkId::CG, "x", 2, 1402, 0.001},
+    {BenchmarkId::LU, "qs", 300, 2028, 0.148},
+    // Table II prints rsd/rho_i with their sizes swapped relative to
+    // Table I; we follow Table I's shapes (rsd is the 4-D array).
+    {BenchmarkId::LU, "rsd", 1500, 10140, 0.148},
+    {BenchmarkId::LU, "rho_i", 300, 2028, 0.148},
+    {BenchmarkId::LU, "u", 1628, 10140, 0.160},
+    {BenchmarkId::FT, "y", 4096, 266240, 0.015},
+}};
+
+constexpr std::array<PaperStorageRow, 6> kTable3 = {{
+    {BenchmarkId::BT, 79.4, 67.7, 0.148},
+    {BenchmarkId::SP, 79.4, 67.7, 0.148},
+    {BenchmarkId::MG, 727.0, 588.0, 0.191},
+    {BenchmarkId::CG, 10.9, 10.9, 0.001},
+    {BenchmarkId::LU, 191.0, 161.0, 0.157},
+    {BenchmarkId::FT, 4161.0, 4097.0, 0.01},
+}};
+
+}  // namespace
+
+std::span<const PaperCriticalityRow> paper_table2() { return kTable2; }
+
+std::span<const PaperStorageRow> paper_table3() { return kTable3; }
+
+const char* paper_discrepancy_notes() {
+  return
+      "Known paper-internal inconsistencies (reproduction follows the "
+      "self-consistent value):\n"
+      "  * MG(r): text says 10479 uncritical (22.4%); Table II says 10543 "
+      "(22.7%). 10543 = 46480 - 33^3 is self-consistent -> we match Table "
+      "II.\n"
+      "  * Table II swaps the element counts of LU rsd (10140 per Table I) "
+      "and LU rho_i (2028). We follow Table I shapes with Table II rates.\n"
+      "  * Table III prints FT saving as 1%; 4096/266240 = 1.5% (Table II). "
+      "We report the computed value.\n";
+}
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,38 @@
+// The paper's reported numbers (Tables II and III), embedded so bench
+// harnesses can print "paper vs. measured" side by side and EXPERIMENTS.md
+// can be regenerated mechanically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "npb/npb_common.hpp"
+
+namespace scrutiny::npb {
+
+/// One row of the paper's Table II.
+struct PaperCriticalityRow {
+  BenchmarkId benchmark;
+  const char* variable;
+  std::uint64_t uncritical;
+  std::uint64_t total;
+  double uncritical_rate;  ///< as printed in the paper
+};
+
+[[nodiscard]] std::span<const PaperCriticalityRow> paper_table2();
+
+/// One row of the paper's Table III (sizes as printed, in "kb").
+struct PaperStorageRow {
+  BenchmarkId benchmark;
+  double original_kb;
+  double optimized_kb;
+  double saved_rate;  ///< as printed in the paper
+};
+
+[[nodiscard]] std::span<const PaperStorageRow> paper_table3();
+
+/// Known internal inconsistencies in the paper (documented in DESIGN.md §5)
+/// that the reproduction resolves in favour of the self-consistent value.
+[[nodiscard]] const char* paper_discrepancy_notes();
+
+}  // namespace scrutiny::npb

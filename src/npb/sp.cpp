@@ -1,0 +1,14 @@
+#include "npb/sp.hpp"
+
+#include "ad/forward.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+
+namespace scrutiny::npb {
+
+template class SpApp<double>;
+template class SpApp<ad::Real>;
+template class SpApp<ad::Dual>;
+template class SpApp<ad::Marked<double>>;
+
+}  // namespace scrutiny::npb

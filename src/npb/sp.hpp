@@ -1,0 +1,285 @@
+// SP — Scalar Pentadiagonal solver mini-app (NPB class S shapes).
+//
+// Checkpoint variables (Table I): double u[12][13][13][5], int step — the
+// same as BT, and the paper finds the exact same critical/uncritical
+// distribution, created by the shared error_norm verification.
+//
+// One iteration: a coupled RHS (second-order stencil + fourth-order
+// dissipation clipped at the edges), then three directional sweeps solving
+// *scalar* pentadiagonal systems per component along every interior line,
+// then u += delta.  Outputs are the five error_norm components over
+// 0..11 per axis.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+#include "npb/block_matrix.hpp"
+#include "npb/npb_common.hpp"
+#include "support/array_nd.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+
+struct SpConfig {
+  int niter = 8;
+  double dt = 0.006;
+  double diffusivity = 0.35;
+  double dissipation = 0.04;   ///< fourth-order term in the bands
+  double coupling = 0.015;     ///< inter-component RHS coupling
+  double nonlinearity = 0.01;  ///< u-dependence of the diagonal band
+  double init_perturb = 0.05;
+};
+
+template <typename T>
+class SpApp {
+ public:
+  using Config = SpConfig;
+  static constexpr const char* kName = "SP";
+
+  static constexpr int kD0 = 12;
+  static constexpr int kD1 = 13;
+  static constexpr int kD2 = 13;
+  static constexpr int kM = 5;
+  static constexpr int kGrid = 12;
+  static constexpr std::size_t kTotalElements =
+      static_cast<std::size_t>(kD0) * kD1 * kD2 * kM;
+
+  explicit SpApp(const Config& config = {}) : cfg_(config) {}
+
+  void init();
+  void step();
+  std::vector<T> outputs();
+  std::vector<core::VarBind<T>> checkpoint_bindings();
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>;
+
+  [[nodiscard]] int current_step() const noexcept { return step_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_steps() const noexcept { return cfg_.niter; }
+
+  [[nodiscard]] static double exact(int k, int j, int i, int m) noexcept;
+
+ private:
+  View4D<T> u_view() noexcept {
+    return View4D<T>(u_.data(), kD0, kD1, kD2, kM);
+  }
+  View4D<T> rhs_view() noexcept {
+    return View4D<T>(rhs_.data(), kD0, kD1, kD2, kM);
+  }
+
+  void compute_rhs();
+  void sweep(int direction);
+  void add_update();
+
+  Config cfg_;
+  std::int32_t step_ = 0;
+  std::vector<T> u_;
+  std::vector<T> rhs_;
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename T>
+double SpApp<T>::exact(int k, int j, int i, int m) noexcept {
+  static constexpr std::array<double, kM> amplitude = {0.9, 0.7, 0.5, 0.35,
+                                                       0.25};
+  const double x = static_cast<double>(k) / (kGrid - 1);
+  const double y = static_cast<double>(j) / (kGrid - 1);
+  const double z = static_cast<double>(i) / (kGrid - 1);
+  return amplitude[m] *
+         (1.2 + 0.25 * std::cos(2.1 * x + 0.4 * m) +
+          0.2 * std::sin(1.9 * y + 0.2 * m) + 0.15 * std::cos(2.7 * z));
+}
+
+template <typename T>
+void SpApp<T>::init() {
+  step_ = 0;
+  u_.assign(kTotalElements, T(0));
+  rhs_.assign(kTotalElements, T(0));
+  auto u = u_view();
+  std::uint64_t h = 0x5eed;
+  for (int k = 0; k < kD0; ++k) {
+    for (int j = 0; j < kD1; ++j) {
+      for (int i = 0; i < kD2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          // Whole-allocation perturbation; see BtApp<T>::init.
+          const double value = exact(k, j, i, m) +
+                               cfg_.init_perturb * (hashed_uniform(h) - 0.5);
+          ++h;
+          u(k, j, i, m) = T(value);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void SpApp<T>::compute_rhs() {
+  auto u = u_view();
+  auto rhs = rhs_view();
+  static constexpr Mat5<double> kCoupling = {{{0.0, 0.3, 0.0, 0.2, 0.1},
+                                              {0.3, 0.0, 0.2, 0.0, 0.1},
+                                              {0.0, 0.2, 0.0, 0.3, 0.0},
+                                              {0.2, 0.0, 0.3, 0.0, 0.2},
+                                              {0.1, 0.1, 0.0, 0.2, 0.0}}};
+  const double theta = cfg_.dt * cfg_.diffusivity;
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          T laplacian = u(k + 1, j, i, m) + u(k - 1, j, i, m) +
+                        u(k, j + 1, i, m) + u(k, j - 1, i, m) +
+                        u(k, j, i + 1, m) + u(k, j, i - 1, m) -
+                        6.0 * u(k, j, i, m);
+          T coupled = T(0);
+          for (int n = 0; n < kM; ++n) {
+            coupled += kCoupling[m][n] * u(k, j, i, n);
+          }
+          const double forcing = cfg_.dt * 0.04 * exact(k, j, i, m);
+          rhs(k, j, i, m) = theta * laplacian +
+                            cfg_.dt * cfg_.coupling * coupled + forcing;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void SpApp<T>::sweep(int direction) {
+  auto u = u_view();
+  auto rhs = rhs_view();
+  constexpr int kLine = kGrid - 2;  // cells 1..10
+  const double theta = cfg_.dt * cfg_.diffusivity;
+  const double dis = cfg_.dt * cfg_.dissipation;
+
+  auto cell_value = [&](int la, int lb, int cell, int m) -> T& {
+    switch (direction) {
+      case 0: return u(cell, la, lb, m);
+      case 1: return u(la, cell, lb, m);
+      default: return u(la, lb, cell, m);
+    }
+  };
+  auto cell_rhs = [&](int la, int lb, int cell, int m) -> T& {
+    switch (direction) {
+      case 0: return rhs(cell, la, lb, m);
+      case 1: return rhs(la, cell, lb, m);
+      default: return rhs(la, lb, cell, m);
+    }
+  };
+
+  std::array<T, kLine> a2, a1, d, e1, e2, r;
+  for (int la = 1; la <= kGrid - 2; ++la) {
+    for (int lb = 1; lb <= kGrid - 2; ++lb) {
+      for (int m = 0; m < kM; ++m) {
+        for (int cell = 1; cell <= kGrid - 2; ++cell) {
+          const int idx = cell - 1;
+          // Pentadiagonal bands: tridiagonal implicit term + fourth-order
+          // dissipation reaching two cells out; diagonal mildly
+          // u-dependent (the "scalar" remnant of the SP Jacobians).
+          a2[idx] = T(dis);
+          a1[idx] = T(-theta - 4.0 * dis);
+          d[idx] = T(1.0 + 2.0 * theta + 6.0 * dis) +
+                   cfg_.nonlinearity * cell_value(la, lb, cell, m);
+          e1[idx] = T(-theta - 4.0 * dis);
+          e2[idx] = T(dis);
+          r[idx] = cell_rhs(la, lb, cell, m);
+        }
+        // Boundary folds (bands reaching outside 1..10).  Cells beyond the
+        // boundary (index -1 / 12) do not exist: their bands are clipped,
+        // matching one-sided dissipation in NPB.
+        r[0] -= (T(-theta - 4.0 * dis)) * cell_value(la, lb, 0, m);
+        r[1] -= T(dis) * cell_value(la, lb, 0, m);
+        r[kLine - 1] -=
+            (T(-theta - 4.0 * dis)) * cell_value(la, lb, kGrid - 1, m);
+        r[kLine - 2] -= T(dis) * cell_value(la, lb, kGrid - 1, m);
+        // Clip the out-of-range bands.
+        a2[0] = T(0);
+        a1[0] = T(0);
+        a2[1] = T(0);
+        e1[kLine - 1] = T(0);
+        e2[kLine - 1] = T(0);
+        e2[kLine - 2] = T(0);
+        solve_pentadiag<T>(kLine, a2.data(), a1.data(), d.data(), e1.data(),
+                           e2.data(), r.data());
+        for (int cell = 1; cell <= kGrid - 2; ++cell) {
+          cell_rhs(la, lb, cell, m) = r[cell - 1];
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void SpApp<T>::add_update() {
+  auto u = u_view();
+  auto rhs = rhs_view();
+  for (int k = 1; k <= kGrid - 2; ++k) {
+    for (int j = 1; j <= kGrid - 2; ++j) {
+      for (int i = 1; i <= kGrid - 2; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          u(k, j, i, m) += rhs(k, j, i, m);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void SpApp<T>::step() {
+  compute_rhs();
+  sweep(0);
+  sweep(1);
+  sweep(2);
+  add_update();
+  ++step_;
+}
+
+template <typename T>
+std::vector<T> SpApp<T>::outputs() {
+  using std::sqrt;
+  auto u = u_view();
+  std::vector<T> norms(kM, T(0));
+  for (int k = 0; k <= kGrid - 1; ++k) {
+    for (int j = 0; j <= kGrid - 1; ++j) {
+      for (int i = 0; i <= kGrid - 1; ++i) {
+        for (int m = 0; m < kM; ++m) {
+          const T diff = u(k, j, i, m) - exact(k, j, i, m);
+          norms[m] += diff * diff;
+        }
+      }
+    }
+  }
+  const double scale = 1.0 / (static_cast<double>(kGrid) * kGrid * kGrid);
+  for (int m = 0; m < kM; ++m) {
+    norms[m] = sqrt(norms[m] * scale);
+  }
+  return norms;
+}
+
+template <typename T>
+std::vector<core::VarBind<T>> SpApp<T>::checkpoint_bindings() {
+  std::vector<core::VarBind<T>> binds;
+  binds.push_back(core::bind_array<T>(
+      "u", std::span<T>(u_.data(), u_.size()),
+      {static_cast<std::uint64_t>(kD0), kD1, kD2, kM}));
+  binds.push_back(core::bind_integer<T>("step", 1, sizeof(std::int32_t)));
+  return binds;
+}
+
+template <typename T>
+void SpApp<T>::register_checkpoint(ckpt::CheckpointRegistry& registry)
+  requires std::same_as<T, double>
+{
+  registry.register_f64("u", std::span<double>(u_.data(), u_.size()),
+                        {static_cast<std::uint64_t>(kD0), kD1, kD2, kM});
+  registry.register_scalar("step", step_);
+}
+
+extern template class SpApp<double>;
+
+}  // namespace scrutiny::npb

@@ -1,0 +1,96 @@
+// Lightweight N-dimensional views over flat storage.
+//
+// The NPB mini-apps keep all state in flat std::vector<T> (so the checkpoint
+// registry and the AD analyzer can treat every variable as a contiguous
+// element range) and use these views for natural (k,j,i,m) indexing.
+// Row-major: the last index is contiguous, matching the C NPB layouts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace scrutiny {
+
+template <typename T>
+class View2D {
+ public:
+  View2D(T* data, std::size_t n0, std::size_t n1) noexcept
+      : data_(data), n0_(n0), n1_(n1) {}
+
+  T& operator()(std::size_t i0, std::size_t i1) const noexcept {
+    return data_[i0 * n1_ + i1];
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const noexcept {
+    return dim == 0 ? n0_ : n1_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n0_ * n1_; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+ private:
+  T* data_;
+  std::size_t n0_, n1_;
+};
+
+template <typename T>
+class View3D {
+ public:
+  View3D(T* data, std::size_t n0, std::size_t n1, std::size_t n2) noexcept
+      : data_(data), n0_(n0), n1_(n1), n2_(n2) {}
+
+  T& operator()(std::size_t i0, std::size_t i1, std::size_t i2) const noexcept {
+    return data_[(i0 * n1_ + i1) * n2_ + i2];
+  }
+
+  [[nodiscard]] std::size_t linear(std::size_t i0, std::size_t i1,
+                                   std::size_t i2) const noexcept {
+    return (i0 * n1_ + i1) * n2_ + i2;
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const noexcept {
+    const std::array<std::size_t, 3> e{n0_, n1_, n2_};
+    return e[dim];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n0_ * n1_ * n2_; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+ private:
+  T* data_;
+  std::size_t n0_, n1_, n2_;
+};
+
+template <typename T>
+class View4D {
+ public:
+  View4D(T* data, std::size_t n0, std::size_t n1, std::size_t n2,
+         std::size_t n3) noexcept
+      : data_(data), n0_(n0), n1_(n1), n2_(n2), n3_(n3) {}
+
+  T& operator()(std::size_t i0, std::size_t i1, std::size_t i2,
+                std::size_t i3) const noexcept {
+    return data_[((i0 * n1_ + i1) * n2_ + i2) * n3_ + i3];
+  }
+
+  [[nodiscard]] std::size_t linear(std::size_t i0, std::size_t i1,
+                                   std::size_t i2,
+                                   std::size_t i3) const noexcept {
+    return ((i0 * n1_ + i1) * n2_ + i2) * n3_ + i3;
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const noexcept {
+    const std::array<std::size_t, 4> e{n0_, n1_, n2_, n3_};
+    return e[dim];
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return n0_ * n1_ * n2_ * n3_;
+  }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+ private:
+  T* data_;
+  std::size_t n0_, n1_, n2_, n3_;
+};
+
+}  // namespace scrutiny

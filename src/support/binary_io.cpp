@@ -1,0 +1,91 @@
+#include "support/binary_io.hpp"
+
+#include <cstdint>
+#include <system_error>
+
+namespace scrutiny {
+
+BinaryWriter::BinaryWriter(std::filesystem::path path)
+    : final_path_(std::move(path)),
+      temp_path_(final_path_.string() + ".tmp") {
+  if (final_path_.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(final_path_.parent_path(), ec);
+  }
+  stream_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  SCRUTINY_REQUIRE(stream_.good(),
+                   "cannot open for writing: " + temp_path_.string());
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (!committed_) {
+    stream_.close();
+    std::error_code ec;
+    std::filesystem::remove(temp_path_, ec);
+  }
+}
+
+void BinaryWriter::write_bytes(const void* data, std::size_t size) {
+  SCRUTINY_REQUIRE(!committed_, "write after commit");
+  stream_.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+  SCRUTINY_REQUIRE(stream_.good(),
+                   "short write to " + temp_path_.string());
+  crc_.update(data, size);
+  bytes_written_ += size;
+}
+
+void BinaryWriter::write_string(std::string_view text) {
+  const auto length = static_cast<std::uint32_t>(text.size());
+  write(length);
+  write_bytes(text.data(), text.size());
+}
+
+void BinaryWriter::commit() {
+  SCRUTINY_REQUIRE(!committed_, "double commit");
+  stream_.flush();
+  SCRUTINY_REQUIRE(stream_.good(), "flush failed: " + temp_path_.string());
+  stream_.close();
+  std::filesystem::rename(temp_path_, final_path_);
+  committed_ = true;
+}
+
+BinaryReader::BinaryReader(const std::filesystem::path& path) : path_(path) {
+  stream_.open(path, std::ios::binary);
+  SCRUTINY_REQUIRE(stream_.good(),
+                   "cannot open for reading: " + path.string());
+}
+
+void BinaryReader::read_bytes(void* data, std::size_t size) {
+  stream_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  SCRUTINY_REQUIRE(static_cast<std::size_t>(stream_.gcount()) == size,
+                   "unexpected end of file: " + path_.string());
+  crc_.update(data, size);
+  bytes_read_ += size;
+}
+
+std::string BinaryReader::read_string() {
+  const auto length = read<std::uint32_t>();
+  SCRUTINY_REQUIRE(length <= (1u << 20),
+                   "implausible string length in " + path_.string());
+  std::string text(length, '\0');
+  read_bytes(text.data(), length);
+  return text;
+}
+
+void BinaryReader::skip(std::uint64_t size) {
+  // Read through a scratch buffer so the CRC still covers skipped bytes.
+  std::vector<char> scratch(4096);
+  while (size > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(size, scratch.size()));
+    read_bytes(scratch.data(), chunk);
+    size -= chunk;
+  }
+}
+
+bool BinaryReader::at_eof() {
+  return stream_.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace scrutiny

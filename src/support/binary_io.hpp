@@ -1,0 +1,113 @@
+// Little-endian binary file I/O with atomic commit.
+//
+// Checkpoint containers and region auxiliary files are written through
+// BinaryWriter, which targets a temporary file and renames it into place on
+// commit() — a crash mid-write can never leave a truncated file under the
+// final name (the classic write-tmp+rename C/R protocol).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/crc64.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny {
+
+/// Buffered writer with running CRC-64 over everything written.
+class BinaryWriter {
+ public:
+  /// Opens `<path>.tmp` for writing; commit() renames it to `path`.
+  explicit BinaryWriter(std::filesystem::path path);
+
+  /// Aborts (removes the temp file) unless commit() was called.
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void write_bytes(const void* data, std::size_t size);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    write_bytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_span(std::span<const T> values) {
+    write_bytes(values.data(), values.size_bytes());
+  }
+
+  /// Length-prefixed UTF-8 string.
+  void write_string(std::string_view text);
+
+  /// CRC-64 of all bytes written so far (not including the CRC itself).
+  [[nodiscard]] std::uint64_t crc() const noexcept { return crc_.value(); }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+  /// Flushes, fsyncs and renames the temp file onto the target path.
+  void commit();
+
+ private:
+  std::filesystem::path final_path_;
+  std::filesystem::path temp_path_;
+  std::ofstream stream_;
+  Crc64 crc_;
+  std::uint64_t bytes_written_ = 0;
+  bool committed_ = false;
+};
+
+/// Buffered reader with running CRC-64 over everything read.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::filesystem::path& path);
+
+  void read_bytes(void* data, std::size_t size);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T read() {
+    T value{};
+    read_bytes(&value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void read_span(std::span<T> values) {
+    read_bytes(values.data(), values.size_bytes());
+  }
+
+  [[nodiscard]] std::string read_string();
+
+  /// Skips `size` bytes (still folded into the CRC).
+  void skip(std::uint64_t size);
+
+  [[nodiscard]] std::uint64_t crc() const noexcept { return crc_.value(); }
+  void reset_crc() noexcept { crc_.reset(); }
+
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_;
+  }
+
+  [[nodiscard]] bool at_eof();
+
+ private:
+  std::ifstream stream_;
+  std::filesystem::path path_;
+  Crc64 crc_;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace scrutiny

@@ -1,0 +1,47 @@
+#include "support/crc64.hpp"
+
+#include <array>
+
+namespace scrutiny {
+
+namespace {
+// ECMA-182 reflected polynomial (same as xz/liblzma's CRC-64).
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256> kTable = make_table();
+}  // namespace
+
+void Crc64::update(std::span<const std::byte> data) noexcept {
+  std::uint64_t crc = state_;
+  for (std::byte b : data) {
+    crc = kTable[static_cast<std::uint8_t>(crc) ^
+                 static_cast<std::uint8_t>(b)] ^
+          (crc >> 8);
+  }
+  state_ = crc;
+}
+
+void Crc64::update(const void* data, std::size_t size) noexcept {
+  update(std::span<const std::byte>(static_cast<const std::byte*>(data),
+                                    size));
+}
+
+std::uint64_t crc64(const void* data, std::size_t size) noexcept {
+  Crc64 hasher;
+  hasher.update(data, size);
+  return hasher.value();
+}
+
+}  // namespace scrutiny

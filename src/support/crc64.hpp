@@ -1,0 +1,32 @@
+// CRC-64 (ECMA-182 polynomial) used to guard checkpoint container sections.
+//
+// Checkpoint files must detect torn writes and bit corruption on restart —
+// a silent mismatch would defeat the whole point of selective checkpointing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace scrutiny {
+
+/// Incremental CRC-64 hasher.  Feed bytes with `update`, read out `value`.
+class Crc64 {
+ public:
+  Crc64() noexcept = default;
+
+  void update(std::span<const std::byte> data) noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = ~0ull; }
+
+ private:
+  std::uint64_t state_ = ~0ull;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint64_t crc64(const void* data, std::size_t size) noexcept;
+
+}  // namespace scrutiny

@@ -1,0 +1,44 @@
+// Error handling primitives shared by every scrutiny library.
+//
+// The library reports recoverable failures (bad files, shape mismatches,
+// misuse of the API) through ScrutinyError; programming errors caught in
+// debug paths use the same type so tests can assert on them uniformly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace scrutiny {
+
+/// Exception type thrown by all scrutiny components.
+class ScrutinyError : public std::runtime_error {
+ public:
+  explicit ScrutinyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_requirement(std::string_view expr,
+                                           std::string_view file, int line,
+                                           std::string_view message) {
+  std::string what;
+  what.reserve(expr.size() + file.size() + message.size() + 48);
+  what.append(file).append(":").append(std::to_string(line));
+  what.append(": requirement failed: ").append(expr);
+  if (!message.empty()) what.append(" — ").append(message);
+  throw ScrutinyError(what);
+}
+}  // namespace detail
+
+}  // namespace scrutiny
+
+/// Validates a runtime requirement; throws ScrutinyError with location info.
+/// Used for API preconditions and file-format validation (always on, also in
+/// Release builds — checkpoint integrity must not depend on NDEBUG).
+#define SCRUTINY_REQUIRE(expr, message)                                   \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::scrutiny::detail::raise_requirement(#expr, __FILE__, __LINE__,    \
+                                            (message));                   \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "support/format_util.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace scrutiny {
+
+std::string human_bytes(std::uint64_t bytes) {
+  constexpr std::array<const char*, 5> units{"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < units.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[48];
+  if (unit == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, units[unit]);
+  }
+  return buffer;
+}
+
+std::string percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+std::string fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,21 @@
+// Small formatting helpers shared by reports, benches and the CLI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scrutiny {
+
+/// "79.4 KiB", "4.1 MiB", "123 B" — binary units, one decimal.
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// "14.8%" with one decimal.
+[[nodiscard]] std::string percent(double fraction);
+
+/// Fixed-point with `decimals` digits.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Thousands-separated integer ("266,240").
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+}  // namespace scrutiny

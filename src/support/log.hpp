@@ -1,0 +1,32 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (benches own their stdout); set the level
+// to Info/Debug to trace analyzer phases and checkpoint I/O.
+#pragma once
+
+#include <string_view>
+
+namespace scrutiny {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+inline void log_debug(std::string_view component, std::string_view message) {
+  log_message(LogLevel::Debug, component, message);
+}
+inline void log_info(std::string_view component, std::string_view message) {
+  log_message(LogLevel::Info, component, message);
+}
+inline void log_warn(std::string_view component, std::string_view message) {
+  log_message(LogLevel::Warn, component, message);
+}
+inline void log_error(std::string_view component, std::string_view message) {
+  log_message(LogLevel::Error, component, message);
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,78 @@
+#include "support/npb_random.hpp"
+
+#include <cmath>
+
+namespace scrutiny {
+
+namespace {
+// 2^-23, 2^23, 2^-46, 2^46 — constants from the NPB reference sources.
+constexpr double kR23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                        0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                        0.5 * 0.5 * 0.5 * 0.5 * 0.5;
+constexpr double kT23 = 1.0 / kR23;
+constexpr double kR46 = kR23 * kR23;
+constexpr double kT46 = kT23 * kT23;
+}  // namespace
+
+double randlc(double& seed, double a) noexcept {
+  // Break a and the seed into two 23-bit halves and multiply exactly.
+  const double t1a = kR23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1a));
+  const double a2 = a - kT23 * a1;
+
+  double t1 = kR23 * seed;
+  const double x1 = static_cast<double>(static_cast<long long>(t1));
+  const double x2 = seed - kT23 * x1;
+
+  t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(kR23 * t1));
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(kR46 * t3));
+  seed = t3 - kT46 * t4;
+  return kR46 * seed;
+}
+
+void vranlc(double& seed, double a, std::span<double> out) noexcept {
+  for (double& value : out) value = randlc(seed, a);
+}
+
+double npb_pow46(double a, std::int64_t exponent) noexcept {
+  // Square-and-multiply in the 2^46 modular arithmetic: npb_pow46 returns
+  // a^exponent mod 2^46 by driving randlc's one-step multiply.
+  double result = 1.0;
+  double base = a;
+  std::int64_t n = exponent;
+  while (n > 0) {
+    if (n & 1) {
+      double tmp = result;
+      (void)randlc(tmp, base);  // tmp <- base * tmp mod 2^46
+      result = tmp;
+    }
+    double sq = base;
+    (void)randlc(sq, base);
+    base = sq;
+    n >>= 1;
+  }
+  return result;
+}
+
+double npb_skip_ahead(double seed0, double a, std::int64_t count) noexcept {
+  const double an = npb_pow46(a, count);
+  double seed = seed0;
+  (void)randlc(seed, an);
+  return seed;
+}
+
+double hashed_uniform(std::uint64_t index) noexcept {
+  // SplitMix64 finalizer; maps to (0,1) excluding the endpoints.
+  std::uint64_t z = index + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  const double u =
+      (static_cast<double>(z >> 11) + 0.5) * (1.0 / 9007199254740992.0);
+  return u;
+}
+
+}  // namespace scrutiny

@@ -1,0 +1,40 @@
+// NPB pseudo-random number generator.
+//
+// The NAS Parallel Benchmarks define a 48-bit linear congruential generator
+//   x_{k+1} = a * x_k  (mod 2^46)
+// with a = 5^13 and results scaled to (0,1).  EP, CG, FT and IS all derive
+// their inputs from it; reproducing it exactly keeps our mini-apps
+// deterministic and comparable across scalar types (the generator always
+// runs in plain double precision — random streams are *inputs*, never
+// differentiated).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace scrutiny {
+
+/// Multiplier used by every NPB kernel (5^13).
+inline constexpr double kNpbDefaultMultiplier = 1220703125.0;
+
+/// NPB `randlc`: advances `seed` one step and returns a uniform deviate in
+/// (0,1).  Implemented with the benchmark's split 23/23-bit arithmetic so the
+/// stream matches the reference sources bit-for-bit.
+double randlc(double& seed, double a) noexcept;
+
+/// NPB `vranlc`: fills `out` with consecutive deviates, advancing `seed`.
+void vranlc(double& seed, double a, std::span<double> out) noexcept;
+
+/// Computes a^n (mod 2^46) semantics of NPB's `ipow46`, used to jump a
+/// random stream to an absolute position (EP batches, CG makea).
+double npb_pow46(double a, std::int64_t exponent) noexcept;
+
+/// Convenience: the seed after skipping `count` deviates from `seed0`.
+double npb_skip_ahead(double seed0, double a, std::int64_t count) noexcept;
+
+/// Small counter-based helper for tests and synthetic workloads: maps an
+/// index deterministically into (0,1) without shared state.
+double hashed_uniform(std::uint64_t index) noexcept;
+
+}  // namespace scrutiny

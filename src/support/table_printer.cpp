@@ -1,0 +1,59 @@
+#include "support/table_printer.hpp"
+
+#include <algorithm>
+
+namespace scrutiny {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TablePrinter::add_rule() { pending_rule_ = true; }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = hline() + format_row(headers_) + hline();
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += hline();
+    out += format_row(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  const std::string text = to_string();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace scrutiny

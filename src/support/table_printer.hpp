@@ -1,0 +1,36 @@
+// ASCII table renderer used by the bench harnesses to print paper-style
+// tables (Table I/II/III) with aligned columns.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace scrutiny {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  /// Renders to `out` (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace scrutiny

@@ -1,0 +1,30 @@
+// Monotonic wall-clock timer used by benches and the analyzer's phase
+// timings.
+#pragma once
+
+#include <chrono>
+
+namespace scrutiny {
+
+/// Steady-clock stopwatch. Starts on construction; `seconds()` reads the
+/// elapsed time without stopping, `restart()` re-arms it.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace scrutiny

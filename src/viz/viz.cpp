@@ -1,0 +1,163 @@
+#include "viz/viz.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "mask/region.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::viz {
+
+CriticalMask extract_stride_submask(const CriticalMask& mask,
+                                    std::size_t offset, std::size_t stride) {
+  SCRUTINY_REQUIRE(stride > 0, "stride must be positive");
+  SCRUTINY_REQUIRE(offset < stride, "offset must be below stride");
+  const std::size_t count = (mask.size() - offset + stride - 1) / stride;
+  CriticalMask sub(count, false);
+  for (std::size_t e = 0; e < count; ++e) {
+    sub.set(e, mask.test(offset + e * stride));
+  }
+  return sub;
+}
+
+CriticalMask extract_range_submask(const CriticalMask& mask,
+                                   std::size_t begin, std::size_t end) {
+  SCRUTINY_REQUIRE(begin <= end && end <= mask.size(),
+                   "submask range out of bounds");
+  CriticalMask sub(end - begin, false);
+  for (std::size_t e = begin; e < end; ++e) {
+    sub.set(e - begin, mask.test(e));
+  }
+  return sub;
+}
+
+std::string ascii_slice(const CriticalMask& mask, Shape3 shape, int axis,
+                        std::size_t index) {
+  SCRUTINY_REQUIRE(shape.volume() == mask.size(),
+                   "shape does not match mask size");
+  SCRUTINY_REQUIRE(axis >= 0 && axis <= 2, "axis must be 0..2");
+  auto flat = [&shape](std::size_t i0, std::size_t i1, std::size_t i2) {
+    return (i0 * shape.n1 + i1) * shape.n2 + i2;
+  };
+  std::string out;
+  // Rows/cols are the two free dimensions in order.
+  const std::size_t rows =
+      axis == 0 ? shape.n1 : shape.n0;
+  const std::size_t cols =
+      axis == 2 ? shape.n1 : shape.n2;
+  out.reserve(rows * (cols + 1));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::size_t e = 0;
+      switch (axis) {
+        case 0: e = flat(index, r, c); break;
+        case 1: e = flat(r, index, c); break;
+        default: e = flat(r, c, index); break;
+      }
+      out.push_back(mask.test(e) ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ascii_strip(const CriticalMask& mask, std::size_t width) {
+  SCRUTINY_REQUIRE(width > 0, "strip width must be positive");
+  std::string out;
+  out.reserve(width);
+  const double cell = static_cast<double>(mask.size()) /
+                      static_cast<double>(width);
+  for (std::size_t w = 0; w < width; ++w) {
+    const auto begin = static_cast<std::size_t>(w * cell);
+    auto end = static_cast<std::size_t>((w + 1) * cell);
+    if (end <= begin) end = begin + 1;
+    if (end > mask.size()) end = mask.size();
+    std::size_t critical = 0;
+    for (std::size_t e = begin; e < end; ++e) critical += mask.test(e);
+    if (critical == end - begin) {
+      out.push_back('#');
+    } else if (critical == 0) {
+      out.push_back('.');
+    } else {
+      out.push_back('+');
+    }
+  }
+  return out;
+}
+
+std::string run_length_summary(const CriticalMask& mask,
+                               std::size_t max_runs) {
+  std::string out;
+  out += std::to_string(mask.count_critical()) + " critical / " +
+         std::to_string(mask.count_uncritical()) + " uncritical; runs: ";
+  std::size_t printed = 0;
+  std::size_t i = 0;
+  while (i < mask.size() && printed < max_runs) {
+    const bool critical = mask.test(i);
+    std::size_t run = 0;
+    while (i < mask.size() && mask.test(i) == critical) {
+      ++run;
+      ++i;
+    }
+    out += std::to_string(run);
+    out += critical ? "C " : "U ";
+    ++printed;
+  }
+  if (i < mask.size()) out += "...";
+  return out;
+}
+
+namespace {
+
+void write_ppm(const std::filesystem::path& path, std::size_t width,
+               std::size_t height, const std::vector<unsigned char>& rgb) {
+  std::ofstream stream(path, std::ios::binary);
+  SCRUTINY_REQUIRE(stream.good(), "cannot write image: " + path.string());
+  stream << "P6\n" << width << " " << height << "\n255\n";
+  stream.write(reinterpret_cast<const char*>(rgb.data()),
+               static_cast<std::streamsize>(rgb.size()));
+  SCRUTINY_REQUIRE(stream.good(), "short image write: " + path.string());
+}
+
+void paint(std::vector<unsigned char>& rgb, std::size_t pixel,
+           bool critical) {
+  // Paper palette: red = critical, blue = uncritical.
+  rgb[3 * pixel + 0] = critical ? 200 : 30;
+  rgb[3 * pixel + 1] = 30;
+  rgb[3 * pixel + 2] = critical ? 40 : 200;
+}
+
+}  // namespace
+
+void write_ppm_slices(const std::filesystem::path& path,
+                      const CriticalMask& mask, Shape3 shape) {
+  SCRUTINY_REQUIRE(shape.volume() == mask.size(),
+                   "shape does not match mask size");
+  const std::size_t gap = 1;
+  const std::size_t width = shape.n0 * (shape.n2 + gap) - gap;
+  const std::size_t height = shape.n1;
+  std::vector<unsigned char> rgb(width * height * 3, 255);
+  for (std::size_t s = 0; s < shape.n0; ++s) {
+    for (std::size_t r = 0; r < shape.n1; ++r) {
+      for (std::size_t c = 0; c < shape.n2; ++c) {
+        const std::size_t e = (s * shape.n1 + r) * shape.n2 + c;
+        const std::size_t x = s * (shape.n2 + gap) + c;
+        paint(rgb, r * width + x, mask.test(e));
+      }
+    }
+  }
+  write_ppm(path, width, height, rgb);
+}
+
+void write_ppm_strip(const std::filesystem::path& path,
+                     const CriticalMask& mask, std::size_t width) {
+  SCRUTINY_REQUIRE(width > 0, "strip width must be positive");
+  const std::size_t height = (mask.size() + width - 1) / width;
+  std::vector<unsigned char> rgb(width * height * 3, 255);
+  for (std::size_t e = 0; e < mask.size(); ++e) {
+    paint(rgb, e, mask.test(e));
+  }
+  write_ppm(path, width, height, rgb);
+}
+
+}  // namespace scrutiny::viz

@@ -1,0 +1,59 @@
+// Visualization of critical/uncritical distributions (paper Figs. 3-8).
+//
+// Two backends: ASCII maps for terminals/test logs, and binary PPM images
+// (red = critical, blue = uncritical, the paper's color scheme).  Masks are
+// interpreted through an explicit shape; helpers extract component slices
+// from interleaved 4-D variables (e.g. BT's u[..][m]).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "mask/critical_mask.hpp"
+
+namespace scrutiny::viz {
+
+struct Shape3 {
+  std::size_t n0 = 0;
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+
+  [[nodiscard]] std::size_t volume() const noexcept { return n0 * n1 * n2; }
+};
+
+/// Every `stride`-th element starting at `offset` — e.g. the m-th component
+/// slice of an interleaved [k][j][i][m] variable (offset = m, stride = 5).
+[[nodiscard]] CriticalMask extract_stride_submask(const CriticalMask& mask,
+                                                  std::size_t offset,
+                                                  std::size_t stride);
+
+/// The sub-mask of elements [begin, end).
+[[nodiscard]] CriticalMask extract_range_submask(const CriticalMask& mask,
+                                                 std::size_t begin,
+                                                 std::size_t end);
+
+/// 2-D ASCII map of one slice ('#' critical, '.' uncritical).
+/// axis selects the fixed dimension (0..2); index its position.
+[[nodiscard]] std::string ascii_slice(const CriticalMask& mask, Shape3 shape,
+                                      int axis, std::size_t index);
+
+/// 1-D strip downsampled to `width` cells: '#' all critical, '.' all
+/// uncritical, '+' mixed — the Fig. 4/5/6 view.
+[[nodiscard]] std::string ascii_strip(const CriticalMask& mask,
+                                      std::size_t width);
+
+/// "35937 critical / 10543 uncritical; runs: 33xC 1xU ..." style summary of
+/// the run-length structure (truncated to `max_runs` entries).
+[[nodiscard]] std::string run_length_summary(const CriticalMask& mask,
+                                             std::size_t max_runs = 12);
+
+/// PPM montage of all n0 slices (axis 0), tiled left to right.
+void write_ppm_slices(const std::filesystem::path& path,
+                      const CriticalMask& mask, Shape3 shape);
+
+/// PPM strip image: the flat mask wrapped into rows of `width` pixels.
+void write_ppm_strip(const std::filesystem::path& path,
+                     const CriticalMask& mask, std::size_t width);
+
+}  // namespace scrutiny::viz

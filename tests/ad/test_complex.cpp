@@ -1,0 +1,106 @@
+#include "ad/complex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ad/reverse.hpp"
+#include "ad/tape.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+TEST(Complex, DoubleArithmetic) {
+  const Complex<double> a(1.0, 2.0);
+  const Complex<double> b(3.0, -1.0);
+  const Complex<double> sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.re, 4.0);
+  EXPECT_DOUBLE_EQ(sum.im, 1.0);
+  const Complex<double> diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.re, -2.0);
+  EXPECT_DOUBLE_EQ(diff.im, 3.0);
+  const Complex<double> prod = a * b;  // (1+2i)(3-i) = 5 + 5i
+  EXPECT_DOUBLE_EQ(prod.re, 5.0);
+  EXPECT_DOUBLE_EQ(prod.im, 5.0);
+}
+
+TEST(Complex, ScalarScaling) {
+  const Complex<double> a(2.0, -4.0);
+  const Complex<double> scaled = a * 0.5;
+  EXPECT_DOUBLE_EQ(scaled.re, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.im, -2.0);
+  const Complex<double> divided = a / 2.0;
+  EXPECT_DOUBLE_EQ(divided.re, 1.0);
+  EXPECT_DOUBLE_EQ(divided.im, -2.0);
+  const Complex<double> left = 3.0 * a;
+  EXPECT_DOUBLE_EQ(left.re, 6.0);
+}
+
+TEST(Complex, Conjugate) {
+  const Complex<double> a(1.5, 2.5);
+  const Complex<double> c = conj(a);
+  EXPECT_DOUBLE_EQ(c.re, 1.5);
+  EXPECT_DOUBLE_EQ(c.im, -2.5);
+}
+
+TEST(Complex, PolarUnit) {
+  const Complex<double> w = polar_unit(0.0);
+  EXPECT_DOUBLE_EQ(w.re, 1.0);
+  EXPECT_DOUBLE_EQ(w.im, 0.0);
+  const Complex<double> quarter = polar_unit(1.5707963267948966);
+  EXPECT_NEAR(quarter.re, 0.0, 1e-15);
+  EXPECT_NEAR(quarter.im, 1.0, 1e-15);
+}
+
+TEST(Complex, CompoundAssignments) {
+  Complex<double> acc(1.0, 1.0);
+  acc += Complex<double>(2.0, -1.0);
+  EXPECT_DOUBLE_EQ(acc.re, 3.0);
+  EXPECT_DOUBLE_EQ(acc.im, 0.0);
+  acc *= Complex<double>(0.0, 1.0);  // multiply by i
+  EXPECT_DOUBLE_EQ(acc.re, 0.0);
+  EXPECT_DOUBLE_EQ(acc.im, 3.0);
+  acc -= Complex<double>(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(acc.im, 0.0);
+}
+
+TEST(Complex, LayoutIsTwoContiguousScalars) {
+  static_assert(sizeof(Complex<double>) == 2 * sizeof(double));
+  static_assert(sizeof(Complex<Real>) == 2 * sizeof(Real));
+  Complex<double> values[2] = {{1.0, 2.0}, {3.0, 4.0}};
+  const double* flat = reinterpret_cast<const double*>(values);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[1], 2.0);
+  EXPECT_DOUBLE_EQ(flat[2], 3.0);
+  EXPECT_DOUBLE_EQ(flat[3], 4.0);
+}
+
+TEST(Complex, ReverseAdFlowsThroughComplexMultiply) {
+  // f = Re((a + bi)^2) = a^2 - b^2 ; df/da = 2a, df/db = -2b.
+  Tape tape;
+  ActiveTapeGuard guard(tape);
+  Real a(3.0), b(2.0);
+  a.register_input();
+  b.register_input();
+  Complex<Real> z(a, b);
+  const Complex<Real> square = z * z;
+  tape.set_adjoint(square.re.id(), 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a.id()), 6.0);
+  EXPECT_DOUBLE_EQ(tape.adjoint(b.id()), -4.0);
+}
+
+TEST(Complex, ReverseAdThroughScalarScale) {
+  Tape tape;
+  ActiveTapeGuard guard(tape);
+  Real a(1.0), b(2.0);
+  a.register_input();
+  b.register_input();
+  Complex<Real> z(a, b);
+  const Complex<Real> scaled = z * 2.5;
+  tape.set_adjoint(scaled.im.id(), 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a.id()), 0.0);
+  EXPECT_DOUBLE_EQ(tape.adjoint(b.id()), 2.5);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "ad/forward.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+double forward_derivative(const std::function<Dual(const Dual&)>& f,
+                          double x) {
+  Dual input(x, 1.0);
+  return f(input).derivative();
+}
+
+TEST(ForwardOps, Arithmetic) {
+  const Dual a(2.0, 1.0);
+  const Dual b(3.0, 0.0);
+  EXPECT_DOUBLE_EQ((a + b).derivative(), 1.0);
+  EXPECT_DOUBLE_EQ((a - b).derivative(), 1.0);
+  EXPECT_DOUBLE_EQ((b - a).derivative(), -1.0);
+  EXPECT_DOUBLE_EQ((a * b).derivative(), 3.0);
+  EXPECT_DOUBLE_EQ((a / b).derivative(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ((-a).derivative(), -1.0);
+}
+
+TEST(ForwardOps, ProductRule) {
+  const Dual x(2.0, 1.0);
+  const Dual y = x * x * x;  // d/dx x^3 = 3x^2 = 12
+  EXPECT_DOUBLE_EQ(y.derivative(), 12.0);
+}
+
+TEST(ForwardOps, QuotientRule) {
+  const Dual x(2.0, 1.0);
+  const Dual y = (x + 1.0) / (x - 1.0);  // d/dx = -2/(x-1)^2 = -2
+  EXPECT_DOUBLE_EQ(y.derivative(), -2.0);
+}
+
+TEST(ForwardOps, CompoundAssignments) {
+  Dual x(1.5, 1.0);
+  Dual acc = x;
+  acc += x;
+  acc *= x;
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0 * 1.5 * 1.5);
+  EXPECT_DOUBLE_EQ(acc.derivative(), 4.0 * 1.5);
+}
+
+struct ForwardCase {
+  std::string name;
+  std::function<Dual(const Dual&)> f;
+  std::function<double(double)> analytic;
+  double point;
+};
+
+class ForwardUnaryTest : public ::testing::TestWithParam<ForwardCase> {};
+
+TEST_P(ForwardUnaryTest, MatchesAnalyticDerivative) {
+  const ForwardCase& c = GetParam();
+  EXPECT_NEAR(forward_derivative(c.f, c.point), c.analytic(c.point),
+              1e-12 * std::max(1.0, std::fabs(c.analytic(c.point))))
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MathFunctions, ForwardUnaryTest,
+    ::testing::Values(
+        ForwardCase{"sqrt", [](const Dual& x) { return sqrt(x); },
+                    [](double x) { return 0.5 / std::sqrt(x); }, 4.0},
+        ForwardCase{"exp", [](const Dual& x) { return exp(x); },
+                    [](double x) { return std::exp(x); }, 1.3},
+        ForwardCase{"log", [](const Dual& x) { return log(x); },
+                    [](double x) { return 1.0 / x; }, 2.0},
+        ForwardCase{"sin", [](const Dual& x) { return sin(x); },
+                    [](double x) { return std::cos(x); }, 0.9},
+        ForwardCase{"cos", [](const Dual& x) { return cos(x); },
+                    [](double x) { return -std::sin(x); }, 0.9},
+        ForwardCase{"tan", [](const Dual& x) { return tan(x); },
+                    [](double x) {
+                      const double t = std::tan(x);
+                      return 1.0 + t * t;
+                    },
+                    0.5},
+        ForwardCase{"tanh", [](const Dual& x) { return tanh(x); },
+                    [](double x) {
+                      const double t = std::tanh(x);
+                      return 1.0 - t * t;
+                    },
+                    0.7},
+        ForwardCase{"fabs_neg", [](const Dual& x) { return fabs(x); },
+                    [](double) { return -1.0; }, -0.4},
+        ForwardCase{"pow", [](const Dual& x) { return pow(x, 2.5); },
+                    [](double x) { return 2.5 * std::pow(x, 1.5); }, 1.9}),
+    [](const ::testing::TestParamInfo<ForwardCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ForwardOps, Atan2) {
+  const Dual y(1.0, 1.0);
+  const Dual x(2.0, 0.0);
+  EXPECT_NEAR(atan2(y, x).derivative(), 2.0 / 5.0, 1e-12);
+  const Dual y2(1.0, 0.0);
+  const Dual x2(2.0, 1.0);
+  EXPECT_NEAR(atan2(y2, x2).derivative(), -1.0 / 5.0, 1e-12);
+}
+
+TEST(ForwardOps, MinMaxSelectSide) {
+  const Dual a(1.0, 1.0);
+  const Dual b(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(min(a, b).derivative(), 1.0);
+  EXPECT_DOUBLE_EQ(max(a, b).derivative(), 0.0);
+}
+
+TEST(ForwardOps, ComparisonsUseValues) {
+  const Dual a(1.0, 100.0);
+  const Dual b(2.0, -100.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(a > b);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == Dual(1.0, 5.0));  // derivative ignored by comparison
+}
+
+TEST(ForwardOps, ConstantsCarryZeroDerivative) {
+  const Dual c = 3.0;
+  EXPECT_DOUBLE_EQ(c.derivative(), 0.0);
+  const Dual x(1.0, 1.0);
+  EXPECT_DOUBLE_EQ((x * c).derivative(), 3.0);
+}
+
+TEST(ForwardOps, SetDerivativeSeedsAnExistingValue) {
+  Dual x(5.0);
+  EXPECT_DOUBLE_EQ(x.derivative(), 0.0);
+  x.set_derivative(1.0);
+  EXPECT_DOUBLE_EQ((x * x).derivative(), 10.0);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

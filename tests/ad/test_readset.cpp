@@ -1,0 +1,155 @@
+#include "ad/readset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny::ad {
+namespace {
+
+using MD = Marked<double>;
+using MI = Marked<std::int32_t>;
+
+TEST(ReadSet, ArithmeticMarksBothOperands) {
+  ReadSetTracker tracker(4);
+  ActiveTrackerGuard guard(tracker);
+  MD a(1.0, 0), b(2.0, 1);
+  const MD c = a + b;
+  EXPECT_TRUE(tracker.was_read(0));
+  EXPECT_TRUE(tracker.was_read(1));
+  EXPECT_FALSE(tracker.was_read(2));
+  EXPECT_EQ(c.origin(), kNoOrigin);
+}
+
+TEST(ReadSet, UnusedElementStaysUnread) {
+  ReadSetTracker tracker(2);
+  ActiveTrackerGuard guard(tracker);
+  MD a(1.0, 0);
+  MD b(2.0, 1);
+  const MD c = a * 2.0;
+  (void)b;
+  (void)c;
+  EXPECT_TRUE(tracker.was_read(0));
+  EXPECT_FALSE(tracker.was_read(1));
+}
+
+TEST(ReadSet, OverwriteBeforeReadLeavesOriginalUnread) {
+  // The criticality semantics: assigning a fresh value replaces the origin,
+  // so the checkpointed value was never consumed.
+  ReadSetTracker tracker(2);
+  ActiveTrackerGuard guard(tracker);
+  MD slot(1.0, 0);
+  slot = MD(9.0);          // overwrite; origin dropped
+  const MD y = slot * 2.0;  // reads the new value only
+  (void)y;
+  EXPECT_FALSE(tracker.was_read(0));
+}
+
+TEST(ReadSet, CopyPreservesOriginUntilConsumed) {
+  ReadSetTracker tracker(2);
+  ActiveTrackerGuard guard(tracker);
+  MD a(1.0, 0);
+  MD stashed = a;            // copy carries the origin, no read yet
+  EXPECT_FALSE(tracker.was_read(0));
+  const MD y = stashed + 1.0;  // the eventual read marks element 0
+  (void)y;
+  EXPECT_TRUE(tracker.was_read(0));
+}
+
+TEST(ReadSet, ComparisonsCountAsReads) {
+  // AD's blind spot: a value steering a branch has zero derivative but is
+  // definitely consumed.
+  ReadSetTracker tracker(2);
+  ActiveTrackerGuard guard(tracker);
+  MD a(1.0, 0), b(2.0, 1);
+  const bool less = a < b;
+  EXPECT_TRUE(less);
+  EXPECT_TRUE(tracker.was_read(0));
+  EXPECT_TRUE(tracker.was_read(1));
+}
+
+TEST(ReadSet, PeekDoesNotMark) {
+  ReadSetTracker tracker(1);
+  ActiveTrackerGuard guard(tracker);
+  MD a(1.0, 0);
+  EXPECT_DOUBLE_EQ(a.peek(), 1.0);
+  EXPECT_FALSE(tracker.was_read(0));
+  EXPECT_DOUBLE_EQ(a.value(), 1.0);  // value() is a program read
+  EXPECT_TRUE(tracker.was_read(0));
+}
+
+TEST(ReadSet, MathFunctionsMark) {
+  ReadSetTracker tracker(3);
+  ActiveTrackerGuard guard(tracker);
+  MD a(4.0, 0), b(2.0, 1), c(3.0, 2);
+  (void)sqrt(a);
+  (void)max(b, c);
+  EXPECT_TRUE(tracker.was_read(0));
+  EXPECT_TRUE(tracker.was_read(1));
+  EXPECT_TRUE(tracker.was_read(2));
+}
+
+TEST(ReadSet, NoTrackerMeansNoCrash) {
+  MD a(1.0, 0), b(2.0, 1);
+  const MD c = a + b;  // no active tracker: reads go nowhere
+  EXPECT_DOUBLE_EQ(c.peek(), 3.0);
+}
+
+TEST(ReadSet, IntegerMarkedArithmetic) {
+  ReadSetTracker tracker(3);
+  ActiveTrackerGuard guard(tracker);
+  MI a(5, 0), b(3, 1);
+  const MI sum = a + b;
+  EXPECT_EQ(sum.peek(), 8);
+  const MI shifted = MI(16, 2) >> 2;
+  EXPECT_EQ(shifted.peek(), 4);
+  EXPECT_TRUE(tracker.was_read(0));
+  EXPECT_TRUE(tracker.was_read(1));
+  EXPECT_TRUE(tracker.was_read(2));
+}
+
+TEST(ReadSet, IntegerModulo) {
+  ReadSetTracker tracker(2);
+  ActiveTrackerGuard guard(tracker);
+  MI a(17, 0), b(5, 1);
+  EXPECT_EQ((a % b).peek(), 2);
+  EXPECT_TRUE(tracker.was_read(0));
+  EXPECT_TRUE(tracker.was_read(1));
+}
+
+TEST(ReadSet, CountReadAndClear) {
+  ReadSetTracker tracker(10);
+  ActiveTrackerGuard guard(tracker);
+  MD a(1.0, 3), b(1.0, 7);
+  (void)(a + b);
+  EXPECT_EQ(tracker.count_read(), 2u);
+  tracker.clear();
+  EXPECT_EQ(tracker.count_read(), 0u);
+}
+
+TEST(ReadSet, GuardRestoresPreviousTracker) {
+  ReadSetTracker outer(1);
+  ReadSetTracker inner(1);
+  {
+    ActiveTrackerGuard outer_guard(outer);
+    {
+      ActiveTrackerGuard inner_guard(inner);
+      MD a(1.0, 0);
+      (void)(a + 1.0);
+    }
+    MD b(1.0, 0);
+    (void)(b + 1.0);
+  }
+  EXPECT_TRUE(outer.was_read(0));
+  EXPECT_TRUE(inner.was_read(0));
+  EXPECT_EQ(active_tracker(), nullptr);
+}
+
+TEST(ReadSet, OutOfRangeOriginIsIgnored) {
+  ReadSetTracker tracker(2);
+  ActiveTrackerGuard guard(tracker);
+  MD bogus(1.0, 99);  // origin beyond the tracker
+  (void)(bogus + 1.0);
+  EXPECT_EQ(tracker.count_read(), 0u);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

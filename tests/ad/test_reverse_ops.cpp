@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "ad/reverse.hpp"
+#include "ad/tape.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+/// d f(x)/dx via the tape for a unary function.
+double reverse_derivative(const std::function<Real(const Real&)>& f,
+                          double x) {
+  Tape tape;
+  ActiveTapeGuard guard(tape);
+  Real input(x);
+  input.register_input();
+  const Real output = f(input);
+  tape.set_adjoint(output.id(), 1.0);
+  tape.evaluate();
+  return tape.adjoint(input.id());
+}
+
+/// (df/da, df/db) via the tape for a binary function.
+std::pair<double, double> reverse_derivative2(
+    const std::function<Real(const Real&, const Real&)>& f, double a,
+    double b) {
+  Tape tape;
+  ActiveTapeGuard guard(tape);
+  Real ia(a), ib(b);
+  ia.register_input();
+  ib.register_input();
+  const Real output = f(ia, ib);
+  tape.set_adjoint(output.id(), 1.0);
+  tape.evaluate();
+  return {tape.adjoint(ia.id()), tape.adjoint(ib.id())};
+}
+
+TEST(ReverseOps, AddSubMulDiv) {
+  auto [da, db] = reverse_derivative2(
+      [](const Real& a, const Real& b) { return a + b; }, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(da, 1.0);
+  EXPECT_DOUBLE_EQ(db, 1.0);
+
+  std::tie(da, db) = reverse_derivative2(
+      [](const Real& a, const Real& b) { return a - b; }, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(da, 1.0);
+  EXPECT_DOUBLE_EQ(db, -1.0);
+
+  std::tie(da, db) = reverse_derivative2(
+      [](const Real& a, const Real& b) { return a * b; }, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(da, 3.0);
+  EXPECT_DOUBLE_EQ(db, 2.0);
+
+  std::tie(da, db) = reverse_derivative2(
+      [](const Real& a, const Real& b) { return a / b; }, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(da, 0.25);
+  EXPECT_DOUBLE_EQ(db, -0.125);
+}
+
+TEST(ReverseOps, MixedDoubleOverloads) {
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return x + 5.0; }, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return 5.0 + x; }, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return x - 5.0; }, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return 5.0 - x; }, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return x * 4.0; }, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return 4.0 * x; }, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return x / 4.0; }, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return 4.0 / x; }, 2.0), -1.0);
+}
+
+TEST(ReverseOps, UnaryNegation) {
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return -x; }, 3.0), -1.0);
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return +x; }, 3.0), 1.0);
+}
+
+TEST(ReverseOps, CompoundAssignments) {
+  const double d = reverse_derivative(
+      [](const Real& x) {
+        Real acc = x;
+        acc += x;   // 2x
+        acc *= x;   // 2x^2  -> d/dx = 4x = 6 at x=1.5
+        acc -= 1.0;
+        acc /= 2.0;  // x^2 - 0.5 -> d/dx = 2x = 3
+        return acc;
+      },
+      1.5);
+  EXPECT_DOUBLE_EQ(d, 3.0);
+}
+
+TEST(ReverseOps, ComparisonsUsePrimalValues) {
+  const Real a(1.0), b(2.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == Real(1.0));
+  EXPECT_TRUE(a != b);
+}
+
+struct UnaryCase {
+  std::string name;
+  std::function<Real(const Real&)> f;
+  std::function<double(double)> analytic_derivative;
+  double point;
+};
+
+class ReverseUnaryTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(ReverseUnaryTest, MatchesAnalyticDerivative) {
+  const UnaryCase& test_case = GetParam();
+  const double measured = reverse_derivative(test_case.f, test_case.point);
+  const double expected = test_case.analytic_derivative(test_case.point);
+  EXPECT_NEAR(measured, expected, 1e-12 * std::max(1.0, std::fabs(expected)))
+      << test_case.name << " at x = " << test_case.point;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MathFunctions, ReverseUnaryTest,
+    ::testing::Values(
+        UnaryCase{"sqrt", [](const Real& x) { return sqrt(x); },
+                  [](double x) { return 0.5 / std::sqrt(x); }, 2.25},
+        UnaryCase{"exp", [](const Real& x) { return exp(x); },
+                  [](double x) { return std::exp(x); }, 0.7},
+        UnaryCase{"log", [](const Real& x) { return log(x); },
+                  [](double x) { return 1.0 / x; }, 3.0},
+        UnaryCase{"log10", [](const Real& x) { return log10(x); },
+                  [](double x) { return 1.0 / (x * std::log(10.0)); }, 5.0},
+        UnaryCase{"sin", [](const Real& x) { return sin(x); },
+                  [](double x) { return std::cos(x); }, 1.1},
+        UnaryCase{"cos", [](const Real& x) { return cos(x); },
+                  [](double x) { return -std::sin(x); }, 1.1},
+        UnaryCase{"tan", [](const Real& x) { return tan(x); },
+                  [](double x) {
+                    const double t = std::tan(x);
+                    return 1.0 + t * t;
+                  },
+                  0.4},
+        UnaryCase{"asin", [](const Real& x) { return asin(x); },
+                  [](double x) { return 1.0 / std::sqrt(1.0 - x * x); },
+                  0.3},
+        UnaryCase{"acos", [](const Real& x) { return acos(x); },
+                  [](double x) { return -1.0 / std::sqrt(1.0 - x * x); },
+                  0.3},
+        UnaryCase{"atan", [](const Real& x) { return atan(x); },
+                  [](double x) { return 1.0 / (1.0 + x * x); }, 0.8},
+        UnaryCase{"sinh", [](const Real& x) { return sinh(x); },
+                  [](double x) { return std::cosh(x); }, 0.6},
+        UnaryCase{"cosh", [](const Real& x) { return cosh(x); },
+                  [](double x) { return std::sinh(x); }, 0.6},
+        UnaryCase{"tanh", [](const Real& x) { return tanh(x); },
+                  [](double x) {
+                    const double t = std::tanh(x);
+                    return 1.0 - t * t;
+                  },
+                  0.6},
+        UnaryCase{"fabs_pos", [](const Real& x) { return fabs(x); },
+                  [](double) { return 1.0; }, 1.5},
+        UnaryCase{"fabs_neg", [](const Real& x) { return fabs(x); },
+                  [](double) { return -1.0; }, -1.5},
+        UnaryCase{"pow_const", [](const Real& x) { return pow(x, 3.0); },
+                  [](double x) { return 3.0 * x * x; }, 1.7},
+        UnaryCase{"square_via_mul", [](const Real& x) { return x * x; },
+                  [](double x) { return 2.0 * x; }, -2.5}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ReverseOps, PowBothArgumentsActive) {
+  auto [da, db] = reverse_derivative2(
+      [](const Real& a, const Real& b) { return pow(a, b); }, 2.0, 3.0);
+  EXPECT_NEAR(da, 3.0 * std::pow(2.0, 2.0), 1e-12);                // b a^(b-1)
+  EXPECT_NEAR(db, std::pow(2.0, 3.0) * std::log(2.0), 1e-12);      // a^b ln a
+}
+
+TEST(ReverseOps, Atan2) {
+  auto [dy, dx] = reverse_derivative2(
+      [](const Real& y, const Real& x) { return atan2(y, x); }, 1.0, 2.0);
+  EXPECT_NEAR(dy, 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(dx, -1.0 / 5.0, 1e-12);
+}
+
+TEST(ReverseOps, MinMaxPickTheActiveSide) {
+  auto [da, db] = reverse_derivative2(
+      [](const Real& a, const Real& b) { return max(a, b); }, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(da, 0.0);
+  EXPECT_DOUBLE_EQ(db, 1.0);
+  std::tie(da, db) = reverse_derivative2(
+      [](const Real& a, const Real& b) { return min(a, b); }, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(da, 1.0);
+  EXPECT_DOUBLE_EQ(db, 0.0);
+}
+
+TEST(ReverseOps, SqrtAtZeroUsesClampedSubgradient) {
+  EXPECT_DOUBLE_EQ(
+      reverse_derivative([](const Real& x) { return sqrt(x); }, 0.0), 0.0);
+}
+
+TEST(ReverseOps, CopySharesTapeNode) {
+  Tape tape;
+  ActiveTapeGuard guard(tape);
+  Real x(2.0);
+  x.register_input();
+  const Real copy = x;  // same tape node
+  const Real y = copy * 3.0;
+  tape.set_adjoint(y.id(), 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x.id()), 3.0);
+  EXPECT_EQ(copy.id(), x.id());
+}
+
+TEST(ReverseOps, OverwritingAVariableStopsItsAdjoint) {
+  // After x is overwritten with a constant, its original input node
+  // receives no adjoint from later uses — the criticality semantics.
+  Tape tape;
+  ActiveTapeGuard guard(tape);
+  Real x(2.0);
+  x.register_input();
+  const Identifier original = x.id();
+  x = Real(7.0);       // overwrite before any read
+  const Real y = x * 3.0;
+  if (y.is_active()) tape.set_adjoint(y.id(), 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(original), 0.0);
+}
+
+TEST(ReverseOps, BranchOnPrimalValueRecordsTakenPath) {
+  const double d = reverse_derivative(
+      [](const Real& x) {
+        if (x > 0.0) return x * 2.0;
+        return x * 5.0;
+      },
+      1.0);
+  EXPECT_DOUBLE_EQ(d, 2.0);
+}
+
+TEST(ReverseOps, ToIntAndFloorBreakTheChain) {
+  const Real x(2.7);
+  EXPECT_EQ(to_int(x), 2);
+  EXPECT_DOUBLE_EQ(floor(x), 2.0);
+  EXPECT_DOUBLE_EQ(ceil(x), 3.0);
+}
+
+TEST(ReverseOps, LongChainAccumulation) {
+  // y = sum_{i=1..100} i * x  =>  dy/dx = 5050
+  const double d = reverse_derivative(
+      [](const Real& x) {
+        Real acc(0.0);
+        for (int i = 1; i <= 100; ++i) acc += static_cast<double>(i) * x;
+        return acc;
+      },
+      0.3);
+  EXPECT_DOUBLE_EQ(d, 5050.0);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

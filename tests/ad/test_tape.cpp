@@ -1,0 +1,169 @@
+#include "ad/tape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ad/reverse.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+TEST(Tape, RegisterInputAssignsSequentialIdentifiers) {
+  Tape tape;
+  EXPECT_EQ(tape.register_input(), 1u);
+  EXPECT_EQ(tape.register_input(), 2u);
+  EXPECT_EQ(tape.register_input(), 3u);
+  EXPECT_EQ(tape.stats().num_inputs, 3u);
+}
+
+TEST(Tape, SimpleChainAdjoint) {
+  // y = 3*x  =>  dy/dx = 3
+  Tape tape;
+  const Identifier x = tape.register_input();
+  const Identifier y = tape.push1(3.0, x);
+  tape.set_adjoint(y, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 3.0);
+}
+
+TEST(Tape, TwoArgumentStatement) {
+  // z = 2*a + 5*b
+  Tape tape;
+  const Identifier a = tape.register_input();
+  const Identifier b = tape.register_input();
+  const Identifier z = tape.push2(2.0, a, 5.0, b);
+  tape.set_adjoint(z, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a), 2.0);
+  EXPECT_DOUBLE_EQ(tape.adjoint(b), 5.0);
+}
+
+TEST(Tape, ChainRuleThroughIntermediate) {
+  // t = 2a; y = 3t  =>  dy/da = 6
+  Tape tape;
+  const Identifier a = tape.register_input();
+  const Identifier t = tape.push1(2.0, a);
+  const Identifier y = tape.push1(3.0, t);
+  tape.set_adjoint(y, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a), 6.0);
+}
+
+TEST(Tape, FanOutAccumulatesAdjoints) {
+  // y = 2a + 3a (a used twice)
+  Tape tape;
+  const Identifier a = tape.register_input();
+  const Identifier y = tape.push2(2.0, a, 3.0, a);
+  tape.set_adjoint(y, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a), 5.0);
+}
+
+TEST(Tape, PassiveArgumentsAreDropped) {
+  Tape tape;
+  const Identifier a = tape.register_input();
+  const Identifier y = tape.push2(2.0, a, 100.0, kPassiveId);
+  EXPECT_EQ(tape.stats().num_arguments, 1u);
+  tape.set_adjoint(y, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a), 2.0);
+}
+
+TEST(Tape, ClearAdjointsKeepsRecording) {
+  Tape tape;
+  const Identifier x = tape.register_input();
+  const Identifier y = tape.push1(4.0, x);
+  tape.set_adjoint(y, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 4.0);
+  tape.clear_adjoints();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 0.0);
+  tape.set_adjoint(y, 2.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 8.0);
+}
+
+TEST(Tape, MultipleOutputsEvaluatedSeparately) {
+  // y0 = 2x, y1 = 7x
+  Tape tape;
+  const Identifier x = tape.register_input();
+  const Identifier y0 = tape.push1(2.0, x);
+  const Identifier y1 = tape.push1(7.0, x);
+  tape.set_adjoint(y0, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 2.0);
+  tape.clear_adjoints();
+  tape.set_adjoint(y1, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 7.0);
+}
+
+TEST(Tape, ResetDropsEverything) {
+  Tape tape;
+  (void)tape.register_input();
+  (void)tape.push1(1.0, 1);
+  tape.reset();
+  EXPECT_EQ(tape.num_statements(), 0u);
+  EXPECT_EQ(tape.stats().num_inputs, 0u);
+  EXPECT_EQ(tape.register_input(), 1u);
+}
+
+TEST(Tape, StatsReportSizes) {
+  Tape tape;
+  const Identifier a = tape.register_input();
+  const Identifier b = tape.register_input();
+  (void)tape.push2(1.0, a, 1.0, b);
+  const TapeStats stats = tape.stats();
+  EXPECT_EQ(stats.num_statements, 3u);  // 2 inputs + 1 op
+  EXPECT_EQ(stats.num_arguments, 2u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST(Tape, ActiveTapeGuardInstallsAndRestores) {
+  EXPECT_EQ(active_tape(), nullptr);
+  Tape outer_tape;
+  {
+    ActiveTapeGuard outer(outer_tape);
+    EXPECT_EQ(active_tape(), &outer_tape);
+    EXPECT_TRUE(outer_tape.is_recording());
+    Tape inner_tape;
+    {
+      ActiveTapeGuard inner(inner_tape);
+      EXPECT_EQ(active_tape(), &inner_tape);
+    }
+    EXPECT_EQ(active_tape(), &outer_tape);
+  }
+  EXPECT_EQ(active_tape(), nullptr);
+  EXPECT_FALSE(outer_tape.is_recording());
+}
+
+TEST(Tape, NoRecordingWithoutGuard) {
+  // Real arithmetic outside a guard must stay passive.
+  const Real a = Real(2.0) * Real(3.0);
+  EXPECT_DOUBLE_EQ(a.value(), 6.0);
+  EXPECT_FALSE(a.is_active());
+}
+
+TEST(Tape, AdjointOfUnknownIdIsZero) {
+  Tape tape;
+  (void)tape.register_input();
+  EXPECT_DOUBLE_EQ(tape.adjoint(999), 0.0);
+}
+
+TEST(Tape, SetAdjointOutOfRangeThrows) {
+  Tape tape;
+  (void)tape.register_input();
+  EXPECT_THROW(tape.set_adjoint(5, 1.0), ScrutinyError);
+}
+
+TEST(Tape, ReserveDoesNotChangeSemantics) {
+  Tape tape;
+  tape.reserve(1000);
+  const Identifier x = tape.register_input();
+  const Identifier y = tape.push1(2.5, x);
+  tape.set_adjoint(y, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 2.5);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

@@ -1,0 +1,291 @@
+#include "ckpt/checkpoint_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+#include "ckpt/failure.hpp"
+#include "mask/region_file.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+class CheckpointIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_ckptio_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+struct State {
+  std::vector<double> u;
+  std::vector<std::int32_t> keys;
+  std::vector<double> reim;
+  std::int32_t step = 0;
+
+  State() : u(64), keys(16), reim(8) {
+    for (std::size_t i = 0; i < u.size(); ++i) u[i] = 0.5 + i;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = static_cast<std::int32_t>(100 + i);
+    }
+    for (std::size_t i = 0; i < reim.size(); ++i) reim[i] = -1.0 * i;
+    step = 7;
+  }
+
+  CheckpointRegistry registry() {
+    CheckpointRegistry reg;
+    reg.register_f64("u", u, {8, 8});
+    reg.register_i32("keys", keys);
+    reg.register_c128("y", reim);
+    reg.register_scalar("step", step);
+    return reg;
+  }
+};
+
+TEST_F(CheckpointIoTest, FullRoundTripRestoresEveryType) {
+  const auto path = dir_ / "full.ckpt";
+  State writer_state;
+  auto writer_registry = writer_state.registry();
+  const WriteReport report =
+      write_checkpoint(path, writer_registry, 7);
+  EXPECT_EQ(report.elements_written, 64u + 16 + 4 + 1);
+  EXPECT_EQ(report.elements_skipped, 0u);
+
+  State reader_state;
+  reader_state.u.assign(64, -999.0);
+  reader_state.keys.assign(16, -1);
+  reader_state.reim.assign(8, 0.0);
+  reader_state.step = 0;
+  auto reader_registry = reader_state.registry();
+  const RestoreReport restore = restore_checkpoint(path, reader_registry);
+
+  EXPECT_EQ(restore.step, 7u);
+  EXPECT_FALSE(restore.pruned);
+  EXPECT_EQ(reader_state.u, writer_state.u);
+  EXPECT_EQ(reader_state.keys, writer_state.keys);
+  EXPECT_EQ(reader_state.reim, writer_state.reim);
+  EXPECT_EQ(reader_state.step, 7);
+}
+
+TEST_F(CheckpointIoTest, PrunedWriteSkipsUncriticalAndRestorePreservesMemory) {
+  const auto path = dir_ / "pruned.ckpt";
+  State writer_state;
+  auto writer_registry = writer_state.registry();
+  PruneMap masks;
+  CriticalMask u_mask(64);
+  for (std::size_t i = 0; i < 48; ++i) u_mask.set(i);  // drop last 16
+  masks["u"] = u_mask;
+  const WriteReport report =
+      write_checkpoint(path, writer_registry, 3, &masks);
+  EXPECT_EQ(report.elements_skipped, 16u);
+
+  State reader_state;
+  reader_state.u.assign(64, -7.0);
+  auto reader_registry = reader_state.registry();
+  const RestoreReport restore = restore_checkpoint(path, reader_registry);
+  EXPECT_TRUE(restore.pruned);
+  EXPECT_EQ(restore.elements_untouched, 16u);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_DOUBLE_EQ(reader_state.u[i], writer_state.u[i]);
+  }
+  for (std::size_t i = 48; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(reader_state.u[i], -7.0);  // untouched by design
+  }
+}
+
+TEST_F(CheckpointIoTest, FragmentedMaskRoundTrips) {
+  const auto path = dir_ / "fragmented.ckpt";
+  State writer_state;
+  auto writer_registry = writer_state.registry();
+  PruneMap masks;
+  CriticalMask u_mask(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (hashed_uniform(i) < 0.6) u_mask.set(i);
+  }
+  masks["u"] = u_mask;
+  write_checkpoint(path, writer_registry, 1, &masks);
+
+  State reader_state;
+  reader_state.u.assign(64, std::nan(""));
+  auto reader_registry = reader_state.registry();
+  restore_checkpoint(path, reader_registry);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (u_mask.test(i)) {
+      EXPECT_DOUBLE_EQ(reader_state.u[i], writer_state.u[i]) << i;
+    } else {
+      EXPECT_TRUE(std::isnan(reader_state.u[i])) << i;
+    }
+  }
+}
+
+TEST_F(CheckpointIoTest, AllCriticalMaskFallsBackToFullMode) {
+  // An all-critical mask saves nothing and would pay region metadata: the
+  // writer must choose full mode.
+  const auto path = dir_ / "allcrit.ckpt";
+  State writer_state;
+  auto writer_registry = writer_state.registry();
+  PruneMap masks;
+  masks["u"] = CriticalMask(64, true);
+  const WriteReport report =
+      write_checkpoint(path, writer_registry, 1, &masks);
+  EXPECT_EQ(report.elements_skipped, 0u);
+  EXPECT_EQ(report.aux_bytes, 0u);
+
+  State reader_state;
+  auto reader_registry = reader_state.registry();
+  const RestoreReport restore = restore_checkpoint(path, reader_registry);
+  EXPECT_FALSE(restore.pruned);
+}
+
+TEST_F(CheckpointIoTest, TinyVariableFallsBackToFullMode) {
+  // A 1-element variable with a mask would cost 16B aux for 8B payload:
+  // the writer must fall back to full mode.
+  const auto path = dir_ / "tiny.ckpt";
+  double value = 42.0;
+  CheckpointRegistry registry;
+  registry.register_scalar("v", value);
+  PruneMap masks;
+  masks["v"] = CriticalMask(1, true);
+  const WriteReport report = write_checkpoint(path, registry, 1, &masks);
+  EXPECT_EQ(report.aux_bytes, 0u);
+
+  double restored = 0.0;
+  CheckpointRegistry reader;
+  reader.register_scalar("v", restored);
+  const RestoreReport restore = restore_checkpoint(path, reader);
+  EXPECT_FALSE(restore.pruned);
+  EXPECT_DOUBLE_EQ(restored, 42.0);
+}
+
+TEST_F(CheckpointIoTest, ComplexElementsPruneAtElementGranularity) {
+  const auto path = dir_ / "complex.ckpt";
+  State writer_state;
+  auto writer_registry = writer_state.registry();
+  PruneMap masks;
+  CriticalMask y_mask(4);  // 4 complex elements
+  y_mask.set(0);
+  y_mask.set(2);
+  masks["y"] = y_mask;
+  write_checkpoint(path, writer_registry, 1, &masks);
+
+  State reader_state;
+  reader_state.reim.assign(8, 99.0);
+  auto reader_registry = reader_state.registry();
+  restore_checkpoint(path, reader_registry);
+  // Elements 0 and 2 (component pairs 0-1 and 4-5) restored.
+  EXPECT_DOUBLE_EQ(reader_state.reim[0], writer_state.reim[0]);
+  EXPECT_DOUBLE_EQ(reader_state.reim[1], writer_state.reim[1]);
+  EXPECT_DOUBLE_EQ(reader_state.reim[2], 99.0);
+  EXPECT_DOUBLE_EQ(reader_state.reim[3], 99.0);
+  EXPECT_DOUBLE_EQ(reader_state.reim[4], writer_state.reim[4]);
+  EXPECT_DOUBLE_EQ(reader_state.reim[5], writer_state.reim[5]);
+}
+
+TEST_F(CheckpointIoTest, MaskSizeMismatchRejected) {
+  const auto path = dir_ / "mismatch.ckpt";
+  State state;
+  auto registry = state.registry();
+  PruneMap masks;
+  masks["u"] = CriticalMask(63);
+  EXPECT_THROW(write_checkpoint(path, registry, 1, &masks), ScrutinyError);
+}
+
+TEST_F(CheckpointIoTest, TypeMismatchOnRestoreRejected) {
+  const auto path = dir_ / "type.ckpt";
+  std::vector<double> values(16, 1.0);
+  CheckpointRegistry writer;
+  writer.register_f64("v", values);
+  write_checkpoint(path, writer, 1);
+
+  std::vector<std::int64_t> wrong(16);
+  CheckpointRegistry reader;
+  reader.register_i64("v", wrong);
+  EXPECT_THROW((void)restore_checkpoint(path, reader), ScrutinyError);
+}
+
+TEST_F(CheckpointIoTest, ElementCountMismatchRejected) {
+  const auto path = dir_ / "count.ckpt";
+  std::vector<double> values(16, 1.0);
+  CheckpointRegistry writer;
+  writer.register_f64("v", values);
+  write_checkpoint(path, writer, 1);
+
+  std::vector<double> fewer(8);
+  CheckpointRegistry reader;
+  reader.register_f64("v", fewer);
+  EXPECT_THROW((void)restore_checkpoint(path, reader), ScrutinyError);
+}
+
+TEST_F(CheckpointIoTest, UnknownVariableInFileRejected) {
+  const auto path = dir_ / "unknown.ckpt";
+  std::vector<double> values(4, 1.0);
+  CheckpointRegistry writer;
+  writer.register_f64("mystery", values);
+  write_checkpoint(path, writer, 1);
+
+  CheckpointRegistry reader;  // empty
+  EXPECT_THROW((void)restore_checkpoint(path, reader), ScrutinyError);
+}
+
+TEST_F(CheckpointIoTest, BitflipCorruptionDetectedByCrc) {
+  const auto path = dir_ / "bitflip.ckpt";
+  State state;
+  auto registry = state.registry();
+  write_checkpoint(path, registry, 9);
+  const auto size = std::filesystem::file_size(path);
+  FailureInjector::corrupt_file(path, size / 2);
+  State reader_state;
+  auto reader_registry = reader_state.registry();
+  EXPECT_THROW((void)restore_checkpoint(path, reader_registry),
+               ScrutinyError);
+}
+
+TEST_F(CheckpointIoTest, PeekStepReadsOnlyTheHeader) {
+  const auto path = dir_ / "peek.ckpt";
+  State state;
+  auto registry = state.registry();
+  write_checkpoint(path, registry, 12345);
+  EXPECT_EQ(peek_checkpoint_step(path), 12345u);
+}
+
+TEST_F(CheckpointIoTest, SidecarContainsRegionsForMaskedVariables) {
+  const auto path = dir_ / "sidecar.ckpt";
+  State state;
+  auto registry = state.registry();
+  PruneMap masks;
+  CriticalMask u_mask(64);
+  for (std::size_t i = 0; i < 48; ++i) u_mask.set(i);
+  masks["u"] = u_mask;
+  write_checkpoint(path, registry, 1, &masks);
+  save_regions_sidecar(path, registry, masks);
+
+  const RegionFile sidecar =
+      RegionFile::load(path.string() + ".regions");
+  ASSERT_NE(sidecar.find("u"), nullptr);
+  EXPECT_EQ(sidecar.find("u")->critical.covered_elements(), 48u);
+  EXPECT_EQ(sidecar.find("keys"), nullptr);  // unmasked: not in sidecar
+}
+
+TEST_F(CheckpointIoTest, WriteReportAccountsBytes) {
+  const auto path = dir_ / "report.ckpt";
+  State state;
+  auto registry = state.registry();
+  const WriteReport report = write_checkpoint(path, registry, 1);
+  EXPECT_EQ(report.payload_bytes, registry.total_payload_bytes());
+  EXPECT_EQ(report.file_bytes, std::filesystem::file_size(path));
+  EXPECT_GT(report.file_bytes, report.payload_bytes);  // header + names
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,114 @@
+#include "ckpt/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace scrutiny::ckpt {
+namespace {
+
+struct Fixture {
+  std::vector<double> u = std::vector<double>(16, 1.0);
+  std::vector<std::int32_t> keys = std::vector<std::int32_t>(8, 5);
+  CheckpointRegistry registry;
+
+  Fixture() {
+    registry.register_f64("u", u);
+    registry.register_i32("keys", keys);
+  }
+};
+
+TEST(FailureInjector, PoisonAllHitsEveryElement) {
+  Fixture fixture;
+  FailureInjector injector;
+  injector.poison_all(fixture.registry);
+  for (double value : fixture.u) EXPECT_TRUE(std::isnan(value));
+  for (std::int32_t value : fixture.keys) EXPECT_EQ(value, 0x7FFFFFF0);
+}
+
+TEST(FailureInjector, PoisonWithoutNanUsesSentinel) {
+  Fixture fixture;
+  PoisonPolicy policy;
+  policy.use_nan = false;
+  policy.float_poison = 1e30;
+  FailureInjector injector(1, policy);
+  injector.poison_all(fixture.registry);
+  for (double value : fixture.u) EXPECT_DOUBLE_EQ(value, 1e30);
+}
+
+TEST(FailureInjector, PoisonUncriticalRespectsMasks) {
+  Fixture fixture;
+  PruneMap masks;
+  CriticalMask mask(16);
+  for (std::size_t i = 0; i < 8; ++i) mask.set(i);  // first half critical
+  masks["u"] = mask;
+  FailureInjector injector;
+  injector.poison_uncritical(fixture.registry, masks);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(fixture.u[i], 1.0) << i;
+  }
+  for (std::size_t i = 8; i < 16; ++i) {
+    EXPECT_TRUE(std::isnan(fixture.u[i])) << i;
+  }
+  // keys has no mask: untouched.
+  for (std::int32_t value : fixture.keys) EXPECT_EQ(value, 5);
+}
+
+TEST(FailureInjector, CorruptCriticalHitsOnlyCriticalElements) {
+  Fixture fixture;
+  PruneMap masks;
+  CriticalMask mask(16);
+  for (std::size_t i = 4; i < 8; ++i) mask.set(i);
+  masks["u"] = mask;
+  FailureInjector injector;
+  const std::size_t corrupted =
+      injector.corrupt_critical(fixture.registry, masks, "u", 32);
+  EXPECT_EQ(corrupted, 32u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i >= 4 && i < 8) continue;  // may or may not be hit? No: must not.
+    EXPECT_FALSE(std::isnan(fixture.u[i])) << i;
+  }
+  // With 32 draws over 4 elements, every critical element is hit with
+  // overwhelming probability — require at least one.
+  bool any = false;
+  for (std::size_t i = 4; i < 8; ++i) any |= std::isnan(fixture.u[i]);
+  EXPECT_TRUE(any);
+}
+
+TEST(FailureInjector, CorruptCriticalUnknownVariableThrows) {
+  Fixture fixture;
+  PruneMap masks;
+  masks["u"] = CriticalMask(16, true);
+  FailureInjector injector;
+  EXPECT_THROW(injector.corrupt_critical(fixture.registry, masks, "ghost", 1),
+               ScrutinyError);
+  EXPECT_THROW(injector.corrupt_critical(fixture.registry, masks, "keys", 1),
+               ScrutinyError);  // no mask registered for keys
+}
+
+TEST(FailureInjector, CorruptCriticalWithEmptyMaskDoesNothing) {
+  Fixture fixture;
+  PruneMap masks;
+  masks["u"] = CriticalMask(16, false);
+  FailureInjector injector;
+  EXPECT_EQ(injector.corrupt_critical(fixture.registry, masks, "u", 4), 0u);
+  for (double value : fixture.u) EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(FailureInjector, DeterministicAcrossRuns) {
+  Fixture a, b;
+  PruneMap masks;
+  CriticalMask mask(16);
+  for (std::size_t i = 0; i < 16; i += 2) mask.set(i);
+  masks["u"] = mask;
+  FailureInjector injector_a(42), injector_b(42);
+  injector_a.corrupt_critical(a.registry, masks, "u", 3);
+  injector_b.corrupt_critical(b.registry, masks, "u", 3);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(std::isnan(a.u[i]), std::isnan(b.u[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

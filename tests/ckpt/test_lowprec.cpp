@@ -1,0 +1,148 @@
+#include "ckpt/lowprec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <vector>
+
+namespace scrutiny::ckpt {
+namespace {
+
+class LowprecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_lowprec_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(LowprecTest, MixedRoundTripWidensLowImpactElements) {
+  const auto path = dir_ / "mixed.ckpt";
+  std::vector<double> u(32);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = 1.0 / 3.0 + static_cast<double>(i);
+  }
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+
+  PrecisionMap plans;
+  PrecisionPlan plan;
+  plan.critical = CriticalMask(32, true);
+  plan.critical.set(31, false);  // one uncritical element
+  plan.low_impact = CriticalMask(32);
+  for (std::size_t i = 16; i < 31; ++i) plan.low_impact.set(i);
+  plans["u"] = plan;
+
+  const MixedWriteReport report =
+      write_mixed_checkpoint(path, registry, 5, plans);
+  EXPECT_EQ(report.f64_elements, 16u);
+  EXPECT_EQ(report.f32_elements, 15u);
+  EXPECT_EQ(report.dropped_elements, 1u);
+  EXPECT_EQ(report.payload_bytes, 16u * 8 + 15u * 4);
+
+  std::vector<double> restored(32, -1.0);
+  CheckpointRegistry reader;
+  reader.register_f64("u", restored);
+  const MixedRestoreReport restore = restore_mixed_checkpoint(path, reader);
+  EXPECT_EQ(restore.step, 5u);
+  EXPECT_EQ(restore.f32_elements, 15u);
+  EXPECT_EQ(restore.untouched_elements, 1u);
+
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(restored[i], u[i]) << "full precision element " << i;
+  }
+  for (std::size_t i = 16; i < 31; ++i) {
+    // float32 round trip: relative error bounded by ~1.2e-7.
+    EXPECT_NE(restored[i], -1.0);
+    EXPECT_NEAR(restored[i], u[i], std::fabs(u[i]) * 1.2e-7 + 1e-30) << i;
+    EXPECT_DOUBLE_EQ(restored[i],
+                     static_cast<double>(static_cast<float>(u[i])));
+  }
+  EXPECT_DOUBLE_EQ(restored[31], -1.0);  // dropped element untouched
+}
+
+TEST_F(LowprecTest, MixedIsSmallerThanFull) {
+  const auto path_full = dir_ / "full.ckpt";
+  const auto path_mixed = dir_ / "small.ckpt";
+  std::vector<double> u(1024, 3.14);
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+
+  const MixedWriteReport full =
+      write_mixed_checkpoint(path_full, registry, 0, {});
+  PrecisionMap plans;
+  PrecisionPlan plan;
+  plan.critical = CriticalMask(1024, true);
+  plan.low_impact = CriticalMask(1024);
+  for (std::size_t i = 0; i < 512; ++i) plan.low_impact.set(i);
+  plans["u"] = plan;
+  const MixedWriteReport mixed =
+      write_mixed_checkpoint(path_mixed, registry, 0, plans);
+
+  EXPECT_LT(mixed.file_bytes, full.file_bytes);
+  EXPECT_EQ(mixed.payload_bytes, 512u * 8 + 512u * 4);
+}
+
+TEST_F(LowprecTest, VariablesWithoutPlanWrittenInFull) {
+  const auto path = dir_ / "noplan.ckpt";
+  std::vector<double> u(8, 2.5);
+  std::vector<std::int32_t> k(4, 7);
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+  registry.register_i32("k", k);
+  const MixedWriteReport report =
+      write_mixed_checkpoint(path, registry, 0, {});
+  EXPECT_EQ(report.f32_elements, 0u);
+
+  std::vector<double> u2(8, 0.0);
+  std::vector<std::int32_t> k2(4, 0);
+  CheckpointRegistry reader;
+  reader.register_f64("u", u2);
+  reader.register_i32("k", k2);
+  restore_mixed_checkpoint(path, reader);
+  EXPECT_EQ(u2, u);
+  EXPECT_EQ(k2, k);
+}
+
+TEST_F(LowprecTest, PlanSizeMismatchRejected) {
+  const auto path = dir_ / "bad.ckpt";
+  std::vector<double> u(8);
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+  PrecisionMap plans;
+  PrecisionPlan plan;
+  plan.critical = CriticalMask(7, true);
+  plan.low_impact = CriticalMask(7);
+  plans["u"] = plan;
+  EXPECT_THROW(write_mixed_checkpoint(path, registry, 0, plans),
+               ScrutinyError);
+}
+
+TEST_F(LowprecTest, LowImpactOutsideCriticalIsDropped) {
+  // low_impact bits on uncritical elements must not resurrect them.
+  const auto path = dir_ / "subset.ckpt";
+  std::vector<double> u(8, 1.0);
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+  PrecisionMap plans;
+  PrecisionPlan plan;
+  plan.critical = CriticalMask(8);
+  plan.critical.set(0);
+  plan.low_impact = CriticalMask(8, true);  // everything flagged low
+  plans["u"] = plan;
+  const MixedWriteReport report =
+      write_mixed_checkpoint(path, registry, 0, plans);
+  EXPECT_EQ(report.f32_elements, 1u);   // only the critical one
+  EXPECT_EQ(report.f64_elements, 0u);
+  EXPECT_EQ(report.dropped_elements, 7u);
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,157 @@
+#include "ckpt/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "ckpt/failure.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_manager_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    values_.assign(32, 1.0);
+    counter_ = 0;
+    registry_.register_f64("values", values_);
+    registry_.register_scalar("counter", counter_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  ManagerConfig config(std::uint64_t interval, std::uint32_t slots) {
+    ManagerConfig cfg;
+    cfg.directory = dir_;
+    cfg.basename = "test";
+    cfg.interval = interval;
+    cfg.keep_slots = slots;
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+  std::vector<double> values_;
+  std::int32_t counter_ = 0;
+  CheckpointRegistry registry_;
+};
+
+TEST_F(ManagerTest, IntervalGatesCheckpoints) {
+  CheckpointManager manager(config(3, 10));
+  int written = 0;
+  for (std::uint64_t step = 0; step < 10; ++step) {
+    if (manager.maybe_checkpoint(step, registry_).has_value()) ++written;
+  }
+  EXPECT_EQ(written, 4);  // steps 0, 3, 6, 9
+}
+
+TEST_F(ManagerTest, SlotRotationKeepsNewest) {
+  CheckpointManager manager(config(1, 2));
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    manager.checkpoint_now(step, registry_);
+  }
+  const auto checkpoints = manager.list_checkpoints();
+  ASSERT_EQ(checkpoints.size(), 2u);
+  EXPECT_EQ(peek_checkpoint_step(checkpoints[0]), 4u);
+  EXPECT_EQ(peek_checkpoint_step(checkpoints[1]), 3u);
+}
+
+TEST_F(ManagerTest, RestartUsesNewestCheckpoint) {
+  CheckpointManager manager(config(1, 3));
+  for (std::uint64_t step = 0; step < 3; ++step) {
+    counter_ = static_cast<std::int32_t>(step * 100);
+    manager.checkpoint_now(step, registry_);
+  }
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 2u);
+  EXPECT_EQ(counter_, 200);
+}
+
+TEST_F(ManagerTest, RestartFallsBackPastCorruptCheckpoint) {
+  CheckpointManager manager(config(1, 3));
+  counter_ = 111;
+  manager.checkpoint_now(1, registry_);
+  counter_ = 222;
+  manager.checkpoint_now(2, registry_);
+  // Corrupt the newest file; restart must fall back to step 1.
+  const auto newest = manager.list_checkpoints().front();
+  FailureInjector::corrupt_file(newest,
+                                std::filesystem::file_size(newest) / 2);
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+  EXPECT_EQ(counter_, 111);
+}
+
+TEST_F(ManagerTest, RestartWithNoCheckpointsReturnsNullopt) {
+  CheckpointManager manager(config(1, 2));
+  EXPECT_FALSE(manager.restart(registry_).has_value());
+}
+
+TEST_F(ManagerTest, PruneMapShrinksCheckpoints) {
+  CheckpointManager manager(config(1, 2));
+  const WriteReport full = manager.checkpoint_now(0, registry_);
+
+  PruneMap masks;
+  CriticalMask mask(32);
+  for (std::size_t i = 0; i < 8; ++i) mask.set(i);
+  masks["values"] = mask;
+  manager.set_prune_map(std::move(masks));
+  EXPECT_TRUE(manager.pruning_enabled());
+  const WriteReport pruned = manager.checkpoint_now(1, registry_);
+  EXPECT_LT(pruned.file_bytes, full.file_bytes);
+  EXPECT_EQ(pruned.elements_skipped, 24u);
+
+  manager.clear_prune_map();
+  EXPECT_FALSE(manager.pruning_enabled());
+}
+
+TEST_F(ManagerTest, SidecarWrittenWhenConfigured) {
+  ManagerConfig cfg = config(1, 2);
+  cfg.write_regions_sidecar = true;
+  CheckpointManager manager(cfg);
+  PruneMap masks;
+  CriticalMask mask(32);
+  mask.set(0);
+  masks["values"] = mask;
+  manager.set_prune_map(std::move(masks));
+  manager.checkpoint_now(5, registry_);
+  const auto path = manager.path_for_step(5);
+  EXPECT_TRUE(std::filesystem::exists(path.string() + ".regions"));
+}
+
+TEST_F(ManagerTest, PathForStepIsZeroPadded) {
+  CheckpointManager manager(config(1, 1));
+  const auto path = manager.path_for_step(42);
+  EXPECT_NE(path.string().find("test.00000042.ckpt"), std::string::npos);
+}
+
+TEST_F(ManagerTest, InvalidConfigRejected) {
+  ManagerConfig bad_interval = config(0, 1);
+  EXPECT_THROW(CheckpointManager manager(bad_interval), ScrutinyError);
+  ManagerConfig bad_slots = config(1, 0);
+  EXPECT_THROW(CheckpointManager manager(bad_slots), ScrutinyError);
+}
+
+TEST_F(ManagerTest, ForeignFilesIgnoredByListing) {
+  CheckpointManager manager(config(1, 2));
+  manager.checkpoint_now(0, registry_);
+  // Unrelated files in the directory must not confuse the manager.
+  std::ofstream(dir_ / "notes.txt") << "hello";
+  std::ofstream(dir_ / "other.ckpt") << "not ours";
+  const auto checkpoints = manager.list_checkpoints();
+  ASSERT_EQ(checkpoints.size(), 1u);
+  EXPECT_EQ(peek_checkpoint_step(checkpoints[0]), 0u);
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

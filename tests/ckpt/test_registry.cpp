@@ -1,0 +1,105 @@
+#include "ckpt/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scrutiny::ckpt {
+namespace {
+
+TEST(Registry, RegisterTypedArrays) {
+  std::vector<double> u(100);
+  std::vector<std::int32_t> keys(16);
+  std::vector<std::int64_t> wide(4);
+  std::vector<double> reim(12);  // 6 complex elements
+
+  CheckpointRegistry registry;
+  registry.register_f64("u", u, {10, 10});
+  registry.register_i32("keys", keys);
+  registry.register_i64("wide", wide);
+  registry.register_c128("y", reim);
+
+  ASSERT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.find("u")->num_elements, 100u);
+  EXPECT_EQ(registry.find("u")->element_size(), 8u);
+  EXPECT_EQ(registry.find("keys")->element_size(), 4u);
+  EXPECT_EQ(registry.find("wide")->element_size(), 8u);
+  EXPECT_EQ(registry.find("y")->num_elements, 6u);
+  EXPECT_EQ(registry.find("y")->element_size(), 16u);
+}
+
+TEST(Registry, ScalarsAreSpansOfOne) {
+  double sx = 1.0;
+  std::int32_t step = 7;
+  std::int64_t big = 9;
+  CheckpointRegistry registry;
+  registry.register_scalar("sx", sx);
+  registry.register_scalar("step", step);
+  registry.register_scalar("big", big);
+  EXPECT_EQ(registry.find("sx")->num_elements, 1u);
+  EXPECT_EQ(registry.find("step")->num_elements, 1u);
+  EXPECT_EQ(registry.find("big")->type, DataType::Int64);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  std::vector<double> a(4), b(4);
+  CheckpointRegistry registry;
+  registry.register_f64("u", a);
+  EXPECT_THROW(registry.register_f64("u", b), ScrutinyError);
+}
+
+TEST(Registry, EmptyNameRejected) {
+  std::vector<double> a(4);
+  CheckpointRegistry registry;
+  EXPECT_THROW(registry.register_f64("", a), ScrutinyError);
+}
+
+TEST(Registry, ShapeMustMatchElementCount) {
+  std::vector<double> a(12);
+  CheckpointRegistry registry;
+  EXPECT_THROW(registry.register_f64("a", a, {3, 5}), ScrutinyError);
+  registry.register_f64("ok", a, {3, 4});
+  EXPECT_EQ(registry.find("ok")->shape, (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST(Registry, OddComplexComponentCountRejected) {
+  std::vector<double> reim(5);
+  CheckpointRegistry registry;
+  EXPECT_THROW(registry.register_c128("y", reim), ScrutinyError);
+}
+
+TEST(Registry, TotalPayloadBytes) {
+  std::vector<double> u(100);     // 800 bytes
+  std::vector<std::int32_t> k(4);  // 16 bytes
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+  registry.register_i32("k", k);
+  EXPECT_EQ(registry.total_payload_bytes(), 816u);
+}
+
+TEST(Registry, BytesViewCoversWholeVariable) {
+  std::vector<double> u(10, 1.5);
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+  const auto bytes = registry.find("u")->bytes();
+  EXPECT_EQ(bytes.size(), 80u);
+  EXPECT_EQ(reinterpret_cast<const double*>(bytes.data())[9], 1.5);
+}
+
+TEST(Registry, FindMissingReturnsNull) {
+  CheckpointRegistry registry;
+  EXPECT_EQ(registry.find("ghost"), nullptr);
+}
+
+TEST(Registry, IsIntegerClassification) {
+  std::vector<double> u(1);
+  std::vector<std::int32_t> k(1);
+  CheckpointRegistry registry;
+  registry.register_f64("u", u);
+  registry.register_i32("k", k);
+  EXPECT_FALSE(registry.find("u")->is_integer());
+  EXPECT_TRUE(registry.find("k")->is_integer());
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,307 @@
+// Synthetic programs with analytically-known criticality, used to test the
+// analyzer in every mode.  Each conforms to the App<T> concept the analyzer
+// consumes (see core/analyzer.hpp).
+#pragma once
+
+#include <vector>
+
+#include "ad/complex.hpp"
+#include "core/var_bind.hpp"
+
+namespace scrutiny::testprog {
+
+struct EmptyConfig {};
+
+/// outputs = accumulated sum of the EVEN elements of x.
+/// Expected: even indices critical, odd indices uncritical.
+template <typename T>
+class EvenSum {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "EvenSum";
+  static constexpr std::size_t kSize = 16;
+
+  explicit EvenSum(const Config& = {}) {}
+
+  void init() {
+    x_.assign(kSize, T(0));
+    for (std::size_t i = 0; i < kSize; ++i) {
+      x_[i] = T(1.0 + static_cast<double>(i));
+    }
+    acc_ = T(0);
+  }
+
+  void step() {
+    for (std::size_t i = 0; i < kSize; i += 2) acc_ += x_[i];
+  }
+
+  std::vector<T> outputs() { return {acc_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T acc_{};
+};
+
+/// The first half of x is overwritten before any read; the final sum reads
+/// everything.  Expected: first half uncritical in every mode (the
+/// checkpointed values are dead), second half critical.
+template <typename T>
+class OverwriteFirstHalf {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "OverwriteFirstHalf";
+  static constexpr std::size_t kSize = 8;
+
+  explicit OverwriteFirstHalf(const Config& = {}) {}
+
+  void init() {
+    x_.assign(kSize, T(2.0));
+    acc_ = T(0);
+  }
+
+  void step() {
+    for (std::size_t i = 0; i < kSize / 2; ++i) {
+      x_[i] = T(1.0 + static_cast<double>(i));  // overwrite, no read
+    }
+    for (std::size_t i = 0; i < kSize; ++i) acc_ += x_[i];
+  }
+
+  std::vector<T> outputs() { return {acc_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T acc_{};
+};
+
+/// x[0] only steers a branch (zero derivative); x[1] enters arithmetic.
+/// ReverseAD/ForwardAD/FiniteDiff: x[0] uncritical.  ReadSet: critical —
+/// the documented divergence between derivative- and consumption-based
+/// criticality.
+template <typename T>
+class BranchOnly {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "BranchOnly";
+
+  explicit BranchOnly(const Config& = {}) {}
+
+  void init() {
+    x_.assign(2, T(0));
+    x_[0] = T(1.0);
+    x_[1] = T(2.0);
+    acc_ = T(0);
+  }
+
+  void step() {
+    if (x_[0] > T(0.0)) {
+      acc_ += 1.0;
+    } else {
+      acc_ += 2.0;
+    }
+    acc_ += x_[1];
+  }
+
+  std::vector<T> outputs() { return {acc_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T acc_{};
+};
+
+/// acc += (x[0] - x[0]) + x[1]: x[0] is read but its derivative cancels
+/// exactly.  Derivative modes: uncritical; ReadSet: critical.
+template <typename T>
+class ExactCancellation {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "ExactCancellation";
+
+  explicit ExactCancellation(const Config& = {}) {}
+
+  void init() {
+    x_.assign(2, T(0));
+    x_[0] = T(3.0);
+    x_[1] = T(4.0);
+    acc_ = T(0);
+  }
+
+  void step() { acc_ += (x_[0] - x_[0]) + x_[1]; }
+
+  std::vector<T> outputs() { return {acc_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T acc_{};
+};
+
+/// y = 1e-12 * x[0] + x[1]: with threshold 0 both are critical; with a
+/// larger threshold x[0] drops out.
+template <typename T>
+class TinySensitivity {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "TinySensitivity";
+
+  explicit TinySensitivity(const Config& = {}) {}
+
+  void init() {
+    x_.assign(2, T(1.0));
+    y_ = T(0);
+  }
+
+  void step() { y_ = 1e-12 * x_[0] + x_[1]; }
+
+  std::vector<T> outputs() { return {y_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T y_{};
+};
+
+/// y = 3 x[0] + 5 x[1]: known impact magnitudes for capture_impact.
+template <typename T>
+class KnownImpacts {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "KnownImpacts";
+
+  explicit KnownImpacts(const Config& = {}) {}
+
+  void init() {
+    x_.assign(3, T(1.0));
+    y_ = T(0);
+  }
+
+  void step() { y_ = 3.0 * x_[0] + 5.0 * x_[1]; }  // x[2] never read
+
+  std::vector<T> outputs() { return {y_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T y_{};
+};
+
+/// Reads x[step] only: criticality depends on the warmup/window placement.
+template <typename T>
+class StepIndexed {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "StepIndexed";
+  static constexpr std::size_t kSize = 8;
+
+  explicit StepIndexed(const Config& = {}) {}
+
+  void init() {
+    x_.assign(kSize, T(1.5));
+    acc_ = T(0);
+    step_ = 0;
+  }
+
+  void step() {
+    acc_ += x_[static_cast<std::size_t>(step_) % kSize];
+    ++step_;
+  }
+
+  std::vector<T> outputs() { return {acc_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    std::vector<core::VarBind<T>> binds;
+    binds.push_back(
+        core::bind_array<T>("x", std::span<T>(x_.data(), x_.size())));
+    binds.push_back(core::bind_integer<T>("step", 1));
+    return binds;
+  }
+
+ private:
+  std::vector<T> x_;
+  T acc_{};
+  int step_ = 0;
+};
+
+/// Two outputs touching disjoint halves: per-output sweeps must be OR-ed.
+template <typename T>
+class TwoOutputs {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "TwoOutputs";
+
+  explicit TwoOutputs(const Config& = {}) {}
+
+  void init() {
+    x_.assign(4, T(1.0));
+    a_ = T(0);
+    b_ = T(0);
+  }
+
+  void step() {
+    a_ = x_[0] + x_[1];
+    b_ = x_[2] * 2.0;  // x[3] untouched
+  }
+
+  std::vector<T> outputs() { return {a_, b_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  T a_{}, b_{};
+};
+
+/// Complex elements where only one component is consumed: the ELEMENT must
+/// still come out critical (element granularity).
+template <typename T>
+class HalfReadComplex {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "HalfReadComplex";
+
+  explicit HalfReadComplex(const Config& = {}) {}
+
+  void init() {
+    z_.assign(3, ad::Complex<T>(T(1.0), T(2.0)));
+    y_ = T(0);
+  }
+
+  void step() {
+    y_ = z_[0].re + z_[1].im;  // element 2 untouched entirely
+  }
+
+  std::vector<T> outputs() { return {y_}; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_complex_array<T>(
+        "z", std::span<T>(reinterpret_cast<T*>(z_.data()), 2 * z_.size()))};
+  }
+
+ private:
+  std::vector<ad::Complex<T>> z_;
+  T y_{};
+};
+
+}  // namespace scrutiny::testprog

@@ -1,0 +1,202 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+using namespace scrutiny::testprog;
+
+AnalysisConfig make_config(AnalysisMode mode, int warmup = 0,
+                           int window = 1) {
+  AnalysisConfig cfg;
+  cfg.mode = mode;
+  cfg.warmup_steps = warmup;
+  cfg.window_steps = window;
+  return cfg;
+}
+
+class AllModesTest : public ::testing::TestWithParam<AnalysisMode> {};
+
+TEST_P(AllModesTest, EvenSumMarksExactlyTheEvenElements) {
+  const AnalysisResult result =
+      analyze_program<EvenSum>({}, make_config(GetParam()));
+  ASSERT_EQ(result.variables.size(), 1u);
+  const VariableCriticality& x = result.variables[0];
+  ASSERT_EQ(x.total_elements(), EvenSum<double>::kSize);
+  for (std::size_t i = 0; i < x.total_elements(); ++i) {
+    EXPECT_EQ(x.mask.test(i), i % 2 == 0) << "element " << i;
+  }
+  EXPECT_EQ(result.mode, GetParam());
+  EXPECT_EQ(result.program, "EvenSum");
+}
+
+TEST_P(AllModesTest, OverwrittenElementsAreUncriticalInEveryMode) {
+  const AnalysisResult result =
+      analyze_program<OverwriteFirstHalf>({}, make_config(GetParam()));
+  const VariableCriticality& x = result.variables[0];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(x.mask.test(i)) << "overwritten element " << i;
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_TRUE(x.mask.test(i)) << "live element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AllModesTest,
+    ::testing::Values(AnalysisMode::ReverseAD, AnalysisMode::ForwardAD,
+                      AnalysisMode::ReadSet, AnalysisMode::FiniteDiff),
+    [](const ::testing::TestParamInfo<AnalysisMode>& info) {
+      switch (info.param) {
+        case AnalysisMode::ReverseAD: return "ReverseAD";
+        case AnalysisMode::ForwardAD: return "ForwardAD";
+        case AnalysisMode::ReadSet: return "ReadSet";
+        case AnalysisMode::FiniteDiff: return "FiniteDiff";
+      }
+      return "Unknown";
+    });
+
+TEST(AnalyzerSynthetic, WindowPlacementSelectsTheReadSteps) {
+  // StepIndexed reads x[warmup], x[warmup+1], ... during the window.
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD, 2, 2);
+  const AnalysisResult result = analyze_program<StepIndexed>({}, cfg);
+  const VariableCriticality& x = *result.find("x");
+  for (std::size_t i = 0; i < StepIndexed<double>::kSize; ++i) {
+    EXPECT_EQ(x.mask.test(i), i == 2 || i == 3) << "element " << i;
+  }
+}
+
+TEST(AnalyzerSynthetic, LargerWindowOnlyAddsCriticalElements) {
+  AnalysisConfig small = make_config(AnalysisMode::ReverseAD, 0, 1);
+  AnalysisConfig large = make_config(AnalysisMode::ReverseAD, 0, 4);
+  const auto mask_small =
+      analyze_program<StepIndexed>({}, small).find("x")->mask;
+  const auto mask_large =
+      analyze_program<StepIndexed>({}, large).find("x")->mask;
+  for (std::size_t i = 0; i < mask_small.size(); ++i) {
+    if (mask_small.test(i)) {
+      EXPECT_TRUE(mask_large.test(i)) << i;
+    }
+  }
+  EXPECT_GT(mask_large.count_critical(), mask_small.count_critical());
+}
+
+TEST(AnalyzerSynthetic, MultipleOutputsAreUnioned) {
+  const AnalysisResult result =
+      analyze_program<TwoOutputs>({}, make_config(AnalysisMode::ReverseAD));
+  const VariableCriticality& x = *result.find("x");
+  EXPECT_TRUE(x.mask.test(0));
+  EXPECT_TRUE(x.mask.test(1));
+  EXPECT_TRUE(x.mask.test(2));
+  EXPECT_FALSE(x.mask.test(3));
+  EXPECT_EQ(result.num_outputs, 2u);
+}
+
+TEST(AnalyzerSynthetic, ComplexElementCriticalWhenEitherComponentRead) {
+  const AnalysisResult result = analyze_program<HalfReadComplex>(
+      {}, make_config(AnalysisMode::ReverseAD));
+  const VariableCriticality& z = *result.find("z");
+  ASSERT_EQ(z.total_elements(), 3u);
+  EXPECT_TRUE(z.mask.test(0));   // .re read
+  EXPECT_TRUE(z.mask.test(1));   // .im read
+  EXPECT_FALSE(z.mask.test(2));  // untouched
+  EXPECT_EQ(z.element_size, 16u);
+}
+
+TEST(AnalyzerSynthetic, ThresholdFiltersTinySensitivities) {
+  AnalysisConfig strict = make_config(AnalysisMode::ReverseAD);
+  strict.threshold = 0.0;
+  const auto zero_threshold = analyze_program<TinySensitivity>({}, strict);
+  EXPECT_TRUE(zero_threshold.find("x")->mask.test(0));
+  EXPECT_TRUE(zero_threshold.find("x")->mask.test(1));
+
+  AnalysisConfig loose = make_config(AnalysisMode::ReverseAD);
+  loose.threshold = 1e-6;
+  const auto high_threshold = analyze_program<TinySensitivity>({}, loose);
+  EXPECT_FALSE(high_threshold.find("x")->mask.test(0));
+  EXPECT_TRUE(high_threshold.find("x")->mask.test(1));
+}
+
+TEST(AnalyzerSynthetic, CaptureImpactRecordsMagnitudes) {
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+  cfg.capture_impact = true;
+  const AnalysisResult result = analyze_program<KnownImpacts>({}, cfg);
+  const VariableCriticality& x = *result.find("x");
+  ASSERT_EQ(x.impact.size(), 3u);
+  EXPECT_DOUBLE_EQ(x.impact[0], 3.0);
+  EXPECT_DOUBLE_EQ(x.impact[1], 5.0);
+  EXPECT_DOUBLE_EQ(x.impact[2], 0.0);
+}
+
+TEST(AnalyzerSynthetic, IntegerVariablesCriticalByPolicy) {
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD, 1, 1);
+  const AnalysisResult with_policy = analyze_program<StepIndexed>({}, cfg);
+  const VariableCriticality& step = *with_policy.find("step");
+  EXPECT_TRUE(step.is_integer);
+  EXPECT_EQ(step.mask.count_critical(), 1u);
+
+  cfg.integers_critical_by_type = false;
+  const AnalysisResult without_policy =
+      analyze_program<StepIndexed>({}, cfg);
+  EXPECT_EQ(without_policy.find("step")->mask.count_critical(), 0u);
+}
+
+TEST(AnalyzerSynthetic, SamplingKeepsUnprobedElementsConservative) {
+  AnalysisConfig cfg = make_config(AnalysisMode::ForwardAD);
+  cfg.sample_stride = 2;  // probes only even components
+  const AnalysisResult result = analyze_program<EvenSum>({}, cfg);
+  const VariableCriticality& x = *result.find("x");
+  // Probed (even) elements are resolved critical; unprobed (odd) are
+  // conservatively critical even though a full analysis would clear them.
+  EXPECT_EQ(x.mask.count_critical(), x.total_elements());
+}
+
+TEST(AnalyzerSynthetic, FiniteDiffSamplingAlsoConservative) {
+  AnalysisConfig cfg = make_config(AnalysisMode::FiniteDiff);
+  cfg.sample_stride = 3;
+  const AnalysisResult result = analyze_program<EvenSum>({}, cfg);
+  const VariableCriticality& x = *result.find("x");
+  for (std::size_t i = 0; i < x.total_elements(); ++i) {
+    if (i % 3 != 0) {
+      EXPECT_TRUE(x.mask.test(i)) << "unprobed " << i;
+    }
+  }
+  // Probed elements: 0,3,6,9,12,15 — criticality resolved exactly there.
+  EXPECT_TRUE(x.mask.test(0));
+  EXPECT_FALSE(x.mask.test(3));
+  EXPECT_TRUE(x.mask.test(6));
+  EXPECT_FALSE(x.mask.test(9));
+}
+
+TEST(AnalyzerSynthetic, ReverseTapeStatsArePopulated) {
+  const AnalysisResult result =
+      analyze_program<EvenSum>({}, make_config(AnalysisMode::ReverseAD));
+  EXPECT_GT(result.tape_stats.num_statements, 0u);
+  EXPECT_EQ(result.tape_stats.num_inputs, EvenSum<double>::kSize);
+  EXPECT_GE(result.total_seconds, 0.0);
+}
+
+TEST(AnalyzerSynthetic, PruneMapExportsAllVariables) {
+  const AnalysisResult result = analyze_program<StepIndexed>(
+      {}, make_config(AnalysisMode::ReverseAD, 0, 1));
+  const ckpt::PruneMap map = result.to_prune_map();
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.count("x"));
+  EXPECT_TRUE(map.count("step"));
+}
+
+TEST(AnalyzerSynthetic, ZeroWindowMeansOnlyOutputReads) {
+  // With no window steps, the outputs (reading acc only) see no element of
+  // x — everything is uncritical.  Documented behaviour: the window must
+  // cover at least one step for iteration state.
+  const AnalysisResult result =
+      analyze_program<EvenSum>({}, make_config(AnalysisMode::ReverseAD, 0,
+                                               0));
+  EXPECT_EQ(result.find("x")->mask.count_critical(), 0u);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

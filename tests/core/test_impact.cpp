@@ -1,0 +1,79 @@
+#include "core/impact.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny::core {
+namespace {
+
+VariableCriticality make_variable(std::vector<double> impacts,
+                                  std::vector<bool> critical) {
+  VariableCriticality variable;
+  variable.name = "v";
+  variable.element_size = 8;
+  variable.mask = CriticalMask(impacts.size());
+  for (std::size_t i = 0; i < critical.size(); ++i) {
+    variable.mask.set(i, critical[i]);
+  }
+  variable.impact = std::move(impacts);
+  return variable;
+}
+
+TEST(Impact, SplitsAtTheRequestedQuantile) {
+  const auto variable = make_variable({1.0, 2.0, 3.0, 4.0},
+                                      {true, true, true, true});
+  const ImpactPartition partition = partition_by_impact(variable, 0.5);
+  EXPECT_EQ(partition.num_low, 2u);
+  EXPECT_EQ(partition.num_high, 2u);
+  EXPECT_TRUE(partition.low_impact.test(0));
+  EXPECT_TRUE(partition.low_impact.test(1));
+  EXPECT_FALSE(partition.low_impact.test(2));
+  EXPECT_FALSE(partition.low_impact.test(3));
+  EXPECT_DOUBLE_EQ(partition.impact_threshold, 2.0);
+}
+
+TEST(Impact, ZeroFractionKeepsEverythingHigh) {
+  const auto variable = make_variable({1.0, 2.0}, {true, true});
+  const ImpactPartition partition = partition_by_impact(variable, 0.0);
+  EXPECT_EQ(partition.num_low, 0u);
+  EXPECT_EQ(partition.num_high, 2u);
+  EXPECT_EQ(partition.low_impact.count_critical(), 0u);
+}
+
+TEST(Impact, FullFractionDemotesAllCritical) {
+  const auto variable = make_variable({5.0, 1.0, 3.0}, {true, true, true});
+  const ImpactPartition partition = partition_by_impact(variable, 1.0);
+  EXPECT_EQ(partition.num_low, 3u);
+  EXPECT_EQ(partition.num_high, 0u);
+}
+
+TEST(Impact, UncriticalElementsNeverDemoted) {
+  const auto variable =
+      make_variable({0.0, 1.0, 2.0, 3.0}, {false, true, true, true});
+  const ImpactPartition partition = partition_by_impact(variable, 1.0);
+  EXPECT_FALSE(partition.low_impact.test(0));  // uncritical: dropped, not
+                                               // demoted
+  EXPECT_EQ(partition.num_low, 3u);
+}
+
+TEST(Impact, RequiresCapturedImpactData) {
+  VariableCriticality variable;
+  variable.name = "v";
+  variable.mask = CriticalMask(4, true);
+  EXPECT_THROW((void)partition_by_impact(variable, 0.5), ScrutinyError);
+}
+
+TEST(Impact, RejectsOutOfRangeFraction) {
+  const auto variable = make_variable({1.0}, {true});
+  EXPECT_THROW((void)partition_by_impact(variable, -0.1), ScrutinyError);
+  EXPECT_THROW((void)partition_by_impact(variable, 1.1), ScrutinyError);
+}
+
+TEST(Impact, NoCriticalElementsYieldsEmptyPartition) {
+  const auto variable = make_variable({1.0, 2.0}, {false, false});
+  const ImpactPartition partition = partition_by_impact(variable, 0.5);
+  EXPECT_EQ(partition.num_low, 0u);
+  EXPECT_EQ(partition.num_high, 0u);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

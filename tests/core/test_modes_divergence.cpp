@@ -1,0 +1,128 @@
+// The semantic boundary between derivative-based criticality (the paper's
+// Enzyme approach) and consumption-based criticality (the "algorithmic
+// analysis" its Discussion asks for).  On NPB they agree (test_criticality
+// asserts that); these programs are engineered to split them.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "synthetic_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+using namespace scrutiny::testprog;
+
+AnalysisConfig make_config(AnalysisMode mode) {
+  AnalysisConfig cfg;
+  cfg.mode = mode;
+  cfg.window_steps = 1;
+  return cfg;
+}
+
+TEST(ModesDivergence, BranchConditionInvisibleToDerivatives) {
+  // x[0] steers control flow only: its derivative is zero along the
+  // recorded path, yet its VALUE is definitely consumed.
+  const auto reverse = analyze_program<BranchOnly>(
+      {}, make_config(AnalysisMode::ReverseAD));
+  EXPECT_FALSE(reverse.find("x")->mask.test(0));
+  EXPECT_TRUE(reverse.find("x")->mask.test(1));
+
+  const auto forward = analyze_program<BranchOnly>(
+      {}, make_config(AnalysisMode::ForwardAD));
+  EXPECT_FALSE(forward.find("x")->mask.test(0));
+
+  const auto read_set = analyze_program<BranchOnly>(
+      {}, make_config(AnalysisMode::ReadSet));
+  EXPECT_TRUE(read_set.find("x")->mask.test(0));
+  EXPECT_TRUE(read_set.find("x")->mask.test(1));
+}
+
+TEST(ModesDivergence, ExactCancellationInvisibleToDerivatives) {
+  // acc += (x0 - x0) + x1: the +1/-1 partials cancel exactly in the
+  // adjoint accumulation.
+  const auto reverse = analyze_program<ExactCancellation>(
+      {}, make_config(AnalysisMode::ReverseAD));
+  EXPECT_FALSE(reverse.find("x")->mask.test(0));
+  EXPECT_TRUE(reverse.find("x")->mask.test(1));
+
+  const auto read_set = analyze_program<ExactCancellation>(
+      {}, make_config(AnalysisMode::ReadSet));
+  EXPECT_TRUE(read_set.find("x")->mask.test(0));
+  EXPECT_TRUE(read_set.find("x")->mask.test(1));
+}
+
+TEST(ModesDivergence, ReadSetIsASupersetOfReverseOnThesePrograms) {
+  // Consumption-criticality can only add elements on top of
+  // derivative-criticality for programs without recomputed state.
+  const auto check_superset = [](const CriticalMask& derivative,
+                                 const CriticalMask& consumption) {
+    for (std::size_t i = 0; i < derivative.size(); ++i) {
+      if (derivative.test(i)) {
+        EXPECT_TRUE(consumption.test(i)) << "element " << i;
+      }
+    }
+  };
+  {
+    const auto rev = analyze_program<BranchOnly>(
+        {}, make_config(AnalysisMode::ReverseAD));
+    const auto rs = analyze_program<BranchOnly>(
+        {}, make_config(AnalysisMode::ReadSet));
+    check_superset(rev.find("x")->mask, rs.find("x")->mask);
+  }
+  {
+    const auto rev = analyze_program<ExactCancellation>(
+        {}, make_config(AnalysisMode::ReverseAD));
+    const auto rs = analyze_program<ExactCancellation>(
+        {}, make_config(AnalysisMode::ReadSet));
+    check_superset(rev.find("x")->mask, rs.find("x")->mask);
+  }
+  {
+    const auto rev = analyze_program<EvenSum>(
+        {}, make_config(AnalysisMode::ReverseAD));
+    const auto rs = analyze_program<EvenSum>(
+        {}, make_config(AnalysisMode::ReadSet));
+    check_superset(rev.find("x")->mask, rs.find("x")->mask);
+  }
+}
+
+TEST(ModesDivergence, FiniteDiffAgreesWithReverseOnSmoothPrograms) {
+  const auto reverse =
+      analyze_program<EvenSum>({}, make_config(AnalysisMode::ReverseAD));
+  const auto fd =
+      analyze_program<EvenSum>({}, make_config(AnalysisMode::FiniteDiff));
+  EXPECT_TRUE(reverse.find("x")->mask == fd.find("x")->mask);
+}
+
+TEST(ModesDivergence, ForwardAgreesWithReverseExactly) {
+  for (auto program_check : {0, 1, 2}) {
+    switch (program_check) {
+      case 0: {
+        const auto a = analyze_program<EvenSum>(
+            {}, make_config(AnalysisMode::ReverseAD));
+        const auto b = analyze_program<EvenSum>(
+            {}, make_config(AnalysisMode::ForwardAD));
+        EXPECT_TRUE(a.find("x")->mask == b.find("x")->mask);
+        break;
+      }
+      case 1: {
+        const auto a = analyze_program<OverwriteFirstHalf>(
+            {}, make_config(AnalysisMode::ReverseAD));
+        const auto b = analyze_program<OverwriteFirstHalf>(
+            {}, make_config(AnalysisMode::ForwardAD));
+        EXPECT_TRUE(a.find("x")->mask == b.find("x")->mask);
+        break;
+      }
+      default: {
+        const auto a = analyze_program<TwoOutputs>(
+            {}, make_config(AnalysisMode::ReverseAD));
+        const auto b = analyze_program<TwoOutputs>(
+            {}, make_config(AnalysisMode::ForwardAD));
+        EXPECT_TRUE(a.find("x")->mask == b.find("x")->mask);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::core

@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny::core {
+namespace {
+
+AnalysisResult sample_result() {
+  AnalysisResult result;
+  result.program = "BT";
+  result.mode = AnalysisMode::ReverseAD;
+  result.num_outputs = 5;
+
+  VariableCriticality u;
+  u.name = "u";
+  u.element_size = 8;
+  u.mask = CriticalMask(10140, true);
+  for (std::size_t i = 0; i < 1500; ++i) u.mask.set(i, false);
+  result.variables.push_back(std::move(u));
+
+  VariableCriticality step;
+  step.name = "step";
+  step.element_size = 4;
+  step.is_integer = true;
+  step.mask = CriticalMask(1, true);
+  result.variables.push_back(std::move(step));
+  return result;
+}
+
+TEST(Report, CriticalityRowsMatchMaskCounts) {
+  const auto rows = criticality_rows(sample_result());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].variable, "BT(u)");
+  EXPECT_EQ(rows[0].uncritical, 1500u);
+  EXPECT_EQ(rows[0].total, 10140u);
+  EXPECT_NEAR(rows[0].uncritical_rate, 0.148, 0.0005);
+  EXPECT_EQ(rows[1].uncritical, 0u);
+}
+
+TEST(Report, CriticalityTableRendersRows) {
+  const std::string table = format_criticality_table(sample_result());
+  EXPECT_NE(table.find("BT(u)"), std::string::npos);
+  EXPECT_NE(table.find("1,500"), std::string::npos);
+  EXPECT_NE(table.find("10,140"), std::string::npos);
+  EXPECT_NE(table.find("14.8%"), std::string::npos);
+}
+
+TEST(Report, StorageRowAccountsAuxOverhead) {
+  const StorageRow row = summarize_storage(sample_result());
+  EXPECT_EQ(row.program, "BT");
+  EXPECT_EQ(row.original_bytes, 10140u * 8 + 4);
+  // optimized = critical elements + region metadata (contiguous uncritical
+  // prefix -> u is one region; step one region).
+  EXPECT_EQ(row.optimized_bytes, 8640u * 8 + 16 + 4 + 16);
+  EXPECT_GT(row.saved_fraction, 0.13);
+  EXPECT_LT(row.saved_fraction, 0.16);
+}
+
+TEST(Report, StorageTableRendersAllRows) {
+  const std::string table =
+      format_storage_table({summarize_storage(sample_result())});
+  EXPECT_NE(table.find("BT"), std::string::npos);
+  EXPECT_NE(table.find("Storage saved"), std::string::npos);
+}
+
+TEST(Report, SummaryListsModeAndTimings) {
+  AnalysisResult result = sample_result();
+  result.tape_stats.num_statements = 123456;
+  result.record_seconds = 0.5;
+  const std::string summary = format_analysis_summary(result);
+  EXPECT_NE(summary.find("reverse-ad"), std::string::npos);
+  EXPECT_NE(summary.find("123,456"), std::string::npos);
+  EXPECT_NE(summary.find("BT"), std::string::npos);
+}
+
+TEST(Report, EmptyResultRendersWithoutCrashing) {
+  AnalysisResult result;
+  result.program = "EMPTY";
+  EXPECT_FALSE(format_criticality_table(result).empty());
+  EXPECT_FALSE(format_analysis_summary(result).empty());
+  const StorageRow row = summarize_storage(result);
+  EXPECT_EQ(row.original_bytes, 0u);
+  EXPECT_DOUBLE_EQ(row.saved_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

@@ -1,0 +1,130 @@
+#include "mask/critical_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/npb_random.hpp"
+
+namespace scrutiny {
+namespace {
+
+TEST(CriticalMask, DefaultConstructedIsEmpty) {
+  CriticalMask mask;
+  EXPECT_EQ(mask.size(), 0u);
+  EXPECT_EQ(mask.count_critical(), 0u);
+  EXPECT_DOUBLE_EQ(mask.uncritical_rate(), 0.0);
+}
+
+TEST(CriticalMask, InitiallyUncritical) {
+  CriticalMask mask(100);
+  EXPECT_EQ(mask.count_critical(), 0u);
+  EXPECT_EQ(mask.count_uncritical(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(mask.test(i));
+}
+
+TEST(CriticalMask, InitiallyCritical) {
+  CriticalMask mask(100, true);
+  EXPECT_EQ(mask.count_critical(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(mask.test(i));
+}
+
+TEST(CriticalMask, SetAndClearBits) {
+  CriticalMask mask(10);
+  mask.set(3);
+  mask.set(7, true);
+  EXPECT_TRUE(mask.test(3));
+  EXPECT_TRUE(mask.test(7));
+  EXPECT_EQ(mask.count_critical(), 2u);
+  mask.set(3, false);
+  EXPECT_FALSE(mask.test(3));
+  EXPECT_EQ(mask.count_critical(), 1u);
+}
+
+TEST(CriticalMask, OutOfRangeAccessThrows) {
+  CriticalMask mask(10);
+  EXPECT_THROW((void)mask.test(10), ScrutinyError);
+  EXPECT_THROW(mask.set(10), ScrutinyError);
+}
+
+class MaskSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MaskSizeTest, TailBitsNeverLeakIntoCounts) {
+  // Word-boundary sizes: the unused tail bits of the last word must not
+  // be counted, inverted into existence, or compared.
+  const std::size_t size = GetParam();
+  CriticalMask all(size, true);
+  EXPECT_EQ(all.count_critical(), size);
+  all.invert();
+  EXPECT_EQ(all.count_critical(), 0u);
+  all.invert();
+  EXPECT_EQ(all.count_critical(), size);
+  CriticalMask fresh(size);
+  fresh.set_all(true);
+  EXPECT_TRUE(all == fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, MaskSizeTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129,
+                                           10140, 46480));
+
+TEST(CriticalMask, MergeOr) {
+  CriticalMask a(8), b(8);
+  a.set(1);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+  a.merge_or(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(5));
+  EXPECT_EQ(a.count_critical(), 3u);
+}
+
+TEST(CriticalMask, MergeAnd) {
+  CriticalMask a(8), b(8);
+  a.set(1);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+  a.merge_and(b);
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(3));
+  EXPECT_FALSE(a.test(5));
+}
+
+TEST(CriticalMask, MergeSizeMismatchThrows) {
+  CriticalMask a(8), b(9);
+  EXPECT_THROW(a.merge_or(b), ScrutinyError);
+  EXPECT_THROW(a.merge_and(b), ScrutinyError);
+}
+
+TEST(CriticalMask, UncriticalRateMatchesPaperArithmetic) {
+  CriticalMask mask(10140, true);
+  for (std::size_t i = 0; i < 1500; ++i) mask.set(i, false);
+  EXPECT_NEAR(mask.uncritical_rate(), 0.148, 0.0005);  // BT's 14.8 %
+}
+
+TEST(CriticalMask, EqualityComparesContent) {
+  CriticalMask a(70), b(70);
+  EXPECT_TRUE(a == b);
+  a.set(69);
+  EXPECT_FALSE(a == b);
+  b.set(69);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(CriticalMask, RandomPatternCountsConsistent) {
+  CriticalMask mask(1000);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    if (hashed_uniform(i) < 0.3) {
+      mask.set(i);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(mask.count_critical(), expected);
+  mask.invert();
+  EXPECT_EQ(mask.count_critical(), 1000 - expected);
+}
+
+}  // namespace
+}  // namespace scrutiny

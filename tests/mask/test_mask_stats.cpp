@@ -1,0 +1,76 @@
+#include "mask/mask_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny {
+namespace {
+
+TEST(MaskStats, CountsAndRates) {
+  CriticalMask mask(10);
+  for (std::size_t i = 0; i < 7; ++i) mask.set(i);
+  const MaskStats stats = compute_mask_stats(mask);
+  EXPECT_EQ(stats.total_elements, 10u);
+  EXPECT_EQ(stats.critical_elements, 7u);
+  EXPECT_EQ(stats.uncritical_elements, 3u);
+  EXPECT_DOUBLE_EQ(stats.uncritical_rate, 0.3);
+}
+
+TEST(MaskStats, RunAccounting) {
+  CriticalMask mask(12);
+  mask.set(0);
+  mask.set(1);
+  mask.set(5);
+  mask.set(8);
+  mask.set(9);
+  mask.set(10);
+  const MaskStats stats = compute_mask_stats(mask);
+  EXPECT_EQ(stats.num_critical_runs, 3u);
+  EXPECT_EQ(stats.longest_critical_run, 3u);
+  EXPECT_EQ(stats.longest_uncritical_run, 3u);
+}
+
+TEST(MaskStats, RunHistogram) {
+  CriticalMask mask(20);
+  mask.set(0);          // run of 1
+  mask.set(5);
+  mask.set(6);          // run of 2
+  mask.set(10);
+  mask.set(11);         // run of 2
+  mask.set(15);
+  mask.set(16);
+  mask.set(17);         // run of 3
+  const auto histogram = critical_run_histogram(mask);
+  EXPECT_EQ(histogram.at(1), 1u);
+  EXPECT_EQ(histogram.at(2), 2u);
+  EXPECT_EQ(histogram.at(3), 1u);
+}
+
+TEST(MaskStats, StorageEstimateMatchesByHand) {
+  CriticalMask mask(100);
+  for (std::size_t i = 10; i < 60; ++i) mask.set(i);  // one 50-run
+  const StorageEstimate estimate = estimate_storage(mask, 8);
+  EXPECT_EQ(estimate.full_bytes, 800u);
+  EXPECT_EQ(estimate.pruned_payload_bytes, 400u);
+  EXPECT_EQ(estimate.aux_bytes, 16u);  // one region
+  EXPECT_EQ(estimate.pruned_total_bytes(), 416u);
+  EXPECT_NEAR(estimate.saving_fraction(), 1.0 - 416.0 / 800.0, 1e-12);
+}
+
+TEST(MaskStats, MgUShapeStats) {
+  // The Fig. 4 structure: one giant critical run then one uncritical run.
+  CriticalMask mask(46480);
+  for (std::size_t i = 0; i < 39304; ++i) mask.set(i);
+  const MaskStats stats = compute_mask_stats(mask);
+  EXPECT_EQ(stats.num_critical_runs, 1u);
+  EXPECT_EQ(stats.longest_critical_run, 39304u);
+  EXPECT_EQ(stats.longest_uncritical_run, 7176u);
+}
+
+TEST(MaskStats, EmptyMask) {
+  const MaskStats stats = compute_mask_stats(CriticalMask(0));
+  EXPECT_EQ(stats.total_elements, 0u);
+  EXPECT_EQ(stats.num_critical_runs, 0u);
+}
+
+}  // namespace
+}  // namespace scrutiny

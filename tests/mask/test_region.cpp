@@ -1,0 +1,140 @@
+#include "mask/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/npb_random.hpp"
+
+namespace scrutiny {
+namespace {
+
+TEST(Region, LengthIsHalfOpen) {
+  const Region region{10, 15};
+  EXPECT_EQ(region.length(), 5u);
+}
+
+TEST(RegionList, FromMaskFindsRuns) {
+  CriticalMask mask(10);
+  mask.set(1);
+  mask.set(2);
+  mask.set(5);
+  const RegionList list = RegionList::from_mask(mask);
+  ASSERT_EQ(list.num_regions(), 2u);
+  EXPECT_EQ(list.regions()[0], (Region{1, 3}));
+  EXPECT_EQ(list.regions()[1], (Region{5, 6}));
+  EXPECT_EQ(list.covered_elements(), 3u);
+}
+
+TEST(RegionList, EmptyMaskGivesNoRegions) {
+  const RegionList list = RegionList::from_mask(CriticalMask(100));
+  EXPECT_EQ(list.num_regions(), 0u);
+  EXPECT_EQ(list.covered_elements(), 0u);
+}
+
+TEST(RegionList, FullMaskGivesSingleRegion) {
+  const RegionList list = RegionList::from_mask(CriticalMask(100, true));
+  ASSERT_EQ(list.num_regions(), 1u);
+  EXPECT_EQ(list.regions()[0], (Region{0, 100}));
+}
+
+TEST(RegionList, AppendCoalescesAdjacent) {
+  RegionList list;
+  list.append({0, 5});
+  list.append({5, 10});
+  EXPECT_EQ(list.num_regions(), 1u);
+  EXPECT_EQ(list.regions()[0], (Region{0, 10}));
+}
+
+TEST(RegionList, AppendRejectsOverlapAndDisorder) {
+  RegionList list;
+  list.append({5, 10});
+  EXPECT_THROW(list.append({8, 12}), ScrutinyError);
+  EXPECT_THROW(list.append({0, 2}), ScrutinyError);
+  EXPECT_THROW(list.append({12, 12}), ScrutinyError);  // empty
+}
+
+TEST(RegionList, ContainsBinarySearch) {
+  RegionList list;
+  list.append({2, 4});
+  list.append({10, 20});
+  EXPECT_FALSE(list.contains(0));
+  EXPECT_FALSE(list.contains(1));
+  EXPECT_TRUE(list.contains(2));
+  EXPECT_TRUE(list.contains(3));
+  EXPECT_FALSE(list.contains(4));
+  EXPECT_TRUE(list.contains(10));
+  EXPECT_TRUE(list.contains(19));
+  EXPECT_FALSE(list.contains(20));
+  EXPECT_FALSE(list.contains(1000));
+}
+
+TEST(RegionList, ComplementCoversTheGaps) {
+  RegionList list;
+  list.append({2, 4});
+  list.append({10, 20});
+  const RegionList complement = list.complement(25);
+  ASSERT_EQ(complement.num_regions(), 3u);
+  EXPECT_EQ(complement.regions()[0], (Region{0, 2}));
+  EXPECT_EQ(complement.regions()[1], (Region{4, 10}));
+  EXPECT_EQ(complement.regions()[2], (Region{20, 25}));
+  EXPECT_EQ(list.covered_elements() + complement.covered_elements(), 25u);
+}
+
+TEST(RegionList, ComplementOfEmptyIsEverything) {
+  const RegionList complement = RegionList().complement(7);
+  ASSERT_EQ(complement.num_regions(), 1u);
+  EXPECT_EQ(complement.regions()[0], (Region{0, 7}));
+}
+
+TEST(RegionList, SerializedBytesCountsTwoWordsPerRegion) {
+  RegionList list;
+  list.append({0, 1});
+  list.append({3, 4});
+  EXPECT_EQ(list.serialized_bytes(), 2u * 2 * sizeof(std::uint64_t));
+}
+
+TEST(RegionList, ToMaskReconstructsExactly) {
+  CriticalMask mask(40);
+  mask.set(0);
+  mask.set(39);
+  for (std::size_t i = 10; i < 20; ++i) mask.set(i);
+  const RegionList list = RegionList::from_mask(mask);
+  EXPECT_TRUE(list.to_mask(40) == mask);
+}
+
+TEST(RegionList, ToMaskRejectsOutOfBoundsRegions) {
+  RegionList list;
+  list.append({0, 10});
+  EXPECT_THROW((void)list.to_mask(5), ScrutinyError);
+}
+
+class RegionRoundTripTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>> {};
+
+TEST_P(RegionRoundTripTest, MaskRegionMaskIsIdentity) {
+  const auto [size, density] = GetParam();
+  CriticalMask mask(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (hashed_uniform(i * 31 + size) < density) mask.set(i);
+  }
+  const RegionList regions = RegionList::from_mask(mask);
+  EXPECT_TRUE(regions.to_mask(size) == mask);
+  EXPECT_EQ(regions.covered_elements(), mask.count_critical());
+  // Regions must be sorted, disjoint and non-adjacent (maximal runs).
+  for (std::size_t r = 1; r < regions.num_regions(); ++r) {
+    EXPECT_GT(regions.regions()[r].begin, regions.regions()[r - 1].end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, RegionRoundTripTest,
+    ::testing::Values(std::pair<std::size_t, double>{1, 0.5},
+                      std::pair<std::size_t, double>{64, 0.1},
+                      std::pair<std::size_t, double>{100, 0.0},
+                      std::pair<std::size_t, double>{100, 1.0},
+                      std::pair<std::size_t, double>{1000, 0.05},
+                      std::pair<std::size_t, double>{1000, 0.5},
+                      std::pair<std::size_t, double>{1000, 0.95},
+                      std::pair<std::size_t, double>{10140, 0.852}));
+
+}  // namespace
+}  // namespace scrutiny

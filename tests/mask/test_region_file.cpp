@@ -1,0 +1,109 @@
+#include "mask/region_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ckpt/failure.hpp"
+#include "support/binary_io.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny {
+namespace {
+
+class RegionFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_regionfile_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+RegionFile sample_file() {
+  RegionFile file;
+  VariableRegions u;
+  u.name = "u";
+  u.element_size = 8;
+  u.total_elements = 10140;
+  u.critical.append({0, 8640});
+  file.variables.push_back(u);
+  VariableRegions step;
+  step.name = "step";
+  step.element_size = 4;
+  step.total_elements = 1;
+  step.critical.append({0, 1});
+  file.variables.push_back(step);
+  return file;
+}
+
+TEST_F(RegionFileTest, SaveLoadRoundTrip) {
+  const auto path = dir_ / "u.regions";
+  const RegionFile original = sample_file();
+  original.save(path);
+  const RegionFile loaded = RegionFile::load(path);
+  EXPECT_TRUE(loaded == original);
+}
+
+TEST_F(RegionFileTest, FindLocatesVariables) {
+  const RegionFile file = sample_file();
+  ASSERT_NE(file.find("u"), nullptr);
+  EXPECT_EQ(file.find("u")->total_elements, 10140u);
+  EXPECT_EQ(file.find("nope"), nullptr);
+}
+
+TEST_F(RegionFileTest, CorruptionIsDetected) {
+  const auto path = dir_ / "corrupt.regions";
+  sample_file().save(path);
+  // Flip a bit in the middle of the file: CRC must catch it.
+  ckpt::FailureInjector::corrupt_file(path, 24);
+  EXPECT_THROW((void)RegionFile::load(path), ScrutinyError);
+}
+
+TEST_F(RegionFileTest, WrongMagicRejected) {
+  const auto path = dir_ / "not_regions.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<std::uint64_t>(0x1234567890ABCDEFull);
+    writer.commit();
+  }
+  EXPECT_THROW((void)RegionFile::load(path), ScrutinyError);
+}
+
+TEST_F(RegionFileTest, EmptyFileOfVariablesRoundTrips) {
+  const auto path = dir_ / "empty.regions";
+  RegionFile file;
+  file.save(path);
+  EXPECT_TRUE(RegionFile::load(path).variables.empty());
+}
+
+TEST_F(RegionFileTest, RegionBeyondTotalElementsRejected) {
+  const auto path = dir_ / "oob.regions";
+  RegionFile file;
+  VariableRegions v;
+  v.name = "x";
+  v.element_size = 8;
+  v.total_elements = 10;
+  v.critical.append({0, 10});
+  file.variables.push_back(v);
+  file.save(path);
+  // Load succeeds (in bounds); now craft an out-of-bounds one manually.
+  RegionFile bad;
+  VariableRegions w;
+  w.name = "x";
+  w.element_size = 8;
+  w.total_elements = 5;
+  w.critical.append({0, 10});  // exceeds total_elements
+  bad.variables.push_back(w);
+  const auto bad_path = dir_ / "bad.regions";
+  bad.save(bad_path);
+  EXPECT_THROW((void)RegionFile::load(bad_path), ScrutinyError);
+}
+
+}  // namespace
+}  // namespace scrutiny

@@ -1,0 +1,209 @@
+// Basic mini-app behaviour: deterministic initialization, state evolution,
+// finite outputs, and checkpoint bindings that match Table I.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckpt/registry.hpp"
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/lu.hpp"
+#include "npb/mg.hpp"
+#include "npb/sp.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+template <template <class> class App>
+void expect_deterministic_run() {
+  App<double> a, b;
+  a.init();
+  b.init();
+  for (int s = 0; s < 3; ++s) {
+    a.step();
+    b.step();
+  }
+  const auto oa = a.outputs();
+  const auto ob = b.outputs();
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i], ob[i]) << "output " << i;
+  }
+}
+
+template <template <class> class App>
+void expect_finite_evolving_outputs() {
+  App<double> app;
+  app.init();
+  app.step();
+  const auto first = app.outputs();
+  for (double value : first) EXPECT_TRUE(std::isfinite(value));
+  app.step();
+  const auto second = app.outputs();
+  bool changed = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(second[i]));
+    changed |= second[i] != first[i];
+  }
+  EXPECT_TRUE(changed) << "stepping must evolve the verification values";
+}
+
+TEST(AppsBasic, BtDeterministic) { expect_deterministic_run<BtApp>(); }
+TEST(AppsBasic, SpDeterministic) { expect_deterministic_run<SpApp>(); }
+TEST(AppsBasic, LuDeterministic) { expect_deterministic_run<LuApp>(); }
+TEST(AppsBasic, MgDeterministic) { expect_deterministic_run<MgApp>(); }
+TEST(AppsBasic, CgDeterministic) { expect_deterministic_run<CgApp>(); }
+TEST(AppsBasic, FtDeterministic) { expect_deterministic_run<FtApp>(); }
+TEST(AppsBasic, EpDeterministic) { expect_deterministic_run<EpApp>(); }
+
+TEST(AppsBasic, BtOutputsEvolve) { expect_finite_evolving_outputs<BtApp>(); }
+TEST(AppsBasic, SpOutputsEvolve) { expect_finite_evolving_outputs<SpApp>(); }
+TEST(AppsBasic, LuOutputsEvolve) { expect_finite_evolving_outputs<LuApp>(); }
+TEST(AppsBasic, MgOutputsEvolve) { expect_finite_evolving_outputs<MgApp>(); }
+TEST(AppsBasic, CgOutputsEvolve) { expect_finite_evolving_outputs<CgApp>(); }
+TEST(AppsBasic, FtOutputsEvolve) { expect_finite_evolving_outputs<FtApp>(); }
+TEST(AppsBasic, EpOutputsEvolve) { expect_finite_evolving_outputs<EpApp>(); }
+
+TEST(AppsBasic, IsDeterministicAndEvolving) {
+  IsApp<std::int32_t> a, b;
+  a.init();
+  b.init();
+  a.step();
+  b.step();
+  EXPECT_EQ(a.outputs(), b.outputs());
+  const auto first = a.outputs();
+  a.step();
+  EXPECT_NE(a.outputs(), first);
+}
+
+TEST(AppsBasic, IsSortsKeys) {
+  IsApp<std::int32_t> app;
+  app.init();
+  for (int s = 0; s < app.total_steps(); ++s) app.step();
+  const auto outputs = app.outputs();
+  EXPECT_EQ(outputs[2], 0) << "sortedness violations must be zero";
+  EXPECT_GT(outputs[0], 0) << "partial verification counter";
+}
+
+TEST(AppsBasic, StepCountersAdvance) {
+  BtApp<double> bt;
+  bt.init();
+  EXPECT_EQ(bt.current_step(), 0);
+  bt.step();
+  bt.step();
+  EXPECT_EQ(bt.current_step(), 2);
+}
+
+TEST(AppsBasic, MgLevelGeometryMatchesNpb) {
+  EXPECT_EQ(MgApp<double>::kNr, 46480u);
+  EXPECT_EQ(MgApp<double>::kNv, 39304u);
+  EXPECT_EQ(MgApp<double>::level_extent(5), 34);
+  EXPECT_EQ(MgApp<double>::level_extent(1), 4);
+  EXPECT_EQ(MgApp<double>::level_offset(5), 0u);
+  EXPECT_EQ(MgApp<double>::level_offset(4), 39304u);
+  EXPECT_EQ(MgApp<double>::level_offset(1), 46352u);
+  // levels end at 46416; the 64-double tail is allocation slack.
+  EXPECT_EQ(MgApp<double>::level_offset(1) + 4u * 4 * 4, 46416u);
+}
+
+TEST(AppsBasic, BtErrorNormsDecreaseFromInitialPerturbation) {
+  // The ADI iteration damps the perturbation toward the anchored field, so
+  // the verification norms must not blow up.
+  BtApp<double> app;
+  app.init();
+  app.step();
+  const auto after_one = app.outputs();
+  for (int s = 0; s < 5; ++s) app.step();
+  const auto after_six = app.outputs();
+  for (std::size_t m = 0; m < after_six.size(); ++m) {
+    EXPECT_LT(after_six[m], after_one[m] * 10.0) << "component " << m;
+  }
+}
+
+TEST(AppsBasic, CgZetaConvergesAboveShift) {
+  // zeta = shift + 1/(x·z) with x·z -> 1/lambda_min(A): zeta must settle in
+  // (shift, shift + dominance + bands] and stabilize across iterations.
+  CgApp<double> app;
+  app.init();
+  for (int s = 0; s + 1 < app.total_steps(); ++s) app.step();
+  const double penultimate = app.outputs()[0];
+  app.step();
+  const auto outputs = app.outputs();
+  EXPECT_GT(outputs[0], app.config().shift);
+  EXPECT_LT(outputs[0], app.config().shift + app.config().dominance + 4.0);
+  EXPECT_NEAR(outputs[0], penultimate, 0.1);  // power iteration stabilizes
+  EXPECT_TRUE(std::isfinite(outputs[1]));
+}
+
+template <template <class> class App>
+void expect_registry_matches_bindings() {
+  App<double> app;
+  app.init();
+  ckpt::CheckpointRegistry registry;
+  app.register_checkpoint(registry);
+  const auto binds = app.checkpoint_bindings();
+  ASSERT_EQ(registry.size(), binds.size());
+  for (const auto& bind : binds) {
+    const auto* variable = registry.find(bind.name);
+    ASSERT_NE(variable, nullptr) << bind.name;
+    EXPECT_EQ(variable->num_elements, bind.num_elements) << bind.name;
+    EXPECT_EQ(variable->element_size(), bind.element_size) << bind.name;
+  }
+}
+
+TEST(AppsBasic, BtRegistryMatchesBindings) {
+  expect_registry_matches_bindings<BtApp>();
+}
+TEST(AppsBasic, SpRegistryMatchesBindings) {
+  expect_registry_matches_bindings<SpApp>();
+}
+TEST(AppsBasic, LuRegistryMatchesBindings) {
+  expect_registry_matches_bindings<LuApp>();
+}
+TEST(AppsBasic, MgRegistryMatchesBindings) {
+  expect_registry_matches_bindings<MgApp>();
+}
+TEST(AppsBasic, CgRegistryMatchesBindings) {
+  expect_registry_matches_bindings<CgApp>();
+}
+TEST(AppsBasic, FtRegistryMatchesBindings) {
+  expect_registry_matches_bindings<FtApp>();
+}
+TEST(AppsBasic, EpRegistryMatchesBindings) {
+  expect_registry_matches_bindings<EpApp>();
+}
+
+TEST(AppsBasic, IsRegistryMatchesBindings) {
+  IsApp<std::int32_t> app;
+  app.init();
+  ckpt::CheckpointRegistry registry;
+  app.register_checkpoint(registry);
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.find("key_array")->num_elements, 65536u);
+  EXPECT_EQ(registry.find("bucket_ptrs")->num_elements, 512u);
+}
+
+TEST(AppsBasic, BenchmarkNameParsing) {
+  EXPECT_EQ(parse_benchmark("BT"), BenchmarkId::BT);
+  EXPECT_EQ(parse_benchmark("bt"), BenchmarkId::BT);
+  EXPECT_EQ(parse_benchmark("Mg"), BenchmarkId::MG);
+  EXPECT_FALSE(parse_benchmark("XX").has_value());
+  EXPECT_EQ(all_benchmarks().size(), 8u);
+}
+
+TEST(AppsBasic, GoldenOutputsAvailableForAllBenchmarks) {
+  for (BenchmarkId id : all_benchmarks()) {
+    const auto outputs = golden_outputs(id);
+    EXPECT_FALSE(outputs.empty()) << benchmark_name(id);
+    for (double value : outputs) {
+      EXPECT_TRUE(std::isfinite(value)) << benchmark_name(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::npb

@@ -1,0 +1,163 @@
+// The headline reproduction test: the AD analysis must produce EXACTLY the
+// closed-form criticality masks and the paper's Table II counts for every
+// benchmark.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "npb/expected_masks.hpp"
+#include "npb/paper_reference.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+class CriticalityTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  static core::AnalysisResult analysis(BenchmarkId id,
+                                       core::AnalysisMode mode) {
+    return analyze_benchmark(id, default_analysis_config(id, mode));
+  }
+};
+
+TEST_P(CriticalityTest, ReverseAdMatchesClosedFormMasksExactly) {
+  const BenchmarkId id = GetParam();
+  const auto result = analysis(
+      id, id == BenchmarkId::IS ? core::AnalysisMode::ReadSet
+                                : core::AnalysisMode::ReverseAD);
+  for (const auto& variable : result.variables) {
+    const auto expected = expected_mask(id, variable.name);
+    ASSERT_TRUE(expected.has_value())
+        << benchmark_name(id) << "(" << variable.name
+        << ") missing from the oracle";
+    EXPECT_TRUE(variable.mask == *expected)
+        << benchmark_name(id) << "(" << variable.name << "): got "
+        << variable.mask.count_uncritical() << " uncritical, expected "
+        << expected->count_uncritical();
+  }
+}
+
+TEST_P(CriticalityTest, ReadSetAgreesWithDerivativeAnalysis) {
+  // Paper §V: every uncritical element found on NPB is simply never read —
+  // the consumption-based analysis must reproduce the AD masks exactly.
+  const BenchmarkId id = GetParam();
+  if (id == BenchmarkId::IS) GTEST_SKIP() << "IS is ReadSet-only";
+  const auto reverse = analysis(id, core::AnalysisMode::ReverseAD);
+  const auto read_set = analysis(id, core::AnalysisMode::ReadSet);
+  ASSERT_EQ(reverse.variables.size(), read_set.variables.size());
+  for (std::size_t v = 0; v < reverse.variables.size(); ++v) {
+    EXPECT_TRUE(reverse.variables[v].mask == read_set.variables[v].mask)
+        << benchmark_name(id) << "(" << reverse.variables[v].name << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CriticalityTest,
+    ::testing::Values(BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU,
+                      BenchmarkId::MG, BenchmarkId::CG, BenchmarkId::FT,
+                      BenchmarkId::EP, BenchmarkId::IS),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+TEST(PaperTable2, EveryRowReproduced) {
+  // Gather one analysis per benchmark, then compare against the embedded
+  // Table II (uncritical count, total, rate).
+  std::map<BenchmarkId, core::AnalysisResult> results;
+  for (const PaperCriticalityRow& row : paper_table2()) {
+    if (!results.count(row.benchmark)) {
+      results.emplace(row.benchmark,
+                      analyze_benchmark(row.benchmark,
+                                        default_analysis_config(
+                                            row.benchmark,
+                                            core::AnalysisMode::ReverseAD)));
+    }
+    const auto* variable = results.at(row.benchmark).find(row.variable);
+    ASSERT_NE(variable, nullptr)
+        << benchmark_name(row.benchmark) << "(" << row.variable << ")";
+    EXPECT_EQ(variable->uncritical_elements(), row.uncritical)
+        << benchmark_name(row.benchmark) << "(" << row.variable << ")";
+    EXPECT_EQ(variable->total_elements(), row.total);
+    EXPECT_NEAR(variable->uncritical_rate(), row.uncritical_rate, 0.0006);
+  }
+}
+
+TEST(PaperTable2, IsIntegerPolicyMarksEverythingCritical) {
+  const auto result = analyze_benchmark(
+      BenchmarkId::IS,
+      default_analysis_config(BenchmarkId::IS,
+                              core::AnalysisMode::ReverseAD));
+  for (const auto& variable : result.variables) {
+    EXPECT_EQ(variable.mask.count_uncritical(), 0u) << variable.name;
+    EXPECT_TRUE(variable.is_integer) << variable.name;
+  }
+}
+
+TEST(PaperTable1, VariableInventoryMatchesShapes) {
+  struct ExpectedVariable {
+    BenchmarkId id;
+    const char* name;
+    std::uint64_t elements;
+  };
+  const ExpectedVariable inventory[] = {
+      {BenchmarkId::BT, "u", 10140},    {BenchmarkId::BT, "step", 1},
+      {BenchmarkId::SP, "u", 10140},    {BenchmarkId::SP, "step", 1},
+      {BenchmarkId::MG, "u", 46480},    {BenchmarkId::MG, "r", 46480},
+      {BenchmarkId::MG, "it", 1},       {BenchmarkId::CG, "x", 1402},
+      {BenchmarkId::CG, "it", 1},       {BenchmarkId::LU, "u", 10140},
+      {BenchmarkId::LU, "rho_i", 2028}, {BenchmarkId::LU, "qs", 2028},
+      {BenchmarkId::LU, "rsd", 10140},  {BenchmarkId::LU, "istep", 1},
+      {BenchmarkId::FT, "y", 266240},   {BenchmarkId::FT, "sums", 6},
+      {BenchmarkId::FT, "kt", 1},       {BenchmarkId::EP, "sx", 1},
+      {BenchmarkId::EP, "sy", 1},       {BenchmarkId::EP, "q", 10},
+      {BenchmarkId::EP, "k", 1},        {BenchmarkId::IS, "key_array", 65536},
+      {BenchmarkId::IS, "bucket_ptrs", 512},
+      {BenchmarkId::IS, "passed_verification", 1},
+      {BenchmarkId::IS, "iteration", 1},
+  };
+  std::map<BenchmarkId, core::AnalysisResult> results;
+  for (const ExpectedVariable& expected : inventory) {
+    if (!results.count(expected.id)) {
+      const auto mode = expected.id == BenchmarkId::IS
+                            ? core::AnalysisMode::ReadSet
+                            : core::AnalysisMode::ReverseAD;
+      results.emplace(expected.id,
+                      analyze_benchmark(
+                          expected.id,
+                          default_analysis_config(expected.id, mode)));
+    }
+    const auto* variable = results.at(expected.id).find(expected.name);
+    ASSERT_NE(variable, nullptr)
+        << benchmark_name(expected.id) << "(" << expected.name << ")";
+    EXPECT_EQ(variable->total_elements(), expected.elements)
+        << benchmark_name(expected.id) << "(" << expected.name << ")";
+  }
+}
+
+TEST(WindowInvariance, BtMaskStableAcrossWindowSizes) {
+  // NPB access patterns are iteration-stationary: a larger analysis window
+  // must not change the mask.
+  auto cfg1 = default_analysis_config(BenchmarkId::BT);
+  cfg1.window_steps = 1;
+  auto cfg3 = default_analysis_config(BenchmarkId::BT);
+  cfg3.window_steps = 3;
+  const auto mask1 =
+      analyze_benchmark(BenchmarkId::BT, cfg1).find("u")->mask;
+  const auto mask3 =
+      analyze_benchmark(BenchmarkId::BT, cfg3).find("u")->mask;
+  EXPECT_TRUE(mask1 == mask3);
+}
+
+TEST(WindowInvariance, CgMaskStableAcrossWarmupPlacement) {
+  auto early = default_analysis_config(BenchmarkId::CG);
+  early.warmup_steps = 1;
+  auto late = default_analysis_config(BenchmarkId::CG);
+  late.warmup_steps = 4;
+  const auto mask_early =
+      analyze_benchmark(BenchmarkId::CG, early).find("x")->mask;
+  const auto mask_late =
+      analyze_benchmark(BenchmarkId::CG, late).find("x")->mask;
+  EXPECT_TRUE(mask_early == mask_late);
+}
+
+}  // namespace
+}  // namespace scrutiny::npb

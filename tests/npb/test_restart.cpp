@@ -1,0 +1,72 @@
+// §IV-C of the paper: restarting from a pruned checkpoint (uncritical
+// elements lost to the failure) must reproduce the uninterrupted run, and
+// corrupting critical elements must be caught.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+class RestartTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_restart_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_P(RestartTest, PrunedRestartReproducesAndCorruptionIsDetected) {
+  const BenchmarkId id = GetParam();
+  const auto mode = id == BenchmarkId::IS ? core::AnalysisMode::ReadSet
+                                          : core::AnalysisMode::ReverseAD;
+  const auto analysis =
+      analyze_benchmark(id, default_analysis_config(id, mode));
+  const RestartVerification verification =
+      verify_restart(id, analysis, dir_);
+
+  EXPECT_TRUE(verification.pruned_restart_matches)
+      << benchmark_name(id)
+      << ": restart from critical-only checkpoint diverged";
+  EXPECT_TRUE(verification.negative_control_detected)
+      << benchmark_name(id)
+      << ": corrupted critical elements were not detected";
+
+  ASSERT_EQ(verification.golden.size(), verification.restarted.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, RestartTest,
+    ::testing::Values(BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU,
+                      BenchmarkId::MG, BenchmarkId::CG, BenchmarkId::FT,
+                      BenchmarkId::EP, BenchmarkId::IS),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+TEST(RestartSemantics, ReadSetMasksAlsoSufficeForRestart) {
+  // The consumption-based masks must be just as safe to restart from.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_restart_rs_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto analysis = analyze_benchmark(
+      BenchmarkId::MG,
+      default_analysis_config(BenchmarkId::MG,
+                              core::AnalysisMode::ReadSet));
+  const RestartVerification verification =
+      verify_restart(BenchmarkId::MG, analysis, dir);
+  EXPECT_TRUE(verification.pruned_restart_matches);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace scrutiny::npb

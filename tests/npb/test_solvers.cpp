@@ -1,0 +1,180 @@
+// Numerical building blocks: the 5x5 block operations and the banded line
+// solvers must actually solve their systems.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "npb/block_matrix.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+Mat5<double> random_diag_dominant(std::uint64_t seed) {
+  Mat5<double> m = mat5_zero<double>();
+  for (int r = 0; r < kBlockSize; ++r) {
+    double off_sum = 0.0;
+    for (int c = 0; c < kBlockSize; ++c) {
+      if (r == c) continue;
+      m[r][c] = hashed_uniform(seed * 31 + r * 5 + c) - 0.5;
+      off_sum += std::fabs(m[r][c]);
+    }
+    m[r][r] = off_sum + 1.0 + hashed_uniform(seed * 77 + r);
+  }
+  return m;
+}
+
+Vec5<double> random_vec(std::uint64_t seed) {
+  Vec5<double> v;
+  for (int i = 0; i < kBlockSize; ++i) {
+    v[i] = 2.0 * hashed_uniform(seed * 13 + i) - 1.0;
+  }
+  return v;
+}
+
+TEST(BlockMatrix, IdentityAndZero) {
+  const Mat5<double> identity = mat5_identity<double>();
+  const Vec5<double> v = random_vec(1);
+  const Vec5<double> iv = matvec5(identity, v);
+  for (int i = 0; i < kBlockSize; ++i) EXPECT_DOUBLE_EQ(iv[i], v[i]);
+  const Mat5<double> zero = mat5_zero<double>();
+  const Vec5<double> zv = matvec5(zero, v);
+  for (int i = 0; i < kBlockSize; ++i) EXPECT_DOUBLE_EQ(zv[i], 0.0);
+}
+
+TEST(BlockMatrix, MatmulAssociatesWithMatvec) {
+  const Mat5<double> a = random_diag_dominant(3);
+  const Mat5<double> b = random_diag_dominant(4);
+  const Vec5<double> v = random_vec(5);
+  const Vec5<double> ab_v = matvec5(matmul5(a, b), v);
+  const Vec5<double> a_bv = matvec5(a, matvec5(b, v));
+  for (int i = 0; i < kBlockSize; ++i) {
+    EXPECT_NEAR(ab_v[i], a_bv[i], 1e-12);
+  }
+}
+
+class InverseTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InverseTest, InverseTimesMatrixIsIdentity) {
+  const Mat5<double> a = random_diag_dominant(GetParam());
+  const Mat5<double> inv = matinv5(a);
+  const Mat5<double> product = matmul5(inv, a);
+  for (int r = 0; r < kBlockSize; ++r) {
+    for (int c = 0; c < kBlockSize; ++c) {
+      EXPECT_NEAR(product[r][c], r == c ? 1.0 : 0.0, 1e-10)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InverseTest,
+                         ::testing::Values(1, 2, 3, 11, 29, 71));
+
+TEST(BlockMatrix, InverseRejectsSingular) {
+  Mat5<double> singular = mat5_zero<double>();
+  EXPECT_THROW((void)matinv5(singular), ScrutinyError);
+}
+
+TEST(BlockMatrix, InverseNeedsPivoting) {
+  // Zero on the initial diagonal but non-singular: partial pivoting must
+  // handle it.
+  Mat5<double> m = mat5_identity<double>();
+  m[0][0] = 0.0;
+  m[0][1] = 1.0;
+  m[1][0] = 1.0;
+  m[1][1] = 0.0;
+  const Mat5<double> inv = matinv5(m);
+  const Mat5<double> product = matmul5(inv, m);
+  for (int r = 0; r < kBlockSize; ++r) {
+    for (int c = 0; c < kBlockSize; ++c) {
+      EXPECT_NEAR(product[r][c], r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(BlockTridiag, SolvesAManufacturedSystem) {
+  // Build a block tridiagonal system with a known solution and check the
+  // solver recovers it.
+  constexpr std::size_t n = 10;
+  std::vector<Mat5<double>> a(n), b(n), c(n);
+  std::vector<Vec5<double>> x_true(n), rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = random_diag_dominant(100 + i);
+    b[i] = random_diag_dominant(200 + i);
+    c[i] = random_diag_dominant(300 + i);
+    // strengthen the diagonal blocks for stability
+    for (int d = 0; d < kBlockSize; ++d) b[i][d][d] += 6.0;
+    x_true[i] = random_vec(400 + i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec5<double> r = matvec5(b[i], x_true[i]);
+    if (i > 0) {
+      const Vec5<double> lower = matvec5(a[i], x_true[i - 1]);
+      for (int d = 0; d < kBlockSize; ++d) r[d] += lower[d];
+    }
+    if (i + 1 < n) {
+      const Vec5<double> upper = matvec5(c[i], x_true[i + 1]);
+      for (int d = 0; d < kBlockSize; ++d) r[d] += upper[d];
+    }
+    rhs[i] = r;
+  }
+  solve_block_tridiag<double>(n, a.data(), b.data(), c.data(), rhs.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < kBlockSize; ++d) {
+      EXPECT_NEAR(rhs[i][d], x_true[i][d], 1e-8)
+          << "cell " << i << " component " << d;
+    }
+  }
+}
+
+class PentadiagTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PentadiagTest, SolvesAManufacturedSystem) {
+  const std::size_t n = GetParam();
+  std::vector<double> a2(n), a1(n), d(n), e1(n), e2(n), x_true(n), rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a2[i] = i >= 2 ? 0.3 * (hashed_uniform(i) - 0.5) : 0.0;
+    a1[i] = i >= 1 ? 0.5 * (hashed_uniform(i + 1000) - 0.5) : 0.0;
+    e1[i] = i + 1 < n ? 0.5 * (hashed_uniform(i + 2000) - 0.5) : 0.0;
+    e2[i] = i + 2 < n ? 0.3 * (hashed_uniform(i + 3000) - 0.5) : 0.0;
+    d[i] = 3.0 + hashed_uniform(i + 4000);  // diagonally dominant
+    x_true[i] = 2.0 * hashed_uniform(i + 5000) - 1.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = d[i] * x_true[i];
+    if (i >= 2) r += a2[i] * x_true[i - 2];
+    if (i >= 1) r += a1[i] * x_true[i - 1];
+    if (i + 1 < n) r += e1[i] * x_true[i + 1];
+    if (i + 2 < n) r += e2[i] * x_true[i + 2];
+    rhs[i] = r;
+  }
+  solve_pentadiag<double>(n, a2.data(), a1.data(), d.data(), e1.data(),
+                          e2.data(), rhs.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rhs[i], x_true[i], 1e-9) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LineLengths, PentadiagTest,
+                         ::testing::Values(3, 4, 5, 8, 10, 33, 100));
+
+TEST(BlockTridiag, PureDiagonalReducesToScaling) {
+  constexpr std::size_t n = 4;
+  std::vector<Mat5<double>> a(n, mat5_zero<double>()),
+      b(n, mat5_identity<double>(2.0)), c(n, mat5_zero<double>());
+  std::vector<Vec5<double>> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i].fill(2.0 * static_cast<double>(i));
+  }
+  solve_block_tridiag<double>(n, a.data(), b.data(), c.data(), rhs.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < kBlockSize; ++d) {
+      EXPECT_NEAR(rhs[i][d], static_cast<double>(i), 1e-14);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::npb

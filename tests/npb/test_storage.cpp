@@ -1,0 +1,101 @@
+// Table III: checkpoint storage before/after pruning, measured on real
+// container files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "npb/paper_reference.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_storage_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  StorageComparison run(BenchmarkId id) {
+    const auto mode = id == BenchmarkId::IS ? core::AnalysisMode::ReadSet
+                                            : core::AnalysisMode::ReverseAD;
+    const auto analysis =
+        analyze_benchmark(id, default_analysis_config(id, mode));
+    return compare_checkpoint_storage(id, analysis, dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageTest, PaperTable3SavingsReproduced) {
+  for (const PaperStorageRow& row : paper_table3()) {
+    const StorageComparison comparison = run(row.benchmark);
+    // The paper's "Storage saved" is the element-payload metric; FT's row
+    // prints 1% where the computed rate is 1.5% (documented discrepancy),
+    // so compare against the element rate with a 1-point band.
+    EXPECT_NEAR(comparison.payload_saving(), row.saved_rate, 0.011)
+        << benchmark_name(row.benchmark);
+    // Sizes (in KiB) must match the printed table closely.
+    EXPECT_NEAR(static_cast<double>(comparison.payload_full) / 1024.0,
+                row.original_kb, row.original_kb * 0.01 + 0.5)
+        << benchmark_name(row.benchmark);
+    EXPECT_NEAR(static_cast<double>(comparison.payload_pruned) / 1024.0,
+                row.optimized_kb, row.optimized_kb * 0.01 + 0.5)
+        << benchmark_name(row.benchmark);
+  }
+}
+
+TEST_F(StorageTest, PrunedFilesNeverMeaningfullyLarger) {
+  // Degenerate cases (CG: 2 droppable elements) may pay a few bytes of
+  // section framing; anything beyond one region descriptor per variable is
+  // a bug.
+  for (BenchmarkId id : all_benchmarks()) {
+    const StorageComparison comparison = run(id);
+    EXPECT_LE(comparison.file_pruned, comparison.file_full + 16)
+        << benchmark_name(id);
+  }
+}
+
+TEST_F(StorageTest, SkippedElementsMatchUncriticalCounts) {
+  const auto analysis = analyze_benchmark(BenchmarkId::BT);
+  const StorageComparison comparison =
+      compare_checkpoint_storage(BenchmarkId::BT, analysis, dir_);
+  EXPECT_EQ(comparison.elements_skipped, 1500u);
+}
+
+TEST_F(StorageTest, AuxBytesAreSmallRelativeToSavings) {
+  // The region metadata must not eat the benefit (BT: 144 runs = 2.25 KiB
+  // against 11.7 KiB of dropped elements).
+  const auto analysis = analyze_benchmark(BenchmarkId::BT);
+  const StorageComparison comparison =
+      compare_checkpoint_storage(BenchmarkId::BT, analysis, dir_);
+  const std::uint64_t dropped_bytes =
+      comparison.payload_full - comparison.payload_pruned;
+  EXPECT_LT(comparison.aux_bytes, dropped_bytes / 4);
+}
+
+TEST_F(StorageTest, MgHasTheLargestSaving) {
+  // The paper's headline "up to 20%" comes from MG.
+  double best = 0.0;
+  BenchmarkId best_id = BenchmarkId::BT;
+  for (BenchmarkId id :
+       {BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::MG, BenchmarkId::CG,
+        BenchmarkId::LU, BenchmarkId::FT}) {
+    const double saving = run(id).payload_saving();
+    if (saving > best) {
+      best = saving;
+      best_id = id;
+    }
+  }
+  EXPECT_EQ(best_id, BenchmarkId::MG);
+  EXPECT_NEAR(best, 0.191, 0.005);
+}
+
+}  // namespace
+}  // namespace scrutiny::npb

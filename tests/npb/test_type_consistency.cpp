@@ -1,0 +1,101 @@
+// Instrumentation must never change the numbers: for every mini-app, the
+// primal trajectory under ad::Real (tape inactive AND active), ad::Dual
+// and ad::Marked must be bit-identical to the plain double run — otherwise
+// the analyzed program is not the program that gets checkpointed.
+#include <gtest/gtest.h>
+
+#include "ad/num_traits.hpp"
+#include "ad/tape.hpp"
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/lu.hpp"
+#include "npb/mg.hpp"
+#include "npb/sp.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+template <template <class> class App, typename T>
+std::vector<double> run_as(int steps) {
+  App<T> app;
+  app.init();
+  for (int s = 0; s < steps; ++s) app.step();
+  std::vector<double> out;
+  for (const T& value : app.outputs()) {
+    out.push_back(ad::passive_value(value));
+  }
+  return out;
+}
+
+template <template <class> class App>
+void expect_type_consistency(int steps) {
+  const std::vector<double> reference = run_as<App, double>(steps);
+
+  const std::vector<double> as_real = run_as<App, ad::Real>(steps);
+  ASSERT_EQ(as_real.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(as_real[i], reference[i]) << "Real output " << i;
+  }
+
+  const std::vector<double> as_dual = run_as<App, ad::Dual>(steps);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(as_dual[i], reference[i]) << "Dual output " << i;
+  }
+
+  const std::vector<double> as_marked =
+      run_as<App, ad::Marked<double>>(steps);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(as_marked[i], reference[i]) << "Marked output " << i;
+  }
+
+  // Recording on an active tape must also leave the values untouched.
+  ad::Tape tape;
+  App<ad::Real> recorded;
+  recorded.init();
+  {
+    ad::ActiveTapeGuard guard(tape);
+    for (auto& bind : recorded.checkpoint_bindings()) {
+      if (bind.is_integer) continue;
+      for (ad::Real& value : bind.values) value.register_input();
+    }
+    for (int s = 0; s < steps; ++s) recorded.step();
+    const auto outputs = recorded.outputs();
+    ASSERT_EQ(outputs.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(outputs[i].value(), reference[i])
+          << "recorded output " << i;
+    }
+  }
+  EXPECT_GT(tape.num_statements(), 0u);
+}
+
+TEST(TypeConsistency, Bt) { expect_type_consistency<BtApp>(2); }
+TEST(TypeConsistency, Sp) { expect_type_consistency<SpApp>(2); }
+TEST(TypeConsistency, Lu) { expect_type_consistency<LuApp>(2); }
+TEST(TypeConsistency, Mg) { expect_type_consistency<MgApp>(2); }
+TEST(TypeConsistency, Cg) { expect_type_consistency<CgApp>(2); }
+TEST(TypeConsistency, Ep) { expect_type_consistency<EpApp>(2); }
+TEST(TypeConsistency, Ft) { expect_type_consistency<FtApp>(1); }
+
+TEST(TypeConsistency, IsMarkedMatchesPlainInt) {
+  IsApp<std::int32_t> plain;
+  plain.init();
+  IsApp<ad::Marked<std::int32_t>> marked;
+  marked.init();
+  for (int s = 0; s < 3; ++s) {
+    plain.step();
+    marked.step();
+  }
+  const auto expected = plain.outputs();
+  const auto measured = marked.outputs();
+  ASSERT_EQ(expected.size(), measured.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(measured[i].peek(), expected[i]) << "output " << i;
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::npb

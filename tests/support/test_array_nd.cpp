@@ -1,0 +1,79 @@
+#include "support/array_nd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace scrutiny {
+namespace {
+
+TEST(ArrayNd, View2DRowMajorIndexing) {
+  std::vector<int> data(6);
+  std::iota(data.begin(), data.end(), 0);
+  View2D<int> view(data.data(), 2, 3);
+  EXPECT_EQ(view(0, 0), 0);
+  EXPECT_EQ(view(0, 2), 2);
+  EXPECT_EQ(view(1, 0), 3);
+  EXPECT_EQ(view(1, 2), 5);
+  EXPECT_EQ(view.extent(0), 2u);
+  EXPECT_EQ(view.extent(1), 3u);
+  EXPECT_EQ(view.size(), 6u);
+}
+
+TEST(ArrayNd, View3DRowMajorIndexing) {
+  std::vector<int> data(24);
+  std::iota(data.begin(), data.end(), 0);
+  View3D<int> view(data.data(), 2, 3, 4);
+  EXPECT_EQ(view(0, 0, 0), 0);
+  EXPECT_EQ(view(0, 0, 3), 3);
+  EXPECT_EQ(view(0, 1, 0), 4);
+  EXPECT_EQ(view(1, 0, 0), 12);
+  EXPECT_EQ(view(1, 2, 3), 23);
+  EXPECT_EQ(view.linear(1, 2, 3), 23u);
+}
+
+TEST(ArrayNd, View4DRowMajorIndexing) {
+  std::vector<int> data(120);
+  std::iota(data.begin(), data.end(), 0);
+  View4D<int> view(data.data(), 2, 3, 4, 5);
+  EXPECT_EQ(view(0, 0, 0, 0), 0);
+  EXPECT_EQ(view(0, 0, 0, 4), 4);
+  EXPECT_EQ(view(0, 0, 1, 0), 5);
+  EXPECT_EQ(view(0, 1, 0, 0), 20);
+  EXPECT_EQ(view(1, 0, 0, 0), 60);
+  EXPECT_EQ(view(1, 2, 3, 4), 119);
+  EXPECT_EQ(view.linear(1, 2, 3, 4), 119u);
+}
+
+TEST(ArrayNd, ViewsAreWritable) {
+  std::vector<double> data(8, 0.0);
+  View3D<double> view(data.data(), 2, 2, 2);
+  view(1, 1, 1) = 42.0;
+  EXPECT_DOUBLE_EQ(data[7], 42.0);
+}
+
+TEST(ArrayNd, BtShapeLinearizationMatchesPaperLayout) {
+  // u[12][13][13][5]: the innermost index is the component, matching the
+  // C-ordered NPB arrays the paper analyzes.
+  std::vector<int> data(12 * 13 * 13 * 5);
+  std::iota(data.begin(), data.end(), 0);
+  View4D<int> u(data.data(), 12, 13, 13, 5);
+  EXPECT_EQ(u(0, 0, 0, 1), 1);
+  EXPECT_EQ(u(0, 0, 1, 0), 5);
+  EXPECT_EQ(u(0, 1, 0, 0), 13 * 5);
+  EXPECT_EQ(u(1, 0, 0, 0), 13 * 13 * 5);
+  EXPECT_EQ(u.size(), 10140u);
+}
+
+TEST(ArrayNd, ExtentQueries) {
+  std::vector<int> data(24);
+  View4D<int> view(data.data(), 1, 2, 3, 4);
+  EXPECT_EQ(view.extent(0), 1u);
+  EXPECT_EQ(view.extent(1), 2u);
+  EXPECT_EQ(view.extent(2), 3u);
+  EXPECT_EQ(view.extent(3), 4u);
+}
+
+}  // namespace
+}  // namespace scrutiny

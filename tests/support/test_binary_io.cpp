@@ -1,0 +1,187 @@
+#include "support/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny {
+namespace {
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(BinaryIoTest, RoundTripsScalars) {
+  const auto path = dir_ / "scalars.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<std::uint32_t>(0xDEADBEEF);
+    writer.write<std::int64_t>(-42);
+    writer.write<double>(3.14159);
+    writer.write<std::uint8_t>(7);
+    writer.commit();
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.read<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.read<std::int64_t>(), -42);
+  EXPECT_DOUBLE_EQ(reader.read<double>(), 3.14159);
+  EXPECT_EQ(reader.read<std::uint8_t>(), 7);
+  EXPECT_TRUE(reader.at_eof());
+}
+
+TEST_F(BinaryIoTest, RoundTripsStringsAndSpans) {
+  const auto path = dir_ / "strings.bin";
+  const std::vector<double> values = {1.0, -2.5, 1e300, 0.0};
+  {
+    BinaryWriter writer(path);
+    writer.write_string("checkpoint variable u");
+    writer.write_span<double>(values);
+    writer.write_string("");
+    writer.commit();
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.read_string(), "checkpoint variable u");
+  std::vector<double> loaded(values.size());
+  reader.read_span<double>(loaded);
+  EXPECT_EQ(loaded, values);
+  EXPECT_EQ(reader.read_string(), "");
+}
+
+TEST_F(BinaryIoTest, WriterAndReaderAgreeOnCrc) {
+  const auto path = dir_ / "crc.bin";
+  std::uint64_t written_crc = 0;
+  {
+    BinaryWriter writer(path);
+    writer.write<std::uint64_t>(123456789ull);
+    writer.write_string("payload");
+    written_crc = writer.crc();
+    writer.commit();
+  }
+  BinaryReader reader(path);
+  (void)reader.read<std::uint64_t>();
+  (void)reader.read_string();
+  EXPECT_EQ(reader.crc(), written_crc);
+}
+
+TEST_F(BinaryIoTest, NoFileUntilCommit) {
+  const auto path = dir_ / "atomic.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<int>(1);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    writer.commit();
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+}
+
+TEST_F(BinaryIoTest, AbortRemovesTemporary) {
+  const auto path = dir_ / "aborted.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<int>(1);
+    // no commit: destructor must clean up
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+}
+
+TEST_F(BinaryIoTest, CommitReplacesExistingFile) {
+  const auto path = dir_ / "replace.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<int>(1);
+    writer.commit();
+  }
+  {
+    BinaryWriter writer(path);
+    writer.write<int>(2);
+    writer.commit();
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(reader.read<int>(), 2);
+}
+
+TEST_F(BinaryIoTest, ReadPastEndThrows) {
+  const auto path = dir_ / "short.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<std::uint16_t>(99);
+    writer.commit();
+  }
+  BinaryReader reader(path);
+  (void)reader.read<std::uint16_t>();
+  EXPECT_THROW((void)reader.read<std::uint64_t>(), ScrutinyError);
+}
+
+TEST_F(BinaryIoTest, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader reader(dir_ / "does_not_exist.bin"),
+               ScrutinyError);
+}
+
+TEST_F(BinaryIoTest, SkipAdvancesAndFoldsIntoCrc) {
+  const auto path = dir_ / "skip.bin";
+  {
+    BinaryWriter writer(path);
+    for (int i = 0; i < 100; ++i) writer.write<int>(i);
+    writer.commit();
+  }
+  BinaryReader skipping(path);
+  skipping.skip(50 * sizeof(int));
+  EXPECT_EQ(skipping.read<int>(), 50);
+
+  BinaryReader sequential(path);
+  for (int i = 0; i <= 50; ++i) (void)sequential.read<int>();
+  EXPECT_EQ(skipping.crc(), sequential.crc());
+}
+
+TEST_F(BinaryIoTest, DoubleCommitThrows) {
+  const auto path = dir_ / "double.bin";
+  BinaryWriter writer(path);
+  writer.write<int>(1);
+  writer.commit();
+  EXPECT_THROW(writer.commit(), ScrutinyError);
+}
+
+TEST_F(BinaryIoTest, WriteAfterCommitThrows) {
+  const auto path = dir_ / "after.bin";
+  BinaryWriter writer(path);
+  writer.write<int>(1);
+  writer.commit();
+  EXPECT_THROW(writer.write<int>(2), ScrutinyError);
+}
+
+TEST_F(BinaryIoTest, ImplausibleStringLengthRejected) {
+  const auto path = dir_ / "badstring.bin";
+  {
+    BinaryWriter writer(path);
+    writer.write<std::uint32_t>(0x7FFFFFFF);  // absurd length prefix
+    writer.commit();
+  }
+  BinaryReader reader(path);
+  EXPECT_THROW((void)reader.read_string(), ScrutinyError);
+}
+
+TEST_F(BinaryIoTest, CreatesParentDirectories) {
+  const auto path = dir_ / "nested" / "deeper" / "file.bin";
+  BinaryWriter writer(path);
+  writer.write<int>(5);
+  writer.commit();
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace scrutiny

@@ -1,0 +1,66 @@
+#include "support/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), std::data(argv));
+}
+
+TEST(CliArgs, ParsesPositionalArguments) {
+  const CliArgs args = make({"prog", "analyze", "BT"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "analyze");
+  EXPECT_EQ(args.positional()[1], "BT");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliArgs, ParsesKeyValuePairs) {
+  const CliArgs args = make({"prog", "--mode", "read-set"});
+  EXPECT_TRUE(args.has("mode"));
+  EXPECT_EQ(args.get("mode", ""), "read-set");
+}
+
+TEST(CliArgs, ParsesEqualsSyntax) {
+  const CliArgs args = make({"prog", "--window=3"});
+  EXPECT_EQ(args.get_int("window", 0), 3);
+}
+
+TEST(CliArgs, FlagsWithoutValues) {
+  const CliArgs args = make({"prog", "--verbose", "--mode", "x"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "unset"), "");
+}
+
+TEST(CliArgs, FallbacksWhenMissing) {
+  const CliArgs args = make({"prog"});
+  EXPECT_FALSE(args.has("mode"));
+  EXPECT_EQ(args.get("mode", "reverse-ad"), "reverse-ad");
+  EXPECT_EQ(args.get_int("warmup", 2), 2);
+  EXPECT_DOUBLE_EQ(args.get_double("threshold", 0.5), 0.5);
+}
+
+TEST(CliArgs, ParsesNumbers) {
+  const CliArgs args = make({"prog", "--n", "42", "--x", "2.5"});
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5);
+}
+
+TEST(CliArgs, MixedPositionalAndOptions) {
+  const CliArgs args = make({"prog", "viz", "--width", "80", "MG", "r"});
+  ASSERT_EQ(args.positional().size(), 3u);
+  EXPECT_EQ(args.positional()[0], "viz");
+  EXPECT_EQ(args.positional()[1], "MG");
+  EXPECT_EQ(args.positional()[2], "r");
+  EXPECT_EQ(args.get_int("width", 0), 80);
+}
+
+TEST(CliArgs, LastOptionWinsOnRepeat) {
+  const CliArgs args = make({"prog", "--mode=a", "--mode=b"});
+  EXPECT_EQ(args.get("mode", ""), "b");
+}
+
+}  // namespace
+}  // namespace scrutiny

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace scrutiny {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(SCRUTINY_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, RequireThrowsWithLocationAndMessage) {
+  try {
+    SCRUTINY_REQUIRE(false, "the message");
+    FAIL() << "must have thrown";
+  } catch (const ScrutinyError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_error_log.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  try {
+    SCRUTINY_REQUIRE(false, "catchable as std::exception");
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL();
+}
+
+TEST(Log, LevelGateIsHonored) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Below-threshold messages must be ignored without side effects.
+  log_debug("test", "suppressed");
+  log_info("test", "suppressed");
+  log_warn("test", "suppressed");
+  set_log_level(previous);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::Off);
+  log_error("test", "suppressed even at error level");
+  set_log_level(previous);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + static_cast<double>(i);
+  }
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_GE(timer.milliseconds(), timer.seconds() * 999);
+  const double before = timer.seconds();
+  timer.restart();
+  EXPECT_LE(timer.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace scrutiny

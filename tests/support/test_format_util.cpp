@@ -1,0 +1,47 @@
+#include "support/format_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny {
+namespace {
+
+TEST(FormatUtil, HumanBytesPlainBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(1), "1 B");
+  EXPECT_EQ(human_bytes(1023), "1023 B");
+}
+
+TEST(FormatUtil, HumanBytesKibibytes) {
+  EXPECT_EQ(human_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(human_bytes(81120), "79.2 KiB");  // BT's u payload
+}
+
+TEST(FormatUtil, HumanBytesLargerUnits) {
+  EXPECT_EQ(human_bytes(1024ull * 1024), "1.0 MiB");
+  EXPECT_EQ(human_bytes(5ull * 1024 * 1024 * 1024), "5.0 GiB");
+}
+
+TEST(FormatUtil, PercentFormatsOneDecimal) {
+  EXPECT_EQ(percent(0.148), "14.8%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+  EXPECT_EQ(percent(0.0014), "0.1%");
+}
+
+TEST(FormatUtil, FixedControlsDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.14159, 0), "3");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(FormatUtil, WithCommasGroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(10140), "10,140");
+  EXPECT_EQ(with_commas(266240), "266,240");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace scrutiny

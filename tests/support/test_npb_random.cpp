@@ -1,0 +1,122 @@
+#include "support/npb_random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scrutiny {
+namespace {
+
+TEST(NpbRandom, RandlcProducesValuesInUnitInterval) {
+  double seed = 314159265.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double value = randlc(seed, kNpbDefaultMultiplier);
+    EXPECT_GT(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(NpbRandom, RandlcIsDeterministic) {
+  double seed_a = 314159265.0;
+  double seed_b = 314159265.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(randlc(seed_a, kNpbDefaultMultiplier),
+              randlc(seed_b, kNpbDefaultMultiplier));
+  }
+  EXPECT_EQ(seed_a, seed_b);
+}
+
+TEST(NpbRandom, RandlcSeedAdvances) {
+  double seed = 314159265.0;
+  const double before = seed;
+  (void)randlc(seed, kNpbDefaultMultiplier);
+  EXPECT_NE(seed, before);
+}
+
+TEST(NpbRandom, DifferentSeedsProduceDifferentStreams) {
+  double seed_a = 314159265.0;
+  double seed_b = 271828183.0;
+  const double a = randlc(seed_a, kNpbDefaultMultiplier);
+  const double b = randlc(seed_b, kNpbDefaultMultiplier);
+  EXPECT_NE(a, b);
+}
+
+TEST(NpbRandom, VranlcMatchesSequentialRandlc) {
+  double seed_vec = 314159265.0;
+  double seed_seq = 314159265.0;
+  std::vector<double> block(64);
+  vranlc(seed_vec, kNpbDefaultMultiplier, block);
+  for (double expected : block) {
+    EXPECT_EQ(expected, randlc(seed_seq, kNpbDefaultMultiplier));
+  }
+  EXPECT_EQ(seed_vec, seed_seq);
+}
+
+TEST(NpbRandom, SkipAheadMatchesSequentialAdvance) {
+  // Advancing the seed by N draws must equal the skip-ahead jump.
+  const double seed0 = 314159265.0;
+  double seed = seed0;
+  constexpr int kSkip = 137;
+  for (int i = 0; i < kSkip; ++i) {
+    (void)randlc(seed, kNpbDefaultMultiplier);
+  }
+  const double jumped =
+      npb_skip_ahead(seed0, kNpbDefaultMultiplier, kSkip);
+  EXPECT_DOUBLE_EQ(seed, jumped);
+}
+
+TEST(NpbRandom, SkipAheadZeroIsIdentityDraw) {
+  const double seed0 = 314159265.0;
+  // skip 0: a^0 = 1, one multiply by 1 keeps the seed.
+  EXPECT_DOUBLE_EQ(npb_skip_ahead(seed0, kNpbDefaultMultiplier, 0), seed0);
+}
+
+TEST(NpbRandom, SkipAheadComposes) {
+  const double seed0 = 271828183.0;
+  const double ab = npb_skip_ahead(seed0, kNpbDefaultMultiplier, 100);
+  const double a_then_b = npb_skip_ahead(
+      npb_skip_ahead(seed0, kNpbDefaultMultiplier, 60),
+      kNpbDefaultMultiplier, 40);
+  EXPECT_DOUBLE_EQ(ab, a_then_b);
+}
+
+TEST(NpbRandom, HashedUniformInUnitInterval) {
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = hashed_uniform(i);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(NpbRandom, HashedUniformDeterministic) {
+  EXPECT_EQ(hashed_uniform(42), hashed_uniform(42));
+  EXPECT_NE(hashed_uniform(42), hashed_uniform(43));
+}
+
+TEST(NpbRandom, HashedUniformRoughlyUniform) {
+  int low = 0;
+  constexpr int kSamples = 100000;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    if (hashed_uniform(i) < 0.5) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kSamples, 0.5, 0.02);
+}
+
+class RandlcStreamTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RandlcStreamTest, SkipAheadConsistentAtManyOffsets) {
+  const double seed0 = 314159265.0;
+  const std::int64_t skip = GetParam();
+  double seed = seed0;
+  for (std::int64_t i = 0; i < skip; ++i) {
+    (void)randlc(seed, kNpbDefaultMultiplier);
+  }
+  EXPECT_DOUBLE_EQ(npb_skip_ahead(seed0, kNpbDefaultMultiplier, skip), seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, RandlcStreamTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 100, 255, 256,
+                                           1000, 4096));
+
+}  // namespace
+}  // namespace scrutiny

@@ -1,0 +1,66 @@
+#include "support/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrutiny {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter table({"Name", "Count"});
+  table.add_row({"u", "10140"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("Count"), std::string::npos);
+  EXPECT_NE(text.find("10140"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumnWidths) {
+  TablePrinter table({"A", "B"});
+  table.add_row({"short", "x"});
+  table.add_row({"a-much-longer-cell", "y"});
+  const std::string text = table.to_string();
+  // Every rendered line must be the same width.
+  std::size_t line_length = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (line_length == 0) {
+      line_length = end - start;
+    } else {
+      EXPECT_EQ(end - start, line_length);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinter, PadsMissingCells) {
+  TablePrinter table({"A", "B", "C"});
+  table.add_row({"only-one"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, RuleInsertsSeparator) {
+  TablePrinter table({"A"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  const std::string text = table.to_string();
+  // header top + header bottom + mid-rule + final = 4 horizontal rules
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinter, EmptyTableStillRendersHeader) {
+  TablePrinter table({"Benchmark", "Rate"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("Benchmark"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scrutiny

@@ -1,0 +1,143 @@
+#include "viz/viz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace scrutiny::viz {
+namespace {
+
+CriticalMask checker(std::size_t n) {
+  CriticalMask mask(n);
+  for (std::size_t i = 0; i < n; i += 2) mask.set(i);
+  return mask;
+}
+
+TEST(Viz, StrideSubmaskExtractsComponents) {
+  // Interleaved [e][m] with m in 0..4: component 2 of 4 elements.
+  CriticalMask mask(20);
+  for (std::size_t e = 0; e < 4; ++e) mask.set(e * 5 + 2);
+  const CriticalMask sub = extract_stride_submask(mask, 2, 5);
+  ASSERT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub.count_critical(), 4u);
+  const CriticalMask other = extract_stride_submask(mask, 0, 5);
+  EXPECT_EQ(other.count_critical(), 0u);
+}
+
+TEST(Viz, RangeSubmask) {
+  CriticalMask mask(10);
+  mask.set(3);
+  mask.set(4);
+  const CriticalMask sub = extract_range_submask(mask, 2, 6);
+  ASSERT_EQ(sub.size(), 4u);
+  EXPECT_FALSE(sub.test(0));
+  EXPECT_TRUE(sub.test(1));
+  EXPECT_TRUE(sub.test(2));
+  EXPECT_FALSE(sub.test(3));
+  EXPECT_THROW((void)extract_range_submask(mask, 5, 20), ScrutinyError);
+}
+
+TEST(Viz, AsciiSliceRendersExpectedPattern) {
+  // 2x2x3 volume, slice axis 0 index 0 -> rows = n1 (2), cols = n2 (3).
+  CriticalMask mask(12);
+  mask.set(0);  // (0,0,0)
+  mask.set(4);  // (0,1,1)
+  const std::string slice = ascii_slice(mask, {2, 2, 3}, 0, 0);
+  EXPECT_EQ(slice, "#..\n.#.\n");
+}
+
+TEST(Viz, AsciiSliceOtherAxes) {
+  CriticalMask mask(8, true);  // 2x2x2 all critical
+  EXPECT_EQ(ascii_slice(mask, {2, 2, 2}, 1, 0), "##\n##\n");
+  EXPECT_EQ(ascii_slice(mask, {2, 2, 2}, 2, 1), "##\n##\n");
+}
+
+TEST(Viz, AsciiSliceValidatesShape) {
+  CriticalMask mask(10);
+  EXPECT_THROW((void)ascii_slice(mask, {2, 2, 3}, 0, 0), ScrutinyError);
+}
+
+TEST(Viz, AsciiStripClassifiesCells) {
+  CriticalMask mask(100);
+  for (std::size_t i = 0; i < 50; ++i) mask.set(i);
+  const std::string strip = ascii_strip(mask, 10);
+  ASSERT_EQ(strip.size(), 10u);
+  EXPECT_EQ(strip.substr(0, 5), "#####");
+  EXPECT_EQ(strip.substr(5), ".....");
+}
+
+TEST(Viz, AsciiStripMarksMixedCells) {
+  const std::string strip = ascii_strip(checker(100), 10);
+  for (char c : strip) EXPECT_EQ(c, '+');
+}
+
+TEST(Viz, AsciiStripWiderThanMask) {
+  CriticalMask mask(4);
+  mask.set(0);
+  const std::string strip = ascii_strip(mask, 8);
+  EXPECT_EQ(strip.size(), 8u);
+}
+
+TEST(Viz, RunLengthSummaryShowsRuns) {
+  CriticalMask mask(10);
+  for (std::size_t i = 0; i < 4; ++i) mask.set(i);
+  const std::string summary = run_length_summary(mask);
+  EXPECT_NE(summary.find("4 critical / 6 uncritical"), std::string::npos);
+  EXPECT_NE(summary.find("4C"), std::string::npos);
+  EXPECT_NE(summary.find("6U"), std::string::npos);
+}
+
+TEST(Viz, RunLengthSummaryTruncates) {
+  const std::string summary = run_length_summary(checker(100), 4);
+  EXPECT_NE(summary.find("..."), std::string::npos);
+}
+
+class VizFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_viz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(VizFileTest, PpmStripHasCorrectHeaderAndSize) {
+  const auto path = dir_ / "strip.ppm";
+  write_ppm_strip(path, checker(256), 64);
+  std::ifstream stream(path, std::ios::binary);
+  std::string magic;
+  std::size_t width = 0, height = 0, maxval = 0;
+  stream >> magic >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(width, 64u);
+  EXPECT_EQ(height, 4u);
+  EXPECT_EQ(maxval, 255u);
+  EXPECT_EQ(std::filesystem::file_size(path),
+            static_cast<std::uintmax_t>(stream.tellg()) + 1 + 64 * 4 * 3);
+}
+
+TEST_F(VizFileTest, PpmSlicesMontageDimensions) {
+  const auto path = dir_ / "slices.ppm";
+  write_ppm_slices(path, CriticalMask(3 * 4 * 5, true), {3, 4, 5});
+  std::ifstream stream(path, std::ios::binary);
+  std::string magic;
+  std::size_t width = 0, height = 0;
+  stream >> magic >> width >> height;
+  EXPECT_EQ(width, 3u * (5 + 1) - 1);
+  EXPECT_EQ(height, 4u);
+}
+
+TEST_F(VizFileTest, PpmSlicesValidatesShape) {
+  EXPECT_THROW(
+      write_ppm_slices(dir_ / "bad.ppm", CriticalMask(10), {2, 2, 3}),
+      ScrutinyError);
+}
+
+}  // namespace
+}  // namespace scrutiny::viz
