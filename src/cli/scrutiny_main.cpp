@@ -29,10 +29,24 @@ namespace {
 
 using namespace scrutiny;
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* stream) {
+  std::fprintf(stream,
                "usage: scrutiny <analyze|storage|verify|viz|list> "
-               "[benchmark] [options]\n");
+               "[benchmark] [options]\n"
+               "\n"
+               "  analyze <bench> [--mode reverse-ad|forward-ad|read-set|"
+               "finite-diff]\n"
+               "                  [--warmup N] [--window N] [--threshold X]\n"
+               "  storage <bench> [--dir PATH]\n"
+               "  verify  <bench> [--dir PATH]\n"
+               "  viz     <bench> <variable> [--out PATH.ppm] [--width N]\n"
+               "  list\n"
+               "\n"
+               "benchmarks: BT SP LU MG CG FT EP IS\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -136,9 +150,17 @@ int cmd_viz(npb::BenchmarkId id, const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
   if (args.positional().empty()) return usage();
   const std::string command = args.positional()[0];
   try {
+    if (command == "help") {
+      print_usage(stdout);
+      return 0;
+    }
     if (command == "list") return cmd_list();
     if (args.positional().size() < 2) return usage();
     const auto id = npb::parse_benchmark(args.positional()[1]);

@@ -1,0 +1,39 @@
+// Link/run sanity for the user-facing `scrutiny` binary: a broken target
+// graph (orphan sources, missing link deps) should fail ctest, not only a
+// human trying the CLI.  The path is injected by CMake at compile time.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#ifndef SCRUTINY_CLI_PATH
+#error "SCRUTINY_CLI_PATH must be defined by the build system"
+#endif
+
+namespace {
+
+int run(const std::string& arguments) {
+  const std::string command =
+      std::string(SCRUTINY_CLI_PATH) + " " + arguments;
+  const int status = std::system(command.c_str());
+#if defined(_WIN32)
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+TEST(BuildSanity, CliHelpExitsZero) {
+  EXPECT_EQ(run("--help >/dev/null 2>&1"), 0);
+  EXPECT_EQ(run("help >/dev/null 2>&1"), 0);
+}
+
+TEST(BuildSanity, CliRejectsUnknownCommand) {
+  EXPECT_EQ(run("no-such-command >/dev/null 2>&1"), 2);
+}
+
+TEST(BuildSanity, CliRejectsUnknownBenchmark) {
+  EXPECT_EQ(run("analyze ZZ >/dev/null 2>&1"), 2);
+}
+
+}  // namespace
