@@ -1,9 +1,14 @@
 // google-benchmark: raw AD engine cost — primal vs. recording vs. adjoint
-// sweep on a 3D stencil kernel, plus the read-set tracker overhead.
+// sweep on a 3D stencil kernel, the read-set tracker overhead, and the
+// multi-output sweep comparison (per-output scalar passes vs. one blocked
+// vector/bitset pass — the Table II analysis hot path).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
+#include "ad/adjoint_models.hpp"
 #include "ad/readset.hpp"
 #include "ad/reverse.hpp"
 #include "ad/tape.hpp"
@@ -12,10 +17,14 @@ namespace {
 
 using scrutiny::ad::ActiveTapeGuard;
 using scrutiny::ad::ActiveTrackerGuard;
+using scrutiny::ad::BitsetAdjoints;
+using scrutiny::ad::Identifier;
 using scrutiny::ad::Marked;
 using scrutiny::ad::ReadSetTracker;
 using scrutiny::ad::Real;
+using scrutiny::ad::ScalarAdjoints;
 using scrutiny::ad::Tape;
+using scrutiny::ad::VectorAdjoints;
 
 template <typename T>
 T stencil_pass(std::vector<T>& field, int n) {
@@ -93,6 +102,111 @@ void BM_StencilReadSet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2));
 }
 BENCHMARK(BM_StencilReadSet)->Arg(64)->Arg(128);
+
+// ---------------------------------------------------------------------------
+// Multi-output sweeps: one band norm per row block of the stencil grid.
+// Per-output scalar sweeps pay O(num_outputs x tape); the vector/bitset
+// models cover all outputs in ceil(num_outputs / lanes) passes.
+// ---------------------------------------------------------------------------
+
+constexpr int kBandOutputs = 16;
+
+template <typename T>
+std::vector<T> stencil_band_norms(std::vector<T>& field, int n) {
+  std::vector<T> norms(kBandOutputs, T(0));
+  const int rows_per_band = (n - 2 + kBandOutputs - 1) / kBandOutputs;
+  for (int i = 1; i + 1 < n; ++i) {
+    T& norm = norms[static_cast<std::size_t>((i - 1) / rows_per_band)];
+    for (int j = 1; j + 1 < n; ++j) {
+      const int c = i * n + j;
+      const T updated = field[c] + 0.1 * (field[c - 1] + field[c + 1] +
+                                          field[c - n] + field[c + n] -
+                                          4.0 * field[c]);
+      field[c] = updated;
+      norm += updated * updated;
+    }
+  }
+  return norms;
+}
+
+/// Records the banded stencil once; returns the seed identifiers.
+std::vector<Identifier> record_banded_stencil(Tape& tape, int n) {
+  std::vector<Real> field(static_cast<std::size_t>(n) * n, Real(1.0));
+  std::vector<Real> norms;
+  {
+    ActiveTapeGuard guard(tape);
+    for (Real& value : field) value.register_input();
+    norms = stencil_band_norms(field, n);
+  }
+  std::vector<Identifier> seeds;
+  for (const Real& norm : norms) seeds.push_back(norm.id());
+  return seeds;
+}
+
+void BM_MultiOutputScalarSweeps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Tape tape;
+  const std::vector<Identifier> seeds = record_banded_stencil(tape, n);
+  ScalarAdjoints model;
+  model.resize(tape.max_identifier());
+  for (auto _ : state) {
+    for (const Identifier seed : seeds) {
+      model.clear();
+      model.seed(seed, 1.0);
+      tape.evaluate_with(model);
+    }
+    benchmark::DoNotOptimize(model.adjoint(1));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(tape.num_statements()) *
+      kBandOutputs);
+}
+BENCHMARK(BM_MultiOutputScalarSweeps)->Arg(64)->Arg(128);
+
+void BM_MultiOutputVectorSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Tape tape;
+  const std::vector<Identifier> seeds = record_banded_stencil(tape, n);
+  VectorAdjoints model;
+  model.resize(tape.max_identifier());
+  for (auto _ : state) {
+    for (std::size_t base = 0; base < seeds.size();
+         base += VectorAdjoints::kLanes) {
+      const std::size_t lanes = std::min<std::size_t>(
+          VectorAdjoints::kLanes, seeds.size() - base);
+      model.clear();
+      for (std::size_t w = 0; w < lanes; ++w) {
+        model.seed(seeds[base + w], w, 1.0);
+      }
+      tape.evaluate_with(model);
+    }
+    benchmark::DoNotOptimize(model.adjoint(1, 0));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(tape.num_statements()) *
+      kBandOutputs);
+}
+BENCHMARK(BM_MultiOutputVectorSweep)->Arg(64)->Arg(128);
+
+void BM_MultiOutputBitsetSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Tape tape;
+  const std::vector<Identifier> seeds = record_banded_stencil(tape, n);
+  BitsetAdjoints model;
+  model.resize(tape.max_identifier());
+  for (auto _ : state) {
+    model.clear();
+    for (std::size_t w = 0; w < seeds.size(); ++w) {
+      model.seed(seeds[w], w);
+    }
+    tape.evaluate_with(model);
+    benchmark::DoNotOptimize(model.test(1, 0));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(tape.num_statements()) *
+      kBandOutputs);
+}
+BENCHMARK(BM_MultiOutputBitsetSweep)->Arg(64)->Arg(128);
 
 void BM_TapeSweepOnly(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,8 +1,18 @@
 // google-benchmark: end-to-end criticality analysis cost per benchmark —
 // the price a user pays once, offline, to shrink every subsequent
 // checkpoint.
+//
+// BM_AnalyzeReverseSweep runs the same analysis through every adjoint model
+// (scalar = the old one-pass-per-output loop, vector = 8 outputs per pass,
+// bitset = 64 outputs per pass) and reports the record/sweep/harvest split
+// as counters, so the single-sweep speedup is measured, not asserted:
+// sweep_ms for vector/bitset should be independent of the output count
+// while scalar scales with it.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "ad/adjoint_models.hpp"
 #include "npb/suite.hpp"
 
 namespace {
@@ -26,6 +36,45 @@ BENCHMARK(BM_AnalyzeReverse)
     ->Arg(static_cast<int>(npb::BenchmarkId::MG))
     ->Arg(static_cast<int>(npb::BenchmarkId::CG))
     ->Arg(static_cast<int>(npb::BenchmarkId::EP))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeReverseSweep(benchmark::State& state) {
+  const auto id = static_cast<npb::BenchmarkId>(state.range(0));
+  const auto sweep = static_cast<ad::SweepKind>(state.range(1));
+  auto cfg = npb::default_analysis_config(id, core::AnalysisMode::ReverseAD);
+  cfg.sweep = sweep;
+  double record_s = 0.0;
+  double sweep_s = 0.0;
+  double harvest_s = 0.0;
+  std::int64_t passes = 0;
+  std::size_t outputs = 0;
+  for (auto _ : state) {
+    const auto result = npb::analyze_benchmark(id, cfg);
+    record_s += result.record_seconds;
+    sweep_s += result.sweep_seconds;
+    harvest_s += result.harvest_seconds;
+    passes += static_cast<std::int64_t>(result.sweep_passes);
+    outputs = result.num_outputs;
+    benchmark::DoNotOptimize(result.variables.size());
+  }
+  const auto iterations = static_cast<double>(state.iterations());
+  state.counters["record_ms"] = record_s * 1e3 / iterations;
+  state.counters["sweep_ms"] = sweep_s * 1e3 / iterations;
+  state.counters["harvest_ms"] = harvest_s * 1e3 / iterations;
+  state.counters["passes"] =
+      static_cast<double>(passes) / iterations;
+  state.counters["outputs"] = static_cast<double>(outputs);
+  state.SetLabel(std::string(npb::benchmark_name(id)) + "/" +
+                 ad::sweep_kind_name(sweep));
+}
+BENCHMARK(BM_AnalyzeReverseSweep)
+    ->ArgsProduct({{static_cast<int>(npb::BenchmarkId::BT),
+                    static_cast<int>(npb::BenchmarkId::LU),
+                    static_cast<int>(npb::BenchmarkId::CG),
+                    static_cast<int>(npb::BenchmarkId::EP)},
+                   {static_cast<int>(ad::SweepKind::Scalar),
+                    static_cast<int>(ad::SweepKind::Vector),
+                    static_cast<int>(ad::SweepKind::Bitset)}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_AnalyzeReadSet(benchmark::State& state) {

@@ -1,0 +1,272 @@
+// Pluggable adjoint models for the reverse sweep.
+//
+// Tape::evaluate_with(Model&) walks the recorded statements backwards and
+// delegates the actual adjoint arithmetic to a model.  Three models cover
+// the cost/precision trade-offs of the criticality analysis:
+//
+//  * ScalarAdjoints — one double per identifier: the classic reverse sweep,
+//    one tape pass per seeded output.  Kept for ablation and for plain
+//    gradient evaluation (Tape's built-in adjoint API sits on it).
+//  * VectorAdjoints — a fixed-width block of kLanes doubles per identifier.
+//    Seeding one output per lane harvests ∂out/∂element for kLanes outputs
+//    in a single tape pass ("vector mode" / v^T J with a block of seeds);
+//    the analyzer blocks over output chunks when num_outputs > kLanes.
+//  * BitsetAdjoints — one bit per output, 64 outputs per word: pure
+//    dependency propagation (adjoint_bits[arg] |= adjoint_bits[lhs] when
+//    the partial is nonzero).  Answers the threshold-0 activity question
+//    exactly, with no numeric-cancellation risk and no magnitudes.
+//
+// All models reset sparsely: they remember which slots they dirtied, so
+// clearing between sweeps costs O(touched), not O(tape) — the analyzer's
+// per-block reset stays off the hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ad/identifier.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ad {
+
+/// Which adjoint model the reverse sweep runs on.
+enum class SweepKind : std::uint8_t {
+  Scalar,  ///< one tape pass per output (ablation baseline)
+  Vector,  ///< kLanes outputs per tape pass, blocked over chunks
+  Bitset,  ///< 64 outputs per word, dependency bits only (threshold 0)
+};
+
+[[nodiscard]] constexpr const char* sweep_kind_name(SweepKind kind) {
+  switch (kind) {
+    case SweepKind::Scalar: return "scalar";
+    case SweepKind::Vector: return "vector";
+    case SweepKind::Bitset: return "bitset";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<SweepKind> parse_sweep_kind(
+    std::string_view text) {
+  if (text == "scalar") return SweepKind::Scalar;
+  if (text == "vector") return SweepKind::Vector;
+  if (text == "bitset") return SweepKind::Bitset;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// ScalarAdjoints
+// ---------------------------------------------------------------------------
+
+class ScalarAdjoints {
+ public:
+  static constexpr std::size_t kLanes = 1;
+
+  /// Grows storage to cover identifiers 0..num_ids (0 is a write sink for
+  /// passive arguments).  Existing adjoints are preserved.
+  void resize(std::size_t num_ids) {
+    if (data_.size() < num_ids + 1) data_.resize(num_ids + 1, 0.0);
+  }
+
+  [[nodiscard]] std::size_t num_ids() const noexcept {
+    return data_.empty() ? 0 : data_.size() - 1;
+  }
+
+  void seed(Identifier id, double value) {
+    SCRUTINY_REQUIRE(id < data_.size(), "adjoint id out of range");
+    if (data_[id] == 0.0 && value != 0.0) touched_.push_back(id);
+    data_[id] = value;
+  }
+
+  [[nodiscard]] double adjoint(Identifier id) const noexcept {
+    return id < data_.size() ? data_[id] : 0.0;
+  }
+
+  /// Sparse reset: only slots dirtied since the last clear are zeroed.
+  void clear() {
+    for (const Identifier id : touched_) data_[id] = 0.0;
+    touched_.clear();
+  }
+
+  /// Drops all storage (Tape::reset).
+  void release() {
+    data_.clear();
+    touched_.clear();
+  }
+
+  // ---- Tape::evaluate_with hooks --------------------------------------
+
+  [[nodiscard]] bool active(Identifier lhs) const noexcept {
+    return data_[lhs] != 0.0;
+  }
+
+  [[nodiscard]] double load(Identifier lhs) const noexcept {
+    return data_[lhs];
+  }
+
+  void accumulate(Identifier arg, double partial, double lhs_adjoint) {
+    const double add = partial * lhs_adjoint;
+    if (add == 0.0) return;
+    double& slot = data_[arg];
+    if (slot == 0.0) touched_.push_back(arg);
+    slot += add;
+  }
+
+ private:
+  std::vector<double> data_;  // indexed by identifier; [0] is a sink
+  std::vector<Identifier> touched_;
+};
+
+// ---------------------------------------------------------------------------
+// VectorAdjoints
+// ---------------------------------------------------------------------------
+
+class VectorAdjoints {
+ public:
+  /// One cache line of doubles per identifier.
+  static constexpr std::size_t kLanes = 8;
+
+  void resize(std::size_t num_ids) {
+    if (data_.size() < (num_ids + 1) * kLanes) {
+      data_.resize((num_ids + 1) * kLanes, 0.0);
+      dirty_.resize(num_ids + 1, 0);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_ids() const noexcept {
+    return dirty_.empty() ? 0 : dirty_.size() - 1;
+  }
+
+  void seed(Identifier id, std::size_t lane, double value) {
+    SCRUTINY_REQUIRE(id < dirty_.size(), "adjoint id out of range");
+    SCRUTINY_REQUIRE(lane < kLanes, "adjoint lane out of range");
+    mark(id);
+    data_[id * kLanes + lane] = value;
+  }
+
+  [[nodiscard]] double adjoint(Identifier id, std::size_t lane) const {
+    SCRUTINY_REQUIRE(lane < kLanes, "adjoint lane out of range");
+    const std::size_t index = id * kLanes + lane;
+    return index < data_.size() ? data_[index] : 0.0;
+  }
+
+  void clear() {
+    for (const Identifier id : touched_) {
+      double* block = data_.data() + std::size_t{id} * kLanes;
+      for (std::size_t w = 0; w < kLanes; ++w) block[w] = 0.0;
+      dirty_[id] = 0;
+    }
+    touched_.clear();
+  }
+
+  void release() {
+    data_.clear();
+    dirty_.clear();
+    touched_.clear();
+  }
+
+  // ---- Tape::evaluate_with hooks --------------------------------------
+
+  [[nodiscard]] bool active(Identifier lhs) const noexcept {
+    return dirty_[lhs] != 0;
+  }
+
+  /// Returns the lane block BY VALUE: the sweep loads it once per
+  /// statement and the copy provably cannot alias the destination blocks,
+  /// so accumulate keeps the lanes in registers across arguments.
+  [[nodiscard]] std::array<double, kLanes> load(Identifier lhs) const noexcept {
+    std::array<double, kLanes> block;
+    const double* src = data_.data() + std::size_t{lhs} * kLanes;
+    for (std::size_t w = 0; w < kLanes; ++w) block[w] = src[w];
+    return block;
+  }
+
+  void accumulate(Identifier arg, double partial,
+                  const std::array<double, kLanes>& lhs_block) {
+    if (partial == 0.0) return;
+    mark(arg);
+    double* dst = data_.data() + std::size_t{arg} * kLanes;
+    for (std::size_t w = 0; w < kLanes; ++w) {
+      dst[w] += partial * lhs_block[w];
+    }
+  }
+
+ private:
+  void mark(Identifier id) {
+    if (dirty_[id] == 0) {
+      dirty_[id] = 1;
+      touched_.push_back(id);
+    }
+  }
+
+  std::vector<double> data_;        // kLanes adjoints per identifier
+  std::vector<std::uint8_t> dirty_;  // 1 = block may be nonzero
+  std::vector<Identifier> touched_;
+};
+
+// ---------------------------------------------------------------------------
+// BitsetAdjoints
+// ---------------------------------------------------------------------------
+
+class BitsetAdjoints {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  void resize(std::size_t num_ids) {
+    if (bits_.size() < num_ids + 1) bits_.resize(num_ids + 1, 0);
+  }
+
+  [[nodiscard]] std::size_t num_ids() const noexcept {
+    return bits_.empty() ? 0 : bits_.size() - 1;
+  }
+
+  void seed(Identifier id, std::size_t lane) {
+    SCRUTINY_REQUIRE(id < bits_.size(), "adjoint id out of range");
+    SCRUTINY_REQUIRE(lane < kLanes, "adjoint lane out of range");
+    std::uint64_t& word = bits_[id];
+    if (word == 0) touched_.push_back(id);
+    word |= std::uint64_t{1} << lane;
+  }
+
+  [[nodiscard]] bool test(Identifier id, std::size_t lane) const {
+    SCRUTINY_REQUIRE(lane < kLanes, "adjoint lane out of range");
+    if (id >= bits_.size()) return false;
+    return (bits_[id] >> lane) & 1u;
+  }
+
+  void clear() {
+    for (const Identifier id : touched_) bits_[id] = 0;
+    touched_.clear();
+  }
+
+  void release() {
+    bits_.clear();
+    touched_.clear();
+  }
+
+  // ---- Tape::evaluate_with hooks --------------------------------------
+
+  [[nodiscard]] bool active(Identifier lhs) const noexcept {
+    return bits_[lhs] != 0;
+  }
+
+  [[nodiscard]] std::uint64_t load(Identifier lhs) const noexcept {
+    return bits_[lhs];
+  }
+
+  void accumulate(Identifier arg, double partial, std::uint64_t lhs_bits) {
+    if (partial == 0.0) return;
+    std::uint64_t& word = bits_[arg];
+    if (word == 0) touched_.push_back(arg);
+    word |= lhs_bits;
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;  // one dependency word per identifier
+  std::vector<Identifier> touched_;
+};
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,16 @@
+// Tape node identifiers, shared by the tape and the adjoint models.
+//
+// Split out of tape.hpp so the adjoint-model layer (adjoint_models.hpp)
+// can be included independently of the tape itself.
+#pragma once
+
+#include <cstdint>
+
+namespace scrutiny::ad {
+
+/// Tape node identifier; 0 means "passive" (constant, not on the tape).
+using Identifier = std::uint32_t;
+
+inline constexpr Identifier kPassiveId = 0;
+
+}  // namespace scrutiny::ad

@@ -1,7 +1,5 @@
 #include "ad/tape.hpp"
 
-#include <algorithm>
-
 namespace scrutiny::ad {
 
 namespace {
@@ -48,6 +46,7 @@ Identifier Tape::push1(double partial, Identifier id) {
     arg_ids_.push_back(id);
   }
   arg_ends_.push_back(partials_.size());
+  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
   return static_cast<Identifier>(arg_ends_.size());
 }
 
@@ -61,49 +60,27 @@ Identifier Tape::push2(double p0, Identifier id0, double p1, Identifier id1) {
     arg_ids_.push_back(id1);
   }
   arg_ends_.push_back(partials_.size());
+  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
   return static_cast<Identifier>(arg_ends_.size());
-}
-
-void Tape::ensure_adjoints() {
-  if (adjoints_.size() < arg_ends_.size() + 1) {
-    adjoints_.resize(arg_ends_.size() + 1, 0.0);
-  }
 }
 
 void Tape::set_adjoint(Identifier id, double value) {
   SCRUTINY_REQUIRE(id <= arg_ends_.size(), "adjoint id out of range");
-  ensure_adjoints();
-  adjoints_[id] = value;
+  adjoints_.resize(arg_ends_.size());
+  adjoints_.seed(id, value);
 }
 
-double Tape::adjoint(Identifier id) const {
-  if (id >= adjoints_.size()) return 0.0;
-  return adjoints_[id];
-}
+double Tape::adjoint(Identifier id) const { return adjoints_.adjoint(id); }
 
-void Tape::evaluate() {
-  ensure_adjoints();
-  const std::size_t n = arg_ends_.size();
-  for (std::size_t k = n; k-- > 0;) {
-    const double adj = adjoints_[k + 1];
-    if (adj == 0.0) continue;
-    const std::uint64_t begin = k == 0 ? 0 : arg_ends_[k - 1];
-    const std::uint64_t end = arg_ends_[k];
-    for (std::uint64_t a = begin; a < end; ++a) {
-      adjoints_[arg_ids_[a]] += partials_[a] * adj;
-    }
-  }
-}
+void Tape::evaluate() { evaluate_with(adjoints_); }
 
-void Tape::clear_adjoints() {
-  std::fill(adjoints_.begin(), adjoints_.end(), 0.0);
-}
+void Tape::clear_adjoints() { adjoints_.clear(); }
 
 void Tape::reset() {
   arg_ends_.clear();
   partials_.clear();
   arg_ids_.clear();
-  adjoints_.clear();
+  adjoints_.release();
   num_inputs_ = 0;
   recording_ = false;
 }
@@ -116,7 +93,9 @@ TapeStats Tape::stats() const noexcept {
   s.memory_bytes = arg_ends_.capacity() * sizeof(std::uint64_t) +
                    partials_.capacity() * sizeof(double) +
                    arg_ids_.capacity() * sizeof(Identifier) +
-                   adjoints_.capacity() * sizeof(double);
+                   (adjoints_.num_ids() == 0
+                        ? 0
+                        : (adjoints_.num_ids() + 1) * sizeof(double));
   return s;
 }
 

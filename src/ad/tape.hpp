@@ -11,6 +11,13 @@
 //  * The reverse sweep walks statements backwards, propagating
 //    adjoint(lhs) * partial into each argument's adjoint slot.
 //
+// Recording and evaluation are decoupled: evaluate_with(Model&) runs the
+// reverse traversal against any adjoint model (scalar, vector-lane, or
+// dependency-bitset — see ad/adjoint_models.hpp), so one recorded tape can
+// be swept once for many outputs.  The scalar convenience API
+// (set_adjoint / evaluate / adjoint / clear_adjoints) is a thin wrapper
+// over a built-in ScalarAdjoints model.
+//
 // The tape is explicitly activated per analysis (RAII ActiveTapeGuard); AD
 // scalars consult the thread-local active tape, so code templated on the
 // scalar type records itself with zero changes.
@@ -21,14 +28,11 @@
 #include <span>
 #include <vector>
 
+#include "ad/adjoint_models.hpp"
+#include "ad/identifier.hpp"
 #include "support/error.hpp"
 
 namespace scrutiny::ad {
-
-/// Tape node identifier; 0 means "passive" (constant, not on the tape).
-using Identifier = std::uint32_t;
-
-inline constexpr Identifier kPassiveId = 0;
 
 /// Size/memory counters used by reports and the perf benches.
 struct TapeStats {
@@ -70,15 +74,37 @@ class Tape {
 
   // ---- adjoint evaluation ---------------------------------------------
 
-  /// Sets the adjoint of `id` (typically 1.0 on an output).
+  /// Reverse traversal against an arbitrary adjoint model (see
+  /// ad/adjoint_models.hpp for the hook contract).  The model is grown to
+  /// cover every identifier first; seeds set before the call are kept.
+  template <typename Model>
+  void evaluate_with(Model& model) const {
+    model.resize(arg_ends_.size());
+    const std::size_t n = arg_ends_.size();
+    for (std::size_t k = n; k-- > 0;) {
+      const auto lhs_id = static_cast<Identifier>(k + 1);
+      if (!model.active(lhs_id)) continue;
+      const auto lhs = model.load(lhs_id);
+      const std::uint64_t begin = k == 0 ? 0 : arg_ends_[k - 1];
+      const std::uint64_t end = arg_ends_[k];
+      for (std::uint64_t a = begin; a < end; ++a) {
+        model.accumulate(arg_ids_[a], partials_[a], lhs);
+      }
+    }
+  }
+
+  /// Sets the adjoint of `id` (typically 1.0 on an output) in the built-in
+  /// scalar model.
   void set_adjoint(Identifier id, double value);
 
   [[nodiscard]] double adjoint(Identifier id) const;
 
-  /// Reverse sweep over the whole tape, accumulating adjoints.
+  /// Reverse sweep over the whole tape, accumulating the built-in scalar
+  /// adjoints.
   void evaluate();
 
-  /// Zeroes all adjoints (keeps the recording).
+  /// Zeroes all adjoints (keeps the recording).  Sparse: costs O(slots
+  /// touched since the last clear), not O(tape).
   void clear_adjoints();
 
   /// Drops the recording and all adjoints; identifiers restart at 1.
@@ -98,14 +124,12 @@ class Tape {
   }
 
  private:
-  void ensure_adjoints();
-
   // Statement k covers argument range [arg_ends_[k-1], arg_ends_[k])
   // (with arg_ends_[-1] == 0) and defines identifier k+1.
   std::vector<std::uint64_t> arg_ends_;
   std::vector<double> partials_;
   std::vector<Identifier> arg_ids_;
-  std::vector<double> adjoints_;  // indexed by identifier; [0] is a sink
+  ScalarAdjoints adjoints_;  // backs the scalar convenience API
   std::uint64_t num_inputs_ = 0;
   bool recording_ = false;
 };

@@ -2,7 +2,8 @@
 //
 // Subcommands:
 //   analyze <bench> [--mode reverse-ad|forward-ad|read-set|finite-diff]
-//                   [--warmup N] [--window N] [--threshold X]
+//                   [--sweep scalar|vector|bitset] [--warmup N] [--window N]
+//                   [--threshold X] [--sample-stride N] [--impact]
 //       Run the criticality analysis and print the Table II rows.
 //   storage <bench> [--dir PATH]
 //       Write full + pruned checkpoints and print the Table III row.
@@ -15,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "ad/adjoint_models.hpp"
 #include "core/report.hpp"
 #include "npb/expected_masks.hpp"
 #include "npb/paper_reference.hpp"
@@ -36,7 +38,9 @@ void print_usage(std::FILE* stream) {
                "\n"
                "  analyze <bench> [--mode reverse-ad|forward-ad|read-set|"
                "finite-diff]\n"
+               "                  [--sweep scalar|vector|bitset]\n"
                "                  [--warmup N] [--window N] [--threshold X]\n"
+               "                  [--sample-stride N] [--impact]\n"
                "  storage <bench> [--dir PATH]\n"
                "  verify  <bench> [--dir PATH]\n"
                "  viz     <bench> <variable> [--out PATH.ppm] [--width N]\n"
@@ -56,6 +60,15 @@ core::AnalysisMode parse_mode(const std::string& text) {
   if (text == "read-set") return core::AnalysisMode::ReadSet;
   if (text == "finite-diff") return core::AnalysisMode::FiniteDiff;
   throw ScrutinyError("unknown analysis mode: " + text);
+}
+
+ad::SweepKind parse_sweep(const std::string& text) {
+  const auto kind = ad::parse_sweep_kind(text);
+  if (!kind.has_value()) {
+    throw ScrutinyError("unknown sweep kind: " + text +
+                        " (expected scalar, vector, or bitset)");
+  }
+  return *kind;
 }
 
 int cmd_list() {
@@ -80,14 +93,27 @@ int cmd_list() {
 int cmd_analyze(npb::BenchmarkId id, const CliArgs& args) {
   core::AnalysisConfig cfg = npb::default_analysis_config(
       id, parse_mode(args.get("mode", "reverse-ad")));
+  cfg.sweep = parse_sweep(args.get("sweep", ad::sweep_kind_name(cfg.sweep)));
   cfg.warmup_steps = static_cast<int>(args.get_int("warmup",
                                                    cfg.warmup_steps));
   cfg.window_steps = static_cast<int>(args.get_int("window",
                                                    cfg.window_steps));
   cfg.threshold = args.get_double("threshold", cfg.threshold);
+  cfg.sample_stride = static_cast<std::uint64_t>(args.get_int(
+      "sample-stride", static_cast<std::int64_t>(cfg.sample_stride)));
+  if (args.has("impact")) {
+    // Only the reverse-AD sweeps accumulate |∂out/∂elem| magnitudes; any
+    // other mode would print an all-zeros impact table.
+    SCRUTINY_REQUIRE(cfg.mode == core::AnalysisMode::ReverseAD,
+                     "--impact requires --mode reverse-ad");
+    cfg.capture_impact = true;
+  }
   const auto result = npb::analyze_benchmark(id, cfg);
   std::fputs(core::format_analysis_summary(result).c_str(), stdout);
   std::fputs(core::format_criticality_table(result).c_str(), stdout);
+  if (cfg.capture_impact) {
+    std::fputs(core::format_impact_summary(result).c_str(), stdout);
+  }
   return 0;
 }
 

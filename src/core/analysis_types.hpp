@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ad/adjoint_models.hpp"
 #include "ad/tape.hpp"
 #include "ckpt/checkpoint_io.hpp"
 #include "mask/critical_mask.hpp"
@@ -31,6 +32,15 @@ enum class AnalysisMode : std::uint8_t {
 
 struct AnalysisConfig {
   AnalysisMode mode = AnalysisMode::ReverseAD;
+
+  /// ReverseAD only: which adjoint model the reverse sweep runs on.
+  ///   vector — all outputs in blocked single passes (the default)
+  ///   scalar — one pass per output (the pre-vector behavior, ablation)
+  ///   bitset — dependency bits, threshold-0 activity, no magnitudes
+  /// Vector reproduces scalar masks bit-for-bit (same accumulation order
+  /// per lane); bitset additionally requires threshold == 0 and rejects
+  /// capture_impact.
+  ad::SweepKind sweep = ad::SweepKind::Vector;
 
   /// Steps run before the checkpoint is (conceptually) taken.
   int warmup_steps = 0;
@@ -88,11 +98,19 @@ struct VariableCriticality {
 struct AnalysisResult {
   std::string program;
   AnalysisMode mode = AnalysisMode::ReverseAD;
+  ad::SweepKind sweep = ad::SweepKind::Vector;  ///< ReverseAD only
   std::vector<VariableCriticality> variables;
   std::size_t num_outputs = 0;
   ad::TapeStats tape_stats;   ///< ReverseAD only
   double record_seconds = 0.0;
+  /// Pure reverse-traversal time over all passes (Table II's sweep cost;
+  /// excludes mask harvesting, which sweep modes pay differently).
   double sweep_seconds = 0.0;
+  /// Time spent folding adjoints into per-element masks/impact.
+  double harvest_seconds = 0.0;
+  /// Number of reverse passes over the tape: num_outputs for the scalar
+  /// sweep, ceil(num_outputs / lane_width) for vector/bitset.
+  std::size_t sweep_passes = 0;
   double total_seconds = 0.0;
 
   [[nodiscard]] const VariableCriticality* find(

@@ -5,8 +5,12 @@
 // influence the program's outputs over the post-checkpoint window:
 //
 //   ReverseAD (paper): run the window once with ad::Real recording on the
-//     tape; one reverse sweep per program output harvests ∂out/∂element for
-//     ALL elements simultaneously.
+//     tape; reverse sweeps harvest ∂out/∂element for ALL elements
+//     simultaneously.  The sweep itself is pluggable (AnalysisConfig::sweep):
+//     vector mode seeds a lane per output and covers every output in
+//     ceil(num_outputs / 8) tape passes, bitset mode propagates dependency
+//     bits for 64 outputs per pass, and scalar mode is the classic
+//     one-pass-per-output ablation baseline.
 //   ForwardAD: one dual-number rerun per element — the cost mirror-image of
 //     reverse mode, kept as an ablation and cross-check.
 //   ReadSet: track whether each checkpointed value is consumed before being
@@ -29,10 +33,12 @@
 // App must be copyable (ForwardAD/FiniteDiff replay from copies).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "ad/adjoint_models.hpp"
 #include "ad/forward.hpp"
 #include "ad/num_traits.hpp"
 #include "ad/readset.hpp"
@@ -81,10 +87,19 @@ void init_result_variables(AnalysisResult& result,
 template <template <typename> class App>
 AnalysisResult analyze_reverse_ad(const typename App<ad::Real>::Config& acfg,
                                   const AnalysisConfig& cfg) {
+  SCRUTINY_REQUIRE(
+      cfg.sweep != ad::SweepKind::Bitset || cfg.threshold == 0.0,
+      "bitset sweep answers the threshold-0 activity question only; "
+      "use --sweep scalar|vector with a nonzero threshold");
+  SCRUTINY_REQUIRE(
+      cfg.sweep != ad::SweepKind::Bitset || !cfg.capture_impact,
+      "bitset sweep propagates dependency bits, not magnitudes; "
+      "impact capture needs --sweep scalar|vector");
   Timer total_timer;
   AnalysisResult result;
   result.program = App<ad::Real>::kName;
   result.mode = AnalysisMode::ReverseAD;
+  result.sweep = cfg.sweep;
 
   App<ad::Real> app(acfg);
   app.init();
@@ -121,30 +136,102 @@ AnalysisResult analyze_reverse_ad(const typename App<ad::Real>::Config& acfg,
   result.num_outputs = outputs.size();
   result.tape_stats = tape.stats();
 
-  Timer sweep_timer;
+  // Build the seed set once: every active output, in output order.
+  // Constant outputs have no dependencies and contribute no seed.
+  std::vector<ad::Identifier> seeds;
+  seeds.reserve(outputs.size());
   for (const ad::Real& output : outputs) {
-    if (!output.is_active()) continue;  // constant output: no dependencies
-    tape.clear_adjoints();
-    tape.set_adjoint(output.id(), 1.0);
-    tape.evaluate();
+    if (output.is_active()) seeds.push_back(output.id());
+  }
 
+  double sweep_seconds = 0.0;
+  double harvest_seconds = 0.0;
+  std::size_t sweep_passes = 0;
+
+  // Folds one block of swept lanes into the masks; adjoint_at(id, lane)
+  // yields |∂out[lane]/∂id| (1/0 for the bitset model).
+  auto harvest_block = [&](std::size_t lanes, auto&& adjoint_at) {
+    Timer harvest_timer;
     for (std::size_t b = 0; b < binds.size(); ++b) {
       if (binds[b].is_integer) continue;
       VariableCriticality& variable = result.variables[b];
       const std::uint32_t comps = binds[b].components_per_element;
       for (std::size_t c = 0; c < input_ids[b].size(); ++c) {
-        const double adj = std::fabs(tape.adjoint(input_ids[b][c]));
-        if (adj > cfg.threshold) {
-          variable.mask.set(c / comps, true);
-        }
-        if (cfg.capture_impact) {
-          double& slot = variable.impact[c / comps];
-          slot = std::max(slot, adj);
+        const ad::Identifier id = input_ids[b][c];
+        for (std::size_t w = 0; w < lanes; ++w) {
+          const double adj = adjoint_at(id, w);
+          if (adj > cfg.threshold) {
+            variable.mask.set(c / comps, true);
+          }
+          if (cfg.capture_impact) {
+            double& slot = variable.impact[c / comps];
+            slot = std::max(slot, adj);
+          }
         }
       }
     }
+    harvest_seconds += harvest_timer.seconds();
+  };
+
+  // The one blocked sweep: seeds are chunked Model::kLanes at a time and
+  // each chunk costs a single reverse pass.  The scalar model is simply
+  // the kLanes == 1 instance of the same driver (the old per-output loop).
+  auto run_blocked = [&](auto model, auto&& seed_lane, auto&& adjoint_at) {
+    model.resize(tape.max_identifier());
+    constexpr std::size_t kLanes = decltype(model)::kLanes;
+    for (std::size_t base = 0; base < seeds.size(); base += kLanes) {
+      const std::size_t lanes =
+          std::min<std::size_t>(kLanes, seeds.size() - base);
+      model.clear();
+      for (std::size_t w = 0; w < lanes; ++w) {
+        seed_lane(model, seeds[base + w], w);
+      }
+      Timer pass_timer;
+      tape.evaluate_with(model);
+      sweep_seconds += pass_timer.seconds();
+      ++sweep_passes;
+      harvest_block(lanes, [&](ad::Identifier id, std::size_t w) {
+        return adjoint_at(model, id, w);
+      });
+    }
+  };
+
+  switch (cfg.sweep) {
+    case ad::SweepKind::Scalar:
+      run_blocked(
+          ad::ScalarAdjoints{},
+          [](ad::ScalarAdjoints& m, ad::Identifier id, std::size_t) {
+            m.seed(id, 1.0);
+          },
+          [](const ad::ScalarAdjoints& m, ad::Identifier id, std::size_t) {
+            return std::fabs(m.adjoint(id));
+          });
+      break;
+    case ad::SweepKind::Vector:
+      run_blocked(
+          ad::VectorAdjoints{},
+          [](ad::VectorAdjoints& m, ad::Identifier id, std::size_t w) {
+            m.seed(id, w, 1.0);
+          },
+          [](const ad::VectorAdjoints& m, ad::Identifier id, std::size_t w) {
+            return std::fabs(m.adjoint(id, w));
+          });
+      break;
+    case ad::SweepKind::Bitset:
+      run_blocked(
+          ad::BitsetAdjoints{},
+          [](ad::BitsetAdjoints& m, ad::Identifier id, std::size_t w) {
+            m.seed(id, w);
+          },
+          [](const ad::BitsetAdjoints& m, ad::Identifier id, std::size_t w) {
+            return m.test(id, w) ? 1.0 : 0.0;
+          });
+      break;
   }
-  result.sweep_seconds = sweep_timer.seconds();
+
+  result.sweep_seconds = sweep_seconds;
+  result.harvest_seconds = harvest_seconds;
+  result.sweep_passes = sweep_passes;
   result.total_seconds = total_timer.seconds();
   return result;
 }

@@ -67,11 +67,43 @@ std::string format_analysis_summary(const AnalysisResult& result) {
     text += "tape statements: " + with_commas(result.tape_stats.num_statements) +
             " (" + human_bytes(result.tape_stats.memory_bytes) + ")\n";
     text += "tape inputs: " + with_commas(result.tape_stats.num_inputs) + "\n";
+    text += "sweep: ";
+    text += ad::sweep_kind_name(result.sweep);
+    text += " (" + std::to_string(result.sweep_passes) + " tape pass" +
+            (result.sweep_passes == 1 ? "" : "es") + ")\n";
   }
   text += "record time: " + fixed(result.record_seconds * 1e3, 2) + " ms\n";
   text += "sweep time: " + fixed(result.sweep_seconds * 1e3, 2) + " ms\n";
+  if (result.mode == AnalysisMode::ReverseAD) {
+    text += "harvest time: " + fixed(result.harvest_seconds * 1e3, 2) +
+            " ms\n";
+  }
   text += "total time: " + fixed(result.total_seconds * 1e3, 2) + " ms\n";
   return text;
+}
+
+std::string format_impact_summary(const AnalysisResult& result) {
+  TablePrinter table({"Benchmark(variable)", "Max impact", "Mean impact",
+                      "Zero-impact critical"});
+  for (const VariableCriticality& variable : result.variables) {
+    if (variable.impact.empty()) continue;
+    double max_impact = 0.0;
+    double sum = 0.0;
+    std::uint64_t zero_critical = 0;
+    for (std::size_t e = 0; e < variable.impact.size(); ++e) {
+      max_impact = std::max(max_impact, variable.impact[e]);
+      sum += variable.impact[e];
+      if (variable.impact[e] == 0.0 && variable.mask.test(e)) {
+        ++zero_critical;
+      }
+    }
+    const double mean =
+        sum / static_cast<double>(variable.impact.size());
+    table.add_row({result.program + "(" + variable.name + ")",
+                   scientific(max_impact, 3), scientific(mean, 3),
+                   with_commas(zero_critical)});
+  }
+  return table.to_string();
 }
 
 }  // namespace scrutiny::core

@@ -40,8 +40,13 @@ struct StorageRow {
 [[nodiscard]] std::string format_storage_table(
     const std::vector<StorageRow>& rows);
 
-/// Human-readable analysis summary (mode, tape size, timings).
+/// Human-readable analysis summary (mode, sweep, tape size, timings).
 [[nodiscard]] std::string format_analysis_summary(
     const AnalysisResult& result);
+
+/// Per-variable impact-magnitude table (max/mean |∂out/∂elem| and the count
+/// of critical elements with zero recorded impact).  Variables without
+/// captured impact data (integers, or capture_impact off) are skipped.
+[[nodiscard]] std::string format_impact_summary(const AnalysisResult& result);
 
 }  // namespace scrutiny::core

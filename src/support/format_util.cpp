@@ -35,6 +35,12 @@ std::string fixed(double value, int decimals) {
   return buffer;
 }
 
+std::string scientific(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", decimals, value);
+  return buffer;
+}
+
 std::string with_commas(std::uint64_t value) {
   std::string digits = std::to_string(value);
   std::string out;

@@ -15,6 +15,9 @@ namespace scrutiny {
 /// Fixed-point with `decimals` digits.
 [[nodiscard]] std::string fixed(double value, int decimals);
 
+/// Scientific notation with `decimals` mantissa digits ("1.500e-12").
+[[nodiscard]] std::string scientific(double value, int decimals);
+
 /// Thousands-separated integer ("266,240").
 [[nodiscard]] std::string with_commas(std::uint64_t value);
 

@@ -1,0 +1,207 @@
+#include "ad/adjoint_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ad/tape.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+/// y0 = 2a + 3b; y1 = 5a; y2 = b - b (exact cancellation on b).
+struct SmallTape {
+  Tape tape;
+  Identifier a, b, y0, y1, y2;
+
+  SmallTape() {
+    a = tape.register_input();
+    b = tape.register_input();
+    y0 = tape.push2(2.0, a, 3.0, b);
+    y1 = tape.push1(5.0, a);
+    y2 = tape.push2(1.0, b, -1.0, b);
+  }
+};
+
+TEST(SweepKindNames, RoundTrip) {
+  for (const SweepKind kind :
+       {SweepKind::Scalar, SweepKind::Vector, SweepKind::Bitset}) {
+    const auto parsed = parse_sweep_kind(sweep_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_sweep_kind("simd").has_value());
+  EXPECT_FALSE(parse_sweep_kind("").has_value());
+}
+
+TEST(ScalarAdjoints, MatchesTapeBuiltinSweep) {
+  SmallTape t;
+  ScalarAdjoints model;
+  model.resize(t.tape.max_identifier());
+  model.seed(t.y0, 1.0);
+  t.tape.evaluate_with(model);
+  EXPECT_DOUBLE_EQ(model.adjoint(t.a), 2.0);
+  EXPECT_DOUBLE_EQ(model.adjoint(t.b), 3.0);
+
+  t.tape.set_adjoint(t.y0, 1.0);
+  t.tape.evaluate();
+  EXPECT_DOUBLE_EQ(t.tape.adjoint(t.a), model.adjoint(t.a));
+  EXPECT_DOUBLE_EQ(t.tape.adjoint(t.b), model.adjoint(t.b));
+}
+
+TEST(ScalarAdjoints, SparseClearResetsEverythingTouched) {
+  SmallTape t;
+  ScalarAdjoints model;
+  model.resize(t.tape.max_identifier());
+  model.seed(t.y0, 1.0);
+  t.tape.evaluate_with(model);
+  model.clear();
+  for (Identifier id = 0; id <= t.tape.max_identifier(); ++id) {
+    EXPECT_DOUBLE_EQ(model.adjoint(id), 0.0) << "id " << id;
+  }
+  // A cleared model must reproduce a fresh sweep exactly.
+  model.seed(t.y1, 1.0);
+  t.tape.evaluate_with(model);
+  EXPECT_DOUBLE_EQ(model.adjoint(t.a), 5.0);
+  EXPECT_DOUBLE_EQ(model.adjoint(t.b), 0.0);
+}
+
+TEST(ScalarAdjoints, OutOfRangeReadsAreZeroAndSeedsThrow) {
+  ScalarAdjoints model;
+  model.resize(4);
+  EXPECT_DOUBLE_EQ(model.adjoint(999), 0.0);
+  EXPECT_THROW(model.seed(999, 1.0), ScrutinyError);
+}
+
+TEST(VectorAdjoints, OnePassMatchesPerOutputScalarSweeps) {
+  SmallTape t;
+
+  VectorAdjoints vec;
+  vec.resize(t.tape.max_identifier());
+  vec.seed(t.y0, 0, 1.0);
+  vec.seed(t.y1, 1, 1.0);
+  vec.seed(t.y2, 2, 1.0);
+  t.tape.evaluate_with(vec);
+
+  const Identifier outputs[] = {t.y0, t.y1, t.y2};
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    ScalarAdjoints scalar;
+    scalar.resize(t.tape.max_identifier());
+    scalar.seed(outputs[lane], 1.0);
+    t.tape.evaluate_with(scalar);
+    EXPECT_DOUBLE_EQ(vec.adjoint(t.a, lane), scalar.adjoint(t.a))
+        << "lane " << lane;
+    EXPECT_DOUBLE_EQ(vec.adjoint(t.b, lane), scalar.adjoint(t.b))
+        << "lane " << lane;
+  }
+  // Unseeded lanes stay zero.
+  EXPECT_DOUBLE_EQ(vec.adjoint(t.a, 3), 0.0);
+}
+
+TEST(VectorAdjoints, ClearAllowsBlockedReuse) {
+  SmallTape t;
+  VectorAdjoints vec;
+  vec.resize(t.tape.max_identifier());
+  vec.seed(t.y0, 0, 1.0);
+  t.tape.evaluate_with(vec);
+  EXPECT_DOUBLE_EQ(vec.adjoint(t.a, 0), 2.0);
+
+  vec.clear();
+  for (Identifier id = 0; id <= t.tape.max_identifier(); ++id) {
+    for (std::size_t w = 0; w < VectorAdjoints::kLanes; ++w) {
+      EXPECT_DOUBLE_EQ(vec.adjoint(id, w), 0.0);
+    }
+  }
+  vec.seed(t.y1, 0, 1.0);
+  t.tape.evaluate_with(vec);
+  EXPECT_DOUBLE_EQ(vec.adjoint(t.a, 0), 5.0);
+  EXPECT_DOUBLE_EQ(vec.adjoint(t.b, 0), 0.0);
+}
+
+TEST(VectorAdjoints, LaneOutOfRangeThrows) {
+  VectorAdjoints vec;
+  vec.resize(4);
+  EXPECT_THROW(vec.seed(1, VectorAdjoints::kLanes, 1.0), ScrutinyError);
+  EXPECT_THROW((void)vec.adjoint(1, VectorAdjoints::kLanes), ScrutinyError);
+}
+
+TEST(BitsetAdjoints, PropagatesDependencyBitsPerOutput) {
+  SmallTape t;
+  BitsetAdjoints bits;
+  bits.resize(t.tape.max_identifier());
+  bits.seed(t.y0, 0);
+  bits.seed(t.y1, 1);
+  bits.seed(t.y2, 2);
+  t.tape.evaluate_with(bits);
+
+  EXPECT_TRUE(bits.test(t.a, 0));   // y0 depends on a
+  EXPECT_TRUE(bits.test(t.b, 0));   // y0 depends on b
+  EXPECT_TRUE(bits.test(t.a, 1));   // y1 depends on a
+  EXPECT_FALSE(bits.test(t.b, 1));  // y1 ignores b
+  EXPECT_FALSE(bits.test(t.a, 2));  // y2 ignores a
+}
+
+TEST(BitsetAdjoints, SeesThroughExactCancellation) {
+  // y2 = b - b: the scalar adjoint of b is exactly 0, but the DEPENDENCY
+  // exists — the bitset model's defining divergence from derivatives.
+  SmallTape t;
+  ScalarAdjoints scalar;
+  scalar.resize(t.tape.max_identifier());
+  scalar.seed(t.y2, 1.0);
+  t.tape.evaluate_with(scalar);
+  EXPECT_DOUBLE_EQ(scalar.adjoint(t.b), 0.0);
+
+  BitsetAdjoints bits;
+  bits.resize(t.tape.max_identifier());
+  bits.seed(t.y2, 0);
+  t.tape.evaluate_with(bits);
+  EXPECT_TRUE(bits.test(t.b, 0));
+}
+
+TEST(BitsetAdjoints, ZeroPartialBlocksPropagation) {
+  Tape tape;
+  const Identifier x = tape.register_input();
+  const Identifier y = tape.push1(0.0, x);  // dy/dx recorded as exactly 0
+  BitsetAdjoints bits;
+  bits.resize(tape.max_identifier());
+  bits.seed(y, 0);
+  tape.evaluate_with(bits);
+  EXPECT_FALSE(bits.test(x, 0));
+}
+
+TEST(BitsetAdjoints, ClearAndOutOfRange) {
+  SmallTape t;
+  BitsetAdjoints bits;
+  bits.resize(t.tape.max_identifier());
+  bits.seed(t.y0, 5);
+  t.tape.evaluate_with(bits);
+  EXPECT_TRUE(bits.test(t.a, 5));
+  bits.clear();
+  for (Identifier id = 0; id <= t.tape.max_identifier(); ++id) {
+    for (std::size_t w = 0; w < BitsetAdjoints::kLanes; ++w) {
+      EXPECT_FALSE(bits.test(id, w));
+    }
+  }
+  EXPECT_FALSE(bits.test(999, 0));
+  EXPECT_THROW(bits.seed(999, 0), ScrutinyError);
+  EXPECT_THROW(bits.seed(t.y0, BitsetAdjoints::kLanes), ScrutinyError);
+}
+
+TEST(AdjointModels, SixtyFourLaneBitsetSweep) {
+  // All 64 lanes of one word, each seeded on its own output of a fan-in
+  // chain: y_k = (k+1) * x.
+  Tape tape;
+  const Identifier x = tape.register_input();
+  std::vector<Identifier> outputs;
+  for (std::size_t k = 0; k < BitsetAdjoints::kLanes; ++k) {
+    outputs.push_back(tape.push1(static_cast<double>(k + 1), x));
+  }
+  BitsetAdjoints bits;
+  bits.resize(tape.max_identifier());
+  for (std::size_t k = 0; k < outputs.size(); ++k) bits.seed(outputs[k], k);
+  tape.evaluate_with(bits);
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    EXPECT_TRUE(bits.test(x, k)) << "lane " << k;
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

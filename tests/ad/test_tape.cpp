@@ -97,6 +97,42 @@ TEST(Tape, MultipleOutputsEvaluatedSeparately) {
   EXPECT_DOUBLE_EQ(tape.adjoint(x), 7.0);
 }
 
+TEST(Tape, RecordingAfterEvaluateGrowsAdjoints) {
+  // The built-in scalar model must keep working when statements are
+  // recorded after a sweep (the adjoint storage grows, sparse-clear state
+  // stays consistent).
+  Tape tape;
+  const Identifier x = tape.register_input();
+  const Identifier y0 = tape.push1(2.0, x);
+  tape.set_adjoint(y0, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 2.0);
+
+  const Identifier y1 = tape.push1(7.0, x);
+  tape.clear_adjoints();
+  tape.set_adjoint(y1, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 7.0);
+  EXPECT_DOUBLE_EQ(tape.adjoint(y0), 0.0);
+}
+
+TEST(Tape, EvaluateWithExternalScalarModelMatchesBuiltin) {
+  Tape tape;
+  const Identifier a = tape.register_input();
+  const Identifier b = tape.register_input();
+  const Identifier z = tape.push2(2.0, a, 5.0, b);
+
+  ScalarAdjoints model;
+  model.resize(tape.max_identifier());
+  model.seed(z, 1.0);
+  tape.evaluate_with(model);
+
+  tape.set_adjoint(z, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(model.adjoint(a), tape.adjoint(a));
+  EXPECT_DOUBLE_EQ(model.adjoint(b), tape.adjoint(b));
+}
+
 TEST(Tape, ResetDropsEverything) {
   Tape tape;
   (void)tape.register_input();

@@ -273,6 +273,41 @@ class TwoOutputs {
   T a_{}, b_{};
 };
 
+/// kOutputs disjoint outputs y_j = (j+1) * x[j] with a few extra unread
+/// elements: exercises the blocked vector/bitset sweeps (kOutputs is larger
+/// than two vector blocks) with an analytically-known mask.
+template <typename T>
+class ManyOutputs {
+ public:
+  using Config = EmptyConfig;
+  static constexpr const char* kName = "ManyOutputs";
+  static constexpr std::size_t kOutputs = 20;
+  static constexpr std::size_t kSize = kOutputs + 4;  // tail never read
+
+  explicit ManyOutputs(const Config& = {}) {}
+
+  void init() {
+    x_.assign(kSize, T(1.0));
+    y_.assign(kOutputs, T(0));
+  }
+
+  void step() {
+    for (std::size_t j = 0; j < kOutputs; ++j) {
+      y_[j] = static_cast<double>(j + 1) * x_[j];
+    }
+  }
+
+  std::vector<T> outputs() { return y_; }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    return {core::bind_array<T>("x", std::span<T>(x_.data(), x_.size()))};
+  }
+
+ private:
+  std::vector<T> x_;
+  std::vector<T> y_;
+};
+
 /// Complex elements where only one component is consumed: the ELEMENT must
 /// still come out critical (element granularity).
 template <typename T>

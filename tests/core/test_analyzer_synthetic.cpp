@@ -188,6 +188,107 @@ TEST(AnalyzerSynthetic, PruneMapExportsAllVariables) {
   EXPECT_TRUE(map.count("step"));
 }
 
+class SweepKindTest : public ::testing::TestWithParam<ad::SweepKind> {};
+
+TEST_P(SweepKindTest, ManyOutputsMaskIsExactUnderEverySweep) {
+  // 20 outputs forces the vector model through three blocked passes and
+  // keeps the bitset model inside one word; the mask must be exact either
+  // way.
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+  cfg.sweep = GetParam();
+  const AnalysisResult result = analyze_program<ManyOutputs>({}, cfg);
+  const VariableCriticality& x = *result.find("x");
+  ASSERT_EQ(x.total_elements(), ManyOutputs<double>::kSize);
+  for (std::size_t i = 0; i < x.total_elements(); ++i) {
+    EXPECT_EQ(x.mask.test(i), i < ManyOutputs<double>::kOutputs)
+        << "element " << i;
+  }
+  EXPECT_EQ(result.num_outputs, ManyOutputs<double>::kOutputs);
+  EXPECT_EQ(result.sweep, GetParam());
+}
+
+TEST_P(SweepKindTest, EvenSumAndTwoOutputsMatchScalarSweep) {
+  AnalysisConfig scalar_cfg = make_config(AnalysisMode::ReverseAD);
+  scalar_cfg.sweep = ad::SweepKind::Scalar;
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+  cfg.sweep = GetParam();
+
+  const auto even_scalar = analyze_program<EvenSum>({}, scalar_cfg);
+  const auto even = analyze_program<EvenSum>({}, cfg);
+  EXPECT_TRUE(even.find("x")->mask == even_scalar.find("x")->mask);
+
+  const auto two_scalar = analyze_program<TwoOutputs>({}, scalar_cfg);
+  const auto two = analyze_program<TwoOutputs>({}, cfg);
+  EXPECT_TRUE(two.find("x")->mask == two_scalar.find("x")->mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, SweepKindTest,
+    ::testing::Values(ad::SweepKind::Scalar, ad::SweepKind::Vector,
+                      ad::SweepKind::Bitset),
+    [](const ::testing::TestParamInfo<ad::SweepKind>& info) {
+      switch (info.param) {
+        case ad::SweepKind::Scalar: return "Scalar";
+        case ad::SweepKind::Vector: return "Vector";
+        case ad::SweepKind::Bitset: return "Bitset";
+      }
+      return "Unknown";
+    });
+
+TEST(AnalyzerSynthetic, SweepPassCountsMatchTheCostModel) {
+  // The Table II cost model: scalar pays one tape pass per active output,
+  // vector ceil(outputs / 8), bitset ceil(outputs / 64).
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+
+  cfg.sweep = ad::SweepKind::Scalar;
+  EXPECT_EQ(analyze_program<ManyOutputs>({}, cfg).sweep_passes,
+            ManyOutputs<double>::kOutputs);
+
+  cfg.sweep = ad::SweepKind::Vector;
+  const AnalysisResult vector_result = analyze_program<ManyOutputs>({}, cfg);
+  EXPECT_EQ(vector_result.sweep_passes,
+            (ManyOutputs<double>::kOutputs + ad::VectorAdjoints::kLanes - 1) /
+                ad::VectorAdjoints::kLanes);
+
+  cfg.sweep = ad::SweepKind::Bitset;
+  EXPECT_EQ(analyze_program<ManyOutputs>({}, cfg).sweep_passes, 1u);
+}
+
+TEST(AnalyzerSynthetic, ThresholdFiltersUnderVectorSweepToo) {
+  AnalysisConfig loose = make_config(AnalysisMode::ReverseAD);
+  loose.sweep = ad::SweepKind::Vector;
+  loose.threshold = 1e-6;
+  const auto result = analyze_program<TinySensitivity>({}, loose);
+  EXPECT_FALSE(result.find("x")->mask.test(0));
+  EXPECT_TRUE(result.find("x")->mask.test(1));
+}
+
+TEST(AnalyzerSynthetic, ImpactIdenticalAcrossScalarAndVectorSweeps) {
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+  cfg.capture_impact = true;
+  cfg.sweep = ad::SweepKind::Scalar;
+  const auto scalar_result = analyze_program<KnownImpacts>({}, cfg);
+  cfg.sweep = ad::SweepKind::Vector;
+  const auto vector_result = analyze_program<KnownImpacts>({}, cfg);
+  const auto& scalar_impact = scalar_result.find("x")->impact;
+  const auto& vector_impact = vector_result.find("x")->impact;
+  ASSERT_EQ(scalar_impact.size(), vector_impact.size());
+  for (std::size_t i = 0; i < scalar_impact.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scalar_impact[i], vector_impact[i]) << "element " << i;
+  }
+}
+
+TEST(AnalyzerSynthetic, BitsetSweepRejectsThresholdAndImpact) {
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+  cfg.sweep = ad::SweepKind::Bitset;
+  cfg.threshold = 1e-6;
+  EXPECT_THROW(analyze_program<EvenSum>({}, cfg), ScrutinyError);
+
+  cfg.threshold = 0.0;
+  cfg.capture_impact = true;
+  EXPECT_THROW(analyze_program<EvenSum>({}, cfg), ScrutinyError);
+}
+
 TEST(AnalyzerSynthetic, ZeroWindowMeansOnlyOutputReads) {
   // With no window steps, the outputs (reading acc only) see no element of
   // x — everything is uncritical.  Documented behaviour: the window must

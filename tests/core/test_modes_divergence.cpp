@@ -51,6 +51,23 @@ TEST(ModesDivergence, ExactCancellationInvisibleToDerivatives) {
   EXPECT_TRUE(read_set.find("x")->mask.test(1));
 }
 
+TEST(ModesDivergence, BitsetSweepSidesWithConsumptionOnCancellation) {
+  // The dependency-bitset sweep propagates activity bits, not magnitudes:
+  // on exact cancellation it agrees with the read-set analysis (x[0] was
+  // consumed) rather than with the scalar/vector adjoint (derivative 0).
+  AnalysisConfig cfg = make_config(AnalysisMode::ReverseAD);
+  cfg.sweep = ad::SweepKind::Bitset;
+  const auto bitset = analyze_program<ExactCancellation>({}, cfg);
+  EXPECT_TRUE(bitset.find("x")->mask.test(0));
+  EXPECT_TRUE(bitset.find("x")->mask.test(1));
+
+  // On the branch-only program the partial is never recorded at all, so
+  // bitset agrees with the derivative modes there.
+  const auto branch = analyze_program<BranchOnly>({}, cfg);
+  EXPECT_FALSE(branch.find("x")->mask.test(0));
+  EXPECT_TRUE(branch.find("x")->mask.test(1));
+}
+
 TEST(ModesDivergence, ReadSetIsASupersetOfReverseOnThesePrograms) {
   // Consumption-criticality can only add elements on top of
   // derivative-criticality for programs without recomputed state.

@@ -1,0 +1,76 @@
+// Sweep equivalence over the whole suite: on every NPB app, the blocked
+// vector sweep and the dependency-bitset sweep must reproduce the
+// per-output scalar masks element-for-element.
+//
+// Vector mode is numerically identical to scalar (same accumulation order
+// per lane).  Bitset answers the threshold-0 activity question; the default
+// configs use threshold 0 and NPB has no exact-cancellation reads (the
+// criticality suite already asserts ReadSet == ReverseAD), so all three
+// must agree here.  These are the regression gates for the one-pass
+// analysis hot path.
+#include <gtest/gtest.h>
+
+#include "ad/adjoint_models.hpp"
+#include "core/analysis_types.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+class SweepEquivalenceTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  static core::AnalysisResult analyze_with_sweep(BenchmarkId id,
+                                                 ad::SweepKind sweep) {
+    core::AnalysisConfig cfg =
+        default_analysis_config(id, core::AnalysisMode::ReverseAD);
+    cfg.sweep = sweep;
+    return analyze_benchmark(id, cfg);
+  }
+
+  static void expect_same_masks(const core::AnalysisResult& expected,
+                                const core::AnalysisResult& actual,
+                                const char* sweep_name) {
+    ASSERT_EQ(expected.variables.size(), actual.variables.size());
+    for (std::size_t v = 0; v < expected.variables.size(); ++v) {
+      const auto& want = expected.variables[v];
+      const auto& got = actual.variables[v];
+      ASSERT_EQ(want.name, got.name);
+      ASSERT_EQ(want.total_elements(), got.total_elements());
+      for (std::size_t e = 0; e < want.total_elements(); ++e) {
+        ASSERT_EQ(want.mask.test(e), got.mask.test(e))
+            << actual.program << "(" << want.name << ") element " << e
+            << " under " << sweep_name << " sweep";
+      }
+    }
+  }
+};
+
+TEST_P(SweepEquivalenceTest, VectorAndBitsetMatchScalarMasks) {
+  const BenchmarkId id = GetParam();
+  const auto scalar = analyze_with_sweep(id, ad::SweepKind::Scalar);
+  const auto vector = analyze_with_sweep(id, ad::SweepKind::Vector);
+  const auto bitset = analyze_with_sweep(id, ad::SweepKind::Bitset);
+
+  expect_same_masks(scalar, vector, "vector");
+  expect_same_masks(scalar, bitset, "bitset");
+
+  // The cost model must hold: blocked sweeps never take more tape passes
+  // than the per-output sweep, and the bitset covers 64 outputs per pass.
+  EXPECT_LE(vector.sweep_passes, scalar.sweep_passes);
+  EXPECT_LE(bitset.sweep_passes, vector.sweep_passes);
+  if (scalar.sweep_passes > 1) {
+    EXPECT_LT(bitset.sweep_passes, scalar.sweep_passes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SweepEquivalenceTest,
+    ::testing::Values(BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU,
+                      BenchmarkId::MG, BenchmarkId::CG, BenchmarkId::FT,
+                      BenchmarkId::EP, BenchmarkId::IS),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+}  // namespace
+}  // namespace scrutiny::npb
