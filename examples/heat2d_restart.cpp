@@ -3,123 +3,41 @@
 // rotation), with a simulated mid-run crash and automatic restart from the
 // newest valid pruned checkpoint.
 //
-// The storage is (n+2)x(n+4): one ghost ring plus two extra padding
-// columns — the scrutiny analysis discovers that the padding columns never
-// matter and prunes them from every checkpoint.
+// The solver (src/programs/heat2d.hpp) is a registry program: the offline
+// analysis runs through the same ScrutinySession the CLI uses, gets
+// persisted to a .scmask artifact, and the production run only consumes
+// the resulting prune map — exactly the paper's "analyze once, checkpoint
+// forever" split.  The storage is (n+2)x(n+4): one ghost ring plus two
+// extra padding columns the analysis proves dead.
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <vector>
 
 #include "ckpt/failure.hpp"
 #include "ckpt/manager.hpp"
-#include "core/analyzer.hpp"
+#include "core/analysis_io.hpp"
 #include "core/report.hpp"
-#include "support/array_nd.hpp"
+#include "core/session.hpp"
+#include "programs/demo_programs.hpp"
 #include "viz/viz.hpp"
-
-struct Heat2dConfig {
-  int n = 48;          // interior cells per side
-  double alpha = 0.15;
-  int steps = 60;
-};
-
-template <typename T>
-class Heat2d {
- public:
-  using Config = Heat2dConfig;
-  static constexpr const char* kName = "Heat2d";
-
-  explicit Heat2d(const Config& config = {}) : cfg_(config) {}
-
-  [[nodiscard]] int rows() const { return cfg_.n + 2; }
-  [[nodiscard]] int cols() const { return cfg_.n + 4; }  // +2 dead columns
-
-  void init() {
-    step_ = 0;
-    grid_.assign(static_cast<std::size_t>(rows() * cols()), T(0));
-    auto grid = view();
-    for (int r = 0; r < rows(); ++r) {
-      for (int c = 0; c < cols(); ++c) {
-        grid(r, c) = T(1.0 + 0.5 * std::sin(0.3 * r) * std::cos(0.4 * c));
-      }
-    }
-  }
-
-  void step() {
-    auto grid = view();
-    std::vector<T> next = grid_;
-    scrutiny::View2D<T> out(next.data(), static_cast<std::size_t>(rows()),
-                            static_cast<std::size_t>(cols()));
-    for (int r = 1; r <= cfg_.n; ++r) {
-      for (int c = 1; c <= cfg_.n; ++c) {
-        out(r, c) = grid(r, c) + cfg_.alpha * (grid(r - 1, c) +
-                                               grid(r + 1, c) +
-                                               grid(r, c - 1) +
-                                               grid(r, c + 1) -
-                                               4.0 * grid(r, c));
-      }
-    }
-    grid_ = std::move(next);
-    ++step_;
-  }
-
-  std::vector<T> outputs() {
-    auto grid = view();
-    T energy = T(0);
-    for (int r = 0; r <= cfg_.n + 1; ++r) {
-      for (int c = 0; c <= cfg_.n + 1; ++c) {
-        energy += grid(r, c) * grid(r, c);
-      }
-    }
-    return {energy};
-  }
-
-  std::vector<scrutiny::core::VarBind<T>> checkpoint_bindings() {
-    std::vector<scrutiny::core::VarBind<T>> binds;
-    binds.push_back(scrutiny::core::bind_array<T>(
-        "grid", std::span<T>(grid_.data(), grid_.size()),
-        {static_cast<std::uint64_t>(rows()),
-         static_cast<std::uint64_t>(cols())}));
-    binds.push_back(scrutiny::core::bind_integer<T>("step", 1));
-    return binds;
-  }
-
-  void register_checkpoint(scrutiny::ckpt::CheckpointRegistry& registry)
-    requires std::same_as<T, double>
-  {
-    registry.register_f64("grid",
-                          std::span<double>(grid_.data(), grid_.size()),
-                          {static_cast<std::uint64_t>(rows()),
-                           static_cast<std::uint64_t>(cols())});
-    registry.register_scalar("step", step_);
-  }
-
-  [[nodiscard]] int current_step() const { return step_; }
-  [[nodiscard]] const Config& config() const { return cfg_; }
-
- private:
-  scrutiny::View2D<T> view() {
-    return scrutiny::View2D<T>(grid_.data(),
-                               static_cast<std::size_t>(rows()),
-                               static_cast<std::size_t>(cols()));
-  }
-
-  Config cfg_;
-  std::int32_t step_ = 0;
-  std::vector<T> grid_;
-};
 
 int main() {
   using namespace scrutiny;
-  const Heat2dConfig config;
+  using programs::Heat2d;
+  const programs::Heat2dConfig config;
 
-  // ---- analyze once, offline -------------------------------------------
-  core::AnalysisConfig analysis_config;
-  analysis_config.warmup_steps = 5;
-  analysis_config.window_steps = 2;
-  const auto analysis =
-      core::analyze_program<Heat2d>(config, analysis_config);
+  // ---- analyze once, offline, through the session pipeline --------------
+  programs::register_demo_programs();
+  core::ScrutinySession session = core::ScrutinySession::open("Heat2d");
+  session.analyze();  // the registered traits place the checkpoint window
+  std::filesystem::create_directories("scrutiny_out");
+  session.save_analysis("scrutiny_out/heat2d.scmask");
+
+  // The production run below only needs the persisted artifact; reload it
+  // the way a separate process would.
+  const core::AnalysisArtifact artifact =
+      core::load_analysis("scrutiny_out/heat2d.scmask");
+  const core::AnalysisResult& analysis = artifact.result;
   std::printf("%s", core::format_criticality_table(analysis).c_str());
   const auto& mask = analysis.find("grid")->mask;
   std::printf("grid criticality (one row band):\n%s\n",
@@ -180,11 +98,7 @@ int main() {
   }
 
   // ---- verify against an uninterrupted run ------------------------------
-  Heat2d<double> golden(config);
-  golden.init();
-  for (int s = 0; s < config.steps; ++s) golden.step();
-
-  const double expected = golden.outputs()[0];
+  const double expected = session.golden_outputs()[0];
   const double actual = restarted.outputs()[0];
   const bool verified = std::fabs(expected - actual) <
                         1e-12 * std::fabs(expected);

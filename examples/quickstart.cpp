@@ -1,108 +1,41 @@
 // Quickstart: scrutinize a user-defined simulation for checkpointing.
 //
 // The program is a 1D heat rod whose developer over-allocated the state
-// array (a padded tail that no loop ever touches).  Scrutiny finds the
-// dead elements with reverse-mode AD, a pruned checkpoint drops them, and
-// a restart from that checkpoint reproduces the uninterrupted run even
-// with the dead elements poisoned.
+// array (a padded tail that no loop ever touches).  It is registered as a
+// scrutiny program (src/programs/heat_rod.hpp — the exact same
+// make_program<App>() call any user application would write), then driven
+// through the ScrutinySession pipeline: analyze → plan → write → restart →
+// verify, with the analysis persisted to a .scmask artifact and reloaded
+// the way `scrutiny analyze --save-masks` / `verify --masks` do.
 //
 // Build & run:  ./examples/quickstart
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <vector>
 
-#include "ckpt/checkpoint_io.hpp"
-#include "ckpt/failure.hpp"
-#include "core/analyzer.hpp"
+#include "core/program.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
+#include "programs/demo_programs.hpp"
 #include "viz/viz.hpp"
-
-// ---------------------------------------------------------------------------
-// 1. Your simulation, templated on the scalar type.
-// ---------------------------------------------------------------------------
-struct HeatRodConfig {
-  int cells = 96;       // active cells
-  int padding = 32;     // the "imperfect coding": allocated, never used
-  double alpha = 0.2;   // diffusion number
-};
-
-template <typename T>
-class HeatRod {
- public:
-  using Config = HeatRodConfig;
-  static constexpr const char* kName = "HeatRod";
-
-  explicit HeatRod(const Config& config = {}) : cfg_(config) {}
-
-  void init() {
-    step_ = 0;
-    temperature_.assign(
-        static_cast<std::size_t>(cfg_.cells + cfg_.padding), T(0));
-    for (int i = 0; i < cfg_.cells + cfg_.padding; ++i) {
-      temperature_[static_cast<std::size_t>(i)] =
-          T(std::sin(0.2 * i) + 2.0);
-    }
-  }
-
-  void step() {
-    // Explicit diffusion over the ACTIVE cells only.
-    std::vector<T> next = temperature_;
-    for (int i = 1; i + 1 < cfg_.cells; ++i) {
-      const auto c = static_cast<std::size_t>(i);
-      next[c] = temperature_[c] +
-                cfg_.alpha * (temperature_[c - 1] - 2.0 * temperature_[c] +
-                              temperature_[c + 1]);
-    }
-    temperature_ = std::move(next);
-    ++step_;
-  }
-
-  std::vector<T> outputs() {
-    T total = T(0);
-    for (int i = 0; i < cfg_.cells; ++i) {
-      total += temperature_[static_cast<std::size_t>(i)];
-    }
-    return {total};
-  }
-
-  std::vector<scrutiny::core::VarBind<T>> checkpoint_bindings() {
-    std::vector<scrutiny::core::VarBind<T>> binds;
-    binds.push_back(scrutiny::core::bind_array<T>(
-        "temperature",
-        std::span<T>(temperature_.data(), temperature_.size())));
-    binds.push_back(scrutiny::core::bind_integer<T>("step", 1));
-    return binds;
-  }
-
-  void register_checkpoint(scrutiny::ckpt::CheckpointRegistry& registry)
-    requires std::same_as<T, double>
-  {
-    registry.register_f64("temperature",
-                          std::span<double>(temperature_.data(),
-                                            temperature_.size()));
-    registry.register_scalar("step", step_);
-  }
-
-  [[nodiscard]] int total_steps() const { return 40; }
-
- private:
-  Config cfg_;
-  std::int32_t step_ = 0;
-  std::vector<T> temperature_;
-};
 
 int main() {
   using namespace scrutiny;
 
   // -------------------------------------------------------------------
+  // 1. Register your program (HeatRod conforms to the App<T> concept and
+  //    self-registers through make_program<HeatRod>()).
+  // -------------------------------------------------------------------
+  programs::register_demo_programs();
+  core::ScrutinySession session = core::ScrutinySession::open("HeatRod");
+
+  // -------------------------------------------------------------------
   // 2. Scrutinize: which checkpointed elements can influence the output?
   // -------------------------------------------------------------------
-  core::AnalysisConfig analysis_config;
-  analysis_config.warmup_steps = 10;  // checkpoint placement
-  analysis_config.window_steps = 2;   // post-checkpoint window
-  const core::AnalysisResult analysis =
-      core::analyze_program<HeatRod>({}, analysis_config);
+  core::AnalysisConfig config = session.program().default_config();
+  config.warmup_steps = 10;  // checkpoint placement
+  config.window_steps = 2;   // post-checkpoint window
+  const core::AnalysisResult& analysis = session.analyze(config);
 
   std::printf("%s", core::format_analysis_summary(analysis).c_str());
   std::printf("%s", core::format_criticality_table(analysis).c_str());
@@ -111,44 +44,34 @@ int main() {
               viz::ascii_strip(mask, 64).c_str());
 
   // -------------------------------------------------------------------
-  // 3. Write a pruned checkpoint at step 10.
+  // 3. Plan, persist the masks, and write a pruned checkpoint at step 10.
   // -------------------------------------------------------------------
   const std::filesystem::path dir = "scrutiny_out/quickstart";
   std::filesystem::create_directories(dir);
-  HeatRod<double> app;
-  app.init();
-  for (int s = 0; s < 10; ++s) app.step();
-  ckpt::CheckpointRegistry registry;
-  app.register_checkpoint(registry);
-  const ckpt::PruneMap masks = analysis.to_prune_map();
-  const ckpt::WriteReport report =
-      ckpt::write_checkpoint(dir / "rod.ckpt", registry, 10, &masks);
+
+  const core::CheckpointPlan plan = session.plan();
+  std::printf("plan: %llu -> %llu payload bytes (%.1f%% saved)\n",
+              static_cast<unsigned long long>(plan.full_payload_bytes),
+              static_cast<unsigned long long>(plan.pruned_payload_bytes),
+              100.0 * plan.payload_saving());
+
+  session.save_analysis(dir / "rod.scmask");
+  const ckpt::WriteReport report = session.write_checkpoint(dir / "rod.ckpt");
   std::printf("checkpoint: %llu bytes, %llu elements dropped\n",
               static_cast<unsigned long long>(report.file_bytes),
               static_cast<unsigned long long>(report.elements_skipped));
 
   // -------------------------------------------------------------------
-  // 4. Crash, restart from critical elements only, verify.
+  // 4. Crash, restart from critical elements only, verify.  A fresh
+  //    session reuses the persisted masks — no re-analysis.
   // -------------------------------------------------------------------
-  HeatRod<double> golden;
-  golden.init();
-  for (int s = 0; s < golden.total_steps(); ++s) golden.step();
+  core::ScrutinySession restarted = core::ScrutinySession::open("HeatRod");
+  restarted.load_analysis(dir / "rod.scmask");
+  std::printf("masks reloaded from artifact: %s\n",
+              restarted.analysis_was_loaded() ? "yes" : "no");
 
-  HeatRod<double> restarted;
-  restarted.init();
-  ckpt::CheckpointRegistry restart_registry;
-  restarted.register_checkpoint(restart_registry);
-  ckpt::FailureInjector injector;
-  injector.poison_all(restart_registry);  // the failure
-  const auto restore =
-      ckpt::restore_checkpoint(dir / "rod.ckpt", restart_registry);
-  for (int s = static_cast<int>(restore.step);
-       s < restarted.total_steps(); ++s) {
-    restarted.step();
-  }
-
-  const double expected = golden.outputs()[0];
-  const double actual = restarted.outputs()[0];
+  const double expected = restarted.golden_outputs()[0];
+  const double actual = restarted.restart(dir / "rod.ckpt")[0];
   std::printf("uninterrupted output: %.15g\n", expected);
   std::printf("restarted output:     %.15g\n", actual);
   std::printf("restart %s\n",

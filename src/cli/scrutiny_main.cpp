@@ -1,30 +1,42 @@
 // scrutiny — command-line front end.
 //
-// Subcommands:
-//   analyze <bench> [--mode reverse-ad|forward-ad|read-set|finite-diff]
-//                   [--sweep scalar|vector|bitset] [--warmup N] [--window N]
-//                   [--threshold X] [--sample-stride N] [--impact]
-//       Run the criticality analysis and print the Table II rows.
-//   storage <bench> [--dir PATH]
+// Subcommands (PROG is any registered program — the NPB suite, the demo
+// programs, or anything user code registered; names are case-insensitive):
+//   analyze PROG [--mode reverse-ad|forward-ad|read-set|finite-diff]
+//                [--sweep scalar|vector|bitset] [--warmup N] [--window N]
+//                [--threshold X] [--sample-stride N] [--impact]
+//                [--save-masks F.scmask]
+//       Run the criticality analysis, print the Table II rows, and
+//       optionally persist the masks to an .scmask artifact.
+//   storage PROG [--dir PATH] [--masks F.scmask | analysis flags]
 //       Write full + pruned checkpoints and print the Table III row.
-//   verify <bench> [--dir PATH]
+//   verify  PROG [--dir PATH] [--masks F.scmask | analysis flags]
 //       Run the §IV-C restart verification protocol.
-//   viz <bench> <variable> [--out PATH.ppm] [--width N]
+//   viz     PROG VAR [--out PATH.ppm] [--width N]
+//                    [--masks F.scmask | analysis flags]
 //       Emit the critical/uncritical distribution as ASCII + PPM.
 //   list
-//       Show the benchmark inventory (Table I).
+//       Show every registered program and its checkpoint variables.
+//
+// storage/verify/viz need an analysis; with --masks F.scmask they reuse a
+// saved artifact (zero analysis seconds), otherwise they run one, honoring
+// the same analysis flags `analyze` takes.
+#include <array>
 #include <cstdio>
 #include <string>
 
 #include "ad/adjoint_models.hpp"
+#include "core/analysis_io.hpp"
+#include "core/program.hpp"
 #include "core/report.hpp"
-#include "npb/expected_masks.hpp"
-#include "npb/paper_reference.hpp"
+#include "core/session.hpp"
 #include "npb/suite.hpp"
+#include "programs/demo_programs.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
 #include "support/format_util.hpp"
 #include "support/table_printer.hpp"
+#include "support/timer.hpp"
 #include "viz/viz.hpp"
 
 namespace {
@@ -34,19 +46,24 @@ using namespace scrutiny;
 void print_usage(std::FILE* stream) {
   std::fprintf(stream,
                "usage: scrutiny <analyze|storage|verify|viz|list> "
-               "[benchmark] [options]\n"
+               "[program] [options]\n"
                "\n"
-               "  analyze <bench> [--mode reverse-ad|forward-ad|read-set|"
+               "  analyze PROG [--mode reverse-ad|forward-ad|read-set|"
                "finite-diff]\n"
-               "                  [--sweep scalar|vector|bitset]\n"
-               "                  [--warmup N] [--window N] [--threshold X]\n"
-               "                  [--sample-stride N] [--impact]\n"
-               "  storage <bench> [--dir PATH]\n"
-               "  verify  <bench> [--dir PATH]\n"
-               "  viz     <bench> <variable> [--out PATH.ppm] [--width N]\n"
+               "               [--sweep scalar|vector|bitset]\n"
+               "               [--warmup N] [--window N] [--threshold X]\n"
+               "               [--sample-stride N] [--impact]\n"
+               "               [--save-masks F.scmask]\n"
+               "  storage PROG [--dir PATH] [--masks F.scmask | analysis "
+               "flags]\n"
+               "  verify  PROG [--dir PATH] [--masks F.scmask | analysis "
+               "flags]\n"
+               "  viz     PROG VAR [--out PATH.ppm] [--width N]\n"
+               "                   [--masks F.scmask | analysis flags]\n"
                "  list\n"
                "\n"
-               "benchmarks: BT SP LU MG CG FT EP IS\n");
+               "programs: `scrutiny list` shows the registered inventory\n"
+               "(NPB: BT SP LU MG CG FT EP IS; demos: HeatRod Heat2d)\n");
 }
 
 int usage() {
@@ -71,28 +88,18 @@ ad::SweepKind parse_sweep(const std::string& text) {
   return *kind;
 }
 
-int cmd_list() {
-  TablePrinter table({"Benchmark", "Variable", "Elements", "Type"});
-  for (npb::BenchmarkId id : npb::all_benchmarks()) {
-    const auto analysis = npb::analyze_benchmark(
-        id, npb::default_analysis_config(
-                id, id == npb::BenchmarkId::IS
-                        ? core::AnalysisMode::ReadSet
-                        : core::AnalysisMode::ReverseAD));
-    for (const auto& variable : analysis.variables) {
-      table.add_row({npb::benchmark_name(id), variable.name,
-                     with_commas(variable.total_elements()),
-                     variable.is_integer ? "int" : "float"});
-    }
-    table.add_rule();
-  }
-  table.print();
-  return 0;
-}
+// The analysis flag set shared by analyze/storage/verify/viz; every
+// subcommand that runs an analysis honors all of them.
+constexpr std::array<std::string_view, 7> kAnalysisFlagNames = {
+    "--mode", "--sweep", "--warmup", "--window", "--threshold",
+    "--sample-stride", "--impact"};
 
-int cmd_analyze(npb::BenchmarkId id, const CliArgs& args) {
-  core::AnalysisConfig cfg = npb::default_analysis_config(
-      id, parse_mode(args.get("mode", "reverse-ad")));
+core::AnalysisConfig analysis_config_from_args(
+    const core::AnyProgram& program, const CliArgs& args) {
+  const core::AnalysisMode default_mode = program.traits().default_mode;
+  const core::AnalysisMode mode = parse_mode(
+      args.get("mode", core::analysis_mode_name(default_mode)));
+  core::AnalysisConfig cfg = program.default_config(mode);
   cfg.sweep = parse_sweep(args.get("sweep", ad::sweep_kind_name(cfg.sweep)));
   cfg.warmup_steps = static_cast<int>(args.get_int("warmup",
                                                    cfg.warmup_steps));
@@ -108,22 +115,79 @@ int cmd_analyze(npb::BenchmarkId id, const CliArgs& args) {
                      "--impact requires --mode reverse-ad");
     cfg.capture_impact = true;
   }
-  const auto result = npb::analyze_benchmark(id, cfg);
+  return cfg;
+}
+
+/// Populates the session's analysis: from a saved .scmask artifact when
+/// --masks is given (and then the expensive sweep is skipped — the printed
+/// analysis cost is exactly zero), else by running one now.
+void prepare_analysis(core::ScrutinySession& session, const CliArgs& args) {
+  if (args.has("masks")) {
+    for (std::string_view flag : kAnalysisFlagNames) {
+      const std::string key(flag.substr(2));
+      SCRUTINY_REQUIRE(!args.has(key),
+                       std::string(flag) + " conflicts with --masks: the "
+                       "artifact fixes the analysis configuration");
+    }
+    const std::string path = args.get("masks", "");
+    session.load_analysis(path);
+    std::printf("analysis seconds: 0.000 (masks loaded from %s)\n",
+                path.c_str());
+  } else {
+    const core::AnalysisConfig cfg =
+        analysis_config_from_args(session.program(), args);
+    Timer timer;
+    session.analyze(cfg);
+    std::printf("analysis seconds: %.3f (%s)\n", timer.seconds(),
+                core::analysis_mode_name(cfg.mode));
+  }
+}
+
+int cmd_list(const CliArgs& args) {
+  args.require_known({"help"});
+  TablePrinter table({"Program", "Variable", "Elements", "Type"});
+  for (const std::string& name : core::ProgramRegistry::global().names()) {
+    const core::AnyProgram& program =
+        core::ProgramRegistry::global().get(name);
+    const auto app = program.make_primal();
+    app->init();
+    for (const core::BindingInfo& info : app->binding_info()) {
+      table.add_row({name, info.name, with_commas(info.num_elements),
+                     info.is_integer ? "int" : "float"});
+    }
+    table.add_rule();
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_analyze(const core::AnyProgram& program, const CliArgs& args) {
+  args.require_known({"help", "mode", "sweep", "warmup", "window",
+                      "threshold", "sample-stride", "impact", "save-masks"});
+  core::ScrutinySession session(program);
+  const core::AnalysisConfig cfg = analysis_config_from_args(program, args);
+  const core::AnalysisResult& result = session.analyze(cfg);
   std::fputs(core::format_analysis_summary(result).c_str(), stdout);
   std::fputs(core::format_criticality_table(result).c_str(), stdout);
   if (cfg.capture_impact) {
     std::fputs(core::format_impact_summary(result).c_str(), stdout);
   }
+  if (args.has("save-masks")) {
+    const std::string path = args.get("save-masks", "");
+    SCRUTINY_REQUIRE(!path.empty(), "--save-masks needs a file path");
+    session.save_analysis(path);
+    std::printf("masks saved: %s\n", path.c_str());
+  }
   return 0;
 }
 
-int cmd_storage(npb::BenchmarkId id, const CliArgs& args) {
-  const auto analysis = npb::analyze_benchmark(
-      id, npb::default_analysis_config(
-              id, id == npb::BenchmarkId::IS ? core::AnalysisMode::ReadSet
-                                             : core::AnalysisMode::ReverseAD));
-  const auto comparison = npb::compare_checkpoint_storage(
-      id, analysis, args.get("dir", "scrutiny_ckpt_out"));
+int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
+  args.require_known({"help", "dir", "masks", "mode", "sweep", "warmup",
+                      "window", "threshold", "sample-stride", "impact"});
+  core::ScrutinySession session(program);
+  prepare_analysis(session, args);
+  const auto comparison =
+      session.compare_storage(args.get("dir", "scrutiny_ckpt_out"));
   TablePrinter table({"Benchmark", "Original", "Optimized", "Storage saved"});
   table.add_row({comparison.program, human_bytes(comparison.payload_full),
                  human_bytes(comparison.payload_pruned),
@@ -132,13 +196,13 @@ int cmd_storage(npb::BenchmarkId id, const CliArgs& args) {
   return 0;
 }
 
-int cmd_verify(npb::BenchmarkId id, const CliArgs& args) {
-  const auto analysis = npb::analyze_benchmark(
-      id, npb::default_analysis_config(
-              id, id == npb::BenchmarkId::IS ? core::AnalysisMode::ReadSet
-                                             : core::AnalysisMode::ReverseAD));
-  const auto verification = npb::verify_restart(
-      id, analysis, args.get("dir", "scrutiny_ckpt_out"));
+int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
+  args.require_known({"help", "dir", "masks", "mode", "sweep", "warmup",
+                      "window", "threshold", "sample-stride", "impact"});
+  core::ScrutinySession session(program);
+  prepare_analysis(session, args);
+  const auto verification =
+      session.verify_restart(args.get("dir", "scrutiny_ckpt_out"));
   std::printf("pruned restart matches uninterrupted run: %s\n",
               verification.pruned_restart_matches ? "YES" : "NO");
   std::printf("critical-corruption detected:             %s\n",
@@ -149,13 +213,15 @@ int cmd_verify(npb::BenchmarkId id, const CliArgs& args) {
              : 1;
 }
 
-int cmd_viz(npb::BenchmarkId id, const CliArgs& args) {
+int cmd_viz(const core::AnyProgram& program, const CliArgs& args) {
+  args.require_known({"help", "out", "width", "masks", "mode", "sweep",
+                      "warmup", "window", "threshold", "sample-stride",
+                      "impact"});
   if (args.positional().size() < 3) return usage();
   const std::string variable = args.positional()[2];
-  const auto analysis = npb::analyze_benchmark(
-      id, npb::default_analysis_config(
-              id, id == npb::BenchmarkId::IS ? core::AnalysisMode::ReadSet
-                                             : core::AnalysisMode::ReverseAD));
+  core::ScrutinySession session(program);
+  prepare_analysis(session, args);
+  const core::AnalysisResult& analysis = session.analysis();
   const auto* result = analysis.find(variable);
   SCRUTINY_REQUIRE(result != nullptr,
                    "no such variable in " + analysis.program + ": " +
@@ -182,23 +248,27 @@ int main(int argc, char** argv) {
   }
   if (args.positional().empty()) return usage();
   const std::string command = args.positional()[0];
+  npb::register_suite();
+  programs::register_demo_programs();
   try {
     if (command == "help") {
       print_usage(stdout);
       return 0;
     }
-    if (command == "list") return cmd_list();
+    if (command == "list") return cmd_list(args);
     if (args.positional().size() < 2) return usage();
-    const auto id = npb::parse_benchmark(args.positional()[1]);
-    if (!id.has_value()) {
-      std::fprintf(stderr, "unknown benchmark: %s\n",
-                   args.positional()[1].c_str());
+    const core::AnyProgram* program =
+        core::ProgramRegistry::global().find(args.positional()[1]);
+    if (program == nullptr) {
+      std::fprintf(stderr, "unknown program: %s (registered:%s)\n",
+                   args.positional()[1].c_str(),
+                   core::ProgramRegistry::global().inventory().c_str());
       return 2;
     }
-    if (command == "analyze") return cmd_analyze(*id, args);
-    if (command == "storage") return cmd_storage(*id, args);
-    if (command == "verify") return cmd_verify(*id, args);
-    if (command == "viz") return cmd_viz(*id, args);
+    if (command == "analyze") return cmd_analyze(*program, args);
+    if (command == "storage") return cmd_storage(*program, args);
+    if (command == "verify") return cmd_verify(*program, args);
+    if (command == "viz") return cmd_viz(*program, args);
     return usage();
   } catch (const scrutiny::ScrutinyError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,182 @@
+#include "core/analysis_io.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/binary_io.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+
+namespace {
+
+// Plausibility ceilings: a corrupt length field must fail fast instead of
+// driving a multi-gigabyte allocation.  The decisive guard is the file
+// size itself — no field may promise more payload than the file holds.
+constexpr std::uint32_t kMaxVariables = 65536;
+constexpr std::uint8_t kMaxDims = 16;
+
+template <typename Enum>
+Enum checked_enum(std::uint8_t raw, std::uint8_t max_value,
+                  const char* what) {
+  SCRUTINY_REQUIRE(raw <= max_value,
+                   std::string("invalid ") + what + " in analysis artifact");
+  return static_cast<Enum>(raw);
+}
+
+}  // namespace
+
+void save_analysis(const std::filesystem::path& path,
+                   const AnalysisConfig& config,
+                   const AnalysisResult& result) {
+  BinaryWriter writer(path);
+  writer.write(kAnalysisArtifactMagic);
+  writer.write(kAnalysisArtifactVersion);
+  writer.write_string(result.program);
+
+  writer.write(static_cast<std::uint8_t>(result.mode));
+  writer.write(static_cast<std::uint8_t>(result.sweep));
+  writer.write(static_cast<std::int32_t>(config.warmup_steps));
+  writer.write(static_cast<std::int32_t>(config.window_steps));
+  writer.write(config.threshold);
+  writer.write(config.sample_stride);
+  writer.write(config.tape_reserve_statements);
+  writer.write(static_cast<std::uint8_t>(config.integers_critical_by_type));
+  writer.write(static_cast<std::uint8_t>(config.capture_impact));
+
+  writer.write(static_cast<std::uint64_t>(result.num_outputs));
+  writer.write(result.tape_stats.num_statements);
+  writer.write(result.tape_stats.num_arguments);
+  writer.write(result.tape_stats.num_inputs);
+  writer.write(result.tape_stats.memory_bytes);
+  writer.write(result.record_seconds);
+  writer.write(result.sweep_seconds);
+  writer.write(result.harvest_seconds);
+  writer.write(result.total_seconds);
+  writer.write(static_cast<std::uint64_t>(result.sweep_passes));
+
+  writer.write(static_cast<std::uint32_t>(result.variables.size()));
+  for (const VariableCriticality& variable : result.variables) {
+    writer.write_string(variable.name);
+    writer.write(static_cast<std::uint8_t>(variable.is_integer));
+    writer.write(variable.element_size);
+    writer.write(static_cast<std::uint8_t>(variable.shape.size()));
+    for (const std::uint64_t dim : variable.shape) writer.write(dim);
+    writer.write(static_cast<std::uint64_t>(variable.mask.size()));
+    writer.write_span(std::span<const std::uint64_t>(variable.mask.words()));
+    const bool has_impact = !variable.impact.empty();
+    SCRUTINY_REQUIRE(!has_impact ||
+                         variable.impact.size() == variable.mask.size(),
+                     "impact vector size does not match mask: " +
+                         variable.name);
+    writer.write(static_cast<std::uint8_t>(has_impact));
+    if (has_impact) {
+      writer.write_span(std::span<const double>(variable.impact));
+    }
+  }
+
+  const std::uint64_t crc = writer.crc();
+  writer.write(crc);
+  writer.commit();
+}
+
+AnalysisArtifact load_analysis(const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::uint64_t file_size = std::filesystem::file_size(path, ec);
+  SCRUTINY_REQUIRE(!ec, "cannot stat analysis artifact: " + path.string());
+
+  BinaryReader reader(path);
+  // A corrupt length field must throw before it drives an allocation: no
+  // field may claim more payload than the file has bytes left.
+  auto require_remaining = [&](std::uint64_t bytes) {
+    SCRUTINY_REQUIRE(bytes <= file_size - reader.bytes_read(),
+                     "analysis artifact field exceeds file size "
+                     "(truncated or corrupt): " + path.string());
+  };
+
+  const auto magic = reader.read<std::uint64_t>();
+  SCRUTINY_REQUIRE(magic == kAnalysisArtifactMagic,
+                   "not a scrutiny analysis artifact: " + path.string());
+  const auto version = reader.read<std::uint32_t>();
+  SCRUTINY_REQUIRE(
+      version == kAnalysisArtifactVersion,
+      "unsupported analysis artifact version " + std::to_string(version) +
+          " (this build reads version " +
+          std::to_string(kAnalysisArtifactVersion) + "): " + path.string());
+
+  AnalysisArtifact artifact;
+  AnalysisConfig& config = artifact.config;
+  AnalysisResult& result = artifact.result;
+
+  result.program = reader.read_string();
+  result.mode = checked_enum<AnalysisMode>(
+      reader.read<std::uint8_t>(),
+      static_cast<std::uint8_t>(AnalysisMode::FiniteDiff), "analysis mode");
+  result.sweep = checked_enum<ad::SweepKind>(
+      reader.read<std::uint8_t>(),
+      static_cast<std::uint8_t>(ad::SweepKind::Bitset), "sweep kind");
+  config.mode = result.mode;
+  config.sweep = result.sweep;
+  config.warmup_steps = reader.read<std::int32_t>();
+  config.window_steps = reader.read<std::int32_t>();
+  config.threshold = reader.read<double>();
+  config.sample_stride = reader.read<std::uint64_t>();
+  config.tape_reserve_statements = reader.read<std::uint64_t>();
+  config.integers_critical_by_type = reader.read<std::uint8_t>() != 0;
+  config.capture_impact = reader.read<std::uint8_t>() != 0;
+
+  result.num_outputs =
+      static_cast<std::size_t>(reader.read<std::uint64_t>());
+  result.tape_stats.num_statements = reader.read<std::uint64_t>();
+  result.tape_stats.num_arguments = reader.read<std::uint64_t>();
+  result.tape_stats.num_inputs = reader.read<std::uint64_t>();
+  result.tape_stats.memory_bytes = reader.read<std::uint64_t>();
+  result.record_seconds = reader.read<double>();
+  result.sweep_seconds = reader.read<double>();
+  result.harvest_seconds = reader.read<double>();
+  result.total_seconds = reader.read<double>();
+  result.sweep_passes =
+      static_cast<std::size_t>(reader.read<std::uint64_t>());
+
+  const auto num_variables = reader.read<std::uint32_t>();
+  SCRUTINY_REQUIRE(num_variables <= kMaxVariables,
+                   "implausible variable count in " + path.string());
+  result.variables.reserve(num_variables);
+  for (std::uint32_t v = 0; v < num_variables; ++v) {
+    VariableCriticality variable;
+    variable.name = reader.read_string();
+    variable.is_integer = reader.read<std::uint8_t>() != 0;
+    variable.element_size = reader.read<std::uint32_t>();
+    const auto ndim = reader.read<std::uint8_t>();
+    SCRUTINY_REQUIRE(ndim <= kMaxDims,
+                     "implausible dimension count in " + path.string());
+    variable.shape.resize(ndim);
+    for (std::uint64_t& dim : variable.shape) {
+      dim = reader.read<std::uint64_t>();
+    }
+    const auto num_elements = reader.read<std::uint64_t>();
+    require_remaining(num_elements / 64 * 8);  // overflow-safe word bytes
+    std::vector<std::uint64_t> words((num_elements + 63) / 64);
+    reader.read_span(std::span<std::uint64_t>(words));
+    variable.mask = CriticalMask::from_words(
+        static_cast<std::size_t>(num_elements), std::move(words));
+    if (reader.read<std::uint8_t>() != 0) {
+      require_remaining(num_elements * 8);
+      variable.impact.resize(static_cast<std::size_t>(num_elements));
+      reader.read_span(std::span<double>(variable.impact));
+    }
+    result.variables.push_back(std::move(variable));
+  }
+
+  const std::uint64_t computed = reader.crc();
+  const auto stored = reader.read<std::uint64_t>();
+  SCRUTINY_REQUIRE(stored == computed,
+                   "analysis artifact CRC mismatch (corrupt file): " +
+                       path.string());
+  SCRUTINY_REQUIRE(reader.at_eof(),
+                   "trailing bytes after analysis artifact: " +
+                       path.string());
+  return artifact;
+}
+
+}  // namespace scrutiny::core

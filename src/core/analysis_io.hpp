@@ -1,0 +1,58 @@
+// The .scmask analysis artifact: a persisted AnalysisResult.
+//
+// The criticality analysis is the expensive leg of the pipeline (a full
+// reverse-AD recording plus sweeps); everything downstream — checkpoint
+// pruning, storage accounting, restart verification, visualization — only
+// needs the masks.  An .scmask file lets `scrutiny analyze --save-masks`
+// pay that cost once and every later subcommand reuse it.
+//
+// Layout (little-endian, written through support/binary_io with the CRC-64
+// trailer convention the checkpoint container uses):
+//
+//   magic u64 | version u32
+//   program (len-prefixed string)
+//   config: mode u8 | sweep u8 | warmup i32 | window i32 | threshold f64
+//           sample_stride u64 | tape_reserve u64
+//           integers_critical_by_type u8 | capture_impact u8
+//   result: num_outputs u64 | tape_stats u64[4]
+//           record/sweep/harvest/total seconds f64 | sweep_passes u64
+//   num_variables u32
+//   per variable:
+//     name (len-prefixed) | is_integer u8 | element_size u32
+//     ndim u8 | dims u64[ndim] | num_elements u64
+//     mask words u64[ceil(num_elements / 64)]
+//     has_impact u8 | impact f64[num_elements] (when has_impact)
+//   crc u64   (CRC-64 over everything before it; no trailing bytes)
+//
+// load_analysis rejects wrong magic, unsupported versions, truncation,
+// trailing garbage and CRC mismatches with ScrutinyError — a corrupt
+// artifact can never silently feed the checkpoint writer.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "core/analysis_types.hpp"
+
+namespace scrutiny::core {
+
+inline constexpr std::uint64_t kAnalysisArtifactMagic =
+    0x314b53414d524353ull;  // "SCRMASK1" little-endian
+inline constexpr std::uint32_t kAnalysisArtifactVersion = 1;
+
+/// The artifact pairs the result with the config that produced it, so a
+/// consumer can reconstruct placement decisions (warmup step, window).
+struct AnalysisArtifact {
+  AnalysisConfig config;
+  AnalysisResult result;
+};
+
+/// Atomically writes `path` (write-tmp+rename, like every checkpoint).
+void save_analysis(const std::filesystem::path& path,
+                   const AnalysisConfig& config,
+                   const AnalysisResult& result);
+
+[[nodiscard]] AnalysisArtifact load_analysis(
+    const std::filesystem::path& path);
+
+}  // namespace scrutiny::core

@@ -1,8 +1,8 @@
 // The criticality analyzer — the paper's core contribution.
 //
-// Given a program templated on its scalar type, the analyzer decides, for
-// every element of every checkpointed variable, whether that element can
-// influence the program's outputs over the post-checkpoint window:
+// Given a program, the analyzer decides, for every element of every
+// checkpointed variable, whether that element can influence the program's
+// outputs over the post-checkpoint window:
 //
 //   ReverseAD (paper): run the window once with ad::Real recording on the
 //     tape; reverse sweeps harvest ∂out/∂element for ALL elements
@@ -17,7 +17,16 @@
 //     overwritten (the "algorithmic analysis" of the paper's Discussion).
 //   FiniteDiff: two primal reruns per element, assumption-free baseline.
 //
-// Program concept (see src/npb for eight implementations):
+// Two entry shapes:
+//
+//  * Runtime: the analyze_* overloads below take a type-erased
+//    core::ProgramInstance / ReadSetInstance (see core/program.hpp) — this
+//    is what AnyProgram, the registry and the ScrutinySession pipeline
+//    drive.  Only coarse calls (init/step/outputs/bindings) are virtual;
+//    the per-element sweep loops run on concrete data.
+//
+//  * Templates: analyze_program<App> and the per-mode wrappers instantiate
+//    the classic concept directly (see src/npb for eight implementations):
 //
 //   template <typename T> class App {
 //    public:
@@ -33,452 +42,69 @@
 // App must be copyable (ForwardAD/FiniteDiff replay from copies).
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <vector>
+#include <string_view>
 
-#include "ad/adjoint_models.hpp"
 #include "ad/forward.hpp"
-#include "ad/num_traits.hpp"
-#include "ad/readset.hpp"
 #include "ad/reverse.hpp"
-#include "ad/tape.hpp"
 #include "core/analysis_types.hpp"
+#include "core/program.hpp"
 #include "core/var_bind.hpp"
 #include "support/error.hpp"
-#include "support/timer.hpp"
 
 namespace scrutiny::core {
 
-namespace detail {
+// ---------------------------------------------------------------------------
+// Runtime analyzers over type-erased instances (defined in analyzer.cpp)
+// ---------------------------------------------------------------------------
 
-/// Builds the result skeleton (names, shapes, default masks) from bindings.
-template <typename T>
-void init_result_variables(AnalysisResult& result,
-                           const std::vector<VarBind<T>>& binds,
-                           const AnalysisConfig& cfg, bool default_critical) {
-  for (const VarBind<T>& bind : binds) {
-    bind.validate();
-    VariableCriticality variable;
-    variable.name = bind.name;
-    variable.shape = bind.shape;
-    variable.element_size = bind.element_size;
-    variable.is_integer = bind.is_integer;
-    if (bind.is_integer) {
-      variable.mask = CriticalMask(bind.num_elements,
-                                   cfg.integers_critical_by_type);
-    } else {
-      variable.mask = CriticalMask(bind.num_elements, default_critical);
-    }
-    if (cfg.capture_impact && !bind.is_integer) {
-      variable.impact.assign(bind.num_elements, 0.0);
-    }
-    result.variables.push_back(std::move(variable));
-  }
-}
+[[nodiscard]] AnalysisResult analyze_reverse_ad(
+    ProgramInstance<ad::Real>& app, std::string_view program_name,
+    const AnalysisConfig& cfg);
 
-}  // namespace detail
+[[nodiscard]] AnalysisResult analyze_forward_ad(
+    ProgramInstance<ad::Dual>& app, std::string_view program_name,
+    const AnalysisConfig& cfg);
+
+[[nodiscard]] AnalysisResult analyze_finite_diff(
+    ProgramInstance<double>& app, std::string_view program_name,
+    const AnalysisConfig& cfg);
+
+[[nodiscard]] AnalysisResult analyze_read_set(ReadSetInstance& app,
+                                              std::string_view program_name,
+                                              const AnalysisConfig& cfg);
 
 // ---------------------------------------------------------------------------
-// ReverseAD
+// Template front ends over the App<T> concept
 // ---------------------------------------------------------------------------
 
 template <template <typename> class App>
 AnalysisResult analyze_reverse_ad(const typename App<ad::Real>::Config& acfg,
                                   const AnalysisConfig& cfg) {
-  SCRUTINY_REQUIRE(
-      cfg.sweep != ad::SweepKind::Bitset || cfg.threshold == 0.0,
-      "bitset sweep answers the threshold-0 activity question only; "
-      "use --sweep scalar|vector with a nonzero threshold");
-  SCRUTINY_REQUIRE(
-      cfg.sweep != ad::SweepKind::Bitset || !cfg.capture_impact,
-      "bitset sweep propagates dependency bits, not magnitudes; "
-      "impact capture needs --sweep scalar|vector");
-  Timer total_timer;
-  AnalysisResult result;
-  result.program = App<ad::Real>::kName;
-  result.mode = AnalysisMode::ReverseAD;
-  result.sweep = cfg.sweep;
-
-  App<ad::Real> app(acfg);
-  app.init();
-  for (int s = 0; s < cfg.warmup_steps; ++s) app.step();
-
-  ad::Tape tape;
-  if (cfg.tape_reserve_statements > 0) {
-    tape.reserve(cfg.tape_reserve_statements);
-  }
-
-  std::vector<VarBind<ad::Real>> binds;
-  std::vector<std::vector<ad::Identifier>> input_ids;
-  std::vector<ad::Real> outputs;
-
-  Timer record_timer;
-  {
-    ad::ActiveTapeGuard guard(tape);
-    binds = app.checkpoint_bindings();
-    detail::init_result_variables(result, binds, cfg,
-                                  /*default_critical=*/false);
-    input_ids.resize(binds.size());
-    for (std::size_t b = 0; b < binds.size(); ++b) {
-      if (binds[b].is_integer) continue;
-      input_ids[b].reserve(binds[b].values.size());
-      for (ad::Real& value : binds[b].values) {
-        value.register_input();
-        input_ids[b].push_back(value.id());
-      }
-    }
-    for (int s = 0; s < cfg.window_steps; ++s) app.step();
-    outputs = app.outputs();
-  }
-  result.record_seconds = record_timer.seconds();
-  result.num_outputs = outputs.size();
-  result.tape_stats = tape.stats();
-
-  // Build the seed set once: every active output, in output order.
-  // Constant outputs have no dependencies and contribute no seed.
-  std::vector<ad::Identifier> seeds;
-  seeds.reserve(outputs.size());
-  for (const ad::Real& output : outputs) {
-    if (output.is_active()) seeds.push_back(output.id());
-  }
-
-  double sweep_seconds = 0.0;
-  double harvest_seconds = 0.0;
-  std::size_t sweep_passes = 0;
-
-  // Folds one block of swept lanes into the masks; adjoint_at(id, lane)
-  // yields |∂out[lane]/∂id| (1/0 for the bitset model).
-  auto harvest_block = [&](std::size_t lanes, auto&& adjoint_at) {
-    Timer harvest_timer;
-    for (std::size_t b = 0; b < binds.size(); ++b) {
-      if (binds[b].is_integer) continue;
-      VariableCriticality& variable = result.variables[b];
-      const std::uint32_t comps = binds[b].components_per_element;
-      for (std::size_t c = 0; c < input_ids[b].size(); ++c) {
-        const ad::Identifier id = input_ids[b][c];
-        for (std::size_t w = 0; w < lanes; ++w) {
-          const double adj = adjoint_at(id, w);
-          if (adj > cfg.threshold) {
-            variable.mask.set(c / comps, true);
-          }
-          if (cfg.capture_impact) {
-            double& slot = variable.impact[c / comps];
-            slot = std::max(slot, adj);
-          }
-        }
-      }
-    }
-    harvest_seconds += harvest_timer.seconds();
-  };
-
-  // The one blocked sweep: seeds are chunked Model::kLanes at a time and
-  // each chunk costs a single reverse pass.  The scalar model is simply
-  // the kLanes == 1 instance of the same driver (the old per-output loop).
-  auto run_blocked = [&](auto model, auto&& seed_lane, auto&& adjoint_at) {
-    model.resize(tape.max_identifier());
-    constexpr std::size_t kLanes = decltype(model)::kLanes;
-    for (std::size_t base = 0; base < seeds.size(); base += kLanes) {
-      const std::size_t lanes =
-          std::min<std::size_t>(kLanes, seeds.size() - base);
-      model.clear();
-      for (std::size_t w = 0; w < lanes; ++w) {
-        seed_lane(model, seeds[base + w], w);
-      }
-      Timer pass_timer;
-      tape.evaluate_with(model);
-      sweep_seconds += pass_timer.seconds();
-      ++sweep_passes;
-      harvest_block(lanes, [&](ad::Identifier id, std::size_t w) {
-        return adjoint_at(model, id, w);
-      });
-    }
-  };
-
-  switch (cfg.sweep) {
-    case ad::SweepKind::Scalar:
-      run_blocked(
-          ad::ScalarAdjoints{},
-          [](ad::ScalarAdjoints& m, ad::Identifier id, std::size_t) {
-            m.seed(id, 1.0);
-          },
-          [](const ad::ScalarAdjoints& m, ad::Identifier id, std::size_t) {
-            return std::fabs(m.adjoint(id));
-          });
-      break;
-    case ad::SweepKind::Vector:
-      run_blocked(
-          ad::VectorAdjoints{},
-          [](ad::VectorAdjoints& m, ad::Identifier id, std::size_t w) {
-            m.seed(id, w, 1.0);
-          },
-          [](const ad::VectorAdjoints& m, ad::Identifier id, std::size_t w) {
-            return std::fabs(m.adjoint(id, w));
-          });
-      break;
-    case ad::SweepKind::Bitset:
-      run_blocked(
-          ad::BitsetAdjoints{},
-          [](ad::BitsetAdjoints& m, ad::Identifier id, std::size_t w) {
-            m.seed(id, w);
-          },
-          [](const ad::BitsetAdjoints& m, ad::Identifier id, std::size_t w) {
-            return m.test(id, w) ? 1.0 : 0.0;
-          });
-      break;
-  }
-
-  result.sweep_seconds = sweep_seconds;
-  result.harvest_seconds = harvest_seconds;
-  result.sweep_passes = sweep_passes;
-  result.total_seconds = total_timer.seconds();
-  return result;
+  detail::ErasedApp<App, ad::Real> app(acfg);
+  return analyze_reverse_ad(app, App<ad::Real>::kName, cfg);
 }
-
-// ---------------------------------------------------------------------------
-// ReadSet
-// ---------------------------------------------------------------------------
-
-template <template <typename> class App, typename Inner = double>
-AnalysisResult analyze_read_set(
-    const typename App<ad::Marked<Inner>>::Config& acfg,
-    const AnalysisConfig& cfg) {
-  using M = ad::Marked<Inner>;
-  Timer total_timer;
-  AnalysisResult result;
-  result.program = App<M>::kName;
-  result.mode = AnalysisMode::ReadSet;
-
-  App<M> app(acfg);
-  app.init();
-  for (int s = 0; s < cfg.warmup_steps; ++s) app.step();
-
-  std::vector<VarBind<M>> binds = app.checkpoint_bindings();
-  detail::init_result_variables(result, binds, cfg,
-                                /*default_critical=*/false);
-
-  std::uint64_t total_components = 0;
-  for (const VarBind<M>& bind : binds) {
-    if (!bind.is_integer) total_components += bind.values.size();
-  }
-  ad::ReadSetTracker tracker(static_cast<std::size_t>(total_components));
-
-  Timer record_timer;
-  {
-    ad::ActiveTrackerGuard guard(tracker);
-    std::int64_t offset = 0;
-    for (VarBind<M>& bind : binds) {
-      if (bind.is_integer) continue;
-      for (M& value : bind.values) value.set_origin(offset++);
-    }
-    for (int s = 0; s < cfg.window_steps; ++s) app.step();
-    std::vector<M> outputs = app.outputs();
-    result.num_outputs = outputs.size();
-  }
-  result.record_seconds = record_timer.seconds();
-
-  std::size_t offset = 0;
-  for (std::size_t b = 0; b < binds.size(); ++b) {
-    if (binds[b].is_integer) continue;
-    VariableCriticality& variable = result.variables[b];
-    const std::uint32_t comps = binds[b].components_per_element;
-    for (std::size_t c = 0; c < binds[b].values.size(); ++c) {
-      if (tracker.was_read(offset + c)) {
-        variable.mask.set(c / comps, true);
-      }
-    }
-    offset += binds[b].values.size();
-  }
-  result.total_seconds = total_timer.seconds();
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// ForwardAD / FiniteDiff — per-element replay from a warmed-up base copy
-// ---------------------------------------------------------------------------
-
-namespace detail {
-
-/// Per-component probe bookkeeping shared by the two replay modes.
-struct ProbeSite {
-  std::size_t bind_index;
-  std::size_t component_index;
-};
-
-template <typename T>
-std::vector<ProbeSite> collect_probe_sites(
-    const std::vector<VarBind<T>>& binds, std::uint64_t stride) {
-  std::vector<ProbeSite> sites;
-  for (std::size_t b = 0; b < binds.size(); ++b) {
-    if (binds[b].is_integer) continue;
-    for (std::size_t c = 0; c < binds[b].values.size();
-         c += static_cast<std::size_t>(stride)) {
-      sites.push_back(ProbeSite{b, c});
-    }
-  }
-  return sites;
-}
-
-}  // namespace detail
 
 template <template <typename> class App>
 AnalysisResult analyze_forward_ad(const typename App<ad::Dual>::Config& acfg,
                                   const AnalysisConfig& cfg) {
-  Timer total_timer;
-  AnalysisResult result;
-  result.program = App<ad::Dual>::kName;
-  result.mode = AnalysisMode::ForwardAD;
-
-  App<ad::Dual> base(acfg);
-  base.init();
-  for (int s = 0; s < cfg.warmup_steps; ++s) base.step();
-
-  std::vector<VarBind<ad::Dual>> base_binds = base.checkpoint_bindings();
-  // Unprobed elements (sampling) stay conservatively critical.
-  detail::init_result_variables(result, base_binds, cfg,
-                                /*default_critical=*/true);
-
-  const std::uint64_t stride = std::max<std::uint64_t>(1, cfg.sample_stride);
-  const std::vector<detail::ProbeSite> sites =
-      detail::collect_probe_sites(base_binds, stride);
-  std::vector<std::uint8_t> verdict(sites.size(), 0);  // 1 = critical
-
-  Timer record_timer;
-#if defined(SCRUTINY_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 4)
-#endif
-  for (std::size_t p = 0; p < sites.size(); ++p) {
-    App<ad::Dual> run = base;
-    std::vector<VarBind<ad::Dual>> binds = run.checkpoint_bindings();
-    binds[sites[p].bind_index].values[sites[p].component_index]
-        .set_derivative(1.0);
-    for (int s = 0; s < cfg.window_steps; ++s) run.step();
-    for (const ad::Dual& out : run.outputs()) {
-      if (std::fabs(out.derivative()) > cfg.threshold) {
-        verdict[p] = 1;
-        break;
-      }
-    }
-  }
-  result.record_seconds = record_timer.seconds();
-
-  // Fold component verdicts into element masks.  With sampling, an element
-  // is uncritical only if every probed component of it was uncritical and
-  // at least one component was probed.
-  for (std::size_t b = 0; b < base_binds.size(); ++b) {
-    if (base_binds[b].is_integer) continue;
-    result.variables[b].mask.set_all(false);
-  }
-  std::vector<std::vector<std::uint8_t>> any_probe(base_binds.size());
-  for (std::size_t b = 0; b < base_binds.size(); ++b) {
-    if (!base_binds[b].is_integer) {
-      any_probe[b].assign(base_binds[b].num_elements, 0);
-    }
-  }
-  for (std::size_t p = 0; p < sites.size(); ++p) {
-    const auto [b, c] = sites[p];
-    const std::size_t element = c / base_binds[b].components_per_element;
-    any_probe[b][element] = 1;
-    if (verdict[p] != 0) {
-      result.variables[b].mask.set(element, true);
-    }
-  }
-  for (std::size_t b = 0; b < base_binds.size(); ++b) {
-    if (base_binds[b].is_integer) continue;
-    for (std::size_t e = 0; e < base_binds[b].num_elements; ++e) {
-      if (any_probe[b][e] == 0) {
-        result.variables[b].mask.set(e, true);  // unsampled: conservative
-      }
-    }
-  }
-
-  result.num_outputs = base.outputs().size();
-  result.total_seconds = total_timer.seconds();
-  return result;
+  detail::ErasedApp<App, ad::Dual> app(acfg);
+  return analyze_forward_ad(app, App<ad::Dual>::kName, cfg);
 }
 
 template <template <typename> class App>
 AnalysisResult analyze_finite_diff(const typename App<double>::Config& acfg,
                                    const AnalysisConfig& cfg) {
-  Timer total_timer;
-  AnalysisResult result;
-  result.program = App<double>::kName;
-  result.mode = AnalysisMode::FiniteDiff;
-
-  App<double> base(acfg);
-  base.init();
-  for (int s = 0; s < cfg.warmup_steps; ++s) base.step();
-
-  std::vector<VarBind<double>> base_binds = base.checkpoint_bindings();
-  detail::init_result_variables(result, base_binds, cfg,
-                                /*default_critical=*/true);
-
-  const std::uint64_t stride = std::max<std::uint64_t>(1, cfg.sample_stride);
-  const std::vector<detail::ProbeSite> sites =
-      detail::collect_probe_sites(base_binds, stride);
-  std::vector<std::uint8_t> verdict(sites.size(), 0);
-
-  auto run_window = [&cfg](App<double> run,
-                           std::size_t bind_index, std::size_t component,
-                           double delta) {
-    std::vector<VarBind<double>> binds = run.checkpoint_bindings();
-    binds[bind_index].values[component] += delta;
-    for (int s = 0; s < cfg.window_steps; ++s) run.step();
-    return run.outputs();
-  };
-
-  Timer record_timer;
-#if defined(SCRUTINY_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 4)
-#endif
-  for (std::size_t p = 0; p < sites.size(); ++p) {
-    const auto [b, c] = sites[p];
-    const double x = base_binds[b].values[c];
-    const double h = std::max(1e-6, std::fabs(x) * 1e-7);
-    const std::vector<double> plus = run_window(base, b, c, +h);
-    const std::vector<double> minus = run_window(base, b, c, -h);
-    for (std::size_t m = 0; m < plus.size(); ++m) {
-      const double d = std::fabs(plus[m] - minus[m]) / (2.0 * h);
-      if (d > cfg.threshold) {
-        verdict[p] = 1;
-        break;
-      }
-    }
-  }
-  result.record_seconds = record_timer.seconds();
-
-  for (std::size_t b = 0; b < base_binds.size(); ++b) {
-    if (base_binds[b].is_integer) continue;
-    result.variables[b].mask.set_all(false);
-  }
-  std::vector<std::vector<std::uint8_t>> any_probe(base_binds.size());
-  for (std::size_t b = 0; b < base_binds.size(); ++b) {
-    if (!base_binds[b].is_integer) {
-      any_probe[b].assign(base_binds[b].num_elements, 0);
-    }
-  }
-  for (std::size_t p = 0; p < sites.size(); ++p) {
-    const auto [b, c] = sites[p];
-    const std::size_t element = c / base_binds[b].components_per_element;
-    any_probe[b][element] = 1;
-    if (verdict[p] != 0) result.variables[b].mask.set(element, true);
-  }
-  for (std::size_t b = 0; b < base_binds.size(); ++b) {
-    if (base_binds[b].is_integer) continue;
-    for (std::size_t e = 0; e < base_binds[b].num_elements; ++e) {
-      if (any_probe[b][e] == 0) result.variables[b].mask.set(e, true);
-    }
-  }
-
-  result.num_outputs = base.outputs().size();
-  result.total_seconds = total_timer.seconds();
-  return result;
+  detail::ErasedApp<App, double> app(acfg);
+  return analyze_finite_diff(app, App<double>::kName, cfg);
 }
 
-// ---------------------------------------------------------------------------
-// Mode dispatch
-// ---------------------------------------------------------------------------
+template <template <typename> class App, typename Inner = double>
+AnalysisResult analyze_read_set(
+    const typename App<ad::Marked<Inner>>::Config& acfg,
+    const AnalysisConfig& cfg) {
+  detail::ErasedReadSet<App, Inner> app(acfg);
+  return analyze_read_set(app, App<ad::Marked<Inner>>::kName, cfg);
+}
 
 /// Runs the configured analysis mode on program `App`.
 template <template <typename> class App>

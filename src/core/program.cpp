@@ -1,0 +1,178 @@
+#include "core/program.hpp"
+
+#include <utility>
+
+#include "core/analyzer.hpp"
+
+namespace scrutiny::core {
+
+namespace {
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'a' && a[i] <= 'z'
+                        ? static_cast<char>(a[i] - 32)
+                        : a[i];
+    const char cb = b[i] >= 'a' && b[i] <= 'z'
+                        ? static_cast<char>(b[i] - 32)
+                        : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AnyProgram
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ProgramInstance<ad::Real>> AnyProgram::make_real() const {
+  SCRUTINY_REQUIRE(static_cast<bool>(real_),
+                   "program " + name_ + " has no reverse-AD instantiation");
+  return real_();
+}
+
+std::unique_ptr<ProgramInstance<ad::Dual>> AnyProgram::make_dual() const {
+  SCRUTINY_REQUIRE(static_cast<bool>(dual_),
+                   "program " + name_ + " has no forward-AD instantiation");
+  return dual_();
+}
+
+std::unique_ptr<ProgramInstance<double>> AnyProgram::make_double() const {
+  SCRUTINY_REQUIRE(static_cast<bool>(double_),
+                   "program " + name_ + " has no double instantiation");
+  return double_();
+}
+
+std::unique_ptr<PrimalInstance> AnyProgram::make_primal() const {
+  SCRUTINY_REQUIRE(valid(), "empty AnyProgram handle");
+  return primal_();
+}
+
+std::unique_ptr<ReadSetInstance> AnyProgram::make_readset() const {
+  SCRUTINY_REQUIRE(static_cast<bool>(readset_),
+                   "program " + name_ + " has no read-set instantiation");
+  return readset_();
+}
+
+AnalysisConfig AnyProgram::default_config(AnalysisMode mode) const {
+  AnalysisConfig cfg;
+  cfg.mode = mode;
+  cfg.warmup_steps = traits_.default_warmup_steps;
+  cfg.window_steps = traits_.default_window_steps;
+  cfg.tape_reserve_statements = traits_.tape_reserve_statements;
+  if (mode == AnalysisMode::ForwardAD || mode == AnalysisMode::FiniteDiff) {
+    // One rerun (two for FD) per probed element: sample.
+    cfg.sample_stride = traits_.replay_sample_stride;
+  }
+  return cfg;
+}
+
+AnalysisResult AnyProgram::analyze(const AnalysisConfig& cfg) const {
+  SCRUTINY_REQUIRE(valid(), "empty AnyProgram handle");
+  switch (cfg.mode) {
+    case AnalysisMode::ReverseAD: {
+      if (!supports_derivatives()) return analyze_critical_by_type(cfg);
+      const auto app = real_();
+      return analyze_reverse_ad(*app, name_, cfg);
+    }
+    case AnalysisMode::ForwardAD: {
+      if (!supports_derivatives()) return analyze_critical_by_type(cfg);
+      const auto app = dual_();
+      return analyze_forward_ad(*app, name_, cfg);
+    }
+    case AnalysisMode::FiniteDiff: {
+      if (!supports_derivatives()) return analyze_critical_by_type(cfg);
+      const auto app = double_();
+      return analyze_finite_diff(*app, name_, cfg);
+    }
+    case AnalysisMode::ReadSet: {
+      const auto app = readset_();
+      return analyze_read_set(*app, name_, cfg);
+    }
+  }
+  throw ScrutinyError("unknown analysis mode");
+}
+
+/// Derivative analysis does not apply (integer program): every element is
+/// critical by type, the paper's treatment of indexes and sort keys.
+AnalysisResult AnyProgram::analyze_critical_by_type(
+    const AnalysisConfig& cfg) const {
+  const auto app = primal_();
+  app->init();
+  AnalysisResult result;
+  result.program = name_;
+  result.mode = cfg.mode;
+  for (const BindingInfo& info : app->binding_info()) {
+    VariableCriticality variable;
+    variable.name = info.name;
+    variable.shape = info.shape;
+    variable.element_size = info.element_size;
+    variable.is_integer = true;
+    variable.mask = CriticalMask(info.num_elements, true);
+    result.variables.push_back(std::move(variable));
+  }
+  result.num_outputs = app->outputs().size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramRegistry
+// ---------------------------------------------------------------------------
+
+ProgramRegistry& ProgramRegistry::global() {
+  static ProgramRegistry registry;
+  return registry;
+}
+
+void ProgramRegistry::add(AnyProgram program) {
+  SCRUTINY_REQUIRE(program.valid(), "cannot register an empty program");
+  SCRUTINY_REQUIRE(!program.name().empty(),
+                   "cannot register a nameless program");
+  SCRUTINY_REQUIRE(find(program.name()) == nullptr,
+                   "program already registered: " + program.name());
+  programs_.push_back(std::make_unique<AnyProgram>(std::move(program)));
+}
+
+bool ProgramRegistry::contains(std::string_view name) const noexcept {
+  return find(name) != nullptr;
+}
+
+const AnyProgram* ProgramRegistry::find(
+    std::string_view name) const noexcept {
+  for (const auto& program : programs_) {
+    if (iequals(program->name(), name)) return program.get();
+  }
+  return nullptr;
+}
+
+const AnyProgram& ProgramRegistry::get(std::string_view name) const {
+  const AnyProgram* program = find(name);
+  if (program == nullptr) {
+    std::string what = "unknown program: ";
+    what.append(name);
+    what += " (registered:" + inventory() + ')';
+    throw ScrutinyError(what);
+  }
+  return *program;
+}
+
+std::vector<std::string> ProgramRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(programs_.size());
+  for (const auto& program : programs_) out.push_back(program->name());
+  return out;
+}
+
+std::string ProgramRegistry::inventory() const {
+  std::string out;
+  for (const auto& program : programs_) {
+    out += ' ';
+    out += program->name();
+  }
+  return out;
+}
+
+}  // namespace scrutiny::core

@@ -1,0 +1,432 @@
+// Type-erased program handles and the global program registry.
+//
+// The analyzer's native currency is a class template `App<Scalar>` (the
+// concept documented in core/analyzer.hpp): the same kernel instantiated
+// with double, ad::Real, ad::Dual or ad::Marked<Inner> depending on the
+// analysis mode.  That concept cannot cross a library boundary — every
+// consumer used to be a `switch` over a closed benchmark enum.
+//
+// AnyProgram erases the concept behind per-scalar virtual factories: one
+// factory per scalar instantiation (Real for reverse AD, Dual for forward
+// AD, double for finite differences, Marked<Inner> for the read-set
+// analysis, plus a primal handle that owns checkpoint registration and
+// double-converted outputs).  Programs whose scalar is integral (NPB IS)
+// simply omit the derivative factories; AnyProgram::analyze falls back to
+// the paper's critical-by-type policy for them.
+//
+// ProgramRegistry maps names to AnyProgram values.  The NPB suite
+// registers its eight benchmarks (npb::register_suite), the demo layer
+// registers the README example programs, and user code can register its
+// own templates at runtime with make_program<App>() — the CLI, the
+// ScrutinySession pipeline and the reporting stack all work unchanged on
+// anything registered.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ad/forward.hpp"
+#include "ad/num_traits.hpp"
+#include "ad/readset.hpp"
+#include "ad/reverse.hpp"
+#include "ckpt/registry.hpp"
+#include "core/analysis_types.hpp"
+#include "core/var_bind.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+
+// ---------------------------------------------------------------------------
+// Scalar-independent binding description
+// ---------------------------------------------------------------------------
+
+/// Everything a VarBind<T> says about a variable except the storage view.
+struct BindingInfo {
+  std::string name;
+  std::vector<std::uint64_t> shape;
+  std::uint32_t element_size = 8;
+  std::uint64_t num_elements = 0;
+  std::uint32_t components_per_element = 1;
+  bool is_integer = false;
+
+  [[nodiscard]] std::uint64_t num_components() const noexcept {
+    return num_elements * components_per_element;
+  }
+};
+
+template <typename T>
+[[nodiscard]] BindingInfo binding_info_of(const VarBind<T>& bind) {
+  BindingInfo info;
+  info.name = bind.name;
+  info.shape = bind.shape;
+  info.element_size = bind.element_size;
+  info.num_elements = bind.num_elements;
+  info.components_per_element = bind.components_per_element;
+  info.is_integer = bind.is_integer;
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Per-scalar erased instances
+// ---------------------------------------------------------------------------
+
+/// A running instance of a program in one scalar instantiation.  The
+/// analyzer drives these through the same coarse-grained calls the App
+/// concept defines; no per-element operation is virtual.
+template <typename Scalar>
+class ProgramInstance {
+ public:
+  virtual ~ProgramInstance() = default;
+  virtual void init() = 0;
+  virtual void step() = 0;
+  virtual int total_steps() = 0;
+  virtual std::vector<Scalar> outputs() = 0;
+  /// Spans view the instance's live storage; valid until the next step().
+  virtual std::vector<VarBind<Scalar>> checkpoint_bindings() = 0;
+  /// Deep copy (ForwardAD/FiniteDiff replay probes from copies).
+  [[nodiscard]] virtual std::unique_ptr<ProgramInstance<Scalar>> clone()
+      const = 0;
+};
+
+/// The primal (production-scalar) instance: double-converted outputs plus
+/// checkpoint-registry access.  This is what the write/restart/verify legs
+/// of the pipeline run on, for float and integer programs alike.
+class PrimalInstance {
+ public:
+  virtual ~PrimalInstance() = default;
+  virtual void init() = 0;
+  virtual void step() = 0;
+  virtual int total_steps() = 0;
+  virtual std::vector<double> outputs() = 0;
+  virtual std::vector<BindingInfo> binding_info() = 0;
+  virtual void register_checkpoint(ckpt::CheckpointRegistry& registry) = 0;
+  [[nodiscard]] virtual std::unique_ptr<PrimalInstance> clone() const = 0;
+};
+
+/// A Marked<Inner>-instantiated instance with the inner scalar erased; the
+/// read-set analyzer only needs origin marking, not the values themselves.
+class ReadSetInstance {
+ public:
+  virtual ~ReadSetInstance() = default;
+  virtual void init() = 0;
+  virtual void step() = 0;
+  virtual std::vector<BindingInfo> binding_info() = 0;
+  /// Assigns sequential origins 0..N-1 across the components of every
+  /// non-integer binding, in binding order; returns N.
+  virtual std::uint64_t mark_origins() = 0;
+  virtual std::size_t num_outputs() = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Program-level metadata
+// ---------------------------------------------------------------------------
+
+/// Registration-time defaults: how the program wants to be analyzed and
+/// verified when the caller does not say otherwise.
+struct ProgramTraits {
+  /// Mode used when a pipeline step needs an analysis and none was
+  /// configured (IS registers ReadSet: derivatives do not apply to it).
+  AnalysisMode default_mode = AnalysisMode::ReverseAD;
+  int default_warmup_steps = 2;
+  int default_window_steps = 2;
+  std::uint64_t tape_reserve_statements = 0;
+  /// Default sampling stride for the per-element replay modes
+  /// (ForwardAD/FiniteDiff); ignored by the single-recording modes.
+  std::uint64_t replay_sample_stride = 211;
+  /// Variable corrupted by the restart verification's negative control;
+  /// empty = the program's first checkpointed variable.
+  std::string verify_corrupt_variable;
+  /// Output tolerance for restart verification (0 = exact match).
+  double verify_tolerance = 1e-10;
+};
+
+// ---------------------------------------------------------------------------
+// AnyProgram
+// ---------------------------------------------------------------------------
+
+class AnyProgram {
+ public:
+  using RealFactory =
+      std::function<std::unique_ptr<ProgramInstance<ad::Real>>()>;
+  using DualFactory =
+      std::function<std::unique_ptr<ProgramInstance<ad::Dual>>()>;
+  using DoubleFactory =
+      std::function<std::unique_ptr<ProgramInstance<double>>()>;
+  using PrimalFactory = std::function<std::unique_ptr<PrimalInstance>()>;
+  using ReadSetFactory = std::function<std::unique_ptr<ReadSetInstance>()>;
+
+  AnyProgram() = default;
+  AnyProgram(std::string name, ProgramTraits traits, RealFactory real,
+             DualFactory dual, DoubleFactory fd, PrimalFactory primal,
+             ReadSetFactory readset)
+      : name_(std::move(name)),
+        traits_(traits),
+        real_(std::move(real)),
+        dual_(std::move(dual)),
+        double_(std::move(fd)),
+        primal_(std::move(primal)),
+        readset_(std::move(readset)) {}
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(primal_);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ProgramTraits& traits() const noexcept {
+    return traits_;
+  }
+
+  /// False for integer-scalar programs: derivative modes fall back to the
+  /// paper's critical-by-type policy instead of instantiating AD scalars.
+  [[nodiscard]] bool supports_derivatives() const noexcept {
+    return static_cast<bool>(real_);
+  }
+
+  [[nodiscard]] std::unique_ptr<ProgramInstance<ad::Real>> make_real() const;
+  [[nodiscard]] std::unique_ptr<ProgramInstance<ad::Dual>> make_dual() const;
+  [[nodiscard]] std::unique_ptr<ProgramInstance<double>> make_double() const;
+  [[nodiscard]] std::unique_ptr<PrimalInstance> make_primal() const;
+  [[nodiscard]] std::unique_ptr<ReadSetInstance> make_readset() const;
+
+  /// The program's default analysis placement for `mode` (traits-driven;
+  /// replay modes additionally get the sampling stride).
+  [[nodiscard]] AnalysisConfig default_config(AnalysisMode mode) const;
+  [[nodiscard]] AnalysisConfig default_config() const {
+    return default_config(traits_.default_mode);
+  }
+
+  /// Runs the configured analysis mode on this program.  Integer-only
+  /// programs answer every derivative mode with the critical-by-type
+  /// policy (paper §IV-B).
+  [[nodiscard]] AnalysisResult analyze(const AnalysisConfig& cfg) const;
+
+ private:
+  [[nodiscard]] AnalysisResult analyze_critical_by_type(
+      const AnalysisConfig& cfg) const;
+
+  std::string name_;
+  ProgramTraits traits_;
+  RealFactory real_;
+  DualFactory dual_;
+  DoubleFactory double_;
+  PrimalFactory primal_;
+  ReadSetFactory readset_;
+};
+
+// ---------------------------------------------------------------------------
+// ProgramRegistry
+// ---------------------------------------------------------------------------
+
+/// Name -> AnyProgram map.  Lookups are case-insensitive (`bt`, `Bt` and
+/// `BT` address the same program); names are unique modulo case.
+///
+/// Entries have stable addresses: references returned by get()/find()
+/// stay valid across later add() calls, so sessions can hold a program
+/// handle while other code keeps registering (the documented contract).
+class ProgramRegistry {
+ public:
+  /// The process-wide registry every public entry point consults.
+  [[nodiscard]] static ProgramRegistry& global();
+
+  /// Registers a program; throws ScrutinyError on duplicate names.
+  void add(AnyProgram program);
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  [[nodiscard]] const AnyProgram* find(std::string_view name) const noexcept;
+
+  /// find() or throw a ScrutinyError naming the registered inventory.
+  [[nodiscard]] const AnyProgram& get(std::string_view name) const;
+
+  /// Registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// " A B C" — the registration-order name list, for error messages.
+  [[nodiscard]] std::string inventory() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return programs_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<AnyProgram>> programs_;
+};
+
+// ---------------------------------------------------------------------------
+// Adapters: App<Scalar> template -> erased instances
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <template <typename> class App, typename Scalar>
+class ErasedApp final : public ProgramInstance<Scalar> {
+ public:
+  explicit ErasedApp(const typename App<Scalar>::Config& config)
+      : app_(config) {}
+
+  void init() override { app_.init(); }
+  void step() override { app_.step(); }
+  int total_steps() override {
+    // Programs without total_steps() (analysis-only: the synthetic test
+    // programs) can still be analyzed — the analyzers never ask — but a
+    // pipeline leg that needs the run length must fail loudly, not run a
+    // vacuous zero-step "verification".
+    if constexpr (requires(App<Scalar> a) { a.total_steps(); }) {
+      return app_.total_steps();
+    } else {
+      throw ScrutinyError(std::string(App<Scalar>::kName) +
+                          " exposes no total_steps(); the golden/restart "
+                          "pipeline needs the uninterrupted run length");
+    }
+  }
+  std::vector<Scalar> outputs() override { return app_.outputs(); }
+  std::vector<VarBind<Scalar>> checkpoint_bindings() override {
+    return app_.checkpoint_bindings();
+  }
+  [[nodiscard]] std::unique_ptr<ProgramInstance<Scalar>> clone()
+      const override {
+    return std::make_unique<ErasedApp>(*this);
+  }
+
+ private:
+  App<Scalar> app_;
+};
+
+template <template <typename> class App, typename Scalar>
+class ErasedPrimal final : public PrimalInstance {
+ public:
+  explicit ErasedPrimal(const typename App<Scalar>::Config& config)
+      : app_(config) {}
+
+  void init() override { app_.init(); }
+  void step() override { app_.step(); }
+  int total_steps() override {
+    if constexpr (requires(App<Scalar> a) { a.total_steps(); }) {
+      return app_.total_steps();
+    } else {
+      throw ScrutinyError(std::string(App<Scalar>::kName) +
+                          " exposes no total_steps(); the golden/restart "
+                          "pipeline needs the uninterrupted run length");
+    }
+  }
+  std::vector<double> outputs() override {
+    std::vector<double> out;
+    const std::vector<Scalar> raw = app_.outputs();
+    out.reserve(raw.size());
+    for (const Scalar& v : raw) out.push_back(ad::passive_value(v));
+    return out;
+  }
+  std::vector<BindingInfo> binding_info() override {
+    std::vector<BindingInfo> infos;
+    for (const VarBind<Scalar>& bind : app_.checkpoint_bindings()) {
+      infos.push_back(binding_info_of(bind));
+    }
+    return infos;
+  }
+  void register_checkpoint(ckpt::CheckpointRegistry& registry) override {
+    if constexpr (requires(App<Scalar> a, ckpt::CheckpointRegistry& r) {
+                    a.register_checkpoint(r);
+                  }) {
+      app_.register_checkpoint(registry);
+    } else {
+      throw ScrutinyError(std::string(App<Scalar>::kName) +
+                          " exposes no checkpoint registration; the "
+                          "write/restart pipeline needs "
+                          "register_checkpoint()");
+    }
+  }
+  [[nodiscard]] std::unique_ptr<PrimalInstance> clone() const override {
+    return std::make_unique<ErasedPrimal>(*this);
+  }
+
+ private:
+  App<Scalar> app_;
+};
+
+template <template <typename> class App, typename Inner>
+class ErasedReadSet final : public ReadSetInstance {
+ public:
+  using M = ad::Marked<Inner>;
+
+  explicit ErasedReadSet(const typename App<M>::Config& config)
+      : app_(config) {}
+
+  void init() override { app_.init(); }
+  void step() override { app_.step(); }
+  std::vector<BindingInfo> binding_info() override {
+    std::vector<BindingInfo> infos;
+    for (const VarBind<M>& bind : app_.checkpoint_bindings()) {
+      infos.push_back(binding_info_of(bind));
+    }
+    return infos;
+  }
+  std::uint64_t mark_origins() override {
+    std::int64_t offset = 0;
+    std::vector<VarBind<M>> binds = app_.checkpoint_bindings();
+    for (VarBind<M>& bind : binds) {
+      if (bind.is_integer) continue;
+      for (M& value : bind.values) value.set_origin(offset++);
+    }
+    return static_cast<std::uint64_t>(offset);
+  }
+  std::size_t num_outputs() override { return app_.outputs().size(); }
+
+ private:
+  App<M> app_;
+};
+
+}  // namespace detail
+
+/// Builds the type-erased handle for a float-scalar program template (the
+/// full App<T> concept: double, ad::Real, ad::Dual and ad::Marked<double>
+/// instantiations all compile).
+template <template <typename> class App>
+[[nodiscard]] AnyProgram make_program(
+    typename App<double>::Config config = {}, ProgramTraits traits = {},
+    std::string name = App<double>::kName) {
+  return AnyProgram(
+      std::move(name), traits,
+      [config] {
+        return std::unique_ptr<ProgramInstance<ad::Real>>(
+            std::make_unique<detail::ErasedApp<App, ad::Real>>(config));
+      },
+      [config] {
+        return std::unique_ptr<ProgramInstance<ad::Dual>>(
+            std::make_unique<detail::ErasedApp<App, ad::Dual>>(config));
+      },
+      [config] {
+        return std::unique_ptr<ProgramInstance<double>>(
+            std::make_unique<detail::ErasedApp<App, double>>(config));
+      },
+      [config] {
+        return std::unique_ptr<PrimalInstance>(
+            std::make_unique<detail::ErasedPrimal<App, double>>(config));
+      },
+      [config] {
+        return std::unique_ptr<ReadSetInstance>(
+            std::make_unique<detail::ErasedReadSet<App, double>>(config));
+      });
+}
+
+/// Integer-scalar programs (NPB IS): no derivative instantiations exist,
+/// so only the primal and read-set factories are populated — derivative
+/// analysis modes resolve to the critical-by-type policy.
+template <template <typename> class App, typename Inner>
+[[nodiscard]] AnyProgram make_integer_program(
+    typename App<Inner>::Config config = {}, ProgramTraits traits = {},
+    std::string name = App<Inner>::kName) {
+  return AnyProgram(
+      std::move(name), traits, AnyProgram::RealFactory{},
+      AnyProgram::DualFactory{}, AnyProgram::DoubleFactory{},
+      [config] {
+        return std::unique_ptr<PrimalInstance>(
+            std::make_unique<detail::ErasedPrimal<App, Inner>>(config));
+      },
+      [config] {
+        return std::unique_ptr<ReadSetInstance>(
+            std::make_unique<detail::ErasedReadSet<App, Inner>>(config));
+      });
+}
+
+}  // namespace scrutiny::core

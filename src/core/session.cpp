@@ -1,0 +1,263 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ckpt/failure.hpp"
+#include "ckpt/registry.hpp"
+#include "core/analysis_io.hpp"
+#include "mask/region.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+
+namespace {
+
+bool all_close(const std::vector<double>& a, const std::vector<double>& b,
+               double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) return false;
+    const double scale = std::max({1.0, std::fabs(a[i]), std::fabs(b[i])});
+    if (std::fabs(a[i] - b[i]) > tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ScrutinySession::ScrutinySession(const AnyProgram& program)
+    : program_(&program) {
+  SCRUTINY_REQUIRE(program.valid(), "session over an empty program handle");
+}
+
+ScrutinySession ScrutinySession::open(std::string_view program_name) {
+  return ScrutinySession(ProgramRegistry::global().get(program_name));
+}
+
+// ---------------------------------------------------------------------------
+// analysis cache
+// ---------------------------------------------------------------------------
+
+const AnalysisResult& ScrutinySession::analyze(const AnalysisConfig& cfg) {
+  analysis_ = program_->analyze(cfg);
+  config_ = cfg;
+  analysis_loaded_ = false;
+  return *analysis_;
+}
+
+const AnalysisResult& ScrutinySession::analyze() {
+  return analyze(program_->default_config());
+}
+
+const AnalysisResult& ScrutinySession::use_analysis(AnalysisResult result) {
+  config_ = program_->default_config(result.mode);
+  analysis_ = std::move(result);
+  analysis_loaded_ = false;
+  return *analysis_;
+}
+
+const AnalysisResult& ScrutinySession::load_analysis(
+    const std::filesystem::path& path) {
+  AnalysisArtifact artifact = core::load_analysis(path);
+  SCRUTINY_REQUIRE(artifact.result.program == program_->name(),
+                   "analysis artifact " + path.string() + " was produced "
+                   "for program " + artifact.result.program + ", not " +
+                   program_->name());
+  config_ = artifact.config;
+  analysis_ = std::move(artifact.result);
+  analysis_loaded_ = true;
+  return *analysis_;
+}
+
+void ScrutinySession::save_analysis(
+    const std::filesystem::path& path) const {
+  core::save_analysis(path, analysis_config(), analysis());
+}
+
+const AnalysisResult& ScrutinySession::analysis() const {
+  SCRUTINY_REQUIRE(analysis_.has_value(),
+                   "no analysis on this session yet: call analyze() or "
+                   "load_analysis() first");
+  return *analysis_;
+}
+
+const AnalysisConfig& ScrutinySession::analysis_config() const {
+  SCRUTINY_REQUIRE(config_.has_value(),
+                   "no analysis on this session yet: call analyze() or "
+                   "load_analysis() first");
+  return *config_;
+}
+
+int ScrutinySession::warmup_steps() const {
+  return analysis_config().warmup_steps;
+}
+
+// ---------------------------------------------------------------------------
+// plan
+// ---------------------------------------------------------------------------
+
+CheckpointPlan ScrutinySession::plan() const {
+  const AnalysisResult& result = analysis();
+  CheckpointPlan plan;
+  plan.program = result.program;
+  plan.prune_map = result.to_prune_map();
+  for (const VariableCriticality& variable : result.variables) {
+    CheckpointPlan::Variable row;
+    row.name = variable.name;
+    row.total_elements = variable.total_elements();
+    row.critical_elements = variable.mask.count_critical();
+    row.full_bytes = row.total_elements * variable.element_size;
+    const RegionList regions = RegionList::from_mask(variable.mask);
+    row.pruned_bytes = regions.covered_elements() * variable.element_size;
+    row.region_bytes = regions.serialized_bytes();
+    plan.full_payload_bytes += row.full_bytes;
+    plan.pruned_payload_bytes += row.pruned_bytes;
+    plan.region_metadata_bytes += row.region_bytes;
+    plan.variables.push_back(std::move(row));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// pipeline legs
+// ---------------------------------------------------------------------------
+
+ckpt::WriteReport ScrutinySession::write_checkpoint(
+    const std::filesystem::path& file) const {
+  const ckpt::PruneMap masks = analysis().to_prune_map();
+  const int warmup = warmup_steps();
+
+  const auto app = program_->make_primal();
+  app->init();
+  for (int s = 0; s < warmup; ++s) app->step();
+  ckpt::CheckpointRegistry registry;
+  app->register_checkpoint(registry);
+  const ckpt::WriteReport report = ckpt::write_checkpoint(
+      file, registry, static_cast<std::uint64_t>(warmup), &masks);
+  ckpt::save_regions_sidecar(file, registry, masks);
+  return report;
+}
+
+std::vector<double> ScrutinySession::restart(
+    const std::filesystem::path& file) const {
+  const auto app = program_->make_primal();
+  app->init();
+  ckpt::CheckpointRegistry registry;
+  app->register_checkpoint(registry);
+  ckpt::FailureInjector injector;
+  injector.poison_all(registry);
+  const ckpt::RestoreReport report = ckpt::restore_checkpoint(file, registry);
+  const int total_steps = app->total_steps();
+  for (int s = static_cast<int>(report.step); s < total_steps; ++s) {
+    app->step();
+  }
+  return app->outputs();
+}
+
+std::vector<double> ScrutinySession::golden_outputs() const {
+  const auto app = program_->make_primal();
+  app->init();
+  const int total_steps = app->total_steps();
+  for (int s = 0; s < total_steps; ++s) app->step();
+  return app->outputs();
+}
+
+StorageComparison ScrutinySession::compare_storage(
+    const std::filesystem::path& dir) const {
+  const ckpt::PruneMap masks = analysis().to_prune_map();
+  const int warmup = warmup_steps();
+
+  const auto app = program_->make_primal();
+  app->init();
+  for (int s = 0; s < warmup; ++s) app->step();
+
+  ckpt::CheckpointRegistry registry;
+  app->register_checkpoint(registry);
+
+  std::filesystem::create_directories(dir);
+  const auto full_path = dir / (program_->name() + "_full.ckpt");
+  const auto pruned_path = dir / (program_->name() + "_pruned.ckpt");
+
+  const ckpt::WriteReport full = ckpt::write_checkpoint(
+      full_path, registry, static_cast<std::uint64_t>(warmup));
+  const ckpt::WriteReport pruned = ckpt::write_checkpoint(
+      pruned_path, registry, static_cast<std::uint64_t>(warmup), &masks);
+  ckpt::save_regions_sidecar(pruned_path, registry, masks);
+
+  StorageComparison comparison;
+  comparison.program = program_->name();
+  comparison.payload_full = full.payload_bytes;
+  comparison.payload_pruned = pruned.payload_bytes;
+  comparison.file_full = full.file_bytes;
+  comparison.file_pruned = pruned.file_bytes;
+  comparison.aux_bytes = pruned.aux_bytes;
+  comparison.elements_skipped = pruned.elements_skipped;
+  return comparison;
+}
+
+RestartVerification ScrutinySession::verify_restart(
+    const std::filesystem::path& dir) const {
+  const ckpt::PruneMap masks = analysis().to_prune_map();
+  const int warmup = warmup_steps();
+  const ProgramTraits& traits = program_->traits();
+  const double tol = traits.verify_tolerance;
+
+  RestartVerification verification;
+  std::filesystem::create_directories(dir);
+  const auto path = dir / (program_->name() + "_restart.ckpt");
+
+  // Uninterrupted reference run.
+  verification.golden = golden_outputs();
+
+  // Run to the checkpoint step and persist only critical elements.
+  int total_steps = 0;
+  std::string corrupt_variable = traits.verify_corrupt_variable;
+  {
+    const auto writer = program_->make_primal();
+    writer->init();
+    for (int s = 0; s < warmup; ++s) writer->step();
+    total_steps = writer->total_steps();
+    ckpt::CheckpointRegistry registry;
+    writer->register_checkpoint(registry);
+    if (corrupt_variable.empty() && !registry.variables().empty()) {
+      corrupt_variable = registry.variables().front().name;
+    }
+    ckpt::write_checkpoint(path, registry,
+                           static_cast<std::uint64_t>(warmup), &masks);
+  }
+
+  // Failure: a fresh process re-initializes, all checkpointed memory is
+  // poisoned, and only critical regions come back from the file.
+  verification.restarted = restart(path);
+  verification.pruned_restart_matches =
+      all_close(verification.golden, verification.restarted, tol);
+
+  // Negative control: additionally corrupt critical elements — the run
+  // must NOT reproduce the reference outputs.  Some solvers abort outright
+  // on poisoned critical state (e.g. BT's block factorization rejects NaN
+  // pivots); an exception is also a successful detection.
+  try {
+    const auto corrupted = program_->make_primal();
+    corrupted->init();
+    ckpt::CheckpointRegistry registry;
+    corrupted->register_checkpoint(registry);
+    ckpt::FailureInjector injector;
+    injector.poison_all(registry);
+    const ckpt::RestoreReport report =
+        ckpt::restore_checkpoint(path, registry);
+    injector.corrupt_critical(registry, masks, corrupt_variable, 16);
+    for (int s = static_cast<int>(report.step); s < total_steps; ++s) {
+      corrupted->step();
+    }
+    verification.corrupted = corrupted->outputs();
+    verification.negative_control_detected =
+        !all_close(verification.golden, verification.corrupted, tol);
+  } catch (const ScrutinyError&) {
+    verification.negative_control_detected = true;
+  }
+  return verification;
+}
+
+}  // namespace scrutiny::core

@@ -1,0 +1,177 @@
+// ScrutinySession — the pipeline façade over a registered program.
+//
+// The paper's workflow is a pipeline: analyze a window with reverse AD,
+// turn the per-element criticality masks into a pruned checkpoint plan,
+// then write/restart/verify (§IV).  A session owns one program handle and
+// threads one analysis through all of those legs:
+//
+//   ScrutinySession session(ProgramRegistry::global().get("BT"));
+//   session.analyze(cfg);                   // or load_analysis("f.scmask")
+//   CheckpointPlan plan = session.plan();   // masks + Table III estimate
+//   session.compare_storage(dir);           // full vs pruned checkpoints
+//   session.verify_restart(dir);            // §IV-C protocol
+//   session.save_analysis("f.scmask");      // persist the expensive sweep
+//
+// The analysis is computed once and cached on the session; loading a saved
+// .scmask artifact substitutes for the sweep entirely (analysis_was_loaded
+// reports which path populated the cache).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "core/analysis_types.hpp"
+#include "core/program.hpp"
+
+namespace scrutiny::core {
+
+/// Checkpoint storage with and without uncritical elements (Table III).
+///
+/// The paper's "Storage saved" column is the element-payload reduction (the
+/// auxiliary file is reported separately there) — payload_saving() matches
+/// that metric.  file_saving() additionally charges the container framing
+/// and the embedded region metadata: the honest end-to-end number.
+struct StorageComparison {
+  std::string program;
+  std::uint64_t payload_full = 0;    ///< registered bytes ("Original")
+  std::uint64_t payload_pruned = 0;  ///< critical element bytes ("Optimized")
+  std::uint64_t file_full = 0;       ///< full container size on disk
+  std::uint64_t file_pruned = 0;     ///< pruned container size on disk
+  std::uint64_t aux_bytes = 0;       ///< auxiliary region metadata
+  std::uint64_t elements_skipped = 0;
+
+  [[nodiscard]] double payload_saving() const noexcept {
+    if (payload_full == 0) return 0.0;
+    return 1.0 - static_cast<double>(payload_pruned) /
+                     static_cast<double>(payload_full);
+  }
+  [[nodiscard]] double file_saving() const noexcept {
+    if (file_full == 0) return 0.0;
+    return 1.0 -
+           static_cast<double>(file_pruned) / static_cast<double>(file_full);
+  }
+};
+
+/// §IV-C verification: restart from a pruned checkpoint with every
+/// uncritical element poisoned must reproduce the uninterrupted outputs;
+/// corrupting critical elements instead must be detected.
+struct RestartVerification {
+  bool pruned_restart_matches = false;
+  bool negative_control_detected = false;
+  std::vector<double> golden;
+  std::vector<double> restarted;
+  std::vector<double> corrupted;
+};
+
+/// What a pruned checkpoint of this analysis will contain: the prune map
+/// the writer consumes plus the Table III storage estimate, per variable
+/// and in total — all derived from the masks, no checkpoint written yet.
+struct CheckpointPlan {
+  struct Variable {
+    std::string name;
+    std::uint64_t total_elements = 0;
+    std::uint64_t critical_elements = 0;
+    std::uint64_t full_bytes = 0;    ///< all elements at element_size
+    std::uint64_t pruned_bytes = 0;  ///< critical elements only
+    std::uint64_t region_bytes = 0;  ///< serialized [begin,end) run list
+  };
+
+  std::string program;
+  ckpt::PruneMap prune_map;
+  std::vector<Variable> variables;
+  std::uint64_t full_payload_bytes = 0;
+  std::uint64_t pruned_payload_bytes = 0;
+  std::uint64_t region_metadata_bytes = 0;
+
+  /// The paper's "Storage saved" metric (payload only).
+  [[nodiscard]] double payload_saving() const noexcept {
+    if (full_payload_bytes == 0) return 0.0;
+    return 1.0 - static_cast<double>(pruned_payload_bytes) /
+                     static_cast<double>(full_payload_bytes);
+  }
+};
+
+class ScrutinySession {
+ public:
+  /// The program handle must outlive the session (registry entries do).
+  explicit ScrutinySession(const AnyProgram& program);
+
+  /// Convenience: look the program up in the global registry (throws a
+  /// ScrutinyError naming the registered inventory when absent).
+  [[nodiscard]] static ScrutinySession open(std::string_view program_name);
+
+  [[nodiscard]] const AnyProgram& program() const noexcept {
+    return *program_;
+  }
+
+  // ---- analysis -------------------------------------------------------
+
+  /// Runs the analysis now and caches it; returns the cached result.
+  const AnalysisResult& analyze(const AnalysisConfig& cfg);
+
+  /// analyze() with the program's default configuration.
+  const AnalysisResult& analyze();
+
+  /// Adopts an analysis computed elsewhere (placement defaults derived
+  /// from the program's traits for the result's mode).
+  const AnalysisResult& use_analysis(AnalysisResult result);
+
+  /// Loads a persisted .scmask artifact instead of re-running the sweep.
+  /// Rejects artifacts produced for a different program.
+  const AnalysisResult& load_analysis(const std::filesystem::path& path);
+
+  /// Persists the cached analysis to a .scmask artifact.
+  void save_analysis(const std::filesystem::path& path) const;
+
+  [[nodiscard]] bool has_analysis() const noexcept {
+    return analysis_.has_value();
+  }
+  /// True when the cached analysis came from load_analysis, i.e. the
+  /// expensive sweep was skipped this session.
+  [[nodiscard]] bool analysis_was_loaded() const noexcept {
+    return analysis_loaded_;
+  }
+  [[nodiscard]] const AnalysisResult& analysis() const;
+  [[nodiscard]] const AnalysisConfig& analysis_config() const;
+
+  // ---- pipeline -------------------------------------------------------
+
+  /// Derives the pruned-checkpoint plan from the cached analysis.
+  [[nodiscard]] CheckpointPlan plan() const;
+
+  /// Runs the program to the analysis warmup step and writes a pruned
+  /// checkpoint there (plus the paper-style regions sidecar).
+  ckpt::WriteReport write_checkpoint(
+      const std::filesystem::path& file) const;
+
+  /// Fresh instance, poisoned memory, restore `file`, run to completion;
+  /// returns the final outputs.
+  [[nodiscard]] std::vector<double> restart(
+      const std::filesystem::path& file) const;
+
+  /// Full uninterrupted run; outputs converted to double.
+  [[nodiscard]] std::vector<double> golden_outputs() const;
+
+  /// Writes full + pruned checkpoints at the warmup step (Table III).
+  [[nodiscard]] StorageComparison compare_storage(
+      const std::filesystem::path& dir) const;
+
+  /// The §IV-C restart verification protocol.
+  [[nodiscard]] RestartVerification verify_restart(
+      const std::filesystem::path& dir) const;
+
+ private:
+  [[nodiscard]] int warmup_steps() const;
+
+  const AnyProgram* program_;
+  std::optional<AnalysisConfig> config_;
+  std::optional<AnalysisResult> analysis_;
+  bool analysis_loaded_ = false;
+};
+
+}  // namespace scrutiny::core

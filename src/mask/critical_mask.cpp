@@ -35,6 +35,21 @@ double CriticalMask::uncritical_rate() const noexcept {
          static_cast<double>(size_);
 }
 
+CriticalMask CriticalMask::from_words(std::size_t num_elements,
+                                      std::vector<std::uint64_t> words) {
+  SCRUTINY_REQUIRE(words.size() == (num_elements + 63) / 64,
+                   "mask word count does not match element count");
+  const std::size_t tail = num_elements & 63;
+  if (tail != 0 && !words.empty()) {
+    SCRUTINY_REQUIRE((words.back() & ~((1ull << tail) - 1)) == 0,
+                     "mask has bits set beyond its element count");
+  }
+  CriticalMask mask;
+  mask.size_ = num_elements;
+  mask.words_ = std::move(words);
+  return mask;
+}
+
 void CriticalMask::merge_or(const CriticalMask& other) {
   SCRUTINY_REQUIRE(size_ == other.size_, "mask size mismatch in merge_or");
   for (std::size_t w = 0; w < words_.size(); ++w) {

@@ -65,6 +65,12 @@ class CriticalMask {
     return words_;
   }
 
+  /// Rebuilds a mask from serialized words.  Rejects a word count that
+  /// does not match `num_elements` and set bits beyond the tail — a
+  /// deserializer calling this gets format validation for free.
+  [[nodiscard]] static CriticalMask from_words(
+      std::size_t num_elements, std::vector<std::uint64_t> words);
+
  private:
   void clear_tail_bits() noexcept;
 

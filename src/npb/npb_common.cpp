@@ -1,5 +1,7 @@
 #include "npb/npb_common.hpp"
 
+#include "support/error.hpp"
+
 namespace scrutiny::npb {
 
 std::optional<BenchmarkId> parse_benchmark(std::string_view name) {
@@ -12,6 +14,20 @@ std::optional<BenchmarkId> parse_benchmark(std::string_view name) {
     if (upper == benchmark_name(id)) return id;
   }
   return std::nullopt;
+}
+
+BenchmarkId parse_benchmark_or_throw(std::string_view name) {
+  const std::optional<BenchmarkId> id = parse_benchmark(name);
+  if (id.has_value()) return *id;
+  std::string what = "unknown benchmark: ";
+  what.append(name);
+  what += " (valid:";
+  for (BenchmarkId valid : all_benchmarks()) {
+    what += ' ';
+    what += benchmark_name(valid);
+  }
+  what += ')';
+  throw ScrutinyError(what);
 }
 
 const std::vector<BenchmarkId>& all_benchmarks() {

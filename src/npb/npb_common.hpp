@@ -33,8 +33,13 @@ enum class BenchmarkId : std::uint8_t { BT, SP, LU, MG, CG, FT, EP, IS };
   return "?";
 }
 
+/// Case-insensitive benchmark lookup: `bt`, `Bt` and `BT` all resolve.
 [[nodiscard]] std::optional<BenchmarkId> parse_benchmark(
     std::string_view name);
+
+/// parse_benchmark or a ScrutinyError naming the valid inventory
+/// ("unknown benchmark: xy (valid: BT SP LU MG CG FT EP IS)").
+[[nodiscard]] BenchmarkId parse_benchmark_or_throw(std::string_view name);
 
 [[nodiscard]] const std::vector<BenchmarkId>& all_benchmarks();
 

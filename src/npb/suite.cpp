@@ -1,13 +1,7 @@
 #include "npb/suite.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "ad/num_traits.hpp"
-#include "ckpt/checkpoint_io.hpp"
-#include "ckpt/failure.hpp"
-#include "ckpt/registry.hpp"
-#include "core/analyzer.hpp"
+#include "core/program.hpp"
+#include "core/session.hpp"
 #include "npb/bt.hpp"
 #include "npb/cg.hpp"
 #include "npb/ep.hpp"
@@ -21,236 +15,61 @@ namespace scrutiny::npb {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// generic helpers over an app template
-// ---------------------------------------------------------------------------
-
-template <typename T>
-std::vector<double> to_doubles(const std::vector<T>& values) {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (const T& v : values) out.push_back(ad::passive_value(v));
-  return out;
-}
-
-bool all_close(const std::vector<double>& a, const std::vector<double>& b,
-               double tol) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::isnan(a[i]) || std::isnan(b[i])) return false;
-    const double scale = std::max({1.0, std::fabs(a[i]), std::fabs(b[i])});
-    if (std::fabs(a[i] - b[i]) > tol * scale) return false;
-  }
-  return true;
-}
-
-template <template <class> class App>
-std::vector<double> golden_impl() {
-  App<double> app;
-  app.init();
-  for (int s = 0; s < app.total_steps(); ++s) app.step();
-  return to_doubles(app.outputs());
-}
-
-template <template <class> class App>
-StorageComparison storage_impl(const core::AnalysisResult& analysis,
-                               const std::filesystem::path& dir,
-                               int warmup_steps) {
-  App<double> app;
-  app.init();
-  for (int s = 0; s < warmup_steps; ++s) app.step();
-
-  ckpt::CheckpointRegistry registry;
-  app.register_checkpoint(registry);
-  const ckpt::PruneMap masks = analysis.to_prune_map();
-
-  std::filesystem::create_directories(dir);
-  const auto full_path = dir / (std::string(App<double>::kName) + "_full.ckpt");
-  const auto pruned_path =
-      dir / (std::string(App<double>::kName) + "_pruned.ckpt");
-
-  const ckpt::WriteReport full = ckpt::write_checkpoint(
-      full_path, registry, static_cast<std::uint64_t>(warmup_steps));
-  const ckpt::WriteReport pruned = ckpt::write_checkpoint(
-      pruned_path, registry, static_cast<std::uint64_t>(warmup_steps),
-      &masks);
-  ckpt::save_regions_sidecar(pruned_path, registry, masks);
-
-  StorageComparison comparison;
-  comparison.program = App<double>::kName;
-  comparison.payload_full = full.payload_bytes;
-  comparison.payload_pruned = pruned.payload_bytes;
-  comparison.file_full = full.file_bytes;
-  comparison.file_pruned = pruned.file_bytes;
-  comparison.aux_bytes = pruned.aux_bytes;
-  comparison.elements_skipped = pruned.elements_skipped;
-  return comparison;
-}
-
-template <template <class> class App, typename Scalar>
-RestartVerification restart_impl(const core::AnalysisResult& analysis,
-                                 const std::filesystem::path& dir,
-                                 int warmup_steps,
-                                 const std::string& corrupt_variable,
-                                 double tol) {
-  RestartVerification verification;
-  std::filesystem::create_directories(dir);
-  const auto path =
-      dir / (std::string(App<Scalar>::kName) + "_restart.ckpt");
-  const ckpt::PruneMap masks = analysis.to_prune_map();
-
-  // Uninterrupted reference run.
-  {
-    App<Scalar> golden;
-    golden.init();
-    for (int s = 0; s < golden.total_steps(); ++s) golden.step();
-    verification.golden = to_doubles(golden.outputs());
-  }
-
-  // Run to the checkpoint step and persist only critical elements.
-  int total_steps = 0;
-  {
-    App<Scalar> writer;
-    writer.init();
-    for (int s = 0; s < warmup_steps; ++s) writer.step();
-    total_steps = writer.total_steps();
-    ckpt::CheckpointRegistry registry;
-    writer.register_checkpoint(registry);
-    ckpt::write_checkpoint(path, registry,
-                           static_cast<std::uint64_t>(warmup_steps), &masks);
-  }
-
-  // Failure: a fresh process re-initializes, all checkpointed memory is
-  // poisoned, and only critical regions come back from the file.
-  {
-    App<Scalar> restarted;
-    restarted.init();
-    ckpt::CheckpointRegistry registry;
-    restarted.register_checkpoint(registry);
-    ckpt::FailureInjector injector;
-    injector.poison_all(registry);
-    const ckpt::RestoreReport report =
-        ckpt::restore_checkpoint(path, registry);
-    for (int s = static_cast<int>(report.step); s < total_steps; ++s) {
-      restarted.step();
-    }
-    verification.restarted = to_doubles(restarted.outputs());
-    verification.pruned_restart_matches =
-        all_close(verification.golden, verification.restarted, tol);
-  }
-
-  // Negative control: additionally corrupt critical elements — the run
-  // must NOT reproduce the reference outputs.  Some solvers abort outright
-  // on poisoned critical state (e.g. BT's block factorization rejects NaN
-  // pivots); an exception is also a successful detection.
-  try {
-    App<Scalar> corrupted;
-    corrupted.init();
-    ckpt::CheckpointRegistry registry;
-    corrupted.register_checkpoint(registry);
-    ckpt::FailureInjector injector;
-    injector.poison_all(registry);
-    const ckpt::RestoreReport report =
-        ckpt::restore_checkpoint(path, registry);
-    injector.corrupt_critical(registry, masks, corrupt_variable, 16);
-    for (int s = static_cast<int>(report.step); s < total_steps; ++s) {
-      corrupted.step();
-    }
-    verification.corrupted = to_doubles(corrupted.outputs());
-    verification.negative_control_detected =
-        !all_close(verification.golden, verification.corrupted, tol);
-  } catch (const ScrutinyError&) {
-    verification.negative_control_detected = true;
-  }
-  return verification;
-}
-
-/// IS in derivative modes: integers are critical by policy (paper §IV-B).
-core::AnalysisResult analyze_is_policy(const core::AnalysisConfig& cfg) {
-  IsApp<std::int32_t> app;
-  app.init();
-  core::AnalysisResult result;
-  result.program = IsApp<std::int32_t>::kName;
-  result.mode = cfg.mode;
-  for (const auto& bind : app.checkpoint_bindings()) {
-    core::VariableCriticality variable;
-    variable.name = bind.name;
-    variable.shape = bind.shape;
-    variable.element_size = bind.element_size;
-    variable.is_integer = true;
-    variable.mask = CriticalMask(bind.num_elements, true);
-    result.variables.push_back(std::move(variable));
-  }
-  result.num_outputs = app.outputs().size();
-  return result;
+/// Table I placements: checkpoint after two warmup iterations, analyze a
+/// two-step window (FT: one step — a single 3D FFT already records ~24M
+/// statements), tape pre-sizing per app, and the variable the §IV-C
+/// negative control corrupts.
+core::ProgramTraits traits(std::uint64_t tape_reserve,
+                           std::string corrupt_variable,
+                           int window_steps = 2) {
+  core::ProgramTraits t;
+  t.default_warmup_steps = 2;
+  t.default_window_steps = window_steps;
+  t.tape_reserve_statements = tape_reserve;
+  t.replay_sample_stride = 211;
+  t.verify_corrupt_variable = std::move(corrupt_variable);
+  return t;
 }
 
 }  // namespace
 
-// ---------------------------------------------------------------------------
+void register_suite() {
+  static const bool registered = [] {
+    auto& registry = core::ProgramRegistry::global();
+    registry.add(core::make_program<BtApp>({}, traits(10'000'000, "u")));
+    registry.add(core::make_program<SpApp>({}, traits(10'000'000, "u")));
+    registry.add(core::make_program<LuApp>({}, traits(4'000'000, "u")));
+    registry.add(core::make_program<MgApp>({}, traits(6'000'000, "u")));
+    registry.add(core::make_program<CgApp>({}, traits(2'000'000, "x")));
+    registry.add(core::make_program<FtApp>(
+        {}, traits(28'000'000, "y", /*window_steps=*/1)));
+    registry.add(core::make_program<EpApp>({}, traits(200'000, "q")));
+    // IS is integer-scalar: derivative modes resolve to the paper's
+    // critical-by-type policy, ReadSet runs for real on Marked<int32>,
+    // and restarts must match exactly (tolerance 0).
+    core::ProgramTraits is_traits = traits(0, "bucket_ptrs");
+    is_traits.default_mode = core::AnalysisMode::ReadSet;
+    is_traits.verify_tolerance = 0.0;
+    registry.add(
+        core::make_integer_program<IsApp, std::int32_t>({}, is_traits));
+    return true;
+  }();
+  (void)registered;
+}
+
+const core::AnyProgram& benchmark_program(BenchmarkId id) {
+  register_suite();
+  return core::ProgramRegistry::global().get(benchmark_name(id));
+}
 
 core::AnalysisConfig default_analysis_config(BenchmarkId id,
                                              core::AnalysisMode mode) {
-  core::AnalysisConfig cfg;
-  cfg.mode = mode;
-  cfg.warmup_steps = 2;
-  cfg.window_steps = 2;
-  switch (id) {
-    case BenchmarkId::BT:
-    case BenchmarkId::SP:
-      cfg.tape_reserve_statements = 10'000'000;
-      break;
-    case BenchmarkId::LU:
-      cfg.tape_reserve_statements = 4'000'000;
-      break;
-    case BenchmarkId::MG:
-      cfg.tape_reserve_statements = 6'000'000;
-      break;
-    case BenchmarkId::CG:
-      cfg.tape_reserve_statements = 2'000'000;
-      break;
-    case BenchmarkId::FT:
-      cfg.window_steps = 1;  // one 3D FFT window: ~24M statements
-      cfg.tape_reserve_statements = 28'000'000;
-      break;
-    case BenchmarkId::EP:
-      cfg.tape_reserve_statements = 200'000;
-      break;
-    case BenchmarkId::IS:
-      break;
-  }
-  if (mode == core::AnalysisMode::ForwardAD ||
-      mode == core::AnalysisMode::FiniteDiff) {
-    // One rerun (two for FD) per probed element: sample.
-    cfg.sample_stride = 211;
-  }
-  return cfg;
+  return benchmark_program(id).default_config(mode);
 }
 
 core::AnalysisResult analyze_benchmark(BenchmarkId id,
                                        const core::AnalysisConfig& cfg) {
-  switch (id) {
-    case BenchmarkId::BT:
-      return core::analyze_program<BtApp>({}, cfg);
-    case BenchmarkId::SP:
-      return core::analyze_program<SpApp>({}, cfg);
-    case BenchmarkId::LU:
-      return core::analyze_program<LuApp>({}, cfg);
-    case BenchmarkId::MG:
-      return core::analyze_program<MgApp>({}, cfg);
-    case BenchmarkId::CG:
-      return core::analyze_program<CgApp>({}, cfg);
-    case BenchmarkId::FT:
-      return core::analyze_program<FtApp>({}, cfg);
-    case BenchmarkId::EP:
-      return core::analyze_program<EpApp>({}, cfg);
-    case BenchmarkId::IS:
-      if (cfg.mode == core::AnalysisMode::ReadSet) {
-        return core::analyze_read_set<IsApp, std::int32_t>({}, cfg);
-      }
-      return analyze_is_policy(cfg);
-  }
-  throw ScrutinyError("unknown benchmark id");
+  return benchmark_program(id).analyze(cfg);
 }
 
 core::AnalysisResult analyze_benchmark(BenchmarkId id) {
@@ -258,94 +77,23 @@ core::AnalysisResult analyze_benchmark(BenchmarkId id) {
 }
 
 std::vector<double> golden_outputs(BenchmarkId id) {
-  switch (id) {
-    case BenchmarkId::BT: return golden_impl<BtApp>();
-    case BenchmarkId::SP: return golden_impl<SpApp>();
-    case BenchmarkId::LU: return golden_impl<LuApp>();
-    case BenchmarkId::MG: return golden_impl<MgApp>();
-    case BenchmarkId::CG: return golden_impl<CgApp>();
-    case BenchmarkId::FT: return golden_impl<FtApp>();
-    case BenchmarkId::EP: return golden_impl<EpApp>();
-    case BenchmarkId::IS: {
-      IsApp<std::int32_t> app;
-      app.init();
-      for (int s = 0; s < app.total_steps(); ++s) app.step();
-      std::vector<double> out;
-      for (std::int32_t v : app.outputs()) {
-        out.push_back(static_cast<double>(v));
-      }
-      return out;
-    }
-  }
-  throw ScrutinyError("unknown benchmark id");
+  return core::ScrutinySession(benchmark_program(id)).golden_outputs();
 }
 
 StorageComparison compare_checkpoint_storage(
     BenchmarkId id, const core::AnalysisResult& analysis,
     const std::filesystem::path& dir) {
-  const int warmup = default_analysis_config(id).warmup_steps;
-  switch (id) {
-    case BenchmarkId::BT: return storage_impl<BtApp>(analysis, dir, warmup);
-    case BenchmarkId::SP: return storage_impl<SpApp>(analysis, dir, warmup);
-    case BenchmarkId::LU: return storage_impl<LuApp>(analysis, dir, warmup);
-    case BenchmarkId::MG: return storage_impl<MgApp>(analysis, dir, warmup);
-    case BenchmarkId::CG: return storage_impl<CgApp>(analysis, dir, warmup);
-    case BenchmarkId::FT: return storage_impl<FtApp>(analysis, dir, warmup);
-    case BenchmarkId::EP: return storage_impl<EpApp>(analysis, dir, warmup);
-    case BenchmarkId::IS: {
-      // IsApp is templated on the integer scalar, not the float scalar.
-      IsApp<std::int32_t> app;
-      app.init();
-      for (int s = 0; s < warmup; ++s) app.step();
-      ckpt::CheckpointRegistry registry;
-      app.register_checkpoint(registry);
-      const ckpt::PruneMap masks = analysis.to_prune_map();
-      std::filesystem::create_directories(dir);
-      const ckpt::WriteReport full = ckpt::write_checkpoint(
-          dir / "IS_full.ckpt", registry,
-          static_cast<std::uint64_t>(warmup));
-      const ckpt::WriteReport pruned = ckpt::write_checkpoint(
-          dir / "IS_pruned.ckpt", registry,
-          static_cast<std::uint64_t>(warmup), &masks);
-      StorageComparison comparison;
-      comparison.program = "IS";
-      comparison.payload_full = full.payload_bytes;
-      comparison.payload_pruned = pruned.payload_bytes;
-      comparison.file_full = full.file_bytes;
-      comparison.file_pruned = pruned.file_bytes;
-      comparison.aux_bytes = pruned.aux_bytes;
-      comparison.elements_skipped = pruned.elements_skipped;
-      return comparison;
-    }
-  }
-  throw ScrutinyError("unknown benchmark id");
+  core::ScrutinySession session(benchmark_program(id));
+  session.use_analysis(analysis);
+  return session.compare_storage(dir);
 }
 
 RestartVerification verify_restart(BenchmarkId id,
                                    const core::AnalysisResult& analysis,
                                    const std::filesystem::path& dir) {
-  const int warmup = default_analysis_config(id).warmup_steps;
-  constexpr double kTol = 1e-10;
-  switch (id) {
-    case BenchmarkId::BT:
-      return restart_impl<BtApp, double>(analysis, dir, warmup, "u", kTol);
-    case BenchmarkId::SP:
-      return restart_impl<SpApp, double>(analysis, dir, warmup, "u", kTol);
-    case BenchmarkId::LU:
-      return restart_impl<LuApp, double>(analysis, dir, warmup, "u", kTol);
-    case BenchmarkId::MG:
-      return restart_impl<MgApp, double>(analysis, dir, warmup, "u", kTol);
-    case BenchmarkId::CG:
-      return restart_impl<CgApp, double>(analysis, dir, warmup, "x", kTol);
-    case BenchmarkId::FT:
-      return restart_impl<FtApp, double>(analysis, dir, warmup, "y", kTol);
-    case BenchmarkId::EP:
-      return restart_impl<EpApp, double>(analysis, dir, warmup, "q", kTol);
-    case BenchmarkId::IS:
-      return restart_impl<IsApp, std::int32_t>(analysis, dir, warmup,
-                                               "bucket_ptrs", 0.0);
-  }
-  throw ScrutinyError("unknown benchmark id");
+  core::ScrutinySession session(benchmark_program(id));
+  session.use_analysis(analysis);
+  return session.verify_restart(dir);
 }
 
 }  // namespace scrutiny::npb

@@ -1,17 +1,36 @@
 // Suite-level drivers: run the criticality analysis, the checkpoint storage
 // comparison (Table III) and the restart verification protocol (§IV-C) for
 // any benchmark by id.
+//
+// Since the program-registry redesign these are thin wrappers: the eight
+// NPB apps register themselves as type-erased core::AnyProgram entries
+// (register_suite), and every driver below is a registry lookup plus a
+// core::ScrutinySession call — no per-benchmark dispatch lives here.
 #pragma once
 
-#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/analysis_types.hpp"
+#include "core/program.hpp"
+#include "core/session.hpp"
 #include "npb/npb_common.hpp"
 
 namespace scrutiny::npb {
+
+/// Pipeline result types now live with the session; the npb aliases keep
+/// suite-era call sites compiling.
+using StorageComparison = core::StorageComparison;
+using RestartVerification = core::RestartVerification;
+
+/// Registers the eight NPB programs in core::ProgramRegistry::global().
+/// Idempotent; every suite entry point calls it, so linking this library
+/// and touching any of them makes `BT`..`IS` resolvable by name.
+void register_suite();
+
+/// The registry entry for a benchmark (registers the suite on first use).
+[[nodiscard]] const core::AnyProgram& benchmark_program(BenchmarkId id);
 
 /// Default analysis placement per benchmark: checkpoint after two warmup
 /// iterations, analyze the remaining window.  FT uses a single window step
@@ -32,47 +51,9 @@ namespace scrutiny::npb {
 /// Full uninterrupted run; outputs converted to double.
 [[nodiscard]] std::vector<double> golden_outputs(BenchmarkId id);
 
-/// Checkpoint storage with and without uncritical elements (Table III).
-///
-/// The paper's "Storage saved" column is the element-payload reduction (the
-/// auxiliary file is reported separately there) — payload_saving() matches
-/// that metric.  file_saving() additionally charges the container framing
-/// and the embedded region metadata: the honest end-to-end number.
-struct StorageComparison {
-  std::string program;
-  std::uint64_t payload_full = 0;    ///< registered bytes ("Original")
-  std::uint64_t payload_pruned = 0;  ///< critical element bytes ("Optimized")
-  std::uint64_t file_full = 0;       ///< full container size on disk
-  std::uint64_t file_pruned = 0;     ///< pruned container size on disk
-  std::uint64_t aux_bytes = 0;       ///< auxiliary region metadata
-  std::uint64_t elements_skipped = 0;
-
-  [[nodiscard]] double payload_saving() const noexcept {
-    if (payload_full == 0) return 0.0;
-    return 1.0 - static_cast<double>(payload_pruned) /
-                     static_cast<double>(payload_full);
-  }
-  [[nodiscard]] double file_saving() const noexcept {
-    if (file_full == 0) return 0.0;
-    return 1.0 -
-           static_cast<double>(file_pruned) / static_cast<double>(file_full);
-  }
-};
-
 [[nodiscard]] StorageComparison compare_checkpoint_storage(
     BenchmarkId id, const core::AnalysisResult& analysis,
     const std::filesystem::path& dir);
-
-/// §IV-C verification: restart from a pruned checkpoint with every
-/// uncritical element poisoned must reproduce the uninterrupted outputs;
-/// corrupting critical elements instead must be detected.
-struct RestartVerification {
-  bool pruned_restart_matches = false;
-  bool negative_control_detected = false;
-  std::vector<double> golden;
-  std::vector<double> restarted;
-  std::vector<double> corrupted;
-};
 
 [[nodiscard]] RestartVerification verify_restart(
     BenchmarkId id, const core::AnalysisResult& analysis,

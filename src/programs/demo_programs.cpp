@@ -1,0 +1,34 @@
+#include "programs/demo_programs.hpp"
+
+#include "core/program.hpp"
+
+namespace scrutiny::programs {
+
+template class HeatRod<double>;
+template class Heat2d<double>;
+
+void register_demo_programs() {
+  static const bool registered = [] {
+    auto& registry = core::ProgramRegistry::global();
+    {
+      // The quickstart places its checkpoint late (step 10 of 40): the
+      // padded tail is dead from the start, so any window exposes it.
+      core::ProgramTraits traits;
+      traits.default_warmup_steps = 10;
+      traits.default_window_steps = 2;
+      traits.verify_corrupt_variable = "temperature";
+      registry.add(core::make_program<HeatRod>({}, traits));
+    }
+    {
+      core::ProgramTraits traits;
+      traits.default_warmup_steps = 5;
+      traits.default_window_steps = 2;
+      traits.verify_corrupt_variable = "grid";
+      registry.add(core::make_program<Heat2d>({}, traits));
+    }
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace scrutiny::programs

@@ -1,0 +1,18 @@
+// Registration of the demo (non-NPB) programs.
+//
+// These are the README's example simulations, registered through exactly
+// the same make_program<App>() path a user application would call — they
+// prove (and test) that the registry, the session pipeline and the CLI
+// work on programs the NPB suite has never heard of.
+#pragma once
+
+#include "programs/heat2d.hpp"
+#include "programs/heat_rod.hpp"
+
+namespace scrutiny::programs {
+
+/// Registers HeatRod and Heat2d in core::ProgramRegistry::global().
+/// Idempotent.
+void register_demo_programs();
+
+}  // namespace scrutiny::programs

@@ -1,0 +1,103 @@
+// HeatRod — the quickstart's user-defined simulation, promoted to a
+// reusable registry program.
+//
+// A 1D heat rod whose developer over-allocated the state array (a padded
+// tail that no loop ever touches).  Scrutiny finds the dead elements with
+// reverse-mode AD; a pruned checkpoint drops them, and a restart from that
+// checkpoint reproduces the uninterrupted run even with the dead elements
+// poisoned.  The class conforms to the App<T> concept (core/analyzer.hpp),
+// so it instantiates for double, ad::Real, ad::Dual and ad::Marked<double>.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "core/var_bind.hpp"
+
+namespace scrutiny::programs {
+
+struct HeatRodConfig {
+  int cells = 96;      ///< active cells
+  int padding = 32;    ///< the "imperfect coding": allocated, never used
+  double alpha = 0.2;  ///< diffusion number
+  int steps = 40;      ///< uninterrupted run length
+};
+
+template <typename T>
+class HeatRod {
+ public:
+  using Config = HeatRodConfig;
+  static constexpr const char* kName = "HeatRod";
+
+  explicit HeatRod(const Config& config = {}) : cfg_(config) {}
+
+  void init() {
+    step_ = 0;
+    temperature_.assign(
+        static_cast<std::size_t>(cfg_.cells + cfg_.padding), T(0));
+    for (int i = 0; i < cfg_.cells + cfg_.padding; ++i) {
+      temperature_[static_cast<std::size_t>(i)] =
+          T(std::sin(0.2 * i) + 2.0);
+    }
+  }
+
+  void step() {
+    // Explicit diffusion over the ACTIVE cells only.  temperature_ keeps a
+    // stable address: long-lived CheckpointRegistry spans may view it.
+    scratch_.assign(temperature_.begin(), temperature_.end());
+    for (int i = 1; i + 1 < cfg_.cells; ++i) {
+      const auto c = static_cast<std::size_t>(i);
+      scratch_[c] = temperature_[c] +
+                    cfg_.alpha * (temperature_[c - 1] -
+                                  2.0 * temperature_[c] +
+                                  temperature_[c + 1]);
+    }
+    std::copy(scratch_.begin(), scratch_.end(), temperature_.begin());
+    ++step_;
+  }
+
+  std::vector<T> outputs() {
+    T total = T(0);
+    for (int i = 0; i < cfg_.cells; ++i) {
+      total += temperature_[static_cast<std::size_t>(i)];
+    }
+    return {total};
+  }
+
+  std::vector<core::VarBind<T>> checkpoint_bindings() {
+    std::vector<core::VarBind<T>> binds;
+    binds.push_back(core::bind_array<T>(
+        "temperature",
+        std::span<T>(temperature_.data(), temperature_.size())));
+    binds.push_back(core::bind_integer<T>("step", 1));
+    return binds;
+  }
+
+  void register_checkpoint(ckpt::CheckpointRegistry& registry)
+    requires std::same_as<T, double>
+  {
+    registry.register_f64("temperature",
+                          std::span<double>(temperature_.data(),
+                                            temperature_.size()));
+    registry.register_scalar("step", step_);
+  }
+
+  [[nodiscard]] int total_steps() const { return cfg_.steps; }
+  [[nodiscard]] int current_step() const { return step_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::int32_t step_ = 0;
+  std::vector<T> temperature_;
+  std::vector<T> scratch_;  ///< work buffer; never checkpointed
+};
+
+extern template class HeatRod<double>;
+
+}  // namespace scrutiny::programs

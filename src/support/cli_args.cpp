@@ -29,6 +29,28 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
   }
 }
 
+void CliArgs::require_known(
+    std::initializer_list<std::string_view> known) const {
+  for (const auto& [key, value] : options_) {
+    bool recognized = false;
+    for (std::string_view candidate : known) {
+      if (key == candidate) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) {
+      std::string what = "unknown option --" + key + " (valid:";
+      for (std::string_view candidate : known) {
+        what += " --";
+        what += candidate;
+      }
+      what += ')';
+      throw ScrutinyError(what);
+    }
+  }
+}
+
 bool CliArgs::has(const std::string& key) const {
   return options_.count(key) != 0;
 }

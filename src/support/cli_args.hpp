@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace scrutiny {
@@ -12,6 +14,11 @@ namespace scrutiny {
 class CliArgs {
  public:
   CliArgs(int argc, const char* const* argv);
+
+  /// Rejects any parsed `--option` whose key is not in `known`: throws a
+  /// ScrutinyError naming the offending flag and the valid inventory.  A
+  /// typo'd or unsupported flag must fail loudly, never be dropped.
+  void require_known(std::initializer_list<std::string_view> known) const;
 
   [[nodiscard]] bool has(const std::string& key) const;
 

@@ -1,0 +1,175 @@
+// End-to-end CLI pipeline tests over the real `scrutiny` binary: registry
+// listing, unknown-flag rejection, analysis flags on every subcommand, and
+// the .scmask reuse contract — `analyze BT --save-masks` then
+// `verify BT --masks` must skip the sweep (zero analysis seconds).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#ifndef SCRUTINY_CLI_PATH
+#error "SCRUTINY_CLI_PATH must be defined by the build system"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+RunResult run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(SCRUTINY_CLI_PATH) + " " + arguments + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+#if defined(_WIN32)
+  result.exit_code = status;
+#else
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+  return result;
+}
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(CliPipeline, ListShowsNpbAndDemoPrograms) {
+  const RunResult result = run_cli("list");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("BT"), std::string::npos);
+  EXPECT_NE(result.output.find("IS"), std::string::npos);
+  // Non-NPB registry programs appear in the same inventory.
+  EXPECT_NE(result.output.find("HeatRod"), std::string::npos);
+  EXPECT_NE(result.output.find("Heat2d"), std::string::npos);
+}
+
+TEST(CliPipeline, ProgramNamesAreCaseInsensitive) {
+  EXPECT_EQ(run_cli("analyze ep >/dev/null").exit_code, 0);
+  EXPECT_EQ(run_cli("analyze Ep >/dev/null").exit_code, 0);
+  EXPECT_EQ(run_cli("analyze heatrod >/dev/null").exit_code, 0);
+}
+
+TEST(CliPipeline, UnknownProgramNamesInventory) {
+  const RunResult result = run_cli("analyze ZZ");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown program: ZZ"), std::string::npos);
+  EXPECT_NE(result.output.find("BT"), std::string::npos);
+  EXPECT_NE(result.output.find("HeatRod"), std::string::npos);
+}
+
+TEST(CliPipeline, UnknownFlagIsRejectedWithInventory) {
+  const RunResult result = run_cli("analyze EP --bogus 3");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown option --bogus"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("--sweep"), std::string::npos);
+}
+
+TEST(CliPipeline, StorageHonorsAnalysisFlags) {
+  // --mode/--window configure the analysis the subcommand runs; a bad
+  // value must fail, a good one must run.
+  EXPECT_NE(run_cli("storage EP --mode no-such-mode").exit_code, 0);
+  const auto dir = temp_file("scrutiny_cli_storage_dir");
+  const RunResult result = run_cli("storage EP --mode read-set --window 1 "
+                                   "--dir " + dir.string());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("analysis seconds:"), std::string::npos);
+  EXPECT_NE(result.output.find("(read-set)"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliPipeline, VerifyRejectsMasksPlusAnalysisFlags) {
+  const RunResult result =
+      run_cli("verify EP --masks whatever.scmask --window 3");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("conflicts with --masks"),
+            std::string::npos);
+}
+
+TEST(CliPipeline, MasksRoundTripOnDemoProgram) {
+  const auto masks = temp_file("scrutiny_cli_heatrod.scmask");
+  const auto dir = temp_file("scrutiny_cli_heatrod_dir");
+  std::filesystem::remove(masks);
+
+  const RunResult analyze =
+      run_cli("analyze HeatRod --save-masks " + masks.string());
+  EXPECT_EQ(analyze.exit_code, 0);
+  EXPECT_NE(analyze.output.find("masks saved:"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(masks));
+
+  const RunResult storage = run_cli("storage HeatRod --masks " +
+                                    masks.string() + " --dir " +
+                                    dir.string());
+  EXPECT_EQ(storage.exit_code, 0);
+  EXPECT_NE(storage.output.find("analysis seconds: 0.000"),
+            std::string::npos);
+
+  // An artifact from one program must not drive another.
+  const RunResult mismatch =
+      run_cli("verify EP --masks " + masks.string());
+  EXPECT_NE(mismatch.exit_code, 0);
+  EXPECT_NE(mismatch.output.find("was produced for program HeatRod"),
+            std::string::npos);
+
+  std::filesystem::remove(masks);
+  std::filesystem::remove_all(dir);
+}
+
+// The acceptance pipeline on a real NPB benchmark: analyze BT once with
+// --save-masks, then verify BT from the artifact without re-running the
+// analysis (the reused path must report exactly zero analysis seconds).
+TEST(CliPipelineSlow, BtVerifyReusesSavedMasksWithZeroAnalysisSeconds) {
+  const auto masks = temp_file("scrutiny_cli_bt.scmask");
+  const auto dir = temp_file("scrutiny_cli_bt_dir");
+  std::filesystem::remove(masks);
+
+  const RunResult analyze =
+      run_cli("analyze BT --save-masks " + masks.string());
+  EXPECT_EQ(analyze.exit_code, 0);
+  ASSERT_TRUE(std::filesystem::exists(masks));
+
+  const RunResult verify = run_cli("verify BT --masks " + masks.string() +
+                                   " --dir " + dir.string());
+  EXPECT_EQ(verify.exit_code, 0);
+  EXPECT_NE(verify.output.find("analysis seconds: 0.000 (masks loaded"),
+            std::string::npos)
+      << verify.output;
+  EXPECT_NE(verify.output.find(
+                "pruned restart matches uninterrupted run: YES"),
+            std::string::npos)
+      << verify.output;
+  EXPECT_NE(verify.output.find("critical-corruption detected:             "
+                               "YES"),
+            std::string::npos)
+      << verify.output;
+
+  std::filesystem::remove(masks);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliPipelineSlow, VizRunsFromSavedMasks) {
+  const auto masks = temp_file("scrutiny_cli_viz.scmask");
+  const auto out = temp_file("scrutiny_cli_viz.ppm");
+  const RunResult analyze =
+      run_cli("analyze CG --save-masks " + masks.string());
+  EXPECT_EQ(analyze.exit_code, 0);
+  const RunResult viz = run_cli("viz CG x --masks " + masks.string() +
+                                " --out " + out.string());
+  EXPECT_EQ(viz.exit_code, 0);
+  EXPECT_NE(viz.output.find("analysis seconds: 0.000"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(out));
+  std::filesystem::remove(masks);
+  std::filesystem::remove(out);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// The .scmask artifact format: faithful round-trips and loud rejection of
+// every malformed-file class (wrong magic, bad version, truncation, bit
+// corruption, trailing garbage) — never UB, always ScrutinyError.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/analysis_io.hpp"
+#include "core/analyzer.hpp"
+#include "support/error.hpp"
+#include "synthetic_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+using testprog::EvenSum;
+using testprog::KnownImpacts;
+
+class AnalysisIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs each case as its own process, in
+    // parallel — a shared directory would race on remove_all.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("scrutiny_analysis_io_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::filesystem::path path(const char* name) const {
+    return dir_ / name;
+  }
+
+  static std::vector<char> read_file(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void write_file(const std::filesystem::path& p,
+                         const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+AnalysisArtifact make_artifact() {
+  AnalysisConfig cfg;
+  cfg.window_steps = 1;
+  cfg.warmup_steps = 2;
+  cfg.threshold = 0.0;
+  return {cfg, analyze_program<EvenSum>({}, cfg)};
+}
+
+TEST_F(AnalysisIoTest, RoundTripPreservesEveryField) {
+  const AnalysisArtifact original = make_artifact();
+  const auto file = path("even.scmask");
+  save_analysis(file, original.config, original.result);
+
+  const AnalysisArtifact loaded = load_analysis(file);
+  EXPECT_EQ(loaded.config.mode, original.config.mode);
+  EXPECT_EQ(loaded.config.warmup_steps, original.config.warmup_steps);
+  EXPECT_EQ(loaded.config.window_steps, original.config.window_steps);
+  EXPECT_EQ(loaded.config.threshold, original.config.threshold);
+  EXPECT_EQ(loaded.config.sample_stride, original.config.sample_stride);
+
+  const AnalysisResult& a = original.result;
+  const AnalysisResult& b = loaded.result;
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.sweep, b.sweep);
+  EXPECT_EQ(a.num_outputs, b.num_outputs);
+  EXPECT_EQ(a.tape_stats.num_statements, b.tape_stats.num_statements);
+  EXPECT_EQ(a.tape_stats.num_inputs, b.tape_stats.num_inputs);
+  EXPECT_DOUBLE_EQ(a.record_seconds, b.record_seconds);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.sweep_passes, b.sweep_passes);
+  ASSERT_EQ(a.variables.size(), b.variables.size());
+  for (std::size_t v = 0; v < a.variables.size(); ++v) {
+    EXPECT_EQ(a.variables[v].name, b.variables[v].name);
+    EXPECT_EQ(a.variables[v].shape, b.variables[v].shape);
+    EXPECT_EQ(a.variables[v].element_size, b.variables[v].element_size);
+    EXPECT_EQ(a.variables[v].is_integer, b.variables[v].is_integer);
+    EXPECT_TRUE(a.variables[v].mask == b.variables[v].mask);
+    EXPECT_EQ(a.variables[v].impact, b.variables[v].impact);
+  }
+}
+
+TEST_F(AnalysisIoTest, RoundTripPreservesImpactVectors) {
+  AnalysisConfig cfg;
+  cfg.window_steps = 1;
+  cfg.capture_impact = true;
+  const AnalysisResult original = analyze_program<KnownImpacts>({}, cfg);
+  ASSERT_FALSE(original.variables[0].impact.empty());
+
+  const auto file = path("impact.scmask");
+  save_analysis(file, cfg, original);
+  const AnalysisArtifact loaded = load_analysis(file);
+  EXPECT_TRUE(loaded.config.capture_impact);
+  EXPECT_EQ(loaded.result.variables[0].impact,
+            original.variables[0].impact);
+}
+
+TEST_F(AnalysisIoTest, RejectsWrongMagic) {
+  const AnalysisArtifact artifact = make_artifact();
+  const auto file = path("magic.scmask");
+  save_analysis(file, artifact.config, artifact.result);
+  std::vector<char> bytes = read_file(file);
+  bytes[0] ^= 0x5a;
+  write_file(file, bytes);
+  EXPECT_THROW((void)load_analysis(file), ScrutinyError);
+}
+
+TEST_F(AnalysisIoTest, RejectsUnsupportedVersion) {
+  const AnalysisArtifact artifact = make_artifact();
+  const auto file = path("version.scmask");
+  save_analysis(file, artifact.config, artifact.result);
+  std::vector<char> bytes = read_file(file);
+  bytes[8] = 99;  // version field follows the u64 magic
+  write_file(file, bytes);
+  try {
+    (void)load_analysis(file);
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"),
+              std::string::npos);
+  }
+}
+
+TEST_F(AnalysisIoTest, RejectsTruncation) {
+  const AnalysisArtifact artifact = make_artifact();
+  const auto file = path("trunc.scmask");
+  save_analysis(file, artifact.config, artifact.result);
+  std::vector<char> bytes = read_file(file);
+  // Every truncation point must fail cleanly, including mid-header.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{13},
+        std::size_t{4}}) {
+    std::vector<char> cut(bytes.begin(),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    write_file(file, cut);
+    EXPECT_THROW((void)load_analysis(file), ScrutinyError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(AnalysisIoTest, RejectsBitCorruptionViaCrc) {
+  const AnalysisArtifact artifact = make_artifact();
+  const auto file = path("crc.scmask");
+  save_analysis(file, artifact.config, artifact.result);
+  const std::vector<char> bytes = read_file(file);
+  // Flip one bit in the payload region (past the header, before the CRC).
+  std::vector<char> corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x01;
+  write_file(file, corrupt);
+  EXPECT_THROW((void)load_analysis(file), ScrutinyError);
+}
+
+TEST_F(AnalysisIoTest, RejectsTrailingGarbage) {
+  const AnalysisArtifact artifact = make_artifact();
+  const auto file = path("tail.scmask");
+  save_analysis(file, artifact.config, artifact.result);
+  std::vector<char> bytes = read_file(file);
+  bytes.push_back('x');
+  write_file(file, bytes);
+  EXPECT_THROW((void)load_analysis(file), ScrutinyError);
+}
+
+TEST_F(AnalysisIoTest, RejectsMissingFile) {
+  EXPECT_THROW((void)load_analysis(path("does_not_exist.scmask")),
+               ScrutinyError);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

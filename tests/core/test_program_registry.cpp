@@ -1,0 +1,160 @@
+// The type-erased program layer: AnyProgram must reproduce the template
+// analyzers exactly, and ProgramRegistry must behave like a real registry
+// (runtime registration, case-insensitive lookup, loud failures).
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/program.hpp"
+#include "support/error.hpp"
+#include "synthetic_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+using testprog::EvenSum;
+
+void expect_same_masks(const AnalysisResult& a, const AnalysisResult& b) {
+  ASSERT_EQ(a.variables.size(), b.variables.size());
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.num_outputs, b.num_outputs);
+  for (std::size_t v = 0; v < a.variables.size(); ++v) {
+    EXPECT_EQ(a.variables[v].name, b.variables[v].name);
+    EXPECT_TRUE(a.variables[v].mask == b.variables[v].mask)
+        << "mask mismatch for " << a.variables[v].name;
+  }
+}
+
+TEST(AnyProgram, ReproducesTemplateAnalyzerInEveryMode) {
+  const AnyProgram program = make_program<EvenSum>();
+  for (const AnalysisMode mode :
+       {AnalysisMode::ReverseAD, AnalysisMode::ForwardAD,
+        AnalysisMode::ReadSet, AnalysisMode::FiniteDiff}) {
+    AnalysisConfig cfg;
+    cfg.mode = mode;
+    cfg.window_steps = 1;
+    expect_same_masks(program.analyze(cfg),
+                      analyze_program<EvenSum>({}, cfg));
+  }
+}
+
+TEST(AnyProgram, EvenSumMasksAreCorrectThroughErasure) {
+  const AnyProgram program = make_program<EvenSum>();
+  AnalysisConfig cfg;
+  cfg.window_steps = 1;
+  const AnalysisResult result = program.analyze(cfg);
+  ASSERT_EQ(result.variables.size(), 1u);
+  const CriticalMask& mask = result.variables[0].mask;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_EQ(mask.test(i), i % 2 == 0) << "element " << i;
+  }
+}
+
+TEST(AnyProgram, PrimalInstanceRunsAndDescribesBindings) {
+  const AnyProgram program = make_program<EvenSum>();
+  const auto app = program.make_primal();
+  app->init();
+  app->step();
+  const std::vector<BindingInfo> infos = app->binding_info();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "x");
+  EXPECT_EQ(infos[0].num_elements, EvenSum<double>::kSize);
+  EXPECT_FALSE(infos[0].is_integer);
+  EXPECT_EQ(app->outputs().size(), 1u);
+}
+
+TEST(AnyProgram, DefaultConfigFollowsTraits) {
+  ProgramTraits traits;
+  traits.default_warmup_steps = 7;
+  traits.default_window_steps = 3;
+  traits.tape_reserve_statements = 1234;
+  traits.replay_sample_stride = 17;
+  const AnyProgram program = make_program<EvenSum>({}, traits);
+
+  const AnalysisConfig reverse =
+      program.default_config(AnalysisMode::ReverseAD);
+  EXPECT_EQ(reverse.warmup_steps, 7);
+  EXPECT_EQ(reverse.window_steps, 3);
+  EXPECT_EQ(reverse.tape_reserve_statements, 1234u);
+  EXPECT_EQ(reverse.sample_stride, 1u);  // no sampling for one recording
+
+  const AnalysisConfig forward =
+      program.default_config(AnalysisMode::ForwardAD);
+  EXPECT_EQ(forward.sample_stride, 17u);
+}
+
+TEST(ProgramRegistry, RegistersAndFindsCaseInsensitively) {
+  ProgramRegistry registry;
+  registry.add(make_program<EvenSum>());
+  EXPECT_TRUE(registry.contains("EvenSum"));
+  EXPECT_TRUE(registry.contains("evensum"));
+  EXPECT_TRUE(registry.contains("EVENSUM"));
+  EXPECT_FALSE(registry.contains("OddSum"));
+  EXPECT_EQ(registry.find("evensum"), registry.find("EvenSum"));
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"EvenSum"});
+}
+
+TEST(ProgramRegistry, CustomNameAndConfigAtRuntime) {
+  // A user registers the same template twice under different names with
+  // different configs — the registry treats them as distinct programs.
+  ProgramRegistry registry;
+  registry.add(make_program<EvenSum>({}, {}, "EvenSumA"));
+  registry.add(make_program<EvenSum>({}, {}, "EvenSumB"));
+  EXPECT_EQ(registry.size(), 2u);
+  AnalysisConfig cfg;
+  cfg.window_steps = 1;
+  EXPECT_EQ(registry.get("EvenSumB").analyze(cfg).program, "EvenSumB");
+}
+
+TEST(ProgramRegistry, RejectsDuplicatesIncludingCaseVariants) {
+  ProgramRegistry registry;
+  registry.add(make_program<EvenSum>());
+  EXPECT_THROW(registry.add(make_program<EvenSum>()), ScrutinyError);
+  EXPECT_THROW(registry.add(make_program<EvenSum>({}, {}, "EVENSUM")),
+               ScrutinyError);
+}
+
+TEST(ProgramRegistry, GetNamesInventoryOnMiss) {
+  ProgramRegistry registry;
+  registry.add(make_program<EvenSum>());
+  try {
+    (void)registry.get("nope");
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    EXPECT_NE(what.find("EvenSum"), std::string::npos);
+  }
+}
+
+TEST(ProgramRegistry, ReferencesStayValidAcrossLaterRegistrations) {
+  // A session may hold get()'s reference while other code keeps
+  // registering; entries must have stable addresses.
+  ProgramRegistry registry;
+  registry.add(make_program<EvenSum>({}, {}, "P0"));
+  const AnyProgram& first = registry.get("P0");
+  for (int i = 1; i <= 32; ++i) {
+    registry.add(make_program<EvenSum>({}, {}, "P" + std::to_string(i)));
+  }
+  EXPECT_EQ(&first, registry.find("P0"));
+  AnalysisConfig cfg;
+  cfg.window_steps = 1;
+  EXPECT_EQ(first.analyze(cfg).program, "P0");
+}
+
+TEST(AnyProgram, PipelineWithoutTotalStepsFailsLoudly) {
+  // EvenSum is analysis-only (no total_steps): analyses work, but a
+  // pipeline leg needing the run length must throw, never run a vacuous
+  // zero-step "verification".
+  const AnyProgram program = make_program<EvenSum>();
+  const auto primal = program.make_primal();
+  primal->init();
+  EXPECT_THROW((void)primal->total_steps(), ScrutinyError);
+}
+
+TEST(ProgramRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&ProgramRegistry::global(), &ProgramRegistry::global());
+}
+
+}  // namespace
+}  // namespace scrutiny::core

@@ -1,0 +1,152 @@
+// ScrutinySession: the analyze → plan → write → restart → verify pipeline
+// over a registered demo program, plus the .scmask persistence contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/analysis_io.hpp"
+#include "core/program.hpp"
+#include "core/session.hpp"
+#include "programs/demo_programs.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+std::filesystem::path temp_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("scrutiny_session_test_") + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+const AnyProgram& heat_rod() {
+  programs::register_demo_programs();
+  return ProgramRegistry::global().get("HeatRod");
+}
+
+TEST(Session, RequiresAnalysisBeforePipelineLegs) {
+  ScrutinySession session(heat_rod());
+  EXPECT_FALSE(session.has_analysis());
+  EXPECT_THROW((void)session.analysis(), ScrutinyError);
+  EXPECT_THROW((void)session.plan(), ScrutinyError);
+  EXPECT_THROW(session.save_analysis("/tmp/never_written.scmask"),
+               ScrutinyError);
+}
+
+TEST(Session, AnalyzeCachesAndPlanMatchesMasks) {
+  ScrutinySession session(heat_rod());
+  const AnalysisResult& analysis = session.analyze();
+  EXPECT_TRUE(session.has_analysis());
+  EXPECT_FALSE(session.analysis_was_loaded());
+
+  const CheckpointPlan plan = session.plan();
+  EXPECT_EQ(plan.program, "HeatRod");
+  ASSERT_EQ(plan.variables.size(), analysis.variables.size());
+  std::uint64_t expected_full = 0;
+  std::uint64_t expected_pruned = 0;
+  for (std::size_t v = 0; v < plan.variables.size(); ++v) {
+    const VariableCriticality& variable = analysis.variables[v];
+    EXPECT_EQ(plan.variables[v].name, variable.name);
+    EXPECT_EQ(plan.variables[v].total_elements, variable.total_elements());
+    EXPECT_EQ(plan.variables[v].critical_elements,
+              variable.mask.count_critical());
+    expected_full += variable.total_elements() * variable.element_size;
+    expected_pruned +=
+        variable.mask.count_critical() * variable.element_size;
+  }
+  EXPECT_EQ(plan.full_payload_bytes, expected_full);
+  EXPECT_EQ(plan.pruned_payload_bytes, expected_pruned);
+  // The padded tail is dead: the plan must actually save something.
+  EXPECT_GT(plan.payload_saving(), 0.0);
+  EXPECT_EQ(plan.prune_map.size(), analysis.variables.size());
+}
+
+TEST(Session, WriteRestartReproducesGoldenOutputs) {
+  const auto dir = temp_dir("write_restart");
+  ScrutinySession session(heat_rod());
+  session.analyze();
+  const ckpt::WriteReport report =
+      session.write_checkpoint(dir / "rod.ckpt");
+  EXPECT_GT(report.elements_skipped, 0u);  // the dead padding was dropped
+
+  const std::vector<double> golden = session.golden_outputs();
+  const std::vector<double> restarted = session.restart(dir / "rod.ckpt");
+  ASSERT_EQ(golden.size(), restarted.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(golden[i], restarted[i], 1e-12 * std::abs(golden[i]));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, VerifyRestartProtocolPasses) {
+  const auto dir = temp_dir("verify");
+  ScrutinySession session(heat_rod());
+  session.analyze();
+  const RestartVerification verification = session.verify_restart(dir);
+  EXPECT_TRUE(verification.pruned_restart_matches);
+  EXPECT_TRUE(verification.negative_control_detected);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, CompareStorageDropsUncriticalPayload) {
+  const auto dir = temp_dir("storage");
+  ScrutinySession session(heat_rod());
+  session.analyze();
+  const StorageComparison comparison = session.compare_storage(dir);
+  EXPECT_EQ(comparison.program, "HeatRod");
+  EXPECT_LT(comparison.payload_pruned, comparison.payload_full);
+  EXPECT_GT(comparison.payload_saving(), 0.0);
+  EXPECT_GT(comparison.elements_skipped, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, SaveLoadRoundTripThroughArtifact) {
+  const auto dir = temp_dir("artifact");
+  const auto path = dir / "rod.scmask";
+
+  ScrutinySession producer(heat_rod());
+  const AnalysisResult& original = producer.analyze();
+  producer.save_analysis(path);
+
+  ScrutinySession consumer(heat_rod());
+  const AnalysisResult& loaded = consumer.load_analysis(path);
+  EXPECT_TRUE(consumer.analysis_was_loaded());
+  EXPECT_EQ(loaded.program, original.program);
+  ASSERT_EQ(loaded.variables.size(), original.variables.size());
+  for (std::size_t v = 0; v < loaded.variables.size(); ++v) {
+    EXPECT_TRUE(loaded.variables[v].mask == original.variables[v].mask);
+  }
+  // The loaded analysis drives the pipeline identically (same placement).
+  EXPECT_EQ(consumer.analysis_config().warmup_steps,
+            producer.analysis_config().warmup_steps);
+  const RestartVerification verification =
+      consumer.verify_restart(dir / "ckpt");
+  EXPECT_TRUE(verification.pruned_restart_matches);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, LoadRejectsArtifactFromOtherProgram) {
+  const auto dir = temp_dir("mismatch");
+  const auto path = dir / "rod.scmask";
+  ScrutinySession producer(heat_rod());
+  producer.analyze();
+  producer.save_analysis(path);
+
+  ScrutinySession other(ProgramRegistry::global().get("Heat2d"));
+  EXPECT_THROW(other.load_analysis(path), ScrutinyError);
+  EXPECT_FALSE(other.has_analysis());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, OpenResolvesRegistryNamesCaseInsensitively) {
+  programs::register_demo_programs();
+  const ScrutinySession session = ScrutinySession::open("heatrod");
+  EXPECT_EQ(session.program().name(), "HeatRod");
+  EXPECT_THROW(ScrutinySession::open("no-such-program"), ScrutinyError);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

@@ -190,9 +190,38 @@ TEST(AppsBasic, IsRegistryMatchesBindings) {
 TEST(AppsBasic, BenchmarkNameParsing) {
   EXPECT_EQ(parse_benchmark("BT"), BenchmarkId::BT);
   EXPECT_EQ(parse_benchmark("bt"), BenchmarkId::BT);
+  EXPECT_EQ(parse_benchmark("Bt"), BenchmarkId::BT);
+  EXPECT_EQ(parse_benchmark("bT"), BenchmarkId::BT);
   EXPECT_EQ(parse_benchmark("Mg"), BenchmarkId::MG);
+  EXPECT_EQ(parse_benchmark("is"), BenchmarkId::IS);
   EXPECT_FALSE(parse_benchmark("XX").has_value());
+  EXPECT_FALSE(parse_benchmark("").has_value());
   EXPECT_EQ(all_benchmarks().size(), 8u);
+}
+
+TEST(AppsBasic, BenchmarkParseThrowNamesInventory) {
+  EXPECT_EQ(parse_benchmark_or_throw("lu"), BenchmarkId::LU);
+  try {
+    (void)parse_benchmark_or_throw("xy");
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown benchmark: xy"), std::string::npos);
+    for (BenchmarkId id : all_benchmarks()) {
+      EXPECT_NE(what.find(benchmark_name(id)), std::string::npos);
+    }
+  }
+}
+
+TEST(AppsBasic, SuiteProgramsAreRegistered) {
+  register_suite();
+  auto& registry = core::ProgramRegistry::global();
+  for (BenchmarkId id : all_benchmarks()) {
+    EXPECT_TRUE(registry.contains(benchmark_name(id)))
+        << benchmark_name(id);
+  }
+  EXPECT_FALSE(benchmark_program(BenchmarkId::IS).supports_derivatives());
+  EXPECT_TRUE(benchmark_program(BenchmarkId::BT).supports_derivatives());
 }
 
 TEST(AppsBasic, GoldenOutputsAvailableForAllBenchmarks) {

@@ -1,0 +1,83 @@
+// .scmask save/load round-trips over the full NPB suite: the loaded
+// artifact must equal the in-memory AnalysisResult element-for-element on
+// every benchmark (including IS's ReadSet path and policy path).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/analysis_io.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+class ArtifactRoundTrip : public ::testing::TestWithParam<BenchmarkId> {};
+
+void expect_results_equal(const core::AnalysisResult& a,
+                          const core::AnalysisResult& b) {
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.sweep, b.sweep);
+  EXPECT_EQ(a.num_outputs, b.num_outputs);
+  EXPECT_EQ(a.tape_stats.num_statements, b.tape_stats.num_statements);
+  EXPECT_EQ(a.tape_stats.num_arguments, b.tape_stats.num_arguments);
+  EXPECT_EQ(a.tape_stats.num_inputs, b.tape_stats.num_inputs);
+  EXPECT_EQ(a.tape_stats.memory_bytes, b.tape_stats.memory_bytes);
+  EXPECT_DOUBLE_EQ(a.record_seconds, b.record_seconds);
+  EXPECT_DOUBLE_EQ(a.sweep_seconds, b.sweep_seconds);
+  EXPECT_DOUBLE_EQ(a.harvest_seconds, b.harvest_seconds);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.sweep_passes, b.sweep_passes);
+  ASSERT_EQ(a.variables.size(), b.variables.size());
+  for (std::size_t v = 0; v < a.variables.size(); ++v) {
+    SCOPED_TRACE(a.variables[v].name);
+    EXPECT_EQ(a.variables[v].name, b.variables[v].name);
+    EXPECT_EQ(a.variables[v].shape, b.variables[v].shape);
+    EXPECT_EQ(a.variables[v].element_size, b.variables[v].element_size);
+    EXPECT_EQ(a.variables[v].is_integer, b.variables[v].is_integer);
+    EXPECT_TRUE(a.variables[v].mask == b.variables[v].mask);
+    EXPECT_EQ(a.variables[v].impact, b.variables[v].impact);
+  }
+}
+
+TEST_P(ArtifactRoundTrip, SaveLoadEqualsInMemoryResult) {
+  const BenchmarkId id = GetParam();
+  // The suite's production defaults: ReverseAD everywhere, ReadSet for the
+  // integer-only IS (what `scrutiny analyze` runs with no flags).
+  const core::AnalysisConfig cfg = default_analysis_config(
+      id, benchmark_program(id).traits().default_mode);
+  const core::AnalysisResult result = analyze_benchmark(id, cfg);
+
+  const auto file = std::filesystem::temp_directory_path() /
+                    (std::string("scrutiny_roundtrip_") +
+                     benchmark_name(id) + ".scmask");
+  core::save_analysis(file, cfg, result);
+  const core::AnalysisArtifact loaded = core::load_analysis(file);
+  expect_results_equal(result, loaded.result);
+  EXPECT_EQ(loaded.config.warmup_steps, cfg.warmup_steps);
+  EXPECT_EQ(loaded.config.window_steps, cfg.window_steps);
+  std::filesystem::remove(file);
+}
+
+TEST(ArtifactRoundTripPolicy, IsCriticalByTypePathRoundTrips) {
+  // IS under a derivative mode: the critical-by-type policy result (no
+  // tape, all-critical integer masks) must survive the artifact too.
+  const core::AnalysisConfig cfg =
+      default_analysis_config(BenchmarkId::IS, core::AnalysisMode::ReverseAD);
+  const core::AnalysisResult result =
+      analyze_benchmark(BenchmarkId::IS, cfg);
+  const auto file = std::filesystem::temp_directory_path() /
+                    "scrutiny_roundtrip_is_policy.scmask";
+  core::save_analysis(file, cfg, result);
+  expect_results_equal(result, core::load_analysis(file).result);
+  std::filesystem::remove(file);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ArtifactRoundTrip, ::testing::ValuesIn(all_benchmarks()),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+}  // namespace
+}  // namespace scrutiny::npb

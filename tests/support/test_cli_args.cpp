@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 namespace scrutiny {
 namespace {
 
@@ -60,6 +62,29 @@ TEST(CliArgs, MixedPositionalAndOptions) {
 TEST(CliArgs, LastOptionWinsOnRepeat) {
   const CliArgs args = make({"prog", "--mode=a", "--mode=b"});
   EXPECT_EQ(args.get("mode", ""), "b");
+}
+
+TEST(CliArgs, RequireKnownAcceptsDeclaredFlags) {
+  const CliArgs args = make({"prog", "--mode", "x", "--dir=out", "--flag"});
+  EXPECT_NO_THROW(args.require_known({"mode", "dir", "flag", "unused"}));
+}
+
+TEST(CliArgs, RequireKnownRejectsUnknownFlagWithInventory) {
+  const CliArgs args = make({"prog", "--mode", "x", "--bogus", "3"});
+  try {
+    args.require_known({"mode", "dir"});
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--bogus"), std::string::npos);
+    EXPECT_NE(what.find("--mode"), std::string::npos);
+    EXPECT_NE(what.find("--dir"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, RequireKnownIgnoresPositionals) {
+  const CliArgs args = make({"prog", "analyze", "BT", "anything"});
+  EXPECT_NO_THROW(args.require_known({}));
 }
 
 }  // namespace
