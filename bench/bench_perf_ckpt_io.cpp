@@ -1,12 +1,17 @@
 // google-benchmark: checkpoint container throughput, full vs. pruned, at
-// MG-scale payloads.
+// MG-scale payloads, plus sync vs. async app-thread blocked time at
+// BT-scale state.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <memory>
 #include <vector>
 
+#include "ckpt/async_backend.hpp"
 #include "ckpt/checkpoint_io.hpp"
+#include "ckpt/file_backend.hpp"
 #include "support/npb_random.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -92,6 +97,71 @@ void BM_RestorePruned(benchmark::State& state) {
                           static_cast<std::int64_t>(state.range(0)) * 8);
 }
 BENCHMARK(BM_RestorePruned)->Arg(46480)->Arg(262144);
+
+// ---------------------------------------------------------------------------
+// Sync vs. async writes: what does the *app thread* pay per checkpoint?
+//
+// Both benchmarks interleave a simulated compute phase with a full-state
+// write, mimicking the maybe_checkpoint cadence.  The sync backend blocks
+// the app thread for the whole file write; the async decorator returns at
+// buffer hand-off and drains during the next compute phase.  The
+// `blocked_s` counter is the mean app-thread blocked time per checkpoint
+// (WriteReport.seconds) — the async overlap win is blocked_s(async) <
+// blocked_s(sync) at equal payload.  Default arg 1<<20 elements = 8 MiB,
+// roughly BT's registered state.
+// ---------------------------------------------------------------------------
+
+void simulated_compute(std::vector<double>& data) {
+  // Touches the whole state once — enough work for the drain to overlap.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.999 * data[i] + 1.0e-9;
+  }
+  benchmark::DoNotOptimize(data.data());
+}
+
+void run_write_loop(benchmark::State& state, ckpt::StorageBackend& backend) {
+  IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);
+  double blocked_seconds = 0.0;
+  std::uint64_t writes = 0;
+  for (auto _ : state) {
+    const WriteReport report =
+        write_checkpoint(backend, "bench.ckpt", fixture.registry, writes);
+    blocked_seconds += report.seconds;
+    ++writes;
+    simulated_compute(fixture.data);
+  }
+  backend.wait();
+  state.counters["blocked_s"] = benchmark::Counter(
+      blocked_seconds / static_cast<double>(writes > 0 ? writes : 1));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+
+void BM_CheckpointWriteSync(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_bench_sync_" + std::to_string(::getpid()));
+  {
+    FileBackend backend(dir);
+    run_write_loop(state, backend);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_CheckpointWriteSync)->Arg(262144)->Arg(1 << 20);
+
+void BM_CheckpointWriteAsync(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_bench_async_" + std::to_string(::getpid()));
+  {
+    AsyncBackend backend(std::make_unique<FileBackend>(dir));
+    run_write_loop(state, backend);
+    state.counters["stalls"] =
+        benchmark::Counter(static_cast<double>(backend.buffer_stalls()));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_CheckpointWriteAsync)->Arg(262144)->Arg(1 << 20);
 
 void BM_MaskToRegions(benchmark::State& state) {
   IoFixture fixture(static_cast<std::size_t>(state.range(0)), 0.9);

@@ -12,7 +12,9 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
+#include "ckpt/memory_backend.hpp"
 #include "core/program.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
@@ -76,5 +78,24 @@ int main() {
   std::printf("restarted output:     %.15g\n", actual);
   std::printf("restart %s\n",
               std::fabs(expected - actual) < 1e-12 ? "VERIFIED" : "FAILED");
-  return std::fabs(expected - actual) < 1e-12 ? 0 : 1;
+  if (std::fabs(expected - actual) >= 1e-12) return 1;
+
+  // -------------------------------------------------------------------
+  // 5. Storage is pluggable: the same pipeline legs run against the
+  //    in-memory backend — no files, same bytes, same restart.
+  // -------------------------------------------------------------------
+  auto store = std::make_shared<ckpt::MemoryBackend>();
+  core::ScrutinySession in_memory = core::ScrutinySession::open("HeatRod");
+  in_memory.use_storage(store);
+  in_memory.load_analysis(dir / "rod.scmask");
+  const ckpt::WriteReport mem_report =
+      in_memory.write_checkpoint("rod.mem.ckpt");
+  const double mem_actual = in_memory.restart("rod.mem.ckpt")[0];
+  std::printf("memory backend: %llu container bytes (%.1f MB/s) in %zu "
+              "objects, restart %s\n",
+              static_cast<unsigned long long>(store->total_bytes()),
+              mem_report.mb_per_second(), store->object_count(),
+              std::fabs(expected - mem_actual) < 1e-12 ? "VERIFIED"
+                                                       : "FAILED");
+  return std::fabs(expected - mem_actual) < 1e-12 ? 0 : 1;
 }

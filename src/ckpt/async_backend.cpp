@@ -1,0 +1,231 @@
+#include "ckpt/async_backend.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/byte_buffer.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace scrutiny::ckpt {
+
+namespace {
+
+/// Drain granularity: large snapshots go to the inner backend in bounded
+/// chunks so a slow sink never holds one multi-hundred-MB append call.
+constexpr std::size_t kDrainChunkBytes = 4u << 20;
+
+}  // namespace
+
+class AsyncWriter final : public StorageWriter {
+ public:
+  AsyncWriter(AsyncBackend& backend, std::size_t slot_index, std::string key)
+      : backend_(&backend), slot_index_(slot_index), key_(std::move(key)) {}
+
+  ~AsyncWriter() override {
+    if (!committed_) backend_->release_slot(slot_index_);
+  }
+
+  void append(const void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(!committed_, "append after commit");
+    // The slot is in Filling state: owned by this writer, no lock needed.
+    append_bytes(backend_->slots_[slot_index_].buffer, data, size);
+    bytes_written_ += size;
+  }
+
+  void commit() override {
+    SCRUTINY_REQUIRE(!committed_, "double commit");
+    committed_ = true;
+    backend_->enqueue(slot_index_, key_);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    // Tracked locally: after commit() the slot belongs to the drain thread
+    // and may already be recycled.
+    return bytes_written_;
+  }
+
+ private:
+  AsyncBackend* backend_;
+  std::size_t slot_index_;
+  std::string key_;
+  std::uint64_t bytes_written_ = 0;
+  bool committed_ = false;
+};
+
+AsyncBackend::AsyncBackend(std::unique_ptr<StorageBackend> inner)
+    : inner_(std::move(inner)) {
+  SCRUTINY_REQUIRE(inner_ != nullptr, "AsyncBackend needs an inner backend");
+  worker_ = std::thread([this] { drain_loop(); });
+}
+
+AsyncBackend::~AsyncBackend() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  worker_.join();
+  if (error_ != nullptr) {
+    try {
+      std::rethrow_exception(error_);
+    } catch (const std::exception& e) {
+      log_warn("ckpt", std::string("async backend dropped a background "
+                                   "write error (no wait() call): ") +
+                           e.what());
+    } catch (...) {
+      log_warn("ckpt", "async backend dropped a background write error "
+                       "(no wait() call)");
+    }
+  }
+}
+
+std::size_t AsyncBackend::acquire_slot() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  rethrow_pending_error_locked(lock);
+  const auto find_free = [this]() -> std::size_t {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state == SlotState::Free) return i;
+    }
+    return slots_.size();
+  };
+  std::size_t index = find_free();
+  if (index == slots_.size()) {
+    // Both buffers in flight: checkpoint production outran the drain.
+    ++stalls_;
+    slot_available_.wait(lock,
+                         [&] { return (index = find_free()) < slots_.size(); });
+    rethrow_pending_error_locked(lock);
+  }
+  slots_[index].state = SlotState::Filling;
+  slots_[index].buffer.clear();  // capacity retained from the last drain
+  return index;
+}
+
+void AsyncBackend::enqueue(std::size_t slot_index, std::string key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    slots_[slot_index].state = SlotState::Queued;
+    slots_[slot_index].key = std::move(key);
+    queue_.push_back(slot_index);
+  }
+  work_available_.notify_one();
+}
+
+void AsyncBackend::release_slot(std::size_t slot_index) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    slots_[slot_index].state = SlotState::Free;
+    slots_[slot_index].key.clear();
+  }
+  slot_available_.notify_all();
+}
+
+bool AsyncBackend::key_in_flight(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(slots_.begin(), slots_.end(), [&](const Slot& slot) {
+    return (slot.state == SlotState::Queued ||
+            slot.state == SlotState::Draining) &&
+           slot.key == key;
+  });
+}
+
+void AsyncBackend::drain_loop() {
+  for (;;) {
+    std::size_t index;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and fully drained
+      index = queue_.front();
+      queue_.pop_front();
+      slots_[index].state = SlotState::Draining;
+    }
+    // Drain outside the lock: the app thread keeps filling the other slot.
+    Slot& slot = slots_[index];
+    try {
+      auto writer = inner_->open_for_write(slot.key);
+      const std::byte* data = slot.buffer.data();
+      std::size_t remaining = slot.buffer.size();
+      while (remaining > 0) {
+        const std::size_t chunk = std::min(remaining, kDrainChunkBytes);
+        writer->append(data, chunk);
+        data += chunk;
+        remaining -= chunk;
+      }
+      writer->commit();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    release_slot(index);
+  }
+}
+
+void AsyncBackend::rethrow_pending_error_locked(
+    std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // caller holds mutex_
+  if (error_ != nullptr) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void AsyncBackend::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  slot_available_.wait(lock, [this] {
+    if (!queue_.empty()) return false;
+    return std::none_of(slots_.begin(), slots_.end(), [](const Slot& slot) {
+      return slot.state == SlotState::Queued ||
+             slot.state == SlotState::Draining;
+    });
+  });
+  rethrow_pending_error_locked(lock);
+}
+
+std::unique_ptr<StorageWriter> AsyncBackend::open_for_write(
+    const std::string& key) {
+  const std::size_t index = acquire_slot();
+  return std::make_unique<AsyncWriter>(*this, index, key);
+}
+
+std::unique_ptr<StorageReader> AsyncBackend::open_for_read(
+    const std::string& key) {
+  if (key_in_flight(key)) wait();
+  return inner_->open_for_read(key);
+}
+
+bool AsyncBackend::exists(const std::string& key) {
+  if (key_in_flight(key)) return true;  // committed, drain pending
+  return inner_->exists(key);
+}
+
+void AsyncBackend::remove(const std::string& key) {
+  // Settled keys (the slot-rotation case) are removed without stalling the
+  // pipeline; an in-flight key must land first or the drain would recreate
+  // it after the removal.
+  if (key_in_flight(key)) wait();
+  inner_->remove(key);
+}
+
+std::vector<std::string> AsyncBackend::list(const std::string& prefix) {
+  wait();
+  return inner_->list(prefix);
+}
+
+bool AsyncBackend::drained() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!queue_.empty() || error_ != nullptr) return false;
+  return std::none_of(slots_.begin(), slots_.end(), [](const Slot& slot) {
+    return slot.state == SlotState::Queued ||
+           slot.state == SlotState::Draining;
+  });
+}
+
+std::uint64_t AsyncBackend::buffer_stalls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+}  // namespace scrutiny::ckpt

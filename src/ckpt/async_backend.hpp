@@ -1,0 +1,107 @@
+// Asynchronous storage decorator: double-buffered background drain.
+//
+// The application thread streams a checkpoint into one of two reusable
+// in-memory buffers (the snapshot); commit() hands the filled buffer to a
+// background thread that drains it into the inner backend and recycles it.
+// With two buffers the app thread only ever blocks when BOTH are in flight
+// — i.e. checkpoint production outruns storage bandwidth — so on the
+// common cadence (compute ≫ I/O) the app-thread cost of a checkpoint is
+// one memcpy, and the slow write overlaps the next compute phase
+// (SCR/FTI/VELOC-style async flush).
+//
+// Join points: wait()/flush() block until the queue is drained and rethrow
+// the first background error; open_for_write and the destructor also
+// surface/log pending errors.  Reads, listing, and removal of a key that
+// is still in flight first wait for it, so read-your-writes holds; removal
+// of settled keys (slot rotation) proceeds without stalling the pipeline.
+//
+// The inner backend is accessed from both the caller thread and the drain
+// thread (never for the same key, except through the waits above); both
+// FileBackend and MemoryBackend tolerate that.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::ckpt {
+
+class AsyncBackend final : public StorageBackend {
+ public:
+  explicit AsyncBackend(std::unique_ptr<StorageBackend> inner);
+
+  /// Joins the drain thread.  A background error nobody harvested via
+  /// wait() is logged, not thrown.
+  ~AsyncBackend() override;
+
+  AsyncBackend(const AsyncBackend&) = delete;
+  AsyncBackend& operator=(const AsyncBackend&) = delete;
+
+  [[nodiscard]] std::unique_ptr<StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+
+  /// Blocks until every committed buffer has drained into the inner
+  /// backend; rethrows the first background error (once).
+  void wait() override;
+
+  /// Non-blocking: queue empty, nothing draining, no pending error.
+  [[nodiscard]] bool drained() override;
+
+  [[nodiscard]] std::string name() const override {
+    return "async(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] StorageBackend& inner() noexcept { return *inner_; }
+
+  /// Times the app thread spent blocked waiting for a free buffer (the
+  /// overlap-miss counter; 0 means I/O fully overlapped compute).
+  [[nodiscard]] std::uint64_t buffer_stalls() const;
+
+ private:
+  enum class SlotState : std::uint8_t { Free, Filling, Queued, Draining };
+
+  struct Slot {
+    std::vector<std::byte> buffer;  ///< capacity retained across reuse
+    std::string key;
+    SlotState state = SlotState::Free;
+  };
+
+  friend class AsyncWriter;
+
+  /// Blocks until a slot is free, marks it Filling, returns its index.
+  std::size_t acquire_slot();
+  /// Writer handoff: marks the filled slot Queued under `key`.
+  void enqueue(std::size_t slot_index, std::string key);
+  /// Writer abandoned without commit.
+  void release_slot(std::size_t slot_index);
+  /// True while `key` is queued or draining (callers hold no lock).
+  bool key_in_flight(const std::string& key);
+
+  void drain_loop();
+  void rethrow_pending_error_locked(std::unique_lock<std::mutex>& lock);
+
+  std::unique_ptr<StorageBackend> inner_;
+  std::array<Slot, 2> slots_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_available_;  ///< a slot became Free
+  std::condition_variable work_available_;  ///< a slot became Queued (or stop)
+  std::deque<std::size_t> queue_;           ///< Queued slot indices, FIFO
+  std::exception_ptr error_;
+  std::uint64_t stalls_ = 0;
+  bool stopping_ = false;
+
+  std::thread worker_;
+};
+
+}  // namespace scrutiny::ckpt

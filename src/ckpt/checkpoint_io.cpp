@@ -1,9 +1,13 @@
 #include "ckpt/checkpoint_io.hpp"
 
+#include <cstring>
 #include <vector>
 
-#include "support/binary_io.hpp"
+#include "ckpt/file_backend.hpp"
+#include "support/byte_buffer.hpp"
+#include "support/crc64.hpp"
 #include "support/error.hpp"
+#include "support/timer.hpp"
 
 namespace scrutiny::ckpt {
 
@@ -12,13 +16,105 @@ constexpr std::uint64_t kMagic = 0x53435255'434B5031ull;  // "SCRU CKP1"
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint8_t kModeFull = 0;
 constexpr std::uint8_t kModePruned = 1;
+
+/// Staging bound for the streaming serializer: small header fields coalesce
+/// up to this size before hitting the backend; anything at least this large
+/// (variable payloads) bypasses the buffer entirely.
+constexpr std::size_t kChunkBytes = 256u * 1024;
+
+/// Streaming framing writer: bounded chunk buffer + incremental CRC-64
+/// over a StorageWriter.
+class ChunkedWriter {
+ public:
+  explicit ChunkedWriter(StorageWriter& sink) : sink_(&sink) {
+    buffer_.reserve(kChunkBytes);
+  }
+
+  void write_bytes(const void* data, std::size_t size) {
+    crc_.update(data, size);
+    if (size >= kChunkBytes) {
+      // Large payload spans go straight from application memory to the
+      // backend — zero staging copies on the write path.
+      flush();
+      sink_->append(data, size);
+      return;
+    }
+    if (buffer_.size() + size > kChunkBytes) flush();
+    append_bytes(buffer_, data, size);
+  }
+
+  template <typename T>
+  void write(const T& value) {
+    write_bytes(&value, sizeof(T));
+  }
+
+  void write_string(std::string_view text) {
+    write(static_cast<std::uint32_t>(text.size()));
+    write_bytes(text.data(), text.size());
+  }
+
+  [[nodiscard]] std::uint64_t crc() const noexcept { return crc_.value(); }
+
+  void flush() {
+    if (buffer_.empty()) return;
+    sink_->append(buffer_.data(), buffer_.size());
+    buffer_.clear();
+  }
+
+ private:
+  StorageWriter* sink_;
+  std::vector<std::byte> buffer_;
+  Crc64 crc_;
+};
+
+/// Streaming framing reader with running CRC-64 over a StorageReader.
+/// Variable payloads land directly in the registry's bound memory.
+class ChunkedReader {
+ public:
+  ChunkedReader(StorageReader& source, std::string context)
+      : source_(&source), context_(std::move(context)) {}
+
+  void read_bytes(void* data, std::size_t size) {
+    source_->read(data, size);
+    crc_.update(data, size);
+  }
+
+  template <typename T>
+  [[nodiscard]] T read() {
+    T value{};
+    read_bytes(&value, sizeof(T));
+    return value;
+  }
+
+  [[nodiscard]] std::string read_string() {
+    const auto length = read<std::uint32_t>();
+    SCRUTINY_REQUIRE(length <= (1u << 20),
+                     "implausible string length in " + context_);
+    std::string text(length, '\0');
+    read_bytes(text.data(), length);
+    return text;
+  }
+
+  [[nodiscard]] std::uint64_t crc() const noexcept { return crc_.value(); }
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  StorageReader* source_;
+  std::string context_;
+  Crc64 crc_;
+};
+
 }  // namespace
 
-WriteReport write_checkpoint(const std::filesystem::path& path,
+WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
                              const CheckpointRegistry& registry,
                              std::uint64_t step, const PruneMap* masks) {
+  const Timer timer;
   WriteReport report;
-  BinaryWriter writer(path);
+  const std::unique_ptr<StorageWriter> sink = backend.open_for_write(key);
+  ChunkedWriter writer(*sink);
   writer.write(kMagic);
   writer.write(kVersion);
   writer.write(step);
@@ -82,24 +178,36 @@ WriteReport write_checkpoint(const std::filesystem::path& path,
 
   const std::uint64_t crc = writer.crc();
   writer.write(crc);
-  writer.commit();
-  report.file_bytes = std::filesystem::file_size(path);
+  writer.flush();
+  sink->commit();
+  report.file_bytes = sink->bytes_written();
+  report.seconds = timer.seconds();
   return report;
 }
 
-RestoreReport restore_checkpoint(const std::filesystem::path& path,
+WriteReport write_checkpoint(const std::filesystem::path& path,
+                             const CheckpointRegistry& registry,
+                             std::uint64_t step, const PruneMap* masks) {
+  FileBackend backend;
+  return write_checkpoint(backend, path.string(), registry, step, masks);
+}
+
+RestoreReport restore_checkpoint(StorageBackend& backend,
+                                 const std::string& key,
                                  const CheckpointRegistry& registry) {
-  BinaryReader reader(path);
+  const Timer timer;
+  const std::unique_ptr<StorageReader> source = backend.open_for_read(key);
+  ChunkedReader reader(*source, key);
   SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
-                   "not a checkpoint file: " + path.string());
+                   "not a checkpoint file: " + key);
   SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
-                   "unsupported checkpoint version: " + path.string());
+                   "unsupported checkpoint version: " + key);
 
   RestoreReport report;
   report.step = reader.read<std::uint64_t>();
   const auto num_vars = reader.read<std::uint32_t>();
 
-  // First pass: scatter payloads into bound memory.
+  // Scatter payloads into bound memory as sections stream past.
   for (std::uint32_t v = 0; v < num_vars; ++v) {
     const std::string name = reader.read_string();
     const auto dtype = static_cast<DataType>(reader.read<std::uint8_t>());
@@ -127,10 +235,12 @@ RestoreReport restore_checkpoint(const std::filesystem::path& path,
       report.elements_restored += num_elements;
     } else {
       SCRUTINY_REQUIRE(mode == kModePruned,
-                       "corrupt section mode in " + path.string());
+                       "corrupt section mode in " + key);
       report.pruned = true;
       const auto num_regions = reader.read<std::uint64_t>();
-      std::vector<Region> regions(num_regions);
+      SCRUTINY_REQUIRE(num_regions <= num_elements,
+                       "implausible region count restoring " + name);
+      std::vector<Region> regions(static_cast<std::size_t>(num_regions));
       for (Region& region : regions) {
         region.begin = reader.read<std::uint64_t>();
         region.end = reader.read<std::uint64_t>();
@@ -152,21 +262,36 @@ RestoreReport restore_checkpoint(const std::filesystem::path& path,
   const std::uint64_t computed = reader.crc();
   const auto stored = reader.read<std::uint64_t>();
   SCRUTINY_REQUIRE(computed == stored,
-                   "checkpoint CRC mismatch (corrupt or torn file): " +
-                       path.string());
+                   "checkpoint CRC mismatch (corrupt or torn file): " + key);
+  report.file_bytes = source->bytes_read();
+  report.seconds = timer.seconds();
   return report;
 }
 
-std::uint64_t peek_checkpoint_step(const std::filesystem::path& path) {
-  BinaryReader reader(path);
+RestoreReport restore_checkpoint(const std::filesystem::path& path,
+                                 const CheckpointRegistry& registry) {
+  FileBackend backend;
+  return restore_checkpoint(backend, path.string(), registry);
+}
+
+std::uint64_t peek_checkpoint_step(StorageBackend& backend,
+                                   const std::string& key) {
+  const std::unique_ptr<StorageReader> source = backend.open_for_read(key);
+  ChunkedReader reader(*source, key);
   SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
-                   "not a checkpoint file: " + path.string());
+                   "not a checkpoint file: " + key);
   SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
-                   "unsupported checkpoint version: " + path.string());
+                   "unsupported checkpoint version: " + key);
   return reader.read<std::uint64_t>();
 }
 
-void save_regions_sidecar(const std::filesystem::path& checkpoint_path,
+std::uint64_t peek_checkpoint_step(const std::filesystem::path& path) {
+  FileBackend backend;
+  return peek_checkpoint_step(backend, path.string());
+}
+
+void save_regions_sidecar(StorageBackend& backend,
+                          const std::string& checkpoint_key,
                           const CheckpointRegistry& registry,
                           const PruneMap& masks) {
   RegionFile file;
@@ -180,9 +305,18 @@ void save_regions_sidecar(const std::filesystem::path& checkpoint_path,
     regions.critical = RegionList::from_mask(it->second);
     file.variables.push_back(std::move(regions));
   }
-  std::filesystem::path sidecar = checkpoint_path;
-  sidecar += ".regions";
-  file.save(sidecar);
+  const std::vector<std::byte> bytes = file.serialize();
+  const std::unique_ptr<StorageWriter> sink =
+      backend.open_for_write(checkpoint_key + ".regions");
+  sink->append(bytes.data(), bytes.size());
+  sink->commit();
+}
+
+void save_regions_sidecar(const std::filesystem::path& checkpoint_path,
+                          const CheckpointRegistry& registry,
+                          const PruneMap& masks) {
+  FileBackend backend;
+  save_regions_sidecar(backend, checkpoint_path.string(), registry, masks);
 }
 
 }  // namespace scrutiny::ckpt

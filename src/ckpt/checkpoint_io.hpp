@@ -1,6 +1,9 @@
-// Checkpoint container format: write and restore.
+// Checkpoint container format: streaming write and restore over a storage
+// backend.
 //
-// Layout (little-endian, CRC-64 trailer over the whole file):
+// Layout (little-endian, CRC-64 trailer over the whole object — unchanged
+// since version 1; files written before the backend refactor restore
+// bit-identically):
 //   magic u64 | version u32 | step u64 | num_vars u32
 //   per variable:
 //     name (len-prefixed) | dtype u8 | elem_size u32 | num_elements u64
@@ -9,10 +12,20 @@
 //     payload bytes (full: all elements; pruned: concatenated regions)
 //   crc u64
 //
-// Pruned sections embed their region lists, so a checkpoint file is
+// The serializers stream: header fields coalesce in a bounded chunk buffer
+// and variable payloads pass straight from the registered application
+// memory to StorageWriter::append, with the CRC-64 computed incrementally —
+// no whole-file staging regardless of checkpoint size.  The storage layer
+// (StorageBackend) supplies atomic commit, so a crash mid-write can never
+// shadow an older valid checkpoint.
+//
+// Pruned sections embed their region lists, so a checkpoint is
 // self-contained; `save_regions_sidecar` additionally emits the paper's
 // standalone auxiliary file for inspection and for the Table III
 // accounting.
+//
+// The path-based overloads keep the historical API: they route through an
+// unrooted FileBackend, treating the path as the storage key.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +35,7 @@
 #include <string>
 
 #include "ckpt/registry.hpp"
+#include "ckpt/storage_backend.hpp"
 #include "mask/critical_mask.hpp"
 #include "mask/region_file.hpp"
 
@@ -32,14 +46,30 @@ namespace scrutiny::ckpt {
 using PruneMap = std::map<std::string, CriticalMask>;
 
 struct WriteReport {
-  std::uint64_t file_bytes = 0;        ///< container size on disk
+  std::uint64_t file_bytes = 0;        ///< container size in the backend
   std::uint64_t payload_bytes = 0;     ///< element data written
   std::uint64_t aux_bytes = 0;         ///< region metadata written
   std::uint64_t elements_written = 0;
   std::uint64_t elements_skipped = 0;  ///< uncritical elements dropped
+  double seconds = 0.0;  ///< app-thread time blocked in the write (an async
+                         ///< backend returns at buffer hand-off, so this is
+                         ///< the overlap win, not the drain time)
+
+  /// Apparent app-thread throughput (container bytes / blocked seconds).
+  [[nodiscard]] double mb_per_second() const noexcept {
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(file_bytes) / seconds / 1.0e6;
+  }
 };
 
-/// Writes a checkpoint of every registered variable at `step`.
+/// Writes a checkpoint of every registered variable at `step` to
+/// `backend[key]`.
+WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
+                             const CheckpointRegistry& registry,
+                             std::uint64_t step,
+                             const PruneMap* masks = nullptr);
+
+/// Path convenience: the on-disk format via an unrooted FileBackend.
 WriteReport write_checkpoint(const std::filesystem::path& path,
                              const CheckpointRegistry& registry,
                              std::uint64_t step,
@@ -47,22 +77,42 @@ WriteReport write_checkpoint(const std::filesystem::path& path,
 
 struct RestoreReport {
   std::uint64_t step = 0;
+  std::uint64_t file_bytes = 0;  ///< container bytes read back
   std::uint64_t elements_restored = 0;
   std::uint64_t elements_untouched = 0;  ///< uncritical, left as-is
   bool pruned = false;
+  double seconds = 0.0;
+
+  [[nodiscard]] double mb_per_second() const noexcept {
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(file_bytes) / seconds / 1.0e6;
+  }
 };
 
-/// Restores into the registry's bound memory.  Pruned variables only
-/// overwrite their critical regions; uncritical elements keep whatever the
-/// memory currently holds (after a failure: garbage — by design).
+/// Restores `backend[key]` into the registry's bound memory.  Pruned
+/// variables only overwrite their critical regions; uncritical elements
+/// keep whatever the memory currently holds (after a failure: garbage — by
+/// design).
+RestoreReport restore_checkpoint(StorageBackend& backend,
+                                 const std::string& key,
+                                 const CheckpointRegistry& registry);
+
 RestoreReport restore_checkpoint(const std::filesystem::path& path,
                                  const CheckpointRegistry& registry);
 
 /// Reads only the step stamp (for slot selection).
+[[nodiscard]] std::uint64_t peek_checkpoint_step(StorageBackend& backend,
+                                                 const std::string& key);
 [[nodiscard]] std::uint64_t peek_checkpoint_step(
     const std::filesystem::path& path);
 
-/// Emits the paper-style standalone auxiliary file next to a checkpoint.
+/// Emits the paper-style standalone auxiliary object next to a checkpoint
+/// (key `<checkpoint_key>.regions`).
+void save_regions_sidecar(StorageBackend& backend,
+                          const std::string& checkpoint_key,
+                          const CheckpointRegistry& registry,
+                          const PruneMap& masks);
+
 void save_regions_sidecar(const std::filesystem::path& checkpoint_path,
                           const CheckpointRegistry& registry,
                           const PruneMap& masks);

@@ -1,0 +1,146 @@
+#include "ckpt/file_backend.hpp"
+
+#include <system_error>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+namespace {
+
+constexpr std::string_view kTempSuffix = ".tmp";
+
+class FileWriter final : public StorageWriter {
+ public:
+  explicit FileWriter(std::filesystem::path path)
+      : final_path_(std::move(path)),
+        temp_path_(final_path_.string() + std::string(kTempSuffix)) {
+    if (final_path_.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(final_path_.parent_path(), ec);
+    }
+    stream_.open(temp_path_, std::ios::binary | std::ios::trunc);
+    SCRUTINY_REQUIRE(stream_.good(),
+                     "cannot open for writing: " + temp_path_.string());
+  }
+
+  ~FileWriter() override {
+    if (!committed_) {
+      stream_.close();
+      std::error_code ec;
+      std::filesystem::remove(temp_path_, ec);
+    }
+  }
+
+  void append(const void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(!committed_, "append after commit");
+    stream_.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(size));
+    SCRUTINY_REQUIRE(stream_.good(),
+                     "short write to " + temp_path_.string());
+    bytes_written_ += size;
+  }
+
+  void commit() override {
+    SCRUTINY_REQUIRE(!committed_, "double commit");
+    stream_.flush();
+    SCRUTINY_REQUIRE(stream_.good(), "flush failed: " + temp_path_.string());
+    stream_.close();
+    // error_code overload: a failed rename reports as ScrutinyError like
+    // every other storage failure (the async drain thread relies on one
+    // exception type reaching its join points).
+    std::error_code ec;
+    std::filesystem::rename(temp_path_, final_path_, ec);
+    SCRUTINY_REQUIRE(!ec, "cannot commit " + final_path_.string() + ": " +
+                              ec.message());
+    committed_ = true;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    return bytes_written_;
+  }
+
+ private:
+  std::filesystem::path final_path_;
+  std::filesystem::path temp_path_;
+  std::ofstream stream_;
+  std::uint64_t bytes_written_ = 0;
+  bool committed_ = false;
+};
+
+class FileReader final : public StorageReader {
+ public:
+  explicit FileReader(std::filesystem::path path) : path_(std::move(path)) {
+    stream_.open(path_, std::ios::binary);
+    SCRUTINY_REQUIRE(stream_.good(),
+                     "cannot open for reading: " + path_.string());
+  }
+
+  void read(void* data, std::size_t size) override {
+    stream_.read(static_cast<char*>(data),
+                 static_cast<std::streamsize>(size));
+    SCRUTINY_REQUIRE(static_cast<std::size_t>(stream_.gcount()) == size,
+                     "unexpected end of file: " + path_.string());
+    bytes_read_ += size;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept override {
+    return bytes_read_;
+  }
+
+ private:
+  std::filesystem::path path_;
+  std::ifstream stream_;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageWriter> FileBackend::open_for_write(
+    const std::string& key) {
+  return std::make_unique<FileWriter>(path_for(key));
+}
+
+std::unique_ptr<StorageReader> FileBackend::open_for_read(
+    const std::string& key) {
+  return std::make_unique<FileReader>(path_for(key));
+}
+
+bool FileBackend::exists(const std::string& key) {
+  return std::filesystem::is_regular_file(path_for(key));
+}
+
+void FileBackend::remove(const std::string& key) {
+  std::error_code ec;
+  std::filesystem::remove(path_for(key), ec);
+}
+
+std::vector<std::string> FileBackend::list(const std::string& prefix) {
+  // The prefix's directory part selects the directory to scan; its final
+  // component is a filename prefix filter ("dir/ckpt." matches
+  // dir/ckpt.0001 but not dir/ckpt2/...).
+  const std::filesystem::path as_path(prefix);
+  const std::filesystem::path sub_dir = as_path.parent_path();
+  const std::string stem = as_path.filename().string();
+  std::filesystem::path scan_dir = root_ / sub_dir;
+  // Unrooted backend + bare-name keys: scan the working directory, not "".
+  if (scan_dir.empty()) scan_dir = ".";
+
+  std::vector<std::string> keys;
+  if (!std::filesystem::is_directory(scan_dir)) return keys;
+  for (const auto& entry : std::filesystem::directory_iterator(scan_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind(stem, 0) != 0) continue;
+    if (filename.size() >= kTempSuffix.size() &&
+        filename.compare(filename.size() - kTempSuffix.size(),
+                         kTempSuffix.size(), kTempSuffix) == 0) {
+      continue;  // in-flight write, not committed
+    }
+    keys.push_back((sub_dir / filename).generic_string());
+  }
+  return keys;
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,43 @@
+// On-disk storage backend: one file per key, atomic commit.
+//
+// Keys are relative paths joined onto the backend root (an empty root makes
+// keys plain filesystem paths, which is how the path-based checkpoint_io
+// compatibility API is implemented).  Writes target `<path>.tmp` and
+// commit() renames onto the final name — the classic C/R commit protocol:
+// a crash mid-write leaves only a stale .tmp, never a truncated file under
+// the committed name, so restart's latest-wins scan can trust any name it
+// sees.  list() skips in-flight .tmp files for the same reason.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::ckpt {
+
+class FileBackend final : public StorageBackend {
+ public:
+  explicit FileBackend(std::filesystem::path root = {})
+      : root_(std::move(root)) {}
+
+  [[nodiscard]] std::unique_ptr<StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+  [[nodiscard]] std::string name() const override { return "file"; }
+
+  /// The file a key maps to (root / key).
+  [[nodiscard]] std::filesystem::path path_for(const std::string& key) const {
+    return root_ / key;
+  }
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace scrutiny::ckpt

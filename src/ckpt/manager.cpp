@@ -1,24 +1,81 @@
 #include "ckpt/manager.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 
 #include "support/log.hpp"
 
 namespace scrutiny::ckpt {
 
+namespace {
+
+void validate(const ManagerConfig& config) {
+  SCRUTINY_REQUIRE(config.interval > 0, "checkpoint interval must be > 0");
+  SCRUTINY_REQUIRE(config.keep_slots > 0, "must keep at least one slot");
+  SCRUTINY_REQUIRE(!config.basename.empty(), "basename must not be empty");
+}
+
+}  // namespace
+
 CheckpointManager::CheckpointManager(ManagerConfig config)
     : config_(std::move(config)) {
-  SCRUTINY_REQUIRE(config_.interval > 0, "checkpoint interval must be > 0");
-  SCRUTINY_REQUIRE(config_.keep_slots > 0, "must keep at least one slot");
-  std::filesystem::create_directories(config_.directory);
+  validate(config_);
+  if (config_.backend == BackendKind::File) {
+    std::filesystem::create_directories(config_.directory);
+  }
+  backend_ = make_backend(config_.backend, config_.directory,
+                          config_.async_io);
+  for (const std::string& key : list_checkpoint_keys()) {
+    slots_.emplace_back(*step_of_key(key), key);
+  }
+}
+
+CheckpointManager::CheckpointManager(ManagerConfig config,
+                                     std::shared_ptr<StorageBackend> backend)
+    : config_(std::move(config)), backend_(std::move(backend)) {
+  validate(config_);
+  SCRUTINY_REQUIRE(backend_ != nullptr, "manager needs a storage backend");
+  for (const std::string& key : list_checkpoint_keys()) {
+    slots_.emplace_back(*step_of_key(key), key);
+  }
+}
+
+std::string CheckpointManager::key_for_step(std::uint64_t step) const {
+  // 20 digits fits every uint64 step, so lexicographic order never
+  // contradicts numeric order; ordering nevertheless goes through
+  // step_of_key so historical 8-digit names keep sorting correctly.
+  char suffix[40];
+  std::snprintf(suffix, sizeof(suffix), ".%020llu.ckpt",
+                static_cast<unsigned long long>(step));
+  return config_.basename + suffix;
 }
 
 std::filesystem::path CheckpointManager::path_for_step(
     std::uint64_t step) const {
-  char suffix[32];
-  std::snprintf(suffix, sizeof(suffix), ".%08llu.ckpt",
-                static_cast<unsigned long long>(step));
-  return config_.directory / (config_.basename + suffix);
+  return config_.directory / key_for_step(step);
+}
+
+std::optional<std::uint64_t> CheckpointManager::step_of_key(
+    const std::string& key) const {
+  const std::string prefix = config_.basename + ".";
+  const std::string suffix = ".ckpt";
+  if (key.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (key.rfind(prefix, 0) != 0) return std::nullopt;
+  if (key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      key.substr(prefix.size(), key.size() - prefix.size() - suffix.size());
+  if (digits.empty() || digits.size() > 20) return std::nullopt;
+  // from_chars rejects non-digits and uint64 overflow (a 20-nines name
+  // must not silently wrap into a plausible step).
+  std::uint64_t step = 0;
+  const char* const first = digits.data();
+  const char* const last = first + digits.size();
+  const auto [end, ec] = std::from_chars(first, last, step);
+  if (ec != std::errc{} || end != last) return std::nullopt;
+  return step;
 }
 
 std::optional<WriteReport> CheckpointManager::maybe_checkpoint(
@@ -29,56 +86,105 @@ std::optional<WriteReport> CheckpointManager::maybe_checkpoint(
 
 WriteReport CheckpointManager::checkpoint_now(
     std::uint64_t step, const CheckpointRegistry& registry) {
-  const std::filesystem::path path = path_for_step(step);
+  // Catch up on rotation deferred while async writes were in flight: by
+  // the next checkpoint the previous drain has normally landed, so this
+  // prunes without ever joining the background thread.
+  rotate_slots();
+  const std::string key = key_for_step(step);
   const PruneMap* masks = masks_.empty() ? nullptr : &masks_;
-  WriteReport report = write_checkpoint(path, registry, step, masks);
+  WriteReport report =
+      write_checkpoint(*backend_, key, registry, step, masks);
   if (config_.write_regions_sidecar && masks != nullptr) {
-    save_regions_sidecar(path, registry, masks_);
+    save_regions_sidecar(*backend_, key, registry, masks_);
   }
+  // A same-step slot under a different (legacy-pad) name would shadow the
+  // fresh write on restart and escape rotation: delete it outright.
+  std::erase_if(slots_, [&](const auto& slot) {
+    if (slot.first != step) return false;
+    if (slot.second != key) {
+      backend_->remove(slot.second);
+      backend_->remove(slot.second + ".regions");
+    }
+    return true;
+  });
+  slots_.emplace_back(step, key);
+  std::sort(slots_.begin(), slots_.end(), std::greater<>());
   rotate_slots();
   return report;
+}
+
+std::vector<std::string> CheckpointManager::list_checkpoint_keys() const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (std::string& key : backend_->list(config_.basename + ".")) {
+    if (const auto step = step_of_key(key)) {
+      found.emplace_back(*step, std::move(key));
+    }
+  }
+  std::sort(found.begin(), found.end(), std::greater<>());
+  std::vector<std::string> keys;
+  keys.reserve(found.size());
+  for (auto& [step, key] : found) keys.push_back(std::move(key));
+  return keys;
 }
 
 std::vector<std::filesystem::path> CheckpointManager::list_checkpoints()
     const {
   std::vector<std::filesystem::path> paths;
-  if (!std::filesystem::exists(config_.directory)) return paths;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(config_.directory)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string filename = entry.path().filename().string();
-    if (filename.rfind(config_.basename + ".", 0) == 0 &&
-        filename.size() > 5 &&
-        filename.compare(filename.size() - 5, 5, ".ckpt") == 0) {
-      paths.push_back(entry.path());
-    }
+  for (const std::string& key : list_checkpoint_keys()) {
+    paths.push_back(config_.directory / key);
   }
-  // Step number is zero-padded, so lexicographic descending = newest first.
-  std::sort(paths.begin(), paths.end(), std::greater<>());
   return paths;
 }
 
 std::optional<RestoreReport> CheckpointManager::restart(
     const CheckpointRegistry& registry) {
-  for (const std::filesystem::path& path : list_checkpoints()) {
+  // list_checkpoint_keys goes through the backend, which joins in-flight
+  // async writes first — restart always sees fully drained storage.  The
+  // join can surface a *background write* error (e.g. the newest slot
+  // never landed); that must not abort the fallback scan, which exists
+  // precisely to survive a bad newest slot.
+  // std::exception, not just ScrutinyError: a file backend drain can
+  // surface std::filesystem errors too.
+  std::vector<std::string> keys;
+  try {
+    keys = list_checkpoint_keys();
+  } catch (const std::exception& error) {
+    log_warn("ckpt", std::string("async write error surfaced at restart "
+                                 "(falling back to landed slots): ") +
+                         error.what());
+    keys = list_checkpoint_keys();  // error consumed; storage now drained
+  }
+  for (const std::string& key : keys) {
     try {
-      return restore_checkpoint(path, registry);
+      return restore_checkpoint(*backend_, key, registry);
     } catch (const ScrutinyError& error) {
-      log_warn("ckpt", "skipping unusable checkpoint " + path.string() +
-                           ": " + error.what());
+      log_warn("ckpt", "skipping unusable checkpoint " + key + ": " +
+                           error.what());
     }
   }
   return std::nullopt;
 }
 
 void CheckpointManager::rotate_slots() {
-  std::vector<std::filesystem::path> paths = list_checkpoints();
-  for (std::size_t i = config_.keep_slots; i < paths.size(); ++i) {
-    std::error_code ec;
-    std::filesystem::remove(paths[i], ec);
-    std::filesystem::path sidecar = paths[i];
-    sidecar += ".regions";
-    std::filesystem::remove(sidecar, ec);
+  // Never delete an older slot while a newer write could still fail:
+  // with async storage the freshly committed checkpoint has not landed
+  // yet (or a background error is pending), and removing the last durable
+  // slot would destroy the multi-version fallback.  Deferral is cheap —
+  // checkpoint_now and wait_for_io retry, so rotation catches up as soon
+  // as the drain settles.
+  if (!backend_->drained()) return;
+  // Reconcile the cache first: a slot whose background drain failed (the
+  // error has been harvested by now, or drained() would be false) never
+  // landed — it must not count toward keep_slots, or the phantom would
+  // push the last durable checkpoint out of the retained set.
+  std::erase_if(slots_, [&](const auto& slot) {
+    return !backend_->exists(slot.second);
+  });
+  while (slots_.size() > config_.keep_slots) {
+    const std::string key = std::move(slots_.back().second);
+    slots_.pop_back();
+    backend_->remove(key);
+    backend_->remove(key + ".regions");
   }
 }
 

@@ -3,19 +3,30 @@
 //
 // Mirrors how application-level C/R libraries (SCR, FTI, VELOC) are driven:
 // the application calls maybe_checkpoint(step) inside its main loop; the
-// manager decides when to write, keeps the newest `keep_slots` files, and
+// manager decides when to write, keeps the newest `keep_slots` objects, and
 // restart() finds the most recent valid checkpoint (skipping corrupt ones —
 // multi-version durability, §II-A of the paper).
+//
+// Storage is pluggable: the config selects a backend (file-per-slot on
+// disk, in-memory object store) and optionally wraps it in the async
+// double-buffered writer, or an already-constructed backend is injected.
+// Slot keys are `<basename>.<step padded to 20 digits>.ckpt`; ordering is
+// by the *parsed* step number, so checkpoints written with the historical
+// 8-digit pad (or any width) still rotate and restart correctly past 1e8
+// steps.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/checkpoint_io.hpp"
 #include "ckpt/registry.hpp"
+#include "ckpt/storage_backend.hpp"
 
 namespace scrutiny::ckpt {
 
@@ -23,13 +34,24 @@ struct ManagerConfig {
   std::filesystem::path directory = ".";
   std::string basename = "ckpt";
   std::uint64_t interval = 1;   ///< checkpoint every N steps
-  std::uint32_t keep_slots = 2; ///< newest files retained
+  std::uint32_t keep_slots = 2; ///< newest objects retained
   bool write_regions_sidecar = false;
+  BackendKind backend = BackendKind::File;
+  bool async_io = false;  ///< wrap the backend in AsyncBackend
 };
 
 class CheckpointManager {
  public:
+  /// Builds the backend the config selects (FileBackend rooted at
+  /// `directory`, or MemoryBackend; async-wrapped when `async_io`).
   explicit CheckpointManager(ManagerConfig config);
+
+  /// Seats the manager on an injected backend (e.g. a MemoryBackend shared
+  /// with other components).  Slot keys are bare `<basename>.<step>.ckpt`
+  /// names, so the backend is the manager's namespace; `config.backend`
+  /// and `config.async_io` are ignored.
+  CheckpointManager(ManagerConfig config,
+                    std::shared_ptr<StorageBackend> backend);
 
   /// Attaches criticality masks; subsequent writes prune with them.
   void set_prune_map(PruneMap masks) { masks_ = std::move(masks); }
@@ -48,25 +70,50 @@ class CheckpointManager {
                              const CheckpointRegistry& registry);
 
   /// Restores the newest valid checkpoint; returns nullopt when none exists.
-  /// Corrupt files (bad CRC/truncated) are skipped with a warning, falling
-  /// back to older slots.
+  /// Corrupt objects (bad CRC/truncated) are skipped with a warning,
+  /// falling back to older slots.  Joins any in-flight async writes first.
   std::optional<RestoreReport> restart(const CheckpointRegistry& registry);
 
-  /// Checkpoint files managed in this directory, newest step first.
+  /// Checkpoint keys currently committed in the backend, newest step first
+  /// (ordered by parsed step number).
+  [[nodiscard]] std::vector<std::string> list_checkpoint_keys() const;
+
+  /// File-backend view of list_checkpoint_keys(): directory-joined paths.
   [[nodiscard]] std::vector<std::filesystem::path> list_checkpoints() const;
+
+  /// Join point for async storage: blocks until committed checkpoints are
+  /// durable in the inner backend and rethrows any background write error.
+  /// Also applies any slot rotation deferred while writes were in flight.
+  /// No-op on synchronous backends.
+  void wait_for_io() {
+    backend_->wait();
+    rotate_slots();
+  }
+
+  [[nodiscard]] StorageBackend& storage() noexcept { return *backend_; }
 
   [[nodiscard]] const ManagerConfig& config() const noexcept {
     return config_;
   }
 
+  [[nodiscard]] std::string key_for_step(std::uint64_t step) const;
+
   [[nodiscard]] std::filesystem::path path_for_step(
       std::uint64_t step) const;
 
  private:
+  /// Parses `<basename>.<digits>.ckpt`; nullopt for foreign keys.
+  [[nodiscard]] std::optional<std::uint64_t> step_of_key(
+      const std::string& key) const;
   void rotate_slots();
 
   ManagerConfig config_;
+  std::shared_ptr<StorageBackend> backend_;
   PruneMap masks_;
+  /// Steps this manager knows are committed, newest first — rotation works
+  /// off this cache so it never has to list (and thus join) an async
+  /// backend in the checkpoint hot path.
+  std::vector<std::pair<std::uint64_t, std::string>> slots_;
 };
 
 }  // namespace scrutiny::ckpt

@@ -1,0 +1,125 @@
+#include "ckpt/memory_backend.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "support/byte_buffer.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+class MemoryWriter final : public StorageWriter {
+ public:
+  MemoryWriter(MemoryBackend& backend, std::string key)
+      : backend_(&backend), key_(std::move(key)) {}
+
+  void append(const void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(!committed_, "append after commit");
+    append_bytes(buffer_, data, size);
+    bytes_written_ += size;
+  }
+
+  void commit() override {
+    SCRUTINY_REQUIRE(!committed_, "double commit");
+    backend_->publish(key_, std::move(buffer_));
+    committed_ = true;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    return bytes_written_;  // stays valid after commit moves the buffer
+  }
+
+ private:
+  MemoryBackend* backend_;
+  std::string key_;
+  std::vector<std::byte> buffer_;
+  std::uint64_t bytes_written_ = 0;
+  bool committed_ = false;
+};
+
+namespace {
+
+class MemoryReader final : public StorageReader {
+ public:
+  MemoryReader(std::shared_ptr<const std::vector<std::byte>> object,
+               std::string key)
+      : object_(std::move(object)), key_(std::move(key)) {}
+
+  void read(void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(offset_ + size <= object_->size(),
+                     "unexpected end of object: " + key_);
+    std::memcpy(data, object_->data() + offset_, size);
+    offset_ += size;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept override {
+    return offset_;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::byte>> object_;
+  std::string key_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageWriter> MemoryBackend::open_for_write(
+    const std::string& key) {
+  return std::make_unique<MemoryWriter>(*this, key);
+}
+
+std::unique_ptr<StorageReader> MemoryBackend::open_for_read(
+    const std::string& key) {
+  auto snapshot = object(key);
+  SCRUTINY_REQUIRE(snapshot != nullptr, "cannot open for reading: " + key);
+  return std::make_unique<MemoryReader>(std::move(snapshot), key);
+}
+
+bool MemoryBackend::exists(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.find(key) != objects_.end();
+}
+
+void MemoryBackend::remove(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  objects_.erase(key);
+}
+
+std::vector<std::string> MemoryBackend::list(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  for (const auto& [key, bytes] : objects_) {
+    if (key.rfind(prefix, 0) == 0) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::shared_ptr<const std::vector<std::byte>> MemoryBackend::object(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = objects_.find(key);
+  return it == objects_.end() ? nullptr : it->second;
+}
+
+std::size_t MemoryBackend::object_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+std::uint64_t MemoryBackend::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, bytes] : objects_) total += bytes->size();
+  return total;
+}
+
+void MemoryBackend::publish(const std::string& key,
+                            std::vector<std::byte> bytes) {
+  auto object =
+      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  objects_[key] = std::move(object);
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,51 @@
+// In-process storage backend.
+//
+// Objects live in a mutex-guarded map of immutable byte buffers: writers
+// accumulate privately and commit() publishes the buffer atomically;
+// readers snapshot a shared_ptr at open, so an overwrite or remove never
+// disturbs an in-progress read.  Used by tests and benches (no filesystem
+// traffic, no cleanup) and as the staging store for future remote-shipping
+// backends.  Thread-safe: AsyncBackend may drain into it while the
+// application thread reads.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::ckpt {
+
+class MemoryBackend final : public StorageBackend {
+ public:
+  [[nodiscard]] std::unique_ptr<StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+  [[nodiscard]] std::string name() const override { return "memory"; }
+
+  /// The committed bytes under `key`; nullptr when absent.  The snapshot
+  /// stays valid across later overwrites (tests use this for bit-identity
+  /// checks against the on-disk format).
+  [[nodiscard]] std::shared_ptr<const std::vector<std::byte>> object(
+      const std::string& key) const;
+
+  /// Committed objects / total committed bytes currently stored.
+  [[nodiscard]] std::size_t object_count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  void publish(const std::string& key, std::vector<std::byte> bytes);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const std::vector<std::byte>>>
+      objects_;
+
+  friend class MemoryWriter;
+};
+
+}  // namespace scrutiny::ckpt

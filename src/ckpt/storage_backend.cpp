@@ -1,0 +1,31 @@
+#include "ckpt/storage_backend.hpp"
+
+#include "ckpt/async_backend.hpp"
+#include "ckpt/file_backend.hpp"
+#include "ckpt/memory_backend.hpp"
+
+namespace scrutiny::ckpt {
+
+std::optional<BackendKind> parse_backend_kind(std::string_view text) {
+  if (text == "file") return BackendKind::File;
+  if (text == "memory") return BackendKind::Memory;
+  return std::nullopt;
+}
+
+std::unique_ptr<StorageBackend> make_backend(BackendKind kind,
+                                             const std::filesystem::path& root,
+                                             bool async_io) {
+  std::unique_ptr<StorageBackend> backend;
+  switch (kind) {
+    case BackendKind::File:
+      backend = std::make_unique<FileBackend>(root);
+      break;
+    case BackendKind::Memory:
+      backend = std::make_unique<MemoryBackend>();
+      break;
+  }
+  if (async_io) backend = std::make_unique<AsyncBackend>(std::move(backend));
+  return backend;
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,127 @@
+// Pluggable checkpoint storage.
+//
+// The writer/restore serializers (checkpoint_io) and the lifecycle manager
+// (manager) no longer talk to the filesystem directly: they stream bytes
+// through this interface.  A backend stores named immutable objects
+// ("keys") with an append → commit write protocol:
+//
+//   writer = backend.open_for_write(key)   // nothing visible yet
+//   writer->append(bytes...)               // any number of chunks
+//   writer->commit()                       // atomic publish under `key`
+//
+// Dropping a writer without commit() aborts the object: a crash mid-write
+// can never shadow an older valid object under the same key.  Readers see
+// either the previous committed object or the new one, never a mix.
+//
+// Implementations:
+//   FileBackend   — one file per key, committed via tmp-file + rename
+//                   (file_backend.hpp)
+//   MemoryBackend — in-process object store for tests, benches and future
+//                   remote shipping (memory_backend.hpp)
+//   AsyncBackend  — decorator that buffers committed objects in a double
+//                   buffer and drains them to an inner backend on a
+//                   background thread (async_backend.hpp)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scrutiny::ckpt {
+
+/// Streaming write handle for one object.  Not thread-safe; one writer per
+/// key at a time.
+class StorageWriter {
+ public:
+  virtual ~StorageWriter() = default;
+
+  /// Appends a chunk.  Chunks may be any size; backends must not assume
+  /// alignment or splitting.
+  virtual void append(const void* data, std::size_t size) = 0;
+
+  /// Atomically publishes everything appended so far under the key.  At
+  /// most once; append() after commit() is an error.
+  virtual void commit() = 0;
+
+  [[nodiscard]] virtual std::uint64_t bytes_written() const noexcept = 0;
+};
+
+/// Streaming read handle over one committed object.  Reads see the object
+/// as it was when the reader was opened.
+class StorageReader {
+ public:
+  virtual ~StorageReader() = default;
+
+  /// Reads exactly `size` bytes; throws ScrutinyError on short read.
+  virtual void read(void* data, std::size_t size) = 0;
+
+  [[nodiscard]] virtual std::uint64_t bytes_read() const noexcept = 0;
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<StorageWriter> open_for_write(
+      const std::string& key) = 0;
+  [[nodiscard]] virtual std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& key) = 0;
+  virtual void remove(const std::string& key) = 0;
+
+  /// Committed keys starting with `prefix`, in unspecified order.  In-flight
+  /// (uncommitted) objects never appear.
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& prefix) = 0;
+
+  /// Blocks until previously committed writes are durable in the underlying
+  /// store; the join point where asynchronous backends surface background
+  /// errors.  Synchronous backends are always drained: a no-op.
+  virtual void wait() {}
+
+  /// Non-blocking probe: true when every committed write has durably
+  /// landed and no background error is pending.  Synchronous backends are
+  /// always drained.  Slot rotation uses this to defer deleting older
+  /// checkpoints until newer ones are actually safe.
+  [[nodiscard]] virtual bool drained() { return true; }
+
+  /// Alias join point mirroring SCR/VELOC-style APIs (flush = wait here;
+  /// kept separate so a future backend can make flush() initiate and
+  /// wait() join).
+  virtual void flush() { wait(); }
+
+  /// Diagnostic name, e.g. "file", "memory", "async(file)".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Backend selection as carried by configs and CLI flags.
+enum class BackendKind : std::uint8_t {
+  File = 0,
+  Memory = 1,
+};
+
+[[nodiscard]] constexpr const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::File: return "file";
+    case BackendKind::Memory: return "memory";
+  }
+  return "?";
+}
+
+/// Parses "file" / "memory"; nullopt on anything else.
+[[nodiscard]] std::optional<BackendKind> parse_backend_kind(
+    std::string_view text);
+
+/// Builds a backend: the base kind (FileBackend rooted at `root`, or
+/// MemoryBackend), wrapped in an AsyncBackend when `async_io` is set.
+[[nodiscard]] std::unique_ptr<StorageBackend> make_backend(
+    BackendKind kind, const std::filesystem::path& root = {},
+    bool async_io = false);
+
+}  // namespace scrutiny::ckpt

@@ -8,9 +8,12 @@
 //                [--save-masks F.scmask]
 //       Run the criticality analysis, print the Table II rows, and
 //       optionally persist the masks to an .scmask artifact.
-//   storage PROG [--dir PATH] [--masks F.scmask | analysis flags]
-//       Write full + pruned checkpoints and print the Table III row.
-//   verify  PROG [--dir PATH] [--masks F.scmask | analysis flags]
+//   storage PROG [--dir PATH] [--backend file|memory] [--async-io]
+//                [--masks F.scmask | analysis flags]
+//       Write full + pruned checkpoints and print the Table III row plus
+//       write timings/throughput.
+//   verify  PROG [--dir PATH] [--backend file|memory] [--async-io]
+//                [--masks F.scmask | analysis flags]
 //       Run the §IV-C restart verification protocol.
 //   viz     PROG VAR [--out PATH.ppm] [--width N]
 //                    [--masks F.scmask | analysis flags]
@@ -26,6 +29,7 @@
 #include <string>
 
 #include "ad/adjoint_models.hpp"
+#include "ckpt/storage_backend.hpp"
 #include "core/analysis_io.hpp"
 #include "core/program.hpp"
 #include "core/report.hpp"
@@ -54,10 +58,12 @@ void print_usage(std::FILE* stream) {
                "               [--warmup N] [--window N] [--threshold X]\n"
                "               [--sample-stride N] [--impact]\n"
                "               [--save-masks F.scmask]\n"
-               "  storage PROG [--dir PATH] [--masks F.scmask | analysis "
-               "flags]\n"
-               "  verify  PROG [--dir PATH] [--masks F.scmask | analysis "
-               "flags]\n"
+               "  storage PROG [--dir PATH] [--backend file|memory] "
+               "[--async-io]\n"
+               "               [--masks F.scmask | analysis flags]\n"
+               "  verify  PROG [--dir PATH] [--backend file|memory] "
+               "[--async-io]\n"
+               "               [--masks F.scmask | analysis flags]\n"
                "  viz     PROG VAR [--out PATH.ppm] [--width N]\n"
                "                   [--masks F.scmask | analysis flags]\n"
                "  list\n"
@@ -181,28 +187,61 @@ int cmd_analyze(const core::AnyProgram& program, const CliArgs& args) {
   return 0;
 }
 
+/// Builds the storage backend the --backend/--async-io flags select and
+/// seats the session on it.  Returns a description for the report header.
+std::string configure_storage(core::ScrutinySession& session,
+                              const CliArgs& args) {
+  const std::string kind_text = args.get("backend", "file");
+  const auto kind = ckpt::parse_backend_kind(kind_text);
+  SCRUTINY_REQUIRE(kind.has_value(),
+                   "unknown storage backend: " + kind_text +
+                       " (expected file or memory)");
+  const bool async_io = args.has("async-io");
+  std::shared_ptr<ckpt::StorageBackend> backend =
+      ckpt::make_backend(*kind, {}, async_io);
+  const std::string description = backend->name();
+  session.use_storage(std::move(backend));
+  return description;
+}
+
 int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
-  args.require_known({"help", "dir", "masks", "mode", "sweep", "warmup",
-                      "window", "threshold", "sample-stride", "impact"});
+  args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
+                      "sweep", "warmup", "window", "threshold",
+                      "sample-stride", "impact"});
   core::ScrutinySession session(program);
+  const std::string backend_name = configure_storage(session, args);
   prepare_analysis(session, args);
   const auto comparison =
       session.compare_storage(args.get("dir", "scrutiny_ckpt_out"));
-  TablePrinter table({"Benchmark", "Original", "Optimized", "Storage saved"});
+  // Join any async drain before reporting so errors fail the command.
+  session.storage().wait();
+  std::printf("storage backend: %s\n", backend_name.c_str());
+  TablePrinter table({"Benchmark", "Original", "Optimized", "Storage saved",
+                      "Write (full/pruned)", "MB/s (full/pruned)"});
   table.add_row({comparison.program, human_bytes(comparison.payload_full),
                  human_bytes(comparison.payload_pruned),
-                 percent(comparison.payload_saving())});
+                 percent(comparison.payload_saving()),
+                 seconds(comparison.seconds_full) + " / " +
+                     seconds(comparison.seconds_pruned),
+                 mb_per_second(comparison.file_full,
+                               comparison.seconds_full) +
+                     " / " +
+                     mb_per_second(comparison.file_pruned,
+                                   comparison.seconds_pruned)});
   table.print();
   return 0;
 }
 
 int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
-  args.require_known({"help", "dir", "masks", "mode", "sweep", "warmup",
-                      "window", "threshold", "sample-stride", "impact"});
+  args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
+                      "sweep", "warmup", "window", "threshold",
+                      "sample-stride", "impact"});
   core::ScrutinySession session(program);
+  configure_storage(session, args);
   prepare_analysis(session, args);
   const auto verification =
       session.verify_restart(args.get("dir", "scrutiny_ckpt_out"));
+  session.storage().wait();
   std::printf("pruned restart matches uninterrupted run: %s\n",
               verification.pruned_restart_matches ? "YES" : "NO");
   std::printf("critical-corruption detected:             %s\n",

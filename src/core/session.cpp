@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ckpt/failure.hpp"
+#include "ckpt/file_backend.hpp"
 #include "ckpt/registry.hpp"
 #include "core/analysis_io.hpp"
 #include "mask/region.hpp"
@@ -34,6 +35,19 @@ ScrutinySession::ScrutinySession(const AnyProgram& program)
 
 ScrutinySession ScrutinySession::open(std::string_view program_name) {
   return ScrutinySession(ProgramRegistry::global().get(program_name));
+}
+
+void ScrutinySession::use_storage(
+    std::shared_ptr<ckpt::StorageBackend> backend) {
+  SCRUTINY_REQUIRE(backend != nullptr, "session needs a storage backend");
+  storage_ = std::move(backend);
+}
+
+ckpt::StorageBackend& ScrutinySession::storage() const {
+  if (storage_ == nullptr) {
+    storage_ = std::make_shared<ckpt::FileBackend>();
+  }
+  return *storage_;
 }
 
 // ---------------------------------------------------------------------------
@@ -134,9 +148,10 @@ ckpt::WriteReport ScrutinySession::write_checkpoint(
   for (int s = 0; s < warmup; ++s) app->step();
   ckpt::CheckpointRegistry registry;
   app->register_checkpoint(registry);
-  const ckpt::WriteReport report = ckpt::write_checkpoint(
-      file, registry, static_cast<std::uint64_t>(warmup), &masks);
-  ckpt::save_regions_sidecar(file, registry, masks);
+  const ckpt::WriteReport report =
+      ckpt::write_checkpoint(storage(), file.string(), registry,
+                             static_cast<std::uint64_t>(warmup), &masks);
+  ckpt::save_regions_sidecar(storage(), file.string(), registry, masks);
   return report;
 }
 
@@ -148,7 +163,8 @@ std::vector<double> ScrutinySession::restart(
   app->register_checkpoint(registry);
   ckpt::FailureInjector injector;
   injector.poison_all(registry);
-  const ckpt::RestoreReport report = ckpt::restore_checkpoint(file, registry);
+  const ckpt::RestoreReport report =
+      ckpt::restore_checkpoint(storage(), file.string(), registry);
   const int total_steps = app->total_steps();
   for (int s = static_cast<int>(report.step); s < total_steps; ++s) {
     app->step();
@@ -176,15 +192,17 @@ StorageComparison ScrutinySession::compare_storage(
   ckpt::CheckpointRegistry registry;
   app->register_checkpoint(registry);
 
-  std::filesystem::create_directories(dir);
-  const auto full_path = dir / (program_->name() + "_full.ckpt");
-  const auto pruned_path = dir / (program_->name() + "_pruned.ckpt");
+  const std::string full_key =
+      (dir / (program_->name() + "_full.ckpt")).string();
+  const std::string pruned_key =
+      (dir / (program_->name() + "_pruned.ckpt")).string();
 
   const ckpt::WriteReport full = ckpt::write_checkpoint(
-      full_path, registry, static_cast<std::uint64_t>(warmup));
-  const ckpt::WriteReport pruned = ckpt::write_checkpoint(
-      pruned_path, registry, static_cast<std::uint64_t>(warmup), &masks);
-  ckpt::save_regions_sidecar(pruned_path, registry, masks);
+      storage(), full_key, registry, static_cast<std::uint64_t>(warmup));
+  const ckpt::WriteReport pruned =
+      ckpt::write_checkpoint(storage(), pruned_key, registry,
+                             static_cast<std::uint64_t>(warmup), &masks);
+  ckpt::save_regions_sidecar(storage(), pruned_key, registry, masks);
 
   StorageComparison comparison;
   comparison.program = program_->name();
@@ -194,6 +212,8 @@ StorageComparison ScrutinySession::compare_storage(
   comparison.file_pruned = pruned.file_bytes;
   comparison.aux_bytes = pruned.aux_bytes;
   comparison.elements_skipped = pruned.elements_skipped;
+  comparison.seconds_full = full.seconds;
+  comparison.seconds_pruned = pruned.seconds;
   return comparison;
 }
 
@@ -205,8 +225,8 @@ RestartVerification ScrutinySession::verify_restart(
   const double tol = traits.verify_tolerance;
 
   RestartVerification verification;
-  std::filesystem::create_directories(dir);
-  const auto path = dir / (program_->name() + "_restart.ckpt");
+  const std::string key =
+      (dir / (program_->name() + "_restart.ckpt")).string();
 
   // Uninterrupted reference run.
   verification.golden = golden_outputs();
@@ -224,13 +244,13 @@ RestartVerification ScrutinySession::verify_restart(
     if (corrupt_variable.empty() && !registry.variables().empty()) {
       corrupt_variable = registry.variables().front().name;
     }
-    ckpt::write_checkpoint(path, registry,
+    ckpt::write_checkpoint(storage(), key, registry,
                            static_cast<std::uint64_t>(warmup), &masks);
   }
 
   // Failure: a fresh process re-initializes, all checkpointed memory is
   // poisoned, and only critical regions come back from the file.
-  verification.restarted = restart(path);
+  verification.restarted = restart(key);
   verification.pruned_restart_matches =
       all_close(verification.golden, verification.restarted, tol);
 
@@ -246,7 +266,7 @@ RestartVerification ScrutinySession::verify_restart(
     ckpt::FailureInjector injector;
     injector.poison_all(registry);
     const ckpt::RestoreReport report =
-        ckpt::restore_checkpoint(path, registry);
+        ckpt::restore_checkpoint(storage(), key, registry);
     injector.corrupt_critical(registry, masks, corrupt_variable, 16);
     for (int s = static_cast<int>(report.step); s < total_steps; ++s) {
       corrupted->step();

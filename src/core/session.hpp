@@ -15,6 +15,11 @@
 // The analysis is computed once and cached on the session; loading a saved
 // .scmask artifact substitutes for the sweep entirely (analysis_was_loaded
 // reports which path populated the cache).
+//
+// Checkpoint legs go through a pluggable ckpt::StorageBackend
+// (use_storage); the default is the on-disk FileBackend, so path arguments
+// behave as before.  With a MemoryBackend or an async-wrapped backend the
+// same paths act as object keys.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +49,8 @@ struct StorageComparison {
   std::uint64_t file_pruned = 0;     ///< pruned container size on disk
   std::uint64_t aux_bytes = 0;       ///< auxiliary region metadata
   std::uint64_t elements_skipped = 0;
+  double seconds_full = 0.0;    ///< app-thread blocked time, full write
+  double seconds_pruned = 0.0;  ///< app-thread blocked time, pruned write
 
   [[nodiscard]] double payload_saving() const noexcept {
     if (payload_full == 0) return 0.0;
@@ -109,6 +116,16 @@ class ScrutinySession {
     return *program_;
   }
 
+  // ---- storage --------------------------------------------------------
+
+  /// Seats every checkpoint leg (write_checkpoint / restart /
+  /// compare_storage / verify_restart) on `backend`.  Default: the on-disk
+  /// FileBackend, for which keys are plain filesystem paths.
+  void use_storage(std::shared_ptr<ckpt::StorageBackend> backend);
+
+  /// The active backend (creates the file default on first use).
+  [[nodiscard]] ckpt::StorageBackend& storage() const;
+
   // ---- analysis -------------------------------------------------------
 
   /// Runs the analysis now and caches it; returns the cached result.
@@ -172,6 +189,7 @@ class ScrutinySession {
   std::optional<AnalysisConfig> config_;
   std::optional<AnalysisResult> analysis_;
   bool analysis_loaded_ = false;
+  mutable std::shared_ptr<ckpt::StorageBackend> storage_;
 };
 
 }  // namespace scrutiny::core

@@ -1,6 +1,10 @@
 #include "mask/region_file.hpp"
 
+#include <cstring>
+
 #include "support/binary_io.hpp"
+#include "support/byte_buffer.hpp"
+#include "support/crc64.hpp"
 #include "support/error.hpp"
 
 namespace scrutiny {
@@ -8,6 +12,62 @@ namespace scrutiny {
 namespace {
 constexpr std::uint64_t kMagic = 0x53435255'52454731ull;  // "SCRU REG1"
 constexpr std::uint32_t kVersion = 1;
+
+/// Little-endian append/consume over a byte vector — the same wire layout
+/// BinaryWriter/BinaryReader produce, but targetable at any byte store.
+class ByteAppender {
+ public:
+  explicit ByteAppender(std::vector<std::byte>& out) : out_(out) {}
+
+  void put_bytes(const void* data, std::size_t size) {
+    append_bytes(out_, data, size);
+  }
+  template <typename T>
+  void put(const T& value) {
+    put_bytes(&value, sizeof(T));
+  }
+  void put_string(std::string_view text) {
+    put(static_cast<std::uint32_t>(text.size()));
+    put_bytes(text.data(), text.size());
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+class ByteCursor {
+ public:
+  ByteCursor(std::span<const std::byte> bytes, const std::string& context)
+      : bytes_(bytes), context_(context) {}
+
+  void take_bytes(void* data, std::size_t size) {
+    SCRUTINY_REQUIRE(offset_ + size <= bytes_.size(),
+                     "truncated region data: " + context_);
+    std::memcpy(data, bytes_.data() + offset_, size);
+    offset_ += size;
+  }
+  template <typename T>
+  [[nodiscard]] T take() {
+    T value{};
+    take_bytes(&value, sizeof(T));
+    return value;
+  }
+  [[nodiscard]] std::string take_string() {
+    const auto length = take<std::uint32_t>();
+    SCRUTINY_REQUIRE(length <= (1u << 20),
+                     "implausible string length in " + context_);
+    std::string text(length, '\0');
+    take_bytes(text.data(), length);
+    return text;
+  }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  const std::string& context_;
+  std::size_t offset_ = 0;
+};
+
 }  // namespace
 
 const VariableRegions* RegionFile::find(const std::string& name) const {
@@ -17,56 +77,76 @@ const VariableRegions* RegionFile::find(const std::string& name) const {
   return nullptr;
 }
 
-void RegionFile::save(const std::filesystem::path& path) const {
-  BinaryWriter writer(path);
-  writer.write(kMagic);
-  writer.write(kVersion);
-  writer.write(static_cast<std::uint32_t>(variables.size()));
+std::vector<std::byte> RegionFile::serialize() const {
+  std::vector<std::byte> out;
+  ByteAppender appender(out);
+  appender.put(kMagic);
+  appender.put(kVersion);
+  appender.put(static_cast<std::uint32_t>(variables.size()));
   for (const VariableRegions& variable : variables) {
-    writer.write_string(variable.name);
-    writer.write(variable.element_size);
-    writer.write(variable.total_elements);
-    writer.write(static_cast<std::uint64_t>(variable.critical.num_regions()));
+    appender.put_string(variable.name);
+    appender.put(variable.element_size);
+    appender.put(variable.total_elements);
+    appender.put(
+        static_cast<std::uint64_t>(variable.critical.num_regions()));
     for (const Region& region : variable.critical.regions()) {
-      writer.write(region.begin);
-      writer.write(region.end);
+      appender.put(region.begin);
+      appender.put(region.end);
     }
   }
-  const std::uint64_t crc = writer.crc();
-  writer.write(crc);
-  writer.commit();
+  const std::uint64_t crc = crc64(out.data(), out.size());
+  appender.put(crc);
+  return out;
 }
 
-RegionFile RegionFile::load(const std::filesystem::path& path) {
-  BinaryReader reader(path);
-  SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
-                   "not a region file: " + path.string());
-  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
-                   "unsupported region file version: " + path.string());
+RegionFile RegionFile::parse(std::span<const std::byte> bytes,
+                             const std::string& context) {
+  ByteCursor cursor(bytes, context);
+  SCRUTINY_REQUIRE(cursor.take<std::uint64_t>() == kMagic,
+                   "not a region file: " + context);
+  SCRUTINY_REQUIRE(cursor.take<std::uint32_t>() == kVersion,
+                   "unsupported region file version: " + context);
 
   RegionFile file;
-  const auto num_variables = reader.read<std::uint32_t>();
+  const auto num_variables = cursor.take<std::uint32_t>();
   for (std::uint32_t v = 0; v < num_variables; ++v) {
     VariableRegions variable;
-    variable.name = reader.read_string();
-    variable.element_size = reader.read<std::uint32_t>();
-    variable.total_elements = reader.read<std::uint64_t>();
-    const auto num_regions = reader.read<std::uint64_t>();
+    variable.name = cursor.take_string();
+    variable.element_size = cursor.take<std::uint32_t>();
+    variable.total_elements = cursor.take<std::uint64_t>();
+    const auto num_regions = cursor.take<std::uint64_t>();
     for (std::uint64_t r = 0; r < num_regions; ++r) {
       Region region;
-      region.begin = reader.read<std::uint64_t>();
-      region.end = reader.read<std::uint64_t>();
+      region.begin = cursor.take<std::uint64_t>();
+      region.end = cursor.take<std::uint64_t>();
       SCRUTINY_REQUIRE(region.end <= variable.total_elements,
-                       "region out of bounds in " + path.string());
+                       "region out of bounds in " + context);
       variable.critical.append(region);
     }
     file.variables.push_back(std::move(variable));
   }
-  const std::uint64_t computed = reader.crc();
-  const auto stored = reader.read<std::uint64_t>();
+  const std::uint64_t computed = crc64(bytes.data(), cursor.offset());
+  const auto stored = cursor.take<std::uint64_t>();
   SCRUTINY_REQUIRE(computed == stored,
-                   "region file CRC mismatch: " + path.string());
+                   "region file CRC mismatch: " + context);
   return file;
+}
+
+void RegionFile::save(const std::filesystem::path& path) const {
+  const std::vector<std::byte> bytes = serialize();
+  BinaryWriter writer(path);
+  writer.write_bytes(bytes.data(), bytes.size());
+  writer.commit();
+}
+
+RegionFile RegionFile::load(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  SCRUTINY_REQUIRE(!ec, "cannot open region file: " + path.string());
+  BinaryReader reader(path);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  reader.read_bytes(bytes.data(), bytes.size());
+  return parse(bytes, path.string());
 }
 
 }  // namespace scrutiny

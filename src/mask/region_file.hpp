@@ -7,8 +7,10 @@
 // a CRC-64 trailer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,15 @@ struct RegionFile {
   std::vector<VariableRegions> variables;
 
   [[nodiscard]] const VariableRegions* find(const std::string& name) const;
+
+  /// The complete framed representation (magic/version/payload/CRC-64) —
+  /// what save() puts on disk, byte for byte.  Checkpoint storage backends
+  /// ship sidecars as these bytes.
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+
+  /// Parses serialize() output; `context` names the source in errors.
+  static RegionFile parse(std::span<const std::byte> bytes,
+                          const std::string& context);
 
   void save(const std::filesystem::path& path) const;
   static RegionFile load(const std::filesystem::path& path);

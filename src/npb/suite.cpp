@@ -82,17 +82,21 @@ std::vector<double> golden_outputs(BenchmarkId id) {
 
 StorageComparison compare_checkpoint_storage(
     BenchmarkId id, const core::AnalysisResult& analysis,
-    const std::filesystem::path& dir) {
+    const std::filesystem::path& dir,
+    std::shared_ptr<ckpt::StorageBackend> backend) {
   core::ScrutinySession session(benchmark_program(id));
   session.use_analysis(analysis);
+  if (backend != nullptr) session.use_storage(std::move(backend));
   return session.compare_storage(dir);
 }
 
-RestartVerification verify_restart(BenchmarkId id,
-                                   const core::AnalysisResult& analysis,
-                                   const std::filesystem::path& dir) {
+RestartVerification verify_restart(
+    BenchmarkId id, const core::AnalysisResult& analysis,
+    const std::filesystem::path& dir,
+    std::shared_ptr<ckpt::StorageBackend> backend) {
   core::ScrutinySession session(benchmark_program(id));
   session.use_analysis(analysis);
+  if (backend != nullptr) session.use_storage(std::move(backend));
   return session.verify_restart(dir);
 }
 

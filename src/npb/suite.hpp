@@ -9,6 +9,7 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,12 +52,17 @@ void register_suite();
 /// Full uninterrupted run; outputs converted to double.
 [[nodiscard]] std::vector<double> golden_outputs(BenchmarkId id);
 
+/// `backend` seats the checkpoint legs on alternative storage (memory,
+/// async-wrapped); nullptr keeps the on-disk default, for which `dir`
+/// behaves exactly as before.
 [[nodiscard]] StorageComparison compare_checkpoint_storage(
     BenchmarkId id, const core::AnalysisResult& analysis,
-    const std::filesystem::path& dir);
+    const std::filesystem::path& dir,
+    std::shared_ptr<ckpt::StorageBackend> backend = nullptr);
 
 [[nodiscard]] RestartVerification verify_restart(
     BenchmarkId id, const core::AnalysisResult& analysis,
-    const std::filesystem::path& dir);
+    const std::filesystem::path& dir,
+    std::shared_ptr<ckpt::StorageBackend> backend = nullptr);
 
 }  // namespace scrutiny::npb

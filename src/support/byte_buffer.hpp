@@ -1,0 +1,21 @@
+// Byte-vector append shared by the streaming checkpoint writers and the
+// region-file serializer.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace scrutiny {
+
+/// Appends `size` raw bytes to `out`.  Implemented as resize+memcpy
+/// instead of vector::insert because GCC 12's -Wstringop-overflow
+/// misfires on pointer-range vector inserts at -O2.
+inline void append_bytes(std::vector<std::byte>& out, const void* data,
+                         std::size_t size) {
+  const std::size_t offset = out.size();
+  out.resize(offset + size);
+  std::memcpy(out.data() + offset, data, size);
+}
+
+}  // namespace scrutiny

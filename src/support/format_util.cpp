@@ -41,6 +41,20 @@ std::string scientific(double value, int decimals) {
   return buffer;
 }
 
+std::string seconds(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f s", value);
+  return buffer;
+}
+
+std::string mb_per_second(std::uint64_t bytes, double elapsed_seconds) {
+  if (elapsed_seconds <= 0.0) return "-";
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.1f MB/s",
+                static_cast<double>(bytes) / elapsed_seconds / 1.0e6);
+  return buffer;
+}
+
 std::string with_commas(std::uint64_t value) {
   std::string digits = std::to_string(value);
   std::string out;

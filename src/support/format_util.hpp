@@ -21,4 +21,12 @@ namespace scrutiny {
 /// Thousands-separated integer ("266,240").
 [[nodiscard]] std::string with_commas(std::uint64_t value);
 
+/// Seconds with millisecond resolution ("0.012 s").
+[[nodiscard]] std::string seconds(double value);
+
+/// Throughput as "123.4 MB/s" (decimal megabytes); "-" when the elapsed
+/// time is not positive (e.g. sub-resolution writes).
+[[nodiscard]] std::string mb_per_second(std::uint64_t bytes,
+                                        double elapsed_seconds);
+
 }  // namespace scrutiny

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "ckpt/failure.hpp"
+#include "ckpt/memory_backend.hpp"
 #include "mask/region_file.hpp"
+#include "support/crc64.hpp"
 #include "support/npb_random.hpp"
 
 namespace scrutiny::ckpt {
@@ -285,6 +289,123 @@ TEST_F(CheckpointIoTest, WriteReportAccountsBytes) {
   EXPECT_EQ(report.payload_bytes, registry.total_payload_bytes());
   EXPECT_EQ(report.file_bytes, std::filesystem::file_size(path));
   EXPECT_GT(report.file_bytes, report.payload_bytes);  // header + names
+}
+
+TEST_F(CheckpointIoTest, ReportsCarryTimingAndThroughput) {
+  const auto path = dir_ / "timing.ckpt";
+  State state;
+  auto registry = state.registry();
+  const WriteReport write = write_checkpoint(path, registry, 1);
+  EXPECT_GE(write.seconds, 0.0);
+  EXPECT_GE(write.mb_per_second(), 0.0);
+
+  const RestoreReport restore = restore_checkpoint(path, registry);
+  EXPECT_GE(restore.seconds, 0.0);
+  EXPECT_EQ(restore.file_bytes, write.file_bytes);
+  EXPECT_GE(restore.mb_per_second(), 0.0);
+}
+
+TEST_F(CheckpointIoTest, FileAndMemoryBackendsProduceIdenticalBytes) {
+  // The container format is backend-independent: a pruned checkpoint
+  // streamed into the in-memory store must be byte-for-byte what the file
+  // backend commits to disk.
+  State state;
+  auto registry = state.registry();
+  PruneMap masks;
+  CriticalMask u_mask(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (hashed_uniform(i) < 0.5) u_mask.set(i);
+  }
+  masks["u"] = u_mask;
+
+  const auto path = dir_ / "disk.ckpt";
+  write_checkpoint(path, registry, 21, &masks);
+
+  MemoryBackend memory;
+  write_checkpoint(memory, "mem.ckpt", registry, 21, &masks);
+
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<char> disk_bytes{std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>()};
+  const auto object = memory.object("mem.ckpt");
+  ASSERT_NE(object, nullptr);
+  ASSERT_EQ(object->size(), disk_bytes.size());
+  EXPECT_EQ(std::memcmp(object->data(), disk_bytes.data(),
+                        disk_bytes.size()),
+            0);
+}
+
+TEST_F(CheckpointIoTest, SidecarBytesMatchRegionFileSaveExactly) {
+  State state;
+  auto registry = state.registry();
+  PruneMap masks;
+  CriticalMask u_mask(64);
+  for (std::size_t i = 8; i < 24; ++i) u_mask.set(i);
+  masks["u"] = u_mask;
+
+  const auto path = dir_ / "side.ckpt";
+  write_checkpoint(path, registry, 1, &masks);
+  save_regions_sidecar(path, registry, masks);
+
+  MemoryBackend memory;
+  save_regions_sidecar(memory, "side.ckpt", registry, masks);
+
+  std::ifstream in(path.string() + ".regions", std::ios::binary);
+  const std::vector<char> disk_bytes{std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>()};
+  const auto object = memory.object("side.ckpt.regions");
+  ASSERT_NE(object, nullptr);
+  ASSERT_EQ(object->size(), disk_bytes.size());
+  EXPECT_EQ(std::memcmp(object->data(), disk_bytes.data(),
+                        disk_bytes.size()),
+            0);
+}
+
+TEST_F(CheckpointIoTest, ContainerFormatIsPinnedByteForByte) {
+  // Golden framing check: builds the version-1 container by hand for a
+  // two-element f64 scalar pair and compares against the writer's output.
+  // This is the guarantee that pre-refactor .ckpt files keep restoring and
+  // that refactors of the streaming serializer stay wire-compatible.
+  double a = 1.5;
+  CheckpointRegistry registry;
+  registry.register_f64("a", std::span<double>(&a, 1));
+
+  MemoryBackend memory;
+  write_checkpoint(memory, "pinned", registry, 5);
+  const auto object = memory.object("pinned");
+  ASSERT_NE(object, nullptr);
+
+  std::vector<std::byte> expected;
+  const auto put = [&expected](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    expected.insert(expected.end(), bytes, bytes + size);
+  };
+  const std::uint64_t magic = 0x53435255'434B5031ull;  // "SCRU CKP1"
+  const std::uint32_t version = 1;
+  const std::uint64_t step = 5;
+  const std::uint32_t num_vars = 1;
+  put(&magic, 8);
+  put(&version, 4);
+  put(&step, 8);
+  put(&num_vars, 4);
+  const std::uint32_t name_len = 1;
+  put(&name_len, 4);
+  put("a", 1);
+  const std::uint8_t dtype = 0;  // Float64
+  put(&dtype, 1);
+  const std::uint32_t elem_size = 8;
+  put(&elem_size, 4);
+  const std::uint64_t num_elements = 1;
+  put(&num_elements, 8);
+  const std::uint8_t ndim = 0;
+  put(&ndim, 1);
+  const std::uint8_t mode_full = 0;
+  put(&mode_full, 1);
+  put(&a, 8);
+  const std::uint64_t crc = crc64(expected.data(), expected.size());
+  put(&crc, 8);
+
+  EXPECT_EQ(*object, expected);
 }
 
 }  // namespace

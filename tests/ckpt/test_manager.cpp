@@ -4,9 +4,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <vector>
 
+#include "ckpt/async_backend.hpp"
 #include "ckpt/failure.hpp"
+#include "ckpt/memory_backend.hpp"
 
 namespace scrutiny::ckpt {
 namespace {
@@ -129,10 +132,251 @@ TEST_F(ManagerTest, SidecarWrittenWhenConfigured) {
   EXPECT_TRUE(std::filesystem::exists(path.string() + ".regions"));
 }
 
-TEST_F(ManagerTest, PathForStepIsZeroPadded) {
+TEST_F(ManagerTest, PathForStepIsZeroPaddedToFullUint64Width) {
   CheckpointManager manager(config(1, 1));
+  // 20 digits: every uint64 step fits, so the pad can never overflow and
+  // scramble name ordering again.
   const auto path = manager.path_for_step(42);
-  EXPECT_NE(path.string().find("test.00000042.ckpt"), std::string::npos);
+  EXPECT_NE(path.string().find("test.00000000000000000042.ckpt"),
+            std::string::npos);
+}
+
+TEST_F(ManagerTest, StepsBeyondHundredMillionOrderCorrectly) {
+  // The historical 8-digit pad broke "lexicographic descending = newest
+  // first" at 1e8 steps; ordering now goes by the parsed step number.
+  CheckpointManager manager(config(1, 10));
+  for (const std::uint64_t step :
+       {99'999'999ull, 100'000'000ull, 100'000'001ull, 7ull}) {
+    counter_ = static_cast<std::int32_t>(step % 1000);
+    manager.checkpoint_now(step, registry_);
+  }
+  const auto keys = manager.list_checkpoint_keys();
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(peek_checkpoint_step(manager.config().directory / keys[0]),
+            100'000'001u);
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 100'000'001u);
+}
+
+TEST_F(ManagerTest, LegacyEightDigitPadsSortByParsedStep) {
+  // Checkpoints written by the old %08llu format must still be found,
+  // ordered numerically against new-width names, and rotated.
+  write_checkpoint(dir_ / "test.00000123.ckpt", registry_, 123);
+  CheckpointManager manager(config(1, 10));
+  counter_ = 42;
+  manager.checkpoint_now(7, registry_);
+
+  const auto keys = manager.list_checkpoint_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "test.00000123.ckpt");  // step 123 > step 7
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 123u);
+}
+
+TEST_F(ManagerTest, RewritingALegacyStepReplacesTheOldName) {
+  // Re-checkpointing a step that exists under the legacy 8-digit name must
+  // delete that name: two names for one step would let the stale legacy
+  // bytes shadow the fresh write on restart (lexicographically the legacy
+  // pad sorts first) and escape rotation forever.
+  counter_ = 5;
+  write_checkpoint(dir_ / "test.00000123.ckpt", registry_, 123);
+  CheckpointManager manager(config(1, 10));
+  counter_ = 999;
+  manager.checkpoint_now(123, registry_);
+
+  const auto keys = manager.list_checkpoint_keys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], manager.key_for_step(123));
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 123u);
+  EXPECT_EQ(counter_, 999);
+}
+
+TEST_F(ManagerTest, OverflowingStepNamesAreIgnored) {
+  CheckpointManager manager(config(1, 5));
+  counter_ = 1;
+  manager.checkpoint_now(1, registry_);
+  // 20 nines > uint64 max: must not wrap into a plausible "newest" step.
+  std::ofstream(dir_ / "test.99999999999999999999.ckpt") << "junk";
+  EXPECT_EQ(manager.list_checkpoint_keys().size(), 1u);
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+}
+
+/// Delegates to an in-memory store but fails every commit after the first
+/// `allowed` — a deterministic "device full mid-run" for async tests.
+class LossyBackend final : public StorageBackend {
+  class LossyWriter final : public StorageWriter {
+   public:
+    LossyWriter(LossyBackend& owner, std::unique_ptr<StorageWriter> inner)
+        : owner_(&owner), inner_(std::move(inner)) {}
+    void append(const void* data, std::size_t size) override {
+      inner_->append(data, size);
+    }
+    void commit() override {
+      // Deliberately NOT a ScrutinyError: restart's fallback must survive
+      // foreign exception types (std::filesystem errors and friends).
+      if (owner_->allowed_-- <= 0) {
+        throw std::runtime_error("simulated device full");
+      }
+      inner_->commit();
+    }
+    [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+      return inner_->bytes_written();
+    }
+
+   private:
+    LossyBackend* owner_;
+    std::unique_ptr<StorageWriter> inner_;
+  };
+
+ public:
+  explicit LossyBackend(int allowed_commits) : allowed_(allowed_commits) {}
+  std::unique_ptr<StorageWriter> open_for_write(
+      const std::string& key) override {
+    return std::make_unique<LossyWriter>(*this,
+                                         inner_.open_for_write(key));
+  }
+  std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) override {
+    return inner_.open_for_read(key);
+  }
+  bool exists(const std::string& key) override { return inner_.exists(key); }
+  void remove(const std::string& key) override { inner_.remove(key); }
+  std::vector<std::string> list(const std::string& prefix) override {
+    return inner_.list(prefix);
+  }
+  [[nodiscard]] std::string name() const override { return "lossy"; }
+
+ private:
+  MemoryBackend inner_;
+  int allowed_;  // decremented on the drain thread only
+};
+
+TEST_F(ManagerTest, RotationNeverDeletesTheLastDurableSlot) {
+  // keep_slots=1 and the newest write's background drain fails: rotation
+  // must have deferred deleting the older landed slot (deleting it on
+  // commit, before the drain settles, would leave zero valid checkpoints).
+  auto backend = std::make_shared<AsyncBackend>(
+      std::make_unique<LossyBackend>(/*allowed_commits=*/1));
+  CheckpointManager manager(config(1, /*slots=*/1), backend);
+  counter_ = 111;
+  manager.checkpoint_now(1, registry_);
+  manager.wait_for_io();  // slot 1 durably landed
+  counter_ = 222;
+  manager.checkpoint_now(2, registry_);  // drain will fail
+
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+  EXPECT_EQ(counter_, 111);
+}
+
+TEST_F(ManagerTest, PhantomSlotsDoNotRotateOutTheLastDurableCheckpoint) {
+  // A slot whose drain failed stays in the manager's cache as a phantom
+  // (the key never landed).  Once the error is harvested, rotation must
+  // reconcile the cache against the backend instead of letting the
+  // phantom push the only landed checkpoint out of keep_slots.
+  auto backend = std::make_shared<AsyncBackend>(
+      std::make_unique<LossyBackend>(/*allowed_commits=*/1));
+  CheckpointManager manager(config(1, /*slots=*/1), backend);
+  counter_ = 111;
+  manager.checkpoint_now(1, registry_);
+  manager.wait_for_io();  // slot 1 durably landed
+  counter_ = 222;
+  manager.checkpoint_now(2, registry_);              // drain fails
+  EXPECT_THROW(manager.wait_for_io(), std::exception);  // error harvested
+  counter_ = 333;
+  manager.checkpoint_now(3, registry_);  // also fails; its leading
+                                         // rotation must keep slot 1
+
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+  EXPECT_EQ(counter_, 111);
+}
+
+TEST_F(ManagerTest, AsyncRestartFallsBackPastBackgroundWriteFailure) {
+  // The newest checkpoint's background drain fails; restart must consume
+  // the surfaced error and still restore the older slot that landed —
+  // not propagate the write error out of the fallback scan.
+  auto backend = std::make_shared<AsyncBackend>(
+      std::make_unique<LossyBackend>(/*allowed_commits=*/1));
+  CheckpointManager manager(config(1, 3), backend);
+  counter_ = 111;
+  manager.checkpoint_now(1, registry_);
+  manager.wait_for_io();  // slot 1 landed
+  counter_ = 222;
+  manager.checkpoint_now(2, registry_);  // drain of slot 2 will fail
+
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+  EXPECT_EQ(counter_, 111);
+}
+
+TEST_F(ManagerTest, MemoryBackendRunsTheFullLifecycle) {
+  ManagerConfig cfg = config(1, 2);
+  cfg.backend = BackendKind::Memory;
+  CheckpointManager manager(cfg);
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    counter_ = static_cast<std::int32_t>(step * 10);
+    manager.checkpoint_now(step, registry_);
+  }
+  // Rotation keeps two slots, all in memory — nothing on disk.
+  EXPECT_EQ(manager.list_checkpoint_keys().size(), 2u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 4u);
+  EXPECT_EQ(counter_, 40);
+}
+
+TEST_F(ManagerTest, InjectedBackendIsShared) {
+  auto store = std::make_shared<MemoryBackend>();
+  ManagerConfig cfg = config(1, 3);
+  {
+    CheckpointManager manager(cfg, store);
+    counter_ = 77;
+    manager.checkpoint_now(9, registry_);
+  }
+  // A second manager over the same store adopts the existing slots.
+  CheckpointManager resumed(cfg, store);
+  EXPECT_EQ(resumed.list_checkpoint_keys().size(), 1u);
+  counter_ = -1;
+  const auto report = resumed.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 9u);
+  EXPECT_EQ(counter_, 77);
+}
+
+TEST_F(ManagerTest, AsyncIoOverlapsAndRestartJoins) {
+  ManagerConfig cfg = config(1, 3);
+  cfg.async_io = true;
+  CheckpointManager manager(cfg);
+  for (std::uint64_t step = 0; step < 6; ++step) {
+    counter_ = static_cast<std::int32_t>(step * 100);
+    manager.checkpoint_now(step, registry_);
+  }
+  manager.wait_for_io();  // surfaces background errors, if any
+
+  counter_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 5u);
+  EXPECT_EQ(counter_, 500);
+  EXPECT_EQ(manager.list_checkpoint_keys().size(), 3u);
 }
 
 TEST_F(ManagerTest, InvalidConfigRejected) {

@@ -1,0 +1,345 @@
+// Shared conformance suite: every StorageBackend implementation (file,
+// memory, async-wrapped either) must satisfy the same append → atomic
+// commit contract, plus async-specific join/error semantics.
+#include "ckpt/storage_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/async_backend.hpp"
+#include "ckpt/checkpoint_io.hpp"
+#include "ckpt/file_backend.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "support/error.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+struct BackendCase {
+  const char* name;
+  std::unique_ptr<StorageBackend> (*make)(const std::filesystem::path& dir);
+};
+
+std::unique_ptr<StorageBackend> make_file(const std::filesystem::path& dir) {
+  return std::make_unique<FileBackend>(dir);
+}
+std::unique_ptr<StorageBackend> make_memory(const std::filesystem::path&) {
+  return std::make_unique<MemoryBackend>();
+}
+std::unique_ptr<StorageBackend> make_async_file(
+    const std::filesystem::path& dir) {
+  return std::make_unique<AsyncBackend>(std::make_unique<FileBackend>(dir));
+}
+std::unique_ptr<StorageBackend> make_async_memory(
+    const std::filesystem::path&) {
+  return std::make_unique<AsyncBackend>(std::make_unique<MemoryBackend>());
+}
+
+class BackendConformance : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_backend_" + std::to_string(::getpid()) + "_" +
+            GetParam().name);
+    std::filesystem::create_directories(dir_);
+    backend_ = GetParam().make(dir_);
+  }
+  void TearDown() override {
+    backend_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static std::vector<std::byte> pattern(std::size_t size,
+                                        std::uint64_t salt = 0) {
+    std::vector<std::byte> bytes(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      bytes[i] = static_cast<std::byte>((i * 131 + salt) & 0xFF);
+    }
+    return bytes;
+  }
+
+  void put(const std::string& key, const std::vector<std::byte>& bytes) {
+    auto writer = backend_->open_for_write(key);
+    writer->append(bytes.data(), bytes.size());
+    writer->commit();
+  }
+
+  std::vector<std::byte> get(const std::string& key, std::size_t size) {
+    auto reader = backend_->open_for_read(key);
+    std::vector<std::byte> bytes(size);
+    reader->read(bytes.data(), bytes.size());
+    return bytes;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<StorageBackend> backend_;
+};
+
+TEST_P(BackendConformance, RoundTripsChunkedAppends) {
+  const auto part1 = pattern(1000, 1);
+  const auto part2 = pattern(77, 2);
+  auto writer = backend_->open_for_write("chunked");
+  writer->append(part1.data(), part1.size());
+  writer->append(part2.data(), part2.size());
+  EXPECT_EQ(writer->bytes_written(), part1.size() + part2.size());
+  writer->commit();
+  backend_->wait();
+
+  auto read_back = get("chunked", part1.size() + part2.size());
+  EXPECT_TRUE(std::equal(part1.begin(), part1.end(), read_back.begin()));
+  EXPECT_TRUE(std::equal(part2.begin(), part2.end(),
+                         read_back.begin() + part1.size()));
+}
+
+TEST_P(BackendConformance, LargePayloadRoundTrips) {
+  std::vector<std::byte> big(3u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(
+        static_cast<unsigned>(hashed_uniform(i) * 255.0));
+  }
+  put("big", big);
+  backend_->wait();
+  EXPECT_EQ(get("big", big.size()), big);
+}
+
+TEST_P(BackendConformance, UncommittedWriteIsInvisible) {
+  {
+    auto writer = backend_->open_for_write("aborted");
+    const auto bytes = pattern(256);
+    writer->append(bytes.data(), bytes.size());
+    // destroyed without commit
+  }
+  backend_->wait();
+  EXPECT_FALSE(backend_->exists("aborted"));
+  EXPECT_TRUE(backend_->list("aborted").empty());
+  EXPECT_THROW((void)backend_->open_for_read("aborted"), ScrutinyError);
+}
+
+TEST_P(BackendConformance, OverwriteIsAtomic) {
+  const auto old_bytes = pattern(512, 7);
+  put("slot", old_bytes);
+  backend_->wait();
+
+  // A new in-flight write must not disturb readers of the committed object.
+  auto writer = backend_->open_for_write("slot");
+  const auto half = pattern(100, 9);
+  writer->append(half.data(), half.size());
+  EXPECT_EQ(get("slot", old_bytes.size()), old_bytes);
+
+  const auto rest = pattern(100, 10);
+  writer->append(rest.data(), rest.size());
+  writer->commit();
+  backend_->wait();
+  auto read_back = get("slot", half.size() + rest.size());
+  EXPECT_TRUE(std::equal(half.begin(), half.end(), read_back.begin()));
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(),
+                         read_back.begin() + half.size()));
+}
+
+TEST_P(BackendConformance, ExistsRemoveAndListByPrefix) {
+  put("run.0001.ckpt", pattern(16));
+  put("run.0002.ckpt", pattern(16));
+  put("other.0001.ckpt", pattern(16));
+
+  EXPECT_TRUE(backend_->exists("run.0001.ckpt"));
+  EXPECT_FALSE(backend_->exists("run.0003.ckpt"));
+
+  auto keys = backend_->list("run.");
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"run.0001.ckpt",
+                                            "run.0002.ckpt"}));
+
+  backend_->remove("run.0001.ckpt");
+  backend_->wait();
+  EXPECT_FALSE(backend_->exists("run.0001.ckpt"));
+  EXPECT_EQ(backend_->list("run.").size(), 1u);
+  // Removing a missing key is a no-op, not an error.
+  backend_->remove("run.0001.ckpt");
+}
+
+TEST_P(BackendConformance, ShortReadThrows) {
+  put("short", pattern(32));
+  backend_->wait();
+  auto reader = backend_->open_for_read("short");
+  std::vector<std::byte> sink(33);
+  EXPECT_THROW(reader->read(sink.data(), sink.size()), ScrutinyError);
+}
+
+TEST_P(BackendConformance, CheckpointRoundTripsThroughBackend) {
+  std::vector<double> values(257);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = hashed_uniform(i);
+  }
+  CheckpointRegistry registry;
+  registry.register_f64("values", values);
+
+  PruneMap masks;
+  CriticalMask mask(values.size());
+  for (std::size_t i = 0; i < 200; ++i) mask.set(i);
+  masks["values"] = mask;
+
+  const WriteReport report =
+      write_checkpoint(*backend_, "snapshot.ckpt", registry, 11, &masks);
+  EXPECT_EQ(report.elements_skipped, values.size() - 200);
+  EXPECT_GE(report.seconds, 0.0);
+
+  std::vector<double> restored_values(values.size(), -1.0);
+  CheckpointRegistry reader;
+  reader.register_f64("values", restored_values);
+  const RestoreReport restored =
+      restore_checkpoint(*backend_, "snapshot.ckpt", reader);
+  EXPECT_EQ(restored.step, 11u);
+  EXPECT_EQ(restored.file_bytes, report.file_bytes);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(restored_values[i], values[i]) << i;
+  }
+  for (std::size_t i = 200; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored_values[i], -1.0) << i;
+  }
+  EXPECT_EQ(peek_checkpoint_step(*backend_, "snapshot.ckpt"), 11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformance,
+    ::testing::Values(BackendCase{"file", &make_file},
+                      BackendCase{"memory", &make_memory},
+                      BackendCase{"async_file", &make_async_file},
+                      BackendCase{"async_memory", &make_async_memory}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(FileBackendTest, UnrootedBareKeysListInWorkingDirectory) {
+  // An unrooted backend with bare-name keys (the injected-backend manager
+  // case) stores in the CWD; list() must scan "." rather than "".
+  FileBackend backend;
+  const std::string key =
+      "scrutiny_unrooted_" + std::to_string(::getpid()) + ".ckpt";
+  {
+    auto writer = backend.open_for_write(key);
+    const char byte = 'x';
+    writer->append(&byte, 1);
+    writer->commit();
+  }
+  EXPECT_TRUE(backend.exists(key));
+  EXPECT_EQ(backend.list(key.substr(0, key.size() - 5)),
+            std::vector<std::string>{key});
+  backend.remove(key);
+  EXPECT_FALSE(backend.exists(key));
+}
+
+// ---------------------------------------------------------------------------
+// Async-specific semantics.
+// ---------------------------------------------------------------------------
+
+/// Inner backend whose commits always fail — for error-at-join coverage.
+class FailingBackend final : public StorageBackend {
+  class FailingWriter final : public StorageWriter {
+   public:
+    void append(const void*, std::size_t size) override { bytes_ += size; }
+    void commit() override { throw ScrutinyError("backend is full"); }
+    [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+      return bytes_;
+    }
+
+   private:
+    std::uint64_t bytes_ = 0;
+  };
+
+ public:
+  std::unique_ptr<StorageWriter> open_for_write(const std::string&) override {
+    return std::make_unique<FailingWriter>();
+  }
+  std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) override {
+    throw ScrutinyError("cannot open for reading: " + key);
+  }
+  bool exists(const std::string&) override { return false; }
+  void remove(const std::string&) override {}
+  std::vector<std::string> list(const std::string&) override { return {}; }
+  [[nodiscard]] std::string name() const override { return "failing"; }
+};
+
+TEST(AsyncBackendTest, BackgroundErrorSurfacesAtWait) {
+  AsyncBackend backend(std::make_unique<FailingBackend>());
+  auto writer = backend.open_for_write("doomed");
+  const char byte = 'x';
+  writer->append(&byte, 1);
+  writer->commit();
+  EXPECT_THROW(backend.wait(), ScrutinyError);
+  // The error is surfaced exactly once; the backend stays usable.
+  backend.wait();
+}
+
+TEST(AsyncBackendTest, DoubleBufferKeepsDataIntactUnderPressure) {
+  auto memory = std::make_unique<MemoryBackend>();
+  MemoryBackend* inner = memory.get();
+  AsyncBackend backend(std::move(memory));
+
+  constexpr int kWrites = 64;
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < kWrites; ++i) {
+    std::vector<std::byte> bytes(4096 + static_cast<std::size_t>(i));
+    for (std::size_t b = 0; b < bytes.size(); ++b) {
+      bytes[b] = static_cast<std::byte>((b * 31 + static_cast<unsigned>(i)) &
+                                        0xFF);
+    }
+    payloads.push_back(std::move(bytes));
+  }
+  for (int i = 0; i < kWrites; ++i) {
+    auto writer = backend.open_for_write("obj." + std::to_string(i));
+    writer->append(payloads[static_cast<std::size_t>(i)].data(),
+                   payloads[static_cast<std::size_t>(i)].size());
+    writer->commit();
+  }
+  backend.wait();
+
+  ASSERT_EQ(inner->object_count(), static_cast<std::size_t>(kWrites));
+  for (int i = 0; i < kWrites; ++i) {
+    const auto object = inner->object("obj." + std::to_string(i));
+    ASSERT_NE(object, nullptr) << i;
+    EXPECT_EQ(*object, payloads[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(AsyncBackendTest, ReadOfInFlightKeyJoinsFirst) {
+  AsyncBackend backend(std::make_unique<MemoryBackend>());
+  const std::vector<std::byte> bytes(1u << 20, std::byte{0x5C});
+  for (int i = 0; i < 8; ++i) {
+    auto writer = backend.open_for_write("hot");
+    writer->append(bytes.data(), bytes.size());
+    writer->commit();
+  }
+  // Read-your-writes: the freshly committed object must be visible.
+  auto reader = backend.open_for_read("hot");
+  std::vector<std::byte> read_back(bytes.size());
+  reader->read(read_back.data(), read_back.size());
+  EXPECT_EQ(read_back, bytes);
+}
+
+TEST(AsyncBackendTest, ListJoinsPendingWrites) {
+  AsyncBackend backend(std::make_unique<MemoryBackend>());
+  for (int i = 0; i < 4; ++i) {
+    auto writer = backend.open_for_write("k" + std::to_string(i));
+    const char byte = static_cast<char>('a' + i);
+    writer->append(&byte, 1);
+    writer->commit();
+  }
+  EXPECT_EQ(backend.list("k").size(), 4u);
+  EXPECT_TRUE(backend.exists("k0"));
+}
+
+TEST(AsyncBackendTest, NameDescribesTheStack) {
+  AsyncBackend backend(std::make_unique<MemoryBackend>());
+  EXPECT_EQ(backend.name(), "async(memory)");
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

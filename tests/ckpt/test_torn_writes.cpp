@@ -1,0 +1,183 @@
+// Torn / partial write coverage: simulated crashes at every framing
+// boundary of the container.  The commit protocol (tmp file + atomic
+// rename) means a half-written checkpoint only ever exists under a .tmp
+// name; these tests assert both halves of that story — a truncated
+// *committed* file is always detected by the CRC trailer (restart falls
+// back to the newest valid slot), and an in-flight .tmp is never observed
+// by listing or restart at all.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "ckpt/file_backend.hpp"
+#include "ckpt/manager.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+class TornWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_torn_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    values_.assign(48, 0.0);
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      values_[i] = 1.0 + static_cast<double>(i);
+    }
+    step_marker_ = 0;
+    registry_.register_f64("values", values_, {6, 8});
+    registry_.register_scalar("marker", step_marker_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  ManagerConfig config() {
+    ManagerConfig cfg;
+    cfg.directory = dir_;
+    cfg.basename = "torn";
+    cfg.interval = 1;
+    cfg.keep_slots = 4;
+    return cfg;
+  }
+
+  static std::vector<char> read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void write_file(const std::filesystem::path& path,
+                         const char* data, std::size_t size) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data, static_cast<std::streamsize>(size));
+  }
+
+  std::filesystem::path dir_;
+  std::vector<double> values_;
+  std::int64_t step_marker_ = 0;
+  CheckpointRegistry registry_;
+};
+
+TEST_F(TornWriteTest, TruncationAtEveryBoundaryIsDetected) {
+  const auto path = dir_ / "whole.ckpt";
+  write_checkpoint(path, registry_, 3);
+  const std::vector<char> bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  // A committed-then-torn file (e.g. media loss after rename) truncated at
+  // EVERY byte boundary — header, name, dims, payload, CRC — must throw,
+  // never silently restore garbage.
+  const auto torn = dir_ / "torn.ckpt";
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    write_file(torn, bytes.data(), length);
+    EXPECT_THROW((void)restore_checkpoint(torn, registry_), ScrutinyError)
+        << "truncation at byte " << length << " of " << bytes.size()
+        << " went undetected";
+  }
+  // The untruncated file is the control: it must restore.
+  write_file(torn, bytes.data(), bytes.size());
+  EXPECT_EQ(restore_checkpoint(torn, registry_).step, 3u);
+}
+
+TEST_F(TornWriteTest, RestartFallsBackToNewestValidSlotAtEveryBoundary) {
+  CheckpointManager manager(config());
+  step_marker_ = 111;
+  manager.checkpoint_now(1, registry_);
+  step_marker_ = 222;
+  manager.checkpoint_now(2, registry_);
+
+  const auto newest = manager.path_for_step(2);
+  const std::vector<char> bytes = read_file(newest);
+  ASSERT_GT(bytes.size(), 0u);
+
+  // Tear the newest committed slot at a spread of boundaries (every 7th
+  // byte keeps the loop fast while still crossing every section).
+  for (std::size_t length = 0; length < bytes.size(); length += 7) {
+    write_file(newest, bytes.data(), length);
+    step_marker_ = -1;
+    const auto report = manager.restart(registry_);
+    ASSERT_TRUE(report.has_value()) << "length " << length;
+    EXPECT_EQ(report->step, 1u) << "length " << length;
+    EXPECT_EQ(step_marker_, 111) << "length " << length;
+  }
+
+  // Restore the intact newest slot: restart must prefer it again.
+  write_file(newest, bytes.data(), bytes.size());
+  step_marker_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 2u);
+  EXPECT_EQ(step_marker_, 222);
+}
+
+TEST_F(TornWriteTest, InFlightTmpFileIsNeverObserved) {
+  CheckpointManager manager(config());
+  step_marker_ = 111;
+  manager.checkpoint_now(1, registry_);
+
+  // Simulate a crash mid-write: a partial .tmp for step 2 exists, the
+  // committed name does not.
+  const std::vector<char> committed = read_file(manager.path_for_step(1));
+  const auto tmp_path = manager.path_for_step(2).string() + ".tmp";
+  write_file(tmp_path, committed.data(), committed.size() / 2);
+
+  EXPECT_EQ(manager.list_checkpoint_keys().size(), 1u);
+  for (const auto& path : manager.list_checkpoints()) {
+    EXPECT_EQ(path.extension(), ".ckpt");
+  }
+  step_marker_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+  EXPECT_EQ(step_marker_, 111);
+}
+
+TEST_F(TornWriteTest, AbortedBackendWriterLeavesNoCommittedName) {
+  FileBackend backend(dir_);
+  {
+    auto writer = backend.open_for_write("torn.ckpt");
+    const char junk[] = "partial";
+    writer->append(junk, sizeof(junk));
+    // no commit: simulated crash
+  }
+  EXPECT_FALSE(backend.exists("torn.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "torn.ckpt"));
+  // The abort cleaned up the tmp file too.
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "torn.ckpt.tmp"));
+}
+
+TEST_F(TornWriteTest, SidecarTornWithCheckpointIntactStillRestores) {
+  ManagerConfig cfg = config();
+  cfg.write_regions_sidecar = true;
+  CheckpointManager manager(cfg);
+  PruneMap masks;
+  CriticalMask mask(values_.size());
+  for (std::size_t i = 0; i < 20; ++i) mask.set(i);
+  masks["values"] = mask;
+  manager.set_prune_map(std::move(masks));
+  step_marker_ = 7;
+  manager.checkpoint_now(1, registry_);
+
+  // Checkpoints are self-contained: a torn sidecar (auxiliary file) must
+  // not affect restart.
+  const auto sidecar = manager.path_for_step(1).string() + ".regions";
+  ASSERT_TRUE(std::filesystem::exists(sidecar));
+  const std::vector<char> bytes = read_file(sidecar);
+  write_file(sidecar, bytes.data(), bytes.size() / 2);
+
+  step_marker_ = -1;
+  const auto report = manager.restart(registry_);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 1u);
+  EXPECT_EQ(step_marker_, 7);
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

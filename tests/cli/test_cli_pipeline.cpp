@@ -88,6 +88,37 @@ TEST(CliPipeline, StorageHonorsAnalysisFlags) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CliPipeline, StorageSelectsBackendAndPrintsThroughput) {
+  // The memory backend keeps the whole comparison in-process; the report
+  // names the backend and carries the new timing/throughput columns.
+  const RunResult memory =
+      run_cli("storage HeatRod --backend memory");
+  EXPECT_EQ(memory.exit_code, 0);
+  EXPECT_NE(memory.output.find("storage backend: memory"),
+            std::string::npos);
+  EXPECT_NE(memory.output.find("MB/s"), std::string::npos);
+
+  const RunResult async_file = run_cli(
+      "storage HeatRod --backend memory --async-io");
+  EXPECT_EQ(async_file.exit_code, 0);
+  EXPECT_NE(async_file.output.find("storage backend: async(memory)"),
+            std::string::npos);
+
+  const RunResult bogus = run_cli("storage HeatRod --backend punchcards");
+  EXPECT_NE(bogus.exit_code, 0);
+  EXPECT_NE(bogus.output.find("unknown storage backend"),
+            std::string::npos);
+}
+
+TEST(CliPipeline, VerifyRunsOnAsyncAndMemoryBackends) {
+  EXPECT_EQ(run_cli("verify HeatRod --backend memory >/dev/null").exit_code,
+            0);
+  EXPECT_EQ(
+      run_cli("verify HeatRod --backend memory --async-io >/dev/null")
+          .exit_code,
+      0);
+}
+
 TEST(CliPipeline, VerifyRejectsMasksPlusAnalysisFlags) {
   const RunResult result =
       run_cli("verify EP --masks whatever.scmask --window 3");

@@ -4,7 +4,10 @@
 
 #include <cmath>
 #include <filesystem>
+#include <memory>
 
+#include "ckpt/async_backend.hpp"
+#include "ckpt/memory_backend.hpp"
 #include "core/analysis_io.hpp"
 #include "core/program.hpp"
 #include "core/session.hpp"
@@ -101,6 +104,53 @@ TEST(Session, CompareStorageDropsUncriticalPayload) {
   EXPECT_GT(comparison.payload_saving(), 0.0);
   EXPECT_GT(comparison.elements_skipped, 0u);
   std::filesystem::remove_all(dir);
+}
+
+TEST(Session, MemoryBackendRunsEveryPipelineLeg) {
+  // No filesystem traffic: the whole write → restart → compare → verify
+  // pipeline runs against the in-process object store.
+  auto store = std::make_shared<ckpt::MemoryBackend>();
+  ScrutinySession session(heat_rod());
+  session.use_storage(store);
+  session.analyze();
+
+  const ckpt::WriteReport report = session.write_checkpoint("rod.ckpt");
+  EXPECT_GT(report.elements_skipped, 0u);
+  EXPECT_TRUE(store->exists("rod.ckpt"));
+  EXPECT_TRUE(store->exists("rod.ckpt.regions"));
+
+  const std::vector<double> golden = session.golden_outputs();
+  const std::vector<double> restarted = session.restart("rod.ckpt");
+  ASSERT_EQ(golden.size(), restarted.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(golden[i], restarted[i], 1e-12 * std::abs(golden[i]));
+  }
+
+  const StorageComparison comparison = session.compare_storage("cmp");
+  EXPECT_LT(comparison.payload_pruned, comparison.payload_full);
+  EXPECT_GE(comparison.seconds_full, 0.0);
+  EXPECT_GE(comparison.seconds_pruned, 0.0);
+
+  const RestartVerification verification = session.verify_restart("v");
+  EXPECT_TRUE(verification.pruned_restart_matches);
+  EXPECT_TRUE(verification.negative_control_detected);
+}
+
+TEST(Session, AsyncStorageJoinsAtWait) {
+  ScrutinySession session(heat_rod());
+  session.use_storage(std::make_shared<ckpt::AsyncBackend>(
+      std::make_unique<ckpt::MemoryBackend>()));
+  session.analyze();
+  const ckpt::WriteReport report = session.write_checkpoint("rod.ckpt");
+  EXPECT_GT(report.file_bytes, 0u);
+  session.storage().wait();  // drain + surface background errors
+
+  const std::vector<double> golden = session.golden_outputs();
+  const std::vector<double> restarted = session.restart("rod.ckpt");
+  ASSERT_EQ(golden.size(), restarted.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(golden[i], restarted[i], 1e-12 * std::abs(golden[i]));
+  }
 }
 
 TEST(Session, SaveLoadRoundTripThroughArtifact) {

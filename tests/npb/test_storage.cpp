@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 
+#include "ckpt/async_backend.hpp"
+#include "ckpt/memory_backend.hpp"
 #include "npb/paper_reference.hpp"
 #include "npb/suite.hpp"
 
@@ -78,6 +81,38 @@ TEST_F(StorageTest, AuxBytesAreSmallRelativeToSavings) {
   const std::uint64_t dropped_bytes =
       comparison.payload_full - comparison.payload_pruned;
   EXPECT_LT(comparison.aux_bytes, dropped_bytes / 4);
+}
+
+TEST(StorageBackendSeam, DriversRunOnMemoryAndAsyncBackends) {
+  // The suite drivers thread backend selection through the session: the
+  // same comparison and §IV-C verification run against the in-memory
+  // store (quick: EP has the smallest state), and the numbers must match
+  // the on-disk run exactly — the container format is backend-independent.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_backend_seam_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto analysis = analyze_benchmark(BenchmarkId::EP);
+
+  const StorageComparison on_disk =
+      compare_checkpoint_storage(BenchmarkId::EP, analysis, dir);
+  const StorageComparison in_memory = compare_checkpoint_storage(
+      BenchmarkId::EP, analysis, "mem",
+      std::make_shared<ckpt::MemoryBackend>());
+  EXPECT_EQ(in_memory.payload_full, on_disk.payload_full);
+  EXPECT_EQ(in_memory.payload_pruned, on_disk.payload_pruned);
+  EXPECT_EQ(in_memory.file_full, on_disk.file_full);
+  EXPECT_EQ(in_memory.file_pruned, on_disk.file_pruned);
+
+  auto async_store = std::make_shared<ckpt::AsyncBackend>(
+      std::make_unique<ckpt::MemoryBackend>());
+  const RestartVerification verification =
+      verify_restart(BenchmarkId::EP, analysis, "mem", async_store);
+  async_store->wait();
+  EXPECT_TRUE(verification.pruned_restart_matches);
+  EXPECT_TRUE(verification.negative_control_detected);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST_F(StorageTest, MgHasTheLargestSaving) {

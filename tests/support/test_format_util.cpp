@@ -34,6 +34,20 @@ TEST(FormatUtil, FixedControlsDecimals) {
   EXPECT_EQ(fixed(-1.5, 1), "-1.5");
 }
 
+TEST(FormatUtil, SecondsPrintsMillisecondResolution) {
+  EXPECT_EQ(seconds(0.0123456), "0.012 s");
+  EXPECT_EQ(seconds(2.0), "2.000 s");
+  EXPECT_EQ(seconds(0.0), "0.000 s");
+}
+
+TEST(FormatUtil, MbPerSecondDerivesThroughput) {
+  EXPECT_EQ(mb_per_second(50'000'000, 2.0), "25.0 MB/s");
+  EXPECT_EQ(mb_per_second(1'230'000, 1.0), "1.2 MB/s");
+  // Sub-resolution timings must not divide by zero.
+  EXPECT_EQ(mb_per_second(1'000'000, 0.0), "-");
+  EXPECT_EQ(mb_per_second(1'000'000, -1.0), "-");
+}
+
 TEST(FormatUtil, WithCommasGroupsThousands) {
   EXPECT_EQ(with_commas(0), "0");
   EXPECT_EQ(with_commas(999), "999");
