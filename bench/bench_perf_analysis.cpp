@@ -4,12 +4,17 @@
 //
 // BM_AnalyzeReverseSweep runs the same analysis through every adjoint model
 // (scalar = the old one-pass-per-output loop, vector = 8 outputs per pass,
-// bitset = 64 outputs per pass) and reports the record/sweep/harvest split
-// as counters, so the single-sweep speedup is measured, not asserted:
-// sweep_ms for vector/bitset should be independent of the output count
-// while scalar scales with it.
+// bitset = 64 outputs per pass) and a thread-count axis (1 = the serial
+// sweep, 2/4 = the ParallelSweep scheduler), reporting the
+// record/sweep/harvest split as counters, so both the single-sweep speedup
+// and the parallel-sweep speedup are measured, not asserted: sweep_ms for
+// vector/bitset should be independent of the output count while scalar
+// scales with it, and scalar sweep_ms should drop with threads (one block
+// per output to partition; the blocked models saturate at
+// ceil(outputs/lanes) workers).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 
 #include "ad/adjoint_models.hpp"
@@ -41,13 +46,17 @@ BENCHMARK(BM_AnalyzeReverse)
 void BM_AnalyzeReverseSweep(benchmark::State& state) {
   const auto id = static_cast<npb::BenchmarkId>(state.range(0));
   const auto sweep = static_cast<ad::SweepKind>(state.range(1));
-  auto cfg = npb::default_analysis_config(id, core::AnalysisMode::ReverseAD);
+  const auto threads = static_cast<std::uint32_t>(state.range(2));
+  auto cfg = npb::default_analysis_config(id, core::AnalysisMode::ReverseAD,
+                                          threads);
   cfg.sweep = sweep;
   double record_s = 0.0;
   double sweep_s = 0.0;
   double harvest_s = 0.0;
+  double efficiency = 1.0;
   std::int64_t passes = 0;
   std::size_t outputs = 0;
+  std::size_t used_threads = 1;
   for (auto _ : state) {
     const auto result = npb::analyze_benchmark(id, cfg);
     record_s += result.record_seconds;
@@ -55,17 +64,25 @@ void BM_AnalyzeReverseSweep(benchmark::State& state) {
     harvest_s += result.harvest_seconds;
     passes += static_cast<std::int64_t>(result.sweep_passes);
     outputs = result.num_outputs;
+    used_threads = result.threads;
+    efficiency = result.parallel_efficiency;
     benchmark::DoNotOptimize(result.variables.size());
   }
   const auto iterations = static_cast<double>(state.iterations());
   state.counters["record_ms"] = record_s * 1e3 / iterations;
+  // sweep_ms + harvest_ms is the end-to-end sweep-phase cost in every
+  // mode (serial: Σ passes + Σ harvest; parallel: region wall + merge) —
+  // the comparable number across the thread axis.
   state.counters["sweep_ms"] = sweep_s * 1e3 / iterations;
   state.counters["harvest_ms"] = harvest_s * 1e3 / iterations;
   state.counters["passes"] =
       static_cast<double>(passes) / iterations;
   state.counters["outputs"] = static_cast<double>(outputs);
+  state.counters["threads"] = static_cast<double>(used_threads);
+  state.counters["efficiency"] = efficiency;
   state.SetLabel(std::string(npb::benchmark_name(id)) + "/" +
-                 ad::sweep_kind_name(sweep));
+                 ad::sweep_kind_name(sweep) + "/t" +
+                 std::to_string(threads));
 }
 BENCHMARK(BM_AnalyzeReverseSweep)
     ->ArgsProduct({{static_cast<int>(npb::BenchmarkId::BT),
@@ -74,7 +91,8 @@ BENCHMARK(BM_AnalyzeReverseSweep)
                     static_cast<int>(npb::BenchmarkId::EP)},
                    {static_cast<int>(ad::SweepKind::Scalar),
                     static_cast<int>(ad::SweepKind::Vector),
-                    static_cast<int>(ad::SweepKind::Bitset)}})
+                    static_cast<int>(ad::SweepKind::Bitset)},
+                   {1, 2, 4}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_AnalyzeReadSet(benchmark::State& state) {

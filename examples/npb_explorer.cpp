@@ -6,6 +6,8 @@
 //   ./examples/npb_explorer            # defaults to LU
 //   ./examples/npb_explorer MG
 //   ./examples/npb_explorer FT --mode read-set --width 100
+//   ./examples/npb_explorer BT --threads 0   # sweep on all hardware threads
+#include <cstdint>
 #include <cstdio>
 
 #include "core/report.hpp"
@@ -34,12 +36,16 @@ int main(int argc, char** argv) {
   if (mode_name == "read-set") mode = core::AnalysisMode::ReadSet;
   if (*id == npb::BenchmarkId::IS) mode = core::AnalysisMode::ReadSet;
 
-  const auto width = static_cast<std::size_t>(args.get_int("width", 80));
+  const auto width = static_cast<std::size_t>(args.get_uint("width", 80));
+  // Sweep thread count: 1 = serial (default), 0 = all hardware threads.
+  // Masks are bit-identical either way.
+  const auto threads = static_cast<std::uint32_t>(
+      args.get_uint("threads", 1));
 
   std::printf("analyzing %s (%s)...\n\n", npb::benchmark_name(*id),
               core::analysis_mode_name(mode));
-  const auto analysis =
-      npb::analyze_benchmark(*id, npb::default_analysis_config(*id, mode));
+  const auto analysis = npb::analyze_benchmark(
+      *id, npb::default_analysis_config(*id, mode, threads));
   std::printf("%s", core::format_analysis_summary(analysis).c_str());
   std::printf("%s\n", core::format_criticality_table(analysis).c_str());
 

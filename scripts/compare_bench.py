@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON results against checked-in baselines.
+
+Used by the CI `bench-baseline` job and locally:
+
+    # gate: fail when any benchmark regressed more than 25 %
+    python3 scripts/compare_bench.py \
+        --baseline bench/baselines --current bench-results
+
+    # refresh the checked-in baselines from a fresh run
+    python3 scripts/compare_bench.py \
+        --baseline bench/baselines --current bench-results --update
+
+Both --baseline and --current may be a single JSON file or a directory;
+directories are matched by file name.  Comparison metric is `real_time`
+(the sweeps are internally multi-threaded, so main-thread cpu_time under-
+counts the work by design).  Benchmarks present on only one side are
+reported but never fail the gate — adding a bench must not require a
+lock-step baseline commit, and retiring one must not break CI.  A
+baseline recorded on a different machine class (google-benchmark
+`context`: core count, CPU clock ±20 %) reports its regressions as
+warnings instead of failing — wall-clock thresholds across hardware are
+noise — and asks for a refresh from the uploaded artifact.
+
+Exit codes: 0 ok, 1 regression(s) beyond threshold, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+
+def load_document(path: Path) -> dict:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def load_results(path: Path) -> dict[str, dict]:
+    """name -> benchmark entry for one google-benchmark JSON file."""
+    document = load_document(path)
+    results: dict[str, dict] = {}
+    for entry in document.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions):
+        # the raw iterations are what the baselines pin.
+        if entry.get("run_type") == "aggregate":
+            continue
+        results[entry["name"]] = entry
+    return results
+
+
+def same_hardware(base_file: Path, cur_file: Path) -> bool:
+    """Whether two result files were produced on comparable hardware.
+
+    Wall-clock thresholds only mean something when the machine class
+    matches: a baseline recorded on a 1-CPU dev box must not hard-fail a
+    4-vCPU CI runner (or silently pass a faster one).  google-benchmark
+    stamps every file with a `context` block; compare core count and CPU
+    clock (20 % slack — hosted runners drift between processor models).
+    """
+    base_ctx = load_document(base_file).get("context", {})
+    cur_ctx = load_document(cur_file).get("context", {})
+    if base_ctx.get("num_cpus") != cur_ctx.get("num_cpus"):
+        return False
+    base_mhz = float(base_ctx.get("mhz_per_cpu", 0) or 0)
+    cur_mhz = float(cur_ctx.get("mhz_per_cpu", 0) or 0)
+    if base_mhz > 0 and cur_mhz > 0:
+        ratio = cur_mhz / base_mhz
+        if ratio < 0.8 or ratio > 1.25:
+            return False
+    return True
+
+
+def json_files(path: Path) -> list[Path]:
+    if path.is_dir():
+        return sorted(path.glob("*.json"))
+    if path.is_file():
+        return [path]
+    raise FileNotFoundError(path)
+
+
+def pair_up(baseline: Path, current: Path) -> list[tuple[Path, Path]]:
+    """(baseline file, current file) pairs, matched by file name."""
+    current_files = {f.name: f for f in json_files(current)}
+    pairs = []
+    for base_file in json_files(baseline):
+        if base_file.name in current_files:
+            pairs.append((base_file, current_files[base_file.name]))
+        else:
+            print(f"note: no current results for {base_file.name}")
+    for name in sorted(set(current_files) -
+                       {b.name for b in json_files(baseline)}):
+        print(f"note: no baseline for {name} "
+              f"(run with --update to adopt it)")
+    return pairs
+
+
+def compare_file(base_file: Path, cur_file: Path, threshold: float,
+                 metric: str) -> list[str]:
+    """Returns failure lines for this file pair; prints a per-bench table."""
+    base = load_results(base_file)
+    cur = load_results(cur_file)
+    failures = []
+    print(f"\n== {base_file.name} ==")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  MISSING  {name} (in baseline only)")
+            continue
+        base_time = float(base[name][metric])
+        cur_time = float(cur[name][metric])
+        if base_time <= 0.0:
+            print(f"  SKIP     {name} (non-positive baseline time)")
+            continue
+        ratio = cur_time / base_time
+        unit = cur[name].get("time_unit", "ns")
+        line = (f"{name}: {base_time:.3f} -> {cur_time:.3f} {unit} "
+                f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        if ratio > 1.0 + threshold:
+            print(f"  REGRESS  {line}")
+            failures.append(f"{base_file.name}: {line}")
+        elif ratio < 1.0 - threshold:
+            # Faster than the gate watches for: candidate for a refresh so
+            # the bar ratchets down instead of rotting.
+            print(f"  FASTER   {line}")
+        else:
+            print(f"  ok       {line}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  NEW      {name} (not in baseline)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="baseline JSON file or directory")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="fresh results JSON file or directory")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--metric", default="real_time",
+                        choices=["real_time", "cpu_time"],
+                        help="time field to compare (default real_time)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current results over the baselines "
+                             "instead of comparing")
+    args = parser.parse_args()
+
+    try:
+        if args.update:
+            current_files = json_files(args.current)
+            if args.baseline.suffix == ".json":
+                # Single-file baseline form.
+                if len(current_files) != 1:
+                    print("error: --update onto a single baseline file "
+                          f"needs exactly one current file, got "
+                          f"{len(current_files)}", file=sys.stderr)
+                    return 2
+                args.baseline.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copyfile(current_files[0], args.baseline)
+                print(f"baseline updated: {args.baseline}")
+            else:
+                args.baseline.mkdir(parents=True, exist_ok=True)
+                for cur_file in current_files:
+                    target = args.baseline / cur_file.name
+                    shutil.copyfile(cur_file, target)
+                    print(f"baseline updated: {target}")
+            return 0
+
+        pairs = pair_up(args.baseline, args.current)
+        if not pairs:
+            print("error: no baseline/current file pairs to compare",
+                  file=sys.stderr)
+            return 2
+        failures: list[str] = []
+        stale_hardware = False
+        for base_file, cur_file in pairs:
+            file_failures = compare_file(base_file, cur_file,
+                                         args.threshold, args.metric)
+            if file_failures and not same_hardware(base_file, cur_file):
+                # Regressions measured against a different machine class
+                # are noise, not signal: report loudly but do not gate.
+                # Same-hardware regressions still fail below.
+                stale_hardware = True
+                print(f"\nWARNING: {base_file.name} baseline was recorded "
+                      f"on different hardware (core count / CPU clock "
+                      f"mismatch); the regressions above are not gated.\n"
+                      f"Refresh it from this run's artifact:\n"
+                      f"  python3 scripts/compare_bench.py --baseline "
+                      f"{base_file} --current {cur_file} --update",
+                      file=sys.stderr)
+                continue
+            failures += file_failures
+        if failures:
+            print(f"\n{len(failures)} benchmark(s) regressed more than "
+                  f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        if stale_hardware:
+            print("\nno same-hardware regressions; stale-hardware "
+                  "baselines need a refresh (see warnings above)")
+        else:
+            print(f"\nall benchmarks within {args.threshold * 100:.0f}% "
+                  f"of baseline")
+        return 0
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+// Parallel scheduler for the blocked reverse sweep.
+//
+// One recorded tape, many seeded outputs: the serial analyzer chunks the
+// seed list into blocks of Model::kLanes and pays one reverse pass per
+// block.  Those passes are independent — each block's adjoint state
+// depends only on (tape, block seeds) — so ParallelSweep partitions the
+// SAME blocks across a support::ThreadPool:
+//
+//   * The tape is shared read-only (Tape::evaluate_with is const and the
+//     traversal touches no mutable tape state).
+//   * Each worker owns a private adjoint model, so no adjoint slot is ever
+//     written by two threads.
+//   * The block list is the serial blocking, untouched: block i seeds
+//     lanes [i*kLanes, min((i+1)*kLanes, seeds)), so every seed rides in
+//     exactly the lane it rides in serially and its adjoint arithmetic is
+//     bit-identical for every worker count.  The block→worker assignment
+//     is a fixed contiguous split (block_range below) — deterministic,
+//     never work-stealing.
+//   * Harvesting happens inside the worker via a caller callback that must
+//     write only worker-private accumulators; the caller merges them with
+//     an order-independent reduction (mask OR / impact max) afterwards.
+//
+// Net effect: for any thread count the sweep produces the same passes,
+// the same per-seed adjoints, and (after the caller's OR/max merge) the
+// same masks, bit for bit.  Only wall time changes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ad/identifier.hpp"
+#include "ad/tape.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace scrutiny::ad {
+
+/// Ceiling on sweep workers.  Blocks can number in the thousands (scalar
+/// sweep: one per output), and a worker is an OS thread: an unchecked
+/// `--threads 500000` must not translate into a thread-spawn storm that
+/// dies in std::system_error.  Far above any sane oversubscription, far
+/// below any spawn limit.
+inline constexpr std::size_t kMaxSweepWorkers = 256;
+
+/// Resolves a requested sweep thread count: 0 = all hardware threads;
+/// anything explicit is honored up to kMaxSweepWorkers (oversubscription
+/// is allowed — it is how the invariance tests race 4 workers on 1 core
+/// — but unbounded it is an outage, not a knob).
+[[nodiscard]] inline std::size_t resolve_sweep_threads(
+    std::size_t requested) noexcept {
+  if (requested == 0) return support::ThreadPool::hardware_threads();
+  return std::min(requested, kMaxSweepWorkers);
+}
+
+/// What the parallel region cost.  busy/sweep/harvest are summed across
+/// workers; wall_seconds is the caller-observed span of the whole region.
+struct ParallelSweepMetrics {
+  std::size_t passes = 0;   ///< tape passes (== the serial block count)
+  std::size_t workers = 0;  ///< workers that actually ran blocks
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;     ///< Σ workers' (sweep + harvest) time
+  double sweep_seconds = 0.0;    ///< Σ workers' reverse-pass time
+  double harvest_seconds = 0.0;  ///< Σ workers' harvest-callback time
+
+  /// busy / (workers × wall): 1.0 = perfect scaling, small = threads
+  /// starved (few blocks) or oversubscribed (threads > cores).
+  [[nodiscard]] double efficiency() const noexcept {
+    const double denominator =
+        static_cast<double>(workers) * wall_seconds;
+    if (denominator <= 0.0) return 1.0;
+    return std::min(1.0, busy_seconds / denominator);
+  }
+};
+
+template <typename Model>
+class ParallelSweep {
+ public:
+  static constexpr std::size_t kLanes = Model::kLanes;
+
+  ParallelSweep(const Tape& tape, std::span<const Identifier> seeds)
+      : tape_(&tape), seeds_(seeds) {}
+
+  /// Serial block count: ceil(seeds / kLanes).
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return (seeds_.size() + kLanes - 1) / kLanes;
+  }
+
+  /// Workers a sweep over these seeds can keep busy: one block is the
+  /// smallest schedulable unit (blocks are never split — that would
+  /// change the lane composition serial mode fixed).
+  [[nodiscard]] std::size_t usable_workers(
+      std::size_t requested) const noexcept {
+    return std::max<std::size_t>(
+        1, std::min(requested, num_blocks()));
+  }
+
+  /// Fixed contiguous block range for `worker` of `workers` (the
+  /// deterministic block→worker assignment; never rebalanced at runtime).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> block_range(
+      std::size_t worker, std::size_t workers) const noexcept {
+    const std::size_t blocks = num_blocks();
+    const std::size_t begin = blocks * worker / workers;
+    const std::size_t end = blocks * (worker + 1) / workers;
+    return {begin, end};
+  }
+
+  /// Runs the sweep on `workers` pool threads.
+  ///
+  ///   seed_lane(model, seed_id, lane)     — plant one output seed
+  ///   harvest(worker, model, base, lanes) — fold one evaluated block
+  ///       (seeds [base, base+lanes)) into WORKER-PRIVATE accumulators;
+  ///       called from pool threads, must not touch shared state.
+  template <typename SeedLane, typename Harvest>
+  ParallelSweepMetrics run(support::ThreadPool& pool, std::size_t workers,
+                           SeedLane&& seed_lane, Harvest&& harvest) const {
+    ParallelSweepMetrics metrics;
+    metrics.passes = num_blocks();
+    metrics.workers = usable_workers(workers);
+    if (metrics.passes == 0) return metrics;
+
+    struct WorkerCost {
+      double sweep_seconds = 0.0;
+      double harvest_seconds = 0.0;
+    };
+    std::vector<WorkerCost> costs(metrics.workers);
+
+    Timer wall_timer;
+    pool.run(metrics.workers, [&](std::size_t worker) {
+      const auto [block_begin, block_end] =
+          block_range(worker, metrics.workers);
+      Model model;
+      model.resize(tape_->max_identifier());
+      WorkerCost cost;
+      for (std::size_t block = block_begin; block < block_end; ++block) {
+        const std::size_t base = block * kLanes;
+        const std::size_t lanes =
+            std::min(kLanes, seeds_.size() - base);
+        model.clear();
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          seed_lane(model, seeds_[base + lane], lane);
+        }
+        Timer pass_timer;
+        tape_->evaluate_with(model);
+        cost.sweep_seconds += pass_timer.seconds();
+        Timer harvest_timer;
+        harvest(worker, std::as_const(model), base, lanes);
+        cost.harvest_seconds += harvest_timer.seconds();
+      }
+      costs[worker] = cost;
+    });
+    metrics.wall_seconds = wall_timer.seconds();
+
+    for (const WorkerCost& cost : costs) {
+      metrics.sweep_seconds += cost.sweep_seconds;
+      metrics.harvest_seconds += cost.harvest_seconds;
+      metrics.busy_seconds += cost.sweep_seconds + cost.harvest_seconds;
+    }
+    return metrics;
+  }
+
+ private:
+  const Tape* tape_;
+  std::span<const Identifier> seeds_;
+};
+
+}  // namespace scrutiny::ad

@@ -3,9 +3,9 @@
 // Subcommands (PROG is any registered program — the NPB suite, the demo
 // programs, or anything user code registered; names are case-insensitive):
 //   analyze PROG [--mode reverse-ad|forward-ad|read-set|finite-diff]
-//                [--sweep scalar|vector|bitset] [--warmup N] [--window N]
-//                [--threshold X] [--sample-stride N] [--impact]
-//                [--save-masks F.scmask]
+//                [--sweep scalar|vector|bitset] [--threads N]
+//                [--warmup N] [--window N] [--threshold X]
+//                [--sample-stride N] [--impact] [--save-masks F.scmask]
 //       Run the criticality analysis, print the Table II rows, and
 //       optionally persist the masks to an .scmask artifact.
 //   storage PROG [--dir PATH] [--backend file|memory] [--async-io]
@@ -25,7 +25,9 @@
 // saved artifact (zero analysis seconds), otherwise they run one, honoring
 // the same analysis flags `analyze` takes.
 #include <array>
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "ad/adjoint_models.hpp"
@@ -54,7 +56,8 @@ void print_usage(std::FILE* stream) {
                "\n"
                "  analyze PROG [--mode reverse-ad|forward-ad|read-set|"
                "finite-diff]\n"
-               "               [--sweep scalar|vector|bitset]\n"
+               "               [--sweep scalar|vector|bitset] "
+               "[--threads N]\n"
                "               [--warmup N] [--window N] [--threshold X]\n"
                "               [--sample-stride N] [--impact]\n"
                "               [--save-masks F.scmask]\n"
@@ -96,8 +99,8 @@ ad::SweepKind parse_sweep(const std::string& text) {
 
 // The analysis flag set shared by analyze/storage/verify/viz; every
 // subcommand that runs an analysis honors all of them.
-constexpr std::array<std::string_view, 7> kAnalysisFlagNames = {
-    "--mode", "--sweep", "--warmup", "--window", "--threshold",
+constexpr std::array<std::string_view, 8> kAnalysisFlagNames = {
+    "--mode", "--sweep", "--threads", "--warmup", "--window", "--threshold",
     "--sample-stride", "--impact"};
 
 core::AnalysisConfig analysis_config_from_args(
@@ -107,13 +110,29 @@ core::AnalysisConfig analysis_config_from_args(
       args.get("mode", core::analysis_mode_name(default_mode)));
   core::AnalysisConfig cfg = program.default_config(mode);
   cfg.sweep = parse_sweep(args.get("sweep", ad::sweep_kind_name(cfg.sweep)));
-  cfg.warmup_steps = static_cast<int>(args.get_int("warmup",
-                                                   cfg.warmup_steps));
-  cfg.window_steps = static_cast<int>(args.get_int("window",
-                                                   cfg.window_steps));
+  // Strictly-parsed non-negative numerics with a type-width ceiling:
+  // `--threads -1` and `--warmup 1e99` both die with a clear message.
+  auto bounded_uint = [&args](const std::string& key,
+                              std::uint64_t fallback,
+                              std::uint64_t max_value) {
+    const std::uint64_t value = args.get_uint(key, fallback);
+    SCRUTINY_REQUIRE(value <= max_value,
+                     "--" + key + " value out of range (max " +
+                         std::to_string(max_value) + ")");
+    return value;
+  };
+  constexpr std::uint64_t kMaxInt =
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+  // The CLI defaults to every hardware thread (0); the library default
+  // stays serial so programmatic callers opt in explicitly.
+  cfg.threads = static_cast<std::uint32_t>(
+      bounded_uint("threads", 0, 0xffffffffu));
+  cfg.warmup_steps = static_cast<int>(bounded_uint(
+      "warmup", static_cast<std::uint64_t>(cfg.warmup_steps), kMaxInt));
+  cfg.window_steps = static_cast<int>(bounded_uint(
+      "window", static_cast<std::uint64_t>(cfg.window_steps), kMaxInt));
   cfg.threshold = args.get_double("threshold", cfg.threshold);
-  cfg.sample_stride = static_cast<std::uint64_t>(args.get_int(
-      "sample-stride", static_cast<std::int64_t>(cfg.sample_stride)));
+  cfg.sample_stride = args.get_uint("sample-stride", cfg.sample_stride);
   if (args.has("impact")) {
     // Only the reverse-AD sweeps accumulate |∂out/∂elem| magnitudes; any
     // other mode would print an all-zeros impact table.
@@ -168,8 +187,9 @@ int cmd_list(const CliArgs& args) {
 }
 
 int cmd_analyze(const core::AnyProgram& program, const CliArgs& args) {
-  args.require_known({"help", "mode", "sweep", "warmup", "window",
-                      "threshold", "sample-stride", "impact", "save-masks"});
+  args.require_known({"help", "mode", "sweep", "threads", "warmup",
+                      "window", "threshold", "sample-stride", "impact",
+                      "save-masks"});
   core::ScrutinySession session(program);
   const core::AnalysisConfig cfg = analysis_config_from_args(program, args);
   const core::AnalysisResult& result = session.analyze(cfg);
@@ -206,7 +226,7 @@ std::string configure_storage(core::ScrutinySession& session,
 
 int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
-                      "sweep", "warmup", "window", "threshold",
+                      "sweep", "threads", "warmup", "window", "threshold",
                       "sample-stride", "impact"});
   core::ScrutinySession session(program);
   const std::string backend_name = configure_storage(session, args);
@@ -234,7 +254,7 @@ int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
 
 int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
-                      "sweep", "warmup", "window", "threshold",
+                      "sweep", "threads", "warmup", "window", "threshold",
                       "sample-stride", "impact"});
   core::ScrutinySession session(program);
   configure_storage(session, args);
@@ -254,8 +274,8 @@ int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
 
 int cmd_viz(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "out", "width", "masks", "mode", "sweep",
-                      "warmup", "window", "threshold", "sample-stride",
-                      "impact"});
+                      "threads", "warmup", "window", "threshold",
+                      "sample-stride", "impact"});
   if (args.positional().size() < 3) return usage();
   const std::string variable = args.positional()[2];
   core::ScrutinySession session(program);
@@ -266,7 +286,7 @@ int cmd_viz(const core::AnyProgram& program, const CliArgs& args) {
                    "no such variable in " + analysis.program + ": " +
                        variable);
   const auto width =
-      static_cast<std::size_t>(args.get_int("width", 80));
+      static_cast<std::size_t>(args.get_uint("width", 80));
   std::printf("%s(%s): %s\n", analysis.program.c_str(), variable.c_str(),
               viz::run_length_summary(result->mask).c_str());
   std::printf("[%s]\n", viz::ascii_strip(result->mask, width).c_str());
@@ -310,6 +330,11 @@ int main(int argc, char** argv) {
     if (command == "viz") return cmd_viz(*program, args);
     return usage();
   } catch (const scrutiny::ScrutinyError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    // Resource failures from below the library (thread spawn, bad_alloc)
+    // must exit with a message, never std::terminate.
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }

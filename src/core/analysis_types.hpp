@@ -70,6 +70,16 @@ struct AnalysisConfig {
   /// the impact ranking behind the paper's future-work idea of storing
   /// low-impact elements in lower precision.
   bool capture_impact = false;
+
+  /// ReverseAD only: worker threads for the blocked reverse sweep.
+  /// 0 = all hardware threads, 1 = the serial in-place sweep (default).
+  /// Masks and impact are bit-identical for every value: the parallel
+  /// scheduler keeps the serial blocking, assigns blocks to workers with
+  /// a fixed contiguous split, and merges worker-private accumulators
+  /// with an order-independent OR/max reduction (ad/parallel_sweep.hpp).
+  /// An execution parameter, not an analysis semantic: deliberately NOT
+  /// persisted in .scmask artifacts.
+  std::uint32_t threads = 1;
 };
 
 /// Criticality verdict for one checkpointed variable.
@@ -103,15 +113,31 @@ struct AnalysisResult {
   std::size_t num_outputs = 0;
   ad::TapeStats tape_stats;   ///< ReverseAD only
   double record_seconds = 0.0;
-  /// Pure reverse-traversal time over all passes (Table II's sweep cost;
-  /// excludes mask harvesting, which sweep modes pay differently).
+  /// Table II's sweep cost.  Serial (threads == 1): pure
+  /// reverse-traversal time summed over all passes, harvesting excluded.
+  /// Parallel: wall time of the whole sweep region (workers harvest
+  /// inline, so sweep_seconds + harvest_seconds stays the end-to-end
+  /// sweep-phase cost in both cases).
   double sweep_seconds = 0.0;
-  /// Time spent folding adjoints into per-element masks/impact.
+  /// Time folding adjoints into per-element masks/impact.  Serial: the
+  /// in-place harvest loops.  Parallel: the final deterministic merge of
+  /// the worker-private accumulators (per-worker harvesting overlaps the
+  /// sweep and is inside sweep_seconds).
   double harvest_seconds = 0.0;
   /// Number of reverse passes over the tape: num_outputs for the scalar
-  /// sweep, ceil(num_outputs / lane_width) for vector/bitset.
+  /// sweep, ceil(num_outputs / lane_width) for vector/bitset.  Invariant
+  /// across thread counts (the parallel sweep partitions the serial
+  /// blocks, it never re-blocks).
   std::size_t sweep_passes = 0;
   double total_seconds = 0.0;
+  /// ReverseAD only: sweep workers actually used.  min(requested, blocks)
+  /// — a 5-output scalar sweep can keep at most 5 workers busy, and the
+  /// 8-lane vector sweep of the same outputs only 1.
+  std::size_t threads = 1;
+  /// Σ worker busy seconds / (threads × sweep wall seconds); 1.0 for the
+  /// serial path.  Small values mean starved (few blocks) or
+  /// oversubscribed (threads > cores) workers.
+  double parallel_efficiency = 1.0;
 
   [[nodiscard]] const VariableCriticality* find(
       const std::string& name) const {

@@ -7,12 +7,16 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "ad/adjoint_models.hpp"
 #include "ad/num_traits.hpp"
+#include "ad/parallel_sweep.hpp"
 #include "ad/readset.hpp"
 #include "ad/tape.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace scrutiny::core {
@@ -180,13 +184,15 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
   double harvest_seconds = 0.0;
   std::size_t sweep_passes = 0;
 
-  // Folds one block of swept lanes into the masks; adjoint_at(id, lane)
+  // Folds one block of swept lanes into per-binding masks/impact (the
+  // caller picks WHOSE masks — the result's for the serial path, a
+  // worker-private accumulator for the parallel one); adjoint_at(id, lane)
   // yields |∂out[lane]/∂id| (1/0 for the bitset model).
-  auto harvest_block = [&](std::size_t lanes, auto&& adjoint_at) {
-    Timer harvest_timer;
+  auto fold_block = [&](std::vector<VariableCriticality>& variables,
+                        std::size_t lanes, auto&& adjoint_at) {
     for (std::size_t b = 0; b < binds.size(); ++b) {
       if (binds[b].is_integer) continue;
-      VariableCriticality& variable = result.variables[b];
+      VariableCriticality& variable = variables[b];
       const std::uint32_t comps = binds[b].components_per_element;
       for (std::size_t c = 0; c < input_ids[b].size(); ++c) {
         const ad::Identifier id = input_ids[b][c];
@@ -202,12 +208,12 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
         }
       }
     }
-    harvest_seconds += harvest_timer.seconds();
   };
 
-  // The one blocked sweep: seeds are chunked Model::kLanes at a time and
-  // each chunk costs a single reverse pass.  The scalar model is simply
-  // the kLanes == 1 instance of the same driver (the old per-output loop).
+  // The serial blocked sweep: seeds are chunked Model::kLanes at a time
+  // and each chunk costs a single reverse pass.  The scalar model is
+  // simply the kLanes == 1 instance of the same driver (the old
+  // per-output loop).
   auto run_blocked = [&](auto model, auto&& seed_lane, auto&& adjoint_at) {
     model.resize(tape.max_identifier());
     constexpr std::size_t kLanes = decltype(model)::kLanes;
@@ -222,16 +228,98 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
       tape.evaluate_with(model);
       sweep_seconds += pass_timer.seconds();
       ++sweep_passes;
-      harvest_block(lanes, [&](ad::Identifier id, std::size_t w) {
-        return adjoint_at(model, id, w);
-      });
+      Timer harvest_timer;
+      fold_block(result.variables, lanes,
+                 [&](ad::Identifier id, std::size_t w) {
+                   return adjoint_at(model, id, w);
+                 });
+      harvest_seconds += harvest_timer.seconds();
+    }
+  };
+
+  // The parallel sweep: identical blocks, a fixed contiguous
+  // block→worker split, worker-private accumulators, and an
+  // order-independent OR/max merge — masks and impact come out
+  // bit-identical to run_blocked for every thread count (see
+  // ad/parallel_sweep.hpp for the argument).
+  auto run_parallel = [&]<typename Model>(std::type_identity<Model>,
+                                          std::size_t workers,
+                                          auto&& seed_lane,
+                                          auto&& adjoint_at) {
+    const ad::ParallelSweep<Model> sweep(
+        tape, std::span<const ad::Identifier>(seeds));
+    workers = sweep.usable_workers(workers);
+
+    // Worker-private accumulators mirroring the result skeleton (empty
+    // masks; impact only when captured; integer bindings stay with the
+    // by-type policy the skeleton already applied and are never touched).
+    std::vector<std::vector<VariableCriticality>> accumulators(workers);
+    for (auto& accumulator : accumulators) {
+      accumulator.resize(binds.size());
+      for (std::size_t b = 0; b < binds.size(); ++b) {
+        if (binds[b].is_integer) continue;
+        accumulator[b].mask = CriticalMask(binds[b].num_elements, false);
+        if (cfg.capture_impact) {
+          accumulator[b].impact.assign(binds[b].num_elements, 0.0);
+        }
+      }
+    }
+
+    support::ThreadPool pool(workers);
+    const ad::ParallelSweepMetrics metrics = sweep.run(
+        pool, workers, seed_lane,
+        [&](std::size_t worker, const Model& model, std::size_t,
+            std::size_t lanes) {
+          fold_block(accumulators[worker], lanes,
+                     [&](ad::Identifier id, std::size_t w) {
+                       return adjoint_at(model, id, w);
+                     });
+        });
+
+    // Deterministic merge: OR for criticality, max for impact — both
+    // order-independent, so the block→worker split cannot show through.
+    Timer merge_timer;
+    for (const std::vector<VariableCriticality>& accumulator :
+         accumulators) {
+      for (std::size_t b = 0; b < binds.size(); ++b) {
+        if (binds[b].is_integer) continue;
+        result.variables[b].mask.merge_or(accumulator[b].mask);
+        if (cfg.capture_impact) {
+          for (std::size_t e = 0; e < binds[b].num_elements; ++e) {
+            result.variables[b].impact[e] = std::max(
+                result.variables[b].impact[e], accumulator[b].impact[e]);
+          }
+        }
+      }
+    }
+    sweep_seconds = metrics.wall_seconds;
+    harvest_seconds = merge_timer.seconds();
+    sweep_passes = metrics.passes;
+    result.threads = metrics.workers;
+    result.parallel_efficiency = metrics.efficiency();
+  };
+
+  // One block is the smallest schedulable unit, so a sweep with B blocks
+  // can use at most B workers; everything below 2 usable workers takes
+  // the serial path (which the 1-thread contract pins to the pre-parallel
+  // sweep, timing fields included).
+  const std::size_t requested_threads = ad::resolve_sweep_threads(
+      static_cast<std::size_t>(cfg.threads));
+  auto dispatch = [&]<typename Model>(std::type_identity<Model> tag,
+                                      auto&& seed_lane, auto&& adjoint_at) {
+    const ad::ParallelSweep<Model> sweep(
+        tape, std::span<const ad::Identifier>(seeds));
+    if (sweep.usable_workers(requested_threads) >= 2) {
+      run_parallel(tag, requested_threads, seed_lane, adjoint_at);
+    } else {
+      run_blocked(Model{}, seed_lane, adjoint_at);
     }
   };
 
   switch (cfg.sweep) {
     case ad::SweepKind::Scalar:
-      run_blocked(
-          ad::ScalarAdjoints{},
+      dispatch(
+          std::type_identity<ad::ScalarAdjoints>{},
           [](ad::ScalarAdjoints& m, ad::Identifier id, std::size_t) {
             m.seed(id, 1.0);
           },
@@ -240,8 +328,8 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
           });
       break;
     case ad::SweepKind::Vector:
-      run_blocked(
-          ad::VectorAdjoints{},
+      dispatch(
+          std::type_identity<ad::VectorAdjoints>{},
           [](ad::VectorAdjoints& m, ad::Identifier id, std::size_t w) {
             m.seed(id, w, 1.0);
           },
@@ -250,8 +338,8 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
           });
       break;
     case ad::SweepKind::Bitset:
-      run_blocked(
-          ad::BitsetAdjoints{},
+      dispatch(
+          std::type_identity<ad::BitsetAdjoints>{},
           [](ad::BitsetAdjoints& m, ad::Identifier id, std::size_t w) {
             m.seed(id, w);
           },

@@ -71,6 +71,12 @@ std::string format_analysis_summary(const AnalysisResult& result) {
     text += ad::sweep_kind_name(result.sweep);
     text += " (" + std::to_string(result.sweep_passes) + " tape pass" +
             (result.sweep_passes == 1 ? "" : "es") + ")\n";
+    text += "sweep threads: " + std::to_string(result.threads);
+    if (result.threads > 1) {
+      text += " (parallel efficiency " +
+              percent(result.parallel_efficiency) + ")";
+    }
+    text += "\n";
   }
   text += "record time: " + fixed(result.record_seconds * 1e3, 2) + " ms\n";
   text += "sweep time: " + fixed(result.sweep_seconds * 1e3, 2) + " ms\n";

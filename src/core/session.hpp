@@ -14,7 +14,11 @@
 //
 // The analysis is computed once and cached on the session; loading a saved
 // .scmask artifact substitutes for the sweep entirely (analysis_was_loaded
-// reports which path populated the cache).
+// reports which path populated the cache).  Thread control rides in the
+// config: analyze(cfg) with AnalysisConfig::threads > 1 (or 0 = all
+// hardware threads) runs the reverse sweep on the parallel scheduler —
+// the cached result, and every pipeline leg derived from it, is
+// bit-identical to the serial sweep's.
 //
 // Checkpoint legs go through a pluggable ckpt::StorageBackend
 // (use_storage); the default is the on-disk FileBackend, so path arguments

@@ -63,8 +63,11 @@ const core::AnyProgram& benchmark_program(BenchmarkId id) {
 }
 
 core::AnalysisConfig default_analysis_config(BenchmarkId id,
-                                             core::AnalysisMode mode) {
-  return benchmark_program(id).default_config(mode);
+                                             core::AnalysisMode mode,
+                                             std::uint32_t threads) {
+  core::AnalysisConfig cfg = benchmark_program(id).default_config(mode);
+  cfg.threads = threads;
+  return cfg;
 }
 
 core::AnalysisResult analyze_benchmark(BenchmarkId id,

@@ -8,6 +8,7 @@
 // core::ScrutinySession call — no per-benchmark dispatch lives here.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -37,10 +38,13 @@ void register_suite();
 /// iterations, analyze the remaining window.  FT uses a single window step
 /// (one 3D FFT records ~24M tape statements).  ForwardAD/FiniteDiff get a
 /// sampling stride — a full per-element replay is the cost the paper's
-/// reverse-mode choice avoids.
+/// reverse-mode choice avoids.  `threads` seeds AnalysisConfig::threads
+/// for the reverse sweep (1 = serial, 0 = all hardware threads); results
+/// are bit-identical for every value.
 [[nodiscard]] core::AnalysisConfig default_analysis_config(
     BenchmarkId id,
-    core::AnalysisMode mode = core::AnalysisMode::ReverseAD);
+    core::AnalysisMode mode = core::AnalysisMode::ReverseAD,
+    std::uint32_t threads = 1);
 
 /// Runs the configured analysis.  Integer-only IS is handled per the
 /// paper's policy in derivative modes and runs for real in ReadSet mode.

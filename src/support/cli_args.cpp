@@ -1,10 +1,36 @@
 #include "support/cli_args.hpp"
 
+#include <charconv>
 #include <cstdlib>
+#include <system_error>
 
 #include "support/error.hpp"
 
 namespace scrutiny {
+
+namespace {
+
+/// from_chars over the WHOLE option value: partial parses ("1e99" as an
+/// integer, "12abc") and out-of-range magnitudes throw with the flag name
+/// and the offending text instead of silently truncating or wrapping.
+template <typename Number>
+Number parse_full(const std::string& key, const std::string& text,
+                  const char* kind) {
+  Number value{};
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto [parsed_to, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw ScrutinyError("--" + key + " value out of range: " + text);
+  }
+  if (ec != std::errc{} || parsed_to != end) {
+    throw ScrutinyError("--" + key + " expects " + kind + ", got: " +
+                        (text.empty() ? "(empty)" : text));
+  }
+  return value;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   program_ = argc > 0 ? argv[0] : "";
@@ -64,14 +90,22 @@ std::string CliArgs::get(const std::string& key,
 std::int64_t CliArgs::get_int(const std::string& key,
                               std::int64_t fallback) const {
   const auto it = options_.find(key);
-  if (it == options_.end() || it->second.empty()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == options_.end()) return fallback;
+  return parse_full<std::int64_t>(key, it->second, "an integer");
+}
+
+std::uint64_t CliArgs::get_uint(const std::string& key,
+                                std::uint64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return parse_full<std::uint64_t>(key, it->second,
+                                   "a non-negative integer");
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   const auto it = options_.find(key);
-  if (it == options_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  if (it == options_.end()) return fallback;
+  return parse_full<double>(key, it->second, "a number");
 }
 
 }  // namespace scrutiny

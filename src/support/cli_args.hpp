@@ -24,8 +24,16 @@ class CliArgs {
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+
+  /// Numeric getters return `fallback` when the option is absent and
+  /// throw a ScrutinyError naming the flag and the offending text on any
+  /// malformed value: trailing garbage (`--warmup 1e99` is not an
+  /// integer), out-of-range magnitudes, or — for get_uint — a negative
+  /// (`--threads -1` must fail loudly, never wrap through an unsigned).
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
 

@@ -1,0 +1,77 @@
+#include "support/thread_pool.hpp"
+
+#include <utility>
+
+namespace scrutiny::support {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  const std::scoped_lock serialize(run_mutex_);
+  std::unique_lock lock(mutex_);
+  task_ = &task;
+  num_tasks_ = num_tasks;
+  next_task_ = 0;
+  tasks_remaining_ = num_tasks;
+  first_error_ = nullptr;
+  ++batch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return tasks_remaining_ == 0; });
+  // Leave no claimable work behind so late-waking workers re-sleep.
+  task_ = nullptr;
+  num_tasks_ = 0;
+  next_task_ = 0;
+  const std::exception_ptr error = std::exchange(first_error_, nullptr);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_batch = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (batch_ != seen_batch && next_task_ < num_tasks_);
+    });
+    if (stop_) return;
+    seen_batch = batch_;
+    while (next_task_ < num_tasks_) {
+      const std::size_t index = next_task_++;
+      const auto* task = task_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*task)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !first_error_) first_error_ = std::move(error);
+      if (--tasks_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace scrutiny::support

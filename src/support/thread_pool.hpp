@@ -1,0 +1,73 @@
+// Reusable fixed-size worker pool for data-parallel batches.
+//
+// The pool owns its threads for its whole lifetime: run() publishes a batch
+// of indexed tasks, the workers claim indices and execute, and run()
+// returns when every task has finished.  This is the execution substrate
+// of the parallel adjoint sweep (ad/parallel_sweep.hpp), which needs the
+// same threads re-used across many sweep batches without per-batch spawn
+// cost.
+//
+// Semantics:
+//  * run(n, task) executes task(0) .. task(n-1), each exactly once, on the
+//    pool's threads.  The caller blocks until the batch is complete.
+//  * Exceptions: every task still runs; the FIRST exception (in completion
+//    order) is captured and rethrown from run() after the batch drains, so
+//    a throwing task can never leave the pool wedged or a task unexecuted
+//    silently.
+//  * run(0, task) is a no-op.  The pool is reusable: any number of
+//    sequential run() calls; concurrent run() callers are serialized.
+//  * run() must not be called from inside a task (no nesting).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scrutiny::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (always >= 1).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return workers_.size();
+  }
+
+  /// Runs task(0..num_tasks-1) on the workers and blocks until all have
+  /// completed; rethrows the first task exception once the batch drains.
+  void run(std::size_t num_tasks,
+           const std::function<void(std::size_t)>& task);
+
+  /// std::thread::hardware_concurrency() floored at 1 (the standard
+  /// permits 0 for "unknown").
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a new batch is published
+  std::condition_variable done_cv_;  // run(): the batch has drained
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t tasks_remaining_ = 0;
+  std::uint64_t batch_ = 0;  // bumped per run() so workers wake exactly once
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::mutex run_mutex_;  // serializes concurrent run() callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scrutiny::support

@@ -1,0 +1,183 @@
+// ParallelSweep determinism on a synthetic tape: for every worker count
+// the scheduler must (a) keep the serial blocking — identical pass count
+// and per-block lane composition — and (b) deliver adjoints that are
+// bit-identical to the serial sweep, block by block.
+#include "ad/parallel_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "ad/adjoint_models.hpp"
+#include "ad/tape.hpp"
+#include "support/thread_pool.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+/// y_j = (j + 1) * x_{j mod kInputs} for kOutputs seeds: enough blocks to
+/// spread over several workers in every model.
+struct FanOutTape {
+  static constexpr std::size_t kInputs = 6;
+  static constexpr std::size_t kOutputs = 20;
+
+  Tape tape;
+  std::vector<Identifier> inputs;
+  std::vector<Identifier> outputs;
+
+  FanOutTape() {
+    for (std::size_t i = 0; i < kInputs; ++i) {
+      inputs.push_back(tape.register_input());
+    }
+    for (std::size_t j = 0; j < kOutputs; ++j) {
+      outputs.push_back(tape.push1(static_cast<double>(j + 1),
+                                   inputs[j % kInputs]));
+    }
+  }
+};
+
+using SeedAdjoints = std::map<std::pair<std::size_t, Identifier>, double>;
+
+/// Runs the vector-model sweep on `workers` threads and collects
+/// |∂out[seed]/∂input| for every (seed, input) pair.
+SeedAdjoints harvest_vector(const FanOutTape& t, std::size_t workers) {
+  const ParallelSweep<VectorAdjoints> sweep(
+      t.tape, std::span<const Identifier>(t.outputs));
+  support::ThreadPool pool(workers);
+  SeedAdjoints harvested;
+  std::mutex mutex;
+  sweep.run(pool, workers,
+            [](VectorAdjoints& m, Identifier id, std::size_t lane) {
+              m.seed(id, lane, 1.0);
+            },
+            [&](std::size_t, const VectorAdjoints& m, std::size_t base,
+                std::size_t lanes) {
+              const std::scoped_lock lock(mutex);
+              for (std::size_t lane = 0; lane < lanes; ++lane) {
+                for (const Identifier input : t.inputs) {
+                  harvested[{base + lane, input}] = m.adjoint(input, lane);
+                }
+              }
+            });
+  return harvested;
+}
+
+TEST(ParallelSweep, BlockRangesPartitionAllBlocksInOrder) {
+  FanOutTape t;
+  const ParallelSweep<VectorAdjoints> sweep(
+      t.tape, std::span<const Identifier>(t.outputs));
+  ASSERT_EQ(sweep.num_blocks(), 3u);  // ceil(20 / 8)
+  for (std::size_t workers = 1; workers <= 5; ++workers) {
+    std::size_t next = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto [begin, end] = sweep.block_range(w, workers);
+      EXPECT_EQ(begin, next) << "worker " << w << "/" << workers;
+      EXPECT_LE(begin, end);
+      next = end;
+    }
+    EXPECT_EQ(next, sweep.num_blocks()) << workers << " workers";
+  }
+}
+
+TEST(ParallelSweep, UsableWorkersIsCappedByBlocks) {
+  FanOutTape t;
+  const ParallelSweep<ScalarAdjoints> scalar(
+      t.tape, std::span<const Identifier>(t.outputs));
+  EXPECT_EQ(scalar.usable_workers(64), t.outputs.size());
+  const ParallelSweep<BitsetAdjoints> bitset(
+      t.tape, std::span<const Identifier>(t.outputs));
+  EXPECT_EQ(bitset.usable_workers(64), 1u);  // 20 seeds, one 64-bit word
+  EXPECT_EQ(bitset.usable_workers(0), 1u);
+}
+
+TEST(ParallelSweep, PassCountIsInvariantAcrossWorkerCounts) {
+  FanOutTape t;
+  const ParallelSweep<VectorAdjoints> sweep(
+      t.tape, std::span<const Identifier>(t.outputs));
+  for (const std::size_t workers : {1u, 2u, 3u, 4u, 8u}) {
+    support::ThreadPool pool(workers);
+    const ParallelSweepMetrics metrics = sweep.run(
+        pool, workers,
+        [](VectorAdjoints& m, Identifier id, std::size_t lane) {
+          m.seed(id, lane, 1.0);
+        },
+        [](std::size_t, const VectorAdjoints&, std::size_t, std::size_t) {});
+    EXPECT_EQ(metrics.passes, sweep.num_blocks()) << workers << " workers";
+    EXPECT_LE(metrics.workers, sweep.num_blocks());
+  }
+}
+
+TEST(ParallelSweep, AdjointsAreBitIdenticalForEveryWorkerCount) {
+  FanOutTape t;
+  const SeedAdjoints serial = harvest_vector(t, 1);
+  // Analytic spot check: seed j reaches exactly input j % kInputs with
+  // partial j + 1.
+  for (std::size_t j = 0; j < FanOutTape::kOutputs; ++j) {
+    for (std::size_t i = 0; i < FanOutTape::kInputs; ++i) {
+      const double expected =
+          i == j % FanOutTape::kInputs ? static_cast<double>(j + 1) : 0.0;
+      EXPECT_EQ(serial.at({j, t.inputs[i]}), expected);
+    }
+  }
+  for (const std::size_t workers : {2u, 3u, 4u, 8u}) {
+    const SeedAdjoints parallel = harvest_vector(t, workers);
+    ASSERT_EQ(parallel.size(), serial.size()) << workers << " workers";
+    for (const auto& [key, value] : serial) {
+      EXPECT_EQ(parallel.at(key), value)
+          << "seed " << key.first << " under " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelSweep, EmptySeedListDoesNothing) {
+  FanOutTape t;
+  const std::vector<Identifier> no_seeds;
+  const ParallelSweep<ScalarAdjoints> sweep(
+      t.tape, std::span<const Identifier>(no_seeds));
+  support::ThreadPool pool(2);
+  bool harvested = false;
+  const ParallelSweepMetrics metrics = sweep.run(
+      pool, 2, [](ScalarAdjoints& m, Identifier id, std::size_t) {
+        m.seed(id, 1.0);
+      },
+      [&](std::size_t, const ScalarAdjoints&, std::size_t, std::size_t) {
+        harvested = true;
+      });
+  EXPECT_FALSE(harvested);
+  EXPECT_EQ(metrics.passes, 0u);
+}
+
+TEST(ParallelSweep, MetricsAccountForEveryWorker) {
+  FanOutTape t;
+  const ParallelSweep<ScalarAdjoints> sweep(
+      t.tape, std::span<const Identifier>(t.outputs));
+  support::ThreadPool pool(4);
+  const ParallelSweepMetrics metrics = sweep.run(
+      pool, 4,
+      [](ScalarAdjoints& m, Identifier id, std::size_t) { m.seed(id, 1.0); },
+      [](std::size_t, const ScalarAdjoints&, std::size_t, std::size_t) {});
+  EXPECT_EQ(metrics.workers, 4u);
+  EXPECT_GT(metrics.wall_seconds, 0.0);
+  EXPECT_GE(metrics.busy_seconds,
+            metrics.sweep_seconds + metrics.harvest_seconds - 1e-12);
+  EXPECT_GT(metrics.efficiency(), 0.0);
+  EXPECT_LE(metrics.efficiency(), 1.0);
+}
+
+TEST(ResolveSweepThreads, ZeroMeansHardware) {
+  EXPECT_EQ(resolve_sweep_threads(0),
+            support::ThreadPool::hardware_threads());
+  EXPECT_EQ(resolve_sweep_threads(1), 1u);
+  EXPECT_EQ(resolve_sweep_threads(7), 7u);
+}
+
+TEST(ResolveSweepThreads, AbsurdRequestsAreCappedNotSpawned) {
+  EXPECT_EQ(resolve_sweep_threads(kMaxSweepWorkers), kMaxSweepWorkers);
+  EXPECT_EQ(resolve_sweep_threads(500000), kMaxSweepWorkers);
+  EXPECT_EQ(resolve_sweep_threads(~std::size_t{0}), kMaxSweepWorkers);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

@@ -1,0 +1,96 @@
+// analyze_reverse_ad with AnalysisConfig::threads on synthetic programs:
+// the parallel engine must reproduce the serial masks AND impact
+// magnitudes bit-for-bit, report the workers it used, and keep the
+// 1-thread path on the serial sweep.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "synthetic_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+using testprog::ManyOutputs;
+
+AnalysisConfig reverse_config(ad::SweepKind sweep, std::uint32_t threads,
+                              bool impact = false) {
+  AnalysisConfig cfg;
+  cfg.mode = AnalysisMode::ReverseAD;
+  cfg.sweep = sweep;
+  cfg.threads = threads;
+  cfg.capture_impact = impact;
+  return cfg;
+}
+
+TEST(ParallelAnalyzer, ManyOutputsMasksMatchSerialForEveryThreadCount) {
+  const auto serial = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Vector, 1));
+  EXPECT_EQ(serial.threads, 1u);
+  EXPECT_DOUBLE_EQ(serial.parallel_efficiency, 1.0);
+  // Analytic ground truth: x[0..kOutputs) critical, the tail never read.
+  for (std::size_t e = 0; e < ManyOutputs<double>::kSize; ++e) {
+    EXPECT_EQ(serial.variables[0].mask.test(e),
+              e < ManyOutputs<double>::kOutputs);
+  }
+  for (const std::uint32_t threads : {2u, 3u, 4u, 0u}) {
+    const auto parallel = analyze_reverse_ad<ManyOutputs>(
+        {}, reverse_config(ad::SweepKind::Vector, threads));
+    EXPECT_TRUE(serial.variables[0].mask == parallel.variables[0].mask)
+        << threads << " threads";
+    EXPECT_EQ(serial.sweep_passes, parallel.sweep_passes);
+    EXPECT_EQ(serial.num_outputs, parallel.num_outputs);
+  }
+}
+
+TEST(ParallelAnalyzer, ScalarSweepFansOutOnePassPerOutput) {
+  const auto parallel = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Scalar, 4));
+  EXPECT_EQ(parallel.sweep_passes, ManyOutputs<double>::kOutputs);
+  EXPECT_EQ(parallel.threads, 4u);
+  EXPECT_GT(parallel.parallel_efficiency, 0.0);
+  EXPECT_LE(parallel.parallel_efficiency, 1.0);
+}
+
+TEST(ParallelAnalyzer, ImpactMagnitudesSurviveTheMaxMerge) {
+  // y_j = (j+1) * x[j]: |∂y_j/∂x[j]| = j+1 exactly, one output per
+  // element — the per-worker max-merge must reassemble the full ranking.
+  const auto serial = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Scalar, 1, /*impact=*/true));
+  const auto parallel = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Scalar, 4, /*impact=*/true));
+  ASSERT_EQ(serial.variables[0].impact.size(),
+            parallel.variables[0].impact.size());
+  for (std::size_t e = 0; e < serial.variables[0].impact.size(); ++e) {
+    const double expected = e < ManyOutputs<double>::kOutputs
+                                ? static_cast<double>(e + 1)
+                                : 0.0;
+    EXPECT_DOUBLE_EQ(serial.variables[0].impact[e], expected);
+    EXPECT_EQ(serial.variables[0].impact[e],
+              parallel.variables[0].impact[e])
+        << "element " << e;
+  }
+}
+
+TEST(ParallelAnalyzer, SingleBlockSweepFallsBackToSerial) {
+  // 20 outputs fit one 64-lane bitset word: nothing to partition, so the
+  // engine must take the serial path and say so.
+  const auto result = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Bitset, 8));
+  EXPECT_EQ(result.sweep_passes, 1u);
+  EXPECT_EQ(result.threads, 1u);
+  EXPECT_DOUBLE_EQ(result.parallel_efficiency, 1.0);
+}
+
+TEST(ParallelAnalyzer, ThreadCountBeyondBlocksIsCapped) {
+  // Vector mode: ceil(20 / 8) = 3 blocks; 100 requested threads must be
+  // capped at 3 workers, and the masks still match serial.
+  const auto serial = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Vector, 1));
+  const auto parallel = analyze_reverse_ad<ManyOutputs>(
+      {}, reverse_config(ad::SweepKind::Vector, 100));
+  EXPECT_EQ(parallel.threads, 3u);
+  EXPECT_TRUE(serial.variables[0].mask == parallel.variables[0].mask);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

@@ -1,0 +1,103 @@
+// Thread-count invariance over the whole suite: for every NPB app the
+// parallel adjoint sweep must produce element-identical CriticalMasks and
+// identical Table I / Table II numbers at 1, 2, 4 and hardware threads.
+//
+// This is the correctness gate Hückelheim et al. (arXiv:2305.07546) warn
+// parallel adjoint accumulation needs: the scheduler keeps the serial
+// blocking (sweep_passes invariant), gives every worker a private adjoint
+// buffer, and merges with an order-independent OR/max reduction — so any
+// divergence here is a real race or a broken merge, never "expected
+// nondeterminism".  The scalar sweep is exercised alongside the default
+// vector sweep because it has one block per output and therefore actually
+// fans out on multi-output apps (the 8-lane vector sweep of a ≤8-output
+// app collapses to a single block and one worker).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ad/adjoint_models.hpp"
+#include "core/analysis_types.hpp"
+#include "core/report.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {2, 4, 0};  // vs the 1-thread base
+
+class ThreadInvarianceTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  static core::AnalysisResult analyze(BenchmarkId id, ad::SweepKind sweep,
+                                      std::uint32_t threads) {
+    core::AnalysisConfig cfg = default_analysis_config(
+        id, core::AnalysisMode::ReverseAD, threads);
+    cfg.sweep = sweep;
+    return analyze_benchmark(id, cfg);
+  }
+
+  static void expect_identical(const core::AnalysisResult& base,
+                               const core::AnalysisResult& parallel,
+                               std::uint32_t threads,
+                               const char* sweep_name) {
+    // Table II's structural numbers: outputs, tape size, pass count.
+    EXPECT_EQ(base.num_outputs, parallel.num_outputs);
+    EXPECT_EQ(base.tape_stats.num_statements,
+              parallel.tape_stats.num_statements);
+    EXPECT_EQ(base.sweep_passes, parallel.sweep_passes)
+        << sweep_name << " sweep re-blocked at " << threads << " threads";
+
+    // Element-identical masks (word compare) and identical Table I rows.
+    ASSERT_EQ(base.variables.size(), parallel.variables.size());
+    for (std::size_t v = 0; v < base.variables.size(); ++v) {
+      const auto& want = base.variables[v];
+      const auto& got = parallel.variables[v];
+      ASSERT_EQ(want.name, got.name);
+      EXPECT_TRUE(want.mask == got.mask)
+          << parallel.program << "(" << want.name << ") diverges under "
+          << sweep_name << " sweep at " << threads << " threads";
+      EXPECT_EQ(want.uncritical_elements(), got.uncritical_elements());
+    }
+
+    // The printed Table I reproduction itself.
+    EXPECT_EQ(core::format_criticality_table(base),
+              core::format_criticality_table(parallel));
+  }
+};
+
+TEST_P(ThreadInvarianceTest, VectorSweepMasksAreThreadCountInvariant) {
+  const BenchmarkId id = GetParam();
+  const auto base = analyze(id, ad::SweepKind::Vector, 1);
+  EXPECT_EQ(base.threads, 1u);
+  for (const std::uint32_t threads : kThreadCounts) {
+    const auto parallel = analyze(id, ad::SweepKind::Vector, threads);
+    expect_identical(base, parallel, threads, "vector");
+  }
+}
+
+TEST_P(ThreadInvarianceTest, ScalarSweepMasksAreThreadCountInvariant) {
+  const BenchmarkId id = GetParam();
+  const auto base = analyze(id, ad::SweepKind::Scalar, 1);
+  for (const std::uint32_t threads : kThreadCounts) {
+    const auto parallel = analyze(id, ad::SweepKind::Scalar, threads);
+    expect_identical(base, parallel, threads, "scalar");
+    // A multi-output app really fans out: the engine must report the
+    // workers it used, capped by the block (= output) count.
+    if (parallel.num_outputs >= 2 && threads != 1) {
+      EXPECT_GE(parallel.threads, 1u);
+      EXPECT_LE(parallel.threads,
+                static_cast<std::size_t>(parallel.num_outputs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ThreadInvarianceTest,
+    ::testing::Values(BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU,
+                      BenchmarkId::MG, BenchmarkId::CG, BenchmarkId::FT,
+                      BenchmarkId::EP, BenchmarkId::IS),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+}  // namespace
+}  // namespace scrutiny::npb

@@ -87,5 +87,71 @@ TEST(CliArgs, RequireKnownIgnoresPositionals) {
   EXPECT_NO_THROW(args.require_known({}));
 }
 
+// ---------------------------------------------------------------------------
+// Strict numeric parsing: malformed values fail loudly instead of
+// truncating (strtoll) or wrapping (stoul).
+// ---------------------------------------------------------------------------
+
+TEST(CliArgs, GetUintRejectsNegativeValues) {
+  const CliArgs args = make({"prog", "--threads", "-1"});
+  try {
+    (void)args.get_uint("threads", 0);
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--threads"), std::string::npos);
+    EXPECT_NE(what.find("-1"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, GetIntRejectsScientificNotation) {
+  // "1e99" parsed as an integer used to silently become 1.
+  const CliArgs args = make({"prog", "--warmup", "1e99"});
+  try {
+    (void)args.get_int("warmup", 0);
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--warmup"), std::string::npos);
+    EXPECT_NE(what.find("1e99"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, GetIntRejectsTrailingGarbageAndOverflow) {
+  EXPECT_THROW((void)make({"prog", "--n", "12abc"}).get_int("n", 0),
+               ScrutinyError);
+  EXPECT_THROW((void)make({"prog", "--n", "abc"}).get_int("n", 0),
+               ScrutinyError);
+  EXPECT_THROW(
+      (void)make({"prog", "--n", "99999999999999999999"}).get_int("n", 0),
+      ScrutinyError);
+  EXPECT_THROW(
+      (void)make({"prog", "--n", "99999999999999999999"}).get_uint("n", 0),
+      ScrutinyError);
+}
+
+TEST(CliArgs, GetDoubleRejectsGarbageButKeepsScientific) {
+  EXPECT_DOUBLE_EQ(make({"prog", "--x", "1e-9"}).get_double("x", 0.0), 1e-9);
+  EXPECT_THROW((void)make({"prog", "--x", "fast"}).get_double("x", 0.0),
+               ScrutinyError);
+  EXPECT_THROW((void)make({"prog", "--x", "1.5ms"}).get_double("x", 0.0),
+               ScrutinyError);
+}
+
+TEST(CliArgs, BareFlagQueriedAsNumberFailsLoudly) {
+  // `--warmup --window 3` leaves --warmup valueless; reading it as a
+  // number must not silently fall back.
+  const CliArgs args = make({"prog", "--warmup", "--window", "3"});
+  EXPECT_THROW((void)args.get_int("warmup", 2), ScrutinyError);
+  EXPECT_EQ(args.get_int("window", 0), 3);
+}
+
+TEST(CliArgs, GetUintParsesValidValues) {
+  const CliArgs args = make({"prog", "--threads", "8", "--stride=211"});
+  EXPECT_EQ(args.get_uint("threads", 0), 8u);
+  EXPECT_EQ(args.get_uint("stride", 0), 211u);
+  EXPECT_EQ(args.get_uint("absent", 4), 4u);
+}
+
 }  // namespace
 }  // namespace scrutiny

@@ -1,0 +1,122 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scrutiny::support {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadRequestMeansHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 100;
+  std::vector<std::atomic<int>> executions(kTasks);
+  pool.run(kTasks, [&](std::size_t index) { ++executions[index]; });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(executions[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroTaskSubmitIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.run(3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (std::size_t batch = 0; batch < 50; ++batch) {
+    pool.run(batch % 7, [&](std::size_t) { ++total; });
+  }
+  std::size_t expected = 0;
+  for (std::size_t batch = 0; batch < 50; ++batch) expected += batch % 7;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, MoreTasksThanThreadsAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.run(64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesTheTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  const auto failing = [&](std::size_t index) {
+    if (index == 5) throw ScrutinyError("task 5 exploded");
+    ++completed;
+  };
+  try {
+    pool.run(16, failing);
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    EXPECT_NE(std::string(error.what()).find("task 5 exploded"),
+              std::string::npos);
+  }
+  // Every non-throwing task still ran: a throwing sibling must not
+  // silently drop work.
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, PoolSurvivesAndReRunsAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run(4, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, TasksRunOnPoolThreadsNotTheCaller) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  pool.run(16, [&](std::size_t) {
+    const std::scoped_lock lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_FALSE(seen.contains(caller));
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, ConcurrentCallersAreSerialized) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        pool.run(5, [&](std::size_t) { ++total; });
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 4 * 10 * 5);
+}
+
+}  // namespace
+}  // namespace scrutiny::support
