@@ -4,16 +4,21 @@
 //
 // BM_AnalyzeReverseSweep runs the same analysis through every adjoint model
 // (scalar = the old one-pass-per-output loop, vector = 8 outputs per pass,
-// bitset = 64 outputs per pass) and a thread-count axis (1 = the serial
-// sweep, 2/4 = the ParallelSweep scheduler), reporting the
-// record/sweep/harvest split as counters, so both the single-sweep speedup
-// and the parallel-sweep speedup are measured, not asserted: sweep_ms for
+// bitset = 64 outputs per pass), a thread-count axis (1 = the serial
+// sweep, 2/4 = the ParallelSweep scheduler) and a tape-memory axis
+// (0 = unlimited resident tape, 1 = capped at 25% of the app's full
+// resident tape so segments spill and reload through the memory
+// backend), reporting the record/sweep/harvest split as counters, so
+// the single-sweep speedup, the parallel-sweep speedup and the
+// out-of-core overhead are all measured, not asserted: sweep_ms for
 // vector/bitset should be independent of the output count while scalar
-// scales with it, and scalar sweep_ms should drop with threads (one block
+// scales with it, scalar sweep_ms should drop with threads (one block
 // per output to partition; the blocked models saturate at
-// ceil(outputs/lanes) workers).
+// ceil(outputs/lanes) workers), and the capped rows price the
+// spill/reload traffic against the unlimited baseline.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +28,25 @@
 namespace {
 
 using namespace scrutiny;
+
+// 25% of the app's full-tape resident bytes, measured once per app by a
+// throwaway unlimited analysis before any timed iteration touches the
+// budgeted path (benchmarks run serially in one process, so a plain
+// static cache is safe).
+std::uint64_t quarter_resident_bytes(npb::BenchmarkId id) {
+  static std::array<std::uint64_t,
+                    static_cast<std::size_t>(npb::BenchmarkId::IS) + 1>
+      cache{};
+  std::uint64_t& slot = cache[static_cast<std::size_t>(id)];
+  if (slot == 0) {
+    const auto cfg =
+        npb::default_analysis_config(id, core::AnalysisMode::ReverseAD);
+    const auto result = npb::analyze_benchmark(id, cfg);
+    const std::uint64_t quarter = result.tape_stats.resident_bytes / 4;
+    slot = quarter > 0 ? quarter : 1;
+  }
+  return slot;
+}
 
 void BM_AnalyzeReverse(benchmark::State& state) {
   const auto id = static_cast<npb::BenchmarkId>(state.range(0));
@@ -47,9 +71,14 @@ void BM_AnalyzeReverseSweep(benchmark::State& state) {
   const auto id = static_cast<npb::BenchmarkId>(state.range(0));
   const auto sweep = static_cast<ad::SweepKind>(state.range(1));
   const auto threads = static_cast<std::uint32_t>(state.range(2));
+  const bool capped = state.range(3) != 0;
   auto cfg = npb::default_analysis_config(id, core::AnalysisMode::ReverseAD,
                                           threads);
   cfg.sweep = sweep;
+  if (capped) {
+    cfg.tape_memory_limit = quarter_resident_bytes(id);
+    cfg.tape_spill_backend = ckpt::BackendKind::Memory;
+  }
   double record_s = 0.0;
   double sweep_s = 0.0;
   double harvest_s = 0.0;
@@ -57,6 +86,8 @@ void BM_AnalyzeReverseSweep(benchmark::State& state) {
   std::int64_t passes = 0;
   std::size_t outputs = 0;
   std::size_t used_threads = 1;
+  std::uint64_t spilled = 0;
+  std::uint64_t reloaded = 0;
   for (auto _ : state) {
     const auto result = npb::analyze_benchmark(id, cfg);
     record_s += result.record_seconds;
@@ -66,6 +97,8 @@ void BM_AnalyzeReverseSweep(benchmark::State& state) {
     outputs = result.num_outputs;
     used_threads = result.threads;
     efficiency = result.parallel_efficiency;
+    spilled += result.tape_stats.segments_spilled;
+    reloaded += result.tape_stats.segments_reloaded;
     benchmark::DoNotOptimize(result.variables.size());
   }
   const auto iterations = static_cast<double>(state.iterations());
@@ -80,10 +113,19 @@ void BM_AnalyzeReverseSweep(benchmark::State& state) {
   state.counters["outputs"] = static_cast<double>(outputs);
   state.counters["threads"] = static_cast<double>(used_threads);
   state.counters["efficiency"] = efficiency;
+  state.counters["spilled_segments"] =
+      static_cast<double>(spilled) / iterations;
+  state.counters["reloaded_segments"] =
+      static_cast<double>(reloaded) / iterations;
   state.SetLabel(std::string(npb::benchmark_name(id)) + "/" +
                  ad::sweep_kind_name(sweep) + "/t" +
-                 std::to_string(threads));
+                 std::to_string(threads) + (capped ? "/capped" : ""));
 }
+// The memory axis (last arg) stays 0 = unlimited for the full app grid;
+// the capped (= 25% budget) rows are registered only for CG and EP — the
+// two cheap apps the CI filter `BM_AnalyzeReverseSweep/(4|6)/` tracks —
+// so the out-of-core overhead is gated without tripling the expensive
+// BT/LU rows.
 BENCHMARK(BM_AnalyzeReverseSweep)
     ->ArgsProduct({{static_cast<int>(npb::BenchmarkId::BT),
                     static_cast<int>(npb::BenchmarkId::LU),
@@ -92,7 +134,15 @@ BENCHMARK(BM_AnalyzeReverseSweep)
                    {static_cast<int>(ad::SweepKind::Scalar),
                     static_cast<int>(ad::SweepKind::Vector),
                     static_cast<int>(ad::SweepKind::Bitset)},
-                   {1, 2, 4}})
+                   {1, 2, 4},
+                   {0}})
+    ->ArgsProduct({{static_cast<int>(npb::BenchmarkId::CG),
+                    static_cast<int>(npb::BenchmarkId::EP)},
+                   {static_cast<int>(ad::SweepKind::Scalar),
+                    static_cast<int>(ad::SweepKind::Vector),
+                    static_cast<int>(ad::SweepKind::Bitset)},
+                   {1, 2, 4},
+                   {1}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_AnalyzeReadSet(benchmark::State& state) {

@@ -7,6 +7,9 @@
 //   ./examples/npb_explorer MG
 //   ./examples/npb_explorer FT --mode read-set --width 100
 //   ./examples/npb_explorer BT --threads 0   # sweep on all hardware threads
+//   ./examples/npb_explorer LU --tape-memory-limit 1048576
+//       # out-of-core: spill cold tape segments past 1 MiB (masks are
+//       # bit-identical to the unlimited run; omit for unlimited)
 #include <cstdint>
 #include <cstdio>
 
@@ -41,11 +44,26 @@ int main(int argc, char** argv) {
   // Masks are bit-identical either way.
   const auto threads = static_cast<std::uint32_t>(
       args.get_uint("threads", 1));
+  // Tape byte budget: omitted = unlimited resident tape (the default, as
+  // with the scrutiny CLI); 0 is not a budget and is rejected.  Masks are
+  // bit-identical under any limit.
+  std::uint64_t tape_memory_limit = 0;
+  if (args.has("tape-memory-limit")) {
+    tape_memory_limit = args.get_uint("tape-memory-limit", 0);
+    if (tape_memory_limit == 0) {
+      std::fprintf(stderr,
+                   "--tape-memory-limit must be a positive byte count; "
+                   "omit the flag for an unlimited resident tape\n");
+      return 2;
+    }
+  }
 
   std::printf("analyzing %s (%s)...\n\n", npb::benchmark_name(*id),
               core::analysis_mode_name(mode));
-  const auto analysis = npb::analyze_benchmark(
-      *id, npb::default_analysis_config(*id, mode, threads));
+  core::AnalysisConfig cfg =
+      npb::default_analysis_config(*id, mode, threads);
+  cfg.tape_memory_limit = tape_memory_limit;
+  const auto analysis = npb::analyze_benchmark(*id, cfg);
   std::printf("%s", core::format_analysis_summary(analysis).c_str());
   std::printf("%s\n", core::format_criticality_table(analysis).c_str());
 

@@ -1,28 +1,98 @@
 #include "ad/tape.hpp"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
 namespace scrutiny::ad {
 
 namespace {
+
 thread_local Tape* g_active_tape = nullptr;
+
+/// Identifiers are 32-bit; the last representable one is reserved as the
+/// overflow sentinel (matching the recording-time guard).
+constexpr std::uint64_t kMaxStatements = 0xFFFFFFFFull - 1;
+
+/// Mirrors kMaxSweepWorkers' spirit from PR 5: a bound wide enough for
+/// any real statement, tight enough to catch garbage before bad_alloc.
+constexpr double kMaxArgsPerStatement = 256.0;
+
+/// The NPB suite averages ~2 args/statement; with 8-byte arg_ends plus
+/// (8+4)-byte argument pairs that is ~32 bytes/statement.
+constexpr std::uint64_t kBytesPerStatementEstimate = 32;
+
 }  // namespace
 
 Tape* active_tape() noexcept { return g_active_tape; }
 void set_active_tape(Tape* tape) noexcept { g_active_tape = tape; }
 
+std::uint64_t segment_capacity_for_limit(
+    std::uint64_t memory_limit_bytes) noexcept {
+  if (memory_limit_bytes == 0) return 0;
+  // Aim for ~8 segments inside the budget so eviction has granularity.
+  const std::uint64_t statements =
+      memory_limit_bytes / (8 * kBytesPerStatementEstimate);
+  return std::clamp<std::uint64_t>(statements, std::uint64_t{1} << 10,
+                                   std::uint64_t{1} << 20);
+}
+
+Tape::Tape(TapeOptions options)
+    : storage_(std::move(options.storage)),
+      segment_capacity_(options.segment_capacity) {
+  if (segment_capacity_ != 0 && storage_ == nullptr) {
+    storage_ = std::make_unique<ResidentTapeStorage>();
+  }
+}
+
 void Tape::reserve(std::uint64_t statements, double args_per_statement) {
-  arg_ends_.reserve(statements);
-  const auto args =
-      static_cast<std::uint64_t>(static_cast<double>(statements) *
-                                 args_per_statement);
-  partials_.reserve(args);
-  arg_ids_.reserve(args);
+  SCRUTINY_REQUIRE(
+      statements <= kMaxStatements,
+      "tape reserve for " + std::to_string(statements) +
+          " statements exceeds the 32-bit identifier space (max " +
+          std::to_string(kMaxStatements) + ")");
+  SCRUTINY_REQUIRE(
+      args_per_statement >= 0.0 &&
+          args_per_statement <= kMaxArgsPerStatement,
+      "tape reserve with " + std::to_string(args_per_statement) +
+          " args/statement is outside [0, 256]");
+  reserve_args_per_statement_ = args_per_statement;
+  // A segmented tape never holds more than one segment's worth in the
+  // active arrays, so clamp the grant rather than pre-sizing the world.
+  if (segment_capacity_ != 0) {
+    statements = std::min(statements, segment_capacity_);
+  }
+  active_.arg_ends.reserve(statements);
+  const auto args = static_cast<std::uint64_t>(
+      static_cast<double>(statements) * args_per_statement);
+  active_.partials.reserve(args);
+  active_.arg_ids.reserve(args);
+}
+
+void Tape::seal_active() {
+  auto segment = std::make_shared<TapeSegment>(std::move(active_));
+  // Sealed segments are immutable; return the reserve overshoot.
+  segment->arg_ends.shrink_to_fit();
+  segment->partials.shrink_to_fit();
+  segment->arg_ids.shrink_to_fit();
+  sealed_statements_ += segment->num_statements();
+  sealed_arguments_ += segment->num_arguments();
+  if (storage_ == nullptr) {
+    storage_ = std::make_unique<ResidentTapeStorage>();
+  }
+  storage_->seal(std::move(segment));
+  active_ = TapeSegment{};
+  active_.first_statement = sealed_statements_;
+  active_.arg_ends.reserve(segment_capacity_);
+  const auto args = static_cast<std::uint64_t>(
+      static_cast<double>(segment_capacity_) * reserve_args_per_statement_);
+  active_.partials.reserve(args);
+  active_.arg_ids.reserve(args);
 }
 
 Identifier Tape::register_input() {
-  arg_ends_.push_back(partials_.size());
   ++num_inputs_;
-  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
-  return static_cast<Identifier>(arg_ends_.size());
+  return finish_statement();
 }
 
 Identifier Tape::push_statement(std::span<const double> partials,
@@ -31,42 +101,36 @@ Identifier Tape::push_statement(std::span<const double> partials,
                    "mismatched statement arguments");
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (ids[i] != kPassiveId) {
-      partials_.push_back(partials[i]);
-      arg_ids_.push_back(ids[i]);
+      active_.partials.push_back(partials[i]);
+      active_.arg_ids.push_back(ids[i]);
     }
   }
-  arg_ends_.push_back(partials_.size());
-  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
-  return static_cast<Identifier>(arg_ends_.size());
+  return finish_statement();
 }
 
 Identifier Tape::push1(double partial, Identifier id) {
   if (id != kPassiveId) {
-    partials_.push_back(partial);
-    arg_ids_.push_back(id);
+    active_.partials.push_back(partial);
+    active_.arg_ids.push_back(id);
   }
-  arg_ends_.push_back(partials_.size());
-  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
-  return static_cast<Identifier>(arg_ends_.size());
+  return finish_statement();
 }
 
 Identifier Tape::push2(double p0, Identifier id0, double p1, Identifier id1) {
   if (id0 != kPassiveId) {
-    partials_.push_back(p0);
-    arg_ids_.push_back(id0);
+    active_.partials.push_back(p0);
+    active_.arg_ids.push_back(id0);
   }
   if (id1 != kPassiveId) {
-    partials_.push_back(p1);
-    arg_ids_.push_back(id1);
+    active_.partials.push_back(p1);
+    active_.arg_ids.push_back(id1);
   }
-  arg_ends_.push_back(partials_.size());
-  SCRUTINY_REQUIRE(arg_ends_.size() < 0xFFFFFFFFull, "tape identifier overflow");
-  return static_cast<Identifier>(arg_ends_.size());
+  return finish_statement();
 }
 
 void Tape::set_adjoint(Identifier id, double value) {
-  SCRUTINY_REQUIRE(id <= arg_ends_.size(), "adjoint id out of range");
-  adjoints_.resize(arg_ends_.size());
+  SCRUTINY_REQUIRE(id <= num_statements(), "adjoint id out of range");
+  adjoints_.resize(num_statements());
   adjoints_.seed(id, value);
 }
 
@@ -77,9 +141,10 @@ void Tape::evaluate() { evaluate_with(adjoints_); }
 void Tape::clear_adjoints() { adjoints_.clear(); }
 
 void Tape::reset() {
-  arg_ends_.clear();
-  partials_.clear();
-  arg_ids_.clear();
+  active_ = TapeSegment{};
+  if (storage_ != nullptr) storage_->clear();
+  sealed_statements_ = 0;
+  sealed_arguments_ = 0;
   adjoints_.release();
   num_inputs_ = 0;
   recording_ = false;
@@ -87,15 +152,28 @@ void Tape::reset() {
 
 TapeStats Tape::stats() const noexcept {
   TapeStats s;
-  s.num_statements = arg_ends_.size();
-  s.num_arguments = partials_.size();
+  s.num_statements = num_statements();
+  s.num_arguments = sealed_arguments_ + active_.partials.size();
   s.num_inputs = num_inputs_;
-  s.memory_bytes = arg_ends_.capacity() * sizeof(std::uint64_t) +
-                   partials_.capacity() * sizeof(double) +
-                   arg_ids_.capacity() * sizeof(Identifier) +
-                   (adjoints_.num_ids() == 0
-                        ? 0
-                        : (adjoints_.num_ids() + 1) * sizeof(double));
+  const std::uint64_t adjoint_bytes =
+      adjoints_.num_ids() == 0 ? 0
+                               : (adjoints_.num_ids() + 1) * sizeof(double);
+  s.memory_bytes = active_.reserved_bytes() + adjoint_bytes;
+  s.resident_bytes = active_.resident_bytes() + adjoint_bytes;
+  s.num_segments = 1;  // the active segment
+  if (storage_ != nullptr) {
+    const TapeStorageStats storage = storage_->stats();
+    s.memory_bytes += storage.reserved_bytes;
+    s.resident_bytes += storage.resident_bytes;
+    s.num_segments += storage.num_segments;
+    s.resident_peak_bytes =
+        storage.resident_peak_bytes + active_.resident_bytes() +
+        adjoint_bytes;
+    s.segments_spilled = storage.segments_spilled;
+    s.segments_reloaded = storage.segments_reloaded;
+    s.spilled_bytes = storage.spilled_bytes;
+  }
+  s.resident_peak_bytes = std::max(s.resident_peak_bytes, s.resident_bytes);
   return s;
 }
 

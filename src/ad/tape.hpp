@@ -11,6 +11,21 @@
 //  * The reverse sweep walks statements backwards, propagating
 //    adjoint(lhs) * partial into each argument's adjoint slot.
 //
+// Storage is segmented: statements are recorded into the in-tape "active"
+// TapeSegment; when a fixed statement capacity is configured and reached,
+// the segment is sealed (frozen) into a TapeStorage (see tape_storage.hpp)
+// and recording continues in a fresh segment.  The default configuration
+// has an unbounded active segment — nothing is ever sealed, storage is
+// never even allocated, and recording/sweeping is exactly the historical
+// three-monolithic-vector path.  With a SpillingTapeStorage, sealed cold
+// segments move out of core through a ckpt::StorageBackend and are
+// reloaded (prefetched one segment ahead) during the backward sweep.
+//
+// Segment boundaries depend only on the statement count, never on values
+// or memory pressure, so the per-statement evaluation order — and
+// therefore every mask, impact and pass count — is bit-identical across
+// all segment sizes and memory limits.
+//
 // Recording and evaluation are decoupled: evaluate_with(Model&) runs the
 // reverse traversal against any adjoint model (scalar, vector-lane, or
 // dependency-bitset — see ad/adjoint_models.hpp), so one recorded tape can
@@ -25,26 +40,58 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "ad/adjoint_models.hpp"
 #include "ad/identifier.hpp"
+#include "ad/tape_storage.hpp"
 #include "support/error.hpp"
 
 namespace scrutiny::ad {
 
 /// Size/memory counters used by reports and the perf benches.
+///
+/// memory_bytes is the historical capacity-based figure and the one
+/// persisted in .scmask artifacts; the segment/spill counters below it are
+/// in-process diagnostics and deliberately NOT persisted (same policy as
+/// AnalysisResult::threads).
 struct TapeStats {
   std::uint64_t num_statements = 0;
   std::uint64_t num_arguments = 0;
   std::uint64_t num_inputs = 0;
-  std::uint64_t memory_bytes = 0;
+  std::uint64_t memory_bytes = 0;  ///< reserved (allocated) bytes
+  // -- not persisted ----------------------------------------------------
+  std::uint64_t resident_bytes = 0;       ///< live in-RAM bytes right now
+  std::uint64_t resident_peak_bytes = 0;  ///< high-water live bytes
+  std::uint64_t num_segments = 0;         ///< sealed segments + active
+  std::uint64_t segments_spilled = 0;     ///< eviction writes to backend
+  std::uint64_t segments_reloaded = 0;    ///< reads back during sweeps
+  std::uint64_t spilled_bytes = 0;        ///< cumulative bytes written
 };
+
+/// Construction-time configuration.  The default (capacity 0, no storage)
+/// is the unbounded resident tape.
+struct TapeOptions {
+  /// Statements per sealed segment; 0 = single unbounded segment (nothing
+  /// is ever sealed).
+  std::uint64_t segment_capacity = 0;
+  /// Where sealed segments go.  Null + nonzero capacity defaults to a
+  /// ResidentTapeStorage.
+  std::unique_ptr<TapeStorage> storage;
+};
+
+/// Picks a segment capacity (in statements) so roughly 8 segments fit a
+/// given byte budget, assuming the measured ~32 bytes/statement of the NPB
+/// suite.  Clamped to [1 Ki, 1 Mi] statements.
+[[nodiscard]] std::uint64_t segment_capacity_for_limit(
+    std::uint64_t memory_limit_bytes) noexcept;
 
 class Tape {
  public:
   Tape() = default;
+  explicit Tape(TapeOptions options);
 
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
@@ -52,7 +99,10 @@ class Tape {
   // ---- recording -----------------------------------------------------
 
   /// Pre-sizes internal arrays for roughly `statements` statements with
-  /// `args_per_statement` average arguments.  Purely an optimization.
+  /// `args_per_statement` average arguments.  Purely an optimization (a
+  /// segmented tape clamps the grant to one segment's worth).  Throws
+  /// ScrutinyError when the request exceeds the identifier space or the
+  /// per-statement argument bound, instead of dying in bad_alloc later.
   void reserve(std::uint64_t statements, double args_per_statement = 2.0);
 
   void begin_recording() noexcept { recording_ = true; }
@@ -77,18 +127,23 @@ class Tape {
   /// Reverse traversal against an arbitrary adjoint model (see
   /// ad/adjoint_models.hpp for the hook contract).  The model is grown to
   /// cover every identifier first; seeds set before the call are kept.
+  ///
+  /// Segments are swept newest-first (active segment, then sealed
+  /// segments backwards); within a segment the hot loop runs over raw
+  /// per-segment arrays — no per-statement indirection.  While segment s
+  /// is being swept, segment s-1 is prefetched, so a spilling storage
+  /// overlaps its reload I/O with adjoint accumulation.  Thread-safe
+  /// against concurrent evaluate_with calls (ParallelSweep workers):
+  /// acquire() pins segments and shares in-flight loads.
   template <typename Model>
   void evaluate_with(Model& model) const {
-    model.resize(arg_ends_.size());
-    const std::size_t n = arg_ends_.size();
-    for (std::size_t k = n; k-- > 0;) {
-      const auto lhs_id = static_cast<Identifier>(k + 1);
-      if (!model.active(lhs_id)) continue;
-      const auto lhs = model.load(lhs_id);
-      const std::uint64_t begin = k == 0 ? 0 : arg_ends_[k - 1];
-      const std::uint64_t end = arg_ends_[k];
-      for (std::uint64_t a = begin; a < end; ++a) {
-        model.accumulate(arg_ids_[a], partials_[a], lhs);
+    model.resize(num_statements());
+    sweep_segment(model, active_);
+    if (storage_ != nullptr) {
+      for (std::size_t s = storage_->num_segments(); s-- > 0;) {
+        if (s > 0) storage_->prefetch(s - 1);
+        const SegmentHandle segment = storage_->acquire(s);
+        sweep_segment(model, *segment);
       }
     }
   }
@@ -107,7 +162,10 @@ class Tape {
   /// touched since the last clear), not O(tape).
   void clear_adjoints();
 
-  /// Drops the recording and all adjoints; identifiers restart at 1.
+  /// Drops the recording, all adjoints, and every sealed/spilled segment;
+  /// identifiers restart at 1.  The storage configuration (segment
+  /// capacity, spill backend) survives, so one Tape can be reused across
+  /// programs in a session.
   void reset();
 
   // ---- introspection ---------------------------------------------------
@@ -115,20 +173,74 @@ class Tape {
   [[nodiscard]] TapeStats stats() const noexcept;
 
   [[nodiscard]] std::uint64_t num_statements() const noexcept {
-    return arg_ends_.size();
+    return sealed_statements_ + active_.arg_ends.size();
   }
 
   /// Highest identifier handed out so far.
   [[nodiscard]] Identifier max_identifier() const noexcept {
-    return static_cast<Identifier>(arg_ends_.size());
+    return static_cast<Identifier>(num_statements());
+  }
+
+  /// Statements per sealed segment (0 = unbounded single segment).
+  [[nodiscard]] std::uint64_t segment_capacity() const noexcept {
+    return segment_capacity_;
+  }
+
+  /// Sealed segments handed to storage so far (excludes the active one).
+  [[nodiscard]] std::size_t num_sealed_segments() const noexcept {
+    return storage_ == nullptr ? 0 : storage_->num_segments();
+  }
+
+  /// Diagnostic storage name ("resident", "spill(file)", ...).
+  [[nodiscard]] std::string storage_name() const {
+    return storage_ == nullptr ? "resident" : storage_->name();
   }
 
  private:
-  // Statement k covers argument range [arg_ends_[k-1], arg_ends_[k])
-  // (with arg_ends_[-1] == 0) and defines identifier k+1.
-  std::vector<std::uint64_t> arg_ends_;
-  std::vector<double> partials_;
-  std::vector<Identifier> arg_ids_;
+  // One segment's backward sweep over raw arrays.  Statement k of the
+  // segment covers local argument range [ends[k-1], ends[k]) (ends[-1]
+  // == 0) and defines identifier first_statement + k + 1.
+  template <typename Model>
+  static void sweep_segment(Model& model, const TapeSegment& segment) {
+    const std::uint64_t* const ends = segment.arg_ends.data();
+    const double* const partials = segment.partials.data();
+    const Identifier* const ids = segment.arg_ids.data();
+    const std::uint64_t base = segment.first_statement;
+    for (std::uint64_t k = segment.arg_ends.size(); k-- > 0;) {
+      const auto lhs_id = static_cast<Identifier>(base + k + 1);
+      if (!model.active(lhs_id)) continue;
+      const auto lhs = model.load(lhs_id);
+      const std::uint64_t begin = k == 0 ? 0 : ends[k - 1];
+      const std::uint64_t end = ends[k];
+      for (std::uint64_t a = begin; a < end; ++a) {
+        model.accumulate(ids[a], partials[a], lhs);
+      }
+    }
+  }
+
+  /// Closes the statement just pushed into active_: assigns its
+  /// identifier and seals the segment when it hit capacity.
+  Identifier finish_statement() {
+    active_.arg_ends.push_back(active_.partials.size());
+    const std::uint64_t total = num_statements();
+    SCRUTINY_REQUIRE(total < 0xFFFFFFFFull, "tape identifier overflow");
+    if (segment_capacity_ != 0 &&
+        active_.arg_ends.size() >= segment_capacity_) {
+      seal_active();
+    }
+    return static_cast<Identifier>(total);
+  }
+
+  void seal_active();
+
+  // The segment currently being recorded.  active_.first_statement ==
+  // sealed_statements_ at all times.
+  TapeSegment active_;
+  std::unique_ptr<TapeStorage> storage_;  // null until the first seal
+  std::uint64_t segment_capacity_ = 0;
+  std::uint64_t sealed_statements_ = 0;
+  std::uint64_t sealed_arguments_ = 0;
+  double reserve_args_per_statement_ = 2.0;  // re-reserve hint after seals
   ScalarAdjoints adjoints_;  // backs the scalar convenience API
   std::uint64_t num_inputs_ = 0;
   bool recording_ = false;

@@ -1,0 +1,356 @@
+#include "ad/tape_storage.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "ckpt/file_backend.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace scrutiny::ad {
+
+namespace {
+
+/// Spilled-segment container header.  Ephemeral in-process data (the
+/// storage removes its keys on destruction), so a magic + count check is
+/// enough; no cross-version compatibility to carry.
+struct SpillHeader {
+  std::uint64_t magic = 0x5343'5453'4547'0001ull;  // "SCTSEG" v1
+  std::uint64_t first_statement = 0;
+  std::uint64_t num_statements = 0;
+  std::uint64_t num_arguments = 0;
+};
+
+constexpr std::uint64_t kSpillMagic = 0x5343'5453'4547'0001ull;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResidentTapeStorage
+// ---------------------------------------------------------------------------
+
+TapeStorageStats ResidentTapeStorage::stats() const {
+  TapeStorageStats s;
+  s.num_segments = segments_.size();
+  s.resident_segments = segments_.size();
+  for (const SegmentHandle& segment : segments_) {
+    s.resident_bytes += segment->resident_bytes();
+    s.reserved_bytes += segment->reserved_bytes();
+  }
+  s.resident_peak_bytes = peak_bytes_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SpillingTapeStorage
+// ---------------------------------------------------------------------------
+
+SpillingTapeStorage::SpillingTapeStorage(Options options)
+    : backend_(std::move(options.backend)),
+      memory_limit_bytes_(options.memory_limit_bytes),
+      key_prefix_(std::move(options.key_prefix)),
+      cleanup_root_(std::move(options.cleanup_root)) {
+  SCRUTINY_REQUIRE(backend_ != nullptr,
+                   "spilling tape storage needs a storage backend");
+  prefetch_thread_ = std::thread([this] { prefetch_loop(); });
+}
+
+SpillingTapeStorage::~SpillingTapeStorage() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_.notify_all();
+  if (prefetch_thread_.joinable()) prefetch_thread_.join();
+  try {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].on_backend) backend_->remove(key_for(i));
+    }
+    if (!cleanup_root_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(cleanup_root_, ec);
+    }
+  } catch (const std::exception& error) {
+    log_warn("tape_storage",
+             std::string("tape spill cleanup failed: ") + error.what());
+  }
+}
+
+std::unique_ptr<SpillingTapeStorage>
+SpillingTapeStorage::with_temp_file_backend(
+    std::uint64_t memory_limit_bytes) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("scrutiny_tape_spill_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(root);
+  Options options;
+  options.backend = std::make_shared<ckpt::FileBackend>(root);
+  options.memory_limit_bytes = memory_limit_bytes;
+  options.cleanup_root = root;
+  return std::make_unique<SpillingTapeStorage>(std::move(options));
+}
+
+std::string SpillingTapeStorage::key_for(std::size_t index) const {
+  return key_prefix_ + "seg" + std::to_string(index);
+}
+
+void SpillingTapeStorage::write_segment(std::size_t index,
+                                        const TapeSegment& segment) const {
+  const auto writer = backend_->open_for_write(key_for(index));
+  SpillHeader header;
+  header.first_statement = segment.first_statement;
+  header.num_statements = segment.num_statements();
+  header.num_arguments = segment.num_arguments();
+  writer->append(&header, sizeof(header));
+  writer->append(segment.arg_ends.data(),
+                 segment.arg_ends.size() * sizeof(std::uint64_t));
+  writer->append(segment.partials.data(),
+                 segment.partials.size() * sizeof(double));
+  writer->append(segment.arg_ids.data(),
+                 segment.arg_ids.size() * sizeof(Identifier));
+  writer->commit();
+}
+
+SegmentHandle SpillingTapeStorage::read_segment(std::size_t index) const {
+  const auto reader = backend_->open_for_read(key_for(index));
+  SpillHeader header;
+  reader->read(&header, sizeof(header));
+  SCRUTINY_REQUIRE(header.magic == kSpillMagic,
+                   "corrupt tape spill segment: " + key_for(index));
+  auto segment = std::make_shared<TapeSegment>();
+  segment->first_statement = header.first_statement;
+  segment->arg_ends.resize(header.num_statements);
+  segment->partials.resize(header.num_arguments);
+  segment->arg_ids.resize(header.num_arguments);
+  reader->read(segment->arg_ends.data(),
+               segment->arg_ends.size() * sizeof(std::uint64_t));
+  reader->read(segment->partials.data(),
+               segment->partials.size() * sizeof(double));
+  reader->read(segment->arg_ids.data(),
+               segment->arg_ids.size() * sizeof(Identifier));
+  return segment;
+}
+
+void SpillingTapeStorage::seal(SegmentHandle segment) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry entry;
+    entry.bytes = segment->resident_bytes();
+    entry.last_use = ++use_clock_;
+    entry.data = std::move(segment);
+    resident_bytes_ += entry.bytes;
+    resident_peak_bytes_ = std::max(resident_peak_bytes_, resident_bytes_);
+    entries_.push_back(std::move(entry));
+  }
+  enforce_budget();
+}
+
+std::size_t SpillingTapeStorage::num_segments() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SpillingTapeStorage::install_locked(std::size_t index,
+                                         SegmentHandle segment) const {
+  Entry& entry = entries_[index];
+  entry.data = std::move(segment);
+  entry.loading = false;
+  entry.last_use = ++use_clock_;
+  resident_bytes_ += entry.bytes;
+  resident_peak_bytes_ = std::max(resident_peak_bytes_, resident_bytes_);
+  ++segments_reloaded_;
+  loaded_.notify_all();
+}
+
+SegmentHandle SpillingTapeStorage::acquire(std::size_t index) const {
+  SegmentHandle handle;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (prefetch_error_ != nullptr) {
+      const std::exception_ptr error = std::exchange(prefetch_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+    SCRUTINY_REQUIRE(index < entries_.size(),
+                     "tape segment index out of range");
+    for (;;) {
+      Entry& entry = entries_[index];
+      if (entry.data != nullptr) {
+        entry.last_use = ++use_clock_;
+        handle = entry.data;
+        break;
+      }
+      if (entry.loading) {
+        // Another worker (or the prefetch thread) is already reading this
+        // segment from the backend: share that load instead of doubling it.
+        loaded_.wait(lock);
+        continue;
+      }
+      entry.loading = true;
+      lock.unlock();
+      SegmentHandle segment;
+      try {
+        segment = read_segment(index);
+      } catch (...) {
+        lock.lock();
+        entries_[index].loading = false;
+        loaded_.notify_all();
+        throw;
+      }
+      lock.lock();
+      install_locked(index, std::move(segment));
+      handle = entries_[index].data;
+      break;
+    }
+  }
+  enforce_budget();
+  return handle;
+}
+
+void SpillingTapeStorage::prefetch(std::size_t index) const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (index >= entries_.size()) return;
+    Entry& entry = entries_[index];
+    if (entry.data != nullptr || entry.loading || entry.queued) return;
+    entry.queued = true;
+    queue_.push_back(index);
+  }
+  work_.notify_one();
+}
+
+void SpillingTapeStorage::prefetch_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    const std::size_t index = queue_.front();
+    queue_.pop_front();
+    Entry& entry = entries_[index];
+    entry.queued = false;
+    if (entry.data != nullptr || entry.loading) continue;
+    entry.loading = true;
+    lock.unlock();
+    SegmentHandle segment;
+    std::exception_ptr error;
+    try {
+      segment = read_segment(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr) {
+      // Surface the failure at the next acquire(); the entry stays
+      // evicted so a synchronous retry is still possible.
+      entries_[index].loading = false;
+      prefetch_error_ = error;
+      loaded_.notify_all();
+      continue;
+    }
+    install_locked(index, std::move(segment));
+    lock.unlock();
+    enforce_budget();
+    lock.lock();
+  }
+}
+
+void SpillingTapeStorage::enforce_budget() const {
+  if (memory_limit_bytes_ == 0) return;
+  for (;;) {
+    SegmentHandle victim;
+    std::size_t victim_index = 0;
+    bool must_write = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (resident_bytes_ <= memory_limit_bytes_) return;
+      std::uint64_t oldest_use = 0;
+      bool found = false;
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& entry = entries_[i];
+        // Evictable: cached, not mid-I/O, and not pinned by a sweep
+        // worker (the cache's reference is the only one).
+        if (entry.data == nullptr || entry.loading || entry.spilling) {
+          continue;
+        }
+        if (entry.data.use_count() > 1) continue;
+        if (!found || entry.last_use < oldest_use) {
+          oldest_use = entry.last_use;
+          victim_index = i;
+          found = true;
+        }
+      }
+      if (!found) return;  // everything pinned: budget is advisory
+      Entry& entry = entries_[victim_index];
+      entry.spilling = true;
+      victim = entry.data;
+      must_write = !entry.on_backend;
+    }
+    // Immutable data, backend writes are thread-safe: spill outside the
+    // lock so recording/sweeping is never blocked on I/O.
+    if (must_write) write_segment(victim_index, *victim);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Entry& entry = entries_[victim_index];
+      if (must_write) {
+        entry.on_backend = true;
+        ++segments_spilled_;
+        spilled_bytes_ += entry.bytes;
+      }
+      entry.spilling = false;
+      entry.data.reset();
+      resident_bytes_ -= entry.bytes;
+    }
+  }
+}
+
+void SpillingTapeStorage::clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // seal/clear are recording-thread-only, but the prefetch thread may
+  // still be mid-load from an earlier sweep: wait it out.
+  loaded_.wait(lock, [this] {
+    for (const Entry& entry : entries_) {
+      if (entry.loading || entry.spilling) return false;
+    }
+    return true;
+  });
+  queue_.clear();
+  std::vector<std::size_t> spilled_keys;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].on_backend) spilled_keys.push_back(i);
+  }
+  entries_.clear();
+  resident_bytes_ = 0;
+  resident_peak_bytes_ = 0;
+  segments_spilled_ = 0;
+  segments_reloaded_ = 0;
+  spilled_bytes_ = 0;
+  prefetch_error_ = nullptr;
+  lock.unlock();
+  for (const std::size_t index : spilled_keys) {
+    backend_->remove(key_for(index));
+  }
+}
+
+TapeStorageStats SpillingTapeStorage::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TapeStorageStats s;
+  s.num_segments = entries_.size();
+  for (const Entry& entry : entries_) {
+    if (entry.data != nullptr) {
+      ++s.resident_segments;
+      s.reserved_bytes += entry.data->reserved_bytes();
+    }
+  }
+  s.resident_bytes = resident_bytes_;
+  s.resident_peak_bytes = resident_peak_bytes_;
+  s.segments_spilled = segments_spilled_;
+  s.segments_reloaded = segments_reloaded_;
+  s.spilled_bytes = spilled_bytes_;
+  return s;
+}
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,251 @@
+// Segment storage behind the AD tape: keep it all in RAM, or spill.
+//
+// ad::Tape records into fixed-capacity TapeSegments.  The segment being
+// recorded (the "active" segment) always lives inside the Tape; once full
+// it is sealed — frozen, immutable — and handed to a TapeStorage.  The
+// reverse sweep walks segments strictly backwards (newest first) and pins
+// each one through acquire() for the duration of its span.
+//
+// Two implementations:
+//
+//  * ResidentTapeStorage — every sealed segment stays in RAM.  acquire()
+//    is a shared_ptr copy; with an unbounded segment capacity (the
+//    default Tape configuration) nothing is ever sealed and the sweep
+//    never touches storage at all: exactly the historical resident path.
+//
+//  * SpillingTapeStorage — sealed segments are evicted through any
+//    ckpt::StorageBackend (file or memory) whenever the cache-owned
+//    resident bytes exceed a configurable budget.  Cold segments are
+//    reloaded on demand during the sweep, and prefetch() warms the
+//    next-older segment on a background thread so the reload overlaps the
+//    sweep of the current one (double-buffered, like ckpt::AsyncBackend).
+//    The paper's own medicine, applied to the analyzer: checkpoint the
+//    sweep itself.
+//
+// Concurrency contract (what ad::ParallelSweep relies on):
+//  * seal()/clear() are called only by the recording thread, never
+//    concurrently with acquire()/prefetch().
+//  * acquire()/prefetch() may race freely across sweep workers and the
+//    prefetch thread.  A miss is loaded exactly once — concurrent
+//    acquirers of the same segment block on the in-flight load instead of
+//    double-loading — and the returned handle pins the segment: eviction
+//    only drops the cache's reference, never memory a worker still holds.
+//  * Segments are immutable after seal, so shared handles need no further
+//    synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ad/identifier.hpp"
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::ad {
+
+/// One sealed (or in-recording) span of consecutive tape statements.
+/// Statement `k` of the segment defines identifier
+/// `first_statement + k + 1` and covers the local argument range
+/// [arg_ends[k-1], arg_ends[k]) (with arg_ends[-1] == 0).
+struct TapeSegment {
+  std::uint64_t first_statement = 0;  ///< global index of statement 0
+  std::vector<std::uint64_t> arg_ends;
+  std::vector<double> partials;
+  std::vector<Identifier> arg_ids;
+
+  [[nodiscard]] std::uint64_t num_statements() const noexcept {
+    return arg_ends.size();
+  }
+  [[nodiscard]] std::uint64_t num_arguments() const noexcept {
+    return partials.size();
+  }
+  /// Live bytes (by size — what the data actually occupies).
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    return arg_ends.size() * sizeof(std::uint64_t) +
+           partials.size() * sizeof(double) +
+           arg_ids.size() * sizeof(Identifier);
+  }
+  /// Allocated bytes (by capacity — what malloc actually holds).
+  [[nodiscard]] std::uint64_t reserved_bytes() const noexcept {
+    return arg_ends.capacity() * sizeof(std::uint64_t) +
+           partials.capacity() * sizeof(double) +
+           arg_ids.capacity() * sizeof(Identifier);
+  }
+};
+
+/// Pinning read handle: the segment stays loaded at least as long as any
+/// handle lives, even if the cache evicts its own reference meanwhile.
+using SegmentHandle = std::shared_ptr<const TapeSegment>;
+
+/// Counters a storage reports into TapeStats.
+struct TapeStorageStats {
+  std::uint64_t num_segments = 0;        ///< sealed segments, total
+  std::uint64_t resident_segments = 0;   ///< currently cached in RAM
+  std::uint64_t resident_bytes = 0;      ///< cache-owned live bytes
+  std::uint64_t reserved_bytes = 0;      ///< cache-owned allocated bytes
+  std::uint64_t resident_peak_bytes = 0; ///< high-water cache-owned bytes
+  std::uint64_t segments_spilled = 0;    ///< backend writes (first spills)
+  std::uint64_t segments_reloaded = 0;   ///< backend reads during sweeps
+  std::uint64_t spilled_bytes = 0;       ///< cumulative bytes written
+};
+
+class TapeStorage {
+ public:
+  virtual ~TapeStorage() = default;
+
+  /// Takes ownership of a sealed segment (recording thread only).
+  virtual void seal(SegmentHandle segment) = 0;
+
+  [[nodiscard]] virtual std::size_t num_segments() const noexcept = 0;
+
+  /// Pins segment `index` in memory and returns it, loading it from the
+  /// spill backend first if it was evicted.  Thread-safe; concurrent
+  /// misses on the same segment share one load.
+  [[nodiscard]] virtual SegmentHandle acquire(std::size_t index) const = 0;
+
+  /// Hint that a backward sweep will need `index` soon.  Best-effort and
+  /// non-blocking; the resident storage ignores it.
+  virtual void prefetch(std::size_t /*index*/) const {}
+
+  /// Drops every segment and all spilled bytes (Tape::reset).
+  virtual void clear() = 0;
+
+  [[nodiscard]] virtual TapeStorageStats stats() const = 0;
+
+  /// Diagnostic name, e.g. "resident", "spill(file)".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ResidentTapeStorage
+// ---------------------------------------------------------------------------
+
+/// Everything stays in RAM; acquire() is a shared_ptr copy.  Safe for
+/// concurrent acquire() because the segment list is immutable while any
+/// sweep runs (seal/clear are recording-thread-only by contract).
+class ResidentTapeStorage final : public TapeStorage {
+ public:
+  void seal(SegmentHandle segment) override {
+    peak_bytes_ += segment->resident_bytes();
+    segments_.push_back(std::move(segment));
+  }
+
+  [[nodiscard]] std::size_t num_segments() const noexcept override {
+    return segments_.size();
+  }
+
+  [[nodiscard]] SegmentHandle acquire(std::size_t index) const override {
+    return segments_.at(index);
+  }
+
+  void clear() override {
+    segments_.clear();
+    peak_bytes_ = 0;
+  }
+
+  [[nodiscard]] TapeStorageStats stats() const override;
+
+  [[nodiscard]] std::string name() const override { return "resident"; }
+
+ private:
+  std::vector<SegmentHandle> segments_;
+  std::uint64_t peak_bytes_ = 0;  // monotone: resident == total here
+};
+
+// ---------------------------------------------------------------------------
+// SpillingTapeStorage
+// ---------------------------------------------------------------------------
+
+class SpillingTapeStorage final : public TapeStorage {
+ public:
+  struct Options {
+    /// Where evicted segments go.  Required.
+    std::shared_ptr<ckpt::StorageBackend> backend;
+    /// Evict cache-owned segments (coldest first) past this many bytes.
+    /// 0 = never evict (degenerates to resident behavior).  Advisory
+    /// under concurrency: bytes pinned by in-flight sweep handles are
+    /// released only when the handles drop.
+    std::uint64_t memory_limit_bytes = 0;
+    /// Key namespace on the backend; segment i lands at "<prefix>seg<i>".
+    std::string key_prefix = "tape_spill/";
+    /// When set, remove_all'd on destruction (the temp-dir factory owns
+    /// the directory it created).
+    std::filesystem::path cleanup_root;
+  };
+
+  explicit SpillingTapeStorage(Options options);
+
+  /// Stops the prefetch thread and best-effort removes every spilled key
+  /// (and the owned temp directory, when any).
+  ~SpillingTapeStorage() override;
+
+  SpillingTapeStorage(const SpillingTapeStorage&) = delete;
+  SpillingTapeStorage& operator=(const SpillingTapeStorage&) = delete;
+
+  /// The common CLI configuration: spill through a FileBackend rooted at
+  /// a fresh unique temp directory that this storage owns and removes.
+  [[nodiscard]] static std::unique_ptr<SpillingTapeStorage>
+  with_temp_file_backend(std::uint64_t memory_limit_bytes);
+
+  void seal(SegmentHandle segment) override;
+  [[nodiscard]] std::size_t num_segments() const noexcept override;
+  [[nodiscard]] SegmentHandle acquire(std::size_t index) const override;
+  void prefetch(std::size_t index) const override;
+  void clear() override;
+  [[nodiscard]] TapeStorageStats stats() const override;
+  [[nodiscard]] std::string name() const override {
+    return "spill(" + backend_->name() + ")";
+  }
+
+ private:
+  struct Entry {
+    SegmentHandle data;       ///< null while evicted
+    std::uint64_t bytes = 0;  ///< resident_bytes of the segment
+    std::uint64_t last_use = 0;
+    bool on_backend = false;  ///< the spill write already happened
+    bool loading = false;     ///< a reload is in flight (shared, waited on)
+    bool spilling = false;    ///< an eviction write is in flight
+    bool queued = false;      ///< sitting in the prefetch queue
+  };
+
+  [[nodiscard]] std::string key_for(std::size_t index) const;
+  void write_segment(std::size_t index, const TapeSegment& segment) const;
+  [[nodiscard]] SegmentHandle read_segment(std::size_t index) const;
+
+  /// Installs a loaded segment and wakes waiters (lock held by caller).
+  void install_locked(std::size_t index, SegmentHandle segment) const;
+  /// Evicts coldest unpinned entries until under budget.  Takes and
+  /// releases the lock itself; backend writes happen unlocked.
+  void enforce_budget() const;
+  void prefetch_loop();
+
+  const std::shared_ptr<ckpt::StorageBackend> backend_;
+  const std::uint64_t memory_limit_bytes_;
+  const std::string key_prefix_;
+  const std::filesystem::path cleanup_root_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable loaded_;  ///< an in-flight load finished
+  mutable std::condition_variable work_;    ///< prefetch queue non-empty
+  mutable std::vector<Entry> entries_;
+  mutable std::deque<std::size_t> queue_;
+  mutable std::exception_ptr prefetch_error_;
+  mutable std::uint64_t use_clock_ = 0;
+  mutable std::uint64_t resident_bytes_ = 0;
+  mutable std::uint64_t resident_peak_bytes_ = 0;
+  mutable std::uint64_t segments_spilled_ = 0;
+  mutable std::uint64_t segments_reloaded_ = 0;
+  mutable std::uint64_t spilled_bytes_ = 0;
+  bool stopping_ = false;
+
+  std::thread prefetch_thread_;
+};
+
+}  // namespace scrutiny::ad

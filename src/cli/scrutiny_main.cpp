@@ -4,6 +4,7 @@
 // programs, or anything user code registered; names are case-insensitive):
 //   analyze PROG [--mode reverse-ad|forward-ad|read-set|finite-diff]
 //                [--sweep scalar|vector|bitset] [--threads N]
+//                [--tape-memory-limit BYTES] [--spill-backend file|memory]
 //                [--warmup N] [--window N] [--threshold X]
 //                [--sample-stride N] [--impact] [--save-masks F.scmask]
 //       Run the criticality analysis, print the Table II rows, and
@@ -58,6 +59,8 @@ void print_usage(std::FILE* stream) {
                "finite-diff]\n"
                "               [--sweep scalar|vector|bitset] "
                "[--threads N]\n"
+               "               [--tape-memory-limit BYTES] "
+               "[--spill-backend file|memory]\n"
                "               [--warmup N] [--window N] [--threshold X]\n"
                "               [--sample-stride N] [--impact]\n"
                "               [--save-masks F.scmask]\n"
@@ -99,9 +102,10 @@ ad::SweepKind parse_sweep(const std::string& text) {
 
 // The analysis flag set shared by analyze/storage/verify/viz; every
 // subcommand that runs an analysis honors all of them.
-constexpr std::array<std::string_view, 8> kAnalysisFlagNames = {
-    "--mode", "--sweep", "--threads", "--warmup", "--window", "--threshold",
-    "--sample-stride", "--impact"};
+constexpr std::array<std::string_view, 10> kAnalysisFlagNames = {
+    "--mode",           "--sweep",  "--threads",
+    "--tape-memory-limit", "--spill-backend", "--warmup",
+    "--window",         "--threshold", "--sample-stride", "--impact"};
 
 core::AnalysisConfig analysis_config_from_args(
     const core::AnyProgram& program, const CliArgs& args) {
@@ -127,6 +131,27 @@ core::AnalysisConfig analysis_config_from_args(
   // stays serial so programmatic callers opt in explicitly.
   cfg.threads = static_cast<std::uint32_t>(
       bounded_uint("threads", 0, 0xffffffffu));
+  // Like --threads, a pure execution parameter: the CLI default is
+  // unlimited (flag omitted).  An explicit 0 is rejected — "no memory"
+  // is not a meaningful budget and silently meaning "unlimited" would
+  // invert the flag's intent.
+  if (args.has("tape-memory-limit")) {
+    cfg.tape_memory_limit = args.get_uint("tape-memory-limit", 0);
+    SCRUTINY_REQUIRE(cfg.tape_memory_limit > 0,
+                     "--tape-memory-limit must be a positive byte count; "
+                     "omit the flag for an unlimited resident tape");
+  }
+  if (args.has("spill-backend")) {
+    SCRUTINY_REQUIRE(args.has("tape-memory-limit"),
+                     "--spill-backend only applies together with "
+                     "--tape-memory-limit");
+    const std::string backend = args.get("spill-backend", "file");
+    const auto kind = ckpt::parse_backend_kind(backend);
+    SCRUTINY_REQUIRE(kind.has_value(),
+                     "unknown spill backend: " + backend +
+                         " (expected file or memory)");
+    cfg.tape_spill_backend = *kind;
+  }
   cfg.warmup_steps = static_cast<int>(bounded_uint(
       "warmup", static_cast<std::uint64_t>(cfg.warmup_steps), kMaxInt));
   cfg.window_steps = static_cast<int>(bounded_uint(
@@ -187,7 +212,8 @@ int cmd_list(const CliArgs& args) {
 }
 
 int cmd_analyze(const core::AnyProgram& program, const CliArgs& args) {
-  args.require_known({"help", "mode", "sweep", "threads", "warmup",
+  args.require_known({"help", "mode", "sweep", "threads",
+                      "tape-memory-limit", "spill-backend", "warmup",
                       "window", "threshold", "sample-stride", "impact",
                       "save-masks"});
   core::ScrutinySession session(program);
@@ -226,7 +252,8 @@ std::string configure_storage(core::ScrutinySession& session,
 
 int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
-                      "sweep", "threads", "warmup", "window", "threshold",
+                      "sweep", "threads", "tape-memory-limit",
+                      "spill-backend", "warmup", "window", "threshold",
                       "sample-stride", "impact"});
   core::ScrutinySession session(program);
   const std::string backend_name = configure_storage(session, args);
@@ -254,7 +281,8 @@ int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
 
 int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
-                      "sweep", "threads", "warmup", "window", "threshold",
+                      "sweep", "threads", "tape-memory-limit",
+                      "spill-backend", "warmup", "window", "threshold",
                       "sample-stride", "impact"});
   core::ScrutinySession session(program);
   configure_storage(session, args);
@@ -274,8 +302,9 @@ int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
 
 int cmd_viz(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "out", "width", "masks", "mode", "sweep",
-                      "threads", "warmup", "window", "threshold",
-                      "sample-stride", "impact"});
+                      "threads", "tape-memory-limit", "spill-backend",
+                      "warmup", "window", "threshold", "sample-stride",
+                      "impact"});
   if (args.positional().size() < 3) return usage();
   const std::string variable = args.positional()[2];
   core::ScrutinySession session(program);

@@ -45,6 +45,9 @@ void save_analysis(const std::filesystem::path& path,
   writer.write(static_cast<std::uint8_t>(config.capture_impact));
 
   writer.write(static_cast<std::uint64_t>(result.num_outputs));
+  // Exactly the four historical TapeStats fields.  The segment/spill
+  // counters (and tape_memory_limit) are execution diagnostics like
+  // `threads`: deliberately NOT persisted, format unchanged.
   writer.write(result.tape_stats.num_statements);
   writer.write(result.tape_stats.num_arguments);
   writer.write(result.tape_stats.num_inputs);

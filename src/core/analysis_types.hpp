@@ -8,6 +8,7 @@
 #include "ad/adjoint_models.hpp"
 #include "ad/tape.hpp"
 #include "ckpt/checkpoint_io.hpp"
+#include "ckpt/storage_backend.hpp"
 #include "mask/critical_mask.hpp"
 
 namespace scrutiny::core {
@@ -80,6 +81,20 @@ struct AnalysisConfig {
   /// An execution parameter, not an analysis semantic: deliberately NOT
   /// persisted in .scmask artifacts.
   std::uint32_t threads = 1;
+
+  /// ReverseAD only: byte budget for the recorded tape's sealed segments.
+  /// 0 = unlimited, the fully-resident tape (default).  Nonzero: the tape
+  /// records into fixed-capacity segments and spills cold ones through a
+  /// storage backend, reloading (with background prefetch) during the
+  /// reverse sweep.  Segment boundaries depend only on statement count,
+  /// so masks/impact/sweep_passes are bit-identical for every limit — an
+  /// execution parameter like `threads`, NOT persisted in .scmask.
+  std::uint64_t tape_memory_limit = 0;
+
+  /// Where spilled tape segments go when tape_memory_limit is set:
+  /// File = a throwaway temp directory (removed when analysis ends),
+  /// Memory = an in-process store (tests; still bounds the tape arrays).
+  ckpt::BackendKind tape_spill_backend = ckpt::BackendKind::File;
 };
 
 /// Criticality verdict for one checkpointed variable.
@@ -138,6 +153,10 @@ struct AnalysisResult {
   /// serial path.  Small values mean starved (few blocks) or
   /// oversubscribed (threads > cores) workers.
   double parallel_efficiency = 1.0;
+  /// The tape byte budget this analysis ran under (0 = unlimited).  Like
+  /// `threads`, an execution echo — NOT persisted in .scmask artifacts;
+  /// the spill/reload counters live in tape_stats.
+  std::uint64_t tape_memory_limit = 0;
 
   [[nodiscard]] const VariableCriticality* find(
       const std::string& name) const {

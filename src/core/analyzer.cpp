@@ -16,6 +16,8 @@
 #include "ad/parallel_sweep.hpp"
 #include "ad/readset.hpp"
 #include "ad/tape.hpp"
+#include "ad/tape_storage.hpp"
+#include "ckpt/memory_backend.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -80,6 +82,28 @@ std::vector<ProbeSite> collect_probe_sites(
   return sites;
 }
 
+/// Tape construction from the config: unlimited = the default resident
+/// tape (storage never allocated); a byte budget = segmented recording
+/// with a spilling storage on the configured backend.
+ad::Tape make_analysis_tape(const AnalysisConfig& cfg) {
+  ad::TapeOptions options;
+  if (cfg.tape_memory_limit > 0) {
+    options.segment_capacity =
+        ad::segment_capacity_for_limit(cfg.tape_memory_limit);
+    if (cfg.tape_spill_backend == ckpt::BackendKind::Memory) {
+      ad::SpillingTapeStorage::Options spill;
+      spill.backend = std::make_shared<ckpt::MemoryBackend>();
+      spill.memory_limit_bytes = cfg.tape_memory_limit;
+      options.storage =
+          std::make_unique<ad::SpillingTapeStorage>(std::move(spill));
+    } else {
+      options.storage = ad::SpillingTapeStorage::with_temp_file_backend(
+          cfg.tape_memory_limit);
+    }
+  }
+  return ad::Tape(std::move(options));
+}
+
 /// Folds per-probe verdicts into element masks.  With sampling, an element
 /// is uncritical only if every probed component of it was uncritical and
 /// at least one component was probed.
@@ -142,7 +166,8 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
   app.init();
   for (int s = 0; s < cfg.warmup_steps; ++s) app.step();
 
-  ad::Tape tape;
+  ad::Tape tape = make_analysis_tape(cfg);
+  result.tape_memory_limit = cfg.tape_memory_limit;
   if (cfg.tape_reserve_statements > 0) {
     tape.reserve(cfg.tape_reserve_statements);
   }
@@ -352,6 +377,11 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
   result.sweep_seconds = sweep_seconds;
   result.harvest_seconds = harvest_seconds;
   result.sweep_passes = sweep_passes;
+  // Refresh the tape stats now that the sweeps ran: the spill/reload
+  // counters and the resident peak only move during evaluation.  On the
+  // unlimited path nothing changed since recording, so this is the same
+  // capacity-based figure as before.
+  result.tape_stats = tape.stats();
   result.total_seconds = total_timer.seconds();
   return result;
 }

@@ -64,9 +64,26 @@ std::string format_analysis_summary(const AnalysisResult& result) {
   text += "\n";
   text += "outputs: " + std::to_string(result.num_outputs) + "\n";
   if (result.mode == AnalysisMode::ReverseAD) {
-    text += "tape statements: " + with_commas(result.tape_stats.num_statements) +
-            " (" + human_bytes(result.tape_stats.memory_bytes) + ")\n";
+    // Reserved = allocated capacity, resident = live in-RAM bytes; they
+    // diverge after a generous reserve() or once segments spill.
+    text += "tape statements: " +
+            with_commas(result.tape_stats.num_statements) + " (reserved " +
+            human_bytes(result.tape_stats.memory_bytes) +
+            ", resident " + human_bytes(result.tape_stats.resident_bytes) +
+            ")\n";
     text += "tape inputs: " + with_commas(result.tape_stats.num_inputs) + "\n";
+    if (result.tape_memory_limit > 0) {
+      text += "tape memory limit: " + human_bytes(result.tape_memory_limit) +
+              " (" + with_commas(result.tape_stats.num_segments) +
+              " segments, resident peak " +
+              human_bytes(result.tape_stats.resident_peak_bytes) + ")\n";
+      text += "tape spill: " +
+              with_commas(result.tape_stats.segments_spilled) +
+              " segments out (" +
+              human_bytes(result.tape_stats.spilled_bytes) + "), " +
+              with_commas(result.tape_stats.segments_reloaded) +
+              " reloads\n";
+    }
     text += "sweep: ";
     text += ad::sweep_kind_name(result.sweep);
     text += " (" + std::to_string(result.sweep_passes) + " tape pass" +

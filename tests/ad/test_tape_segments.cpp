@@ -1,0 +1,186 @@
+// Segmented recording with resident storage: sealing at the capacity
+// boundary must be invisible — identifiers, adjoints and stats identical
+// to the unbounded tape — plus the reserve() validation and reset-reuse
+// contracts that ride on the same refactor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/adjoint_models.hpp"
+#include "ad/tape.hpp"
+#include "ad/tape_storage.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+Tape make_segmented(std::uint64_t capacity) {
+  TapeOptions options;
+  options.segment_capacity = capacity;
+  return Tape(std::move(options));
+}
+
+/// Records y = sum of n chained doublings over one input, returning the
+/// output id.  Crosses many segment boundaries for small capacities.
+Identifier record_chain(Tape& tape, int n) {
+  Identifier id = tape.register_input();
+  for (int i = 0; i < n; ++i) id = tape.push1(2.0, id);
+  return id;
+}
+
+TEST(TapeSegments, IdentifiersRunAcrossSegmentBoundaries) {
+  Tape tape = make_segmented(4);
+  for (Identifier want = 1; want <= 10; ++want) {
+    EXPECT_EQ(tape.register_input(), want);
+  }
+  EXPECT_EQ(tape.num_statements(), 10u);
+  EXPECT_EQ(tape.max_identifier(), 10u);
+  EXPECT_EQ(tape.num_sealed_segments(), 2u);  // 4 + 4 sealed, 2 active
+}
+
+TEST(TapeSegments, AdjointsMatchUnboundedTapeForEverySegmentSize) {
+  Tape reference;
+  const Identifier ref_y = record_chain(reference, 100);
+  reference.set_adjoint(ref_y, 1.0);
+  reference.evaluate();
+  const double want = reference.adjoint(1);
+  EXPECT_GT(want, 0.0);
+
+  for (const std::uint64_t capacity : {1u, 3u, 7u, 64u, 1000u}) {
+    Tape tape = make_segmented(capacity);
+    const Identifier y = record_chain(tape, 100);
+    EXPECT_EQ(y, ref_y);
+    tape.set_adjoint(y, 1.0);
+    tape.evaluate();
+    EXPECT_DOUBLE_EQ(tape.adjoint(1), want)
+        << "segment capacity " << capacity;
+  }
+}
+
+TEST(TapeSegments, MultiArgStatementsSpanSeals) {
+  // Fan-in right at a segment boundary: z = 2a + 5b with capacity 2 puts
+  // the two inputs in segment 0 and z's statement in the next.
+  Tape tape = make_segmented(2);
+  const Identifier a = tape.register_input();
+  const Identifier b = tape.register_input();
+  const Identifier z = tape.push2(2.0, a, 5.0, b);
+  EXPECT_EQ(tape.num_sealed_segments(), 1u);
+  tape.set_adjoint(z, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(a), 2.0);
+  EXPECT_DOUBLE_EQ(tape.adjoint(b), 5.0);
+}
+
+TEST(TapeSegments, ExternalModelSweepMatchesBuiltin) {
+  Tape tape = make_segmented(3);
+  const Identifier a = tape.register_input();
+  const Identifier b = tape.register_input();
+  Identifier t = tape.push2(2.0, a, 5.0, b);
+  t = tape.push1(3.0, t);
+  const Identifier z = tape.push2(1.0, t, 4.0, a);
+
+  ScalarAdjoints model;
+  model.resize(tape.max_identifier());
+  model.seed(z, 1.0);
+  tape.evaluate_with(model);
+
+  tape.set_adjoint(z, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(model.adjoint(a), tape.adjoint(a));
+  EXPECT_DOUBLE_EQ(model.adjoint(b), tape.adjoint(b));
+}
+
+TEST(TapeSegments, StatsAggregateAcrossSegments) {
+  Tape tape = make_segmented(4);
+  const Identifier a = tape.register_input();
+  for (int i = 0; i < 9; ++i) (void)tape.push1(1.5, a);
+  const TapeStats stats = tape.stats();
+  EXPECT_EQ(stats.num_statements, 10u);
+  EXPECT_EQ(stats.num_arguments, 9u);
+  EXPECT_EQ(stats.num_inputs, 1u);
+  EXPECT_EQ(stats.num_segments, 3u);  // 2 sealed + active
+  EXPECT_GT(stats.resident_bytes, 0u);
+  // Reserved (capacity) can never undercut resident (size).
+  EXPECT_GE(stats.memory_bytes, stats.resident_bytes);
+  EXPECT_GE(stats.resident_peak_bytes, stats.resident_bytes);
+  EXPECT_EQ(stats.segments_spilled, 0u);   // resident storage never spills
+  EXPECT_EQ(stats.segments_reloaded, 0u);
+}
+
+TEST(TapeSegments, ReservedAndResidentBytesDiverge) {
+  // Satellite: a huge reserve on a tiny tape must show up in reserved
+  // (memory_bytes) but not in resident bytes.
+  Tape tape;
+  tape.reserve(100000);
+  (void)tape.register_input();
+  const TapeStats stats = tape.stats();
+  EXPECT_GT(stats.memory_bytes, 100000u * sizeof(std::uint64_t) - 1);
+  EXPECT_LT(stats.resident_bytes, 1024u);
+}
+
+TEST(TapeSegments, ReserveRejectsAbsurdRequests) {
+  // Satellite: validation instead of a bad_alloc mid-analysis; the error
+  // message names the requested size.
+  Tape tape;
+  try {
+    tape.reserve(0xFFFFFFFFull);
+    FAIL() << "reserve past the identifier space must throw";
+  } catch (const ScrutinyError& error) {
+    EXPECT_NE(std::string(error.what()).find("4294967295"),
+              std::string::npos);
+  }
+  EXPECT_THROW(tape.reserve(1000, 257.0), ScrutinyError);
+  EXPECT_THROW(tape.reserve(1000, -1.0), ScrutinyError);
+  // The tape stays usable after a rejected reserve.
+  tape.reserve(1000, 2.0);
+  EXPECT_EQ(tape.register_input(), 1u);
+}
+
+TEST(TapeSegments, ResetRestartsIdentifiersAndDropsSegments) {
+  // Satellite: reset() + re-record on the same tape across two "programs"
+  // — second recording starts unpolluted.
+  Tape tape = make_segmented(2);
+  const Identifier y0 = record_chain(tape, 10);
+  tape.set_adjoint(y0, 1.0);
+  tape.evaluate();
+  EXPECT_GT(tape.num_sealed_segments(), 0u);
+
+  tape.reset();
+  EXPECT_EQ(tape.num_statements(), 0u);
+  EXPECT_EQ(tape.num_sealed_segments(), 0u);
+  const TapeStats zeroed = tape.stats();
+  EXPECT_EQ(zeroed.num_statements, 0u);
+  EXPECT_EQ(zeroed.num_arguments, 0u);
+  EXPECT_EQ(zeroed.num_inputs, 0u);
+
+  // Identifiers restart at 1; adjoints from the first program are gone.
+  const Identifier x = tape.register_input();
+  EXPECT_EQ(x, 1u);
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 0.0);
+  const Identifier y1 = tape.push1(4.0, x);
+  tape.set_adjoint(y1, 1.0);
+  tape.evaluate();
+  EXPECT_DOUBLE_EQ(tape.adjoint(x), 4.0);
+}
+
+TEST(TapeSegments, DefaultTapeNeverSeals) {
+  Tape tape;
+  (void)record_chain(tape, 5000);
+  EXPECT_EQ(tape.num_sealed_segments(), 0u);
+  EXPECT_EQ(tape.stats().num_segments, 1u);
+  EXPECT_EQ(tape.storage_name(), "resident");
+}
+
+TEST(TapeSegments, SegmentCapacityForLimitIsClampedAndMonotone) {
+  EXPECT_EQ(segment_capacity_for_limit(0), 0u);
+  EXPECT_EQ(segment_capacity_for_limit(1), std::uint64_t{1} << 10);
+  EXPECT_EQ(segment_capacity_for_limit(~std::uint64_t{0}),
+            std::uint64_t{1} << 20);
+  const std::uint64_t mid = segment_capacity_for_limit(1 << 20);
+  EXPECT_GE(mid, std::uint64_t{1} << 10);
+  EXPECT_LE(mid, std::uint64_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

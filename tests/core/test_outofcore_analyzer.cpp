@@ -1,0 +1,138 @@
+// Out-of-core analysis through the analyzer/session stack: a tape byte
+// budget must leave masks untouched while the spill/reload counters prove
+// segments actually moved through the backend — and the budget knob must
+// be invisible when unset.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/analysis_types.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "npb/suite.hpp"
+#include "programs/demo_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+AnalysisResult analyze_lu(std::uint64_t tape_memory_limit,
+                          ckpt::BackendKind backend =
+                              ckpt::BackendKind::Memory) {
+  AnalysisConfig cfg = npb::default_analysis_config(
+      npb::BenchmarkId::LU, AnalysisMode::ReverseAD);
+  cfg.tape_memory_limit = tape_memory_limit;
+  cfg.tape_spill_backend = backend;
+  return npb::analyze_benchmark(npb::BenchmarkId::LU, cfg);
+}
+
+TEST(OutOfCoreAnalyzer, UnlimitedRunNeverSpills) {
+  const AnalysisResult result = analyze_lu(0);
+  EXPECT_EQ(result.tape_memory_limit, 0u);
+  EXPECT_EQ(result.tape_stats.segments_spilled, 0u);
+  EXPECT_EQ(result.tape_stats.segments_reloaded, 0u);
+  EXPECT_EQ(result.tape_stats.spilled_bytes, 0u);
+  EXPECT_GE(result.tape_stats.memory_bytes,
+            result.tape_stats.resident_bytes);
+}
+
+TEST(OutOfCoreAnalyzer, CappedRunSpillsAndMatchesUnlimitedMasks) {
+  const AnalysisResult unlimited = analyze_lu(0);
+  // Cap at ~25% of the full tape's live bytes: forces real eviction.
+  const std::uint64_t cap = unlimited.tape_stats.resident_bytes / 4;
+  ASSERT_GT(cap, 0u);
+  const AnalysisResult capped = analyze_lu(cap);
+
+  EXPECT_EQ(capped.tape_memory_limit, cap);
+  EXPECT_GT(capped.tape_stats.segments_spilled, 0u);
+  EXPECT_GT(capped.tape_stats.segments_reloaded, 0u);
+  EXPECT_GT(capped.tape_stats.spilled_bytes, 0u);
+  EXPECT_GT(capped.tape_stats.num_segments, 1u);
+
+  // The analysis semantics are bit-identical.
+  EXPECT_EQ(capped.sweep_passes, unlimited.sweep_passes);
+  EXPECT_EQ(capped.tape_stats.num_statements,
+            unlimited.tape_stats.num_statements);
+  ASSERT_EQ(capped.variables.size(), unlimited.variables.size());
+  for (std::size_t v = 0; v < capped.variables.size(); ++v) {
+    EXPECT_TRUE(capped.variables[v].mask == unlimited.variables[v].mask)
+        << capped.variables[v].name;
+  }
+  EXPECT_EQ(format_criticality_table(capped),
+            format_criticality_table(unlimited));
+}
+
+TEST(OutOfCoreAnalyzer, FileBackendSpillsIdentically) {
+  const AnalysisResult unlimited = analyze_lu(0);
+  const AnalysisResult capped =
+      analyze_lu(unlimited.tape_stats.resident_bytes / 4,
+                 ckpt::BackendKind::File);
+  EXPECT_GT(capped.tape_stats.segments_spilled, 0u);
+  EXPECT_EQ(format_criticality_table(capped),
+            format_criticality_table(unlimited));
+}
+
+TEST(OutOfCoreAnalyzer, SummarySurfacesSpillCounters) {
+  const AnalysisResult unlimited = analyze_lu(0);
+  const AnalysisResult capped =
+      analyze_lu(unlimited.tape_stats.resident_bytes / 4);
+  const std::string summary = format_analysis_summary(capped);
+  EXPECT_NE(summary.find("tape memory limit:"), std::string::npos);
+  EXPECT_NE(summary.find("tape spill:"), std::string::npos);
+  EXPECT_NE(summary.find("reserved"), std::string::npos);
+  EXPECT_NE(summary.find("resident"), std::string::npos);
+  // The unlimited summary must not grow spill lines.
+  const std::string plain = format_analysis_summary(unlimited);
+  EXPECT_EQ(plain.find("tape spill:"), std::string::npos);
+}
+
+TEST(OutOfCoreAnalyzer, ImpactAndThreadsComposeWithTheBudget) {
+  AnalysisConfig cfg = npb::default_analysis_config(
+      npb::BenchmarkId::CG, AnalysisMode::ReverseAD, /*threads=*/4);
+  cfg.sweep = ad::SweepKind::Scalar;
+  cfg.capture_impact = true;
+  const AnalysisResult unlimited =
+      npb::analyze_benchmark(npb::BenchmarkId::CG, cfg);
+  cfg.tape_memory_limit = unlimited.tape_stats.resident_bytes / 4;
+  const AnalysisResult capped =
+      npb::analyze_benchmark(npb::BenchmarkId::CG, cfg);
+  EXPECT_GT(capped.tape_stats.segments_spilled, 0u);
+  ASSERT_EQ(capped.variables.size(), unlimited.variables.size());
+  for (std::size_t v = 0; v < capped.variables.size(); ++v) {
+    EXPECT_TRUE(capped.variables[v].mask == unlimited.variables[v].mask);
+    EXPECT_EQ(capped.variables[v].impact, unlimited.variables[v].impact);
+  }
+}
+
+TEST(OutOfCoreAnalyzer, TwoProgramsInOneProcessStayUnpolluted) {
+  // Satellite: two different programs analyzed back to back in one
+  // process (each session records on a fresh tape; the second analysis
+  // must be exactly what a cold process would produce).
+  programs::register_demo_programs();
+  const AnyProgram& heat_rod = ProgramRegistry::global().get("HeatRod");
+  const AnyProgram& heat2d = ProgramRegistry::global().get("Heat2d");
+
+  ScrutinySession first(heat_rod);
+  const AnalysisResult first_result = first.analyze();
+
+  ScrutinySession second(heat2d);
+  const AnalysisResult& second_result = second.analyze();
+  EXPECT_EQ(second_result.program, "Heat2d");
+  EXPECT_GT(second_result.tape_stats.num_statements, 0u);
+
+  // Re-analyzing the first program reproduces its original result
+  // (masks and tape shape), proving no state leaked between analyses.
+  ScrutinySession again(heat_rod);
+  const AnalysisResult& again_result = again.analyze();
+  EXPECT_EQ(again_result.tape_stats.num_statements,
+            first_result.tape_stats.num_statements);
+  EXPECT_EQ(again_result.tape_stats.num_inputs,
+            first_result.tape_stats.num_inputs);
+  ASSERT_EQ(again_result.variables.size(), first_result.variables.size());
+  for (std::size_t v = 0; v < again_result.variables.size(); ++v) {
+    EXPECT_TRUE(again_result.variables[v].mask ==
+                first_result.variables[v].mask);
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::core

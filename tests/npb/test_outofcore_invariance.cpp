@@ -1,0 +1,130 @@
+// Out-of-core invariance over the whole suite: for every NPB app,
+// capping the tape at ≤25% of its full resident bytes must leave masks,
+// impact and sweep_passes element-identical to the unlimited run — for
+// the scalar, vector and bitset sweeps at 1 and 4 threads — while the
+// spill/reload counters prove segments actually left RAM (and stay zero
+// without the cap).  This is the acceptance gate for the segmented tape:
+// spilling is an execution detail, never an analysis semantic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "ad/adjoint_models.hpp"
+#include "core/analysis_types.hpp"
+#include "core/report.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {1, 4};
+
+class OutOfCoreInvarianceTest
+    : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  static core::AnalysisResult analyze(BenchmarkId id, ad::SweepKind sweep,
+                                      std::uint32_t threads,
+                                      std::uint64_t limit) {
+    core::AnalysisConfig cfg = default_analysis_config(
+        id, core::AnalysisMode::ReverseAD, threads);
+    cfg.sweep = sweep;
+    cfg.tape_memory_limit = limit;
+    cfg.tape_spill_backend = ckpt::BackendKind::Memory;
+    return analyze_benchmark(id, cfg);
+  }
+
+  static void expect_identical(const core::AnalysisResult& base,
+                               const core::AnalysisResult& capped,
+                               std::uint32_t threads,
+                               const char* sweep_name) {
+    EXPECT_EQ(base.num_outputs, capped.num_outputs);
+    EXPECT_EQ(base.tape_stats.num_statements,
+              capped.tape_stats.num_statements);
+    EXPECT_EQ(base.sweep_passes, capped.sweep_passes)
+        << sweep_name << " sweep re-blocked under the memory cap";
+
+    ASSERT_EQ(base.variables.size(), capped.variables.size());
+    for (std::size_t v = 0; v < base.variables.size(); ++v) {
+      const auto& want = base.variables[v];
+      const auto& got = capped.variables[v];
+      ASSERT_EQ(want.name, got.name);
+      EXPECT_TRUE(want.mask == got.mask)
+          << capped.program << "(" << want.name << ") diverges under "
+          << sweep_name << " sweep at " << threads
+          << " threads with a tape memory cap";
+      EXPECT_EQ(want.uncritical_elements(), got.uncritical_elements());
+    }
+    EXPECT_EQ(core::format_criticality_table(base),
+              core::format_criticality_table(capped));
+  }
+
+  static void run_sweep(BenchmarkId id, ad::SweepKind sweep,
+                        const char* sweep_name) {
+    for (const std::uint32_t threads : kThreadCounts) {
+      const auto base = analyze(id, sweep, threads, /*limit=*/0);
+      // Without a cap the counters must stay zero.
+      EXPECT_EQ(base.tape_stats.segments_spilled, 0u);
+      EXPECT_EQ(base.tape_stats.segments_reloaded, 0u);
+
+      // ≤25% of the full tape's live bytes (floor of 1 so the integer-only
+      // IS app, whose reverse tape is empty, still exercises the config
+      // path instead of dividing to an unlimited 0).
+      const std::uint64_t cap =
+          std::max<std::uint64_t>(1, base.tape_stats.resident_bytes / 4);
+      const auto capped = analyze(id, sweep, threads, cap);
+      expect_identical(base, capped, threads, sweep_name);
+
+      // A real tape under a quarter-size cap must actually spill.
+      if (base.tape_stats.num_statements > 0) {
+        EXPECT_GT(capped.tape_stats.segments_spilled, 0u)
+            << capped.program << " never spilled under " << cap
+            << " bytes (" << sweep_name << ", " << threads << " threads)";
+        EXPECT_GT(capped.tape_stats.segments_reloaded, 0u);
+        EXPECT_GT(capped.tape_stats.spilled_bytes, 0u);
+      }
+    }
+  }
+};
+
+TEST_P(OutOfCoreInvarianceTest, VectorSweepMasksSurviveSpilling) {
+  run_sweep(GetParam(), ad::SweepKind::Vector, "vector");
+}
+
+TEST_P(OutOfCoreInvarianceTest, ScalarSweepMasksSurviveSpilling) {
+  run_sweep(GetParam(), ad::SweepKind::Scalar, "scalar");
+}
+
+TEST_P(OutOfCoreInvarianceTest, BitsetSweepMasksSurviveSpilling) {
+  run_sweep(GetParam(), ad::SweepKind::Bitset, "bitset");
+}
+
+TEST_P(OutOfCoreInvarianceTest, ImpactSurvivesSpilling) {
+  const BenchmarkId id = GetParam();
+  core::AnalysisConfig cfg = default_analysis_config(
+      id, core::AnalysisMode::ReverseAD, /*threads=*/1);
+  cfg.sweep = ad::SweepKind::Vector;
+  cfg.capture_impact = true;
+  const auto base = analyze_benchmark(id, cfg);
+  cfg.tape_memory_limit =
+      std::max<std::uint64_t>(1, base.tape_stats.resident_bytes / 4);
+  cfg.tape_spill_backend = ckpt::BackendKind::Memory;
+  const auto capped = analyze_benchmark(id, cfg);
+  ASSERT_EQ(base.variables.size(), capped.variables.size());
+  for (std::size_t v = 0; v < base.variables.size(); ++v) {
+    EXPECT_EQ(base.variables[v].impact, capped.variables[v].impact)
+        << capped.program << "(" << base.variables[v].name << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, OutOfCoreInvarianceTest,
+    ::testing::Values(BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU,
+                      BenchmarkId::MG, BenchmarkId::CG, BenchmarkId::FT,
+                      BenchmarkId::EP, BenchmarkId::IS),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+}  // namespace
+}  // namespace scrutiny::npb
