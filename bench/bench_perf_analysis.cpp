@@ -178,4 +178,15 @@ BENCHMARK(BM_PrimalStep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Stamp the resolved kernel into the JSON context so
+  // scripts/compare_bench.py can warn when a baseline and a candidate
+  // ran different kernels.
+  benchmark::AddCustomContext(
+      "kernel", scrutiny::ad::default_kernel_table().name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

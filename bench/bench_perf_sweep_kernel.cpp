@@ -1,0 +1,119 @@
+// google-benchmark: raw backward-sweep throughput per statement kind,
+// scalar fallback vs the runtime-dispatched SIMD kernel table.
+//
+// BM_SweepKernel isolates exactly the code the kernel tables replace: a
+// synthetic tape of one statement kind (pure 1-arg, pure 2-arg, or a
+// mixed run-alternating stream — the NPB shapes), swept with a fully
+// seeded VectorAdjoints model.  No recording, no harvesting, no
+// analyzer: the scalar vs simd rows price the kernel swap alone, and
+// the per-kind split shows where the run-length encoding pays
+// (statements/s) versus where the lane fma dominates (bytes/s over the
+// streamed tape arrays).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "ad/adjoint_models.hpp"
+#include "ad/sweep_kernels.hpp"
+#include "ad/tape.hpp"
+
+namespace {
+
+using namespace scrutiny;
+
+enum class TapeShape : int { OneArg = 0, TwoArg = 1, Mixed = 2 };
+
+const char* shape_name(TapeShape shape) {
+  switch (shape) {
+    case TapeShape::OneArg: return "1arg";
+    case TapeShape::TwoArg: return "2arg";
+    case TapeShape::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+constexpr std::uint64_t kStatements = 1 << 20;
+
+/// Records a synthetic chain tape of the requested shape.  Every
+/// statement depends on recent predecessors with nonzero partials, so a
+/// seed on the newest identifier reaches the whole tape and the sweep
+/// has no dead statements to skip — worst case for the kernel, best
+/// case for comparability.
+void record_shape(ad::Tape& tape, TapeShape shape) {
+  ad::Identifier prev = tape.register_input();
+  ad::Identifier prev2 = tape.register_input();
+  for (std::uint64_t k = 0; k < kStatements; ++k) {
+    ad::Identifier next = 0;
+    switch (shape) {
+      case TapeShape::OneArg:
+        next = tape.push1(1.0000001, prev);
+        break;
+      case TapeShape::TwoArg:
+        next = tape.push2(0.5, prev, 0.4999999, prev2);
+        break;
+      case TapeShape::Mixed:
+        // Alternate 64-statement stretches so the stream really is runs
+        // of both kinds, not one degenerate run.
+        next = ((k >> 6) & 1) == 0
+                   ? tape.push1(1.0000001, prev)
+                   : tape.push2(0.5, prev, 0.4999999, prev2);
+        break;
+    }
+    prev2 = prev;
+    prev = next;
+  }
+}
+
+void BM_SweepKernel(benchmark::State& state) {
+  const auto shape = static_cast<TapeShape>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  const ad::SweepKernelTable& table =
+      simd ? ad::native_kernel_table() : ad::scalar_kernel_table();
+  ad::TapeOptions options;
+  options.kernels = &table;
+  ad::Tape tape(std::move(options));
+  tape.reserve(kStatements + 2);
+  record_shape(tape, shape);
+  const std::uint64_t tape_bytes = tape.stats().resident_bytes;
+
+  ad::VectorAdjoints model;
+  model.resize(tape.max_identifier());
+  const auto seed_id = tape.max_identifier();
+  for (auto _ : state) {
+    model.clear();
+    for (std::size_t lane = 0; lane < ad::VectorAdjoints::kLanes; ++lane) {
+      model.seed(seed_id, lane, 1.0);
+    }
+    tape.evaluate_with(model);
+    benchmark::DoNotOptimize(model.adjoint(1, 0));
+  }
+  const auto iterations = static_cast<double>(state.iterations());
+  state.counters["statements_per_s"] = benchmark::Counter(
+      iterations * static_cast<double>(tape.num_statements()),
+      benchmark::Counter::kIsRate);
+  state.counters["tape_bytes_per_s"] = benchmark::Counter(
+      iterations * static_cast<double>(tape_bytes),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(shape_name(shape)) + "/" + table.name);
+}
+BENCHMARK(BM_SweepKernel)
+    ->ArgsProduct({{static_cast<int>(TapeShape::OneArg),
+                    static_cast<int>(TapeShape::TwoArg),
+                    static_cast<int>(TapeShape::Mixed)},
+                   {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Stamp the resolved kernel into the JSON context so
+  // scripts/compare_bench.py can warn when a baseline and a candidate
+  // ran different kernels.
+  benchmark::AddCustomContext("kernel", ad::default_kernel_table().name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,13 @@ baseline recorded on a different machine class (google-benchmark
 warnings instead of failing — wall-clock thresholds across hardware are
 noise — and asks for a refresh from the uploaded artifact.
 
+The benches also stamp the resolved sweep kernel into the context (the
+`kernel` key, e.g. "avx512" vs "scalar").  A kernel mismatch between a
+baseline and a candidate warns but never fails: the numbers are still
+comparable wall-clock, the warning just explains a delta that is really
+a dispatch difference (different CPU, SCRUTINY_FORCE_SCALAR_KERNELS set)
+rather than a code change.
+
 Exit codes: 0 ok, 1 regression(s) beyond threshold, 2 usage/IO error.
 """
 
@@ -72,6 +79,13 @@ def same_hardware(base_file: Path, cur_file: Path) -> bool:
         if ratio < 0.8 or ratio > 1.25:
             return False
     return True
+
+
+def context_kernel(path: Path) -> str | None:
+    """The sweep kernel the benchmark binary resolved at startup, if the
+    file records one (older baselines predate the context key)."""
+    kernel = load_document(path).get("context", {}).get("kernel")
+    return kernel if isinstance(kernel, str) and kernel else None
 
 
 def json_files(path: Path) -> list[Path]:
@@ -177,6 +191,17 @@ def main() -> int:
         failures: list[str] = []
         stale_hardware = False
         for base_file, cur_file in pairs:
+            base_kernel = context_kernel(base_file)
+            cur_kernel = context_kernel(cur_file)
+            if base_kernel and cur_kernel and base_kernel != cur_kernel:
+                # Warn, never gate: the delta below may be the kernel
+                # dispatch (different CPU class, forced scalar fallback),
+                # not the change under test.
+                print(f"WARNING: {base_file.name}: baseline ran the "
+                      f"'{base_kernel}' sweep kernel, this run used "
+                      f"'{cur_kernel}'; timing deltas may reflect the "
+                      f"kernel dispatch, not the code change.",
+                      file=sys.stderr)
             file_failures = compare_file(base_file, cur_file,
                                          args.threshold, args.metric)
             if file_failures and not same_hardware(base_file, cur_file):

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -29,6 +30,8 @@
 #include <vector>
 
 #include "ad/identifier.hpp"
+#include "ad/sweep_kernels.hpp"
+#include "support/aligned_buffer.hpp"
 #include "support/error.hpp"
 
 namespace scrutiny::ad {
@@ -64,6 +67,11 @@ enum class SweepKind : std::uint8_t {
 class ScalarAdjoints {
  public:
   static constexpr std::size_t kLanes = 1;
+
+  /// Lane-count hint from the caller; the scalar model has one lane, so
+  /// this is a no-op (kept so all models share the analyzer's protocol).
+  void configure_lanes(std::size_t) {}
+  [[nodiscard]] std::size_t lane_stride() const noexcept { return kLanes; }
 
   /// Grows storage to cover identifiers 0..num_ids (0 is a write sink for
   /// passive arguments).  Existing adjoints are preserved.
@@ -126,12 +134,35 @@ class ScalarAdjoints {
 
 class VectorAdjoints {
  public:
-  /// One cache line of doubles per identifier.
+  /// One cache line of doubles per identifier at the full stride.
   static constexpr std::size_t kLanes = 8;
 
+  /// Narrows the per-identifier block to the next power of two covering
+  /// `lanes` (1, 2, 4, or 8 doubles).  An analysis with 2 outputs then
+  /// streams 16-byte blocks instead of full cache lines — 4x less
+  /// adjoint traffic for apps like CG — while per-lane values stay
+  /// bit-identical (each lane's fma chain is unchanged; lanes ≥ stride
+  /// simply don't exist).  Must be called before storage is allocated;
+  /// it never reinterprets live data.
+  void configure_lanes(std::size_t lanes) {
+    SCRUTINY_REQUIRE(lanes >= 1 && lanes <= kLanes,
+                     "adjoint lane count out of range");
+    const std::size_t stride = std::bit_ceil(lanes);
+    SCRUTINY_REQUIRE(data_.empty() || stride == stride_,
+                     "cannot restride live adjoint storage");
+    stride_ = stride;
+  }
+
+  /// Doubles per identifier block (1, 2, 4, or 8).
+  [[nodiscard]] std::size_t lane_stride() const noexcept { return stride_; }
+
   void resize(std::size_t num_ids) {
-    if (data_.size() < (num_ids + 1) * kLanes) {
-      data_.resize((num_ids + 1) * kLanes, 0.0);
+    if (data_.size() < (num_ids + 1) * stride_) {
+      // CacheAlignedVector keeps data_.data() 64-byte aligned across this
+      // growth, so block addresses stay valid for aligned SIMD loads
+      // (block i starts at i * stride_ * 8 bytes: a multiple of the pack
+      // width for every supported stride).
+      data_.resize((num_ids + 1) * stride_, 0.0);
       dirty_.resize(num_ids + 1, 0);
     }
   }
@@ -142,21 +173,22 @@ class VectorAdjoints {
 
   void seed(Identifier id, std::size_t lane, double value) {
     SCRUTINY_REQUIRE(id < dirty_.size(), "adjoint id out of range");
-    SCRUTINY_REQUIRE(lane < kLanes, "adjoint lane out of range");
+    SCRUTINY_REQUIRE(lane < stride_, "adjoint lane out of range");
     mark(id);
-    data_[id * kLanes + lane] = value;
+    data_[id * stride_ + lane] = value;
   }
 
   [[nodiscard]] double adjoint(Identifier id, std::size_t lane) const {
     SCRUTINY_REQUIRE(lane < kLanes, "adjoint lane out of range");
-    const std::size_t index = id * kLanes + lane;
+    if (lane >= stride_) return 0.0;
+    const std::size_t index = id * stride_ + lane;
     return index < data_.size() ? data_[index] : 0.0;
   }
 
   void clear() {
     for (const Identifier id : touched_) {
-      double* block = data_.data() + std::size_t{id} * kLanes;
-      for (std::size_t w = 0; w < kLanes; ++w) block[w] = 0.0;
+      double* block = data_.data() + std::size_t{id} * stride_;
+      for (std::size_t w = 0; w < stride_; ++w) block[w] = 0.0;
       dirty_[id] = 0;
     }
     touched_.clear();
@@ -166,9 +198,20 @@ class VectorAdjoints {
     data_.clear();
     dirty_.clear();
     touched_.clear();
+    stride_ = kLanes;
   }
 
-  // ---- Tape::evaluate_with hooks --------------------------------------
+  // ---- Sweep kernel hooks ---------------------------------------------
+
+  /// POD view of the lane storage for the dispatched SIMD kernels.
+  [[nodiscard]] VectorLaneView lane_view() noexcept {
+    return VectorLaneView{data_.data(), dirty_.data(), this, stride_};
+  }
+
+  /// First-touch callback from the kernels (out-of-line, cold path).
+  void note_touched(Identifier id) { touched_.push_back(id); }
+
+  // ---- Tape::evaluate_with hooks (generic/reference path) -------------
 
   [[nodiscard]] bool active(Identifier lhs) const noexcept {
     return dirty_[lhs] != 0;
@@ -178,9 +221,9 @@ class VectorAdjoints {
   /// statement and the copy provably cannot alias the destination blocks,
   /// so accumulate keeps the lanes in registers across arguments.
   [[nodiscard]] std::array<double, kLanes> load(Identifier lhs) const noexcept {
-    std::array<double, kLanes> block;
-    const double* src = data_.data() + std::size_t{lhs} * kLanes;
-    for (std::size_t w = 0; w < kLanes; ++w) block[w] = src[w];
+    std::array<double, kLanes> block{};
+    const double* src = data_.data() + std::size_t{lhs} * stride_;
+    for (std::size_t w = 0; w < stride_; ++w) block[w] = src[w];
     return block;
   }
 
@@ -188,8 +231,8 @@ class VectorAdjoints {
                   const std::array<double, kLanes>& lhs_block) {
     if (partial == 0.0) return;
     mark(arg);
-    double* dst = data_.data() + std::size_t{arg} * kLanes;
-    for (std::size_t w = 0; w < kLanes; ++w) {
+    double* dst = data_.data() + std::size_t{arg} * stride_;
+    for (std::size_t w = 0; w < stride_; ++w) {
       dst[w] += partial * lhs_block[w];
     }
   }
@@ -202,9 +245,10 @@ class VectorAdjoints {
     }
   }
 
-  std::vector<double> data_;        // kLanes adjoints per identifier
+  support::CacheAlignedVector<double> data_;  // stride_ adjoints per id
   std::vector<std::uint8_t> dirty_;  // 1 = block may be nonzero
   std::vector<Identifier> touched_;
+  std::size_t stride_ = kLanes;
 };
 
 // ---------------------------------------------------------------------------
@@ -214,6 +258,11 @@ class VectorAdjoints {
 class BitsetAdjoints {
  public:
   static constexpr std::size_t kLanes = 64;
+
+  /// Bits pack 64 to the word regardless of the output count, so the
+  /// lane hint is a no-op here.
+  void configure_lanes(std::size_t) {}
+  [[nodiscard]] std::size_t lane_stride() const noexcept { return kLanes; }
 
   void resize(std::size_t num_ids) {
     if (bits_.size() < num_ids + 1) bits_.resize(num_ids + 1, 0);
@@ -247,7 +296,15 @@ class BitsetAdjoints {
     touched_.clear();
   }
 
-  // ---- Tape::evaluate_with hooks --------------------------------------
+  // ---- Sweep kernel hooks ---------------------------------------------
+
+  [[nodiscard]] BitsetLaneView lane_view() noexcept {
+    return BitsetLaneView{bits_.data(), this};
+  }
+
+  void note_touched(Identifier id) { touched_.push_back(id); }
+
+  // ---- Tape::evaluate_with hooks (generic/reference path) -------------
 
   [[nodiscard]] bool active(Identifier lhs) const noexcept {
     return bits_[lhs] != 0;

@@ -1,0 +1,138 @@
+// Baseline kernel TU: compiled with the project's default flags only, so
+// everything here runs on any CPU the binary targets.  Provides the
+// scalar + SSE2/NEON tables, the touched-list helpers, and the runtime
+// table resolution.  The AVX2/AVX-512 entry points live in their own
+// TUs (sweep_kernels_avx2.cpp / _avx512.cpp) compiled with matching -m
+// flags and are only ever called after __builtin_cpu_supports says the
+// ISA exists.
+#include "ad/sweep_kernels.hpp"
+
+#include "ad/adjoint_models.hpp"
+#include "ad/sweep_kernels_body.hpp"
+#include "support/simd.hpp"
+
+namespace scrutiny::ad {
+
+void sweep_note_touched(const VectorLaneView& view, Identifier id) {
+  static_cast<VectorAdjoints*>(view.model)->note_touched(id);
+}
+
+void sweep_note_touched(const BitsetLaneView& view, Identifier id) {
+  static_cast<BitsetAdjoints*>(view.model)->note_touched(id);
+}
+
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SCRUTINY_HAVE_X86_KERNEL_TUS 1
+// Defined in sweep_kernels_avx2.cpp / sweep_kernels_avx512.cpp.
+void vector_sweep_avx2(const SegmentView& segment,
+                       const VectorLaneView& view);
+void vector_sweep_avx512(const SegmentView& segment,
+                         const VectorLaneView& view);
+#endif
+
+namespace {
+
+void vector_sweep_scalar(const SegmentView& segment,
+                         const VectorLaneView& view) {
+  switch (view.stride) {
+    case 8: vector_sweep_blocks<support::PackScalarF64, 8>(segment, view);
+      break;
+    case 4: vector_sweep_blocks<support::PackScalarF64, 4>(segment, view);
+      break;
+    case 2: vector_sweep_blocks<support::PackScalarF64, 2>(segment, view);
+      break;
+    case 1: vector_sweep_blocks<support::PackScalarF64, 1>(segment, view);
+      break;
+    default: vector_sweep_any_stride(segment, view); break;
+  }
+}
+
+#if defined(__SSE2__)
+void vector_sweep_sse2(const SegmentView& segment,
+                       const VectorLaneView& view) {
+  switch (view.stride) {
+    case 8: vector_sweep_blocks<support::PackSse2F64, 4>(segment, view);
+      break;
+    case 4: vector_sweep_blocks<support::PackSse2F64, 2>(segment, view);
+      break;
+    case 2: vector_sweep_blocks<support::PackSse2F64, 1>(segment, view);
+      break;
+    case 1: vector_sweep_blocks<support::PackScalarF64, 1>(segment, view);
+      break;
+    default: vector_sweep_any_stride(segment, view); break;
+  }
+}
+#endif
+
+#if defined(__aarch64__)
+void vector_sweep_neon(const SegmentView& segment,
+                       const VectorLaneView& view) {
+  switch (view.stride) {
+    case 8: vector_sweep_blocks<support::PackNeonF64, 4>(segment, view);
+      break;
+    case 4: vector_sweep_blocks<support::PackNeonF64, 2>(segment, view);
+      break;
+    case 2: vector_sweep_blocks<support::PackNeonF64, 1>(segment, view);
+      break;
+    case 1: vector_sweep_blocks<support::PackScalarF64, 1>(segment, view);
+      break;
+    default: vector_sweep_any_stride(segment, view); break;
+  }
+}
+#endif
+
+}  // namespace
+
+const SweepKernelTable& scalar_kernel_table() {
+  static const SweepKernelTable table{"scalar", &vector_sweep_scalar,
+                                      &bitset_sweep_runs};
+  return table;
+}
+
+const SweepKernelTable& native_kernel_table() {
+  static const SweepKernelTable table = [] {
+    switch (support::best_supported_isa()) {
+#if defined(SCRUTINY_HAVE_X86_KERNEL_TUS)
+      case support::Isa::Avx512:
+        return SweepKernelTable{"avx512", &vector_sweep_avx512,
+                                &bitset_sweep_runs};
+      case support::Isa::Avx2:
+        return SweepKernelTable{"avx2", &vector_sweep_avx2,
+                                &bitset_sweep_runs};
+#endif
+#if defined(__SSE2__)
+      case support::Isa::Sse2:
+        return SweepKernelTable{"sse2", &vector_sweep_sse2,
+                                &bitset_sweep_runs};
+#endif
+#if defined(__aarch64__)
+      case support::Isa::Neon:
+        return SweepKernelTable{"neon", &vector_sweep_neon,
+                                &bitset_sweep_runs};
+#endif
+      default:
+        return SweepKernelTable{"scalar", &vector_sweep_scalar,
+                                &bitset_sweep_runs};
+    }
+  }();
+  return table;
+}
+
+const SweepKernelTable& default_kernel_table() {
+  static const SweepKernelTable& table = support::force_scalar_kernels()
+                                             ? scalar_kernel_table()
+                                             : native_kernel_table();
+  return table;
+}
+
+const SweepKernelTable& kernel_table_for(KernelChoice choice) {
+  switch (choice) {
+    case KernelChoice::Scalar: return scalar_kernel_table();
+    case KernelChoice::Simd: return native_kernel_table();
+    case KernelChoice::Auto: break;
+  }
+  return default_kernel_table();
+}
+
+}  // namespace scrutiny::ad

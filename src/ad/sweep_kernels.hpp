@@ -1,0 +1,140 @@
+// Runtime-dispatched sweep kernels over the SoA tape.
+//
+// The backward sweep's inner loop is the hottest code in the repo —
+// everything downstream (Table I/II, ParallelSweep, out-of-core
+// spilling) multiplies its per-statement cost.  This header defines the
+// seam between the tape and the ISA-specific kernel translation units:
+//
+//  * KindRun — the run-length encoding of the statement stream.  All
+//    statements in a run share one argument count, so the kernel walks
+//    runs branchlessly instead of re-deriving per-statement extents
+//    from an arg_ends array.
+//  * SegmentView / VectorLaneView / BitsetLaneView — POD views of a
+//    sealed TapeSegment and an adjoint model's storage.  Kernel TUs see
+//    only these (never std containers), so code compiled with wider ISA
+//    flags cannot leak into baseline-compiled std templates via comdat
+//    merging.
+//  * SweepKernelTable — the function-pointer table resolved once at
+//    startup from the CPU's capabilities (see support/simd.hpp), or
+//    pinned to the scalar fallback by SCRUTINY_FORCE_SCALAR_KERNELS /
+//    the --kernel CLI flag.
+//
+// Every kernel in every table computes BIT-IDENTICAL adjoints, dirty
+// flags, and touched order: same statement order, same within-statement
+// argument order, same unfused multiply-then-add rounding, same
+// `partial == 0` skip.  The kernel-invariance test suite asserts this
+// across all 8 NPB apps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "ad/identifier.hpp"
+
+namespace scrutiny::ad {
+
+/// One run of consecutive statements sharing an argument count, packed
+/// into 4 bytes: bits [8,32) = statement count, bits [0,8) = arg count.
+/// Tape statements have at most 255 arguments (enforced at append time),
+/// and runs split once they reach kMaxRunStatements.
+struct KindRun {
+  static constexpr std::uint32_t kMaxRunStatements = 0xFFFFFF;
+
+  std::uint32_t packed = 0;
+
+  static constexpr KindRun make(std::uint32_t statements,
+                                std::uint32_t arg_count) {
+    return KindRun{(statements << 8) | arg_count};
+  }
+  constexpr std::uint32_t statements() const { return packed >> 8; }
+  constexpr std::uint32_t arg_count() const { return packed & 0xFF; }
+  constexpr bool can_extend() const {
+    return statements() < kMaxRunStatements;
+  }
+  constexpr void extend() { packed += 1u << 8; }
+
+  friend constexpr bool operator==(KindRun a, KindRun b) {
+    return a.packed == b.packed;
+  }
+};
+
+/// Read-only POD view of one sealed tape segment's SoA arrays.
+struct SegmentView {
+  const KindRun* runs = nullptr;
+  std::uint64_t num_runs = 0;
+  const double* partials = nullptr;
+  const Identifier* arg_ids = nullptr;
+  std::uint64_t num_statements = 0;
+  std::uint64_t num_arguments = 0;
+  std::uint64_t first_statement = 0;
+};
+
+/// Mutable view of VectorAdjoints' lane storage.  `lanes` is 64-byte
+/// aligned; the block for identifier i starts at lanes + i * stride.
+/// `model` is the owning VectorAdjoints, used by the out-of-line
+/// sweep_note_touched to record first-touch identifiers.
+struct VectorLaneView {
+  double* lanes = nullptr;
+  std::uint8_t* dirty = nullptr;
+  void* model = nullptr;
+  std::size_t stride = 0;
+};
+
+/// Mutable view of BitsetAdjoints' word storage (word == 0 doubles as
+/// the dirty flag, so no separate array).
+struct BitsetLaneView {
+  std::uint64_t* words = nullptr;
+  void* model = nullptr;
+};
+
+// Cold out-of-line helpers compiled in the baseline TU: record a
+// first-touched identifier in the owning model's touched list.  Kernel
+// TUs call these instead of touching std::vector themselves.
+void sweep_note_touched(const VectorLaneView& view, Identifier id);
+void sweep_note_touched(const BitsetLaneView& view, Identifier id);
+
+using VectorSweepFn = void (*)(const SegmentView&, const VectorLaneView&);
+using BitsetSweepFn = void (*)(const SegmentView&, const BitsetLaneView&);
+
+struct SweepKernelTable {
+  const char* name = "scalar";
+  VectorSweepFn vector_sweep = nullptr;
+  BitsetSweepFn bitset_sweep = nullptr;
+};
+
+/// The always-correct portable fallback.
+const SweepKernelTable& scalar_kernel_table();
+
+/// The widest table this CPU supports (ignores the force-scalar env).
+const SweepKernelTable& native_kernel_table();
+
+/// native_kernel_table(), unless SCRUTINY_FORCE_SCALAR_KERNELS pins the
+/// scalar fallback.  Resolved once and cached.
+const SweepKernelTable& default_kernel_table();
+
+/// CLI-facing kernel selection: auto = default_kernel_table(), scalar =
+/// the fallback, simd = the native table even when the env var is set.
+enum class KernelChoice : std::uint8_t { Auto = 0, Scalar, Simd };
+
+constexpr std::string_view kernel_choice_name(KernelChoice choice) {
+  switch (choice) {
+    case KernelChoice::Auto: return "auto";
+    case KernelChoice::Scalar: return "scalar";
+    case KernelChoice::Simd: return "simd";
+  }
+  return "auto";
+}
+
+inline std::optional<KernelChoice> parse_kernel_choice(
+    std::string_view text) {
+  if (text == "auto") return KernelChoice::Auto;
+  if (text == "scalar") return KernelChoice::Scalar;
+  if (text == "simd") return KernelChoice::Simd;
+  return std::nullopt;
+}
+
+const SweepKernelTable& kernel_table_for(KernelChoice choice);
+
+}  // namespace scrutiny::ad

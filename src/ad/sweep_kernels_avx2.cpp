@@ -1,0 +1,28 @@
+// AVX2 sweep entry point.  This TU is compiled with -mavx2 -mfma
+// -ffp-contract=off (see src/CMakeLists.txt) and must contain ONLY code
+// reached after best_supported_isa() reports Avx2 or better — all bodies
+// it instantiates have internal linkage (anonymous namespace in
+// sweep_kernels_body.hpp), so none of its AVX2-encoded code can be
+// comdat-merged into the baseline path.
+#include "ad/sweep_kernels.hpp"
+#include "ad/sweep_kernels_body.hpp"
+#include "support/simd.hpp"
+
+namespace scrutiny::ad {
+
+void vector_sweep_avx2(const SegmentView& segment,
+                       const VectorLaneView& view) {
+  switch (view.stride) {
+    case 8: vector_sweep_blocks<support::PackAvx2F64, 2>(segment, view);
+      break;
+    case 4: vector_sweep_blocks<support::PackAvx2F64, 1>(segment, view);
+      break;
+    case 2: vector_sweep_blocks<support::PackSse2F64, 1>(segment, view);
+      break;
+    case 1: vector_sweep_blocks<support::PackScalarF64, 1>(segment, view);
+      break;
+    default: vector_sweep_any_stride(segment, view); break;
+  }
+}
+
+}  // namespace scrutiny::ad

@@ -1,0 +1,26 @@
+// AVX-512 sweep entry point.  Compiled with -mavx512f -mavx512vl
+// -mavx512dq -mfma -ffp-contract=off; only called after
+// best_supported_isa() confirms F+VL+DQ.  Same internal-linkage rule as
+// the AVX2 TU: no body instantiated here can leak into baseline code.
+#include "ad/sweep_kernels.hpp"
+#include "ad/sweep_kernels_body.hpp"
+#include "support/simd.hpp"
+
+namespace scrutiny::ad {
+
+void vector_sweep_avx512(const SegmentView& segment,
+                         const VectorLaneView& view) {
+  switch (view.stride) {
+    case 8: vector_sweep_blocks<support::PackAvx512F64, 1>(segment, view);
+      break;
+    case 4: vector_sweep_blocks<support::PackAvx2F64, 1>(segment, view);
+      break;
+    case 2: vector_sweep_blocks<support::PackSse2F64, 1>(segment, view);
+      break;
+    case 1: vector_sweep_blocks<support::PackScalarF64, 1>(segment, view);
+      break;
+    default: vector_sweep_any_stride(segment, view); break;
+  }
+}
+
+}  // namespace scrutiny::ad

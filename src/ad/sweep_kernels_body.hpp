@@ -1,0 +1,162 @@
+// Kernel body templates shared by every ISA translation unit.
+//
+// Included ONLY by the sweep_kernels*.cpp TUs.  Everything here lives in
+// an anonymous namespace on purpose: each TU is compiled with different
+// -m flags, and if these templates had external linkage the linker could
+// keep, say, the AVX-512-compiled instantiation of a body the SSE2 path
+// also references (comdat sections are merged by symbol name, not by
+// ISA), crashing older CPUs with illegal instructions.  Internal linkage
+// gives every TU its own private, correctly-flagged copy.
+//
+// The bodies replicate the historical per-statement semantics exactly —
+// this is what makes kernels interchangeable without changing masks:
+//  * statements are visited newest-first, arguments in forward order;
+//  * inactive lhs (dirty flag / zero word) skips the statement;
+//  * `partial == 0.0` skips the argument BEFORE any load or dirty
+//    marking (a zero partial must not activate an argument);
+//  * the lane update is the unfused `dst += partial * lhs` — two
+//    roundings per element at every SIMD width (Pack::mul_add; the TUs
+//    are additionally compiled with -ffp-contract=off so the compiler
+//    cannot re-fuse it).
+//
+// Argument identifiers are always strictly smaller than the lhs
+// identifier (the tape assigns ids in statement order), so `dst` never
+// aliases the cached lhs block within a statement.
+#pragma once
+
+#include "ad/sweep_kernels.hpp"
+#include "support/simd.hpp"
+
+namespace {
+
+/// Vertical SIMD sweep over lane blocks of stride P::kWidth * Blocks.
+/// One instantiation per (pack, block-count) pair covers one runtime
+/// lane stride; the dispatch switch in each TU picks the instantiation
+/// matching view.stride.
+template <typename P, std::size_t Blocks>
+SCRUTINY_SIMD_INLINE void vector_sweep_blocks(
+    const scrutiny::ad::SegmentView& segment,
+    const scrutiny::ad::VectorLaneView& view) {
+  using scrutiny::ad::Identifier;
+  constexpr std::size_t kW = P::kWidth;
+  double* const lanes = view.lanes;
+  std::uint8_t* const dirty = view.dirty;
+  const std::size_t stride = kW * Blocks;
+  std::uint64_t stmt = segment.num_statements;
+  std::uint64_t cursor = segment.num_arguments;
+  for (std::uint64_t r = segment.num_runs; r-- > 0;) {
+    const std::uint32_t count = segment.runs[r].statements();
+    const std::uint32_t arg_count = segment.runs[r].arg_count();
+    if (arg_count == 0) {  // input registrations: nothing to propagate
+      stmt -= count;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      --stmt;
+      cursor -= arg_count;
+      const auto lhs_id =
+          static_cast<Identifier>(segment.first_statement + stmt + 1);
+      if (!dirty[lhs_id]) continue;
+      P lhs[Blocks];
+      const double* const lhs_block = lanes + lhs_id * stride;
+      for (std::size_t b = 0; b < Blocks; ++b) {
+        lhs[b] = P::load(lhs_block + b * kW);
+      }
+      for (std::uint32_t a = 0; a < arg_count; ++a) {
+        const double partial = segment.partials[cursor + a];
+        if (partial == 0.0) continue;
+        const Identifier arg = segment.arg_ids[cursor + a];
+        double* const dst = lanes + arg * stride;
+        const P factor = P::broadcast(partial);
+        for (std::size_t b = 0; b < Blocks; ++b) {
+          P::store(dst + b * kW,
+                   P::mul_add(factor, lhs[b], P::load(dst + b * kW)));
+        }
+        if (!dirty[arg]) {
+          dirty[arg] = 1;
+          scrutiny::ad::sweep_note_touched(view, arg);
+        }
+      }
+    }
+  }
+}
+
+/// Runtime-stride scalar walk — the default case when view.stride is
+/// none of the compiled-in widths (cannot happen today, but the switch
+/// needs a total function).
+inline void vector_sweep_any_stride(
+    const scrutiny::ad::SegmentView& segment,
+    const scrutiny::ad::VectorLaneView& view) {
+  using scrutiny::ad::Identifier;
+  double* const lanes = view.lanes;
+  std::uint8_t* const dirty = view.dirty;
+  const std::size_t stride = view.stride;
+  std::uint64_t stmt = segment.num_statements;
+  std::uint64_t cursor = segment.num_arguments;
+  for (std::uint64_t r = segment.num_runs; r-- > 0;) {
+    const std::uint32_t count = segment.runs[r].statements();
+    const std::uint32_t arg_count = segment.runs[r].arg_count();
+    if (arg_count == 0) {
+      stmt -= count;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      --stmt;
+      cursor -= arg_count;
+      const auto lhs_id =
+          static_cast<Identifier>(segment.first_statement + stmt + 1);
+      if (!dirty[lhs_id]) continue;
+      const double* const lhs_block = lanes + lhs_id * stride;
+      for (std::uint32_t a = 0; a < arg_count; ++a) {
+        const double partial = segment.partials[cursor + a];
+        if (partial == 0.0) continue;
+        const Identifier arg = segment.arg_ids[cursor + a];
+        double* const dst = lanes + arg * stride;
+        for (std::size_t w = 0; w < stride; ++w) {
+          dst[w] += partial * lhs_block[w];
+        }
+        if (!dirty[arg]) {
+          dirty[arg] = 1;
+          scrutiny::ad::sweep_note_touched(view, arg);
+        }
+      }
+    }
+  }
+}
+
+/// Bitset OR-propagation over the run encoding.  The word itself is the
+/// dirty flag, and OR is exact at any width, so every table shares the
+/// one baseline-compiled instantiation of this walk; what the SIMD
+/// tables buy the bitset sweep is the branchless run traversal.
+inline void bitset_sweep_runs(const scrutiny::ad::SegmentView& segment,
+                              const scrutiny::ad::BitsetLaneView& view) {
+  using scrutiny::ad::Identifier;
+  std::uint64_t* const words = view.words;
+  std::uint64_t stmt = segment.num_statements;
+  std::uint64_t cursor = segment.num_arguments;
+  for (std::uint64_t r = segment.num_runs; r-- > 0;) {
+    const std::uint32_t count = segment.runs[r].statements();
+    const std::uint32_t arg_count = segment.runs[r].arg_count();
+    if (arg_count == 0) {
+      stmt -= count;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      --stmt;
+      cursor -= arg_count;
+      const auto lhs_id =
+          static_cast<Identifier>(segment.first_statement + stmt + 1);
+      const std::uint64_t lhs_bits = words[lhs_id];
+      if (lhs_bits == 0) continue;
+      for (std::uint32_t a = 0; a < arg_count; ++a) {
+        if (segment.partials[cursor + a] == 0.0) continue;
+        const Identifier arg = segment.arg_ids[cursor + a];
+        const std::uint64_t word = words[arg];
+        if (word == 0) scrutiny::ad::sweep_note_touched(view, arg);
+        words[arg] = word | lhs_bits;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -42,10 +42,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "ad/adjoint_models.hpp"
 #include "ad/identifier.hpp"
+#include "ad/sweep_kernels.hpp"
 #include "ad/tape_storage.hpp"
 #include "support/error.hpp"
 
@@ -80,6 +82,10 @@ struct TapeOptions {
   /// Where sealed segments go.  Null + nonzero capacity defaults to a
   /// ResidentTapeStorage.
   std::unique_ptr<TapeStorage> storage;
+  /// Sweep kernel table for the vector/bitset models.  Null = the
+  /// runtime-dispatched default (native ISA unless
+  /// SCRUTINY_FORCE_SCALAR_KERNELS pins the scalar fallback).
+  const SweepKernelTable* kernels = nullptr;
 };
 
 /// Picks a segment capacity (in statements) so roughly 8 segments fit a
@@ -173,7 +179,7 @@ class Tape {
   [[nodiscard]] TapeStats stats() const noexcept;
 
   [[nodiscard]] std::uint64_t num_statements() const noexcept {
-    return sealed_statements_ + active_.arg_ends.size();
+    return sealed_statements_ + active_.num_statements;
   }
 
   /// Highest identifier handed out so far.
@@ -196,24 +202,57 @@ class Tape {
     return storage_ == nullptr ? "resident" : storage_->name();
   }
 
+  /// Name of the sweep kernel table this tape dispatches to ("scalar",
+  /// "sse2", "avx2", "avx512", "neon").
+  [[nodiscard]] const char* kernel_name() const noexcept {
+    return kernels_->name;
+  }
+
  private:
-  // One segment's backward sweep over raw arrays.  Statement k of the
-  // segment covers local argument range [ends[k-1], ends[k]) (ends[-1]
-  // == 0) and defines identifier first_statement + k + 1.
+  // One segment's backward sweep.  The built-in vector/bitset models go
+  // through the runtime-dispatched SIMD kernel table over POD views;
+  // every other model (scalar, external test models) walks the same run
+  // encoding generically through the model hooks.  All paths visit
+  // statements and arguments in the identical order, so the choice is
+  // invisible in the results.
   template <typename Model>
-  static void sweep_segment(Model& model, const TapeSegment& segment) {
-    const std::uint64_t* const ends = segment.arg_ends.data();
+  void sweep_segment(Model& model, const TapeSegment& segment) const {
+    if constexpr (std::is_same_v<Model, VectorAdjoints>) {
+      kernels_->vector_sweep(segment.view(), model.lane_view());
+    } else if constexpr (std::is_same_v<Model, BitsetAdjoints>) {
+      kernels_->bitset_sweep(segment.view(), model.lane_view());
+    } else {
+      generic_sweep_segment(model, segment);
+    }
+  }
+
+  // Statement k of the segment defines identifier first_statement + k +
+  // 1; its argument span is recovered by walking kind runs backwards and
+  // subtracting each statement's arg count from a running cursor.
+  template <typename Model>
+  static void generic_sweep_segment(Model& model,
+                                    const TapeSegment& segment) {
     const double* const partials = segment.partials.data();
     const Identifier* const ids = segment.arg_ids.data();
     const std::uint64_t base = segment.first_statement;
-    for (std::uint64_t k = segment.arg_ends.size(); k-- > 0;) {
-      const auto lhs_id = static_cast<Identifier>(base + k + 1);
-      if (!model.active(lhs_id)) continue;
-      const auto lhs = model.load(lhs_id);
-      const std::uint64_t begin = k == 0 ? 0 : ends[k - 1];
-      const std::uint64_t end = ends[k];
-      for (std::uint64_t a = begin; a < end; ++a) {
-        model.accumulate(ids[a], partials[a], lhs);
+    std::uint64_t stmt = segment.num_statements;
+    std::uint64_t cursor = segment.num_arguments();
+    for (std::uint64_t r = segment.kind_runs.size(); r-- > 0;) {
+      const std::uint32_t count = segment.kind_runs[r].statements();
+      const std::uint32_t arg_count = segment.kind_runs[r].arg_count();
+      if (arg_count == 0) {  // input registrations: nothing to propagate
+        stmt -= count;
+        continue;
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        --stmt;
+        cursor -= arg_count;
+        const auto lhs_id = static_cast<Identifier>(base + stmt + 1);
+        if (!model.active(lhs_id)) continue;
+        const auto lhs = model.load(lhs_id);
+        for (std::uint32_t a = 0; a < arg_count; ++a) {
+          model.accumulate(ids[cursor + a], partials[cursor + a], lhs);
+        }
       }
     }
   }
@@ -221,11 +260,16 @@ class Tape {
   /// Closes the statement just pushed into active_: assigns its
   /// identifier and seals the segment when it hit capacity.
   Identifier finish_statement() {
-    active_.arg_ends.push_back(active_.partials.size());
+    const std::uint64_t args =
+        active_.partials.size() - statement_args_mark_;
+    SCRUTINY_REQUIRE(args <= 255,
+                     "statement exceeds 255 active arguments");
+    active_.append_statement(static_cast<std::uint32_t>(args));
+    statement_args_mark_ = active_.partials.size();
     const std::uint64_t total = num_statements();
     SCRUTINY_REQUIRE(total < 0xFFFFFFFFull, "tape identifier overflow");
     if (segment_capacity_ != 0 &&
-        active_.arg_ends.size() >= segment_capacity_) {
+        active_.num_statements >= segment_capacity_) {
       seal_active();
     }
     return static_cast<Identifier>(total);
@@ -237,6 +281,10 @@ class Tape {
   // sealed_statements_ at all times.
   TapeSegment active_;
   std::unique_ptr<TapeStorage> storage_;  // null until the first seal
+  const SweepKernelTable* kernels_ = &default_kernel_table();
+  // Argument-array size at the last statement boundary; the delta at
+  // finish_statement() is the closing statement's argument count.
+  std::uint64_t statement_args_mark_ = 0;
   std::uint64_t segment_capacity_ = 0;
   std::uint64_t sealed_statements_ = 0;
   std::uint64_t sealed_arguments_ = 0;

@@ -18,13 +18,14 @@ namespace {
 /// storage removes its keys on destruction), so a magic + count check is
 /// enough; no cross-version compatibility to carry.
 struct SpillHeader {
-  std::uint64_t magic = 0x5343'5453'4547'0001ull;  // "SCTSEG" v1
+  std::uint64_t magic = 0x5343'5453'4547'0002ull;  // "SCTSEG" v2 (kind runs)
   std::uint64_t first_statement = 0;
   std::uint64_t num_statements = 0;
   std::uint64_t num_arguments = 0;
+  std::uint64_t num_runs = 0;
 };
 
-constexpr std::uint64_t kSpillMagic = 0x5343'5453'4547'0001ull;
+constexpr std::uint64_t kSpillMagic = 0x5343'5453'4547'0002ull;
 
 }  // namespace
 
@@ -104,11 +105,12 @@ void SpillingTapeStorage::write_segment(std::size_t index,
   const auto writer = backend_->open_for_write(key_for(index));
   SpillHeader header;
   header.first_statement = segment.first_statement;
-  header.num_statements = segment.num_statements();
+  header.num_statements = segment.num_statements;
   header.num_arguments = segment.num_arguments();
+  header.num_runs = segment.kind_runs.size();
   writer->append(&header, sizeof(header));
-  writer->append(segment.arg_ends.data(),
-                 segment.arg_ends.size() * sizeof(std::uint64_t));
+  writer->append(segment.kind_runs.data(),
+                 segment.kind_runs.size() * sizeof(KindRun));
   writer->append(segment.partials.data(),
                  segment.partials.size() * sizeof(double));
   writer->append(segment.arg_ids.data(),
@@ -124,15 +126,22 @@ SegmentHandle SpillingTapeStorage::read_segment(std::size_t index) const {
                    "corrupt tape spill segment: " + key_for(index));
   auto segment = std::make_shared<TapeSegment>();
   segment->first_statement = header.first_statement;
-  segment->arg_ends.resize(header.num_statements);
+  segment->num_statements = header.num_statements;
+  segment->kind_runs.resize(header.num_runs);
   segment->partials.resize(header.num_arguments);
   segment->arg_ids.resize(header.num_arguments);
-  reader->read(segment->arg_ends.data(),
-               segment->arg_ends.size() * sizeof(std::uint64_t));
+  reader->read(segment->kind_runs.data(),
+               segment->kind_runs.size() * sizeof(KindRun));
   reader->read(segment->partials.data(),
                segment->partials.size() * sizeof(double));
   reader->read(segment->arg_ids.data(),
                segment->arg_ids.size() * sizeof(Identifier));
+  std::uint64_t run_statements = 0;
+  for (const KindRun run : segment->kind_runs) {
+    run_statements += run.statements();
+  }
+  SCRUTINY_REQUIRE(run_statements == header.num_statements,
+                   "corrupt tape spill segment: " + key_for(index));
   return segment;
 }
 

@@ -46,35 +46,67 @@
 #include <vector>
 
 #include "ad/identifier.hpp"
+#include "ad/sweep_kernels.hpp"
 #include "ckpt/storage_backend.hpp"
 
 namespace scrutiny::ad {
 
-/// One sealed (or in-recording) span of consecutive tape statements.
-/// Statement `k` of the segment defines identifier
-/// `first_statement + k + 1` and covers the local argument range
-/// [arg_ends[k-1], arg_ends[k]) (with arg_ends[-1] == 0).
+/// One sealed (or in-recording) span of consecutive tape statements in
+/// SoA form.  Statement `k` of the segment defines identifier
+/// `first_statement + k + 1`.  Instead of a per-statement arg_ends
+/// array, the statement stream is run-length encoded by argument count
+/// (`kind_runs`): NPB tapes are long alternating stretches of pure
+/// 1-arg / 2-arg statements, so the encoding is tiny (4 bytes per run
+/// vs 8 bytes per statement before) and the backward sweep recovers
+/// each statement's argument span by walking runs and subtracting
+/// `arg_count` from a running cursor — no loads from a per-statement
+/// index at all.
 struct TapeSegment {
   std::uint64_t first_statement = 0;  ///< global index of statement 0
-  std::vector<std::uint64_t> arg_ends;
+  std::uint64_t num_statements = 0;
+  std::vector<KindRun> kind_runs;
   std::vector<double> partials;
   std::vector<Identifier> arg_ids;
 
-  [[nodiscard]] std::uint64_t num_statements() const noexcept {
-    return arg_ends.size();
+  /// Records one more statement with `arg_count` arguments (their
+  /// partials/arg_ids entries are already pushed).  Extends the current
+  /// run when the kind matches, else opens a new one.
+  void append_statement(std::uint32_t arg_count) {
+    ++num_statements;
+    if (!kind_runs.empty()) {
+      KindRun& back = kind_runs.back();
+      if (back.arg_count() == arg_count && back.can_extend()) {
+        back.extend();
+        return;
+      }
+    }
+    kind_runs.push_back(KindRun::make(1, arg_count));
   }
+
   [[nodiscard]] std::uint64_t num_arguments() const noexcept {
     return partials.size();
   }
+  /// POD view the sweep kernels consume.
+  [[nodiscard]] SegmentView view() const noexcept {
+    SegmentView v;
+    v.runs = kind_runs.data();
+    v.num_runs = kind_runs.size();
+    v.partials = partials.data();
+    v.arg_ids = arg_ids.data();
+    v.num_statements = num_statements;
+    v.num_arguments = partials.size();
+    v.first_statement = first_statement;
+    return v;
+  }
   /// Live bytes (by size — what the data actually occupies).
   [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
-    return arg_ends.size() * sizeof(std::uint64_t) +
+    return kind_runs.size() * sizeof(KindRun) +
            partials.size() * sizeof(double) +
            arg_ids.size() * sizeof(Identifier);
   }
   /// Allocated bytes (by capacity — what malloc actually holds).
   [[nodiscard]] std::uint64_t reserved_bytes() const noexcept {
-    return arg_ends.capacity() * sizeof(std::uint64_t) +
+    return kind_runs.capacity() * sizeof(KindRun) +
            partials.capacity() * sizeof(double) +
            arg_ids.capacity() * sizeof(Identifier);
   }

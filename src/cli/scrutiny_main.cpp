@@ -4,6 +4,7 @@
 // programs, or anything user code registered; names are case-insensitive):
 //   analyze PROG [--mode reverse-ad|forward-ad|read-set|finite-diff]
 //                [--sweep scalar|vector|bitset] [--threads N]
+//                [--kernel auto|scalar|simd]
 //                [--tape-memory-limit BYTES] [--spill-backend file|memory]
 //                [--warmup N] [--window N] [--threshold X]
 //                [--sample-stride N] [--impact] [--save-masks F.scmask]
@@ -59,6 +60,7 @@ void print_usage(std::FILE* stream) {
                "finite-diff]\n"
                "               [--sweep scalar|vector|bitset] "
                "[--threads N]\n"
+               "               [--kernel auto|scalar|simd]\n"
                "               [--tape-memory-limit BYTES] "
                "[--spill-backend file|memory]\n"
                "               [--warmup N] [--window N] [--threshold X]\n"
@@ -100,10 +102,19 @@ ad::SweepKind parse_sweep(const std::string& text) {
   return *kind;
 }
 
+ad::KernelChoice parse_kernel(const std::string& text) {
+  const auto choice = ad::parse_kernel_choice(text);
+  if (!choice.has_value()) {
+    throw ScrutinyError("unknown kernel choice: " + text +
+                        " (expected auto, scalar, or simd)");
+  }
+  return *choice;
+}
+
 // The analysis flag set shared by analyze/storage/verify/viz; every
 // subcommand that runs an analysis honors all of them.
-constexpr std::array<std::string_view, 10> kAnalysisFlagNames = {
-    "--mode",           "--sweep",  "--threads",
+constexpr std::array<std::string_view, 11> kAnalysisFlagNames = {
+    "--mode",           "--sweep",  "--threads", "--kernel",
     "--tape-memory-limit", "--spill-backend", "--warmup",
     "--window",         "--threshold", "--sample-stride", "--impact"};
 
@@ -131,6 +142,10 @@ core::AnalysisConfig analysis_config_from_args(
   // stays serial so programmatic callers opt in explicitly.
   cfg.threads = static_cast<std::uint32_t>(
       bounded_uint("threads", 0, 0xffffffffu));
+  // Execution parameter like --threads: which sweep kernel table the
+  // tape dispatches to.  Results are bit-identical for every choice.
+  cfg.kernel = parse_kernel(
+      args.get("kernel", std::string(ad::kernel_choice_name(cfg.kernel))));
   // Like --threads, a pure execution parameter: the CLI default is
   // unlimited (flag omitted).  An explicit 0 is rejected — "no memory"
   // is not a meaningful budget and silently meaning "unlimited" would
@@ -212,7 +227,7 @@ int cmd_list(const CliArgs& args) {
 }
 
 int cmd_analyze(const core::AnyProgram& program, const CliArgs& args) {
-  args.require_known({"help", "mode", "sweep", "threads",
+  args.require_known({"help", "mode", "sweep", "threads", "kernel",
                       "tape-memory-limit", "spill-backend", "warmup",
                       "window", "threshold", "sample-stride", "impact",
                       "save-masks"});
@@ -252,7 +267,7 @@ std::string configure_storage(core::ScrutinySession& session,
 
 int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
-                      "sweep", "threads", "tape-memory-limit",
+                      "sweep", "threads", "kernel", "tape-memory-limit",
                       "spill-backend", "warmup", "window", "threshold",
                       "sample-stride", "impact"});
   core::ScrutinySession session(program);
@@ -281,7 +296,7 @@ int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
 
 int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
-                      "sweep", "threads", "tape-memory-limit",
+                      "sweep", "threads", "kernel", "tape-memory-limit",
                       "spill-backend", "warmup", "window", "threshold",
                       "sample-stride", "impact"});
   core::ScrutinySession session(program);
@@ -302,9 +317,9 @@ int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
 
 int cmd_viz(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "out", "width", "masks", "mode", "sweep",
-                      "threads", "tape-memory-limit", "spill-backend",
-                      "warmup", "window", "threshold", "sample-stride",
-                      "impact"});
+                      "threads", "kernel", "tape-memory-limit",
+                      "spill-backend", "warmup", "window", "threshold",
+                      "sample-stride", "impact"});
   if (args.positional().size() < 3) return usage();
   const std::string variable = args.positional()[2];
   core::ScrutinySession session(program);

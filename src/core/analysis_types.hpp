@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ad/adjoint_models.hpp"
+#include "ad/sweep_kernels.hpp"
 #include "ad/tape.hpp"
 #include "ckpt/checkpoint_io.hpp"
 #include "ckpt/storage_backend.hpp"
@@ -95,6 +96,14 @@ struct AnalysisConfig {
   /// File = a throwaway temp directory (removed when analysis ends),
   /// Memory = an in-process store (tests; still bounds the tape arrays).
   ckpt::BackendKind tape_spill_backend = ckpt::BackendKind::File;
+
+  /// ReverseAD only: which sweep kernel table the tape dispatches to.
+  /// Auto = runtime CPU dispatch (native SIMD unless
+  /// SCRUTINY_FORCE_SCALAR_KERNELS pins the fallback), Scalar = the
+  /// portable fallback, Simd = the native table.  Every kernel computes
+  /// bit-identical masks/impact/sweep_passes, so this is an execution
+  /// parameter like `threads` — NOT persisted in .scmask artifacts.
+  ad::KernelChoice kernel = ad::KernelChoice::Auto;
 };
 
 /// Criticality verdict for one checkpointed variable.
@@ -157,6 +166,10 @@ struct AnalysisResult {
   /// `threads`, an execution echo — NOT persisted in .scmask artifacts;
   /// the spill/reload counters live in tape_stats.
   std::uint64_t tape_memory_limit = 0;
+  /// ReverseAD only: the resolved sweep kernel table name ("scalar",
+  /// "sse2", "avx2", "avx512", "neon").  An execution echo like
+  /// `threads` — NOT persisted in .scmask artifacts.
+  std::string kernel_name;
 
   [[nodiscard]] const VariableCriticality* find(
       const std::string& name) const {

@@ -87,6 +87,7 @@ std::vector<ProbeSite> collect_probe_sites(
 /// with a spilling storage on the configured backend.
 ad::Tape make_analysis_tape(const AnalysisConfig& cfg) {
   ad::TapeOptions options;
+  options.kernels = &ad::kernel_table_for(cfg.kernel);
   if (cfg.tape_memory_limit > 0) {
     options.segment_capacity =
         ad::segment_capacity_for_limit(cfg.tape_memory_limit);
@@ -168,6 +169,7 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
 
   ad::Tape tape = make_analysis_tape(cfg);
   result.tape_memory_limit = cfg.tape_memory_limit;
+  result.kernel_name = tape.kernel_name();
   if (cfg.tape_reserve_statements > 0) {
     tape.reserve(cfg.tape_reserve_statements);
   }
@@ -240,8 +242,14 @@ AnalysisResult analyze_reverse_ad(ProgramInstance<ad::Real>& app,
   // simply the kLanes == 1 instance of the same driver (the old
   // per-output loop).
   auto run_blocked = [&](auto model, auto&& seed_lane, auto&& adjoint_at) {
-    model.resize(tape.max_identifier());
     constexpr std::size_t kLanes = decltype(model)::kLanes;
+    // A single-block vector sweep (≤ kLanes outputs — where ParallelSweep
+    // would degenerate to one worker anyway) narrows the per-identifier
+    // lane blocks to the seeded count, cutting adjoint cache traffic;
+    // per-lane arithmetic is unchanged, so masks stay bit-identical.
+    model.configure_lanes(std::min<std::size_t>(
+        kLanes, std::max<std::size_t>(std::size_t{1}, seeds.size())));
+    model.resize(tape.max_identifier());
     for (std::size_t base = 0; base < seeds.size(); base += kLanes) {
       const std::size_t lanes =
           std::min<std::size_t>(kLanes, seeds.size() - base);

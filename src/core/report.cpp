@@ -94,6 +94,9 @@ std::string format_analysis_summary(const AnalysisResult& result) {
               percent(result.parallel_efficiency) + ")";
     }
     text += "\n";
+    if (!result.kernel_name.empty()) {
+      text += "kernel: " + result.kernel_name + "\n";
+    }
   }
   text += "record time: " + fixed(result.record_seconds * 1e3, 2) + " ms\n";
   text += "sweep time: " + fixed(result.sweep_seconds * 1e3, 2) + " ms\n";

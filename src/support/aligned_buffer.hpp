@@ -1,0 +1,60 @@
+// Over-aligned heap storage for SIMD lane blocks.
+//
+// std::vector<double> only guarantees alignof(double) (or malloc's 16
+// bytes); the vectorized adjoint kernels use *aligned* pack loads over
+// 64-byte lane blocks, so the backing buffer must start on a cache line —
+// and must STAY cache-line aligned across every growth reallocation, not
+// just the first one.  AlignedAllocator routes all (re)allocations through
+// the C++17 aligned operator new, so a vector built on it can never
+// silently de-align its data after a resize.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace scrutiny::support {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's own requirement");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* pointer, std::size_t) noexcept {
+    ::operator delete(pointer, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  template <typename U>
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator<U, Alignment>&) noexcept {
+    return true;
+  }
+};
+
+/// Vector whose data() is 64-byte aligned for every capacity.
+template <typename T>
+using CacheAlignedVector =
+    std::vector<T, AlignedAllocator<T, kCacheLineBytes>>;
+
+}  // namespace scrutiny::support

@@ -1,0 +1,58 @@
+#include "support/simd.hpp"
+
+#include <cstdlib>
+
+namespace scrutiny::support {
+
+std::string_view isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Sse2: return "sse2";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+    case Isa::Neon: return "neon";
+  }
+  return "scalar";
+}
+
+namespace {
+
+Isa probe_isa() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // The avx512 kernels use F+VL+DQ; require all three before claiming the
+  // tier.  The avx2 kernels are compiled with -mfma, so FMA must be
+  // present even though the sweep only issues unfused ops.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return Isa::Avx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::Avx2;
+  }
+  return Isa::Sse2;  // baseline for x86-64
+#elif defined(__aarch64__)
+  return Isa::Neon;  // baseline for aarch64
+#else
+  return Isa::Scalar;
+#endif
+}
+
+}  // namespace
+
+Isa best_supported_isa() {
+  static const Isa cached = probe_isa();
+  return cached;
+}
+
+bool force_scalar_kernels() {
+  static const bool cached = [] {
+    const char* value = std::getenv("SCRUTINY_FORCE_SCALAR_KERNELS");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  return cached;
+}
+
+}  // namespace scrutiny::support

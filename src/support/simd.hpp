@@ -1,0 +1,388 @@
+// Portable fixed-width SIMD packs for the sweep kernels.
+//
+// Each Pack type wraps one hardware vector register of doubles or
+// uint64s with the same tiny static API (load/store aligned, broadcast,
+// zero, add, mul, mul_add, fma, bitwise or, blend), so kernel bodies can
+// be written once as templates and instantiated per ISA.  Two rules keep
+// the abstraction honest:
+//
+//  * `mul_add` is the UNFUSED a*b+c — two roundings, always.  The sweep's
+//    bit-identity contract (same masks at every SIMD width and thread
+//    count) requires every kernel to round exactly like the historical
+//    scalar `dst += partial * lhs`, so kernels use mul_add.  The fused
+//    single-rounding `fma` is provided for callers that want it, but the
+//    sweep never does.
+//  * Pack types guarded by ISA macros (__AVX2__ etc.) may only be named
+//    inside translation units compiled with the matching -m flags; the
+//    kernel TU layout in src/ad/sweep_kernels_*.cpp enforces this.
+//
+// Runtime selection lives in simd.cpp: best_supported_isa() probes the
+// CPU once, force_scalar_kernels() honours SCRUTINY_FORCE_SCALAR_KERNELS.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+#define SCRUTINY_SIMD_INLINE inline __attribute__((always_inline))
+
+namespace scrutiny::support {
+
+enum class Isa : std::uint8_t { Scalar = 0, Sse2, Avx2, Avx512, Neon };
+
+std::string_view isa_name(Isa isa);
+
+/// Widest ISA the running CPU supports, probed once and cached.
+Isa best_supported_isa();
+
+/// True when SCRUTINY_FORCE_SCALAR_KERNELS is set (non-empty, not "0").
+bool force_scalar_kernels();
+
+// ---------------------------------------------------------------------------
+// Scalar fallback packs — valid everywhere, the correctness reference.
+// ---------------------------------------------------------------------------
+
+struct PackScalarF64 {
+  static constexpr std::size_t kWidth = 1;
+  double v;
+  static SCRUTINY_SIMD_INLINE PackScalarF64 load(const double* p) {
+    return {*p};
+  }
+  static SCRUTINY_SIMD_INLINE void store(double* p, PackScalarF64 a) {
+    *p = a.v;
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarF64 broadcast(double x) {
+    return {x};
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarF64 zero() { return {0.0}; }
+  static SCRUTINY_SIMD_INLINE PackScalarF64 add(PackScalarF64 a,
+                                                PackScalarF64 b) {
+    return {a.v + b.v};
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarF64 mul(PackScalarF64 a,
+                                                PackScalarF64 b) {
+    return {a.v * b.v};
+  }
+  // Unfused: two roundings, matching the historical scalar sweep.
+  static SCRUTINY_SIMD_INLINE PackScalarF64 mul_add(PackScalarF64 a,
+                                                    PackScalarF64 b,
+                                                    PackScalarF64 c) {
+    return {a.v * b.v + c.v};
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarF64 fma(PackScalarF64 a,
+                                                PackScalarF64 b,
+                                                PackScalarF64 c) {
+    return {std::fma(a.v, b.v, c.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarF64 blend(PackScalarF64 a,
+                                                  PackScalarF64 b,
+                                                  PackScalarF64 mask) {
+    std::uint64_t abits;
+    std::uint64_t bbits;
+    std::uint64_t mbits;
+    std::memcpy(&abits, &a.v, 8);
+    std::memcpy(&bbits, &b.v, 8);
+    std::memcpy(&mbits, &mask.v, 8);
+    const std::uint64_t out = (abits & ~mbits) | (bbits & mbits);
+    double result;
+    std::memcpy(&result, &out, 8);
+    return {result};
+  }
+};
+
+struct PackScalarU64 {
+  static constexpr std::size_t kWidth = 1;
+  std::uint64_t v;
+  static SCRUTINY_SIMD_INLINE PackScalarU64 load(const std::uint64_t* p) {
+    return {*p};
+  }
+  static SCRUTINY_SIMD_INLINE void store(std::uint64_t* p, PackScalarU64 a) {
+    *p = a.v;
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarU64 broadcast(std::uint64_t x) {
+    return {x};
+  }
+  static SCRUTINY_SIMD_INLINE PackScalarU64 zero() { return {0}; }
+  static SCRUTINY_SIMD_INLINE PackScalarU64 bit_or(PackScalarU64 a,
+                                                   PackScalarU64 b) {
+    return {a.v | b.v};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SSE2 — baseline on every x86-64 CPU, no extra compile flags needed.
+// ---------------------------------------------------------------------------
+#if defined(__SSE2__)
+
+struct PackSse2F64 {
+  static constexpr std::size_t kWidth = 2;
+  __m128d v;
+  static SCRUTINY_SIMD_INLINE PackSse2F64 load(const double* p) {
+    return {_mm_load_pd(p)};
+  }
+  static SCRUTINY_SIMD_INLINE void store(double* p, PackSse2F64 a) {
+    _mm_store_pd(p, a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2F64 broadcast(double x) {
+    return {_mm_set1_pd(x)};
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2F64 zero() {
+    return {_mm_setzero_pd()};
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2F64 add(PackSse2F64 a, PackSse2F64 b) {
+    return {_mm_add_pd(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2F64 mul(PackSse2F64 a, PackSse2F64 b) {
+    return {_mm_mul_pd(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2F64 mul_add(PackSse2F64 a,
+                                                  PackSse2F64 b,
+                                                  PackSse2F64 c) {
+    return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+  }
+  // SSE2 has no fused op; fall back to the unfused sequence.
+  static SCRUTINY_SIMD_INLINE PackSse2F64 fma(PackSse2F64 a, PackSse2F64 b,
+                                              PackSse2F64 c) {
+    return mul_add(a, b, c);
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2F64 blend(PackSse2F64 a, PackSse2F64 b,
+                                                PackSse2F64 mask) {
+    return {_mm_or_pd(_mm_andnot_pd(mask.v, a.v), _mm_and_pd(mask.v, b.v))};
+  }
+};
+
+struct PackSse2U64 {
+  static constexpr std::size_t kWidth = 2;
+  __m128i v;
+  static SCRUTINY_SIMD_INLINE PackSse2U64 load(const std::uint64_t* p) {
+    return {_mm_load_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static SCRUTINY_SIMD_INLINE void store(std::uint64_t* p, PackSse2U64 a) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2U64 broadcast(std::uint64_t x) {
+    return {_mm_set1_epi64x(static_cast<long long>(x))};
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2U64 zero() {
+    return {_mm_setzero_si128()};
+  }
+  static SCRUTINY_SIMD_INLINE PackSse2U64 bit_or(PackSse2U64 a,
+                                                 PackSse2U64 b) {
+    return {_mm_or_si128(a.v, b.v)};
+  }
+};
+
+#endif  // __SSE2__
+
+// ---------------------------------------------------------------------------
+// AVX2 (+FMA) — only in TUs compiled with -mavx2 -mfma.
+// ---------------------------------------------------------------------------
+#if defined(__AVX2__)
+
+struct PackAvx2F64 {
+  static constexpr std::size_t kWidth = 4;
+  __m256d v;
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 load(const double* p) {
+    return {_mm256_load_pd(p)};
+  }
+  static SCRUTINY_SIMD_INLINE void store(double* p, PackAvx2F64 a) {
+    _mm256_store_pd(p, a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 broadcast(double x) {
+    return {_mm256_set1_pd(x)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 zero() {
+    return {_mm256_setzero_pd()};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 add(PackAvx2F64 a, PackAvx2F64 b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 mul(PackAvx2F64 a, PackAvx2F64 b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  // Deliberately NOT _mm256_fmadd_pd: the sweep's bit-identity contract
+  // needs the same two roundings as the scalar reference.
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 mul_add(PackAvx2F64 a,
+                                                  PackAvx2F64 b,
+                                                  PackAvx2F64 c) {
+    return {_mm256_add_pd(_mm256_mul_pd(a.v, b.v), c.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 fma(PackAvx2F64 a, PackAvx2F64 b,
+                                              PackAvx2F64 c) {
+#if defined(__FMA__)
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+    return mul_add(a, b, c);
+#endif
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2F64 blend(PackAvx2F64 a, PackAvx2F64 b,
+                                                PackAvx2F64 mask) {
+    return {_mm256_blendv_pd(a.v, b.v, mask.v)};
+  }
+};
+
+struct PackAvx2U64 {
+  static constexpr std::size_t kWidth = 4;
+  __m256i v;
+  static SCRUTINY_SIMD_INLINE PackAvx2U64 load(const std::uint64_t* p) {
+    return {_mm256_load_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static SCRUTINY_SIMD_INLINE void store(std::uint64_t* p, PackAvx2U64 a) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2U64 broadcast(std::uint64_t x) {
+    return {_mm256_set1_epi64x(static_cast<long long>(x))};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2U64 zero() {
+    return {_mm256_setzero_si256()};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx2U64 bit_or(PackAvx2U64 a,
+                                                 PackAvx2U64 b) {
+    return {_mm256_or_si256(a.v, b.v)};
+  }
+};
+
+#endif  // __AVX2__
+
+// ---------------------------------------------------------------------------
+// AVX-512 (F+VL+DQ) — only in TUs compiled with the matching -m flags.
+// ---------------------------------------------------------------------------
+#if defined(__AVX512F__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+
+struct PackAvx512F64 {
+  static constexpr std::size_t kWidth = 8;
+  __m512d v;
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 load(const double* p) {
+    return {_mm512_load_pd(p)};
+  }
+  static SCRUTINY_SIMD_INLINE void store(double* p, PackAvx512F64 a) {
+    _mm512_store_pd(p, a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 broadcast(double x) {
+    return {_mm512_set1_pd(x)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 zero() {
+    return {_mm512_setzero_pd()};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 add(PackAvx512F64 a,
+                                                PackAvx512F64 b) {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 mul(PackAvx512F64 a,
+                                                PackAvx512F64 b) {
+    return {_mm512_mul_pd(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 mul_add(PackAvx512F64 a,
+                                                    PackAvx512F64 b,
+                                                    PackAvx512F64 c) {
+    return {_mm512_add_pd(_mm512_mul_pd(a.v, b.v), c.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 fma(PackAvx512F64 a,
+                                                PackAvx512F64 b,
+                                                PackAvx512F64 c) {
+    return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512F64 blend(PackAvx512F64 a,
+                                                  PackAvx512F64 b,
+                                                  PackAvx512F64 mask) {
+    const __mmask8 bits = _mm512_movepi64_mask(_mm512_castpd_si512(mask.v));
+    return {_mm512_mask_blend_pd(bits, a.v, b.v)};
+  }
+};
+
+struct PackAvx512U64 {
+  static constexpr std::size_t kWidth = 8;
+  __m512i v;
+  static SCRUTINY_SIMD_INLINE PackAvx512U64 load(const std::uint64_t* p) {
+    return {_mm512_load_si512(p)};
+  }
+  static SCRUTINY_SIMD_INLINE void store(std::uint64_t* p, PackAvx512U64 a) {
+    _mm512_store_si512(p, a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512U64 broadcast(std::uint64_t x) {
+    return {_mm512_set1_epi64(static_cast<long long>(x))};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512U64 zero() {
+    return {_mm512_setzero_si512()};
+  }
+  static SCRUTINY_SIMD_INLINE PackAvx512U64 bit_or(PackAvx512U64 a,
+                                                   PackAvx512U64 b) {
+    return {_mm512_or_si512(a.v, b.v)};
+  }
+};
+
+#endif  // AVX-512 F+VL+DQ
+
+// ---------------------------------------------------------------------------
+// NEON — baseline on every aarch64 CPU.
+// ---------------------------------------------------------------------------
+#if defined(__aarch64__)
+
+struct PackNeonF64 {
+  static constexpr std::size_t kWidth = 2;
+  float64x2_t v;
+  static SCRUTINY_SIMD_INLINE PackNeonF64 load(const double* p) {
+    return {vld1q_f64(p)};
+  }
+  static SCRUTINY_SIMD_INLINE void store(double* p, PackNeonF64 a) {
+    vst1q_f64(p, a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 broadcast(double x) {
+    return {vdupq_n_f64(x)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 zero() {
+    return {vdupq_n_f64(0.0)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 add(PackNeonF64 a, PackNeonF64 b) {
+    return {vaddq_f64(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 mul(PackNeonF64 a, PackNeonF64 b) {
+    return {vmulq_f64(a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 mul_add(PackNeonF64 a,
+                                                  PackNeonF64 b,
+                                                  PackNeonF64 c) {
+    return {vaddq_f64(vmulq_f64(a.v, b.v), c.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 fma(PackNeonF64 a, PackNeonF64 b,
+                                              PackNeonF64 c) {
+    return {vfmaq_f64(c.v, a.v, b.v)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonF64 blend(PackNeonF64 a, PackNeonF64 b,
+                                                PackNeonF64 mask) {
+    return {vbslq_f64(vreinterpretq_u64_f64(mask.v), b.v, a.v)};
+  }
+};
+
+struct PackNeonU64 {
+  static constexpr std::size_t kWidth = 2;
+  uint64x2_t v;
+  static SCRUTINY_SIMD_INLINE PackNeonU64 load(const std::uint64_t* p) {
+    return {vld1q_u64(p)};
+  }
+  static SCRUTINY_SIMD_INLINE void store(std::uint64_t* p, PackNeonU64 a) {
+    vst1q_u64(p, a.v);
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonU64 broadcast(std::uint64_t x) {
+    return {vdupq_n_u64(x)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonU64 zero() {
+    return {vdupq_n_u64(0)};
+  }
+  static SCRUTINY_SIMD_INLINE PackNeonU64 bit_or(PackNeonU64 a,
+                                                 PackNeonU64 b) {
+    return {vorrq_u64(a.v, b.v)};
+  }
+};
+
+#endif  // __aarch64__
+
+}  // namespace scrutiny::support

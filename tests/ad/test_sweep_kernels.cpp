@@ -1,0 +1,334 @@
+// Sweep kernel table correctness: the run-length statement encoding, the
+// scalar-vs-SIMD bit-identity contract at every lane stride, the 64-byte
+// alignment guarantee VectorAdjoints must preserve across growth, and the
+// CLI-facing kernel-choice plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "ad/adjoint_models.hpp"
+#include "ad/sweep_kernels.hpp"
+#include "ad/tape.hpp"
+#include "ad/tape_storage.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KindRun encoding
+// ---------------------------------------------------------------------------
+
+TEST(KindRun, PacksStatementsAndArgCount) {
+  const KindRun run = KindRun::make(12345, 7);
+  EXPECT_EQ(run.statements(), 12345u);
+  EXPECT_EQ(run.arg_count(), 7u);
+  EXPECT_EQ(KindRun::make(1, 0).arg_count(), 0u);
+  EXPECT_EQ(KindRun::make(1, 255).arg_count(), 255u);
+}
+
+TEST(KindRun, ExtendIncrementsOnlyTheStatementCount) {
+  KindRun run = KindRun::make(1, 3);
+  EXPECT_TRUE(run.can_extend());
+  run.extend();
+  EXPECT_EQ(run.statements(), 2u);
+  EXPECT_EQ(run.arg_count(), 3u);
+}
+
+TEST(KindRun, SaturatesAtTheRunCapacity) {
+  KindRun full = KindRun::make(KindRun::kMaxRunStatements, 2);
+  EXPECT_FALSE(full.can_extend());
+  KindRun nearly = KindRun::make(KindRun::kMaxRunStatements - 1, 2);
+  EXPECT_TRUE(nearly.can_extend());
+  nearly.extend();
+  EXPECT_FALSE(nearly.can_extend());
+}
+
+TEST(KindRun, SegmentAppendExtendsMatchingRunsAndSplitsOthers) {
+  TapeSegment segment;
+  segment.append_statement(1);
+  segment.append_statement(1);
+  segment.append_statement(2);
+  segment.append_statement(0);
+  segment.append_statement(0);
+  segment.append_statement(1);
+  EXPECT_EQ(segment.num_statements, 6u);
+  const std::vector<KindRun> want = {
+      KindRun::make(2, 1), KindRun::make(1, 2), KindRun::make(2, 0),
+      KindRun::make(1, 1)};
+  EXPECT_EQ(segment.kind_runs, want);
+}
+
+TEST(KindRun, SegmentAppendSplitsFullRuns) {
+  // Don't loop 16M times: pre-load a saturated run and append once more.
+  TapeSegment segment;
+  segment.kind_runs.push_back(KindRun::make(KindRun::kMaxRunStatements, 1));
+  segment.num_statements = KindRun::kMaxRunStatements;
+  segment.append_statement(1);
+  ASSERT_EQ(segment.kind_runs.size(), 2u);
+  EXPECT_EQ(segment.kind_runs[1], KindRun::make(1, 1));
+  EXPECT_EQ(segment.num_statements, KindRun::kMaxRunStatements + 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs SIMD bit-identity
+// ---------------------------------------------------------------------------
+
+// Records a tape that exercises every kernel path: 0-arg input
+// statements interleaved mid-stream, 1-arg and 2-arg runs, a wide
+// statement (> 2 args, its own run), exact-zero partials (must be
+// skipped, not accumulated), and values whose accumulation order would
+// show up in the last bits if a kernel reordered or fused anything.
+Identifier record_torture_tape(Tape& tape) {
+  Identifier a = tape.register_input();
+  Identifier b = tape.register_input();
+  Identifier v = a;
+  for (int i = 0; i < 200; ++i) {
+    v = tape.push2(1.0 + 1.0 / (i + 1), v, 0.3333333333333333, b);
+    v = tape.push1(0.9999999, v);
+    if (i % 17 == 0) {
+      b = tape.register_input();  // a 0-arg run mid-stream
+    }
+    if (i % 13 == 0) {
+      v = tape.push2(0.0, a, 1.0000001, v);  // exact-zero partial
+    }
+    if (i % 29 == 0) {
+      const double partials[] = {0.1, 0.2, 0.0, 0.4, 0.5};
+      const Identifier ids[] = {a, b, v, v, b};
+      v = tape.push_statement(partials, ids);
+    }
+  }
+  return v;
+}
+
+class KernelBitIdentityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelBitIdentityTest, VectorSweepMatchesScalarAtEveryStride) {
+  const std::size_t lanes = GetParam();
+
+  auto run = [&](const SweepKernelTable& table) {
+    TapeOptions options;
+    options.kernels = &table;
+    Tape tape(std::move(options));
+    const Identifier out = record_torture_tape(tape);
+    VectorAdjoints model;
+    model.configure_lanes(lanes);
+    model.resize(tape.max_identifier());
+    for (std::size_t lane = 0; lane < model.lane_stride(); ++lane) {
+      model.seed(out, lane, 1.0 + static_cast<double>(lane));
+    }
+    tape.evaluate_with(model);
+    std::vector<double> adjoints;
+    for (Identifier id = 1; id <= tape.max_identifier(); ++id) {
+      for (std::size_t lane = 0; lane < VectorAdjoints::kLanes; ++lane) {
+        adjoints.push_back(model.adjoint(id, lane));
+      }
+    }
+    return adjoints;
+  };
+
+  const auto scalar = run(scalar_kernel_table());
+  const auto simd = run(native_kernel_table());
+  ASSERT_EQ(scalar.size(), simd.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
+    EXPECT_EQ(scalar[i], simd[i]) << "adjoint " << i << " diverges at "
+                                  << lanes << " lanes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrides, KernelBitIdentityTest,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "lanes" + std::to_string(info.param);
+                         });
+
+TEST(KernelBitIdentity, BitsetSweepMatchesAcrossTables) {
+  auto run = [&](const SweepKernelTable& table) {
+    TapeOptions options;
+    options.kernels = &table;
+    Tape tape(std::move(options));
+    const Identifier out = record_torture_tape(tape);
+    BitsetAdjoints model;
+    model.resize(tape.max_identifier());
+    model.seed(out, 0);
+    model.seed(out, 63);
+    tape.evaluate_with(model);
+    std::vector<std::uint64_t> words;
+    for (Identifier id = 1; id <= tape.max_identifier(); ++id) {
+      words.push_back((model.test(id, 0) ? 1u : 0u) |
+                      (model.test(id, 63) ? 2u : 0u));
+    }
+    return words;
+  };
+  EXPECT_EQ(run(scalar_kernel_table()), run(native_kernel_table()));
+}
+
+TEST(KernelBitIdentity, SegmentedSweepMatchesSingleSegment) {
+  // The kernels must give the same answer whether the tape is one big
+  // segment or many small sealed ones (the out-of-core shape).
+  auto run = [&](std::uint64_t segment_capacity) {
+    TapeOptions options;
+    options.segment_capacity = segment_capacity;
+    options.kernels = &native_kernel_table();
+    Tape tape(std::move(options));
+    const Identifier out = record_torture_tape(tape);
+    VectorAdjoints model;
+    model.resize(tape.max_identifier());
+    model.seed(out, 0, 1.0);
+    model.seed(out, 7, -2.5);
+    tape.evaluate_with(model);
+    std::vector<double> adjoints;
+    for (Identifier id = 1; id <= tape.max_identifier(); ++id) {
+      adjoints.push_back(model.adjoint(id, 0));
+      adjoints.push_back(model.adjoint(id, 7));
+    }
+    return adjoints;
+  };
+  EXPECT_EQ(run(0), run(64));
+}
+
+TEST(KernelBitIdentity, ScalarModelSweepUnchangedByKernelTable) {
+  // ScalarAdjoints rides the generic template sweep, not the kernel
+  // table — but the table choice must not perturb it either.
+  auto run = [&](const SweepKernelTable& table) {
+    TapeOptions options;
+    options.kernels = &table;
+    Tape tape(std::move(options));
+    const Identifier out = record_torture_tape(tape);
+    tape.set_adjoint(out, 1.0);
+    tape.evaluate();
+    return tape.adjoint(1);
+  };
+  EXPECT_EQ(run(scalar_kernel_table()), run(native_kernel_table()));
+}
+
+// ---------------------------------------------------------------------------
+// VectorAdjoints storage contract
+// ---------------------------------------------------------------------------
+
+TEST(VectorAdjointsStorage, LaneStorageStays64ByteAlignedAcrossGrowth) {
+  Tape tape;
+  Identifier id = tape.register_input();
+  for (int i = 0; i < 100; ++i) id = tape.push1(1.01, id);
+
+  VectorAdjoints model;
+  model.resize(tape.max_identifier());
+  const auto alignment = [&] {
+    return reinterpret_cast<std::uintptr_t>(model.lane_view().lanes) % 64;
+  };
+  EXPECT_EQ(alignment(), 0u);
+  model.seed(id, 0, 1.0);
+  tape.evaluate_with(model);
+  const double first_sweep = model.adjoint(1, 0);
+  EXPECT_NE(first_sweep, 0.0);
+
+  // Grow the tape, then the model: the reallocation must land on a
+  // 64-byte boundary again or the aligned SIMD loads would fault.
+  for (int i = 0; i < 5000; ++i) id = tape.push1(1.0001, id);
+  model.clear();
+  model.resize(tape.max_identifier());
+  EXPECT_EQ(alignment(), 0u);
+  model.seed(id, 0, 1.0);
+  tape.evaluate_with(model);
+  EXPECT_NE(model.adjoint(1, 0), 0.0);
+}
+
+TEST(VectorAdjointsStorage, ConfigureLanesRoundsUpToAPowerOfTwo) {
+  VectorAdjoints model;
+  model.configure_lanes(3);
+  EXPECT_EQ(model.lane_stride(), 4u);
+  model.configure_lanes(1);
+  EXPECT_EQ(model.lane_stride(), 1u);
+  model.configure_lanes(8);
+  EXPECT_EQ(model.lane_stride(), 8u);
+  EXPECT_THROW(model.configure_lanes(0), ScrutinyError);
+  EXPECT_THROW(model.configure_lanes(VectorAdjoints::kLanes + 1),
+               ScrutinyError);
+}
+
+TEST(VectorAdjointsStorage, RefusesToRestrideLiveStorage) {
+  VectorAdjoints model;
+  model.configure_lanes(2);
+  model.resize(16);
+  model.configure_lanes(2);  // same stride: fine
+  EXPECT_THROW(model.configure_lanes(8), ScrutinyError);
+  model.release();
+  EXPECT_EQ(model.lane_stride(), VectorAdjoints::kLanes);  // reset
+  model.configure_lanes(1);
+  EXPECT_EQ(model.lane_stride(), 1u);
+}
+
+TEST(VectorAdjointsStorage, NarrowStrideLanesReadAsZero) {
+  VectorAdjoints model;
+  model.configure_lanes(2);
+  model.resize(4);
+  model.seed(3, 0, 7.0);
+  model.seed(3, 1, 8.0);
+  EXPECT_THROW(model.seed(3, 2, 9.0), ScrutinyError);  // beyond the stride
+  EXPECT_EQ(model.adjoint(3, 0), 7.0);
+  EXPECT_EQ(model.adjoint(3, 1), 8.0);
+  EXPECT_EQ(model.adjoint(3, 7), 0.0);  // lanes past the stride don't exist
+}
+
+// ---------------------------------------------------------------------------
+// Statement width limit
+// ---------------------------------------------------------------------------
+
+TEST(SweepKernels, StatementsAcceptUpTo255Arguments) {
+  Tape tape;
+  const Identifier in = tape.register_input();
+  std::vector<double> partials(255, 0.5);
+  std::vector<Identifier> ids(255, in);
+  const Identifier wide = tape.push_statement(partials, ids);
+  tape.set_adjoint(wide, 1.0);
+  tape.evaluate();
+  EXPECT_EQ(tape.adjoint(in), 255 * 0.5);
+
+  partials.assign(256, 0.5);
+  ids.assign(256, in);
+  EXPECT_THROW(tape.push_statement(partials, ids), ScrutinyError);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(KernelChoicePlumbing, NamesRoundTrip) {
+  for (const KernelChoice choice :
+       {KernelChoice::Auto, KernelChoice::Scalar, KernelChoice::Simd}) {
+    const auto parsed = parse_kernel_choice(kernel_choice_name(choice));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, choice);
+  }
+  EXPECT_FALSE(parse_kernel_choice("avx2").has_value());
+  EXPECT_FALSE(parse_kernel_choice("").has_value());
+}
+
+TEST(KernelChoicePlumbing, TablesResolveConsistently) {
+  EXPECT_STREQ(scalar_kernel_table().name, "scalar");
+  EXPECT_NE(scalar_kernel_table().vector_sweep, nullptr);
+  EXPECT_NE(scalar_kernel_table().bitset_sweep, nullptr);
+  EXPECT_NE(native_kernel_table().vector_sweep, nullptr);
+  EXPECT_EQ(&kernel_table_for(KernelChoice::Scalar), &scalar_kernel_table());
+  EXPECT_EQ(&kernel_table_for(KernelChoice::Simd), &native_kernel_table());
+  EXPECT_EQ(&kernel_table_for(KernelChoice::Auto), &default_kernel_table());
+  // default_kernel_table() is one of the two, depending on the
+  // force-scalar env var captured at first use.
+  const SweepKernelTable* def = &default_kernel_table();
+  EXPECT_TRUE(def == &scalar_kernel_table() || def == &native_kernel_table());
+}
+
+TEST(KernelChoicePlumbing, TapeReportsItsKernelName) {
+  TapeOptions options;
+  options.kernels = &scalar_kernel_table();
+  Tape tape(std::move(options));
+  EXPECT_STREQ(tape.kernel_name(), "scalar");
+  Tape defaulted;
+  EXPECT_STREQ(defaulted.kernel_name(), default_kernel_table().name);
+}
+
+}  // namespace
+}  // namespace scrutiny::ad

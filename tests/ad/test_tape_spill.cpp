@@ -32,7 +32,7 @@ SegmentHandle make_segment(std::uint64_t first_statement,
   for (std::uint64_t k = 0; k < statements; ++k) {
     segment->partials.push_back(static_cast<double>(first_statement + k));
     segment->arg_ids.push_back(static_cast<Identifier>(k + 1));
-    segment->arg_ends.push_back(segment->partials.size());
+    segment->append_statement(1);
   }
   return segment;
 }
@@ -73,7 +73,8 @@ TEST(TapeSpill, AcquireReloadsEvictedSegmentsByteIdentical) {
     const SegmentHandle got = storage->acquire(s);
     ASSERT_NE(got, nullptr);
     EXPECT_EQ(got->first_statement, want->first_statement);
-    EXPECT_EQ(got->arg_ends, want->arg_ends);
+    EXPECT_EQ(got->num_statements, want->num_statements);
+    EXPECT_EQ(got->kind_runs, want->kind_runs);
     EXPECT_EQ(got->partials, want->partials);
     EXPECT_EQ(got->arg_ids, want->arg_ids);
   }
@@ -90,7 +91,7 @@ TEST(TapeSpill, HandlesPinSegmentsThroughEviction) {
     storage->seal(make_segment(static_cast<std::uint64_t>(s) * 64, 64));
   }
   EXPECT_EQ(pinned->first_statement, 0u);
-  EXPECT_EQ(pinned->num_statements(), 64u);
+  EXPECT_EQ(pinned->num_statements, 64u);
   EXPECT_DOUBLE_EQ(pinned->partials.front(), 0.0);
 }
 
@@ -125,7 +126,7 @@ TEST(TapeSpill, ConcurrentAcquireSharesOneLoad) {
           if (s > 0) storage->prefetch(s - 1);
           const SegmentHandle segment = storage->acquire(s);
           EXPECT_EQ(segment->first_statement, s * 64);
-          EXPECT_EQ(segment->num_statements(), 64u);
+          EXPECT_EQ(segment->num_statements, 64u);
         }
       }
     });

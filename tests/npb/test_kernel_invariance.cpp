@@ -1,0 +1,125 @@
+// Kernel invariance over the whole suite: for every NPB app, the
+// runtime-dispatched SIMD sweep kernels must produce element-identical
+// CriticalMasks and identical Table I / Table II numbers to the portable
+// scalar fallback — under the vector and bitset models, at 1 and 4
+// threads, and through the out-of-core spilling path.
+//
+// This is the acceptance gate for the SoA tape + SIMD kernel layer: the
+// kernels promise BIT-identical arithmetic (same statement order, same
+// within-statement argument order, unfused multiply-then-add, same
+// `partial == 0` skip), so any divergence here is a broken kernel or a
+// broken run-length encoding, never "expected float noise".
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "ad/adjoint_models.hpp"
+#include "ad/sweep_kernels.hpp"
+#include "core/analysis_types.hpp"
+#include "core/report.hpp"
+#include "npb/suite.hpp"
+
+namespace scrutiny::npb {
+namespace {
+
+class KernelInvarianceTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  static core::AnalysisResult analyze(BenchmarkId id, ad::SweepKind sweep,
+                                      ad::KernelChoice kernel,
+                                      std::uint32_t threads,
+                                      bool capped = false) {
+    core::AnalysisConfig cfg = default_analysis_config(
+        id, core::AnalysisMode::ReverseAD, threads);
+    cfg.sweep = sweep;
+    cfg.kernel = kernel;
+    if (capped) {
+      // A deliberately harsh budget so segments actually spill and the
+      // kernels sweep reloaded segments too.
+      cfg.tape_memory_limit = 1 << 20;
+      cfg.tape_spill_backend = ckpt::BackendKind::Memory;
+    }
+    return analyze_benchmark(id, cfg);
+  }
+
+  static void expect_identical(const core::AnalysisResult& scalar,
+                               const core::AnalysisResult& simd,
+                               const char* where) {
+    // Table II's structural numbers must not move with the kernel.
+    EXPECT_EQ(scalar.num_outputs, simd.num_outputs);
+    EXPECT_EQ(scalar.tape_stats.num_statements,
+              simd.tape_stats.num_statements);
+    EXPECT_EQ(scalar.sweep_passes, simd.sweep_passes)
+        << where << ": the kernel table changed the sweep blocking";
+
+    // Element-identical masks (word compare) and identical Table I rows.
+    ASSERT_EQ(scalar.variables.size(), simd.variables.size());
+    for (std::size_t v = 0; v < scalar.variables.size(); ++v) {
+      const auto& want = scalar.variables[v];
+      const auto& got = simd.variables[v];
+      ASSERT_EQ(want.name, got.name);
+      EXPECT_TRUE(want.mask == got.mask)
+          << simd.program << "(" << want.name << ") diverges: " << where;
+      EXPECT_EQ(want.uncritical_elements(), got.uncritical_elements());
+    }
+
+    // The printed Table I reproduction itself.
+    EXPECT_EQ(core::format_criticality_table(scalar),
+              core::format_criticality_table(simd));
+  }
+};
+
+TEST_P(KernelInvarianceTest, VectorSweepMasksAreKernelInvariant) {
+  const BenchmarkId id = GetParam();
+  for (const std::uint32_t threads : {1u, 4u}) {
+    const auto scalar =
+        analyze(id, ad::SweepKind::Vector, ad::KernelChoice::Scalar, threads);
+    const auto simd =
+        analyze(id, ad::SweepKind::Vector, ad::KernelChoice::Simd, threads);
+    expect_identical(scalar, simd,
+                     threads == 1 ? "vector/t1" : "vector/t4");
+    // IS resolves derivative modes by type policy without recording a
+    // tape, so it echoes no kernel; every app that actually sweeps must
+    // report the table it was asked for.
+    if (!scalar.kernel_name.empty()) {
+      EXPECT_EQ(scalar.kernel_name, "scalar");
+      EXPECT_EQ(simd.kernel_name, ad::native_kernel_table().name);
+    } else {
+      EXPECT_TRUE(simd.kernel_name.empty());
+    }
+  }
+}
+
+TEST_P(KernelInvarianceTest, BitsetSweepMasksAreKernelInvariant) {
+  const BenchmarkId id = GetParam();
+  for (const std::uint32_t threads : {1u, 4u}) {
+    const auto scalar =
+        analyze(id, ad::SweepKind::Bitset, ad::KernelChoice::Scalar, threads);
+    const auto simd =
+        analyze(id, ad::SweepKind::Bitset, ad::KernelChoice::Simd, threads);
+    expect_identical(scalar, simd,
+                     threads == 1 ? "bitset/t1" : "bitset/t4");
+  }
+}
+
+TEST_P(KernelInvarianceTest, SpillingSweepMasksAreKernelInvariant) {
+  // Out-of-core composition: spilled-and-reloaded segments go through
+  // the same kernels and must stay bit-identical too.
+  const BenchmarkId id = GetParam();
+  const auto scalar = analyze(id, ad::SweepKind::Vector,
+                              ad::KernelChoice::Scalar, 1, /*capped=*/true);
+  const auto simd = analyze(id, ad::SweepKind::Vector,
+                            ad::KernelChoice::Simd, 1, /*capped=*/true);
+  expect_identical(scalar, simd, "vector/t1/capped");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, KernelInvarianceTest,
+    ::testing::Values(BenchmarkId::BT, BenchmarkId::SP, BenchmarkId::LU,
+                      BenchmarkId::MG, BenchmarkId::CG, BenchmarkId::FT,
+                      BenchmarkId::EP, BenchmarkId::IS),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      return benchmark_name(info.param);
+    });
+
+}  // namespace
+}  // namespace scrutiny::npb
