@@ -1,0 +1,92 @@
+// google-benchmark: checkpoint-service scaling — aggregate drained MB/s as
+// concurrent sessions grow on one shared scheduler.
+//
+// Each session runs the real production cadence (compute, then checkpoint
+// through the scheduler) with the compute phase modelled as wall-clock
+// idle, matching the compute ≫ I/O regime the service is built for.  With
+// one session the scheduler drains one object per compute period; with N
+// sessions the same idle window carries N drains, so aggregate throughput
+// must rise with session count until storage bandwidth, not session
+// arrival, is the bottleneck.  That 1 → 4 increase is the checked-in
+// regression gate; 16 sessions probes the saturated end.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/simulator.hpp"
+
+namespace {
+
+using namespace scrutiny;
+
+void BM_ServeScaling(benchmark::State& state) {
+  const auto sessions = static_cast<std::size_t>(state.range(0));
+  serve::SimulatorConfig config;
+  config.sessions = sessions;
+  config.tenants = sessions;  // one tenant per session: no cap contention
+  config.steps = 8;
+  config.interval = 1;        // checkpoint every step
+  config.elements = 64 * 1024;  // 512 KiB state, ~256 KiB pruned container
+  config.compute_millis = 2.0;
+  config.negative_control = false;  // measure the write path, not the harness
+  config.service.scheduler.workers = 4;
+
+  std::uint64_t bytes = 0;
+  double wall_seconds = 0.0;
+  bool all_ok = true;
+  for (auto _ : state) {
+    const serve::SimulationReport report = serve::run_simulation(config);
+    bytes += report.bytes_committed;
+    wall_seconds += report.write_wall_seconds;
+    all_ok = all_ok && report.ok();
+  }
+  if (!all_ok) state.SkipWithError("simulation reported invalid restarts");
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["agg_mb_s"] = benchmark::Counter(
+      wall_seconds > 0.0 ? static_cast<double>(bytes) / wall_seconds / 1.0e6
+                         : 0.0);
+}
+BENCHMARK(BM_ServeScaling)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The policy cost probe: same workload as BM_ServeScaling at 4 sessions,
+// but all sessions share ONE tenant, so the per-tenant in-flight cap
+// serializes their drains.  The gap between this and the 4-session row
+// above is what tenant fairness costs a single noisy tenant.
+void BM_ServeSingleTenant(benchmark::State& state) {
+  serve::SimulatorConfig config;
+  config.sessions = 4;
+  config.tenants = 1;
+  config.steps = 8;
+  config.interval = 1;
+  config.elements = 64 * 1024;
+  config.compute_millis = 2.0;
+  config.negative_control = false;
+  config.service.scheduler.workers = 4;
+
+  std::uint64_t bytes = 0;
+  double wall_seconds = 0.0;
+  for (auto _ : state) {
+    const serve::SimulationReport report = serve::run_simulation(config);
+    bytes += report.bytes_committed;
+    wall_seconds += report.write_wall_seconds;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["agg_mb_s"] = benchmark::Counter(
+      wall_seconds > 0.0 ? static_cast<double>(bytes) / wall_seconds / 1.0e6
+                         : 0.0);
+}
+BENCHMARK(BM_ServeSingleTenant)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -228,4 +228,20 @@ std::uint64_t AsyncBackend::buffer_stalls() const {
   return stalls_;
 }
 
+std::size_t AsyncBackend::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t AsyncBackend::bytes_in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t bytes = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == SlotState::Queued || slot.state == SlotState::Draining) {
+      bytes += slot.buffer.size();
+    }
+  }
+  return bytes;
+}
+
 }  // namespace scrutiny::ckpt

@@ -67,6 +67,14 @@ class AsyncBackend final : public StorageBackend {
   /// overlap-miss counter; 0 means I/O fully overlapped compute).
   [[nodiscard]] std::uint64_t buffer_stalls() const;
 
+  /// Committed buffers waiting for the drain thread (queued, not yet
+  /// draining) — with two slots this is 0..2.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Bytes held in queued + draining buffers right now: the memory the
+  /// overlap is currently costing, and the backlog a join would wait on.
+  [[nodiscard]] std::uint64_t bytes_in_flight() const;
+
  private:
   enum class SlotState : std::uint8_t { Free, Filling, Queued, Draining };
 

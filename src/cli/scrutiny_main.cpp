@@ -33,6 +33,7 @@
 #include <string>
 
 #include "ad/adjoint_models.hpp"
+#include "ckpt/async_backend.hpp"
 #include "ckpt/storage_backend.hpp"
 #include "core/analysis_io.hpp"
 #include "core/program.hpp"
@@ -275,9 +276,19 @@ int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
   prepare_analysis(session, args);
   const auto comparison =
       session.compare_storage(args.get("dir", "scrutiny_ckpt_out"));
+  // Sample async pressure before the join below empties the pipeline.
+  const auto* async = dynamic_cast<ckpt::AsyncBackend*>(&session.storage());
+  const std::size_t queue_depth = async ? async->queue_depth() : 0;
+  const std::uint64_t bytes_in_flight = async ? async->bytes_in_flight() : 0;
   // Join any async drain before reporting so errors fail the command.
   session.storage().wait();
   std::printf("storage backend: %s\n", backend_name.c_str());
+  if (async != nullptr) {
+    std::printf("async pressure: queue depth %zu, %s in flight at report, "
+                "%s buffer stalls\n",
+                queue_depth, human_bytes(bytes_in_flight).c_str(),
+                with_commas(async->buffer_stalls()).c_str());
+  }
   TablePrinter table({"Benchmark", "Original", "Optimized", "Storage saved",
                       "Write (full/pruned)", "MB/s (full/pruned)"});
   table.add_row({comparison.program, human_bytes(comparison.payload_full),

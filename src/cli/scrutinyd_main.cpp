@@ -1,0 +1,196 @@
+// scrutinyd — the checkpoint-service front end.
+//
+// Subcommands:
+//   simulate [--sessions N] [--tenants K] [--steps N] [--interval N]
+//            [--elements N] [--keep-slots N] [--compute-millis X]
+//            [--shards N] [--workers N] [--inflight-cap N] [--quota BYTES]
+//            [--buffer-budget BYTES] [--backend memory|file] [--dir PATH]
+//            [--full] [--chaos torn,slow,crash,bitflip|all|none]
+//            [--chaos-seed N] [--no-negative-control]
+//       Drive N concurrent sessions through the shared service (sharded
+//       store + bounded write scheduler), optionally under chaos, then
+//       fail every node, restart each session from storage, and verify
+//       the restored state.  Exits nonzero unless every session restarts
+//       from a valid slot and every negative control detects corruption.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "serve/simulator.hpp"
+#include "support/cli_args.hpp"
+#include "support/error.hpp"
+#include "support/format_util.hpp"
+#include "support/table_printer.hpp"
+
+namespace {
+
+using namespace scrutiny;
+
+void print_usage(std::FILE* stream) {
+  std::fprintf(
+      stream,
+      "usage: scrutinyd simulate [options]\n"
+      "\n"
+      "  workload:\n"
+      "    --sessions N        concurrent sessions (default 4)\n"
+      "    --tenants K         tenants, sessions assigned round-robin "
+      "(default 2)\n"
+      "    --steps N           compute steps per session (default 24)\n"
+      "    --interval N        checkpoint every N steps (default 4)\n"
+      "    --elements N        doubles of state per session (default 4096)\n"
+      "    --keep-slots N      checkpoint slots retained (default 2)\n"
+      "    --compute-millis X  simulated compute per step (default 0)\n"
+      "    --full              write full checkpoints (default: pruned)\n"
+      "  service:\n"
+      "    --shards N          store shards (default 8)\n"
+      "    --workers N         shared drain pool threads (default 2)\n"
+      "    --inflight-cap N    concurrent drains per tenant (default 1)\n"
+      "    --quota BYTES       per-tenant undrained-byte quota (default "
+      "unlimited)\n"
+      "    --buffer-budget B   global staging budget bytes (default 256M)\n"
+      "    --backend KIND      memory|file (default memory)\n"
+      "    --dir PATH          file-backend root (default scrutinyd_store)\n"
+      "  chaos:\n"
+      "    --chaos MODES       comma list of torn,slow,crash,bitflip;\n"
+      "                        or all / none (default none)\n"
+      "    --chaos-seed N      deterministic chaos seed (default "
+      "0x5c201a)\n"
+      "    --no-negative-control  skip the corrupt-critical control\n");
+}
+
+int usage() {
+  print_usage(stderr);
+  return 2;
+}
+
+/// `torn,slow` / `all` / `none` → probabilities in the config.
+void apply_chaos_modes(serve::SimulatorConfig& config,
+                       const std::string& modes) {
+  std::stringstream stream(modes);
+  std::string mode;
+  while (std::getline(stream, mode, ',')) {
+    if (mode.empty() || mode == "none") continue;
+    if (mode == "torn" || mode == "all") {
+      config.chaos.torn_write_probability = 0.15;
+    }
+    if (mode == "slow" || mode == "all") {
+      config.chaos.slow_drain_probability = 0.25;
+    }
+    if (mode == "crash" || mode == "all") config.crash_probability = 0.3;
+    if (mode == "bitflip" || mode == "all") {
+      config.bitflip_final_probability = 0.5;
+    }
+    if (mode != "torn" && mode != "slow" && mode != "crash" &&
+        mode != "bitflip" && mode != "all") {
+      throw ScrutinyError("unknown chaos mode: " + mode +
+                          " (expected torn, slow, crash, bitflip, all, "
+                          "or none)");
+    }
+  }
+}
+
+int cmd_simulate(const CliArgs& args) {
+  args.require_known({"help", "sessions", "tenants", "steps", "interval",
+                      "elements", "keep-slots", "compute-millis", "full",
+                      "shards", "workers", "inflight-cap", "quota",
+                      "buffer-budget", "backend", "dir", "chaos",
+                      "chaos-seed", "no-negative-control"});
+  serve::SimulatorConfig config;
+  config.sessions = args.get_uint("sessions", 4);
+  config.tenants = args.get_uint("tenants", 2);
+  config.steps = args.get_uint("steps", 24);
+  config.interval = args.get_uint("interval", 4);
+  config.elements = args.get_uint("elements", 4096);
+  config.keep_slots =
+      static_cast<std::uint32_t>(args.get_uint("keep-slots", 2));
+  config.compute_millis = args.get_double("compute-millis", 0.0);
+  config.pruned = !args.has("full");
+  config.negative_control = !args.has("no-negative-control");
+
+  config.service.store.num_shards = args.get_uint("shards", 8);
+  const std::string kind_text = args.get("backend", "memory");
+  const auto kind = ckpt::parse_backend_kind(kind_text);
+  SCRUTINY_REQUIRE(kind.has_value(),
+                   "unknown storage backend: " + kind_text +
+                       " (expected file or memory)");
+  config.service.store.kind = *kind;
+  config.service.store.root = args.get("dir", "scrutinyd_store");
+  config.service.scheduler.workers = args.get_uint("workers", 2);
+  config.service.scheduler.tenant_inflight_cap =
+      args.get_uint("inflight-cap", 1);
+  config.service.scheduler.tenant_pending_quota = args.get_uint("quota", 0);
+  config.service.scheduler.max_buffered_bytes =
+      args.get_uint("buffer-budget", std::uint64_t{256} << 20);
+  config.chaos.seed = args.get_uint("chaos-seed", config.seed);
+  config.seed = config.chaos.seed;
+  apply_chaos_modes(config, args.get("chaos", "none"));
+
+  const serve::SimulationReport report = serve::run_simulation(config);
+
+  TablePrinter table({"Tenant", "Program", "Ckpts", "IO errs", "Crashed",
+                      "Restored step", "Restart", "Verified"});
+  for (const serve::SessionResult& session : report.sessions) {
+    table.add_row(
+        {session.tenant, session.program,
+         with_commas(session.checkpoints_committed),
+         with_commas(session.storage_errors + session.quota_skips),
+         session.crashed ? "yes" : "-",
+         session.restored_step ? with_commas(*session.restored_step) : "-",
+         session.restart_valid ? "valid" : "INVALID",
+         session.verified ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf("sessions: %zu over %zu tenant(s), %zu shard(s), %s drained "
+              "in %s (%s MB/s aggregate)\n",
+              report.sessions.size(),
+              static_cast<std::size_t>(config.tenants), report.shards,
+              human_bytes(report.bytes_committed).c_str(),
+              seconds(report.write_wall_seconds).c_str(),
+              fixed(report.mb_per_second(), 1).c_str());
+  std::printf("scheduler: %s submitted, %s completed, %s failed; peak "
+              "in-flight %s / queue %s; stalls %s, quota rejections %s\n",
+              with_commas(report.scheduler.submitted).c_str(),
+              with_commas(report.scheduler.completed).c_str(),
+              with_commas(report.scheduler.failed).c_str(),
+              human_bytes(report.scheduler.peak_bytes_in_flight).c_str(),
+              with_commas(report.scheduler.peak_queue_depth).c_str(),
+              with_commas(report.scheduler.admission_stalls).c_str(),
+              with_commas(report.scheduler.quota_rejections).c_str());
+  std::printf("chaos: %s torn writes, %s slow drains, %s bit flips, %s "
+              "crashes; %s drain errors surfaced\n",
+              with_commas(report.torn_writes).c_str(),
+              with_commas(report.slow_drains).c_str(),
+              with_commas(report.bitflips).c_str(),
+              with_commas(report.crashes).c_str(),
+              with_commas(report.drain_errors_surfaced).c_str());
+  std::printf("durability: every session restarts from a valid slot: %s\n",
+              report.ok() ? "YES" : "NO");
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (args.positional().empty()) return usage();
+  const std::string command = args.positional()[0];
+  try {
+    if (command == "help") {
+      print_usage(stdout);
+      return 0;
+    }
+    if (command == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const scrutiny::ScrutinyError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,148 @@
+#include "serve/chaos.hpp"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/byte_buffer.hpp"
+#include "support/error.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::serve {
+
+namespace {
+
+/// Buffers the object so commit() can decide its fate (publish clean,
+/// publish corrupted, or tear) with the whole payload in hand.
+class ChaosWriter final : public ckpt::StorageWriter {
+ public:
+  ChaosWriter(ChaosBackend& chaos, std::string key)
+      : chaos_(&chaos), key_(std::move(key)) {}
+
+  void append(const void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(!committed_, "append after commit");
+    append_bytes(buffer_, data, size);
+    chaos_->maybe_slow();
+  }
+
+  void commit() override {
+    SCRUTINY_REQUIRE(!committed_, "double commit");
+    committed_ = true;
+    chaos_->commit_with_chaos(key_, std::move(buffer_));
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    return buffer_.size();
+  }
+
+ private:
+  ChaosBackend* chaos_;
+  std::string key_;
+  std::vector<std::byte> buffer_;
+  bool committed_ = false;
+};
+
+/// `app.00042.ckpt` → `app.`: the basename prefix whose committed objects
+/// count as fallback slots for the bitflip guard.
+std::string basename_prefix(const std::string& key) {
+  const std::size_t dot = key.find('.');
+  return dot == std::string::npos ? key : key.substr(0, dot + 1);
+}
+
+}  // namespace
+
+ChaosBackend::ChaosBackend(std::shared_ptr<ckpt::StorageBackend> inner,
+                           ChaosConfig config)
+    : inner_(std::move(inner)), config_(config), rng_state_(config.seed) {
+  SCRUTINY_REQUIRE(inner_ != nullptr, "chaos backend needs an inner store");
+}
+
+double ChaosBackend::draw() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hashed_uniform(rng_state_++);
+}
+
+void ChaosBackend::maybe_slow() {
+  if (config_.slow_drain_probability <= 0.0) return;
+  if (draw() >= config_.slow_drain_probability) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++slow_drains_;
+  }
+  std::this_thread::sleep_for(config_.slow_drain_delay);
+}
+
+void ChaosBackend::commit_with_chaos(const std::string& key,
+                                     std::vector<std::byte> bytes) {
+  if (config_.torn_write_probability > 0.0 &&
+      draw() < config_.torn_write_probability) {
+    // Stage a partial write, then fail before commit: the inner backend's
+    // atomic protocol publishes nothing, like a real power cut mid-drain.
+    auto writer = inner_->open_for_write(key);
+    writer->append(bytes.data(), bytes.size() / 2);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++torn_writes_;
+    }
+    throw ScrutinyError("chaos: injected torn write for " + key);
+  }
+  bool flip = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    flip = std::exchange(bitflip_armed_, false);
+  }
+  if (flip) {
+    // Guard: corrupt only when another committed object shares the
+    // basename, so restart always has a valid fallback slot to find.
+    bool has_fallback = false;
+    for (const std::string& other : inner_->list(basename_prefix(key))) {
+      if (other != key) {
+        has_fallback = true;
+        break;
+      }
+    }
+    if (has_fallback && !bytes.empty()) {
+      bytes[bytes.size() / 2] ^= std::byte{0x40};
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++bitflips_;
+    } else {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++bitflips_skipped_;
+    }
+  }
+  auto writer = inner_->open_for_write(key);
+  writer->append(bytes.data(), bytes.size());
+  writer->commit();
+}
+
+std::unique_ptr<ckpt::StorageWriter> ChaosBackend::open_for_write(
+    const std::string& key) {
+  return std::make_unique<ChaosWriter>(*this, key);
+}
+
+void ChaosBackend::arm_bitflip() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bitflip_armed_ = true;
+}
+
+std::uint64_t ChaosBackend::torn_writes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return torn_writes_;
+}
+
+std::uint64_t ChaosBackend::slow_drains() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slow_drains_;
+}
+
+std::uint64_t ChaosBackend::bitflips() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bitflips_;
+}
+
+std::uint64_t ChaosBackend::bitflips_skipped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bitflips_skipped_;
+}
+
+}  // namespace scrutiny::serve

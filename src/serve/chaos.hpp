@@ -1,0 +1,99 @@
+// Chaos injection for the checkpoint service: a storage decorator that
+// makes drains fail the way real storage fails.
+//
+// Failure modes (all deterministic given the seed):
+//   torn write — commit() throws after staging partial bytes; the inner
+//       backend's append→commit protocol guarantees nothing is published,
+//       so this exercises the failed-drain path: the scheduler records a
+//       tenant error, drained() goes false, and slot rotation must defer
+//       instead of deleting the last durable checkpoint.
+//   slow drain — append() sleeps, holding a drain worker; under load this
+//       is what makes the scheduler's admission backpressure and stall
+//       counters move.
+//   bit flip (armed explicitly) — commit() publishes the object with one
+//       byte corrupted, modelling silent media corruption that only the
+//       CRC-64 trailer catches at restart.  The flip is *guarded*: it is
+//       skipped unless another committed object shares the key's basename
+//       prefix, so a harness that arms it never corrupts a session's only
+//       slot — matching physical reality, where atomic-rename commit means
+//       a torn write can destroy at most the write in progress, and
+//       letting the harness assert "every tenant restarts" deterministically.
+//
+// The memory-poisoning half of a crash (lost node state) is the seed
+// FailureInjector's job (ckpt/failure.hpp); ChaosBackend covers the
+// storage-side failures, and the simulator composes both.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::serve {
+
+struct ChaosConfig {
+  double torn_write_probability = 0.0;
+  double slow_drain_probability = 0.0;
+  std::chrono::milliseconds slow_drain_delay{5};
+  std::uint64_t seed = 0x5eed;
+};
+
+class ChaosBackend final : public ckpt::StorageBackend {
+ public:
+  ChaosBackend(std::shared_ptr<ckpt::StorageBackend> inner,
+               ChaosConfig config);
+
+  [[nodiscard]] std::unique_ptr<ckpt::StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<ckpt::StorageReader> open_for_read(
+      const std::string& key) override {
+    return inner_->open_for_read(key);
+  }
+  [[nodiscard]] bool exists(const std::string& key) override {
+    return inner_->exists(key);
+  }
+  void remove(const std::string& key) override { inner_->remove(key); }
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override {
+    return inner_->list(prefix);
+  }
+  void wait() override { inner_->wait(); }
+  [[nodiscard]] bool drained() override { return inner_->drained(); }
+  [[nodiscard]] std::string name() const override {
+    return "chaos(" + inner_->name() + ")";
+  }
+
+  /// Corrupts the next committed object (one byte XOR), subject to the
+  /// another-valid-object guard described above.
+  void arm_bitflip();
+
+  [[nodiscard]] std::uint64_t torn_writes() const;
+  [[nodiscard]] std::uint64_t slow_drains() const;
+  [[nodiscard]] std::uint64_t bitflips() const;
+  [[nodiscard]] std::uint64_t bitflips_skipped() const;
+
+  /// Writer plumbing (public for the staging writer; not a user API).
+  void maybe_slow();
+  void commit_with_chaos(const std::string& key,
+                         std::vector<std::byte> bytes);
+
+ private:
+  /// Deterministic uniform draw in (0,1).
+  double draw();
+
+  std::shared_ptr<ckpt::StorageBackend> inner_;
+  ChaosConfig config_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t rng_state_;
+  bool bitflip_armed_ = false;
+  std::uint64_t torn_writes_ = 0;
+  std::uint64_t slow_drains_ = 0;
+  std::uint64_t bitflips_ = 0;
+  std::uint64_t bitflips_skipped_ = 0;
+};
+
+}  // namespace scrutiny::serve

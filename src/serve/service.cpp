@@ -1,0 +1,39 @@
+#include "serve/service.hpp"
+
+namespace scrutiny::serve {
+
+CheckpointService::CheckpointService(ServiceConfig config)
+    : store_(std::make_shared<ShardedStore>(config.store)),
+      scheduler_(std::make_shared<WriteScheduler>(config.scheduler)) {}
+
+std::shared_ptr<ScheduledBackend> CheckpointService::open_session(
+    const std::string& tenant, const StoreDecorator& decorate) {
+  std::shared_ptr<ckpt::StorageBackend> view =
+      std::make_shared<TenantStore>(store_, tenant);
+  if (decorate) {
+    view = decorate(std::move(view));
+    SCRUTINY_REQUIRE(view != nullptr,
+                     "session decorator returned a null backend");
+  }
+  auto session =
+      std::make_shared<ScheduledBackend>(scheduler_, tenant, std::move(view));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tenants_.insert(tenant);
+    ++sessions_opened_;
+  }
+  return session;
+}
+
+ServiceStats CheckpointService::stats() const {
+  ServiceStats stats;
+  stats.scheduler = scheduler_->stats();
+  stats.shards = store_->num_shards();
+  stats.objects = store_->object_count();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats.sessions_opened = sessions_opened_;
+  stats.tenants = tenants_.size();
+  return stats;
+}
+
+}  // namespace scrutiny::serve

@@ -1,0 +1,85 @@
+// Checkpoint service: the shared store + scheduler pair behind every
+// session.
+//
+//   sessions ── ScheduledBackend (stage + policy) ──┐
+//   sessions ── ScheduledBackend ───────────────────┼── WriteScheduler
+//   sessions ── ScheduledBackend ───────────────────┘     (K workers)
+//                                                            │ drains
+//                                                    TenantStore views
+//                                                            │
+//                                                      ShardedStore
+//                                                     (per-shard locks)
+//
+// open_session() hands a session a StorageBackend that looks private but
+// is physically multiplexed: keys are namespaced under the tenant, writes
+// are staged with the bounded scheduler, and the drain lands in the
+// tenant's shard.  A CheckpointManager seated on it keeps every PR 4
+// durability property — in particular, slot rotation defers while the
+// tenant has undrained or failed writes, so no failure ordering can delete
+// a tenant's last durable checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "serve/sharded_store.hpp"
+#include "serve/write_scheduler.hpp"
+
+namespace scrutiny::serve {
+
+struct ServiceConfig {
+  ShardedStoreConfig store;
+  SchedulerConfig scheduler;
+};
+
+struct ServiceStats {
+  SchedulerStats scheduler;
+  std::size_t shards = 0;
+  std::size_t sessions_opened = 0;
+  std::size_t tenants = 0;
+  std::uint64_t objects = 0;  ///< committed objects across all shards
+};
+
+class CheckpointService {
+ public:
+  explicit CheckpointService(ServiceConfig config);
+
+  /// Decorator hook for the drain target (the chaos harness wraps the
+  /// tenant view here); identity when empty.
+  using StoreDecorator = std::function<std::shared_ptr<ckpt::StorageBackend>(
+      std::shared_ptr<ckpt::StorageBackend>)>;
+
+  /// Opens a session for `tenant`: a scheduler-staged, tenant-namespaced
+  /// backend.  Many sessions per tenant are fine as long as their object
+  /// keys (checkpoint basenames) differ.
+  [[nodiscard]] std::shared_ptr<ScheduledBackend> open_session(
+      const std::string& tenant, const StoreDecorator& decorate = {});
+
+  /// Blocks until every tenant's writes are drained; rethrows the first
+  /// pending background error (once).
+  void wait_all() { scheduler_->wait_all(); }
+
+  [[nodiscard]] const std::shared_ptr<ShardedStore>& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const std::shared_ptr<WriteScheduler>& scheduler()
+      const noexcept {
+    return scheduler_;
+  }
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  std::shared_ptr<ShardedStore> store_;
+  std::shared_ptr<WriteScheduler> scheduler_;
+
+  mutable std::mutex mutex_;
+  std::set<std::string> tenants_;
+  std::size_t sessions_opened_ = 0;
+};
+
+}  // namespace scrutiny::serve

@@ -1,0 +1,174 @@
+#include "serve/sharded_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ckpt/file_backend.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "support/error.hpp"
+#include "support/stable_hash.hpp"
+
+namespace scrutiny::serve {
+
+bool is_valid_tenant_name(std::string_view name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  if (name == "." || name == "..") return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+  });
+}
+
+std::string tenant_key(std::string_view tenant, std::string_view key) {
+  SCRUTINY_REQUIRE(is_valid_tenant_name(tenant),
+                   "invalid tenant name: " + std::string(tenant));
+  SCRUTINY_REQUIRE(!key.empty() && key.find('/') == std::string_view::npos,
+                   "invalid object key (empty or contains '/'): " +
+                       std::string(key));
+  std::string full;
+  full.reserve(tenant.size() + 1 + key.size());
+  full.append(tenant).push_back('/');
+  full.append(key);
+  return full;
+}
+
+std::string_view tenant_of_key(std::string_view full_key) {
+  const std::size_t slash = full_key.find('/');
+  SCRUTINY_REQUIRE(slash != std::string_view::npos && slash > 0,
+                   "key has no tenant namespace: " + std::string(full_key));
+  const std::string_view tenant = full_key.substr(0, slash);
+  SCRUTINY_REQUIRE(is_valid_tenant_name(tenant),
+                   "invalid tenant in key: " + std::string(full_key));
+  return tenant;
+}
+
+ShardedStore::ShardedStore(ShardedStoreConfig config)
+    : config_(std::move(config)) {
+  SCRUTINY_REQUIRE(config_.num_shards > 0, "store needs at least one shard");
+  SCRUTINY_REQUIRE(config_.num_shards <= 4096,
+                   "implausible shard count (max 4096)");
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    if (config_.kind == ckpt::BackendKind::Memory) {
+      shards_.push_back(std::make_unique<ckpt::MemoryBackend>());
+    } else {
+      char dir[32];
+      std::snprintf(dir, sizeof(dir), "shard_%03zu", i);
+      const std::filesystem::path root = config_.root / dir;
+      std::filesystem::create_directories(root);
+      shards_.push_back(std::make_unique<ckpt::FileBackend>(root));
+    }
+  }
+}
+
+std::size_t ShardedStore::shard_of(std::string_view tenant) const noexcept {
+  return static_cast<std::size_t>(support::stable_hash64(tenant) %
+                                  shards_.size());
+}
+
+ckpt::StorageBackend& ShardedStore::shard_for_key(std::string_view key) {
+  return *shards_[shard_of(tenant_of_key(key))];
+}
+
+std::unique_ptr<ckpt::StorageWriter> ShardedStore::open_for_write(
+    const std::string& key) {
+  return shard_for_key(key).open_for_write(key);
+}
+
+std::unique_ptr<ckpt::StorageReader> ShardedStore::open_for_read(
+    const std::string& key) {
+  return shard_for_key(key).open_for_read(key);
+}
+
+bool ShardedStore::exists(const std::string& key) {
+  return shard_for_key(key).exists(key);
+}
+
+void ShardedStore::remove(const std::string& key) {
+  shard_for_key(key).remove(key);
+}
+
+std::vector<std::string> ShardedStore::list(const std::string& prefix) {
+  if (prefix.empty()) {
+    std::vector<std::string> all;
+    for (const auto& shard : shards_) {
+      std::vector<std::string> keys = shard->list("");
+      all.insert(all.end(), std::make_move_iterator(keys.begin()),
+                 std::make_move_iterator(keys.end()));
+    }
+    return all;
+  }
+  // A non-empty prefix must name a tenant (possibly with a partial object
+  // key after the slash) so exactly one shard holds every match.
+  const std::size_t slash = prefix.find('/');
+  const std::string_view tenant =
+      slash == std::string::npos ? std::string_view(prefix)
+                                 : std::string_view(prefix).substr(0, slash);
+  SCRUTINY_REQUIRE(is_valid_tenant_name(tenant),
+                   "list prefix must start with a tenant namespace: " +
+                       prefix);
+  return shards_[shard_of(tenant)]->list(prefix);
+}
+
+std::string ShardedStore::name() const {
+  return "sharded(" + std::string(ckpt::backend_kind_name(config_.kind)) +
+         "," + std::to_string(shards_.size()) + ")";
+}
+
+std::size_t ShardedStore::object_count() {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) count += shard->list("").size();
+  return count;
+}
+
+TenantStore::TenantStore(std::shared_ptr<ckpt::StorageBackend> base,
+                         std::string tenant)
+    : base_(std::move(base)), tenant_(std::move(tenant)) {
+  SCRUTINY_REQUIRE(base_ != nullptr, "tenant view needs a base store");
+  SCRUTINY_REQUIRE(is_valid_tenant_name(tenant_),
+                   "invalid tenant name: " + tenant_);
+  prefix_ = tenant_ + '/';
+}
+
+std::string TenantStore::full_key(const std::string& key) const {
+  return tenant_key(tenant_, key);
+}
+
+std::unique_ptr<ckpt::StorageWriter> TenantStore::open_for_write(
+    const std::string& key) {
+  return base_->open_for_write(full_key(key));
+}
+
+std::unique_ptr<ckpt::StorageReader> TenantStore::open_for_read(
+    const std::string& key) {
+  return base_->open_for_read(full_key(key));
+}
+
+bool TenantStore::exists(const std::string& key) {
+  return base_->exists(full_key(key));
+}
+
+void TenantStore::remove(const std::string& key) {
+  base_->remove(full_key(key));
+}
+
+std::vector<std::string> TenantStore::list(const std::string& prefix) {
+  SCRUTINY_REQUIRE(prefix.find('/') == std::string::npos,
+                   "tenant-scoped list prefix must not contain '/': " +
+                       prefix);
+  std::vector<std::string> keys = base_->list(prefix_ + prefix);
+  for (std::string& key : keys) {
+    // Backends may only return keys under the prefix we asked for; strip
+    // the namespace so callers stay inside their view.
+    SCRUTINY_REQUIRE(key.rfind(prefix_, 0) == 0,
+                     "backend returned a foreign key: " + key);
+    key.erase(0, prefix_.size());
+  }
+  return keys;
+}
+
+std::string TenantStore::name() const {
+  return "tenant(" + tenant_ + "@" + base_->name() + ")";
+}
+
+}  // namespace scrutiny::serve

@@ -1,0 +1,117 @@
+// Sharded multi-tenant object store.
+//
+// One shared store serves many concurrent checkpoint sessions.  Keys are
+// tenant-namespaced — `tenant/<object>` — and every tenant maps to exactly
+// one shard (stable_hash64(tenant) % num_shards), so two sessions of
+// different tenants land on different backend instances and never contend
+// on one mutex: a MemoryBackend shard locks only its own map, a FileBackend
+// shard owns its own `shard_NN/` directory.
+//
+// Sessions do not talk to the ShardedStore directly; they hold a
+// TenantStore view that prefixes every key with the tenant namespace and
+// scopes exists/remove/list to it.  A view physically cannot name another
+// tenant's objects (keys containing '/' are rejected), which is what makes
+// quota/namespace enforcement in the layers above trustworthy.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::serve {
+
+/// True for names usable as a tenant namespace or an object-key component:
+/// nonempty, at most 64 chars, only [A-Za-z0-9._-], not "." or "..".
+[[nodiscard]] bool is_valid_tenant_name(std::string_view name) noexcept;
+
+/// Composes `tenant/<key>` after validating both parts.
+[[nodiscard]] std::string tenant_key(std::string_view tenant,
+                                     std::string_view key);
+
+/// The tenant component of a full `tenant/...` key; throws when the key has
+/// no namespace.
+[[nodiscard]] std::string_view tenant_of_key(std::string_view full_key);
+
+struct ShardedStoreConfig {
+  ckpt::BackendKind kind = ckpt::BackendKind::Memory;
+  std::filesystem::path root = {};  ///< file shards live in root/shard_NN
+  std::size_t num_shards = 8;
+};
+
+class ShardedStore final : public ckpt::StorageBackend {
+ public:
+  explicit ShardedStore(ShardedStoreConfig config);
+
+  /// Full-key interface: every key must be `tenant/<object>`; the tenant
+  /// part selects the shard.  list("") merges all shards; any other prefix
+  /// must carry a tenant namespace and scans one shard.
+  [[nodiscard]] std::unique_ptr<ckpt::StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<ckpt::StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(std::string_view tenant) const noexcept;
+  [[nodiscard]] ckpt::StorageBackend& shard(std::size_t index) {
+    return *shards_[index];
+  }
+
+  /// Total committed objects across all shards (a full list() sweep; meant
+  /// for reports, not hot paths).
+  [[nodiscard]] std::size_t object_count();
+
+ private:
+  [[nodiscard]] ckpt::StorageBackend& shard_for_key(std::string_view key);
+
+  ShardedStoreConfig config_;
+  std::vector<std::unique_ptr<ckpt::StorageBackend>> shards_;
+};
+
+/// Per-tenant namespaced view over a shared store.  Implements the full
+/// StorageBackend contract by prefixing keys with `tenant/`, so a
+/// CheckpointManager seated on a TenantStore sees a private object store
+/// while all tenants share the sharded physical backend underneath.
+class TenantStore final : public ckpt::StorageBackend {
+ public:
+  /// `base` is shared so views keep the store alive; `tenant` is validated.
+  TenantStore(std::shared_ptr<ckpt::StorageBackend> base, std::string tenant);
+
+  [[nodiscard]] std::unique_ptr<ckpt::StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<ckpt::StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  /// Keys come back namespace-stripped: the view's callers never see the
+  /// `tenant/` prefix they cannot escape.
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+  void wait() override { base_->wait(); }
+  [[nodiscard]] bool drained() override { return base_->drained(); }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+
+ private:
+  /// Prefixes and validates: a key containing '/' (or "..") would escape
+  /// the namespace and is rejected.
+  [[nodiscard]] std::string full_key(const std::string& key) const;
+
+  std::shared_ptr<ckpt::StorageBackend> base_;
+  std::string tenant_;
+  std::string prefix_;  ///< tenant_ + '/'
+};
+
+}  // namespace scrutiny::serve

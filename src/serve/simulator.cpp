@@ -1,0 +1,321 @@
+#include "serve/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "ckpt/failure.hpp"
+#include "ckpt/manager.hpp"
+#include "ckpt/registry.hpp"
+#include "mask/critical_mask.hpp"
+#include "support/error.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::serve {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+/// Deterministic per-(seed, salt) uniform draw in (0, 1).
+double seeded_draw(std::uint64_t seed, std::uint64_t salt) {
+  return hashed_uniform(seed * kGolden + salt);
+}
+
+/// Everything one session owns: its state array, registry, masks, chaos
+/// decorator (when enabled), manager, and the scripted failure plan.
+struct SessionRuntime {
+  std::size_t index = 0;
+  std::uint64_t last_ckpt_step = 0;
+  std::optional<std::uint64_t> crash_step;
+  bool arm_final_bitflip = false;
+
+  std::vector<double> data;
+  ckpt::CheckpointRegistry registry;
+  ckpt::PruneMap masks;
+  std::shared_ptr<ChaosBackend> chaos;  ///< null when chaos is off
+  std::shared_ptr<ScheduledBackend> backend;
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+
+  SessionResult result;
+  std::uint64_t bytes_committed = 0;
+};
+
+void fill_state(SessionRuntime& session, std::uint64_t step) {
+  for (std::size_t i = 0; i < session.data.size(); ++i) {
+    session.data[i] = expected_element(session.index, step, i);
+  }
+}
+
+/// Checks the restored state against `step`'s deterministic values.
+/// Critical elements must match exactly; when the restore really was
+/// pruned (`poisoned_uncritical`), uncritical elements must still hold the
+/// NaN poison — the restore must not have touched them.
+bool state_matches(const SessionRuntime& session, std::uint64_t step,
+                   bool poisoned_uncritical) {
+  const CriticalMask& mask = session.masks.at("state");
+  for (std::size_t i = 0; i < session.data.size(); ++i) {
+    if (mask.test(i)) {
+      if (session.data[i] != expected_element(session.index, step, i)) {
+        return false;
+      }
+    } else if (poisoned_uncritical) {
+      if (!std::isnan(session.data[i])) return false;
+    } else {
+      if (session.data[i] != expected_element(session.index, step, i)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// The scripted write phase of one session: compute, checkpoint on the
+/// interval, survive storage errors, possibly crash mid-write.
+void run_session(SessionRuntime& session, const SimulatorConfig& config) {
+  for (std::uint64_t step = 1; step <= config.steps; ++step) {
+    fill_state(session, step);
+    if (config.compute_millis > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config.compute_millis));
+    }
+    if (session.crash_step && step == *session.crash_step) {
+      // Crash mid-write: stage part of an object, then vanish without
+      // committing.  The abandoned writer must publish nothing.
+      auto writer = session.backend->open_for_write(
+          session.manager->key_for_step(step));
+      const double torn = expected_element(session.index, step, 0);
+      writer->append(&torn, sizeof(torn));
+      session.result.crashed = true;
+      return;
+    }
+    if (session.arm_final_bitflip && session.chaos &&
+        step == session.last_ckpt_step) {
+      session.chaos->arm_bitflip();
+    }
+    try {
+      const auto report =
+          session.manager->maybe_checkpoint(step, session.registry);
+      if (report) {
+        ++session.result.checkpoints_committed;
+        session.bytes_committed += report->file_bytes;
+      }
+    } catch (const TenantQuotaError&) {
+      ++session.result.quota_skips;
+    } catch (const ScrutinyError&) {
+      // A prior drain failed (torn write, ...) and surfaced here; the
+      // session keeps computing and retries at the next interval.
+      ++session.result.storage_errors;
+    }
+    if (config.drain_between_steps) {
+      try {
+        session.manager->wait_for_io();
+      } catch (const ScrutinyError&) {
+        ++session.result.storage_errors;
+      }
+    }
+  }
+}
+
+/// The restart phase: total memory loss, restore from storage, verify
+/// against the deterministic state function, then prove the check has
+/// teeth by corrupting critical elements.
+void verify_session(SessionRuntime& session, const SimulatorConfig& config,
+                    const ckpt::FailureInjector& injector) {
+  SessionResult& result = session.result;
+  try {
+    session.manager->wait_for_io();
+  } catch (const ScrutinyError&) {
+    ++result.storage_errors;
+  }
+  result.had_durable_slot = !session.manager->list_checkpoint_keys().empty();
+
+  injector.poison_all(session.registry);
+  std::optional<ckpt::RestoreReport> restored;
+  try {
+    restored = session.manager->restart(session.registry);
+  } catch (const ScrutinyError&) {
+    ++result.storage_errors;
+  }
+
+  if (restored) {
+    result.restored_step = restored->step;
+    result.restart_valid = true;
+    // The writer may decline to prune a variable whose region metadata
+    // would outweigh the savings; trust the restore report, not the
+    // config, about whether uncritical elements were left poisoned.
+    const bool poisoned =
+        config.pruned && restored->pruned && restored->elements_untouched > 0;
+    result.verified = state_matches(session, restored->step, poisoned);
+    if (config.negative_control && result.verified) {
+      const std::size_t corrupted = injector.corrupt_critical(
+          session.registry, session.masks, "state", 3);
+      result.negative_control_detected =
+          corrupted > 0 &&
+          !state_matches(session, restored->step, poisoned);
+    }
+  } else {
+    // Nothing restorable is only acceptable when nothing was ever durable
+    // (e.g. every write was torn, or the session crashed before its first
+    // commit drained).
+    result.restart_valid = !result.had_durable_slot;
+    result.verified = result.restart_valid;
+  }
+}
+
+}  // namespace
+
+bool SimulationReport::ok() const noexcept {
+  if (sessions.empty()) return false;
+  for (const SessionResult& session : sessions) {
+    if (!session.restart_valid || !session.verified ||
+        !session.negative_control_detected) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double expected_element(std::size_t session, std::uint64_t step,
+                        std::size_t index) noexcept {
+  const std::uint64_t salt = (static_cast<std::uint64_t>(session) << 40) ^
+                             (step << 20) ^ static_cast<std::uint64_t>(index);
+  return static_cast<double>(step) + hashed_uniform(salt * kGolden);
+}
+
+SimulationReport run_simulation(const SimulatorConfig& config) {
+  SCRUTINY_REQUIRE(config.sessions >= 1, "simulator needs >= 1 session");
+  SCRUTINY_REQUIRE(config.tenants >= 1, "simulator needs >= 1 tenant");
+  SCRUTINY_REQUIRE(config.interval >= 1, "checkpoint interval must be >= 1");
+  SCRUTINY_REQUIRE(config.elements >= 2, "state needs >= 2 elements");
+  SCRUTINY_REQUIRE(config.keep_slots >= 1, "keep_slots must be >= 1");
+  SCRUTINY_REQUIRE(
+      config.bitflip_final_probability <= 0.0 || config.keep_slots >= 2,
+      "bitflip chaos needs keep_slots >= 2 so a valid fallback slot "
+      "survives rotation");
+
+  const bool chaos_on = config.chaos.torn_write_probability > 0.0 ||
+                        config.chaos.slow_drain_probability > 0.0 ||
+                        config.bitflip_final_probability > 0.0;
+
+  CheckpointService service(config.service);
+  std::vector<std::unique_ptr<SessionRuntime>> sessions;
+  sessions.reserve(config.sessions);
+
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    auto session = std::make_unique<SessionRuntime>();
+    session->index = i;
+    session->result.tenant = "tenant" + std::to_string(i % config.tenants);
+    session->result.program = "app" + std::to_string(i);
+    session->last_ckpt_step =
+        config.steps - (config.steps % config.interval);
+    if (config.crash_probability > 0.0 &&
+        seeded_draw(config.seed, 0xc4a5'0000 + i) <
+            config.crash_probability &&
+        config.steps > config.interval) {
+      // Crash strictly after the first checkpoint opportunity so the
+      // interesting case — losing a node that *has* durable state — is
+      // what gets exercised.
+      const double where = seeded_draw(config.seed, 0xc4a5'1000 + i);
+      const std::uint64_t span = config.steps - config.interval;
+      session->crash_step =
+          config.interval + 1 +
+          std::min<std::uint64_t>(
+              static_cast<std::uint64_t>(where * static_cast<double>(span)),
+              span - 1);
+    }
+    session->arm_final_bitflip =
+        config.bitflip_final_probability > 0.0 &&
+        seeded_draw(config.seed, 0xb17f'0000 + i) <
+            config.bitflip_final_probability;
+
+    session->data.assign(config.elements, 0.0);
+    session->registry.register_f64("state", std::span<double>(session->data));
+    // Critical in contiguous runs of 16 (half the elements): runs keep the
+    // region metadata small enough that the writer actually prunes.
+    CriticalMask mask(config.elements);
+    for (std::size_t e = 0; e < config.elements; ++e) {
+      if ((e / 16) % 2 == 0) mask.set(e);
+    }
+    session->masks.emplace("state", std::move(mask));
+
+    CheckpointService::StoreDecorator decorate;
+    if (chaos_on) {
+      ChaosConfig chaos = config.chaos;
+      chaos.seed = config.seed * kGolden + 0xc8a0'0000 + i;
+      auto* slot = &session->chaos;
+      decorate = [chaos, slot](std::shared_ptr<ckpt::StorageBackend> inner) {
+        *slot = std::make_shared<ChaosBackend>(std::move(inner), chaos);
+        return *slot;
+      };
+    }
+    session->backend =
+        service.open_session(session->result.tenant, decorate);
+
+    ckpt::ManagerConfig manager_config;
+    manager_config.basename = session->result.program;
+    manager_config.interval = config.interval;
+    manager_config.keep_slots = config.keep_slots;
+    session->manager = std::make_unique<ckpt::CheckpointManager>(
+        manager_config, session->backend);
+    if (config.pruned) session->manager->set_prune_map(session->masks);
+
+    sessions.push_back(std::move(session));
+  }
+
+  // Phase 1: every session computes and checkpoints concurrently.
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions.size());
+  for (auto& session : sessions) {
+    threads.emplace_back(
+        [&session, &config] { run_session(*session, config); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  SimulationReport report;
+  report.write_wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  // Phase 2: drain everything, harvesting every pending tenant error (a
+  // torn write whose session already exited still has one stored).
+  const std::uint64_t error_budget =
+      service.scheduler()->stats().submitted + config.sessions + 1;
+  for (std::uint64_t i = 0; i < error_budget; ++i) {
+    try {
+      service.wait_all();
+      break;
+    } catch (const std::exception&) {
+      ++report.drain_errors_surfaced;
+    }
+  }
+
+  // Phase 3: fail every node, restart every session from storage, verify.
+  const ckpt::FailureInjector injector(config.seed);
+  for (auto& session : sessions) {
+    verify_session(*session, config, injector);
+  }
+
+  for (auto& session : sessions) {
+    report.bytes_committed += session->bytes_committed;
+    if (session->result.crashed) ++report.crashes;
+    if (session->chaos) {
+      report.torn_writes += session->chaos->torn_writes();
+      report.slow_drains += session->chaos->slow_drains();
+      report.bitflips += session->chaos->bitflips();
+    }
+    report.sessions.push_back(std::move(session->result));
+  }
+  const ServiceStats stats = service.stats();
+  report.scheduler = stats.scheduler;
+  report.shards = stats.shards;
+  report.objects = stats.objects;
+  return report;
+}
+
+}  // namespace scrutiny::serve

@@ -1,0 +1,109 @@
+// In-process multi-session checkpoint-service simulator.
+//
+// Drives N concurrent sessions (threads), spread over K tenants, through
+// the full service stack: each session owns a deterministic synthetic
+// state array, computes (optionally sleeping to model compute ≫ I/O),
+// checkpoints on an interval through a CheckpointManager seated on its
+// service session backend, and finally suffers a total memory loss
+// (FailureInjector::poison_all) before restarting from storage.
+//
+// Because every element's value is a pure function of (session, step,
+// index), the harness can verify a restart *semantically*: whatever step
+// the restore reports, the critical elements must hold exactly that step's
+// values — a restart from any valid durable slot passes, a restart from a
+// corrupt or half-written object cannot.  The negative control then
+// corrupts critical elements in place (FailureInjector::corrupt_critical)
+// and requires verification to fail, proving the check has teeth.
+//
+// Chaos: torn writes and slow drains are injected below the scheduler
+// (ChaosBackend), a bit flip may be armed for a session's final
+// checkpoint, and sessions can crash mid-run (stop checkpointing, abandon
+// an in-progress write).  The invariant under all of it: a session that
+// ever got a checkpoint durably committed must restart from a valid slot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/chaos.hpp"
+#include "serve/service.hpp"
+
+namespace scrutiny::serve {
+
+struct SimulatorConfig {
+  std::size_t sessions = 4;
+  std::size_t tenants = 2;     ///< sessions are assigned round-robin
+  std::uint64_t steps = 16;    ///< compute steps per session
+  std::uint64_t interval = 4;  ///< checkpoint every N steps
+  std::size_t elements = 4096; ///< doubles of state per session
+  std::uint32_t keep_slots = 2;
+  double compute_millis = 0.0; ///< simulated compute per step (wall idle)
+  bool pruned = true;          ///< write mask-pruned checkpoints
+  bool negative_control = true;
+  /// Settle the session's scheduler pipeline after every step.  Off, drains
+  /// overlap compute (the production shape) but a background failure
+  /// surfaces at whichever later operation first joins it and an armed
+  /// bitflip hits whichever object commits next — both timing-dependent.
+  /// On, each step's errors surface at that step and the final-bitflip arm
+  /// lands on the final commit, making a run a pure function of the seed.
+  bool drain_between_steps = false;
+
+  ServiceConfig service;
+
+  // Chaos (all off by default; the ChaosBackend wrap happens whenever any
+  // storage-side mode is enabled).
+  ChaosConfig chaos;
+  double bitflip_final_probability = 0.0;
+  double crash_probability = 0.0;
+  std::uint64_t seed = 0x5c201aull;
+};
+
+struct SessionResult {
+  std::string tenant;
+  std::string program;
+  std::uint64_t checkpoints_committed = 0;  ///< handed to the scheduler
+  std::uint64_t storage_errors = 0;  ///< surfaced drain failures (torn, ...)
+  std::uint64_t quota_skips = 0;     ///< checkpoints rejected by quota
+  bool crashed = false;
+  bool had_durable_slot = false;     ///< storage held >= 1 committed object
+  std::optional<std::uint64_t> restored_step;
+  bool restart_valid = false;  ///< restored, or nothing durable to lose
+  bool verified = false;       ///< restored state matches restored_step
+  bool negative_control_detected = true;  ///< corruption broke verification
+};
+
+struct SimulationReport {
+  std::vector<SessionResult> sessions;
+  std::uint64_t bytes_committed = 0;  ///< container bytes staged+drained
+  double write_wall_seconds = 0.0;    ///< phase-1 (all sessions) wall time
+  SchedulerStats scheduler;
+  std::size_t shards = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t slow_drains = 0;
+  std::uint64_t bitflips = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t drain_errors_surfaced = 0;
+
+  [[nodiscard]] double mb_per_second() const noexcept {
+    if (write_wall_seconds <= 0.0) return 0.0;
+    return static_cast<double>(bytes_committed) / write_wall_seconds /
+           1.0e6;
+  }
+
+  /// The durability contract: every session restarted from a valid slot
+  /// (or had nothing durable to lose), every restored state verified, and
+  /// every negative control detected its corruption.
+  [[nodiscard]] bool ok() const noexcept;
+};
+
+/// The deterministic element value: state[i] of `session` at `step`.
+[[nodiscard]] double expected_element(std::size_t session,
+                                      std::uint64_t step,
+                                      std::size_t index) noexcept;
+
+SimulationReport run_simulation(const SimulatorConfig& config);
+
+}  // namespace scrutiny::serve

@@ -1,0 +1,341 @@
+#include "serve/write_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/sharded_store.hpp"
+#include "support/byte_buffer.hpp"
+#include "support/log.hpp"
+
+namespace scrutiny::serve {
+
+namespace {
+
+/// Drain granularity (matches AsyncBackend): a slow sink never holds one
+/// giant append call.
+constexpr std::size_t kDrainChunkBytes = 4u << 20;
+
+}  // namespace
+
+WriteScheduler::WriteScheduler(SchedulerConfig config)
+    : config_(config), pool_(config.workers == 0 ? 1 : config.workers) {
+  SCRUTINY_REQUIRE(config_.tenant_inflight_cap > 0,
+                   "tenant in-flight cap must be >= 1");
+  SCRUTINY_REQUIRE(config_.max_buffered_bytes > 0,
+                   "global staging budget must be > 0");
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+WriteScheduler::~WriteScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+  for (auto& [tenant, state] : tenants_) {
+    if (state.error == nullptr) continue;
+    try {
+      std::rethrow_exception(std::exchange(state.error, nullptr));
+    } catch (const std::exception& e) {
+      log_warn("serve", "scheduler dropped a background write error for "
+                        "tenant " + tenant + " (no wait() call): " + e.what());
+    } catch (...) {
+      log_warn("serve", "scheduler dropped a background write error for "
+                        "tenant " + tenant + " (no wait() call)");
+    }
+  }
+}
+
+void WriteScheduler::submit(const std::string& tenant, std::string key,
+                            std::vector<std::byte> bytes,
+                            ckpt::StorageBackend& target) {
+  SCRUTINY_REQUIRE(is_valid_tenant_name(tenant),
+                   "invalid tenant name: " + tenant);
+  const std::uint64_t size = bytes.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  SCRUTINY_REQUIRE(!stopping_, "submit after scheduler shutdown");
+  TenantState& state = tenants_[tenant];
+  // A background drain failure surfaces at the tenant's next write attempt
+  // (or wait()), mirroring AsyncBackend::acquire_slot.
+  if (state.error != nullptr) {
+    std::rethrow_exception(std::exchange(state.error, nullptr));
+  }
+  // Quota is checked before admission: a rejected job must not consume the
+  // global budget while it waits.
+  if (config_.tenant_pending_quota > 0 &&
+      state.pending_bytes + size > config_.tenant_pending_quota) {
+    ++state.stats.quota_rejections;
+    ++stats_.quota_rejections;
+    throw TenantQuotaError(
+        "tenant " + tenant + " over pending-byte quota: " +
+        std::to_string(state.pending_bytes) + " staged + " +
+        std::to_string(size) + " new > " +
+        std::to_string(config_.tenant_pending_quota));
+  }
+  // Admission backpressure: block while the staging budget is full.  A job
+  // larger than the whole budget is admitted alone (buffered_bytes_ == 0),
+  // so oversized checkpoints degrade to synchronous, never deadlock.
+  if (buffered_bytes_ > 0 &&
+      buffered_bytes_ + size > config_.max_buffered_bytes) {
+    ++state.stats.admission_stalls;
+    ++stats_.admission_stalls;
+    done_cv_.wait(lock, [&] {
+      return buffered_bytes_ == 0 ||
+             buffered_bytes_ + size <= config_.max_buffered_bytes;
+    });
+  }
+  queue_.push_back(Job{tenant, std::move(key), std::move(bytes), &target});
+  ++state.queued_jobs;
+  state.pending_bytes += size;
+  ++state.stats.submitted;
+  buffered_bytes_ += size;
+  ++stats_.submitted;
+  stats_.peak_bytes_in_flight =
+      std::max(stats_.peak_bytes_in_flight, buffered_bytes_);
+  stats_.peak_queue_depth =
+      std::max(stats_.peak_queue_depth,
+               static_cast<std::uint64_t>(queue_.size()));
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+void WriteScheduler::dispatch_loop() {
+  struct Selected {
+    Job job;
+    std::exception_ptr error;
+  };
+  for (;;) {
+    std::vector<Selected> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and fully drained
+      // Batch formation: FIFO over the staged queue, at most
+      // tenant_inflight_cap jobs per tenant and one job per key, so a
+      // burst from one tenant cannot claim every worker and same-key
+      // writes never race each other.
+      std::deque<Job> deferred;
+      std::map<std::string, std::size_t> taken;
+      while (!queue_.empty()) {
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        const bool tenant_full =
+            taken[job.tenant] >= config_.tenant_inflight_cap;
+        const bool key_taken = std::any_of(
+            batch.begin(), batch.end(), [&](const Selected& s) {
+              return s.job.tenant == job.tenant && s.job.key == job.key;
+            });
+        if (tenant_full || key_taken) {
+          deferred.push_back(std::move(job));
+          continue;
+        }
+        ++taken[job.tenant];
+        TenantState& state = tenants_[job.tenant];
+        --state.queued_jobs;
+        ++state.inflight_jobs;
+        batch.push_back(Selected{std::move(job), nullptr});
+      }
+      queue_ = std::move(deferred);
+      stats_.draining += batch.size();
+    }
+    // Drain the batch on the shared pool, no lock held: sessions keep
+    // staging into the queue meanwhile.  drain_job never throws (errors
+    // land in the Selected slot), so pool errors cannot wedge the batch.
+    pool_.run(batch.size(), [&](std::size_t i) {
+      try {
+        drain_job(batch[i].job);
+      } catch (...) {
+        batch[i].error = std::current_exception();
+      }
+    });
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (Selected& done : batch) {
+        TenantState& state = tenants_[done.job.tenant];
+        --state.inflight_jobs;
+        state.pending_bytes -= done.job.bytes.size();
+        buffered_bytes_ -= done.job.bytes.size();
+        --stats_.draining;
+        if (done.error != nullptr) {
+          ++state.stats.failed;
+          ++stats_.failed;
+          if (state.error == nullptr) state.error = done.error;
+        } else {
+          ++state.stats.completed;
+          ++stats_.completed;
+        }
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void WriteScheduler::drain_job(Job& job) {
+  auto writer = job.target->open_for_write(job.key);
+  const std::byte* data = job.bytes.data();
+  std::size_t remaining = job.bytes.size();
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, kDrainChunkBytes);
+    writer->append(data, chunk);
+    data += chunk;
+    remaining -= chunk;
+  }
+  writer->commit();
+}
+
+bool WriteScheduler::key_in_flight(const std::string& tenant,
+                                   const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || tenant_idle_locked(it->second)) return false;
+  // The tenant has pending work somewhere; pinpoint the key in the staged
+  // queue.  A key that already left the queue is draining — report it in
+  // flight until the batch settles (conservative, matches AsyncBackend's
+  // read-your-writes join).
+  if (it->second.inflight_jobs > 0) return true;
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Job& job) {
+    return job.tenant == tenant && job.key == key;
+  });
+}
+
+void WriteScheduler::wait(const std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() || tenant_idle_locked(it->second);
+  });
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.error != nullptr) {
+    std::rethrow_exception(std::exchange(it->second.error, nullptr));
+  }
+}
+
+void WriteScheduler::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    if (!queue_.empty()) return false;
+    return std::all_of(tenants_.begin(), tenants_.end(), [&](const auto& kv) {
+      return tenant_idle_locked(kv.second);
+    });
+  });
+  for (auto& [tenant, state] : tenants_) {
+    if (state.error != nullptr) {
+      std::rethrow_exception(std::exchange(state.error, nullptr));
+    }
+  }
+}
+
+bool WriteScheduler::drained(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return true;
+  return tenant_idle_locked(it->second) && it->second.error == nullptr;
+}
+
+SchedulerStats WriteScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats stats = stats_;
+  stats.queue_depth = queue_.size();
+  stats.bytes_in_flight = buffered_bytes_;
+  return stats;
+}
+
+TenantSchedulerStats WriteScheduler::tenant_stats(
+    const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  TenantSchedulerStats stats = it->second.stats;
+  stats.pending_bytes = it->second.pending_bytes;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// ScheduledBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Stages appends in memory; commit() hands the buffer to the scheduler.
+class StagingWriter final : public ckpt::StorageWriter {
+ public:
+  StagingWriter(WriteScheduler& scheduler, std::string tenant,
+                std::string key, ckpt::StorageBackend& target)
+      : scheduler_(&scheduler), tenant_(std::move(tenant)),
+        key_(std::move(key)), target_(&target) {}
+
+  void append(const void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(!committed_, "append after commit");
+    append_bytes(buffer_, data, size);
+  }
+
+  void commit() override {
+    SCRUTINY_REQUIRE(!committed_, "double commit");
+    committed_ = true;
+    bytes_written_ = buffer_.size();
+    scheduler_->submit(tenant_, std::move(key_), std::move(buffer_),
+                       *target_);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    return committed_ ? bytes_written_ : buffer_.size();
+  }
+
+ private:
+  WriteScheduler* scheduler_;
+  std::string tenant_;
+  std::string key_;
+  ckpt::StorageBackend* target_;
+  std::vector<std::byte> buffer_;
+  std::uint64_t bytes_written_ = 0;
+  bool committed_ = false;
+};
+
+}  // namespace
+
+ScheduledBackend::ScheduledBackend(
+    std::shared_ptr<WriteScheduler> scheduler, std::string tenant,
+    std::shared_ptr<ckpt::StorageBackend> target)
+    : scheduler_(std::move(scheduler)), tenant_(std::move(tenant)),
+      target_(std::move(target)) {
+  SCRUTINY_REQUIRE(scheduler_ != nullptr, "needs a scheduler");
+  SCRUTINY_REQUIRE(target_ != nullptr, "needs a drain target");
+  SCRUTINY_REQUIRE(is_valid_tenant_name(tenant_),
+                   "invalid tenant name: " + tenant_);
+}
+
+std::unique_ptr<ckpt::StorageWriter> ScheduledBackend::open_for_write(
+    const std::string& key) {
+  return std::make_unique<StagingWriter>(*scheduler_, tenant_, key,
+                                         *target_);
+}
+
+std::unique_ptr<ckpt::StorageReader> ScheduledBackend::open_for_read(
+    const std::string& key) {
+  if (scheduler_->key_in_flight(tenant_, key)) scheduler_->wait(tenant_);
+  return target_->open_for_read(key);
+}
+
+bool ScheduledBackend::exists(const std::string& key) {
+  if (scheduler_->key_in_flight(tenant_, key)) return true;  // committed
+  return target_->exists(key);
+}
+
+void ScheduledBackend::remove(const std::string& key) {
+  // An in-flight key must land before removal or the drain would recreate
+  // it; settled keys (slot rotation) never stall the pipeline.
+  if (scheduler_->key_in_flight(tenant_, key)) scheduler_->wait(tenant_);
+  target_->remove(key);
+}
+
+std::vector<std::string> ScheduledBackend::list(const std::string& prefix) {
+  scheduler_->wait(tenant_);
+  return target_->list(prefix);
+}
+
+std::string ScheduledBackend::name() const {
+  return "scheduled(" + tenant_ + "@" + target_->name() + ")";
+}
+
+}  // namespace scrutiny::serve

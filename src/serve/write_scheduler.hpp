@@ -1,0 +1,195 @@
+// Bounded global write scheduler: one drain pool for every session.
+//
+// PR 4's AsyncBackend gives one session overlap by spending one thread on
+// it; N sessions would cost N threads all contending for the same storage
+// bandwidth.  The scheduler inverts that: sessions stage committed
+// checkpoints as in-memory jobs (ScheduledBackend below — the staging cost
+// is one memcpy, like an AsyncBackend slot) and a single dispatcher drains
+// them through a shared support::ThreadPool of `workers` threads, batch by
+// batch.  Per-tenant policy is enforced at two points:
+//
+//   admission  — submit() blocks while the global staging budget
+//                (`max_buffered_bytes`) is full (the backpressure that
+//                AsyncBackend::buffer_stalls() counts per session, counted
+//                here per scheduler and per tenant), and *rejects* a job
+//                that would push the tenant's undrained bytes over its
+//                quota (TenantQuotaError — quota is a contract, not a
+//                queue).
+//   dispatch   — each drain batch takes at most `tenant_inflight_cap` jobs
+//                per tenant and never two jobs for one key, so a noisy
+//                tenant cannot monopolize the pool and same-key writes
+//                keep their submission order.
+//
+// Failure semantics mirror AsyncBackend: the first background error per
+// tenant is captured and rethrown at that tenant's next wait()-style join;
+// drained(tenant) stays false while work or an unharvested error is
+// pending, which is exactly the probe CheckpointManager's slot rotation
+// uses to never delete a tenant's last durable checkpoint.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/storage_backend.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace scrutiny::serve {
+
+/// Thrown by submit() when a job would exceed the tenant's byte quota.
+class TenantQuotaError : public ScrutinyError {
+ public:
+  explicit TenantQuotaError(const std::string& what) : ScrutinyError(what) {}
+};
+
+struct SchedulerConfig {
+  std::size_t workers = 2;             ///< shared drain pool size
+  std::size_t tenant_inflight_cap = 1; ///< concurrent drains per tenant
+  /// Max undrained (queued + draining) bytes per tenant; 0 = unlimited.
+  /// Exceeding it makes submit() throw TenantQuotaError.
+  std::uint64_t tenant_pending_quota = 0;
+  /// Global staging budget across all tenants; submit() blocks (admission
+  /// backpressure) while a new job would not fit.
+  std::uint64_t max_buffered_bytes = std::uint64_t{256} << 20;
+};
+
+struct TenantSchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t pending_bytes = 0;  ///< queued + draining right now
+  std::uint64_t quota_rejections = 0;
+  std::uint64_t admission_stalls = 0;
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_depth = 0;      ///< jobs staged, not yet draining
+  std::uint64_t draining = 0;         ///< jobs in the pool right now
+  std::uint64_t bytes_in_flight = 0;  ///< queued + draining bytes
+  std::uint64_t peak_bytes_in_flight = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t admission_stalls = 0;
+  std::uint64_t quota_rejections = 0;
+};
+
+class WriteScheduler {
+ public:
+  explicit WriteScheduler(SchedulerConfig config);
+
+  /// Drains every staged job, then joins.  Unharvested tenant errors are
+  /// logged, not thrown (AsyncBackend's destructor contract).
+  ~WriteScheduler();
+
+  WriteScheduler(const WriteScheduler&) = delete;
+  WriteScheduler& operator=(const WriteScheduler&) = delete;
+
+  /// Stages one committed object for background drain into `target`
+  /// (which must outlive the drain — sessions hand in their tenant store).
+  /// Blocks under global backpressure; throws TenantQuotaError over quota.
+  void submit(const std::string& tenant, std::string key,
+              std::vector<std::byte> bytes, ckpt::StorageBackend& target);
+
+  /// True while `tenant/key` is staged or draining.
+  [[nodiscard]] bool key_in_flight(const std::string& tenant,
+                                   const std::string& key);
+
+  /// Blocks until the tenant's jobs have drained; rethrows the tenant's
+  /// first background error (once).
+  void wait(const std::string& tenant);
+
+  /// Blocks until everything has drained; rethrows the first pending error
+  /// across tenants (once).
+  void wait_all();
+
+  /// Non-blocking: nothing staged/draining and no unharvested error for
+  /// the tenant.  Slot rotation's deferral probe.
+  [[nodiscard]] bool drained(const std::string& tenant);
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] TenantSchedulerStats tenant_stats(
+      const std::string& tenant) const;
+  [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+
+ private:
+  struct Job {
+    std::string tenant;
+    std::string key;
+    std::vector<std::byte> bytes;
+    ckpt::StorageBackend* target;
+  };
+
+  struct TenantState {
+    std::uint64_t queued_jobs = 0;
+    std::uint64_t inflight_jobs = 0;
+    std::uint64_t pending_bytes = 0;
+    TenantSchedulerStats stats;
+    std::exception_ptr error;
+  };
+
+  void dispatch_loop();
+  void drain_job(Job& job);
+  [[nodiscard]] bool tenant_idle_locked(const TenantState& state) const {
+    return state.queued_jobs == 0 && state.inflight_jobs == 0;
+  }
+
+  SchedulerConfig config_;
+  support::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< dispatcher: jobs staged (or stop)
+  std::condition_variable done_cv_;  ///< waiters: a batch finished draining
+  std::deque<Job> queue_;
+  std::map<std::string, TenantState> tenants_;
+  std::uint64_t buffered_bytes_ = 0;  ///< queued + draining
+  SchedulerStats stats_;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;
+};
+
+/// Per-session storage decorator over the shared scheduler: commits stage
+/// the buffered object with the scheduler instead of spawning a drain
+/// thread (the N-session replacement for AsyncBackend).  Reads, listing
+/// and removal join the tenant's in-flight writes first, so
+/// read-your-writes holds per tenant exactly as it does for AsyncBackend.
+class ScheduledBackend final : public ckpt::StorageBackend {
+ public:
+  ScheduledBackend(std::shared_ptr<WriteScheduler> scheduler,
+                   std::string tenant,
+                   std::shared_ptr<ckpt::StorageBackend> target);
+
+  [[nodiscard]] std::unique_ptr<ckpt::StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<ckpt::StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+  void wait() override { scheduler_->wait(tenant_); }
+  [[nodiscard]] bool drained() override {
+    return scheduler_->drained(tenant_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+  [[nodiscard]] WriteScheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] ckpt::StorageBackend& target() noexcept { return *target_; }
+
+ private:
+  std::shared_ptr<WriteScheduler> scheduler_;
+  std::string tenant_;
+  std::shared_ptr<ckpt::StorageBackend> target_;
+};
+
+}  // namespace scrutiny::serve

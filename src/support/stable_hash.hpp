@@ -1,0 +1,30 @@
+// Deterministic 64-bit string hashing.
+//
+// The checkpoint service routes every tenant to a shard by hashing the
+// tenant name; that placement leaks into on-disk layout (file backends put
+// each shard in its own directory), so the hash must be stable across
+// compilers, standard libraries and process restarts — std::hash guarantees
+// none of that.  FNV-1a is tiny, constexpr-friendly and good enough for
+// load-spreading short identifier strings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace scrutiny::support {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// FNV-1a over the bytes of `text`.  Stable across platforms and runs.
+[[nodiscard]] constexpr std::uint64_t stable_hash64(
+    std::string_view text) noexcept {
+  std::uint64_t hash = kFnv1a64Offset;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= kFnv1a64Prime;
+  }
+  return hash;
+}
+
+}  // namespace scrutiny::support

@@ -1,0 +1,232 @@
+// The chaos harness: the service under deliberately hostile storage.
+//
+// The acceptance contract this file pins down: with >= 8 concurrent
+// tenants suffering torn writes, slow drains, mid-run crashes and armed
+// bit flips, every tenant still restarts from a valid durable slot — and
+// the negative control (corrupting critical elements without a restore)
+// must break verification, proving the check can fail.
+#include "serve/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ckpt/memory_backend.hpp"
+#include "serve/simulator.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::serve {
+namespace {
+
+std::string read_all(ckpt::StorageBackend& backend, const std::string& key,
+                     std::size_t size) {
+  auto reader = backend.open_for_read(key);
+  std::string payload(size, '\0');
+  reader->read(payload.data(), size);
+  return payload;
+}
+
+void put(ckpt::StorageBackend& backend, const std::string& key,
+         const std::string& payload) {
+  auto writer = backend.open_for_write(key);
+  writer->append(payload.data(), payload.size());
+  writer->commit();
+}
+
+TEST(ChaosBackend, TornWritePublishesNothing) {
+  auto inner = std::make_shared<ckpt::MemoryBackend>();
+  ChaosConfig config;
+  config.torn_write_probability = 1.0;
+  ChaosBackend chaos(inner, config);
+  auto writer = chaos.open_for_write("obj");
+  const std::string payload = "will-be-torn";
+  writer->append(payload.data(), payload.size());
+  EXPECT_THROW(writer->commit(), ScrutinyError);
+  EXPECT_EQ(chaos.torn_writes(), 1u);
+  // The atomic append->commit protocol means the torn write left no
+  // committed object behind — only, at most, abandoned staging.
+  EXPECT_FALSE(inner->exists("obj"));
+  EXPECT_TRUE(inner->list("obj").empty());
+}
+
+TEST(ChaosBackend, BitflipSkippedWithoutFallbackSlot) {
+  auto inner = std::make_shared<ckpt::MemoryBackend>();
+  ChaosBackend chaos(inner, ChaosConfig{});
+  chaos.arm_bitflip();
+  // First object under this basename: the guard must refuse to corrupt a
+  // tenant's only slot.
+  put(chaos, "app.1.ckpt", "precious");
+  EXPECT_EQ(chaos.bitflips(), 0u);
+  EXPECT_EQ(chaos.bitflips_skipped(), 1u);
+  EXPECT_EQ(read_all(*inner, "app.1.ckpt", 8), "precious");
+}
+
+TEST(ChaosBackend, BitflipCorruptsWhenFallbackExists) {
+  auto inner = std::make_shared<ckpt::MemoryBackend>();
+  ChaosBackend chaos(inner, ChaosConfig{});
+  put(chaos, "app.1.ckpt", "old-slot");
+  chaos.arm_bitflip();
+  put(chaos, "app.2.ckpt", "new-slot");
+  EXPECT_EQ(chaos.bitflips(), 1u);
+  // The corrupted object was still committed (silent corruption), but its
+  // bytes differ from what was written; the older slot is untouched.
+  EXPECT_NE(read_all(*inner, "app.2.ckpt", 8), "new-slot");
+  EXPECT_EQ(read_all(*inner, "app.1.ckpt", 8), "old-slot");
+}
+
+TEST(ChaosBackend, SlowDrainSleepsAndCounts) {
+  auto inner = std::make_shared<ckpt::MemoryBackend>();
+  ChaosConfig config;
+  config.slow_drain_probability = 1.0;
+  config.slow_drain_delay = std::chrono::milliseconds(1);
+  ChaosBackend chaos(inner, config);
+  put(chaos, "obj", "x");
+  EXPECT_GE(chaos.slow_drains(), 1u);
+  EXPECT_TRUE(inner->exists("obj"));
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-level chaos protocols.
+// ---------------------------------------------------------------------------
+
+SimulatorConfig chaos_config() {
+  SimulatorConfig config;
+  config.sessions = 8;
+  config.tenants = 8;  // the >= 8 concurrent tenants of the contract
+  config.steps = 12;
+  config.interval = 3;
+  config.elements = 512;
+  config.keep_slots = 2;
+  config.service.scheduler.workers = 2;
+  config.chaos.torn_write_probability = 0.2;
+  config.chaos.slow_drain_probability = 0.3;
+  config.chaos.slow_drain_delay = std::chrono::milliseconds(2);
+  config.bitflip_final_probability = 0.75;
+  config.crash_probability = 0.4;
+  return config;
+}
+
+TEST(ChaosSimulation, CleanRunEveryTenantRestartsAndVerifies) {
+  SimulatorConfig config;
+  config.sessions = 8;
+  config.tenants = 4;
+  config.steps = 12;
+  config.interval = 3;
+  config.elements = 512;
+  const SimulationReport report = run_simulation(config);
+  ASSERT_EQ(report.sessions.size(), 8u);
+  for (const SessionResult& session : report.sessions) {
+    EXPECT_TRUE(session.restart_valid) << session.program;
+    EXPECT_TRUE(session.verified) << session.program;
+    EXPECT_TRUE(session.negative_control_detected) << session.program;
+    EXPECT_EQ(session.restored_step, 12u) << session.program;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.scheduler.failed, 0u);
+}
+
+TEST(ChaosSimulation, EightTenantsUnderFullChaosAllRestartValid) {
+  const SimulationReport report = run_simulation(chaos_config());
+  ASSERT_EQ(report.sessions.size(), 8u);
+  for (const SessionResult& session : report.sessions) {
+    EXPECT_TRUE(session.restart_valid)
+        << session.tenant << "/" << session.program;
+    EXPECT_TRUE(session.verified)
+        << session.tenant << "/" << session.program;
+  }
+  EXPECT_TRUE(report.ok());
+  // The seed is chosen arbitrarily but the chaos probabilities are high:
+  // an all-quiet run would mean the harness injected nothing.
+  EXPECT_GT(report.torn_writes + report.slow_drains + report.bitflips +
+                report.crashes,
+            0u);
+}
+
+TEST(ChaosSimulation, ChaosRunsAreSeedDeterministic) {
+  SimulatorConfig config = chaos_config();
+  config.chaos.slow_drain_probability = 0.0;  // timing noise only
+  // Lock-step drains: with overlap, a torn-write error surfaces at
+  // whichever later step first joins the pipeline, so which checkpoints
+  // exist afterwards depends on scheduling, not just the seed.
+  config.drain_between_steps = true;
+  const SimulationReport a = run_simulation(config);
+  const SimulationReport b = run_simulation(config);
+  EXPECT_EQ(a.torn_writes, b.torn_writes);
+  EXPECT_EQ(a.bitflips, b.bitflips);
+  EXPECT_EQ(a.crashes, b.crashes);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].crashed, b.sessions[i].crashed) << i;
+    EXPECT_EQ(a.sessions[i].restored_step, b.sessions[i].restored_step) << i;
+  }
+}
+
+TEST(ChaosSimulation, NegativeControlDetectsCriticalCorruption) {
+  // The simulator's own negative control ran in the tests above; this case
+  // asserts it is not vacuous by checking the flag actually flips when the
+  // control is enabled vs a run where nothing could corrupt it.
+  SimulatorConfig config;
+  config.sessions = 2;
+  config.tenants = 2;
+  config.steps = 8;
+  config.interval = 4;
+  config.elements = 256;
+  config.negative_control = true;
+  const SimulationReport report = run_simulation(config);
+  for (const SessionResult& session : report.sessions) {
+    ASSERT_TRUE(session.verified);
+    EXPECT_TRUE(session.negative_control_detected)
+        << "corrupting critical elements without a restore must break "
+           "verification";
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(ChaosSimulation, TornEveryWriteLeavesTenantsWithNothingDurable) {
+  // Pathological floor: when literally every drain tears, no tenant ever
+  // gets a durable slot — restart finds nothing, which the contract counts
+  // as valid (nothing durable was lost), and verification is vacuous.
+  SimulatorConfig config;
+  config.sessions = 2;
+  config.tenants = 2;
+  config.steps = 8;
+  config.interval = 4;
+  config.elements = 64;
+  config.chaos.torn_write_probability = 1.0;
+  const SimulationReport report = run_simulation(config);
+  for (const SessionResult& session : report.sessions) {
+    EXPECT_FALSE(session.had_durable_slot) << session.program;
+    EXPECT_FALSE(session.restored_step.has_value()) << session.program;
+    EXPECT_TRUE(session.restart_valid) << session.program;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.torn_writes, 0u);
+  EXPECT_EQ(report.objects, 0u);
+}
+
+TEST(ChaosSimulation, QuotaPressureSkipsCheckpointsButStaysValid) {
+  SimulatorConfig config;
+  config.sessions = 4;
+  config.tenants = 2;
+  config.steps = 16;
+  config.interval = 2;
+  config.elements = 2048;  // ~9 KiB pruned containers
+  // One container fits under the quota, two pending at once do not: with
+  // every drain slowed, back-to-back checkpoints hit rejections while the
+  // run as a whole still makes durable progress.
+  config.service.scheduler.tenant_pending_quota = 12000;
+  config.chaos.slow_drain_probability = 1.0;
+  config.chaos.slow_drain_delay = std::chrono::milliseconds(5);
+  const SimulationReport report = run_simulation(config);
+  EXPECT_TRUE(report.ok());
+  std::uint64_t skips = 0;
+  for (const SessionResult& session : report.sessions) {
+    skips += session.quota_skips;
+  }
+  EXPECT_GT(skips, 0u);
+  EXPECT_EQ(report.scheduler.quota_rejections, skips);
+}
+
+}  // namespace
+}  // namespace scrutiny::serve

@@ -1,0 +1,162 @@
+#include "serve/sharded_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stable_hash.hpp"
+
+namespace scrutiny::serve {
+namespace {
+
+void put(ckpt::StorageBackend& backend, const std::string& key,
+         const std::string& payload) {
+  auto writer = backend.open_for_write(key);
+  writer->append(payload.data(), payload.size());
+  writer->commit();
+}
+
+std::string get(ckpt::StorageBackend& backend, const std::string& key,
+                std::size_t size) {
+  auto reader = backend.open_for_read(key);
+  std::string payload(size, '\0');
+  reader->read(payload.data(), size);
+  return payload;
+}
+
+TEST(TenantNames, Validation) {
+  EXPECT_TRUE(is_valid_tenant_name("tenant0"));
+  EXPECT_TRUE(is_valid_tenant_name("team-a.prod_2"));
+  EXPECT_FALSE(is_valid_tenant_name(""));
+  EXPECT_FALSE(is_valid_tenant_name("."));
+  EXPECT_FALSE(is_valid_tenant_name(".."));
+  EXPECT_FALSE(is_valid_tenant_name("a/b"));
+  EXPECT_FALSE(is_valid_tenant_name("has space"));
+  EXPECT_FALSE(is_valid_tenant_name(std::string(65, 'x')));
+}
+
+TEST(TenantNames, KeyComposition) {
+  EXPECT_EQ(tenant_key("t0", "app.1.ckpt"), "t0/app.1.ckpt");
+  EXPECT_EQ(tenant_of_key("t0/app.1.ckpt"), "t0");
+  EXPECT_THROW((void)tenant_key("t0", "a/b"), ScrutinyError);
+  EXPECT_THROW((void)tenant_key("bad/", "a"), ScrutinyError);
+  EXPECT_THROW((void)tenant_of_key("no-namespace"), ScrutinyError);
+}
+
+TEST(ShardedStore, RoutesTenantsByStableHash) {
+  ShardedStoreConfig config;
+  config.num_shards = 4;
+  ShardedStore store(config);
+  EXPECT_EQ(store.num_shards(), 4u);
+  for (const char* tenant : {"t0", "t1", "alpha", "beta"}) {
+    EXPECT_EQ(store.shard_of(tenant), support::stable_hash64(tenant) % 4)
+        << tenant;
+  }
+}
+
+TEST(ShardedStore, RequiresNamespacedKeys) {
+  ShardedStore store({});
+  EXPECT_THROW((void)store.open_for_write("bare-key"), ScrutinyError);
+  EXPECT_THROW((void)store.exists("bare-key"), ScrutinyError);
+  // A bare list prefix is read as a tenant namespace and scans one shard;
+  // a prefix that cannot start with a valid tenant is rejected.
+  EXPECT_TRUE(store.list("bare-prefix").empty());
+  EXPECT_THROW((void)store.list("../escape"), ScrutinyError);
+  EXPECT_THROW((void)store.list("bad name/app."), ScrutinyError);
+}
+
+TEST(ShardedStore, MergedListSeesEveryShard) {
+  ShardedStoreConfig config;
+  config.num_shards = 8;
+  ShardedStore store(config);
+  for (int i = 0; i < 8; ++i) {
+    const std::string tenant = "tenant" + std::to_string(i);
+    put(store, tenant + "/obj", "x");
+  }
+  EXPECT_EQ(store.list("").size(), 8u);
+  EXPECT_EQ(store.object_count(), 8u);
+}
+
+/// The tenant-isolation satellite: identical program/step names under two
+/// tenants are distinct objects, and list/remove stay namespace-scoped.
+class TenantIsolation : public ::testing::TestWithParam<ckpt::BackendKind> {
+ protected:
+  void SetUp() override {
+    ShardedStoreConfig config;
+    config.kind = GetParam();
+    config.num_shards = 4;
+    if (config.kind == ckpt::BackendKind::File) {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("scrutiny_sharded_" + std::to_string(::getpid()));
+      std::filesystem::create_directories(dir_);
+      config.root = dir_;
+    }
+    store_ = std::make_shared<ShardedStore>(config);
+  }
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::shared_ptr<ShardedStore> store_;
+};
+
+TEST_P(TenantIsolation, SameKeyDifferentTenantsNeverCollide) {
+  TenantStore alice(store_, "alice");
+  TenantStore bob(store_, "bob");
+  const std::string key = "app.00000000000000000008.ckpt";
+  put(alice, key, "alice-payload");
+  put(bob, key, "bob-payload!!");
+
+  EXPECT_EQ(get(alice, key, 13), "alice-payload");
+  EXPECT_EQ(get(bob, key, 13), "bob-payload!!");
+}
+
+TEST_P(TenantIsolation, ListAndRemoveAreNamespaceScoped) {
+  TenantStore alice(store_, "alice");
+  TenantStore bob(store_, "bob");
+  put(alice, "app.1.ckpt", "a1");
+  put(alice, "app.2.ckpt", "a2");
+  put(bob, "app.1.ckpt", "b1");
+
+  // Each view lists only its own namespace, with the prefix stripped.
+  auto alice_keys = alice.list("app.");
+  std::sort(alice_keys.begin(), alice_keys.end());
+  EXPECT_EQ(alice_keys,
+            (std::vector<std::string>{"app.1.ckpt", "app.2.ckpt"}));
+  EXPECT_EQ(bob.list("app.").size(), 1u);
+
+  // Removing alice's object leaves bob's identically-named one alone.
+  alice.remove("app.1.ckpt");
+  EXPECT_FALSE(alice.exists("app.1.ckpt"));
+  EXPECT_TRUE(bob.exists("app.1.ckpt"));
+  EXPECT_EQ(get(bob, "app.1.ckpt", 2), "b1");
+}
+
+TEST_P(TenantIsolation, ViewsCannotEscapeTheirNamespace) {
+  TenantStore alice(store_, "alice");
+  EXPECT_THROW((void)alice.open_for_write("../bob/steal"), ScrutinyError);
+  EXPECT_THROW((void)alice.open_for_write("bob/steal"), ScrutinyError);
+  EXPECT_THROW((void)alice.remove("bob/obj"), ScrutinyError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TenantIsolation,
+                         ::testing::Values(ckpt::BackendKind::Memory,
+                                           ckpt::BackendKind::File),
+                         [](const auto& info) {
+                           return std::string(
+                               ckpt::backend_kind_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace scrutiny::serve

@@ -1,0 +1,37 @@
+#include "support/stable_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace scrutiny::support {
+namespace {
+
+// FNV-1a 64-bit reference vectors (offset basis and published test values):
+// the whole point of stable_hash64 is that these never change across
+// platforms, standard libraries, or releases — shard routing depends on it.
+TEST(StableHash, MatchesFnv1aReferenceVectors) {
+  EXPECT_EQ(stable_hash64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(stable_hash64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(stable_hash64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(StableHash, IsConstexpr) {
+  static_assert(stable_hash64("tenant0") != stable_hash64("tenant1"),
+                "stable_hash64 must be usable at compile time");
+  SUCCEED();
+}
+
+TEST(StableHash, SpreadsTenantNamesAcrossShards) {
+  // Not a statistical test — just a guard against a degenerate
+  // implementation mapping every realistic tenant name to one shard.
+  std::set<std::uint64_t> buckets;
+  for (int i = 0; i < 64; ++i) {
+    buckets.insert(stable_hash64("tenant" + std::to_string(i)) % 8);
+  }
+  EXPECT_GE(buckets.size(), 4u);
+}
+
+}  // namespace
+}  // namespace scrutiny::support
