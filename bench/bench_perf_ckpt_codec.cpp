@@ -1,0 +1,126 @@
+// google-benchmark: payload-codec pipeline throughput at steady state.
+//
+// BM_CheckpointCodec writes a keyframe once, then measures the steady
+// cadence the CheckpointManager drives: mutate a sliding window of the
+// state, write the next slot through the selected pipeline (delta slots
+// against the shadow cache, a keyframe every 8th slot), repeat.  The
+// memory backend keeps the run CPU-bound, so regressions in the diffing,
+// XOR-mask encoding or quantization show up as wall time rather than
+// disk noise.  Counters report the pipeline's work split: `committed_x`
+// is raw write-set bytes over container bytes (the compression the codec
+// buys), `codec_cpu_s` the mean CPU seconds spent diffing/quantizing per
+// slot (the price, kept separate from I/O in the WriteReport).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "ckpt/codec.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "support/npb_random.hpp"
+
+namespace {
+
+using namespace scrutiny;
+using namespace scrutiny::ckpt;
+
+// Combo axis for BM_CheckpointCodec's second argument.
+enum Combo : std::int64_t {
+  kPrune = 0,
+  kPruneDelta = 1,
+  kPruneDeltaLossy = 2,
+};
+
+struct CodecFixture {
+  std::vector<double> data;
+  CheckpointRegistry registry;
+  PruneMap masks;
+  LossyMap lossy;
+  MemoryBackend backend;
+  DeltaCache cache;
+
+  explicit CodecFixture(std::size_t elements) {
+    data.resize(elements);
+    for (std::size_t i = 0; i < elements; ++i) {
+      data[i] = hashed_uniform(i);
+    }
+    registry.register_f64("payload", data);
+    // Structured long runs, like the NPB masks: 7 of 8 512-element blocks
+    // are critical.
+    CriticalMask mask(elements);
+    for (std::size_t i = 0; i < elements; ++i) {
+      if ((i / 512) % 8 != 0) mask.set(i);
+    }
+    masks["payload"] = mask;
+    // Half of the critical elements demoted to f32, in block runs.
+    LossyPlan plan;
+    plan.low = CriticalMask(elements);
+    for (std::size_t i = 0; i < elements; ++i) {
+      if (mask.test(i) && (i / 512) % 2 == 0) plan.low.set(i);
+    }
+    plan.precision = LossyPrecision::F32;
+    lossy.emplace("payload", std::move(plan));
+  }
+
+  /// One solver step's worth of churn: smooth updates over a 1/16 window
+  /// that slides each call, so delta slots stay small but never empty.
+  void mutate(std::uint64_t step) {
+    const std::size_t window = data.size() / 16;
+    const std::size_t begin = (step * window) % data.size();
+    for (std::size_t i = 0; i < window; ++i) {
+      const std::size_t e = (begin + i) % data.size();
+      data[e] = 0.999 * data[e] + 1.0e-9;
+    }
+  }
+};
+
+void BM_CheckpointCodec(benchmark::State& state) {
+  CodecFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const Combo combo = static_cast<Combo>(state.range(1));
+
+  CodecRequest request;
+  request.masks = &fixture.masks;
+  if (combo >= kPruneDelta) request.delta = &fixture.cache;
+  if (combo == kPruneDeltaLossy) request.lossy = &fixture.lossy;
+
+  std::uint64_t step = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t committed_bytes = 0;
+  double codec_seconds = 0.0;
+  for (auto _ : state) {
+    fixture.mutate(step);
+    // The manager's keyframe cadence: a self-contained slot every 8th.
+    request.delta_slot =
+        request.delta != nullptr && fixture.cache.valid() && step % 8 != 0;
+    const WriteReport report =
+        write_checkpoint(fixture.backend, "bench.ckpt", fixture.registry,
+                         step, request);
+    raw_bytes += report.raw_payload_bytes;
+    committed_bytes += report.file_bytes;
+    codec_seconds += report.codec_seconds;
+    benchmark::DoNotOptimize(report.file_bytes);
+    ++step;
+  }
+
+  const double slots = static_cast<double>(step > 0 ? step : 1);
+  state.counters["committed_x"] = benchmark::Counter(
+      committed_bytes > 0 ? static_cast<double>(raw_bytes) /
+                                static_cast<double>(committed_bytes)
+                          : 0.0);
+  state.counters["codec_cpu_s"] = benchmark::Counter(codec_seconds / slots);
+  // Throughput over the bytes entering the pipeline, not the shrunken
+  // container: the codec's job is to absorb this rate.
+  state.SetBytesProcessed(static_cast<std::int64_t>(raw_bytes));
+}
+BENCHMARK(BM_CheckpointCodec)
+    ->ArgNames({"elements", "combo"})
+    ->Args({262144, kPrune})
+    ->Args({262144, kPruneDelta})
+    ->Args({262144, kPruneDeltaLossy});
+
+}  // namespace
+
+BENCHMARK_MAIN();

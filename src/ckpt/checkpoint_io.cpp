@@ -14,8 +14,16 @@ namespace scrutiny::ckpt {
 namespace {
 constexpr std::uint64_t kMagic = 0x53435255'434B5031ull;  // "SCRU CKP1"
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion2 = 2;
 constexpr std::uint8_t kModeFull = 0;
 constexpr std::uint8_t kModePruned = 1;
+constexpr std::uint8_t kModeLossy = 2;
+constexpr std::uint8_t kModeDelta = 3;
+
+/// Dirty runs separated by at most this many clean elements coalesce: a
+/// clean fp64 element carried inside an XOR-mask run costs ~1 byte, far
+/// below another 16-byte region descriptor.
+constexpr std::uint64_t kDirtyMergeGap = 8;
 
 /// Staging bound for the streaming serializer: small header fields coalesce
 /// up to this size before hitting the backend; anything at least this large
@@ -106,6 +114,86 @@ class ChunkedReader {
   Crc64 crc_;
 };
 
+void write_regions(ChunkedWriter& writer, const RegionList& regions) {
+  writer.write(static_cast<std::uint64_t>(regions.num_regions()));
+  for (const Region& region : regions.regions()) {
+    writer.write(region.begin);
+    writer.write(region.end);
+  }
+}
+
+/// Serialized footprint of a region list: count field plus the pairs.
+[[nodiscard]] std::uint64_t regions_cost(const RegionList& regions) {
+  return 8 + 16 * regions.num_regions();
+}
+
+[[nodiscard]] constexpr std::uint64_t quantized_elem_size(
+    LossyPrecision precision) {
+  return precision == LossyPrecision::F16 ? 2 : 4;
+}
+
+void append_quantized(std::vector<std::byte>& out, const double* values,
+                      std::uint64_t count, LossyPrecision precision) {
+  if (precision == LossyPrecision::F16) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint16_t half = f16_from_f64(values[i]);
+      append_bytes(out, &half, sizeof(half));
+    }
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const float single = static_cast<float>(values[i]);
+      append_bytes(out, &single, sizeof(single));
+    }
+  }
+}
+
+void read_quantized(ChunkedReader& reader, double* values,
+                    std::uint64_t count, LossyPrecision precision) {
+  if (precision == LossyPrecision::F16) {
+    std::vector<std::uint16_t> halves(static_cast<std::size_t>(count));
+    reader.read_bytes(halves.data(), halves.size() * sizeof(std::uint16_t));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      values[i] = f64_from_f16(halves[i]);
+    }
+  } else {
+    std::vector<float> singles(static_cast<std::size_t>(count));
+    reader.read_bytes(singles.data(), singles.size() * sizeof(float));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      values[i] = static_cast<double>(singles[i]);
+    }
+  }
+}
+
+[[nodiscard]] RegionList read_region_list(ChunkedReader& reader,
+                                          std::uint64_t num_elements,
+                                          const std::string& name) {
+  const auto num_regions = reader.read<std::uint64_t>();
+  SCRUTINY_REQUIRE(num_regions <= num_elements,
+                   "implausible region count restoring " + name);
+  RegionList regions;
+  for (std::uint64_t r = 0; r < num_regions; ++r) {
+    Region region;
+    region.begin = reader.read<std::uint64_t>();
+    region.end = reader.read<std::uint64_t>();
+    SCRUTINY_REQUIRE(region.begin < region.end && region.end <= num_elements,
+                     "corrupt region restoring " + name);
+    regions.append(region);
+  }
+  return regions;
+}
+
+/// Accumulating stopwatch for the codec CPU share of a write.
+class CodecClock {
+ public:
+  void start() { timer_.restart(); }
+  void stop() { total_ += timer_.seconds(); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
 }  // namespace
 
 WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
@@ -154,6 +242,7 @@ WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
       writer.write(kModeFull);
       writer.write_bytes(bytes.data(), bytes.size());
       report.payload_bytes += bytes.size();
+      report.raw_payload_bytes += bytes.size();
       report.elements_written += variable.num_elements;
     } else {
       writer.write(kModePruned);
@@ -169,6 +258,7 @@ WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
         writer.write_bytes(bytes.data() + region.begin * esize,
                            region.length() * esize);
         report.payload_bytes += region.length() * esize;
+        report.raw_payload_bytes += region.length() * esize;
         report.elements_written += region.length();
       }
       report.elements_skipped +=
@@ -192,6 +282,279 @@ WriteReport write_checkpoint(const std::filesystem::path& path,
   return write_checkpoint(backend, path.string(), registry, step, masks);
 }
 
+WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
+                             const CheckpointRegistry& registry,
+                             std::uint64_t step, const CodecRequest& request) {
+  const bool lossy_active =
+      request.lossy != nullptr && !request.lossy->empty();
+  if (!lossy_active && request.delta == nullptr) {
+    // No codec and no shadow bookkeeping: the historical v1 writer.
+    return write_checkpoint(backend, key, registry, step, request.masks);
+  }
+  const bool delta_slot = request.delta_slot;
+  if (delta_slot) {
+    SCRUTINY_REQUIRE(request.delta != nullptr && request.delta->valid(),
+                     "delta slot requested without a valid shadow cache: " +
+                         key);
+  }
+  // Pure prune (or full) keyframes stay format v1 byte-identically; only
+  // an active delta or lossy codec needs the v2 descriptor.
+  const bool v2 = lossy_active || delta_slot;
+
+  const Timer timer;
+  CodecClock codec;
+  WriteReport report;
+  // Post-commit shadow images; adopted by the cache only after the backend
+  // confirms the slot, so a failed write leaves the cache on the previous
+  // committed slot.
+  std::vector<std::pair<std::string, std::vector<std::byte>>> staged;
+
+  const std::unique_ptr<StorageWriter> sink = backend.open_for_write(key);
+  ChunkedWriter writer(*sink);
+  writer.write(kMagic);
+  writer.write(v2 ? kVersion2 : kVersion);
+  writer.write(step);
+  if (v2) {
+    std::uint8_t flags = 0;
+    if (request.masks != nullptr && !request.masks->empty()) {
+      flags |= kCkptFlagPruned;
+    }
+    if (delta_slot) flags |= kCkptFlagDelta;
+    if (lossy_active) flags |= kCkptFlagLossy;
+    writer.write(flags);
+    writer.write(delta_slot ? request.delta->base_step() : std::uint64_t{0});
+  }
+  writer.write(static_cast<std::uint32_t>(registry.size()));
+
+  for (const VariableInfo& variable : registry.variables()) {
+    writer.write_string(variable.name);
+    writer.write(static_cast<std::uint8_t>(variable.type));
+    writer.write(variable.element_size());
+    writer.write(variable.num_elements);
+    writer.write(static_cast<std::uint8_t>(variable.shape.size()));
+    for (std::uint64_t dim : variable.shape) writer.write(dim);
+
+    const CriticalMask* mask = nullptr;
+    if (request.masks != nullptr) {
+      const auto it = request.masks->find(variable.name);
+      if (it != request.masks->end()) {
+        SCRUTINY_REQUIRE(it->second.size() == variable.num_elements,
+                         "mask size mismatch for " + variable.name);
+        mask = &it->second;
+      }
+    }
+    // Same break-even as the v1 writer: pruning must beat the metadata.
+    if (mask != nullptr) {
+      const RegionList regions = RegionList::from_mask(*mask);
+      const std::uint64_t pruned_cost =
+          regions.covered_elements() * variable.element_size() +
+          regions.serialized_bytes();
+      if (pruned_cost > variable.total_bytes()) mask = nullptr;
+    }
+
+    const std::span<std::byte> bytes = variable.bytes();
+    const std::uint32_t esize = variable.element_size();
+
+    codec.start();
+    RegionList write_set;
+    if (mask != nullptr) {
+      write_set = RegionList::from_mask(*mask);
+    } else if (variable.num_elements > 0) {
+      write_set.append(Region{0, variable.num_elements});
+    }
+    report.raw_payload_bytes += write_set.covered_elements() * esize;
+
+    const LossyPlan* plan = nullptr;
+    RegionList low_ws;
+    RegionList high_ws;
+    if (lossy_active) {
+      const auto it = request.lossy->find(variable.name);
+      if (it != request.lossy->end()) {
+        SCRUTINY_REQUIRE(variable.type == DataType::Float64,
+                         "lossy plan on non-f64 variable " + variable.name);
+        SCRUTINY_REQUIRE(it->second.low.size() == variable.num_elements,
+                         "lossy mask size mismatch for " + variable.name);
+        low_ws = regions_where(write_set, it->second.low, true);
+        if (low_ws.num_regions() > 0) {
+          plan = &it->second;
+          high_ws = regions_where(write_set, it->second.low, false);
+        }
+      }
+    }
+
+    // Effective image = what a restore of this slot reconstructs (lossy
+    // lows round-tripped).  Doubles as the staged shadow for the cache.
+    const std::byte* effective = bytes.data();
+    std::vector<std::byte> scratch;
+    if (plan != nullptr || request.delta != nullptr) {
+      scratch.assign(bytes.begin(), bytes.end());
+      if (plan != nullptr) {
+        double* values = reinterpret_cast<double*>(scratch.data());
+        for (const Region& region : low_ws.regions()) {
+          for (std::uint64_t e = region.begin; e < region.end; ++e) {
+            values[e] = lossy_round_trip(values[e], plan->precision);
+          }
+        }
+      }
+      effective = scratch.data();
+    }
+
+    // Cost of the keyframe-style section a delta would have to beat.
+    std::uint64_t raw_cost = 0;
+    if (plan != nullptr) {
+      raw_cost = 1 + regions_cost(high_ws) + regions_cost(low_ws) +
+                 high_ws.covered_elements() * esize +
+                 low_ws.covered_elements() *
+                     quantized_elem_size(plan->precision);
+    } else if (mask != nullptr) {
+      raw_cost = regions_cost(write_set) + write_set.covered_elements() * esize;
+    } else {
+      raw_cost = bytes.size();
+    }
+    codec.stop();
+
+    bool wrote_delta = false;
+    if (delta_slot) {
+      const std::vector<std::byte>* shadow =
+          request.delta->shadow(variable.name);
+      if (shadow != nullptr && shadow->size() == bytes.size()) {
+        codec.start();
+        const RegionList dirty = dirty_regions(
+            effective, shadow->data(), esize, write_set, kDirtyMergeGap);
+        const RegionList high_dirty =
+            plan != nullptr ? regions_where(dirty, plan->low, false) : dirty;
+        const RegionList low_dirty =
+            plan != nullptr ? regions_where(dirty, plan->low, true)
+                            : RegionList{};
+
+        std::vector<std::byte> enc;
+        std::vector<std::uint64_t> enc_lens;
+        enc_lens.reserve(high_dirty.num_regions());
+        for (const Region& region : high_dirty.regions()) {
+          enc_lens.push_back(xor_mask_encode(
+              effective + region.begin * esize,
+              shadow->data() + region.begin * esize, region.length() * esize,
+              enc));
+        }
+        std::vector<std::byte> low_payload;
+        if (plan != nullptr && low_dirty.num_regions() > 0) {
+          const double* values =
+              reinterpret_cast<const double*>(bytes.data());
+          low_payload.reserve(low_dirty.covered_elements() *
+                              quantized_elem_size(plan->precision));
+          for (const Region& region : low_dirty.regions()) {
+            append_quantized(low_payload, values + region.begin,
+                             region.length(), plan->precision);
+          }
+        }
+        const std::uint64_t delta_cost =
+            1 + regions_cost(high_dirty) + regions_cost(low_dirty) +
+            8 * high_dirty.num_regions() + enc.size() + low_payload.size();
+        codec.stop();
+
+        if (delta_cost < raw_cost) {
+          writer.write(kModeDelta);
+          writer.write(static_cast<std::uint8_t>(
+              plan != nullptr ? static_cast<std::uint8_t>(plan->precision)
+                              : std::uint8_t{0}));
+          write_regions(writer, high_dirty);
+          write_regions(writer, low_dirty);
+          std::size_t offset = 0;
+          for (std::size_t r = 0; r < enc_lens.size(); ++r) {
+            writer.write(enc_lens[r]);
+            writer.write_bytes(enc.data() + offset, enc_lens[r]);
+            offset += static_cast<std::size_t>(enc_lens[r]);
+          }
+          if (!low_payload.empty()) {
+            writer.write_bytes(low_payload.data(), low_payload.size());
+          }
+          report.aux_bytes += 1 + regions_cost(high_dirty) +
+                              regions_cost(low_dirty) +
+                              8 * high_dirty.num_regions();
+          report.payload_bytes += enc.size() + low_payload.size();
+          const std::uint64_t covered =
+              high_dirty.covered_elements() + low_dirty.covered_elements();
+          report.elements_written += covered;
+          report.elements_skipped += variable.num_elements - covered;
+          wrote_delta = true;
+        }
+      }
+    }
+
+    if (!wrote_delta && plan != nullptr) {
+      // Lossy keyframe section.
+      writer.write(kModeLossy);
+      writer.write(static_cast<std::uint8_t>(plan->precision));
+      write_regions(writer, high_ws);
+      write_regions(writer, low_ws);
+      for (const Region& region : high_ws.regions()) {
+        writer.write_bytes(bytes.data() + region.begin * esize,
+                           region.length() * esize);
+      }
+      codec.start();
+      std::vector<std::byte> low_payload;
+      const double* values = reinterpret_cast<const double*>(bytes.data());
+      low_payload.reserve(low_ws.covered_elements() *
+                          quantized_elem_size(plan->precision));
+      for (const Region& region : low_ws.regions()) {
+        append_quantized(low_payload, values + region.begin, region.length(),
+                         plan->precision);
+      }
+      codec.stop();
+      if (!low_payload.empty()) {
+        writer.write_bytes(low_payload.data(), low_payload.size());
+      }
+      report.aux_bytes += 1 + regions_cost(high_ws) + regions_cost(low_ws);
+      report.payload_bytes +=
+          high_ws.covered_elements() * esize + low_payload.size();
+      const std::uint64_t covered =
+          high_ws.covered_elements() + low_ws.covered_elements();
+      report.elements_written += covered;
+      report.elements_skipped += variable.num_elements - covered;
+    } else if (!wrote_delta && mask == nullptr) {
+      writer.write(kModeFull);
+      writer.write_bytes(bytes.data(), bytes.size());
+      report.payload_bytes += bytes.size();
+      report.elements_written += variable.num_elements;
+    } else if (!wrote_delta) {
+      writer.write(kModePruned);
+      write_regions(writer, write_set);
+      report.aux_bytes += write_set.serialized_bytes();
+      for (const Region& region : write_set.regions()) {
+        writer.write_bytes(bytes.data() + region.begin * esize,
+                           region.length() * esize);
+        report.payload_bytes += region.length() * esize;
+        report.elements_written += region.length();
+      }
+      report.elements_skipped +=
+          variable.num_elements - write_set.covered_elements();
+    }
+
+    if (request.delta != nullptr) {
+      staged.emplace_back(variable.name, std::move(scratch));
+    }
+  }
+
+  const std::uint64_t crc = writer.crc();
+  writer.write(crc);
+  writer.flush();
+  sink->commit();
+
+  if (request.delta != nullptr) {
+    codec.start();
+    for (auto& [name, image] : staged) {
+      request.delta->store(name, std::move(image));
+    }
+    request.delta->set_base(step);
+    codec.stop();
+  }
+
+  report.file_bytes = sink->bytes_written();
+  report.seconds = timer.seconds();
+  report.codec_seconds = codec.total();
+  return report;
+}
+
 RestoreReport restore_checkpoint(StorageBackend& backend,
                                  const std::string& key,
                                  const CheckpointRegistry& registry) {
@@ -200,11 +563,17 @@ RestoreReport restore_checkpoint(StorageBackend& backend,
   ChunkedReader reader(*source, key);
   SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
                    "not a checkpoint file: " + key);
-  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
+  const auto version = reader.read<std::uint32_t>();
+  SCRUTINY_REQUIRE(version == kVersion || version == kVersion2,
                    "unsupported checkpoint version: " + key);
 
   RestoreReport report;
   report.step = reader.read<std::uint64_t>();
+  if (version == kVersion2) {
+    const auto flags = reader.read<std::uint8_t>();
+    const auto base = reader.read<std::uint64_t>();
+    if ((flags & kCkptFlagDelta) != 0) report.base_step = base;
+  }
   const auto num_vars = reader.read<std::uint32_t>();
 
   // Scatter payloads into bound memory as sections stream past.
@@ -233,27 +602,87 @@ RestoreReport restore_checkpoint(StorageBackend& backend,
     if (mode == kModeFull) {
       reader.read_bytes(bytes.data(), bytes.size());
       report.elements_restored += num_elements;
-    } else {
-      SCRUTINY_REQUIRE(mode == kModePruned,
-                       "corrupt section mode in " + key);
+    } else if (mode == kModePruned) {
       report.pruned = true;
-      const auto num_regions = reader.read<std::uint64_t>();
-      SCRUTINY_REQUIRE(num_regions <= num_elements,
-                       "implausible region count restoring " + name);
-      std::vector<Region> regions(static_cast<std::size_t>(num_regions));
-      for (Region& region : regions) {
-        region.begin = reader.read<std::uint64_t>();
-        region.end = reader.read<std::uint64_t>();
-        SCRUTINY_REQUIRE(region.begin < region.end &&
-                             region.end <= num_elements,
-                         "corrupt region restoring " + name);
-      }
+      const RegionList regions = read_region_list(reader, num_elements, name);
       std::uint64_t restored = 0;
-      for (const Region& region : regions) {
+      for (const Region& region : regions.regions()) {
         reader.read_bytes(bytes.data() + region.begin * element_size,
                           region.length() * element_size);
         restored += region.length();
       }
+      report.elements_restored += restored;
+      report.elements_untouched += num_elements - restored;
+    } else if (mode == kModeLossy) {
+      SCRUTINY_REQUIRE(version == kVersion2,
+                       "lossy section in a v1 container: " + key);
+      SCRUTINY_REQUIRE(dtype == DataType::Float64,
+                       "lossy section on non-f64 variable " + name);
+      const auto precision_byte = reader.read<std::uint8_t>();
+      SCRUTINY_REQUIRE(precision_byte == 1 || precision_byte == 2,
+                       "corrupt lossy precision restoring " + name);
+      const auto precision = static_cast<LossyPrecision>(precision_byte);
+      const RegionList high = read_region_list(reader, num_elements, name);
+      const RegionList low = read_region_list(reader, num_elements, name);
+      for (const Region& region : high.regions()) {
+        reader.read_bytes(bytes.data() + region.begin * element_size,
+                          region.length() * element_size);
+      }
+      double* values = reinterpret_cast<double*>(bytes.data());
+      for (const Region& region : low.regions()) {
+        read_quantized(reader, values + region.begin, region.length(),
+                       precision);
+      }
+      report.lossy = true;
+      const std::uint64_t restored =
+          high.covered_elements() + low.covered_elements();
+      if (restored < num_elements) report.pruned = true;
+      report.elements_restored += restored;
+      report.elements_untouched += num_elements - restored;
+    } else {
+      SCRUTINY_REQUIRE(mode == kModeDelta,
+                       "corrupt section mode in " + key);
+      SCRUTINY_REQUIRE(version == kVersion2 && report.base_step.has_value(),
+                       "delta section outside a delta slot: " + key);
+      const auto precision_byte = reader.read<std::uint8_t>();
+      SCRUTINY_REQUIRE(precision_byte <= 2,
+                       "corrupt delta precision restoring " + name);
+      const RegionList high = read_region_list(reader, num_elements, name);
+      const RegionList low = read_region_list(reader, num_elements, name);
+      SCRUTINY_REQUIRE(low.num_regions() == 0 || precision_byte != 0,
+                       "lossy delta regions without a precision: " + name);
+      if (precision_byte != 0) {
+        SCRUTINY_REQUIRE(dtype == DataType::Float64,
+                         "lossy delta on non-f64 variable " + name);
+        report.lossy = true;
+      }
+      // The XOR streams reconstruct on top of the base slot's bytes, which
+      // the caller (chain-aware manager restart) has already restored.
+      std::vector<std::byte> enc;
+      for (const Region& region : high.regions()) {
+        const auto enc_len = reader.read<std::uint64_t>();
+        const std::uint64_t raw = region.length() * element_size;
+        SCRUTINY_REQUIRE(enc_len <= xor_mask_worst_case(raw),
+                         "implausible delta stream restoring " + name);
+        enc.resize(static_cast<std::size_t>(enc_len));
+        reader.read_bytes(enc.data(), enc.size());
+        SCRUTINY_REQUIRE(
+            xor_mask_decode(enc.data(), enc.size(),
+                            bytes.data() + region.begin * element_size,
+                            static_cast<std::size_t>(raw)),
+            "corrupt delta stream restoring " + name);
+      }
+      if (precision_byte != 0) {
+        const auto precision = static_cast<LossyPrecision>(precision_byte);
+        double* values = reinterpret_cast<double*>(bytes.data());
+        for (const Region& region : low.regions()) {
+          read_quantized(reader, values + region.begin, region.length(),
+                         precision);
+        }
+      }
+      report.pruned = true;
+      const std::uint64_t restored =
+          high.covered_elements() + low.covered_elements();
       report.elements_restored += restored;
       report.elements_untouched += num_elements - restored;
     }
@@ -274,15 +703,28 @@ RestoreReport restore_checkpoint(const std::filesystem::path& path,
   return restore_checkpoint(backend, path.string(), registry);
 }
 
-std::uint64_t peek_checkpoint_step(StorageBackend& backend,
-                                   const std::string& key) {
+CheckpointInfo peek_checkpoint_info(StorageBackend& backend,
+                                    const std::string& key) {
   const std::unique_ptr<StorageReader> source = backend.open_for_read(key);
   ChunkedReader reader(*source, key);
   SCRUTINY_REQUIRE(reader.read<std::uint64_t>() == kMagic,
                    "not a checkpoint file: " + key);
-  SCRUTINY_REQUIRE(reader.read<std::uint32_t>() == kVersion,
+  CheckpointInfo info;
+  info.version = reader.read<std::uint32_t>();
+  SCRUTINY_REQUIRE(info.version == kVersion || info.version == kVersion2,
                    "unsupported checkpoint version: " + key);
-  return reader.read<std::uint64_t>();
+  info.step = reader.read<std::uint64_t>();
+  if (info.version == kVersion2) {
+    info.flags = reader.read<std::uint8_t>();
+    const auto base = reader.read<std::uint64_t>();
+    if ((info.flags & kCkptFlagDelta) != 0) info.base_step = base;
+  }
+  return info;
+}
+
+std::uint64_t peek_checkpoint_step(StorageBackend& backend,
+                                   const std::string& key) {
+  return peek_checkpoint_info(backend, key).step;
 }
 
 std::uint64_t peek_checkpoint_step(const std::filesystem::path& path) {

@@ -24,6 +24,26 @@
 // standalone auxiliary file for inspection and for the Table III
 // accounting.
 //
+// Format version 2 (written only when a payload codec beyond prune is
+// active; version-1 objects restore unchanged) extends the header with a
+// codec descriptor and two section modes:
+//   magic u64 | version u32 = 2 | step u64 | flags u8 | base_step u64
+//   | num_vars u32
+//   flags: bit0 = pruned, bit1 = delta slot (base_step meaningful),
+//          bit2 = lossy
+//   mode 2 (lossy keyframe):
+//     precision u8 | high regions | low regions
+//     | high payload (raw f64) | low payload (f32/f16 quantized)
+//   mode 3 (delta):
+//     precision u8 | high dirty regions | low dirty regions
+//     | per high region: enc_len u64 + XOR zero-byte-mask stream
+//     | per low region: quantized elements
+//   (region lists serialize as num u64 | (begin u64, end u64)[num])
+// A delta section reconstructs on top of the base slot's state: the
+// restore XORs the decoded stream into bound memory, so the manager must
+// restore the keyframe and intervening deltas first (restore_checkpoint
+// surfaces base_step for that).
+//
 // The path-based overloads keep the historical API: they route through an
 // unrooted FileBackend, treating the path as the storage key.
 #pragma once
@@ -34,6 +54,7 @@
 #include <optional>
 #include <string>
 
+#include "ckpt/codec.hpp"
 #include "ckpt/registry.hpp"
 #include "ckpt/storage_backend.hpp"
 #include "mask/critical_mask.hpp"
@@ -45,20 +66,53 @@ namespace scrutiny::ckpt {
 /// in full.
 using PruneMap = std::map<std::string, CriticalMask>;
 
+/// Container flag bits (version >= 2).
+inline constexpr std::uint8_t kCkptFlagPruned = 0x01;
+inline constexpr std::uint8_t kCkptFlagDelta = 0x02;
+inline constexpr std::uint8_t kCkptFlagLossy = 0x04;
+
+/// Codec pipeline inputs for one slot write.  Default-constructed it is
+/// exactly the historical prune-only writer (format v1, byte-identical).
+struct CodecRequest {
+  /// Criticality masks; variables without an entry are written in full.
+  const PruneMap* masks = nullptr;
+  /// Per-variable lossy plans; non-null and non-empty switches the
+  /// container to v2 and affected sections to mode 2 (or lossy deltas).
+  const LossyMap* lossy = nullptr;
+  /// The manager's shadow cache.  Non-null: the writer stages post-commit
+  /// images and advances the cache after a successful commit, so the next
+  /// slot can be a delta.  Null: no shadow bookkeeping.
+  DeltaCache* delta = nullptr;
+  /// Write this slot as a delta against `delta->base_step()` (requires a
+  /// valid cache).  Sections whose encoded delta would not beat the raw
+  /// section fall back per-variable; the container stays a delta slot.
+  bool delta_slot = false;
+};
+
 struct WriteReport {
   std::uint64_t file_bytes = 0;        ///< container size in the backend
-  std::uint64_t payload_bytes = 0;     ///< element data written
+  std::uint64_t payload_bytes = 0;     ///< element data written (post-codec)
+  std::uint64_t raw_payload_bytes = 0;  ///< write-set bytes pre-codec
   std::uint64_t aux_bytes = 0;         ///< region metadata written
   std::uint64_t elements_written = 0;
   std::uint64_t elements_skipped = 0;  ///< uncritical elements dropped
   double seconds = 0.0;  ///< app-thread time blocked in the write (an async
                          ///< backend returns at buffer hand-off, so this is
                          ///< the overlap win, not the drain time)
+  double codec_seconds = 0.0;  ///< CPU time in diffing/quantizing/shadow
+                               ///< upkeep, disjoint from backend I/O time
 
-  /// Apparent app-thread throughput (container bytes / blocked seconds).
+  /// App-thread time actually spent against the backend.
+  [[nodiscard]] double io_seconds() const noexcept {
+    const double io = seconds - codec_seconds;
+    return io > 0.0 ? io : 0.0;
+  }
+
+  /// Apparent app-thread I/O throughput (container bytes / blocked I/O
+  /// seconds — codec CPU time is reported separately, not blended in).
   [[nodiscard]] double mb_per_second() const noexcept {
-    if (seconds <= 0.0) return 0.0;
-    return static_cast<double>(file_bytes) / seconds / 1.0e6;
+    if (io_seconds() <= 0.0) return 0.0;
+    return static_cast<double>(file_bytes) / io_seconds() / 1.0e6;
   }
 };
 
@@ -68,6 +122,12 @@ WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
                              const CheckpointRegistry& registry,
                              std::uint64_t step,
                              const PruneMap* masks = nullptr);
+
+/// Codec-pipeline writer: prune ∘ delta ∘ lowprec per `request`.  With a
+/// default request this is the historical v1 writer, byte for byte.
+WriteReport write_checkpoint(StorageBackend& backend, const std::string& key,
+                             const CheckpointRegistry& registry,
+                             std::uint64_t step, const CodecRequest& request);
 
 /// Path convenience: the on-disk format via an unrooted FileBackend.
 WriteReport write_checkpoint(const std::filesystem::path& path,
@@ -81,6 +141,11 @@ struct RestoreReport {
   std::uint64_t elements_restored = 0;
   std::uint64_t elements_untouched = 0;  ///< uncritical, left as-is
   bool pruned = false;
+  bool lossy = false;  ///< some elements reconstructed at reduced precision
+  /// Set when the object is a delta slot: the restore XORed on top of
+  /// whatever memory held, which is only meaningful if the base slot's
+  /// chain was restored first.
+  std::optional<std::uint64_t> base_step;
   double seconds = 0.0;
 
   [[nodiscard]] double mb_per_second() const noexcept {
@@ -105,6 +170,18 @@ RestoreReport restore_checkpoint(const std::filesystem::path& path,
                                                  const std::string& key);
 [[nodiscard]] std::uint64_t peek_checkpoint_step(
     const std::filesystem::path& path);
+
+/// Header-only view of a checkpoint object (cheap: no payload read).
+struct CheckpointInfo {
+  std::uint64_t step = 0;
+  std::uint32_t version = 1;
+  std::uint8_t flags = 0;  ///< kCkptFlag* bits; 0 for v1 objects
+  /// Step of the base slot this delta depends on (delta slots only).
+  std::optional<std::uint64_t> base_step;
+};
+
+[[nodiscard]] CheckpointInfo peek_checkpoint_info(StorageBackend& backend,
+                                                  const std::string& key);
 
 /// Emits the paper-style standalone auxiliary object next to a checkpoint
 /// (key `<checkpoint_key>.regions`).

@@ -1,0 +1,302 @@
+#include "ckpt/codec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+// ---------------------------------------------------------------------------
+// codec selection
+// ---------------------------------------------------------------------------
+
+const char* lossy_precision_name(LossyPrecision precision) {
+  switch (precision) {
+    case LossyPrecision::F32: return "f32";
+    case LossyPrecision::F16: return "f16";
+  }
+  return "?";
+}
+
+double lossy_precision_tolerance(LossyPrecision precision) {
+  switch (precision) {
+    // Half an ulp of the target format, with headroom for the widen path.
+    case LossyPrecision::F32: return 1.5e-7;
+    case LossyPrecision::F16: return 1.0e-3;
+  }
+  return 0.0;
+}
+
+std::string CodecConfig::name() const {
+  std::string text = prune ? "prune" : "full";
+  if (delta) text += "+delta";
+  if (lossy) {
+    text += "+lossy-";
+    text += lossy_precision_name(precision);
+  }
+  return text;
+}
+
+std::string codec_spec_inventory() {
+  return "prune, full, delta, lossy (joined with '+', e.g. prune+delta)";
+}
+
+void apply_codec_spec(CodecConfig& config, const std::string& spec) {
+  bool saw_prune = false;
+  bool saw_full = false;
+  config.prune = false;
+  config.delta = false;
+  config.lossy = false;
+  std::stringstream stream(spec);
+  std::string token;
+  bool any = false;
+  while (std::getline(stream, token, '+')) {
+    if (token.empty()) continue;
+    any = true;
+    if (token == "prune") {
+      saw_prune = true;
+      config.prune = true;
+    } else if (token == "full") {
+      saw_full = true;
+    } else if (token == "delta") {
+      config.delta = true;
+    } else if (token == "lossy") {
+      config.lossy = true;
+    } else {
+      throw ScrutinyError("unknown codec: " + token + " (expected " +
+                          codec_spec_inventory() + ")");
+    }
+  }
+  SCRUTINY_REQUIRE(any, "empty codec spec (expected " +
+                            codec_spec_inventory() + ")");
+  SCRUTINY_REQUIRE(!(saw_prune && saw_full),
+                   "codec spec cannot combine 'prune' with 'full'");
+}
+
+// ---------------------------------------------------------------------------
+// lossy quantization
+// ---------------------------------------------------------------------------
+
+std::uint16_t f16_from_f64(double value) noexcept {
+  // Narrow through f32 first (hardware round-to-nearest-even), then to
+  // binary16 in software.  The double rounding can differ from a direct
+  // f64->f16 rounding by at most one ulp — irrelevant here because the
+  // shadow cache and the restore path use this exact function, so the
+  // round trip is self-consistent.
+  const float narrowed = static_cast<float>(value);
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(narrowed);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t abs = bits & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf / NaN: keep the class, set a quiet-NaN mantissa bit for NaNs.
+    const std::uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mantissa);
+  }
+  if (abs >= 0x47800000u) {  // >= 65536: overflows binary16 -> inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x33000000u) {  // < 2^-25: underflows to zero even with RNE
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal binary16 (m16 = mantissa32 * 2^(E-126)): shift the
+    // implicit-1 mantissa into place, round-to-nearest-even on the
+    // dropped bits.
+    const std::uint32_t mantissa = (abs & 0x007fffffu) | 0x00800000u;
+    const int shift = 126 - static_cast<int>(abs >> 23);  // 14..24
+    const std::uint32_t shifted = mantissa >> shift;
+    const std::uint32_t rest = mantissa & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t rounded = shifted;
+    if (rest > half || (rest == half && (shifted & 1u))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal range: re-bias the exponent, round the 13 dropped mantissa bits.
+  std::uint32_t half_bits =
+      ((abs >> 13) & 0x3ffu) |
+      ((((abs >> 23) - 127u + 15u) & 0x1fu) << 10);
+  const std::uint32_t rest = abs & 0x1fffu;
+  if (rest > 0x1000u || (rest == 0x1000u && (half_bits & 1u))) {
+    ++half_bits;  // mantissa carry ripples into the exponent correctly
+  }
+  return static_cast<std::uint16_t>(sign | half_bits);
+}
+
+double f64_from_f16(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u)
+                             << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+  const std::uint32_t mantissa = bits & 0x3ffu;
+  std::uint32_t f32_bits;
+  if (exponent == 0x1fu) {  // inf / NaN
+    f32_bits = sign | 0x7f800000u | (mantissa << 13);
+  } else if (exponent != 0) {  // normal
+    f32_bits = sign | ((exponent + 112u) << 23) | (mantissa << 13);
+  } else if (mantissa != 0) {  // subnormal: renormalize
+    std::uint32_t m = mantissa;
+    int e = -1;
+    do {
+      m <<= 1;
+      ++e;
+    } while ((m & 0x400u) == 0);
+    f32_bits = sign | ((113u - static_cast<std::uint32_t>(e) - 1u) << 23) |
+               ((m & 0x3ffu) << 13);
+  } else {  // signed zero
+    f32_bits = sign;
+  }
+  return static_cast<double>(std::bit_cast<float>(f32_bits));
+}
+
+double lossy_round_trip(double value, LossyPrecision precision) noexcept {
+  switch (precision) {
+    case LossyPrecision::F32:
+      return static_cast<double>(static_cast<float>(value));
+    case LossyPrecision::F16:
+      return f64_from_f16(f16_from_f64(value));
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// delta shadow cache
+// ---------------------------------------------------------------------------
+
+const std::vector<std::byte>* DeltaCache::shadow(
+    const std::string& name) const {
+  if (!valid_) return nullptr;
+  const auto it = shadows_.find(name);
+  return it == shadows_.end() ? nullptr : &it->second;
+}
+
+void DeltaCache::store(const std::string& name, std::vector<std::byte> bytes) {
+  shadows_[name] = std::move(bytes);
+}
+
+void DeltaCache::prime_from_registry(const CheckpointRegistry& registry,
+                                     std::uint64_t restored_step) {
+  shadows_.clear();
+  for (const VariableInfo& variable : registry.variables()) {
+    const std::span<const std::byte> bytes = variable.bytes();
+    shadows_[variable.name].assign(bytes.begin(), bytes.end());
+  }
+  // A restore scatters round-tripped values, and lossy_round_trip is
+  // idempotent, so the raw memory image IS the reconstruction: no
+  // re-quantization pass needed.
+  base_step_ = restored_step;
+  valid_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// dirty-region diffing
+// ---------------------------------------------------------------------------
+
+RegionList dirty_regions(const std::byte* current, const std::byte* shadow,
+                         std::uint32_t elem_size,
+                         const RegionList& write_set,
+                         std::uint64_t merge_gap) {
+  RegionList dirty;
+  bool open = false;
+  Region run;
+  auto flush = [&] {
+    if (open) dirty.append(run);
+    open = false;
+  };
+  for (const Region& region : write_set.regions()) {
+    // Runs never merge across write-set gaps: those elements are not
+    // written at all, so carrying them would corrupt the payload.
+    flush();
+    for (std::uint64_t e = region.begin; e < region.end; ++e) {
+      const std::size_t offset = static_cast<std::size_t>(e) * elem_size;
+      const bool changed =
+          std::memcmp(current + offset, shadow + offset, elem_size) != 0;
+      if (!changed) continue;
+      if (open && e - run.end <= merge_gap) {
+        run.end = e + 1;
+      } else {
+        flush();
+        run = Region{e, e + 1};
+        open = true;
+      }
+    }
+  }
+  flush();
+  return dirty;
+}
+
+RegionList regions_where(const RegionList& within, const CriticalMask& mask,
+                         bool value) {
+  RegionList result;
+  bool open = false;
+  Region run;
+  auto flush = [&] {
+    if (open) result.append(run);
+    open = false;
+  };
+  for (const Region& region : within.regions()) {
+    flush();  // sub-runs never span source-region gaps
+    for (std::uint64_t e = region.begin; e < region.end; ++e) {
+      if (mask.test(e) != value) {
+        flush();
+        continue;
+      }
+      if (open) {
+        run.end = e + 1;
+      } else {
+        run = Region{e, e + 1};
+        open = true;
+      }
+    }
+  }
+  flush();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// XOR zero-byte-mask encoding
+// ---------------------------------------------------------------------------
+
+std::uint64_t xor_mask_encode(const std::byte* current,
+                              const std::byte* shadow, std::size_t size,
+                              std::vector<std::byte>& out) {
+  const std::size_t start = out.size();
+  out.reserve(start + size + size / 8 + 1);
+  for (std::size_t group = 0; group < size; group += 8) {
+    const std::size_t count = size - group < 8 ? size - group : 8;
+    std::byte lane[8];
+    std::uint8_t mask = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      lane[j] = current[group + j] ^ shadow[group + j];
+      if (lane[j] != std::byte{0}) mask |= static_cast<std::uint8_t>(1u << j);
+    }
+    out.push_back(std::byte{mask});
+    for (std::size_t j = 0; j < count; ++j) {
+      if (lane[j] != std::byte{0}) out.push_back(lane[j]);
+    }
+  }
+  return out.size() - start;
+}
+
+bool xor_mask_decode(const std::byte* encoded, std::size_t encoded_size,
+                     std::byte* memory, std::size_t size) {
+  std::size_t in = 0;
+  for (std::size_t group = 0; group < size; group += 8) {
+    const std::size_t count = size - group < 8 ? size - group : 8;
+    if (in >= encoded_size) return false;
+    const auto mask = static_cast<std::uint8_t>(encoded[in++]);
+    // Bits beyond the (short) final group must be clear.
+    if (count < 8 && (mask >> count) != 0) return false;
+    for (std::size_t j = 0; j < count; ++j) {
+      if ((mask >> j) & 1u) {
+        if (in >= encoded_size) return false;
+        memory[group + j] ^= encoded[in++];
+      }
+    }
+  }
+  return in == encoded_size;
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,208 @@
+// Payload codecs for the checkpoint container: delta encoding against a
+// per-manager shadow cache, and mask-driven lossy precision reduction.
+//
+// The streaming serializer composes up to three codecs per slot
+// (prune ∘ delta ∘ lowprec):
+//   * prune  — drop uncritical elements entirely (the paper's payoff; the
+//     write set is the critical RegionList, as in format v1),
+//   * delta  — drop write-set elements that are bit-identical to what a
+//     restart of the previous slot would reconstruct (the DeltaCache
+//     shadow), and XOR-compress the elements that did change: consecutive
+//     fp64 states of an iterative solver share sign/exponent/high-mantissa
+//     bytes, so the XOR stream is mostly zero bytes and the zero-byte-mask
+//     encoding below stores only the rest,
+//   * lowprec — store low-impact critical elements as f32/f16 instead of
+//     f64 (promoted from the dormant seed ckpt/lowprec.* quantizer).
+//
+// Everything here is pure CPU-side transformation; the container framing
+// that records which codecs a slot used lives in checkpoint_io.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/registry.hpp"
+#include "mask/critical_mask.hpp"
+#include "mask/region.hpp"
+
+namespace scrutiny::ckpt {
+
+// ---------------------------------------------------------------------------
+// codec selection
+// ---------------------------------------------------------------------------
+
+/// Reduced-precision storage class for lossy-coded elements.
+enum class LossyPrecision : std::uint8_t {
+  F32 = 1,  ///< bounded relative error ~1.2e-7
+  F16 = 2,  ///< IEEE-754 binary16, relative error ~4.9e-4, range ±65504
+};
+
+[[nodiscard]] const char* lossy_precision_name(LossyPrecision precision);
+
+/// Relative round-trip tolerance a restored low-precision element is
+/// guaranteed to meet (used by verify_restart's per-variable gates).
+[[nodiscard]] double lossy_precision_tolerance(LossyPrecision precision);
+
+/// One slot's negotiated codec pipeline plus the knobs that drive it.
+/// The default is exactly the historical writer: prune only (when masks
+/// are attached), container format v1, byte-identical output.
+struct CodecConfig {
+  bool prune = true;   ///< drop uncritical elements (needs masks)
+  bool delta = false;  ///< dirty-region diff against the previous slot
+  bool lossy = false;  ///< low-impact critical elements at reduced precision
+
+  LossyPrecision precision = LossyPrecision::F32;
+  /// Fraction of each variable's critical elements (lowest |∂out/∂elem|
+  /// first) demoted to `precision`; needs captured impact data.
+  double low_fraction = 0.5;
+  /// Threshold-aware override: any critical element whose impact magnitude
+  /// is strictly below this is demoted regardless of `low_fraction`
+  /// (0 = quantile split only).
+  double impact_threshold = 0.0;
+  /// A self-contained keyframe every N slots bounds every restart chain to
+  /// at most N-1 deltas.  1 = every slot is a keyframe (delta disabled).
+  std::uint64_t keyframe_interval = 8;
+
+  [[nodiscard]] bool any_codec() const noexcept { return delta || lossy; }
+  /// "prune+delta+lossy-f32" style display/round-trip name.
+  [[nodiscard]] std::string name() const;
+};
+
+/// Parses a `+`-separated codec spec ("prune", "prune+delta",
+/// "prune+delta+lossy", "full", ...) onto `config`, leaving the non-spec
+/// knobs (precision, keyframe_interval, ...) untouched.  Unknown tokens
+/// throw a ScrutinyError naming the valid inventory.  "full" is the
+/// explicit no-prune spelling; it cannot be combined with "prune".
+void apply_codec_spec(CodecConfig& config, const std::string& spec);
+
+/// The valid spec tokens, for error messages and --help text.
+[[nodiscard]] std::string codec_spec_inventory();
+
+// ---------------------------------------------------------------------------
+// lossy quantization
+// ---------------------------------------------------------------------------
+
+/// f64 -> IEEE-754 binary16 bits (round-to-nearest-even via f32; overflow
+/// saturates to ±inf, NaN stays NaN) and back.
+[[nodiscard]] std::uint16_t f16_from_f64(double value) noexcept;
+[[nodiscard]] double f64_from_f16(std::uint16_t bits) noexcept;
+
+/// The value a restore reconstructs for an element stored at `precision` —
+/// quantize then widen.  Idempotent: round-tripping a round-tripped value
+/// is exact, which is what lets the delta shadow hold reconstructed values.
+[[nodiscard]] double lossy_round_trip(double value,
+                                      LossyPrecision precision) noexcept;
+
+/// Per-variable lossy plan: which critical elements are demoted, and to
+/// what.  Only DataType::Float64 variables may carry one.
+struct LossyPlan {
+  CriticalMask low;  ///< set = store at `precision` (subset of the write set)
+  LossyPrecision precision = LossyPrecision::F32;
+};
+
+/// Variables without an entry are written at full precision.
+using LossyMap = std::map<std::string, LossyPlan>;
+
+// ---------------------------------------------------------------------------
+// delta shadow cache
+// ---------------------------------------------------------------------------
+
+/// The per-manager shadow: a byte image, per variable, of what a restart
+/// of the newest committed slot's chain would reconstruct (round-tripped
+/// values where the slot was lossy).  The writer diffs registered memory
+/// against it to find dirty regions, and replaces it after a successful
+/// commit; anything that changes the write set (new masks, new lossy plan)
+/// invalidates it, forcing the next slot to be a keyframe.
+class DeltaCache {
+ public:
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  /// Step of the slot the shadow reconstructs (the base a delta refers to).
+  [[nodiscard]] std::uint64_t base_step() const noexcept {
+    return base_step_;
+  }
+
+  /// Shadow image for `name`; nullptr when absent (or cache invalid).
+  [[nodiscard]] const std::vector<std::byte>* shadow(
+      const std::string& name) const;
+
+  /// Stages one variable's post-commit image (called by the writer).
+  void store(const std::string& name, std::vector<std::byte> bytes);
+
+  /// Marks the staged images as the reconstruction of slot `step`.
+  void set_base(std::uint64_t step) noexcept {
+    base_step_ = step;
+    valid_ = true;
+  }
+
+  /// After a manager restart the registry holds exactly the reconstructed
+  /// state: adopt it as the shadow so the next slot can be a valid delta.
+  void prime_from_registry(const CheckpointRegistry& registry,
+                           std::uint64_t restored_step);
+
+  void invalidate() noexcept {
+    valid_ = false;
+    shadows_.clear();
+  }
+
+ private:
+  bool valid_ = false;
+  std::uint64_t base_step_ = 0;
+  std::map<std::string, std::vector<std::byte>> shadows_;
+};
+
+// ---------------------------------------------------------------------------
+// dirty-region diffing
+// ---------------------------------------------------------------------------
+
+/// Element-exact dirty runs of `current` vs `shadow` within `write_set`.
+/// An element is dirty when its `elem_size` bytes differ (callers pass
+/// round-tripped images when comparing lossy-coded elements).  Runs
+/// separated by at most `merge_gap` clean elements are coalesced: a clean
+/// element carried inside a run costs ~1 byte under the XOR zero-byte-mask
+/// encoding, far less than another region descriptor.
+[[nodiscard]] RegionList dirty_regions(const std::byte* current,
+                                       const std::byte* shadow,
+                                       std::uint32_t elem_size,
+                                       const RegionList& write_set,
+                                       std::uint64_t merge_gap);
+
+/// The sub-runs of `within` whose elements have `mask.test(e) == value`
+/// (used to split dirty regions into full-precision and lossy halves).
+[[nodiscard]] RegionList regions_where(const RegionList& within,
+                                       const CriticalMask& mask, bool value);
+
+// ---------------------------------------------------------------------------
+// XOR zero-byte-mask encoding
+// ---------------------------------------------------------------------------
+//
+// The delta payload codec: XOR the dirty bytes against the shadow, then
+// store the stream as 8-byte groups of `mask byte | nonzero bytes` — a
+// group of eight zero XOR bytes costs one byte, a smooth fp64 update
+// (top exponent/mantissa bytes unchanged) costs ~4-6, and the worst case
+// (all bytes differ) costs 9/8 of the raw size.
+
+/// Appends the encoding of `current XOR shadow` (both `size` bytes) to
+/// `out`; returns the encoded byte count.
+std::uint64_t xor_mask_encode(const std::byte* current,
+                              const std::byte* shadow, std::size_t size,
+                              std::vector<std::byte>& out);
+
+/// Applies an encoded stream onto `memory` (which holds the base bytes):
+/// memory ^= decoded XOR stream.  Returns false on a malformed stream
+/// (truncated, or not exactly `size` reconstructed bytes).
+[[nodiscard]] bool xor_mask_decode(const std::byte* encoded,
+                                   std::size_t encoded_size,
+                                   std::byte* memory, std::size_t size);
+
+/// Worst-case encoded size for `size` raw bytes (the writer's break-even
+/// guard): every byte dirty costs size + ceil(size/8) mask bytes.
+[[nodiscard]] constexpr std::uint64_t xor_mask_worst_case(
+    std::uint64_t size) noexcept {
+  return size + (size + 7) / 8;
+}
+
+}  // namespace scrutiny::ckpt

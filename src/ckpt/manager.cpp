@@ -14,6 +14,8 @@ void validate(const ManagerConfig& config) {
   SCRUTINY_REQUIRE(config.interval > 0, "checkpoint interval must be > 0");
   SCRUTINY_REQUIRE(config.keep_slots > 0, "must keep at least one slot");
   SCRUTINY_REQUIRE(!config.basename.empty(), "basename must not be empty");
+  SCRUTINY_REQUIRE(config.codec.keyframe_interval > 0,
+                   "keyframe interval must be > 0");
 }
 
 }  // namespace
@@ -26,9 +28,7 @@ CheckpointManager::CheckpointManager(ManagerConfig config)
   }
   backend_ = make_backend(config_.backend, config_.directory,
                           config_.async_io);
-  for (const std::string& key : list_checkpoint_keys()) {
-    slots_.emplace_back(*step_of_key(key), key);
-  }
+  adopt_existing_slots();
 }
 
 CheckpointManager::CheckpointManager(ManagerConfig config,
@@ -36,8 +36,23 @@ CheckpointManager::CheckpointManager(ManagerConfig config,
     : config_(std::move(config)), backend_(std::move(backend)) {
   validate(config_);
   SCRUTINY_REQUIRE(backend_ != nullptr, "manager needs a storage backend");
+  adopt_existing_slots();
+}
+
+void CheckpointManager::adopt_existing_slots() {
   for (const std::string& key : list_checkpoint_keys()) {
-    slots_.emplace_back(*step_of_key(key), key);
+    Slot slot;
+    slot.step = *step_of_key(key);
+    slot.key = key;
+    // Base links drive chain-aware rotation; an unreadable header means
+    // the slot is unusable anyway, so treat it as self-contained and let
+    // restart's fallback scan skip it.
+    try {
+      slot.base = peek_checkpoint_info(*backend_, key).base_step;
+    } catch (const std::exception&) {
+      slot.base = std::nullopt;
+    }
+    slots_.push_back(std::move(slot));
   }
 }
 
@@ -91,24 +106,54 @@ WriteReport CheckpointManager::checkpoint_now(
   // prunes without ever joining the background thread.
   rotate_slots();
   const std::string key = key_for_step(step);
-  const PruneMap* masks = masks_.empty() ? nullptr : &masks_;
+
+  CodecRequest request;
+  if (config_.codec.prune && !masks_.empty()) request.masks = &masks_;
+  if (lossy_enabled()) request.lossy = &lossy_;
+  const bool delta_capable =
+      config_.codec.delta && config_.codec.keyframe_interval > 1;
+  if (delta_capable) {
+    request.delta = &cache_;
+    // Delta unless the keyframe cadence (or an invalid shadow — fresh
+    // manager, changed masks, restart miss) forces a self-contained slot.
+    // `step > base` guards non-monotonic drivers: a base link must always
+    // point backward or chain restart could cycle.
+    //
+    // drained() gates the base chain on *confirmed durability*: with async
+    // storage the cache adopts each slot at commit(), but a background
+    // drain can still tear it — and the error only surfaces at the next
+    // join, which under continuous overlap may be after the run ends.  A
+    // delta written meanwhile would chain through an object that never
+    // landed, so every un-settled (or error-pending) drain degrades this
+    // slot to a self-contained keyframe instead of risking the chain.
+    request.delta_slot = cache_.valid() && step > cache_.base_step() &&
+                         since_keyframe_ + 1 <
+                             config_.codec.keyframe_interval &&
+                         backend_->drained();
+  }
+  const std::optional<std::uint64_t> base =
+      request.delta_slot ? std::optional<std::uint64_t>(cache_.base_step())
+                         : std::nullopt;
+
   WriteReport report =
-      write_checkpoint(*backend_, key, registry, step, masks);
-  if (config_.write_regions_sidecar && masks != nullptr) {
+      write_checkpoint(*backend_, key, registry, step, request);
+  since_keyframe_ = request.delta_slot ? since_keyframe_ + 1 : 0;
+  if (config_.write_regions_sidecar && request.masks != nullptr) {
     save_regions_sidecar(*backend_, key, registry, masks_);
   }
   // A same-step slot under a different (legacy-pad) name would shadow the
   // fresh write on restart and escape rotation: delete it outright.
-  std::erase_if(slots_, [&](const auto& slot) {
-    if (slot.first != step) return false;
-    if (slot.second != key) {
-      backend_->remove(slot.second);
-      backend_->remove(slot.second + ".regions");
+  std::erase_if(slots_, [&](const Slot& slot) {
+    if (slot.step != step) return false;
+    if (slot.key != key) {
+      backend_->remove(slot.key);
+      backend_->remove(slot.key + ".regions");
     }
     return true;
   });
-  slots_.emplace_back(step, key);
-  std::sort(slots_.begin(), slots_.end(), std::greater<>());
+  slots_.push_back(Slot{step, key, base});
+  std::sort(slots_.begin(), slots_.end(),
+            [](const Slot& a, const Slot& b) { return a.step > b.step; });
   rotate_slots();
   return report;
 }
@@ -156,7 +201,48 @@ std::optional<RestoreReport> CheckpointManager::restart(
   }
   for (const std::string& key : keys) {
     try {
-      return restore_checkpoint(*backend_, key, registry);
+      // Resolve the candidate's chain: keyframes stand alone; a delta slot
+      // walks base links back to its keyframe.  Steps strictly decrease
+      // along base links (the writer guarantees it), so the walk can't
+      // cycle; a missing or unreadable link fails the whole candidate and
+      // the scan falls back to the next-newest slot.
+      std::vector<std::string> chain;
+      std::string current = key;
+      std::uint64_t current_step = 0;
+      while (true) {
+        const CheckpointInfo info = peek_checkpoint_info(*backend_, current);
+        SCRUTINY_REQUIRE(chain.empty() || info.step == current_step,
+                         "base link step mismatch in " + current);
+        chain.push_back(current);
+        if (!info.base_step.has_value()) break;
+        SCRUTINY_REQUIRE(*info.base_step < info.step,
+                         "non-monotonic base link in " + current);
+        current_step = *info.base_step;
+        current = key_for_step(current_step);
+      }
+      // Keyframe first, then each delta in step order.
+      RestoreReport report;
+      for (std::size_t i = chain.size(); i-- > 0;) {
+        const RestoreReport link =
+            restore_checkpoint(*backend_, chain[i], registry);
+        if (i + 1 == chain.size()) {
+          report = link;  // keyframe: pruned/untouched accounting baseline
+        } else {
+          report.step = link.step;
+          report.file_bytes += link.file_bytes;
+          report.seconds += link.seconds;
+          report.lossy = report.lossy || link.lossy;
+        }
+      }
+      report.base_step.reset();  // the reconstructed state is self-contained
+      // Adopt the reconstruction as the delta shadow so the next slot can
+      // be a delta against it (restored lossy elements are already
+      // round-tripped, so the raw image is exact).
+      if (config_.codec.delta) {
+        cache_.prime_from_registry(registry, report.step);
+        since_keyframe_ = 0;
+      }
+      return report;
     } catch (const ScrutinyError& error) {
       log_warn("ckpt", "skipping unusable checkpoint " + key + ": " +
                            error.what());
@@ -177,14 +263,47 @@ void CheckpointManager::rotate_slots() {
   // error has been harvested by now, or drained() would be false) never
   // landed — it must not count toward keep_slots, or the phantom would
   // push the last durable checkpoint out of the retained set.
-  std::erase_if(slots_, [&](const auto& slot) {
-    return !backend_->exists(slot.second);
+  bool lost_slot = false;
+  std::erase_if(slots_, [&](const Slot& slot) {
+    if (backend_->exists(slot.key)) return false;
+    lost_slot = true;
+    return true;
   });
-  while (slots_.size() > config_.keep_slots) {
-    const std::string key = std::move(slots_.back().second);
-    slots_.pop_back();
-    backend_->remove(key);
-    backend_->remove(key + ".regions");
+  // The shadow cache adopted each write as the delta base the moment the
+  // writer committed it — *before* an async drain could still tear it.  A
+  // phantom therefore means the chain the cache describes passes through
+  // an object that never landed; keep extending it and every later delta
+  // is unrestorable.  Invalidate, forcing the next slot to be a keyframe.
+  if (lost_slot) {
+    cache_.invalidate();
+    since_keyframe_ = 0;
+  }
+  if (slots_.size() <= config_.keep_slots) return;
+  // Retain the newest keep_slots slots plus the transitive closure of
+  // their base links: a keyframe (or mid-chain delta) must outlive every
+  // retained delta that reconstructs through it.  Base steps strictly
+  // decrease, so one newest-to-oldest pass resolves the closure; at most
+  // keyframe_interval - 1 extra slots survive past the quota, and they
+  // fall out as soon as the deltas that need them rotate away.
+  std::vector<std::uint64_t> needed;
+  std::vector<Slot> retained;
+  std::vector<Slot> evicted;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    const bool in_quota = i < config_.keep_slots;
+    const bool is_needed =
+        std::find(needed.begin(), needed.end(), slot.step) != needed.end();
+    if (in_quota || is_needed) {
+      if (slot.base.has_value()) needed.push_back(*slot.base);
+      retained.push_back(std::move(slot));
+    } else {
+      evicted.push_back(std::move(slot));
+    }
+  }
+  slots_ = std::move(retained);
+  for (const Slot& slot : evicted) {
+    backend_->remove(slot.key);
+    backend_->remove(slot.key + ".regions");
   }
 }
 

@@ -38,6 +38,11 @@ struct ManagerConfig {
   bool write_regions_sidecar = false;
   BackendKind backend = BackendKind::File;
   bool async_io = false;  ///< wrap the backend in AsyncBackend
+  /// Payload codec pipeline (prune ∘ delta ∘ lowprec).  The default is the
+  /// historical prune-only writer.  With `codec.delta`, slots between
+  /// keyframes are dirty-region deltas against the previous slot, and
+  /// rotation/restart become chain-aware.
+  CodecConfig codec;
 };
 
 class CheckpointManager {
@@ -54,10 +59,33 @@ class CheckpointManager {
                     std::shared_ptr<StorageBackend> backend);
 
   /// Attaches criticality masks; subsequent writes prune with them.
-  void set_prune_map(PruneMap masks) { masks_ = std::move(masks); }
-  void clear_prune_map() { masks_.clear(); }
+  /// Changing the write set invalidates the delta shadow cache, so the
+  /// next slot is a keyframe.
+  void set_prune_map(PruneMap masks) {
+    masks_ = std::move(masks);
+    cache_.invalidate();
+  }
+  void clear_prune_map() {
+    masks_.clear();
+    cache_.invalidate();
+  }
   [[nodiscard]] bool pruning_enabled() const noexcept {
     return !masks_.empty();
+  }
+
+  /// Attaches per-variable lossy plans (effective when `config.codec.lossy`
+  /// is set).  Invalidates the delta shadow cache like set_prune_map.
+  void set_lossy_map(LossyMap plans) {
+    lossy_ = std::move(plans);
+    cache_.invalidate();
+  }
+  [[nodiscard]] bool lossy_enabled() const noexcept {
+    return config_.codec.lossy && !lossy_.empty();
+  }
+
+  /// The delta shadow cache (test/diagnostic view).
+  [[nodiscard]] const DeltaCache& delta_cache() const noexcept {
+    return cache_;
   }
 
   /// Writes a checkpoint if `step` is on the interval. Returns the report
@@ -71,7 +99,10 @@ class CheckpointManager {
 
   /// Restores the newest valid checkpoint; returns nullopt when none exists.
   /// Corrupt objects (bad CRC/truncated) are skipped with a warning,
-  /// falling back to older slots.  Joins any in-flight async writes first.
+  /// falling back to older slots.  A delta slot restores its whole chain
+  /// (keyframe first, then each delta); if any link is missing or corrupt
+  /// the candidate is skipped, falling back to the newest reconstructable
+  /// state.  Joins any in-flight async writes first.
   std::optional<RestoreReport> restart(const CheckpointRegistry& registry);
 
   /// Checkpoint keys currently committed in the backend, newest step first
@@ -102,18 +133,31 @@ class CheckpointManager {
       std::uint64_t step) const;
 
  private:
+  /// One committed slot, plus the base step its delta depends on (nullopt
+  /// for self-contained keyframes).
+  struct Slot {
+    std::uint64_t step = 0;
+    std::string key;
+    std::optional<std::uint64_t> base;
+  };
+
   /// Parses `<basename>.<digits>.ckpt`; nullopt for foreign keys.
   [[nodiscard]] std::optional<std::uint64_t> step_of_key(
       const std::string& key) const;
+  void adopt_existing_slots();
   void rotate_slots();
 
   ManagerConfig config_;
   std::shared_ptr<StorageBackend> backend_;
   PruneMap masks_;
+  LossyMap lossy_;
+  DeltaCache cache_;
+  /// Delta slots written since the last keyframe (cadence counter).
+  std::uint64_t since_keyframe_ = 0;
   /// Steps this manager knows are committed, newest first — rotation works
   /// off this cache so it never has to list (and thus join) an async
   /// backend in the checkpoint hot path.
-  std::vector<std::pair<std::uint64_t, std::string>> slots_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace scrutiny::ckpt

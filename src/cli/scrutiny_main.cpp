@@ -34,6 +34,7 @@
 
 #include "ad/adjoint_models.hpp"
 #include "ckpt/async_backend.hpp"
+#include "ckpt/codec.hpp"
 #include "ckpt/storage_backend.hpp"
 #include "core/analysis_io.hpp"
 #include "core/program.hpp"
@@ -69,9 +70,13 @@ void print_usage(std::FILE* stream) {
                "               [--save-masks F.scmask]\n"
                "  storage PROG [--dir PATH] [--backend file|memory] "
                "[--async-io]\n"
+               "               [--codec SPEC] [--keyframe-interval N]\n"
+               "               [--lossy-policy f32|f16[:FRACTION]]\n"
                "               [--masks F.scmask | analysis flags]\n"
                "  verify  PROG [--dir PATH] [--backend file|memory] "
                "[--async-io]\n"
+               "               [--codec SPEC] [--keyframe-interval N]\n"
+               "               [--lossy-policy f32|f16[:FRACTION]]\n"
                "               [--masks F.scmask | analysis flags]\n"
                "  viz     PROG VAR [--out PATH.ppm] [--width N]\n"
                "                   [--masks F.scmask | analysis flags]\n"
@@ -249,6 +254,60 @@ int cmd_analyze(const core::AnyProgram& program, const CliArgs& args) {
   return 0;
 }
 
+/// Parses --codec/--keyframe-interval/--lossy-policy onto a CodecConfig.
+/// Strict: unknown codec tokens throw naming the inventory, and
+/// `--keyframe-interval 0` is rejected outright — a cadence that never
+/// writes a keyframe could never restart.
+ckpt::CodecConfig codec_config_from_args(const CliArgs& args) {
+  ckpt::CodecConfig codec;
+  if (args.has("codec")) {
+    ckpt::apply_codec_spec(codec, args.get("codec", "prune"));
+  }
+  if (args.has("keyframe-interval")) {
+    const std::uint64_t interval = args.get_uint("keyframe-interval", 0);
+    SCRUTINY_REQUIRE(interval > 0,
+                     "--keyframe-interval must be >= 1 (1 writes every "
+                     "slot as a self-contained keyframe); 0 would never "
+                     "write a restorable keyframe");
+    codec.keyframe_interval = interval;
+  }
+  if (args.has("lossy-policy")) {
+    // PREC[:FRACTION] — e.g. `f16:0.25` demotes the lowest-impact quarter
+    // of each variable's critical elements to binary16.
+    const std::string policy = args.get("lossy-policy", "f32");
+    std::string precision = policy;
+    if (const auto colon = policy.find(':'); colon != std::string::npos) {
+      precision = policy.substr(0, colon);
+      const std::string fraction_text = policy.substr(colon + 1);
+      std::size_t consumed = 0;
+      double fraction = -1.0;
+      try {
+        fraction = std::stod(fraction_text, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      SCRUTINY_REQUIRE(consumed == fraction_text.size() && fraction > 0.0 &&
+                           fraction <= 1.0,
+                       "--lossy-policy fraction must be in (0, 1]: " +
+                           fraction_text);
+      codec.low_fraction = fraction;
+    }
+    if (precision == "f32") {
+      codec.precision = ckpt::LossyPrecision::F32;
+    } else if (precision == "f16") {
+      codec.precision = ckpt::LossyPrecision::F16;
+    } else {
+      throw ScrutinyError("unknown lossy policy precision: " + precision +
+                          " (expected f32 or f16, e.g. --lossy-policy "
+                          "f16:0.25)");
+    }
+    SCRUTINY_REQUIRE(args.has("codec") ? codec.lossy : true,
+                     "--lossy-policy only applies when --codec includes "
+                     "lossy (e.g. --codec prune+delta+lossy)");
+  }
+  return codec;
+}
+
 /// Builds the storage backend the --backend/--async-io flags select and
 /// seats the session on it.  Returns a description for the report header.
 std::string configure_storage(core::ScrutinySession& session,
@@ -270,12 +329,14 @@ int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
                       "sweep", "threads", "kernel", "tape-memory-limit",
                       "spill-backend", "warmup", "window", "threshold",
-                      "sample-stride", "impact"});
+                      "sample-stride", "impact", "codec",
+                      "keyframe-interval", "lossy-policy"});
   core::ScrutinySession session(program);
+  const ckpt::CodecConfig codec = codec_config_from_args(args);
   const std::string backend_name = configure_storage(session, args);
   prepare_analysis(session, args);
   const auto comparison =
-      session.compare_storage(args.get("dir", "scrutiny_ckpt_out"));
+      session.compare_storage(args.get("dir", "scrutiny_ckpt_out"), codec);
   // Sample async pressure before the join below empties the pipeline.
   const auto* async = dynamic_cast<ckpt::AsyncBackend*>(&session.storage());
   const std::size_t queue_depth = async ? async->queue_depth() : 0;
@@ -302,6 +363,24 @@ int cmd_storage(const core::AnyProgram& program, const CliArgs& args) {
                      mb_per_second(comparison.file_pruned,
                                    comparison.seconds_pruned)});
   table.print();
+
+  // Steady-state codec pipelines: base keyframe at the warmup step, then
+  // the next slot through the pipeline one step later.  Ratio is write-set
+  // bytes in over container bytes out; the CPU/IO split keeps MB/s an
+  // honest I/O number even when the codec burns cycles diffing.
+  if (!comparison.codec_rows.empty()) {
+    TablePrinter codecs({"Codec", "Base", "Steady", "Ratio",
+                         "Codec CPU / IO", "MB/s"});
+    for (const auto& row : comparison.codec_rows) {
+      codecs.add_row({row.codec, human_bytes(row.base_file),
+                      human_bytes(row.steady_file),
+                      fixed(row.compression(), 1) + "x",
+                      seconds(row.codec_seconds) + " / " +
+                          seconds(row.io_seconds),
+                      fixed(row.mb_per_second(), 1)});
+    }
+    codecs.print();
+  }
   return 0;
 }
 
@@ -309,13 +388,27 @@ int cmd_verify(const core::AnyProgram& program, const CliArgs& args) {
   args.require_known({"help", "dir", "backend", "async-io", "masks", "mode",
                       "sweep", "threads", "kernel", "tape-memory-limit",
                       "spill-backend", "warmup", "window", "threshold",
-                      "sample-stride", "impact"});
+                      "sample-stride", "impact", "codec",
+                      "keyframe-interval", "lossy-policy"});
   core::ScrutinySession session(program);
+  const bool codec_run = args.has("codec") ||
+                         args.has("keyframe-interval") ||
+                         args.has("lossy-policy");
+  const ckpt::CodecConfig codec = codec_config_from_args(args);
   configure_storage(session, args);
   prepare_analysis(session, args);
-  const auto verification =
-      session.verify_restart(args.get("dir", "scrutiny_ckpt_out"));
+  const std::string dir = args.get("dir", "scrutiny_ckpt_out");
+  const auto verification = codec_run ? session.verify_restart(dir, codec)
+                                      : session.verify_restart(dir);
   session.storage().wait();
+  if (codec_run) {
+    std::printf("codec: %s (keyframe interval %llu), restored step %llu\n",
+                verification.codec.c_str(),
+                static_cast<unsigned long long>(codec.keyframe_interval),
+                static_cast<unsigned long long>(verification.restored_step));
+    std::printf("restored state within per-variable tolerance: %s\n",
+                verification.restored_state_matches ? "YES" : "NO");
+  }
   std::printf("pruned restart matches uninterrupted run: %s\n",
               verification.pruned_restart_matches ? "YES" : "NO");
   std::printf("critical-corruption detected:             %s\n",

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "ckpt/codec.hpp"
 #include "serve/simulator.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
@@ -41,6 +42,13 @@ void print_usage(std::FILE* stream) {
       "    --keep-slots N      checkpoint slots retained (default 2)\n"
       "    --compute-millis X  simulated compute per step (default 0)\n"
       "    --full              write full checkpoints (default: pruned)\n"
+      "    --codec SPEC        payload pipeline every session runs\n"
+      "                        (prune, prune+delta, prune+delta+lossy, "
+      "...),\n"
+      "                        or `mixed` to cycle the pipelines per "
+      "session\n"
+      "    --keyframe-interval N  self-contained slot every N slots "
+      "(default 8)\n"
       "  service:\n"
       "    --shards N          store shards (default 8)\n"
       "    --workers N         shared drain pool threads (default 2)\n"
@@ -94,7 +102,8 @@ int cmd_simulate(const CliArgs& args) {
                       "elements", "keep-slots", "compute-millis", "full",
                       "shards", "workers", "inflight-cap", "quota",
                       "buffer-budget", "backend", "dir", "chaos",
-                      "chaos-seed", "no-negative-control"});
+                      "chaos-seed", "no-negative-control", "codec",
+                      "keyframe-interval"});
   serve::SimulatorConfig config;
   config.sessions = args.get_uint("sessions", 4);
   config.tenants = args.get_uint("tenants", 2);
@@ -106,6 +115,21 @@ int cmd_simulate(const CliArgs& args) {
   config.compute_millis = args.get_double("compute-millis", 0.0);
   config.pruned = !args.has("full");
   config.negative_control = !args.has("no-negative-control");
+  if (args.has("codec")) {
+    const std::string spec = args.get("codec", "prune");
+    if (spec == "mixed") {
+      config.mixed_codecs = true;
+    } else {
+      ckpt::apply_codec_spec(config.codec, spec);
+    }
+  }
+  if (args.has("keyframe-interval")) {
+    const std::uint64_t interval = args.get_uint("keyframe-interval", 0);
+    SCRUTINY_REQUIRE(interval > 0,
+                     "--keyframe-interval must be >= 1; 0 would never "
+                     "write a restorable keyframe");
+    config.codec.keyframe_interval = interval;
+  }
 
   config.service.store.num_shards = args.get_uint("shards", 8);
   const std::string kind_text = args.get("backend", "memory");
@@ -127,11 +151,11 @@ int cmd_simulate(const CliArgs& args) {
 
   const serve::SimulationReport report = serve::run_simulation(config);
 
-  TablePrinter table({"Tenant", "Program", "Ckpts", "IO errs", "Crashed",
-                      "Restored step", "Restart", "Verified"});
+  TablePrinter table({"Tenant", "Program", "Codec", "Ckpts", "IO errs",
+                      "Crashed", "Restored step", "Restart", "Verified"});
   for (const serve::SessionResult& session : report.sessions) {
     table.add_row(
-        {session.tenant, session.program,
+        {session.tenant, session.program, session.codec,
          with_commas(session.checkpoints_committed),
          with_commas(session.storage_errors + session.quota_skips),
          session.crashed ? "yes" : "-",

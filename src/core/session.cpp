@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <map>
 #include <utility>
+#include <vector>
 
 #include "ckpt/failure.hpp"
 #include "ckpt/file_backend.hpp"
+#include "ckpt/manager.hpp"
 #include "ckpt/registry.hpp"
 #include "core/analysis_io.hpp"
 #include "mask/region.hpp"
@@ -22,6 +26,51 @@ bool all_close(const std::vector<double>& a, const std::vector<double>& b,
     if (std::isnan(a[i]) || std::isnan(b[i])) return false;
     const double scale = std::max({1.0, std::fabs(a[i]), std::fabs(b[i])});
     if (std::fabs(a[i] - b[i]) > tol * scale) return false;
+  }
+  return true;
+}
+
+/// The codec verify gate: every write-set element of every registered
+/// variable must match `image` (the writer's memory at the checkpointed
+/// step) bit-exactly — except elements a lossy plan demoted, which must
+/// round-trip within their precision tolerance.  Uncritical elements are
+/// outside the write set and stay whatever the failure left them.
+bool restored_state_within(
+    const ckpt::CheckpointRegistry& registry,
+    const std::map<std::string, std::vector<std::byte>>& image,
+    const ckpt::PruneMap& masks, const ckpt::LossyMap& lossy) {
+  for (const ckpt::VariableInfo& variable : registry.variables()) {
+    const auto want_it = image.find(variable.name);
+    if (want_it == image.end()) return false;
+    const std::span<std::byte> got = variable.bytes();
+    if (want_it->second.size() != got.size()) return false;
+    const CriticalMask* mask = nullptr;
+    if (const auto m = masks.find(variable.name); m != masks.end()) {
+      mask = &m->second;
+    }
+    const ckpt::LossyPlan* plan = nullptr;
+    if (const auto p = lossy.find(variable.name); p != lossy.end()) {
+      plan = &p->second;
+    }
+    const std::uint32_t elem = variable.element_size();
+    for (std::uint64_t e = 0; e < variable.num_elements; ++e) {
+      if (mask != nullptr && !mask->test(e)) continue;
+      const std::byte* got_elem = got.data() + e * elem;
+      const std::byte* want_elem = want_it->second.data() + e * elem;
+      if (plan != nullptr && plan->low.test(e)) {
+        double got_value = 0.0;
+        double want_value = 0.0;
+        std::memcpy(&got_value, got_elem, sizeof(double));
+        std::memcpy(&want_value, want_elem, sizeof(double));
+        if (std::isnan(got_value) != std::isnan(want_value)) return false;
+        if (std::isnan(got_value)) continue;
+        const double tol = ckpt::lossy_precision_tolerance(plan->precision);
+        const double scale = std::max(1.0, std::fabs(want_value));
+        if (std::fabs(got_value - want_value) > tol * scale) return false;
+      } else if (std::memcmp(got_elem, want_elem, elem) != 0) {
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -48,6 +97,12 @@ ckpt::StorageBackend& ScrutinySession::storage() const {
     storage_ = std::make_shared<ckpt::FileBackend>();
   }
   return *storage_;
+}
+
+std::shared_ptr<ckpt::StorageBackend> ScrutinySession::storage_shared()
+    const {
+  (void)storage();  // materialize the file default on first use
+  return storage_;
 }
 
 // ---------------------------------------------------------------------------
@@ -276,6 +331,231 @@ RestartVerification ScrutinySession::verify_restart(
         !all_close(verification.golden, verification.corrupted, tol);
   } catch (const ScrutinyError&) {
     verification.negative_control_detected = true;
+  }
+  return verification;
+}
+
+// ---------------------------------------------------------------------------
+// codec-aware legs
+// ---------------------------------------------------------------------------
+
+bool ScrutinySession::impact_available() const {
+  for (const VariableCriticality& variable : analysis().variables) {
+    if (variable.is_integer || variable.element_size != 8) continue;
+    if (variable.impact.size() == variable.total_elements()) return true;
+  }
+  return false;
+}
+
+ckpt::LossyMap ScrutinySession::lossy_map(
+    const ckpt::CodecConfig& codec) const {
+  SCRUTINY_REQUIRE(
+      impact_available(),
+      "lossy codecs rank elements by per-element impact, which this "
+      "analysis did not capture: re-run the sweep with capture_impact "
+      "(CLI: --impact) or load an artifact that recorded it");
+  ckpt::LossyMap map;
+  for (const VariableCriticality& variable : analysis().variables) {
+    if (variable.is_integer || variable.element_size != 8) continue;
+    if (variable.impact.size() != variable.total_elements()) continue;
+    std::vector<std::size_t> critical;
+    for (std::size_t e = 0; e < variable.total_elements(); ++e) {
+      if (variable.mask.test(e)) critical.push_back(e);
+    }
+    if (critical.empty()) continue;
+    // Rank by |impact|, ties by index: the demoted set is deterministic.
+    std::stable_sort(critical.begin(), critical.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return std::fabs(variable.impact[a]) <
+                              std::fabs(variable.impact[b]);
+                     });
+    const auto quota = static_cast<std::size_t>(
+        codec.low_fraction * static_cast<double>(critical.size()));
+    ckpt::LossyPlan plan;
+    plan.low = CriticalMask(variable.total_elements());
+    plan.precision = codec.precision;
+    std::size_t demoted = 0;
+    for (std::size_t rank = 0; rank < critical.size(); ++rank) {
+      const std::size_t e = critical[rank];
+      const bool under_threshold =
+          codec.impact_threshold > 0.0 &&
+          std::fabs(variable.impact[e]) < codec.impact_threshold;
+      if (rank < quota || under_threshold) {
+        plan.low.set(e);
+        ++demoted;
+      }
+    }
+    if (demoted > 0) map.emplace(variable.name, std::move(plan));
+  }
+  return map;
+}
+
+StorageComparison ScrutinySession::compare_storage(
+    const std::filesystem::path& dir, const ckpt::CodecConfig& codec) const {
+  // Legacy columns first, byte-identical to the two-column run.
+  StorageComparison comparison = compare_storage(dir);
+
+  const ckpt::PruneMap masks = analysis().to_prune_map();
+  const int warmup = warmup_steps();
+  const bool want_lossy = codec.lossy || impact_available();
+  const ckpt::LossyMap lossy =
+      want_lossy ? lossy_map(codec) : ckpt::LossyMap{};
+
+  std::vector<ckpt::CodecConfig> combos;
+  ckpt::CodecConfig prune_only = codec;
+  prune_only.delta = false;
+  prune_only.lossy = false;
+  combos.push_back(prune_only);
+  ckpt::CodecConfig with_delta = prune_only;
+  with_delta.delta = true;
+  combos.push_back(with_delta);
+  if (!lossy.empty()) {
+    ckpt::CodecConfig with_lossy = prune_only;
+    with_lossy.lossy = true;
+    combos.push_back(with_lossy);
+    ckpt::CodecConfig combined = with_delta;
+    combined.lossy = true;
+    combos.push_back(combined);
+  }
+
+  for (const ckpt::CodecConfig& combo : combos) {
+    const auto app = program_->make_primal();
+    app->init();
+    for (int s = 0; s < warmup; ++s) app->step();
+    ckpt::CheckpointRegistry registry;
+    app->register_checkpoint(registry);
+
+    ckpt::DeltaCache cache;
+    ckpt::CodecRequest request;
+    if (combo.prune) request.masks = &masks;
+    if (combo.lossy) request.lossy = &lossy;
+    if (combo.delta) request.delta = &cache;
+
+    const std::string stem =
+        (dir / (program_->name() + "_" + combo.name())).string();
+    const ckpt::WriteReport base = ckpt::write_checkpoint(
+        storage(), stem + "_base.ckpt", registry,
+        static_cast<std::uint64_t>(warmup), request);
+    app->step();
+    request.delta_slot = combo.delta && cache.valid();
+    const ckpt::WriteReport steady = ckpt::write_checkpoint(
+        storage(), stem + "_steady.ckpt", registry,
+        static_cast<std::uint64_t>(warmup) + 1, request);
+
+    StorageComparison::CodecRow row;
+    row.codec = combo.name();
+    row.base_file = base.file_bytes;
+    row.steady_file = steady.file_bytes;
+    row.raw_payload = steady.raw_payload_bytes;
+    row.steady_seconds = steady.seconds;
+    row.codec_seconds = steady.codec_seconds;
+    row.io_seconds = steady.io_seconds();
+    comparison.codec_rows.push_back(std::move(row));
+  }
+  return comparison;
+}
+
+RestartVerification ScrutinySession::verify_restart(
+    const std::filesystem::path& dir, const ckpt::CodecConfig& codec) const {
+  const ckpt::PruneMap masks = analysis().to_prune_map();
+  const int warmup = warmup_steps();
+  const ProgramTraits& traits = program_->traits();
+  const double tol = traits.verify_tolerance;
+  const ckpt::LossyMap lossy =
+      codec.lossy ? lossy_map(codec) : ckpt::LossyMap{};
+
+  RestartVerification verification;
+  verification.codec = codec.name();
+  verification.golden = golden_outputs();
+
+  ckpt::ManagerConfig manager_config;
+  manager_config.basename =
+      (dir / (program_->name() + "_" + codec.name())).string();
+  manager_config.interval = 1;
+  manager_config.keep_slots = 4;
+  manager_config.codec = codec;
+
+  // Writer: warmup, then a three-slot chain (keyframe + two deltas when
+  // the pipeline deltas), snapshotting the final state for the gate.
+  std::map<std::string, std::vector<std::byte>> image;
+  int total_steps = 0;
+  std::string corrupt_variable = traits.verify_corrupt_variable;
+  {
+    ckpt::CheckpointManager manager(manager_config, storage_shared());
+    const auto writer = program_->make_primal();
+    writer->init();
+    for (int s = 0; s < warmup; ++s) writer->step();
+    total_steps = writer->total_steps();
+    ckpt::CheckpointRegistry registry;
+    writer->register_checkpoint(registry);
+    if (corrupt_variable.empty() && !registry.variables().empty()) {
+      corrupt_variable = registry.variables().front().name;
+    }
+    manager.set_prune_map(masks);
+    if (!lossy.empty()) manager.set_lossy_map(lossy);
+    for (int s = 0; s < 3; ++s) {
+      (void)manager.checkpoint_now(
+          static_cast<std::uint64_t>(warmup + s), registry);
+      if (s < 2) writer->step();
+    }
+    for (const ckpt::VariableInfo& variable : registry.variables()) {
+      const std::span<std::byte> bytes = variable.bytes();
+      image.emplace(variable.name,
+                    std::vector<std::byte>(bytes.begin(), bytes.end()));
+    }
+  }
+
+  // Failure: a fresh process poisons everything and restarts the chain.
+  const ckpt::FailureInjector injector;
+  {
+    const auto app = program_->make_primal();
+    app->init();
+    ckpt::CheckpointRegistry registry;
+    app->register_checkpoint(registry);
+    injector.poison_all(registry);
+    ckpt::CheckpointManager manager(manager_config, storage_shared());
+    const auto report = manager.restart(registry);
+    SCRUTINY_REQUIRE(report.has_value(),
+                     "verify_restart: no restorable checkpoint chain for " +
+                         verification.codec);
+    verification.restored_step = report->step;
+    verification.restored_state_matches =
+        restored_state_within(registry, image, masks, lossy);
+    for (int s = static_cast<int>(report->step); s < total_steps; ++s) {
+      app->step();
+    }
+    verification.restarted = app->outputs();
+  }
+  if (lossy.empty()) {
+    verification.pruned_restart_matches =
+        verification.restored_state_matches &&
+        all_close(verification.golden, verification.restarted, tol);
+  } else {
+    // Lossy runs drift downstream by design; the gate is the restored
+    // state itself, element by element against the per-variable tolerance.
+    verification.pruned_restart_matches =
+        verification.restored_state_matches;
+  }
+
+  // Negative control: restore again, corrupt critical elements, and
+  // require the state gate to fail — the tolerances must not swallow
+  // real corruption.
+  {
+    const auto app = program_->make_primal();
+    app->init();
+    ckpt::CheckpointRegistry registry;
+    app->register_checkpoint(registry);
+    injector.poison_all(registry);
+    ckpt::CheckpointManager manager(manager_config, storage_shared());
+    const auto report = manager.restart(registry);
+    SCRUTINY_REQUIRE(report.has_value(),
+                     "verify_restart: chain vanished before the negative "
+                     "control");
+    const std::size_t corrupted =
+        injector.corrupt_critical(registry, masks, corrupt_variable, 16);
+    verification.negative_control_detected =
+        corrupted > 0 &&
+        !restored_state_within(registry, image, masks, lossy);
   }
   return verification;
 }

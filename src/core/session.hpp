@@ -46,6 +46,31 @@ namespace scrutiny::core {
 /// that metric.  file_saving() additionally charges the container framing
 /// and the embedded region metadata: the honest end-to-end number.
 struct StorageComparison {
+  /// One steady-state measurement per codec pipeline: a base slot is
+  /// written at the warmup step, the program advances one step, and the
+  /// next slot goes through the pipeline (a delta slot when it deltas).
+  /// `raw_payload` is the write-set bytes entering the codec, so
+  /// compression() is the end-to-end pipeline ratio including framing.
+  struct CodecRow {
+    std::string codec;              ///< pipeline name ("prune+delta", ...)
+    std::uint64_t base_file = 0;    ///< keyframe container bytes (warmup)
+    std::uint64_t steady_file = 0;  ///< steady-state container bytes
+    std::uint64_t raw_payload = 0;  ///< write-set bytes entering the codec
+    double steady_seconds = 0.0;    ///< steady write wall time
+    double codec_seconds = 0.0;     ///< CPU spent diffing/quantizing
+    double io_seconds = 0.0;        ///< steady_seconds minus codec CPU
+
+    [[nodiscard]] double compression() const noexcept {
+      if (steady_file == 0) return 0.0;
+      return static_cast<double>(raw_payload) /
+             static_cast<double>(steady_file);
+    }
+    [[nodiscard]] double mb_per_second() const noexcept {
+      if (io_seconds <= 0.0) return 0.0;
+      return static_cast<double>(steady_file) / io_seconds / 1.0e6;
+    }
+  };
+
   std::string program;
   std::uint64_t payload_full = 0;    ///< registered bytes ("Original")
   std::uint64_t payload_pruned = 0;  ///< critical element bytes ("Optimized")
@@ -55,6 +80,7 @@ struct StorageComparison {
   std::uint64_t elements_skipped = 0;
   double seconds_full = 0.0;    ///< app-thread blocked time, full write
   double seconds_pruned = 0.0;  ///< app-thread blocked time, pruned write
+  std::vector<CodecRow> codec_rows;  ///< empty for the legacy two-column run
 
   [[nodiscard]] double payload_saving() const noexcept {
     if (payload_full == 0) return 0.0;
@@ -77,6 +103,14 @@ struct RestartVerification {
   std::vector<double> golden;
   std::vector<double> restarted;
   std::vector<double> corrupted;
+
+  // Codec-aware protocol (set by the verify_restart codec overload).
+  std::string codec;                ///< pipeline verified ("" = legacy run)
+  std::uint64_t restored_step = 0;  ///< step the restart chain reconstructed
+  /// Per-variable gate right after restore: every write-set element must
+  /// be bit-exact, except lossy-demoted elements, which must round-trip
+  /// within their precision tolerance.
+  bool restored_state_matches = false;
 };
 
 /// What a pruned checkpoint of this analysis will contain: the prune map
@@ -130,6 +164,10 @@ class ScrutinySession {
   /// The active backend (creates the file default on first use).
   [[nodiscard]] ckpt::StorageBackend& storage() const;
 
+  /// Shared handle to the active backend, for seating a CheckpointManager
+  /// (chain-aware restart, rotation) on the session's storage.
+  [[nodiscard]] std::shared_ptr<ckpt::StorageBackend> storage_shared() const;
+
   // ---- analysis -------------------------------------------------------
 
   /// Runs the analysis now and caches it; returns the cached result.
@@ -182,9 +220,44 @@ class ScrutinySession {
   [[nodiscard]] StorageComparison compare_storage(
       const std::filesystem::path& dir) const;
 
+  /// compare_storage plus steady-state codec rows: the legacy columns are
+  /// measured exactly as before, then each pipeline (prune, prune∘delta,
+  /// and — when impact data is available — the lossy combinations) writes
+  /// a base slot at warmup and a steady slot one step later.  `codec`
+  /// carries the knobs (precision, low_fraction, keyframe_interval); its
+  /// delta/lossy switches do not limit which rows are measured, but
+  /// `codec.lossy` with no captured impact throws.
+  [[nodiscard]] StorageComparison compare_storage(
+      const std::filesystem::path& dir,
+      const ckpt::CodecConfig& codec) const;
+
   /// The §IV-C restart verification protocol.
   [[nodiscard]] RestartVerification verify_restart(
       const std::filesystem::path& dir) const;
+
+  /// Codec-aware §IV-C protocol: a CheckpointManager writes a three-slot
+  /// chain (keyframe + deltas when the pipeline deltas) at warmup..+2,
+  /// memory is poisoned, and restart() reconstructs the newest state.
+  /// Lossless pipelines must restore bit-exactly and reproduce the golden
+  /// outputs; lossy pipelines are gated per variable instead — demoted
+  /// elements within their precision tolerance, everything else bit-exact.
+  /// The negative control corrupts critical elements after the restore and
+  /// requires the state gate to fail.
+  [[nodiscard]] RestartVerification verify_restart(
+      const std::filesystem::path& dir,
+      const ckpt::CodecConfig& codec) const;
+
+  /// True when the cached analysis captured per-element impact magnitudes
+  /// for at least one Float64 variable (what lossy plans rank by).
+  [[nodiscard]] bool impact_available() const;
+
+  /// Derives per-variable lossy plans from the cached analysis: within
+  /// each Float64 variable's critical set, the `codec.low_fraction`
+  /// lowest-|impact| elements (plus everything under
+  /// `codec.impact_threshold`) are demoted to `codec.precision`.  Throws
+  /// with guidance when the analysis captured no impact data.
+  [[nodiscard]] ckpt::LossyMap lossy_map(
+      const ckpt::CodecConfig& codec) const;
 
  private:
   [[nodiscard]] int warmup_steps() const;

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "ckpt/codec.hpp"
 #include "ckpt/failure.hpp"
 #include "ckpt/manager.hpp"
 #include "ckpt/registry.hpp"
@@ -26,6 +27,37 @@ double seeded_draw(std::uint64_t seed, std::uint64_t salt) {
   return hashed_uniform(seed * kGolden + salt);
 }
 
+/// The codec pipeline session `i` runs.  Mixed mode cycles the three
+/// production shapes so one simulation covers prune-only, delta chains,
+/// and lossy delta chains side by side in the same service.
+ckpt::CodecConfig session_codec(const SimulatorConfig& config,
+                                std::size_t i) {
+  ckpt::CodecConfig codec = config.codec;
+  if (!config.mixed_codecs) return codec;
+  codec.delta = (i % 3) >= 1;
+  codec.lossy = (i % 3) == 2;
+  return codec;
+}
+
+/// Lossy plan for the simulator masks: every other critical run (the
+/// (e/16) % 4 == 0 runs) is demoted to low precision, the rest stay exact.
+CriticalMask lossy_low_mask(std::size_t elements) {
+  CriticalMask low(elements);
+  for (std::size_t e = 0; e < elements; ++e) {
+    if ((e / 16) % 4 == 0) low.set(e);
+  }
+  return low;
+}
+
+/// Exact match, or within `tolerance` (relative) for lossy sessions whose
+/// low-precision elements round-tripped through f32/f16.
+bool element_matches(double actual, double expected, double tolerance) {
+  if (actual == expected) return true;
+  if (tolerance <= 0.0) return false;
+  return std::abs(actual - expected) <=
+         tolerance * std::max(std::abs(actual), std::abs(expected));
+}
+
 /// Everything one session owns: its state array, registry, masks, chaos
 /// decorator (when enabled), manager, and the scripted failure plan.
 struct SessionRuntime {
@@ -33,6 +65,7 @@ struct SessionRuntime {
   std::uint64_t last_ckpt_step = 0;
   std::optional<std::uint64_t> crash_step;
   bool arm_final_bitflip = false;
+  double tolerance = 0.0;  ///< lossy verification slack (0 = bit exact)
 
   std::vector<double> data;
   ckpt::CheckpointRegistry registry;
@@ -60,13 +93,17 @@ bool state_matches(const SessionRuntime& session, std::uint64_t step,
   const CriticalMask& mask = session.masks.at("state");
   for (std::size_t i = 0; i < session.data.size(); ++i) {
     if (mask.test(i)) {
-      if (session.data[i] != expected_element(session.index, step, i)) {
+      if (!element_matches(session.data[i],
+                           expected_element(session.index, step, i),
+                           session.tolerance)) {
         return false;
       }
     } else if (poisoned_uncritical) {
       if (!std::isnan(session.data[i])) return false;
     } else {
-      if (session.data[i] != expected_element(session.index, step, i)) {
+      if (!element_matches(session.data[i],
+                           expected_element(session.index, step, i),
+                           session.tolerance)) {
         return false;
       }
     }
@@ -197,6 +234,12 @@ SimulationReport run_simulation(const SimulatorConfig& config) {
       config.bitflip_final_probability <= 0.0 || config.keep_slots >= 2,
       "bitflip chaos needs keep_slots >= 2 so a valid fallback slot "
       "survives rotation");
+  const bool any_delta = config.codec.delta || config.mixed_codecs;
+  SCRUTINY_REQUIRE(
+      config.bitflip_final_probability <= 0.0 || !any_delta ||
+          config.keep_slots >= 3,
+      "bitflip chaos over delta chains needs keep_slots >= 3 so a "
+      "reconstructable chain survives losing the newest slot");
 
   const bool chaos_on = config.chaos.torn_write_probability > 0.0 ||
                         config.chaos.slow_drain_probability > 0.0 ||
@@ -260,9 +303,21 @@ SimulationReport run_simulation(const SimulatorConfig& config) {
     manager_config.basename = session->result.program;
     manager_config.interval = config.interval;
     manager_config.keep_slots = config.keep_slots;
+    manager_config.codec = session_codec(config, i);
+    session->result.codec = manager_config.codec.name();
     session->manager = std::make_unique<ckpt::CheckpointManager>(
         manager_config, session->backend);
     if (config.pruned) session->manager->set_prune_map(session->masks);
+    if (manager_config.codec.lossy) {
+      ckpt::LossyPlan plan;
+      plan.low = lossy_low_mask(config.elements);
+      plan.precision = manager_config.codec.precision;
+      ckpt::LossyMap lossy;
+      lossy.emplace("state", std::move(plan));
+      session->manager->set_lossy_map(std::move(lossy));
+      session->tolerance =
+          ckpt::lossy_precision_tolerance(manager_config.codec.precision);
+    }
 
     sessions.push_back(std::move(session));
   }

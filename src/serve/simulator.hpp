@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "serve/chaos.hpp"
 #include "serve/service.hpp"
 
@@ -50,6 +51,13 @@ struct SimulatorConfig {
   /// lands on the final commit, making a run a pure function of the seed.
   bool drain_between_steps = false;
 
+  /// Payload codec every session's manager runs (pruning itself still
+  /// follows `pruned`).  With `mixed_codecs`, sessions cycle through
+  /// prune-only → prune∘delta → prune∘delta∘lossy by index — the
+  /// multi-tenant shape where each tenant picks its own pipeline.
+  ckpt::CodecConfig codec;
+  bool mixed_codecs = false;
+
   ServiceConfig service;
 
   // Chaos (all off by default; the ChaosBackend wrap happens whenever any
@@ -63,6 +71,7 @@ struct SimulatorConfig {
 struct SessionResult {
   std::string tenant;
   std::string program;
+  std::string codec;  ///< pipeline this session wrote (e.g. "prune+delta")
   std::uint64_t checkpoints_committed = 0;  ///< handed to the scheduler
   std::uint64_t storage_errors = 0;  ///< surfaced drain failures (torn, ...)
   std::uint64_t quota_skips = 0;     ///< checkpoints rejected by quota

@@ -1,0 +1,521 @@
+#include "ckpt/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// codec spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(CodecSpec, ParsesEveryCombo) {
+  CodecConfig config;
+  apply_codec_spec(config, "prune");
+  EXPECT_TRUE(config.prune);
+  EXPECT_FALSE(config.delta);
+  EXPECT_FALSE(config.lossy);
+  EXPECT_EQ(config.name(), "prune");
+
+  apply_codec_spec(config, "prune+delta");
+  EXPECT_TRUE(config.prune);
+  EXPECT_TRUE(config.delta);
+  EXPECT_EQ(config.name(), "prune+delta");
+
+  apply_codec_spec(config, "prune+delta+lossy");
+  EXPECT_TRUE(config.lossy);
+  EXPECT_EQ(config.name(), "prune+delta+lossy-f32");
+
+  apply_codec_spec(config, "full");
+  EXPECT_FALSE(config.prune);
+  EXPECT_FALSE(config.delta);
+  EXPECT_FALSE(config.lossy);
+  EXPECT_EQ(config.name(), "full");
+
+  apply_codec_spec(config, "full+delta");
+  EXPECT_FALSE(config.prune);
+  EXPECT_TRUE(config.delta);
+}
+
+TEST(CodecSpec, RejectsUnknownTokensWithInventory) {
+  CodecConfig config;
+  try {
+    apply_codec_spec(config, "prune+zstd");
+    FAIL() << "expected ScrutinyError";
+  } catch (const ScrutinyError& error) {
+    EXPECT_NE(std::string(error.what()).find("zstd"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("delta"), std::string::npos);
+  }
+  EXPECT_THROW(apply_codec_spec(config, ""), ScrutinyError);
+  EXPECT_THROW(apply_codec_spec(config, "+"), ScrutinyError);
+  EXPECT_THROW(apply_codec_spec(config, "prune+full"), ScrutinyError);
+}
+
+// ---------------------------------------------------------------------------
+// lossy quantization
+// ---------------------------------------------------------------------------
+
+TEST(LossyQuantize, F16RoundTripStaysInTolerance) {
+  const double tol = lossy_precision_tolerance(LossyPrecision::F16);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const double value = (hashed_uniform(i) - 0.5) * 2.0e4;
+    const double back = f64_from_f16(f16_from_f64(value));
+    EXPECT_NEAR(back, value, std::abs(value) * tol + 1.0e-7)
+        << "value=" << value;
+  }
+}
+
+TEST(LossyQuantize, F16SpecialValues) {
+  EXPECT_EQ(f64_from_f16(f16_from_f64(0.0)), 0.0);
+  EXPECT_EQ(f64_from_f16(f16_from_f64(-0.0)), -0.0);
+  EXPECT_TRUE(std::signbit(f64_from_f16(f16_from_f64(-0.0))));
+  EXPECT_EQ(f64_from_f16(f16_from_f64(1.0)), 1.0);
+  EXPECT_EQ(f64_from_f16(f16_from_f64(-2.5)), -2.5);
+  EXPECT_EQ(f64_from_f16(f16_from_f64(65504.0)), 65504.0);  // f16 max
+  EXPECT_TRUE(std::isinf(f64_from_f16(f16_from_f64(7.0e4))));
+  EXPECT_TRUE(std::isinf(f64_from_f16(f16_from_f64(
+      std::numeric_limits<double>::infinity()))));
+  EXPECT_TRUE(std::isnan(f64_from_f16(f16_from_f64(
+      std::numeric_limits<double>::quiet_NaN()))));
+  // Subnormal binary16 territory: 2^-20 is representable (subnormal step
+  // is 2^-24), underflow threshold is 2^-25.
+  const double tiny = std::ldexp(1.0, -20);
+  EXPECT_EQ(f64_from_f16(f16_from_f64(tiny)), tiny);
+  EXPECT_EQ(f64_from_f16(f16_from_f64(std::ldexp(1.0, -26))), 0.0);
+}
+
+TEST(LossyQuantize, RoundTripIsIdempotent) {
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const double value = (hashed_uniform(i) - 0.5) * 1.0e6;
+    for (const LossyPrecision precision :
+         {LossyPrecision::F32, LossyPrecision::F16}) {
+      const double once = lossy_round_trip(value, precision);
+      EXPECT_EQ(lossy_round_trip(once, precision), once);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dirty-region diffing and mask splitting
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> as_bytes(const std::vector<double>& values) {
+  std::vector<std::byte> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+TEST(DirtyRegions, FindsExactRuns) {
+  std::vector<double> base(32, 1.0);
+  std::vector<double> current = base;
+  current[3] = 2.0;
+  current[4] = 2.0;
+  current[20] = 5.0;
+  const auto cur = as_bytes(current);
+  const auto shadow = as_bytes(base);
+  RegionList write_set;
+  write_set.append(Region{0, 32});
+
+  const RegionList dirty =
+      dirty_regions(cur.data(), shadow.data(), sizeof(double), write_set, 0);
+  ASSERT_EQ(dirty.num_regions(), 2u);
+  EXPECT_EQ(dirty.regions()[0].begin, 3u);
+  EXPECT_EQ(dirty.regions()[0].end, 5u);
+  EXPECT_EQ(dirty.regions()[1].begin, 20u);
+  EXPECT_EQ(dirty.regions()[1].end, 21u);
+}
+
+TEST(DirtyRegions, MergeGapCoalescesNearbyRuns) {
+  std::vector<double> base(32, 1.0);
+  std::vector<double> current = base;
+  current[3] = 2.0;
+  current[6] = 2.0;  // 2 clean elements between
+  const auto cur = as_bytes(current);
+  const auto shadow = as_bytes(base);
+  RegionList write_set;
+  write_set.append(Region{0, 32});
+
+  const RegionList gap0 =
+      dirty_regions(cur.data(), shadow.data(), sizeof(double), write_set, 0);
+  EXPECT_EQ(gap0.num_regions(), 2u);
+  const RegionList gap2 =
+      dirty_regions(cur.data(), shadow.data(), sizeof(double), write_set, 2);
+  ASSERT_EQ(gap2.num_regions(), 1u);
+  EXPECT_EQ(gap2.regions()[0].begin, 3u);
+  EXPECT_EQ(gap2.regions()[0].end, 7u);
+}
+
+TEST(DirtyRegions, NeverMergesAcrossWriteSetGaps) {
+  std::vector<double> base(32, 1.0);
+  std::vector<double> current(32, 2.0);  // everything differs
+  const auto cur = as_bytes(current);
+  const auto shadow = as_bytes(base);
+  RegionList write_set;
+  write_set.append(Region{0, 8});
+  write_set.append(Region{10, 16});
+
+  const RegionList dirty = dirty_regions(cur.data(), shadow.data(),
+                                         sizeof(double), write_set, 64);
+  ASSERT_EQ(dirty.num_regions(), 2u);
+  EXPECT_EQ(dirty.regions()[0].end, 8u);
+  EXPECT_EQ(dirty.regions()[1].begin, 10u);
+}
+
+TEST(RegionsWhere, SplitsByMask) {
+  CriticalMask low(16);
+  for (std::uint64_t e = 4; e < 10; ++e) low.set(e);
+  RegionList within;
+  within.append(Region{2, 12});
+
+  const RegionList lows = regions_where(within, low, true);
+  ASSERT_EQ(lows.num_regions(), 1u);
+  EXPECT_EQ(lows.regions()[0].begin, 4u);
+  EXPECT_EQ(lows.regions()[0].end, 10u);
+
+  const RegionList highs = regions_where(within, low, false);
+  ASSERT_EQ(highs.num_regions(), 2u);
+  EXPECT_EQ(highs.regions()[0].begin, 2u);
+  EXPECT_EQ(highs.regions()[0].end, 4u);
+  EXPECT_EQ(highs.regions()[1].begin, 10u);
+  EXPECT_EQ(highs.regions()[1].end, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// XOR zero-byte-mask codec
+// ---------------------------------------------------------------------------
+
+TEST(XorMaskCodec, RoundTripsAndCompressesSmoothUpdates) {
+  std::vector<double> base(512);
+  std::vector<double> current(512);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = 1.0 + hashed_uniform(i);
+    current[i] = base[i] * (1.0 + 1.0e-9);  // smooth update: high bytes match
+  }
+  const auto cur = as_bytes(current);
+  const auto shadow = as_bytes(base);
+
+  std::vector<std::byte> enc;
+  const std::uint64_t enc_len =
+      xor_mask_encode(cur.data(), shadow.data(), cur.size(), enc);
+  EXPECT_EQ(enc_len, enc.size());
+  EXPECT_LE(enc_len, xor_mask_worst_case(cur.size()));
+  // Smooth fp64 updates leave sign/exponent/high-mantissa bytes untouched:
+  // the stream must beat raw by a wide margin.
+  EXPECT_LT(enc_len, cur.size() * 3 / 4);
+
+  std::vector<std::byte> memory = shadow;
+  ASSERT_TRUE(
+      xor_mask_decode(enc.data(), enc.size(), memory.data(), memory.size()));
+  EXPECT_EQ(memory, cur);
+}
+
+TEST(XorMaskCodec, IdenticalInputCostsOneBytePerGroup) {
+  const std::vector<std::byte> image(64, std::byte{0x5c});
+  std::vector<std::byte> enc;
+  EXPECT_EQ(xor_mask_encode(image.data(), image.data(), image.size(), enc),
+            8u);  // 64 bytes = 8 groups, mask byte each
+}
+
+TEST(XorMaskCodec, ShortTailGroupRoundTrips) {
+  std::vector<std::byte> base(13, std::byte{1});
+  std::vector<std::byte> current(13, std::byte{1});
+  current[12] = std::byte{9};
+  std::vector<std::byte> enc;
+  xor_mask_encode(current.data(), base.data(), 13, enc);
+  std::vector<std::byte> memory = base;
+  ASSERT_TRUE(xor_mask_decode(enc.data(), enc.size(), memory.data(), 13));
+  EXPECT_EQ(memory, current);
+}
+
+TEST(XorMaskCodec, RejectsMalformedStreams) {
+  std::vector<std::byte> memory(16, std::byte{0});
+  // Truncated: mask promises a byte that is not there.
+  const std::vector<std::byte> truncated = {std::byte{0xff}};
+  EXPECT_FALSE(
+      xor_mask_decode(truncated.data(), truncated.size(), memory.data(), 16));
+  // Tail-group mask bits beyond the reconstructed size must be clear.
+  const std::vector<std::byte> overhang = {std::byte{0x02}, std::byte{1}};
+  EXPECT_FALSE(
+      xor_mask_decode(overhang.data(), overhang.size(), memory.data(), 1));
+  // Trailing garbage after exact reconstruction.
+  const std::vector<std::byte> trailing = {std::byte{0x00}, std::byte{7}};
+  EXPECT_FALSE(
+      xor_mask_decode(trailing.data(), trailing.size(), memory.data(), 8));
+}
+
+// ---------------------------------------------------------------------------
+// container format v2 round trips
+// ---------------------------------------------------------------------------
+
+struct CodecState {
+  std::vector<double> u;
+  std::vector<std::int32_t> keys;
+
+  explicit CodecState(double salt = 0.0) : u(256), keys(32) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = salt + 1.0 + hashed_uniform(i);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  CheckpointRegistry registry() {
+    CheckpointRegistry reg;
+    reg.register_f64("u", u);
+    reg.register_i32("keys", keys);
+    return reg;
+  }
+};
+
+PruneMap half_critical_masks() {
+  PruneMap masks;
+  CriticalMask u_mask(256);
+  for (std::size_t i = 0; i < 192; ++i) u_mask.set(i);
+  masks["u"] = u_mask;
+  return masks;
+}
+
+TEST(CodecContainer, PruneOnlyStaysVersion1EvenWithShadowBookkeeping) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  const PruneMap masks = half_critical_masks();
+
+  CodecRequest legacy;
+  legacy.masks = &masks;
+  (void)write_checkpoint(backend, "legacy.ckpt", registry, 5, legacy);
+
+  DeltaCache cache;
+  CodecRequest keyframe;
+  keyframe.masks = &masks;
+  keyframe.delta = &cache;
+  (void)write_checkpoint(backend, "keyframe.ckpt", registry, 5, keyframe);
+
+  // Shadow bookkeeping must not change a single output byte.
+  const auto a = backend.object("legacy.ckpt");
+  const auto b = backend.object("keyframe.ckpt");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a, *b);
+
+  const CheckpointInfo info = peek_checkpoint_info(backend, "keyframe.ckpt");
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_FALSE(info.base_step.has_value());
+  EXPECT_TRUE(cache.valid());
+  EXPECT_EQ(cache.base_step(), 5u);
+}
+
+TEST(CodecContainer, DeltaSlotRoundTripsBitExactly) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  const PruneMap masks = half_critical_masks();
+  DeltaCache cache;
+
+  CodecRequest keyframe;
+  keyframe.masks = &masks;
+  keyframe.delta = &cache;
+  const WriteReport base = write_checkpoint(backend, "base.ckpt", registry,
+                                            10, keyframe);
+
+  // Sparse smooth update inside the write set + one key bump.
+  for (std::size_t i = 40; i < 72; ++i) state.u[i] += 1.0e-9;
+  state.keys[3] = 99;
+  CodecRequest delta;
+  delta.masks = &masks;
+  delta.delta = &cache;
+  delta.delta_slot = true;
+  const WriteReport slot =
+      write_checkpoint(backend, "delta.ckpt", registry, 11, delta);
+  EXPECT_LT(slot.file_bytes, base.file_bytes / 2)
+      << "sparse delta must be far smaller than its keyframe";
+  EXPECT_EQ(slot.raw_payload_bytes, base.raw_payload_bytes);
+
+  const CheckpointInfo info = peek_checkpoint_info(backend, "delta.ckpt");
+  EXPECT_EQ(info.version, 2u);
+  ASSERT_TRUE(info.base_step.has_value());
+  EXPECT_EQ(*info.base_step, 10u);
+
+  // Chain restore: keyframe, then the delta on top.
+  const CodecState expected = state;
+  CodecState cold(7.0);
+  auto cold_registry = cold.registry();
+  (void)restore_checkpoint(backend, "base.ckpt", cold_registry);
+  const RestoreReport restored =
+      restore_checkpoint(backend, "delta.ckpt", cold_registry);
+  EXPECT_EQ(restored.step, 11u);
+  ASSERT_TRUE(restored.base_step.has_value());
+  for (std::size_t i = 0; i < 192; ++i) {
+    EXPECT_EQ(cold.u[i], expected.u[i]) << "element " << i;
+  }
+  EXPECT_EQ(cold.keys, expected.keys);
+}
+
+TEST(CodecContainer, LossyKeyframeQuantizesLowImpactElements) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  const PruneMap masks = half_critical_masks();
+
+  LossyMap lossy;
+  LossyPlan plan;
+  plan.low = CriticalMask(256);
+  for (std::size_t i = 96; i < 192; ++i) plan.low.set(i);
+  plan.precision = LossyPrecision::F32;
+  lossy["u"] = plan;
+
+  CodecRequest request;
+  request.masks = &masks;
+  request.lossy = &lossy;
+  const WriteReport report =
+      write_checkpoint(backend, "lossy.ckpt", registry, 4, request);
+  // 96 low elements shrink from 8 to 4 bytes.
+  EXPECT_LT(report.payload_bytes, report.raw_payload_bytes);
+
+  CodecState cold(3.0);
+  auto cold_registry = cold.registry();
+  const RestoreReport restored =
+      restore_checkpoint(backend, "lossy.ckpt", cold_registry);
+  EXPECT_TRUE(restored.lossy);
+  EXPECT_TRUE(restored.pruned);
+  for (std::size_t i = 0; i < 96; ++i) {
+    EXPECT_EQ(cold.u[i], state.u[i]) << "high element " << i;
+  }
+  const double tol = lossy_precision_tolerance(LossyPrecision::F32);
+  for (std::size_t i = 96; i < 192; ++i) {
+    EXPECT_NEAR(cold.u[i], state.u[i], std::abs(state.u[i]) * tol)
+        << "low element " << i;
+    EXPECT_EQ(cold.u[i], lossy_round_trip(state.u[i], LossyPrecision::F32));
+  }
+  for (std::size_t i = 192; i < 256; ++i) {
+    EXPECT_EQ(cold.u[i], 3.0 + 1.0 + hashed_uniform(i)) << "uncritical " << i;
+  }
+}
+
+TEST(CodecContainer, LossyDeltaChainReconstructsRoundTrippedValues) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  const PruneMap masks = half_critical_masks();
+
+  LossyMap lossy;
+  LossyPlan plan;
+  plan.low = CriticalMask(256);
+  for (std::size_t i = 96; i < 192; ++i) plan.low.set(i);
+  plan.precision = LossyPrecision::F16;
+  lossy["u"] = plan;
+
+  DeltaCache cache;
+  CodecRequest keyframe;
+  keyframe.masks = &masks;
+  keyframe.lossy = &lossy;
+  keyframe.delta = &cache;
+  (void)write_checkpoint(backend, "kf.ckpt", registry, 0, keyframe);
+
+  for (std::size_t i = 0; i < 32; ++i) state.u[i] += 0.5;      // high dirty
+  for (std::size_t i = 100; i < 110; ++i) state.u[i] += 0.25;  // low dirty
+  CodecRequest delta = keyframe;
+  delta.delta_slot = true;
+  (void)write_checkpoint(backend, "d1.ckpt", registry, 1, delta);
+
+  CodecState cold(9.0);
+  auto cold_registry = cold.registry();
+  (void)restore_checkpoint(backend, "kf.ckpt", cold_registry);
+  const RestoreReport restored =
+      restore_checkpoint(backend, "d1.ckpt", cold_registry);
+  EXPECT_TRUE(restored.lossy);
+  for (std::size_t i = 0; i < 96; ++i) {
+    EXPECT_EQ(cold.u[i], state.u[i]) << "high element " << i;
+  }
+  for (std::size_t i = 96; i < 192; ++i) {
+    EXPECT_EQ(cold.u[i], lossy_round_trip(state.u[i], LossyPrecision::F16))
+        << "low element " << i;
+  }
+}
+
+TEST(CodecContainer, AllCleanDeltaSlotIsTiny) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  DeltaCache cache;
+
+  CodecRequest keyframe;
+  keyframe.delta = &cache;
+  const WriteReport base =
+      write_checkpoint(backend, "kf.ckpt", registry, 0, keyframe);
+
+  CodecRequest delta = keyframe;
+  delta.delta_slot = true;
+  const WriteReport slot =
+      write_checkpoint(backend, "d1.ckpt", registry, 1, delta);
+  EXPECT_EQ(slot.elements_written, 0u);
+  EXPECT_LT(slot.file_bytes, base.file_bytes / 10);
+
+  // Restoring the chain over untouched memory is a no-op that verifies.
+  (void)restore_checkpoint(backend, "kf.ckpt", registry);
+  const RestoreReport restored =
+      restore_checkpoint(backend, "d1.ckpt", registry);
+  EXPECT_EQ(restored.step, 1u);
+  EXPECT_EQ(restored.elements_restored, 0u);
+}
+
+TEST(CodecContainer, DeltaFallsBackToRawWhenEverythingChanges) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  DeltaCache cache;
+
+  CodecRequest keyframe;
+  keyframe.delta = &cache;
+  (void)write_checkpoint(backend, "kf.ckpt", registry, 0, keyframe);
+
+  // Re-randomize every element: the XOR stream would cost 9/8 of raw, so
+  // every section must fall back to raw mode (still inside a delta slot).
+  for (std::size_t i = 0; i < state.u.size(); ++i) {
+    state.u[i] = hashed_uniform(1000 + i);
+  }
+  for (std::size_t i = 0; i < state.keys.size(); ++i) {
+    state.keys[i] = static_cast<std::int32_t>(500 + i);
+  }
+  CodecRequest delta = keyframe;
+  delta.delta_slot = true;
+  const WriteReport slot =
+      write_checkpoint(backend, "d1.ckpt", registry, 1, delta);
+  EXPECT_LE(slot.payload_bytes, slot.raw_payload_bytes);
+
+  const CodecState expected = state;
+  CodecState cold(2.0);
+  auto cold_registry = cold.registry();
+  (void)restore_checkpoint(backend, "kf.ckpt", cold_registry);
+  (void)restore_checkpoint(backend, "d1.ckpt", cold_registry);
+  EXPECT_EQ(cold.u, expected.u);
+  EXPECT_EQ(cold.keys, expected.keys);
+}
+
+TEST(CodecContainer, WriteReportSplitsCodecFromIoSeconds) {
+  MemoryBackend backend;
+  CodecState state;
+  auto registry = state.registry();
+  DeltaCache cache;
+  CodecRequest keyframe;
+  keyframe.delta = &cache;
+  const WriteReport report =
+      write_checkpoint(backend, "kf.ckpt", registry, 0, keyframe);
+  EXPECT_GE(report.codec_seconds, 0.0);
+  EXPECT_LE(report.codec_seconds, report.seconds);
+  EXPECT_GE(report.io_seconds(), 0.0);
+  EXPECT_GE(report.mb_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,366 @@
+// Chain-aware manager protocol: keyframe cadence, rotation that never
+// strands a live delta, restart fallback across corrupted chain links.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "ckpt/failure.hpp"
+#include "ckpt/manager.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+struct SimState {
+  std::vector<double> u;
+  std::vector<std::int32_t> counters;
+
+  SimState() : u(256), counters(8) {
+    for (std::size_t i = 0; i < u.size(); ++i) u[i] = 1.0 + hashed_uniform(i);
+  }
+
+  /// Sparse per-step update: a sliding 16-element window plus one counter,
+  /// so consecutive checkpoints are delta-friendly.
+  void advance(std::uint64_t step) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      u[(step * 16 + j) % 192] += 1.0e-3 * static_cast<double>(j + 1);
+    }
+    counters[step % 8] += 1;
+  }
+
+  CheckpointRegistry registry() {
+    CheckpointRegistry reg;
+    reg.register_f64("u", u);
+    reg.register_i32("counters", counters);
+    return reg;
+  }
+};
+
+PruneMap sim_masks() {
+  PruneMap masks;
+  CriticalMask u_mask(256);
+  for (std::size_t i = 0; i < 192; ++i) u_mask.set(i);
+  masks["u"] = u_mask;
+  return masks;
+}
+
+void expect_critical_equal(const SimState& got, const SimState& want) {
+  for (std::size_t i = 0; i < 192; ++i) {
+    ASSERT_EQ(got.u[i], want.u[i]) << "critical element " << i;
+  }
+  ASSERT_EQ(got.counters, want.counters);
+}
+
+/// Every committed slot whose header names a base must find that base
+/// committed too, transitively — the rotation invariant under test.
+void expect_chains_closed(CheckpointManager& manager) {
+  for (const std::string& key : manager.list_checkpoint_keys()) {
+    std::string current = key;
+    while (true) {
+      const CheckpointInfo info =
+          peek_checkpoint_info(manager.storage(), current);
+      if (!info.base_step.has_value()) break;
+      const std::string base_key = manager.key_for_step(*info.base_step);
+      ASSERT_TRUE(manager.storage().exists(base_key))
+          << key << " depends on missing " << base_key;
+      current = base_key;
+    }
+  }
+}
+
+ManagerConfig delta_config(const std::filesystem::path& dir,
+                           std::uint64_t keyframe_interval,
+                           std::uint32_t keep_slots,
+                           BackendKind backend = BackendKind::Memory) {
+  ManagerConfig config;
+  config.directory = dir;
+  config.basename = "chain";
+  config.keep_slots = keep_slots;
+  config.backend = backend;
+  config.codec.delta = true;
+  config.codec.keyframe_interval = keyframe_interval;
+  return config;
+}
+
+class DeltaChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_chain_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DeltaChainTest, KeyframeCadenceFollowsInterval) {
+  CheckpointManager manager(delta_config(dir_, 4, 16));
+  manager.set_prune_map(sim_masks());
+  SimState state;
+  auto registry = state.registry();
+
+  for (std::uint64_t step = 0; step < 9; ++step) {
+    state.advance(step);
+    (void)manager.checkpoint_now(step, registry);
+  }
+  // Pattern: K0 D1 D2 D3 K4 D5 D6 D7 K8.
+  for (std::uint64_t step = 0; step < 9; ++step) {
+    const CheckpointInfo info = peek_checkpoint_info(
+        manager.storage(), manager.key_for_step(step));
+    if (step % 4 == 0) {
+      EXPECT_FALSE(info.base_step.has_value()) << "step " << step;
+      EXPECT_EQ(info.version, 1u) << "pure-prune keyframes stay v1";
+    } else {
+      ASSERT_TRUE(info.base_step.has_value()) << "step " << step;
+      EXPECT_EQ(*info.base_step, step - 1);
+    }
+  }
+}
+
+TEST_F(DeltaChainTest, RestartReconstructsNewestStateAcrossChain) {
+  CheckpointManager manager(delta_config(dir_, 8, 16));
+  manager.set_prune_map(sim_masks());
+  SimState state;
+  auto registry = state.registry();
+  for (std::uint64_t step = 0; step < 6; ++step) {
+    state.advance(step);
+    (void)manager.checkpoint_now(step, registry);
+  }
+  const SimState expected = state;
+
+  FailureInjector().poison_all(registry);
+  const auto report = manager.restart(registry);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 5u);
+  EXPECT_FALSE(report->base_step.has_value());
+  expect_critical_equal(state, expected);
+}
+
+TEST_F(DeltaChainTest, RotationNeverStrandsALiveDelta) {
+  // keep_slots far below the chain length: closure retention must carry
+  // the keyframes (and intermediate deltas) the retained slots need.
+  CheckpointManager manager(delta_config(dir_, 6, 2));
+  manager.set_prune_map(sim_masks());
+  SimState state;
+  auto registry = state.registry();
+
+  for (std::uint64_t step = 0; step < 40; ++step) {
+    state.advance(step);
+    (void)manager.checkpoint_now(step, registry);
+    expect_chains_closed(manager);
+    // Closure retention is bounded: quota plus at most one chain's tail.
+    EXPECT_LE(manager.list_checkpoint_keys().size(),
+              2u + 6u - 1u);
+  }
+  const SimState expected = state;
+  FailureInjector().poison_all(registry);
+  const auto report = manager.restart(registry);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 39u);
+  expect_critical_equal(state, expected);
+}
+
+TEST_F(DeltaChainTest, KeepSlotsOneStillRetainsTheKeyframe) {
+  CheckpointManager manager(delta_config(dir_, 4, 1));
+  manager.set_prune_map(sim_masks());
+  SimState state;
+  auto registry = state.registry();
+  for (std::uint64_t step = 0; step < 3; ++step) {
+    state.advance(step);
+    (void)manager.checkpoint_now(step, registry);
+  }
+  // Newest slot is D2 -> D1 -> K0: all three must survive a quota of 1.
+  EXPECT_EQ(manager.list_checkpoint_keys().size(), 3u);
+  expect_chains_closed(manager);
+
+  const SimState expected = state;
+  FailureInjector().poison_all(registry);
+  const auto report = manager.restart(registry);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 2u);
+  expect_critical_equal(state, expected);
+}
+
+TEST_F(DeltaChainTest, RestartPrimesTheCacheSoTheNextSlotIsADelta) {
+  // File backend: the second manager is a fresh process that must find the
+  // first one's slots on disk.
+  const ManagerConfig config = delta_config(dir_, 8, 16, BackendKind::File);
+  SimState state;
+  auto registry = state.registry();
+  {
+    CheckpointManager manager(config);
+    manager.set_prune_map(sim_masks());
+    for (std::uint64_t step = 0; step < 3; ++step) {
+      state.advance(step);
+      (void)manager.checkpoint_now(step, registry);
+    }
+  }
+  // Fresh manager (process restart): restore, then keep stepping.
+  CheckpointManager manager(config);
+  manager.set_prune_map(sim_masks());
+  FailureInjector().poison_all(registry);
+  const auto report = manager.restart(registry);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 2u);
+  EXPECT_TRUE(manager.delta_cache().valid());
+
+  state.advance(3);
+  (void)manager.checkpoint_now(3, registry);
+  const CheckpointInfo info =
+      peek_checkpoint_info(manager.storage(), manager.key_for_step(3));
+  ASSERT_TRUE(info.base_step.has_value()) << "post-restart slot not a delta";
+  EXPECT_EQ(*info.base_step, 2u);
+
+  const SimState expected = state;
+  FailureInjector().poison_all(registry);
+  const auto again = manager.restart(registry);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->step, 3u);
+  expect_critical_equal(state, expected);
+}
+
+TEST_F(DeltaChainTest, ChangingMasksForcesAKeyframe) {
+  CheckpointManager manager(delta_config(dir_, 8, 16));
+  manager.set_prune_map(sim_masks());
+  SimState state;
+  auto registry = state.registry();
+  for (std::uint64_t step = 0; step < 2; ++step) {
+    state.advance(step);
+    (void)manager.checkpoint_now(step, registry);
+  }
+  // New write set: the shadow no longer matches what a restore rebuilds,
+  // so the next slot must be self-contained.
+  PruneMap wider = sim_masks();
+  wider["u"].set_all(true);
+  manager.set_prune_map(std::move(wider));
+  EXPECT_FALSE(manager.delta_cache().valid());
+
+  state.advance(2);
+  (void)manager.checkpoint_now(2, registry);
+  const CheckpointInfo info =
+      peek_checkpoint_info(manager.storage(), manager.key_for_step(2));
+  EXPECT_FALSE(info.base_step.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix: keyframe vs mid-chain vs newest delta.  File backend so
+// the injector can flip bits in committed objects.
+// ---------------------------------------------------------------------------
+
+class DeltaCorruptionTest : public DeltaChainTest {
+ protected:
+  /// Runs 6 steps under keyframe_interval 4 (K0 D1 D2 D3 K4 D5), snapshots
+  /// the state after every step, corrupts `victim_step`, and returns the
+  /// restart report on a poisoned registry.
+  std::optional<RestoreReport> run_with_corruption(
+      std::uint64_t victim_step, bool truncate, SimState& state,
+      std::map<std::uint64_t, SimState>& snapshots) {
+    CheckpointManager manager(
+        delta_config(dir_, 4, 16, BackendKind::File));
+    manager.set_prune_map(sim_masks());
+    auto registry = state.registry();
+    for (std::uint64_t step = 0; step < 6; ++step) {
+      state.advance(step);
+      (void)manager.checkpoint_now(step, registry);
+      snapshots.emplace(step, state);
+    }
+    const std::filesystem::path victim =
+        manager.path_for_step(victim_step);
+    if (truncate) {
+      const auto size = std::filesystem::file_size(victim);
+      std::filesystem::resize_file(victim, size / 2);
+    } else {
+      FailureInjector::corrupt_file(
+          victim, std::filesystem::file_size(victim) / 2);
+    }
+    FailureInjector().poison_all(registry);
+    return manager.restart(registry);
+  }
+};
+
+TEST_F(DeltaCorruptionTest, BitflipNewestDeltaFallsBackToItsBase) {
+  SimState state;
+  std::map<std::uint64_t, SimState> snapshots;
+  const auto report = run_with_corruption(5, false, state, snapshots);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 4u);
+  expect_critical_equal(state, snapshots.at(4));
+}
+
+TEST_F(DeltaCorruptionTest, TruncatedMidChainDeltaSkipsTheWholeChainTail) {
+  SimState state;
+  std::map<std::uint64_t, SimState> snapshots;
+  // D2 feeds D3: both become unreconstructable; newest good state is D1's.
+  // (K4 and D5 are newer and intact, so they win; corrupt them too to
+  // expose the mid-chain fallback.)
+  {
+    CheckpointManager manager(
+        delta_config(dir_, 4, 16, BackendKind::File));
+    manager.set_prune_map(sim_masks());
+    auto registry = state.registry();
+    for (std::uint64_t step = 0; step < 6; ++step) {
+      state.advance(step);
+      (void)manager.checkpoint_now(step, registry);
+      snapshots.emplace(step, state);
+    }
+    for (const std::uint64_t victim : {2ull, 4ull, 5ull}) {
+      const std::filesystem::path path = manager.path_for_step(victim);
+      const auto size = std::filesystem::file_size(path);
+      std::filesystem::resize_file(path, size / 2);
+    }
+    FailureInjector().poison_all(registry);
+    const auto report = manager.restart(registry);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->step, 1u) << "newest reconstructable is D1";
+    expect_critical_equal(state, snapshots.at(1));
+  }
+}
+
+TEST_F(DeltaCorruptionTest, BitflipKeyframeKillsItsChainButNotOlderOnes) {
+  SimState state;
+  std::map<std::uint64_t, SimState> snapshots;
+  // Corrupting K4 makes K4 and D5 unreconstructable; D3's chain (K0..D3)
+  // is intact and newest.
+  {
+    CheckpointManager manager(
+        delta_config(dir_, 4, 16, BackendKind::File));
+    manager.set_prune_map(sim_masks());
+    auto registry = state.registry();
+    for (std::uint64_t step = 0; step < 6; ++step) {
+      state.advance(step);
+      (void)manager.checkpoint_now(step, registry);
+      snapshots.emplace(step, state);
+    }
+    const std::filesystem::path victim = manager.path_for_step(4);
+    FailureInjector::corrupt_file(victim,
+                                  std::filesystem::file_size(victim) / 2);
+    FailureInjector().poison_all(registry);
+    const auto report = manager.restart(registry);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->step, 3u);
+    expect_critical_equal(state, snapshots.at(3));
+  }
+}
+
+TEST_F(DeltaCorruptionTest, CorruptOldKeyframeDoesNotAffectNewerChains) {
+  SimState state;
+  std::map<std::uint64_t, SimState> snapshots;
+  const auto report = run_with_corruption(0, false, state, snapshots);
+  // K0 feeds D1-D3; corrupting it kills that whole chain, but K4/D5 are
+  // newer, self-rooted and intact, so restart still lands on step 5.
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 5u);
+  expect_critical_equal(state, snapshots.at(5));
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

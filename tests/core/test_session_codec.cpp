@@ -1,0 +1,162 @@
+// Session-level codec measurements: the steady-state CodecRow table, the
+// impact-ranked lossy plan derivation, and the codec-CPU/IO split in the
+// write report.  The headline acceptance lives here too: prune∘delta must
+// at least halve the steady-state bytes against prune-only on benchmarks
+// whose state advances incrementally (IS, FT).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "ckpt/codec.hpp"
+#include "core/program.hpp"
+#include "core/session.hpp"
+#include "npb/suite.hpp"
+#include "programs/demo_programs.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+std::filesystem::path temp_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("scrutiny_session_codec_") + name + "_" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+ScrutinySession heat_rod_session(bool impact) {
+  programs::register_demo_programs();
+  ScrutinySession session = ScrutinySession::open("HeatRod");
+  AnalysisConfig cfg = session.program().default_config();
+  cfg.capture_impact = impact;
+  session.analyze(cfg);
+  return session;
+}
+
+const StorageComparison::CodecRow* find_row(const StorageComparison& cmp,
+                                            const std::string& codec) {
+  for (const StorageComparison::CodecRow& row : cmp.codec_rows) {
+    if (row.codec == codec) return &row;
+  }
+  return nullptr;
+}
+
+TEST(SessionCodec, CodecRowsMeasureEveryPipelineWhenImpactIsAvailable) {
+  const auto dir = temp_dir("rows_impact");
+  ScrutinySession session = heat_rod_session(/*impact=*/true);
+  ASSERT_TRUE(session.impact_available());
+  const StorageComparison cmp = session.compare_storage(dir, {});
+  ASSERT_EQ(cmp.codec_rows.size(), 4u);
+  EXPECT_EQ(cmp.codec_rows[0].codec, "prune");
+  EXPECT_EQ(cmp.codec_rows[1].codec, "prune+delta");
+  EXPECT_EQ(cmp.codec_rows[2].codec, "prune+lossy-f32");
+  EXPECT_EQ(cmp.codec_rows[3].codec, "prune+delta+lossy-f32");
+  for (const StorageComparison::CodecRow& row : cmp.codec_rows) {
+    EXPECT_GT(row.base_file, 0u) << row.codec;
+    EXPECT_GT(row.steady_file, 0u) << row.codec;
+    EXPECT_GT(row.raw_payload, 0u) << row.codec;
+    EXPECT_GT(row.compression(), 0.0) << row.codec;
+  }
+  // The legacy two-column measurement is untouched by the codec sweep.
+  EXPECT_GT(cmp.file_full, 0u);
+  EXPECT_LE(cmp.file_pruned, cmp.file_full + 16);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionCodec, CodecRowsSkipLossyWithoutImpactData) {
+  const auto dir = temp_dir("rows_plain");
+  ScrutinySession session = heat_rod_session(/*impact=*/false);
+  EXPECT_FALSE(session.impact_available());
+  const StorageComparison cmp = session.compare_storage(dir, {});
+  ASSERT_EQ(cmp.codec_rows.size(), 2u);
+  EXPECT_EQ(cmp.codec_rows[0].codec, "prune");
+  EXPECT_EQ(cmp.codec_rows[1].codec, "prune+delta");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionCodec, LossyMapRequiresImpactData) {
+  ScrutinySession session = heat_rod_session(/*impact=*/false);
+  ckpt::CodecConfig codec;
+  codec.lossy = true;
+  EXPECT_THROW((void)session.lossy_map(codec), ScrutinyError);
+}
+
+TEST(SessionCodec, LossyMapDemotesOnlyCriticalFloat64Elements) {
+  ScrutinySession session = heat_rod_session(/*impact=*/true);
+  ckpt::CodecConfig codec;
+  codec.lossy = true;
+  const ckpt::LossyMap lossy = session.lossy_map(codec);
+  ASSERT_FALSE(lossy.empty());
+  const AnalysisResult& analysis = session.analysis();
+  for (const auto& [name, plan] : lossy) {
+    const VariableCriticality* variable = nullptr;
+    for (const VariableCriticality& candidate : analysis.variables) {
+      if (candidate.name == name) variable = &candidate;
+    }
+    ASSERT_NE(variable, nullptr) << name;
+    ASSERT_EQ(plan.low.size(), variable->total_elements()) << name;
+    std::size_t demoted = 0;
+    for (std::size_t e = 0; e < plan.low.size(); ++e) {
+      if (!plan.low.test(e)) continue;
+      ++demoted;
+      // Demotion narrows storage of *critical* elements; uncritical ones
+      // are already pruned away entirely.
+      EXPECT_TRUE(variable->mask.test(e)) << name << "[" << e << "]";
+    }
+    EXPECT_GT(demoted, 0u) << name;
+    // The default 0.5 quota demotes at most half of the critical set.
+    EXPECT_LE(demoted, variable->mask.count_critical()) << name;
+  }
+}
+
+TEST(SessionCodec, WriteReportSeparatesCodecCpuFromIo) {
+  const auto dir = temp_dir("cpu_split");
+  ScrutinySession session = heat_rod_session(/*impact=*/true);
+  const StorageComparison cmp = session.compare_storage(dir, {});
+  for (const StorageComparison::CodecRow& row : cmp.codec_rows) {
+    EXPECT_GE(row.codec_seconds, 0.0) << row.codec;
+    EXPECT_GE(row.io_seconds, 0.0) << row.codec;
+    // io_seconds is the wall time minus the codec CPU, so the two halves
+    // must recompose the measured steady write time.
+    EXPECT_NEAR(row.codec_seconds + row.io_seconds, row.steady_seconds,
+                1e-9)
+        << row.codec;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionCodec, DeltaAtLeastHalvesSteadyBytesOnIs) {
+  npb::register_suite();
+  const auto dir = temp_dir("is_delta");
+  ScrutinySession session = ScrutinySession::open("IS");
+  session.analyze();
+  const StorageComparison cmp = session.compare_storage(dir, {});
+  const auto* prune = find_row(cmp, "prune");
+  const auto* delta = find_row(cmp, "prune+delta");
+  ASSERT_NE(prune, nullptr);
+  ASSERT_NE(delta, nullptr);
+  // One IS ranking step touches a small fraction of the key arrays: the
+  // delta slot must be at most half the prune-only slot (measured ~279x).
+  EXPECT_LE(delta->steady_file * 2, prune->steady_file);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionCodec, DeltaAtLeastHalvesSteadyBytesOnFt) {
+  npb::register_suite();
+  const auto dir = temp_dir("ft_delta");
+  ScrutinySession session = ScrutinySession::open("FT");
+  session.analyze();
+  const StorageComparison cmp = session.compare_storage(dir, {});
+  const auto* prune = find_row(cmp, "prune");
+  const auto* delta = find_row(cmp, "prune+delta");
+  ASSERT_NE(prune, nullptr);
+  ASSERT_NE(delta, nullptr);
+  EXPECT_LE(delta->steady_file * 2, prune->steady_file);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

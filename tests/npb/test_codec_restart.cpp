@@ -1,0 +1,133 @@
+// Codec-aware restart protocol over the full program inventory: every
+// lossless pipeline (prune, prune∘delta) must restore the checkpointed
+// state bit-exactly on all eight NPB benchmarks and both demo programs,
+// on the file backend and the memory backend alike, and the negative
+// control must still detect corrupted critical elements.  The expensive
+// criticality sweep runs once per program and is shared across the four
+// backend × pipeline combinations.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ckpt/codec.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "core/program.hpp"
+#include "core/session.hpp"
+#include "npb/suite.hpp"
+#include "programs/demo_programs.hpp"
+
+namespace scrutiny::core {
+namespace {
+
+void register_inventory() {
+  npb::register_suite();
+  programs::register_demo_programs();
+}
+
+/// One sweep per program, shared by every combo in the test body.
+const AnalysisResult& cached_analysis(const std::string& program) {
+  static std::map<std::string, AnalysisResult> cache;
+  const auto it = cache.find(program);
+  if (it != cache.end()) return it->second;
+  ScrutinySession session = ScrutinySession::open(program);
+  return cache.emplace(program, session.analyze()).first->second;
+}
+
+ScrutinySession open_with_analysis(const std::string& program) {
+  ScrutinySession session = ScrutinySession::open(program);
+  session.use_analysis(cached_analysis(program));
+  return session;
+}
+
+class CodecRestartTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    register_inventory();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_codec_restart_" + std::string(GetParam()) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(CodecRestartTest, LosslessCombosRestoreBitExactOnBothBackends) {
+  const std::string program = GetParam();
+  for (const bool delta : {false, true}) {
+    for (const bool memory : {false, true}) {
+      ScrutinySession session = open_with_analysis(program);
+      if (memory) {
+        session.use_storage(std::make_shared<ckpt::MemoryBackend>());
+      }
+      ckpt::CodecConfig codec;
+      codec.delta = delta;
+      codec.keyframe_interval = 4;  // three slots → keyframe + two deltas
+      const auto sub = dir_ / (std::string(delta ? "delta" : "prune") +
+                               (memory ? "_mem" : "_file"));
+      std::filesystem::create_directories(sub);
+      const RestartVerification verification =
+          session.verify_restart(sub, codec);
+      const std::string label = program + " " + codec.name() +
+                                (memory ? " (memory)" : " (file)");
+      EXPECT_EQ(verification.codec, delta ? "prune+delta" : "prune")
+          << label;
+      // Lossless pipelines have no tolerance: every write-set element of
+      // the reconstructed state must be bit-identical to the writer's.
+      EXPECT_TRUE(verification.restored_state_matches) << label;
+      EXPECT_TRUE(verification.pruned_restart_matches) << label;
+      EXPECT_TRUE(verification.negative_control_detected) << label;
+      // The chain's newest slot is two steps past the warmup keyframe.
+      EXPECT_GE(verification.restored_step, 2u) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inventory, CodecRestartTest,
+    ::testing::Values("EP", "CG", "IS", "MG", "BT", "SP", "LU", "FT",
+                      "HeatRod", "Heat2d"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+TEST(CodecRestartLossy, CgVerifiesWithinToleranceAndControlDetects) {
+  register_inventory();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_codec_lossy_cg_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ScrutinySession session = ScrutinySession::open("CG");
+  AnalysisConfig cfg = session.program().default_config();
+  cfg.capture_impact = true;  // lossy plans rank by per-element impact
+  session.analyze(cfg);
+
+  ckpt::CodecConfig codec;
+  codec.delta = true;
+  codec.lossy = true;
+  codec.keyframe_interval = 4;
+  const RestartVerification verification =
+      session.verify_restart(dir, codec);
+  EXPECT_EQ(verification.codec, "prune+delta+lossy-f32");
+  // Demoted low-impact elements round-trip within the f32 tolerance; the
+  // critical high-impact elements stay bit-exact.
+  EXPECT_TRUE(verification.restored_state_matches);
+  EXPECT_TRUE(verification.pruned_restart_matches);
+  // The tolerance must not swallow outright corruption.
+  EXPECT_TRUE(verification.negative_control_detected);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace scrutiny::core

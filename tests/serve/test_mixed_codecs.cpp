@@ -1,0 +1,170 @@
+// Mixed-codec multi-tenant protocols: the service simulator with each
+// session running its own payload pipeline (prune-only, prune∘delta,
+// prune∘delta∘lossy) side by side, with chaos aimed at the delta chains.
+//
+// The contract this file pins down: codec choice is a per-tenant decision
+// that never weakens the durability invariant.  A bit flip that lands on
+// the newest slot of a delta chain must fall the restart back to the
+// newest *reconstructable* state, and lossy tenants must verify within
+// their precision tolerance while the negative control still has teeth.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ckpt/codec.hpp"
+#include "serve/simulator.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::serve {
+namespace {
+
+SimulatorConfig mixed_config() {
+  SimulatorConfig config;
+  config.sessions = 8;
+  config.tenants = 8;
+  config.steps = 16;
+  config.interval = 2;
+  config.elements = 512;
+  config.keep_slots = 3;  // bitflip over delta chains needs >= 3
+  config.mixed_codecs = true;
+  config.codec.keyframe_interval = 4;
+  return config;
+}
+
+TEST(MixedCodecs, SessionsCycleThroughThePipelines) {
+  const SimulationReport report = run_simulation(mixed_config());
+  ASSERT_EQ(report.sessions.size(), 8u);
+  for (std::size_t i = 0; i < report.sessions.size(); ++i) {
+    const SessionResult& session = report.sessions[i];
+    const char* expected = i % 3 == 0   ? "prune"
+                           : i % 3 == 1 ? "prune+delta"
+                                        : "prune+delta+lossy-f32";
+    EXPECT_EQ(session.codec, expected) << session.program;
+    EXPECT_TRUE(session.restart_valid) << session.program;
+    EXPECT_TRUE(session.verified) << session.program;
+    EXPECT_EQ(session.restored_step, 16u) << session.program;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.scheduler.failed, 0u);
+}
+
+TEST(MixedCodecs, LossyTenantsVerifyAndTheControlStillDetects) {
+  SimulatorConfig config = mixed_config();
+  config.sessions = 3;
+  config.tenants = 3;
+  const SimulationReport report = run_simulation(config);
+  ASSERT_EQ(report.sessions.size(), 3u);
+  const SessionResult& lossy = report.sessions[2];
+  ASSERT_EQ(lossy.codec, "prune+delta+lossy-f32");
+  // Quantized low-impact elements round-trip within the f32 tolerance, so
+  // the semantic check passes — and corrupting critical elements outright
+  // still lands far outside it.
+  EXPECT_TRUE(lossy.verified) << "lossy restore must verify within tolerance";
+  EXPECT_TRUE(lossy.negative_control_detected)
+      << "tolerance must not swallow real corruption";
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(MixedCodecs, BitflipOnTheNewestDeltaFallsBackOneSlot) {
+  SimulatorConfig config;
+  config.sessions = 4;
+  config.tenants = 4;
+  config.steps = 16;
+  config.interval = 2;
+  config.elements = 512;
+  config.keep_slots = 3;
+  config.codec.delta = true;
+  config.codec.keyframe_interval = 4;
+  config.drain_between_steps = true;  // arm lands on the final commit
+  config.bitflip_final_probability = 1.0;
+  const SimulationReport report = run_simulation(config);
+  EXPECT_GT(report.bitflips, 0u);
+  for (const SessionResult& session : report.sessions) {
+    EXPECT_TRUE(session.restart_valid) << session.program;
+    EXPECT_TRUE(session.verified) << session.program;
+    // The flipped newest slot fails its CRC, so restart reconstructs the
+    // previous slot's chain — one interval back, never further.
+    EXPECT_EQ(session.restored_step, 14u) << session.program;
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(MixedCodecs, EightTenantsMixedCodecsUnderFullChaosStayValid) {
+  SimulatorConfig config = mixed_config();
+  config.service.scheduler.workers = 2;
+  config.chaos.torn_write_probability = 0.2;
+  config.chaos.slow_drain_probability = 0.3;
+  config.chaos.slow_drain_delay = std::chrono::milliseconds(2);
+  config.bitflip_final_probability = 0.75;
+  config.crash_probability = 0.4;
+  const SimulationReport report = run_simulation(config);
+  ASSERT_EQ(report.sessions.size(), 8u);
+  for (const SessionResult& session : report.sessions) {
+    EXPECT_TRUE(session.restart_valid)
+        << session.tenant << "/" << session.program << " (" << session.codec
+        << ")";
+    EXPECT_TRUE(session.verified)
+        << session.tenant << "/" << session.program << " (" << session.codec
+        << ")";
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.torn_writes + report.slow_drains + report.bitflips +
+                report.crashes,
+            0u);
+}
+
+TEST(MixedCodecs, TornKeyframeNeverStrandsTheWholeRun) {
+  // Regression: a torn write can swallow a keyframe AFTER the writer's
+  // shadow cache adopted it as the delta base.  Every later slot then
+  // extends a chain rooted at an object that never landed — the manager
+  // must notice the phantom during reconciliation and force a keyframe,
+  // or a tenant with plenty of committed slots has nothing restorable.
+  SimulatorConfig config;
+  config.sessions = 6;
+  config.tenants = 3;
+  config.steps = 12;
+  config.interval = 2;
+  config.keep_slots = 3;
+  config.mixed_codecs = true;
+  config.chaos.torn_write_probability = 0.15;
+  config.chaos.slow_drain_probability = 0.25;
+  config.crash_probability = 0.3;
+  config.bitflip_final_probability = 0.5;
+  const SimulationReport report = run_simulation(config);
+  for (const SessionResult& session : report.sessions) {
+    EXPECT_TRUE(session.restart_valid)
+        << session.program << " (" << session.codec << ")";
+    EXPECT_TRUE(session.verified)
+        << session.program << " (" << session.codec << ")";
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(MixedCodecs, DeltaChainsWithBitflipRequireThreeSlots) {
+  SimulatorConfig config = mixed_config();
+  config.keep_slots = 2;
+  config.bitflip_final_probability = 0.5;
+  EXPECT_THROW(run_simulation(config), ScrutinyError);
+}
+
+TEST(MixedCodecs, MixedRunsAreSeedDeterministic) {
+  SimulatorConfig config = mixed_config();
+  config.bitflip_final_probability = 0.75;
+  config.crash_probability = 0.4;
+  config.drain_between_steps = true;
+  const SimulationReport a = run_simulation(config);
+  const SimulationReport b = run_simulation(config);
+  EXPECT_EQ(a.bitflips, b.bitflips);
+  EXPECT_EQ(a.crashes, b.crashes);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].codec, b.sessions[i].codec) << i;
+    EXPECT_EQ(a.sessions[i].restored_step, b.sessions[i].restored_step) << i;
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::serve
