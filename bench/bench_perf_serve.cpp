@@ -12,10 +12,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/daemon.hpp"
+#include "serve/remote_backend.hpp"
 #include "serve/simulator.hpp"
 
 namespace {
@@ -84,6 +88,54 @@ void BM_ServeSingleTenant(benchmark::State& state) {
                          : 0.0);
 }
 BENCHMARK(BM_ServeSingleTenant)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The network write path: one RemoteBackend streaming checkpoints to a
+// loopback daemon.  Bytes/second is the end-to-end wire throughput
+// (framing + CRC + socket + daemon-side staging); round_trips_per_write
+// pins the protocol's chattiness — one BeginWrite…CommitOk exchange per
+// object regardless of size, so it must stay at 1.0 as payloads grow from
+// one chunk frame (256 KiB) to many (4 MiB).
+void BM_RemoteCheckpointWrite(benchmark::State& state) {
+  const auto object_bytes = static_cast<std::size_t>(state.range(0));
+  serve::DaemonConfig daemon_config;
+  daemon_config.service.store.kind = ckpt::BackendKind::Memory;
+  serve::CheckpointDaemon daemon(std::move(daemon_config));
+  daemon.start();
+
+  ckpt::RemoteBackendConfig remote;
+  remote.port = daemon.port();
+  remote.tenant = "bench";
+  ckpt::RemoteBackend backend(remote);
+
+  std::vector<std::byte> payload(object_bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>((i * 131) & 0xFF);
+  }
+
+  const std::uint64_t trips_before = backend.stats().round_trips;
+  std::uint64_t writes = 0;
+  for (auto _ : state) {
+    auto writer = backend.open_for_write("slot." + std::to_string(writes % 4));
+    writer->append(payload.data(), payload.size());
+    writer->commit();
+    ++writes;
+  }
+  backend.wait();
+
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(writes * object_bytes));
+  state.counters["round_trips_per_write"] = benchmark::Counter(
+      writes > 0 ? static_cast<double>(backend.stats().round_trips -
+                                       trips_before - 1) /  // minus the wait
+                       static_cast<double>(writes)
+                 : 0.0);
+  daemon.stop();
+}
+BENCHMARK(BM_RemoteCheckpointWrite)
+    ->Arg(256 << 10)
+    ->Arg(4 << 20)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -57,8 +57,9 @@ int main() {
   manager_config.interval = 10;
   manager_config.keep_slots = 2;
   manager_config.write_regions_sidecar = true;
-  manager_config.backend = ckpt::BackendKind::File;
-  manager_config.async_io = true;  // drain on a background thread
+  // file+async: drain on a background thread (directory comes from
+  // manager_config.directory, so the spec needs no path of its own).
+  manager_config.storage = ckpt::BackendSpec::parse("file+async:");
   ckpt::CheckpointManager manager(manager_config);
   manager.set_prune_map(analysis.to_prune_map());
   std::printf("storage backend: %s\n", manager.storage().name().c_str());

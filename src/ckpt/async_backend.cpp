@@ -173,15 +173,20 @@ void AsyncBackend::rethrow_pending_error_locked(
 }
 
 void AsyncBackend::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  slot_available_.wait(lock, [this] {
-    if (!queue_.empty()) return false;
-    return std::none_of(slots_.begin(), slots_.end(), [](const Slot& slot) {
-      return slot.state == SlotState::Queued ||
-             slot.state == SlotState::Draining;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_available_.wait(lock, [this] {
+      if (!queue_.empty()) return false;
+      return std::none_of(slots_.begin(), slots_.end(), [](const Slot& slot) {
+        return slot.state == SlotState::Queued ||
+               slot.state == SlotState::Draining;
+      });
     });
-  });
-  rethrow_pending_error_locked(lock);
+    rethrow_pending_error_locked(lock);
+  }
+  // The inner backend may drain asynchronously too (async(remote) stacks a
+  // daemon-side scheduler under us): joining only our slots is not drained.
+  inner_->wait();
 }
 
 std::unique_ptr<StorageWriter> AsyncBackend::open_for_write(
@@ -215,12 +220,17 @@ std::vector<std::string> AsyncBackend::list(const std::string& prefix) {
 }
 
 bool AsyncBackend::drained() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (!queue_.empty() || error_ != nullptr) return false;
-  return std::none_of(slots_.begin(), slots_.end(), [](const Slot& slot) {
-    return slot.state == SlotState::Queued ||
-           slot.state == SlotState::Draining;
-  });
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!queue_.empty() || error_ != nullptr) return false;
+    const bool local = std::none_of(
+        slots_.begin(), slots_.end(), [](const Slot& slot) {
+          return slot.state == SlotState::Queued ||
+                 slot.state == SlotState::Draining;
+        });
+    if (!local) return false;
+  }
+  return inner_->drained();
 }
 
 std::uint64_t AsyncBackend::buffer_stalls() const {

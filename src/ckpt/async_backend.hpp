@@ -57,6 +57,10 @@ class AsyncBackend final : public StorageBackend {
   /// Non-blocking: queue empty, nothing draining, no pending error.
   [[nodiscard]] bool drained() override;
 
+  [[nodiscard]] bool hierarchical_keys() const override {
+    return inner_->hierarchical_keys();
+  }
+
   [[nodiscard]] std::string name() const override {
     return "async(" + inner_->name() + ")";
   }

@@ -1,0 +1,188 @@
+#include "ckpt/backend_spec.hpp"
+
+#include <charconv>
+#include <mutex>
+#include <utility>
+
+#include "ckpt/async_backend.hpp"
+#include "ckpt/file_backend.hpp"
+#include "ckpt/memory_backend.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+namespace {
+
+constexpr std::string_view kAsyncSuffix = "+async";
+
+/// The inventory string every rejection names, so a typo'd scheme teaches
+/// the whole grammar (the CliArgs::require_known precedent).
+constexpr std::string_view kInventory =
+    "expected file:DIR, memory:, or remote:HOST:PORT — each scheme may "
+    "carry +async (e.g. file+async:DIR); bare \"file\" and \"memory\" "
+    "remain as aliases";
+
+[[noreturn]] void reject(std::string_view text, std::string_view why) {
+  throw ScrutinyError("invalid storage backend spec \"" + std::string(text) +
+                      "\": " + std::string(why) + " (" +
+                      std::string(kInventory) + ")");
+}
+
+std::mutex g_remote_mutex;
+RemoteBackendFactory g_remote_factory;  // guarded by g_remote_mutex
+
+}  // namespace
+
+BackendSpec BackendSpec::file(std::filesystem::path dir, bool async) {
+  BackendSpec spec;
+  spec.scheme = BackendScheme::File;
+  spec.directory = dir.string();
+  spec.async = async;
+  return spec;
+}
+
+BackendSpec BackendSpec::memory(bool async) {
+  BackendSpec spec;
+  spec.scheme = BackendScheme::Memory;
+  spec.async = async;
+  return spec;
+}
+
+BackendSpec BackendSpec::remote(std::string host, std::uint16_t port,
+                                bool async) {
+  BackendSpec spec;
+  spec.scheme = BackendScheme::Remote;
+  spec.host = std::move(host);
+  spec.port = port;
+  spec.async = async;
+  return spec;
+}
+
+BackendSpec BackendSpec::parse(std::string_view text) {
+  if (text.empty()) reject(text, "empty spec");
+
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    // The historical enum spellings, kept as documented aliases of the
+    // colon forms ("file" == "file:", "memory" == "memory:").
+    if (text == "file") return file();
+    if (text == "memory") return memory();
+    reject(text, "unknown storage backend scheme \"" + std::string(text) +
+                     "\"");
+  }
+
+  std::string_view scheme_text = text.substr(0, colon);
+  std::string_view rest = text.substr(colon + 1);
+
+  bool async = false;
+  if (scheme_text.size() > kAsyncSuffix.size() &&
+      scheme_text.substr(scheme_text.size() - kAsyncSuffix.size()) ==
+          kAsyncSuffix) {
+    async = true;
+    scheme_text.remove_suffix(kAsyncSuffix.size());
+  }
+
+  if (scheme_text == "file") {
+    BackendSpec spec = file({}, async);
+    spec.directory = std::string(rest);
+    return spec;
+  }
+  if (scheme_text == "memory") {
+    if (!rest.empty()) {
+      reject(text, "memory: takes no argument after the colon");
+    }
+    return memory(async);
+  }
+  if (scheme_text == "remote") {
+    const std::size_t port_colon = rest.rfind(':');
+    if (port_colon == std::string_view::npos || port_colon == 0) {
+      reject(text, "remote needs HOST:PORT after the scheme");
+    }
+    const std::string_view host = rest.substr(0, port_colon);
+    const std::string_view port_text = rest.substr(port_colon + 1);
+    std::uint32_t port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port == 0 || port > 0xffff) {
+      reject(text, "remote port must be a number in [1, 65535], got \"" +
+                       std::string(port_text) + "\"");
+    }
+    return remote(std::string(host), static_cast<std::uint16_t>(port),
+                  async);
+  }
+  reject(text, "unknown storage backend scheme \"" +
+                   std::string(scheme_text) + "\"");
+}
+
+std::string BackendSpec::format() const {
+  std::string out(backend_scheme_name(scheme));
+  if (async) out += kAsyncSuffix;
+  out += ':';
+  switch (scheme) {
+    case BackendScheme::File:
+      out += directory;
+      break;
+    case BackendScheme::Memory:
+      break;
+    case BackendScheme::Remote:
+      out += host;
+      out += ':';
+      out += std::to_string(port);
+      break;
+  }
+  return out;
+}
+
+void register_remote_backend_factory(RemoteBackendFactory factory) {
+  const std::lock_guard<std::mutex> lock(g_remote_mutex);
+  g_remote_factory = std::move(factory);
+}
+
+bool remote_backend_factory_registered() {
+  const std::lock_guard<std::mutex> lock(g_remote_mutex);
+  return static_cast<bool>(g_remote_factory);
+}
+
+std::unique_ptr<StorageBackend> make_backend(
+    const BackendSpec& spec, const std::filesystem::path& default_directory) {
+  std::unique_ptr<StorageBackend> backend;
+  switch (spec.scheme) {
+    case BackendScheme::File: {
+      std::filesystem::path root = spec.directory.empty()
+                                       ? default_directory
+                                       : std::filesystem::path(spec.directory);
+      if (!root.empty()) std::filesystem::create_directories(root);
+      backend = std::make_unique<FileBackend>(std::move(root));
+      break;
+    }
+    case BackendScheme::Memory:
+      backend = std::make_unique<MemoryBackend>();
+      break;
+    case BackendScheme::Remote: {
+      RemoteBackendFactory factory;
+      {
+        const std::lock_guard<std::mutex> lock(g_remote_mutex);
+        factory = g_remote_factory;
+      }
+      SCRUTINY_REQUIRE(
+          factory,
+          "remote storage backends need the serve layer: link scrutiny_serve "
+          "and call serve::register_remote_scheme() before constructing " +
+              spec.format());
+      BackendSpec inner = spec;
+      inner.async = false;  // the wrap below is uniform across schemes
+      backend = factory(inner);
+      SCRUTINY_REQUIRE(backend != nullptr,
+                       "remote backend factory returned null for " +
+                           spec.format());
+      break;
+    }
+  }
+  if (spec.async) {
+    backend = std::make_unique<AsyncBackend>(std::move(backend));
+  }
+  return backend;
+}
+
+}  // namespace scrutiny::ckpt

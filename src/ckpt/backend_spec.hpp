@@ -1,0 +1,104 @@
+// Backend selection as one parsed URI surface.
+//
+// Every layer that lets a caller *name* a storage backend — CLI flags,
+// ManagerConfig, ScrutinySession::use_storage, the scrutinyd simulator —
+// speaks the same grammar instead of a (kind enum, async bool, directory)
+// knob triple:
+//
+//   spec        := scheme [ "+async" ] ":" rest | alias
+//   file:DIR    — FileBackend rooted at DIR (empty DIR = caller's default)
+//   memory:     — in-process MemoryBackend
+//   remote:HOST:PORT
+//               — RemoteBackend speaking the scrutinyd wire protocol
+//   alias       — the historical enum spellings "file" and "memory"
+//                 (no colon), kept so existing scripts work unchanged
+//
+// "+async" after the scheme wraps the backend in the double-buffered
+// AsyncBackend writer, replacing the old --async-io flag:
+//
+//   file+async:ckpt_dir      remote+async:ckpt.example.com:7777
+//
+// Unknown schemes are rejected with the valid inventory (the
+// CliArgs::require_known precedent: an error names everything that would
+// have been accepted).
+//
+// The ckpt layer constructs file/memory backends natively.  The "remote"
+// scheme is provided by the serve layer (it owns the wire protocol), which
+// registers a factory at startup via register_remote_backend_factory —
+// mirroring how programs register with ProgramRegistry.  Parsing a remote
+// spec always works; *constructing* one without the factory registered
+// throws with a message naming the missing registration.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ckpt/storage_backend.hpp"
+
+namespace scrutiny::ckpt {
+
+enum class BackendScheme : std::uint8_t {
+  File = 0,
+  Memory = 1,
+  Remote = 2,
+};
+
+[[nodiscard]] constexpr const char* backend_scheme_name(BackendScheme s) {
+  switch (s) {
+    case BackendScheme::File: return "file";
+    case BackendScheme::Memory: return "memory";
+    case BackendScheme::Remote: return "remote";
+  }
+  return "?";
+}
+
+struct BackendSpec {
+  BackendScheme scheme = BackendScheme::File;
+  bool async = false;        ///< wrap in the AsyncBackend double buffer
+  std::string directory;     ///< file: root (empty = caller's default)
+  std::string host;          ///< remote: endpoint host
+  std::uint16_t port = 0;    ///< remote: endpoint port
+
+  /// Parses the grammar above; throws ScrutinyError naming the inventory
+  /// on unknown schemes or malformed rests.
+  [[nodiscard]] static BackendSpec parse(std::string_view text);
+
+  /// Canonical spelling: parse(format()) == *this for every valid spec.
+  [[nodiscard]] std::string format() const;
+
+  // Programmatic constructors for the three schemes.
+  [[nodiscard]] static BackendSpec file(std::filesystem::path dir = {},
+                                        bool async = false);
+  [[nodiscard]] static BackendSpec memory(bool async = false);
+  [[nodiscard]] static BackendSpec remote(std::string host,
+                                          std::uint16_t port,
+                                          bool async = false);
+
+  bool operator==(const BackendSpec&) const = default;
+};
+
+/// Builds the backend a spec names.  `file:` with an empty directory roots
+/// at `default_directory` (what ManagerConfig does with its `directory`).
+/// Remote specs require the serve layer's factory (see below).
+[[nodiscard]] std::unique_ptr<StorageBackend> make_backend(
+    const BackendSpec& spec,
+    const std::filesystem::path& default_directory = {});
+
+/// Factory the serve layer registers for the "remote" scheme.  Receives the
+/// spec with `async` already stripped (make_backend applies the async wrap
+/// uniformly on top of whatever the factory returns).
+using RemoteBackendFactory =
+    std::function<std::unique_ptr<StorageBackend>(const BackendSpec&)>;
+
+/// Installs (or replaces) the remote-scheme factory.  Called by
+/// serve::register_remote_scheme(); an empty factory deregisters.
+void register_remote_backend_factory(RemoteBackendFactory factory);
+
+/// True when a remote factory is installed (diagnostics/tests).
+[[nodiscard]] bool remote_backend_factory_registered();
+
+}  // namespace scrutiny::ckpt

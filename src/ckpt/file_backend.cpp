@@ -89,6 +89,13 @@ class FileReader final : public StorageReader {
     return bytes_read_;
   }
 
+  [[nodiscard]] std::optional<std::uint64_t> size() const override {
+    std::error_code ec;
+    const std::uintmax_t n = std::filesystem::file_size(path_, ec);
+    if (ec) return std::nullopt;
+    return static_cast<std::uint64_t>(n);
+  }
+
  private:
   std::filesystem::path path_;
   std::ifstream stream_;

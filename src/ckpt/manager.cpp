@@ -23,11 +23,7 @@ void validate(const ManagerConfig& config) {
 CheckpointManager::CheckpointManager(ManagerConfig config)
     : config_(std::move(config)) {
   validate(config_);
-  if (config_.backend == BackendKind::File) {
-    std::filesystem::create_directories(config_.directory);
-  }
-  backend_ = make_backend(config_.backend, config_.directory,
-                          config_.async_io);
+  backend_ = make_backend(config_.storage, config_.directory);
   adopt_existing_slots();
 }
 

@@ -7,9 +7,9 @@
 // restart() finds the most recent valid checkpoint (skipping corrupt ones —
 // multi-version durability, §II-A of the paper).
 //
-// Storage is pluggable: the config selects a backend (file-per-slot on
-// disk, in-memory object store) and optionally wraps it in the async
-// double-buffered writer, or an already-constructed backend is injected.
+// Storage is pluggable: the config names a backend with a BackendSpec URI
+// (file:DIR, memory:, remote:HOST:PORT, each optionally +async), or an
+// already-constructed backend is injected.
 // Slot keys are `<basename>.<step padded to 20 digits>.ckpt`; ordering is
 // by the *parsed* step number, so checkpoints written with the historical
 // 8-digit pad (or any width) still rotate and restart correctly past 1e8
@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/backend_spec.hpp"
 #include "ckpt/checkpoint_io.hpp"
 #include "ckpt/registry.hpp"
 #include "ckpt/storage_backend.hpp"
@@ -36,8 +37,9 @@ struct ManagerConfig {
   std::uint64_t interval = 1;   ///< checkpoint every N steps
   std::uint32_t keep_slots = 2; ///< newest objects retained
   bool write_regions_sidecar = false;
-  BackendKind backend = BackendKind::File;
-  bool async_io = false;  ///< wrap the backend in AsyncBackend
+  /// Which backend to build (file:DIR, memory:, remote:HOST:PORT, +async).
+  /// A file spec with an empty directory roots at `directory` above.
+  BackendSpec storage = BackendSpec::file();
   /// Payload codec pipeline (prune ∘ delta ∘ lowprec).  The default is the
   /// historical prune-only writer.  With `codec.delta`, slots between
   /// keyframes are dirty-region deltas against the previous slot, and
@@ -47,14 +49,14 @@ struct ManagerConfig {
 
 class CheckpointManager {
  public:
-  /// Builds the backend the config selects (FileBackend rooted at
-  /// `directory`, or MemoryBackend; async-wrapped when `async_io`).
+  /// Builds the backend `config.storage` names (a file spec without a
+  /// directory is rooted at `config.directory`).
   explicit CheckpointManager(ManagerConfig config);
 
   /// Seats the manager on an injected backend (e.g. a MemoryBackend shared
   /// with other components).  Slot keys are bare `<basename>.<step>.ckpt`
-  /// names, so the backend is the manager's namespace; `config.backend`
-  /// and `config.async_io` are ignored.
+  /// names, so the backend is the manager's namespace; `config.storage`
+  /// is ignored.
   CheckpointManager(ManagerConfig config,
                     std::shared_ptr<StorageBackend> backend);
 

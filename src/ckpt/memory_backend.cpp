@@ -56,6 +56,10 @@ class MemoryReader final : public StorageReader {
     return offset_;
   }
 
+  [[nodiscard]] std::optional<std::uint64_t> size() const override {
+    return object_->size();
+  }
+
  private:
   std::shared_ptr<const std::vector<std::byte>> object_;
   std::string key_;

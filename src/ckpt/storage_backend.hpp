@@ -61,6 +61,14 @@ class StorageReader {
   virtual void read(void* data, std::size_t size) = 0;
 
   [[nodiscard]] virtual std::uint64_t bytes_read() const noexcept = 0;
+
+  /// Total object size when the backend knows it cheaply (file stat,
+  /// in-memory buffer length); nullopt otherwise.  The scrutinyd daemon
+  /// uses this to announce ObjectBegin{size} before streaming an object
+  /// back to a remote client.
+  [[nodiscard]] virtual std::optional<std::uint64_t> size() const {
+    return std::nullopt;
+  }
 };
 
 class StorageBackend {
@@ -95,6 +103,13 @@ class StorageBackend {
   /// kept separate so a future backend can make flush() initiate and
   /// wait() join).
   virtual void flush() { wait(); }
+
+  /// True when keys may contain '/' and name nested paths (FileBackend
+  /// maps them onto subdirectories; MemoryBackend treats them as opaque).
+  /// Flat-keyspace backends — the remote daemon's sharded store rejects
+  /// '/' in object keys — return false, and key composers (the session's
+  /// directory-based naming) must flatten before writing.
+  [[nodiscard]] virtual bool hierarchical_keys() const { return true; }
 
   /// Diagnostic name, e.g. "file", "memory", "async(file)".
   [[nodiscard]] virtual std::string name() const = 0;

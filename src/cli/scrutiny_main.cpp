@@ -10,11 +10,11 @@
 //                [--sample-stride N] [--impact] [--save-masks F.scmask]
 //       Run the criticality analysis, print the Table II rows, and
 //       optionally persist the masks to an .scmask artifact.
-//   storage PROG [--dir PATH] [--backend file|memory] [--async-io]
+//   storage PROG [--dir PATH] [--backend SPEC]
 //                [--masks F.scmask | analysis flags]
 //       Write full + pruned checkpoints and print the Table III row plus
 //       write timings/throughput.
-//   verify  PROG [--dir PATH] [--backend file|memory] [--async-io]
+//   verify  PROG [--dir PATH] [--backend SPEC]
 //                [--masks F.scmask | analysis flags]
 //       Run the §IV-C restart verification protocol.
 //   viz     PROG VAR [--out PATH.ppm] [--width N]
@@ -26,6 +26,11 @@
 // storage/verify/viz need an analysis; with --masks F.scmask they reuse a
 // saved artifact (zero analysis seconds), otherwise they run one, honoring
 // the same analysis flags `analyze` takes.
+//
+// --backend SPEC is the BackendSpec grammar: file:DIR, memory:, or
+// remote:HOST:PORT, each optionally +async (file+async:DIR).  The bare
+// spellings "file" and "memory" and the --async-io flag remain as aliases
+// of the old enum + flag pair.
 #include <array>
 #include <cstdint>
 #include <cstdio>
@@ -34,8 +39,10 @@
 
 #include "ad/adjoint_models.hpp"
 #include "ckpt/async_backend.hpp"
+#include "ckpt/backend_spec.hpp"
 #include "ckpt/codec.hpp"
 #include "ckpt/storage_backend.hpp"
+#include "serve/daemon.hpp"
 #include "core/analysis_io.hpp"
 #include "core/program.hpp"
 #include "core/report.hpp"
@@ -68,19 +75,21 @@ void print_usage(std::FILE* stream) {
                "               [--warmup N] [--window N] [--threshold X]\n"
                "               [--sample-stride N] [--impact]\n"
                "               [--save-masks F.scmask]\n"
-               "  storage PROG [--dir PATH] [--backend file|memory] "
-               "[--async-io]\n"
+               "  storage PROG [--dir PATH] [--backend SPEC]\n"
                "               [--codec SPEC] [--keyframe-interval N]\n"
                "               [--lossy-policy f32|f16[:FRACTION]]\n"
                "               [--masks F.scmask | analysis flags]\n"
-               "  verify  PROG [--dir PATH] [--backend file|memory] "
-               "[--async-io]\n"
+               "  verify  PROG [--dir PATH] [--backend SPEC]\n"
                "               [--codec SPEC] [--keyframe-interval N]\n"
                "               [--lossy-policy f32|f16[:FRACTION]]\n"
                "               [--masks F.scmask | analysis flags]\n"
                "  viz     PROG VAR [--out PATH.ppm] [--width N]\n"
                "                   [--masks F.scmask | analysis flags]\n"
                "  list\n"
+               "\n"
+               "--backend SPEC: file:DIR | memory: | remote:HOST:PORT, each\n"
+               "optionally +async (file+async:DIR); bare file/memory and\n"
+               "--async-io remain as aliases\n"
                "\n"
                "programs: `scrutiny list` shows the registered inventory\n"
                "(NPB: BT SP LU MG CG FT EP IS; demos: HeatRod Heat2d)\n");
@@ -308,18 +317,17 @@ ckpt::CodecConfig codec_config_from_args(const CliArgs& args) {
   return codec;
 }
 
-/// Builds the storage backend the --backend/--async-io flags select and
-/// seats the session on it.  Returns a description for the report header.
+/// Builds the storage backend the --backend spec names (file:DIR, memory:,
+/// remote:HOST:PORT, each optionally +async — old spellings "file"/"memory"
+/// stay as aliases) and seats the session on it.  Returns a description for
+/// the report header.
 std::string configure_storage(core::ScrutinySession& session,
                               const CliArgs& args) {
-  const std::string kind_text = args.get("backend", "file");
-  const auto kind = ckpt::parse_backend_kind(kind_text);
-  SCRUTINY_REQUIRE(kind.has_value(),
-                   "unknown storage backend: " + kind_text +
-                       " (expected file or memory)");
-  const bool async_io = args.has("async-io");
-  std::shared_ptr<ckpt::StorageBackend> backend =
-      ckpt::make_backend(*kind, {}, async_io);
+  ckpt::BackendSpec spec =
+      ckpt::BackendSpec::parse(args.get("backend", "file"));
+  // Historical flag, now an alias of the spec's +async modifier.
+  if (args.has("async-io")) spec.async = true;
+  std::shared_ptr<ckpt::StorageBackend> backend = ckpt::make_backend(spec);
   const std::string description = backend->name();
   session.use_storage(std::move(backend));
   return description;
@@ -457,6 +465,7 @@ int main(int argc, char** argv) {
   const std::string command = args.positional()[0];
   npb::register_suite();
   programs::register_demo_programs();
+  serve::register_remote_scheme();
   try {
     if (command == "help") {
       print_usage(stdout);

@@ -1,22 +1,40 @@
 // scrutinyd — the checkpoint-service front end.
 //
 // Subcommands:
+//   serve    [--port N] [--token SECRET] [--backend SPEC] [--dir PATH]
+//            [--shards N] [--workers N] [--inflight-cap N] [--quota BYTES]
+//            [--buffer-budget BYTES] [--log-interval N]
+//            [--net-chaos drop-stream,drop-ack,stall|all|none]
+//            [--chaos-seed N] [--stall-ms N]
+//       Run the checkpoint daemon: accept TCP clients on 127.0.0.1, speak
+//       the serve/api.hpp wire protocol, and multiplex every authenticated
+//       tenant session onto the shared service (sharded store + bounded
+//       write scheduler).  Prints the bound port on stdout (use --port 0
+//       for an ephemeral port), then blocks until SIGINT/SIGTERM.
 //   simulate [--sessions N] [--tenants K] [--steps N] [--interval N]
 //            [--elements N] [--keep-slots N] [--compute-millis X]
 //            [--shards N] [--workers N] [--inflight-cap N] [--quota BYTES]
-//            [--buffer-budget BYTES] [--backend memory|file] [--dir PATH]
+//            [--buffer-budget BYTES] [--backend SPEC] [--dir PATH]
 //            [--full] [--chaos torn,slow,crash,bitflip|all|none]
 //            [--chaos-seed N] [--no-negative-control]
-//       Drive N concurrent sessions through the shared service (sharded
-//       store + bounded write scheduler), optionally under chaos, then
-//       fail every node, restart each session from storage, and verify
-//       the restored state.  Exits nonzero unless every session restarts
-//       from a valid slot and every negative control detects corruption.
+//            [--token SECRET] [--tenant-prefix P]
+//       Drive N concurrent sessions through the service, optionally under
+//       chaos, then fail every node, restart each session from storage,
+//       and verify the restored state.  With --backend remote:HOST:PORT
+//       every session becomes a real network client of a running daemon —
+//       the out-of-process end-to-end shape.  Exits nonzero unless every
+//       session restarts from a valid slot and every negative control
+//       detects corruption.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "ckpt/backend_spec.hpp"
 #include "ckpt/codec.hpp"
+#include "serve/daemon.hpp"
 #include "serve/simulator.hpp"
 #include "support/cli_args.hpp"
 #include "support/error.hpp"
@@ -30,8 +48,33 @@ using namespace scrutiny;
 void print_usage(std::FILE* stream) {
   std::fprintf(
       stream,
-      "usage: scrutinyd simulate [options]\n"
+      "usage: scrutinyd serve|simulate [options]\n"
       "\n"
+      "serve — run the checkpoint daemon (blocks until SIGINT/SIGTERM):\n"
+      "    --port N            listen port on 127.0.0.1; 0 picks an\n"
+      "                        ephemeral port (default 0); the bound port\n"
+      "                        is printed on stdout either way\n"
+      "    --token SECRET      require this auth token at handshake\n"
+      "                        (default: no auth)\n"
+      "    --backend SPEC      daemon store: file:DIR or memory:\n"
+      "                        (default memory:)\n"
+      "    --dir PATH          file-store root when the spec names none\n"
+      "                        (default scrutinyd_store)\n"
+      "    --shards N          store shards (default 8)\n"
+      "    --workers N         shared drain pool threads (default 2)\n"
+      "    --inflight-cap N    concurrent drains per tenant (default 1)\n"
+      "    --quota BYTES       per-tenant undrained-byte quota (default\n"
+      "                        unlimited)\n"
+      "    --buffer-budget B   global staging budget bytes (default 256M)\n"
+      "    --log-interval N    seconds between per-tenant pressure log\n"
+      "                        lines; 0 disables (default 10)\n"
+      "    --net-chaos MODES   comma list of drop-stream,drop-ack,stall;\n"
+      "                        or all / none (default none)\n"
+      "    --chaos-seed N      deterministic chaos seed (default 0x5c201a)\n"
+      "    --stall-ms N        stall duration for the stall mode "
+      "(default 50)\n"
+      "\n"
+      "simulate — multi-session durability simulation:\n"
       "  workload:\n"
       "    --sessions N        concurrent sessions (default 4)\n"
       "    --tenants K         tenants, sessions assigned round-robin "
@@ -49,18 +92,32 @@ void print_usage(std::FILE* stream) {
       "session\n"
       "    --keyframe-interval N  self-contained slot every N slots "
       "(default 8)\n"
-      "  service:\n"
+      "  storage:\n"
+      "    --backend SPEC      memory: | file:DIR | remote:HOST:PORT\n"
+      "                        (default memory:; bare `memory`/`file` "
+      "aliases\n"
+      "                        work).  remote: makes every session a real\n"
+      "                        network client of a running daemon;\n"
+      "                        remote+async: adds the client-side double "
+      "buffer\n"
+      "    --dir PATH          file-store root when the spec names none\n"
+      "                        (default scrutinyd_store)\n"
+      "    --token SECRET      auth token for remote sessions\n"
+      "    --tenant-prefix P   tenants are named P0..P<K-1> (default "
+      "tenant)\n"
+      "  service (in-process backends only):\n"
       "    --shards N          store shards (default 8)\n"
       "    --workers N         shared drain pool threads (default 2)\n"
       "    --inflight-cap N    concurrent drains per tenant (default 1)\n"
       "    --quota BYTES       per-tenant undrained-byte quota (default "
       "unlimited)\n"
       "    --buffer-budget B   global staging budget bytes (default 256M)\n"
-      "    --backend KIND      memory|file (default memory)\n"
-      "    --dir PATH          file-backend root (default scrutinyd_store)\n"
       "  chaos:\n"
       "    --chaos MODES       comma list of torn,slow,crash,bitflip;\n"
-      "                        or all / none (default none)\n"
+      "                        or all / none (default none; torn, slow and\n"
+      "                        bitflip are storage-side and rejected under\n"
+      "                        a remote backend — use the daemon's\n"
+      "                        --net-chaos instead)\n"
       "    --chaos-seed N      deterministic chaos seed (default "
       "0x5c201a)\n"
       "    --no-negative-control  skip the corrupt-critical control\n");
@@ -97,13 +154,113 @@ void apply_chaos_modes(serve::SimulatorConfig& config,
   }
 }
 
+/// `drop-stream,stall` / `all` / `none` → daemon-side fault rates.
+void apply_net_chaos_modes(serve::NetChaosConfig& chaos,
+                           const std::string& modes) {
+  std::stringstream stream(modes);
+  std::string mode;
+  while (std::getline(stream, mode, ',')) {
+    if (mode.empty() || mode == "none") continue;
+    if (mode == "drop-stream" || mode == "all") {
+      chaos.drop_mid_stream_rate = 0.15;
+    }
+    if (mode == "drop-ack" || mode == "all") chaos.drop_ack_rate = 0.15;
+    if (mode == "stall" || mode == "all") chaos.stall_ack_rate = 0.25;
+    if (mode != "drop-stream" && mode != "drop-ack" && mode != "stall" &&
+        mode != "all") {
+      throw ScrutinyError("unknown net-chaos mode: " + mode +
+                          " (expected drop-stream, drop-ack, stall, all, "
+                          "or none)");
+    }
+  }
+}
+
+/// Shared --shards/--workers/--inflight-cap/--quota/--buffer-budget block.
+void apply_service_flags(const CliArgs& args, serve::ServiceConfig& config) {
+  config.store.num_shards = args.get_uint("shards", 8);
+  config.scheduler.workers = args.get_uint("workers", 2);
+  config.scheduler.tenant_inflight_cap = args.get_uint("inflight-cap", 1);
+  config.scheduler.tenant_pending_quota = args.get_uint("quota", 0);
+  config.scheduler.max_buffered_bytes =
+      args.get_uint("buffer-budget", std::uint64_t{256} << 20);
+}
+
+/// Maps an in-process BackendSpec (file:/memory:) onto the sharded store.
+/// The daemon and the in-process simulation both refuse remote here — a
+/// service cannot seat its shards on another daemon.
+void apply_store_spec(const ckpt::BackendSpec& spec,
+                      const std::string& fallback_dir,
+                      serve::ServiceConfig& config) {
+  SCRUTINY_REQUIRE(spec.scheme != ckpt::BackendScheme::Remote,
+                   "the service store must be local; --backend must be "
+                   "file:DIR or memory: here");
+  SCRUTINY_REQUIRE(!spec.async,
+                   "+async does not apply to the service store; the write "
+                   "scheduler already drains in the background");
+  config.store.kind = spec.scheme == ckpt::BackendScheme::File
+                          ? ckpt::BackendKind::File
+                          : ckpt::BackendKind::Memory;
+  config.store.root =
+      spec.directory.empty() ? fallback_dir : spec.directory;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(const CliArgs& args) {
+  args.require_known({"help", "port", "token", "backend", "dir", "shards",
+                      "workers", "inflight-cap", "quota", "buffer-budget",
+                      "log-interval", "net-chaos", "chaos-seed",
+                      "stall-ms"});
+  serve::DaemonConfig config;
+  config.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
+  config.auth_token = args.get("token", "");
+  apply_store_spec(ckpt::BackendSpec::parse(args.get("backend", "memory")),
+                   args.get("dir", "scrutinyd_store"), config.service);
+  apply_service_flags(args, config.service);
+  config.log_interval_s =
+      static_cast<std::uint32_t>(args.get_uint("log-interval", 10));
+  config.chaos.seed = args.get_uint("chaos-seed", 0x5c201aull);
+  config.chaos.stall_ms =
+      static_cast<std::uint32_t>(args.get_uint("stall-ms", 50));
+  apply_net_chaos_modes(config.chaos, args.get("net-chaos", "none"));
+
+  serve::CheckpointDaemon daemon(config);
+  daemon.start();
+  // Fixtures (and humans with --port 0) parse this line for the port;
+  // flush so a pipe sees it before the first client connects.
+  std::printf("scrutinyd: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0 && daemon.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "scrutinyd: shutting down\n");
+  daemon.stop();
+
+  const serve::DaemonStats stats = daemon.stats();
+  std::printf("scrutinyd: %s connection(s) (%s rejected), %s request(s), "
+              "%s commit(s) (%s deduped), %s protocol error(s)\n",
+              with_commas(stats.connections_accepted).c_str(),
+              with_commas(stats.connections_rejected).c_str(),
+              with_commas(stats.requests).c_str(),
+              with_commas(stats.commits).c_str(),
+              with_commas(stats.deduped_commits).c_str(),
+              with_commas(stats.protocol_errors).c_str());
+  return 0;
+}
+
 int cmd_simulate(const CliArgs& args) {
   args.require_known({"help", "sessions", "tenants", "steps", "interval",
                       "elements", "keep-slots", "compute-millis", "full",
                       "shards", "workers", "inflight-cap", "quota",
                       "buffer-budget", "backend", "dir", "chaos",
                       "chaos-seed", "no-negative-control", "codec",
-                      "keyframe-interval"});
+                      "keyframe-interval", "token", "tenant-prefix"});
   serve::SimulatorConfig config;
   config.sessions = args.get_uint("sessions", 4);
   config.tenants = args.get_uint("tenants", 2);
@@ -131,25 +288,18 @@ int cmd_simulate(const CliArgs& args) {
     config.codec.keyframe_interval = interval;
   }
 
-  config.service.store.num_shards = args.get_uint("shards", 8);
-  const std::string kind_text = args.get("backend", "memory");
-  const auto kind = ckpt::parse_backend_kind(kind_text);
-  SCRUTINY_REQUIRE(kind.has_value(),
-                   "unknown storage backend: " + kind_text +
-                       " (expected file or memory)");
-  config.service.store.kind = *kind;
+  config.storage = ckpt::BackendSpec::parse(args.get("backend", "memory"));
   config.service.store.root = args.get("dir", "scrutinyd_store");
-  config.service.scheduler.workers = args.get_uint("workers", 2);
-  config.service.scheduler.tenant_inflight_cap =
-      args.get_uint("inflight-cap", 1);
-  config.service.scheduler.tenant_pending_quota = args.get_uint("quota", 0);
-  config.service.scheduler.max_buffered_bytes =
-      args.get_uint("buffer-budget", std::uint64_t{256} << 20);
+  config.remote_token = args.get("token", "");
+  config.tenant_prefix = args.get("tenant-prefix", "tenant");
+  apply_service_flags(args, config.service);
   config.chaos.seed = args.get_uint("chaos-seed", config.seed);
   config.seed = config.chaos.seed;
   apply_chaos_modes(config, args.get("chaos", "none"));
 
   const serve::SimulationReport report = serve::run_simulation(config);
+  const bool remote =
+      config.storage.scheme == ckpt::BackendScheme::Remote;
 
   TablePrinter table({"Tenant", "Program", "Codec", "Ckpts", "IO errs",
                       "Crashed", "Restored step", "Restart", "Verified"});
@@ -172,15 +322,22 @@ int cmd_simulate(const CliArgs& args) {
               human_bytes(report.bytes_committed).c_str(),
               seconds(report.write_wall_seconds).c_str(),
               fixed(report.mb_per_second(), 1).c_str());
-  std::printf("scheduler: %s submitted, %s completed, %s failed; peak "
-              "in-flight %s / queue %s; stalls %s, quota rejections %s\n",
-              with_commas(report.scheduler.submitted).c_str(),
-              with_commas(report.scheduler.completed).c_str(),
-              with_commas(report.scheduler.failed).c_str(),
-              human_bytes(report.scheduler.peak_bytes_in_flight).c_str(),
-              with_commas(report.scheduler.peak_queue_depth).c_str(),
-              with_commas(report.scheduler.admission_stalls).c_str(),
-              with_commas(report.scheduler.quota_rejections).c_str());
+  if (remote) {
+    std::printf("storage: remote daemon at %s:%u (scheduler pressure is "
+                "reported daemon-side)\n",
+                config.storage.host.c_str(),
+                static_cast<unsigned>(config.storage.port));
+  } else {
+    std::printf("scheduler: %s submitted, %s completed, %s failed; peak "
+                "in-flight %s / queue %s; stalls %s, quota rejections %s\n",
+                with_commas(report.scheduler.submitted).c_str(),
+                with_commas(report.scheduler.completed).c_str(),
+                with_commas(report.scheduler.failed).c_str(),
+                human_bytes(report.scheduler.peak_bytes_in_flight).c_str(),
+                with_commas(report.scheduler.peak_queue_depth).c_str(),
+                with_commas(report.scheduler.admission_stalls).c_str(),
+                with_commas(report.scheduler.quota_rejections).c_str());
+  }
   std::printf("chaos: %s torn writes, %s slow drains, %s bit flips, %s "
               "crashes; %s drain errors surfaced\n",
               with_commas(report.torn_writes).c_str(),
@@ -204,10 +361,12 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) return usage();
   const std::string command = args.positional()[0];
   try {
+    scrutiny::serve::register_remote_scheme();
     if (command == "help") {
       print_usage(stdout);
       return 0;
     }
+    if (command == "serve") return cmd_serve(args);
     if (command == "simulate") return cmd_simulate(args);
     return usage();
   } catch (const scrutiny::ScrutinyError& error) {

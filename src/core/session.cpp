@@ -92,6 +92,10 @@ void ScrutinySession::use_storage(
   storage_ = std::move(backend);
 }
 
+void ScrutinySession::use_storage(const ckpt::BackendSpec& spec) {
+  use_storage(std::shared_ptr<ckpt::StorageBackend>(ckpt::make_backend(spec)));
+}
+
 ckpt::StorageBackend& ScrutinySession::storage() const {
   if (storage_ == nullptr) {
     storage_ = std::make_shared<ckpt::FileBackend>();
@@ -161,6 +165,19 @@ const AnalysisConfig& ScrutinySession::analysis_config() const {
 
 int ScrutinySession::warmup_steps() const {
   return analysis_config().warmup_steps;
+}
+
+std::string ScrutinySession::object_key(const std::filesystem::path& dir,
+                                        const std::string& filename) const {
+  if (storage().hierarchical_keys()) return (dir / filename).string();
+  // Flat keyspace (the remote daemon's store rejects '/'): fold the
+  // directory into the name so `dir` still namespaces the objects, and
+  // trim leading separators an absolute dir would leave behind.
+  std::string flat = (dir / filename).generic_string();
+  for (char& c : flat) {
+    if (c == '/') c = '.';
+  }
+  return flat.substr(flat.find_first_not_of('.'));
 }
 
 // ---------------------------------------------------------------------------
@@ -248,9 +265,9 @@ StorageComparison ScrutinySession::compare_storage(
   app->register_checkpoint(registry);
 
   const std::string full_key =
-      (dir / (program_->name() + "_full.ckpt")).string();
+      object_key(dir, program_->name() + "_full.ckpt");
   const std::string pruned_key =
-      (dir / (program_->name() + "_pruned.ckpt")).string();
+      object_key(dir, program_->name() + "_pruned.ckpt");
 
   const ckpt::WriteReport full = ckpt::write_checkpoint(
       storage(), full_key, registry, static_cast<std::uint64_t>(warmup));
@@ -281,7 +298,7 @@ RestartVerification ScrutinySession::verify_restart(
 
   RestartVerification verification;
   const std::string key =
-      (dir / (program_->name() + "_restart.ckpt")).string();
+      object_key(dir, program_->name() + "_restart.ckpt");
 
   // Uninterrupted reference run.
   verification.golden = golden_outputs();
@@ -432,7 +449,7 @@ StorageComparison ScrutinySession::compare_storage(
     if (combo.delta) request.delta = &cache;
 
     const std::string stem =
-        (dir / (program_->name() + "_" + combo.name())).string();
+        object_key(dir, program_->name() + "_" + combo.name());
     const ckpt::WriteReport base = ckpt::write_checkpoint(
         storage(), stem + "_base.ckpt", registry,
         static_cast<std::uint64_t>(warmup), request);
@@ -470,7 +487,7 @@ RestartVerification ScrutinySession::verify_restart(
 
   ckpt::ManagerConfig manager_config;
   manager_config.basename =
-      (dir / (program_->name() + "_" + codec.name())).string();
+      object_key(dir, program_->name() + "_" + codec.name());
   manager_config.interval = 1;
   manager_config.keep_slots = 4;
   manager_config.codec = codec;

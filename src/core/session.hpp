@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/backend_spec.hpp"
 #include "ckpt/checkpoint_io.hpp"
 #include "core/analysis_types.hpp"
 #include "core/program.hpp"
@@ -161,6 +162,11 @@ class ScrutinySession {
   /// FileBackend, for which keys are plain filesystem paths.
   void use_storage(std::shared_ptr<ckpt::StorageBackend> backend);
 
+  /// BackendSpec overload: builds the backend the spec names (file:DIR,
+  /// memory:, remote:HOST:PORT, each optionally +async) and seats the
+  /// session on it.
+  void use_storage(const ckpt::BackendSpec& spec);
+
   /// The active backend (creates the file default on first use).
   [[nodiscard]] ckpt::StorageBackend& storage() const;
 
@@ -261,6 +267,12 @@ class ScrutinySession {
 
  private:
   [[nodiscard]] int warmup_steps() const;
+
+  /// Object key for `filename` under `dir`, shaped for the active backend:
+  /// path-joined for hierarchical keyspaces, '/'-folded to '.' for flat
+  /// ones (the remote daemon's store rejects '/' in keys).
+  [[nodiscard]] std::string object_key(const std::filesystem::path& dir,
+                                       const std::string& filename) const;
 
   const AnyProgram* program_;
   std::optional<AnalysisConfig> config_;

@@ -1,0 +1,147 @@
+// The scrutinyd wire API: one stable, versioned struct set shared by the
+// daemon and the RemoteBackend client.
+//
+// Every message that crosses the wire is one of these structs; wire.cpp is
+// the single serializer for all of them (no parallel definitions on either
+// side), and WireVersionTest pins the encoded bytes golden-file style the
+// same way the checkpoint container format is pinned.  Bumping
+// kWireVersion is a protocol break: the handshake requires an exact match,
+// so an old client talking to a new daemon fails loudly at Hello, never
+// with a misparsed frame.
+//
+// Conversation shape (client frames left, daemon frames right):
+//
+//   Hello{tenant, token}          ->
+//                                 <- HelloOk{version, server}   | Error
+//   BeginWrite{key, commit_id}    ->
+//   WriteChunk{bytes}...          ->   (256 KiB frames, matching the
+//                                       checkpoint serializer chunking)
+//   CommitWrite{id, bytes, crc}   ->
+//                                 <- CommitOk{deduped}          | Error
+//   Read{key}                     ->
+//                                 <- ObjectBegin{size}
+//                                 <- ObjectChunk{bytes}...
+//                                 <- ObjectEnd{crc}             | Error
+//   Exists/Remove/List/Drained/Wait/Ping
+//                                 <- Bool / Ok / KeyList / Bool / Ok / Ok
+//
+// Idempotent commit: the daemon remembers the last applied commit_id per
+// tenant/key.  A client that lost the CommitOk ACK replays the whole write
+// with the same commit_id; the daemon recognizes the replay, publishes
+// nothing twice, and ACKs CommitOk{deduped=true} — a retried commit can
+// never tear or duplicate an object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scrutiny::serve {
+
+/// Bytes on the wire, little-endian u32: 'S' 'C' 'W' 'P'.
+inline constexpr std::uint32_t kWireMagic = 0x50574353u;
+
+/// Exact-match protocol version (checked in the handshake).
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Payload chunk size for WriteChunk/ObjectChunk frames — the checkpoint
+/// serializers' bounded chunk buffer size, so a streamed container crosses
+/// the wire in the same units it was produced in.
+inline constexpr std::size_t kWireChunkBytes = 256u * 1024;
+
+/// Hard ceiling on one frame body; anything larger is a corrupt or hostile
+/// length prefix and the connection is dropped.
+inline constexpr std::size_t kMaxFrameBody = 4u << 20;
+
+enum class FrameType : std::uint16_t {
+  // Client -> daemon.
+  Hello = 1,
+  BeginWrite = 2,
+  WriteChunk = 3,  ///< raw payload bytes, no struct
+  CommitWrite = 4,
+  Read = 5,
+  Exists = 6,
+  Remove = 7,
+  List = 8,
+  Drained = 9,
+  Wait = 10,
+  Ping = 11,
+
+  // Daemon -> client.
+  HelloOk = 32,
+  Ok = 33,
+  Error = 34,
+  Bool = 35,
+  KeyList = 36,
+  ObjectBegin = 37,
+  ObjectChunk = 38,  ///< raw payload bytes, no struct
+  ObjectEnd = 39,
+  CommitOk = 40,
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+/// Error codes carried by Error frames.  Transport failures are a different
+/// animal (socket errors, never an Error frame) — these are the daemon
+/// telling a healthy connection that the *request* failed.
+enum class WireErrorCode : std::uint16_t {
+  BadRequest = 1,  ///< malformed key, protocol misuse, CRC mismatch
+  Auth = 2,        ///< bad token or invalid tenant at handshake
+  NotFound = 3,    ///< open_for_read of a missing key
+  Quota = 4,       ///< tenant byte quota exceeded (maps to TenantQuotaError)
+  Internal = 5,    ///< storage-side failure (torn drain surfacing, ...)
+};
+
+struct HelloRequest {
+  std::uint16_t version = kWireVersion;
+  std::string tenant;
+  std::string token;
+};
+
+struct HelloReply {
+  std::uint16_t version = kWireVersion;
+  std::string server;  ///< banner, e.g. "scrutinyd"
+};
+
+struct BeginWriteRequest {
+  std::string key;
+  std::uint64_t commit_id = 0;
+};
+
+struct CommitWriteRequest {
+  std::uint64_t commit_id = 0;
+  std::uint64_t total_bytes = 0;   ///< sum of WriteChunk payloads
+  std::uint64_t payload_crc = 0;   ///< CRC-64 over the payload bytes
+};
+
+struct CommitReply {
+  bool deduped = false;  ///< replay of an already-applied commit_id
+};
+
+/// Read/Exists/Remove take a key; List takes a prefix — same shape.
+struct KeyRequest {
+  std::string key;
+};
+
+struct ErrorReply {
+  WireErrorCode code = WireErrorCode::Internal;
+  std::string message;
+};
+
+struct BoolReply {
+  bool value = false;
+};
+
+struct KeyListReply {
+  std::vector<std::string> keys;
+};
+
+struct ObjectBeginReply {
+  std::uint64_t size = 0;
+};
+
+struct ObjectEndReply {
+  std::uint64_t payload_crc = 0;
+};
+
+}  // namespace scrutiny::serve

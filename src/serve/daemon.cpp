@@ -1,0 +1,435 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "support/crc64.hpp"
+
+namespace scrutiny::serve {
+
+namespace {
+
+/// splitmix64 — the seeded, replayable draw source for chaos decisions.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CheckpointDaemon::CheckpointDaemon(DaemonConfig config)
+    : config_(std::move(config)),
+      service_(std::make_unique<CheckpointService>(config_.service)) {
+  chaos_state_.store(mix64(config_.chaos.seed));
+}
+
+CheckpointDaemon::~CheckpointDaemon() { stop(); }
+
+void CheckpointDaemon::start() {
+  SCRUTINY_REQUIRE(!running_.load(), "daemon already started");
+  listener_ = TcpListener::bind(config_.port);
+  port_ = listener_.port();
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void CheckpointDaemon::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<Worker> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (Worker& worker : workers) {
+    if (worker.thread.joinable()) worker.thread.join();
+  }
+  try {
+    service_->wait_all();
+  } catch (const ScrutinyError& e) {
+    std::cerr << "[scrutinyd] background drain error at shutdown: "
+              << e.what() << "\n";
+  }
+}
+
+DaemonStats CheckpointDaemon::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string CheckpointDaemon::pressure_report() {
+  std::ostringstream out;
+  const SchedulerStats global = service_->scheduler()->stats();
+  out << "scheduler queue_depth=" << global.queue_depth
+      << " draining=" << global.draining
+      << " bytes_in_flight=" << global.bytes_in_flight
+      << " stalls=" << global.admission_stalls;
+  for (const std::string& tenant : service_->tenant_names()) {
+    const TenantSchedulerStats ts =
+        service_->scheduler()->tenant_stats(tenant);
+    out << "\n  tenant=" << tenant << " queue_depth=" << ts.queue_depth
+        << " inflight=" << ts.inflight_jobs
+        << " bytes_in_flight=" << ts.bytes_in_flight
+        << " submitted=" << ts.submitted << " completed=" << ts.completed
+        << " failed=" << ts.failed
+        << " quota_rejections=" << ts.quota_rejections;
+  }
+  return out.str();
+}
+
+void CheckpointDaemon::maybe_log_pressure() {
+  if (config_.log_interval_s == 0) return;
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  if (last_log_tick_ != 0 && now - last_log_tick_ < config_.log_interval_s) {
+    return;
+  }
+  last_log_tick_ = now;
+  std::cerr << "[scrutinyd] " << pressure_report() << "\n";
+}
+
+void CheckpointDaemon::reap_finished_locked() {
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CheckpointDaemon::accept_loop() {
+  while (!stopping_.load()) {
+    std::optional<TcpSocket> socket;
+    try {
+      socket = listener_.accept(100);
+    } catch (const WireTransportError& e) {
+      if (stopping_.load()) break;
+      std::cerr << "[scrutinyd] accept failed: " << e.what() << "\n";
+      continue;
+    }
+    maybe_log_pressure();
+    if (!socket) continue;
+
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, sock = std::move(*socket), done]() mutable {
+      serve_connection(std::move(sock));
+      done->store(true);
+    });
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections_accepted;
+    workers_.push_back(Worker{std::move(thread), std::move(done)});
+    reap_finished_locked();
+  }
+}
+
+// --- per-connection protocol ------------------------------------------------
+
+/// Per-connection request machine.  Owns the socket and the tenant session;
+/// all shared daemon state (stats, dedupe map, chaos draws) goes through
+/// the daemon pointer under its mutex.
+class CheckpointDaemon::Connection {
+ public:
+  Connection(CheckpointDaemon& daemon, TcpSocket socket)
+      : daemon_(daemon), socket_(std::move(socket)) {}
+
+  void run() {
+    socket_.set_timeout(10'000);
+    if (!handshake()) return;
+    try {
+      while (!daemon_.stopping_.load()) {
+        if (!socket_.wait_readable(200)) continue;
+        const Frame frame = socket_.recv_frame();
+        count(&DaemonStats::requests);
+        if (!dispatch(frame)) return;
+      }
+    } catch (const WireTransportError&) {
+      // Client went away (or chaos closed us) — writers dropped without
+      // commit are invisible by the StorageBackend contract; nothing to do.
+    } catch (const WireProtocolError& e) {
+      count(&DaemonStats::protocol_errors);
+      try {
+        send_error(WireErrorCode::BadRequest, e.what());
+      } catch (...) {
+      }
+    }
+  }
+
+ private:
+  void count(std::uint64_t DaemonStats::* field) {
+    const std::lock_guard<std::mutex> lock(daemon_.mutex_);
+    ++(daemon_.stats_.*field);
+  }
+
+  /// Seeded replayable chaos decision.
+  bool chaos_fire(double rate) {
+    if (rate <= 0.0) return false;
+    const std::uint64_t x = daemon_.chaos_state_.fetch_add(
+        0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+    const double draw =
+        static_cast<double>(mix64(x) >> 11) * 0x1.0p-53;
+    return draw < rate;
+  }
+
+  void send_error(WireErrorCode code, const std::string& message) {
+    ErrorReply reply;
+    reply.code = code;
+    reply.message = message;
+    socket_.send_frame(FrameType::Error, encode_body(reply));
+  }
+
+  bool handshake() {
+    try {
+      const Frame frame = socket_.recv_frame();
+      if (frame.type != FrameType::Hello) {
+        throw WireProtocolError(std::string("expected Hello, got ") +
+                                frame_type_name(frame.type));
+      }
+      const HelloRequest hello = decode_hello_request(frame.body);
+      if (hello.version != kWireVersion) {
+        send_error(WireErrorCode::BadRequest,
+                   "wire version mismatch: client " +
+                       std::to_string(hello.version) + ", server " +
+                       std::to_string(kWireVersion));
+        count(&DaemonStats::connections_rejected);
+        return false;
+      }
+      if (!is_valid_tenant_name(hello.tenant)) {
+        send_error(WireErrorCode::Auth,
+                   "invalid tenant name \"" + hello.tenant + "\"");
+        count(&DaemonStats::connections_rejected);
+        return false;
+      }
+      if (!daemon_.config_.auth_token.empty() &&
+          hello.token != daemon_.config_.auth_token) {
+        send_error(WireErrorCode::Auth, "bad auth token");
+        count(&DaemonStats::connections_rejected);
+        return false;
+      }
+      tenant_ = hello.tenant;
+      session_ = daemon_.service_->open_session(tenant_);
+      HelloReply reply;
+      reply.server = "scrutinyd";
+      socket_.send_frame(FrameType::HelloOk, encode_body(reply));
+      return true;
+    } catch (const ScrutinyError&) {
+      count(&DaemonStats::connections_rejected);
+      return false;
+    }
+  }
+
+  /// Returns false when the connection must close (chaos drop).
+  bool dispatch(const Frame& frame) {
+    switch (frame.type) {
+      case FrameType::BeginWrite:
+        return handle_write(decode_begin_write(frame.body));
+      case FrameType::Read:
+        handle_read(decode_key_request(frame.body).key);
+        return true;
+      case FrameType::Exists: {
+        BoolReply reply;
+        reply.value = session_->exists(decode_key_request(frame.body).key);
+        socket_.send_frame(FrameType::Bool, encode_body(reply));
+        return true;
+      }
+      case FrameType::Remove:
+        session_->remove(decode_key_request(frame.body).key);
+        socket_.send_frame(FrameType::Ok);
+        return true;
+      case FrameType::List: {
+        KeyListReply reply;
+        reply.keys = session_->list(decode_key_request(frame.body).key);
+        std::sort(reply.keys.begin(), reply.keys.end());
+        socket_.send_frame(FrameType::KeyList, encode_body(reply));
+        return true;
+      }
+      case FrameType::Drained: {
+        BoolReply reply;
+        reply.value = session_->drained();
+        socket_.send_frame(FrameType::Bool, encode_body(reply));
+        return true;
+      }
+      case FrameType::Wait:
+        try {
+          session_->wait();
+          socket_.send_frame(FrameType::Ok);
+        } catch (const ScrutinyError& e) {
+          send_error(WireErrorCode::Internal, e.what());
+        }
+        return true;
+      case FrameType::Ping:
+        socket_.send_frame(FrameType::Ok);
+        return true;
+      default:
+        throw WireProtocolError(std::string("unexpected request frame ") +
+                                frame_type_name(frame.type));
+    }
+  }
+
+  /// BeginWrite ... WriteChunk* ... CommitWrite.  The incoming stream is
+  /// always consumed to the CommitWrite so a request-level failure leaves
+  /// the connection in sync; storage errors travel back as Error frames.
+  bool handle_write(const BeginWriteRequest& begin) {
+    // Idempotency check first: a replay of the last applied commit for this
+    // key is consumed and ACKed without touching storage.
+    bool replay = false;
+    {
+      const std::lock_guard<std::mutex> lock(daemon_.mutex_);
+      const auto tenant_it = daemon_.applied_commits_.find(tenant_);
+      if (tenant_it != daemon_.applied_commits_.end()) {
+        const auto key_it = tenant_it->second.find(begin.key);
+        replay = key_it != tenant_it->second.end() &&
+                 key_it->second == begin.commit_id;
+      }
+    }
+
+    std::unique_ptr<ckpt::StorageWriter> writer;
+    std::optional<ErrorReply> deferred;
+    if (!replay) {
+      try {
+        writer = session_->open_for_write(begin.key);
+      } catch (const ScrutinyError& e) {
+        deferred = ErrorReply{WireErrorCode::BadRequest, e.what()};
+      }
+    }
+
+    Crc64 crc;
+    std::uint64_t total = 0;
+    for (;;) {
+      const Frame frame = socket_.recv_frame();
+      if (frame.type == FrameType::WriteChunk) {
+        if (chaos_fire(daemon_.config_.chaos.drop_mid_stream_rate)) {
+          count(&DaemonStats::chaos_drops);
+          socket_.close();  // writer drops uncommitted: object invisible
+          return false;
+        }
+        crc.update(frame.body.data(), frame.body.size());
+        total += frame.body.size();
+        if (writer) {
+          try {
+            writer->append(frame.body.data(), frame.body.size());
+          } catch (const ScrutinyError& e) {
+            deferred = ErrorReply{WireErrorCode::Internal, e.what()};
+            writer.reset();
+          }
+        }
+        continue;
+      }
+      if (frame.type == FrameType::CommitWrite) {
+        const CommitWriteRequest commit = decode_commit_write(frame.body);
+        if (commit.commit_id != begin.commit_id) {
+          throw WireProtocolError("CommitWrite id does not match BeginWrite");
+        }
+        if (deferred) {
+          send_error(deferred->code, deferred->message);
+          return true;
+        }
+        if (!replay) {
+          if (commit.total_bytes != total ||
+              commit.payload_crc != crc.value()) {
+            // Dropping the writer aborts the staged object.
+            send_error(WireErrorCode::BadRequest,
+                       "payload length/CRC mismatch on " + begin.key);
+            return true;
+          }
+          try {
+            writer->commit();
+          } catch (const TenantQuotaError& e) {
+            send_error(WireErrorCode::Quota, e.what());
+            return true;
+          } catch (const ScrutinyError& e) {
+            send_error(WireErrorCode::Internal, e.what());
+            return true;
+          }
+          {
+            const std::lock_guard<std::mutex> lock(daemon_.mutex_);
+            daemon_.applied_commits_[tenant_][begin.key] = begin.commit_id;
+            ++daemon_.stats_.commits;
+          }
+        } else {
+          count(&DaemonStats::deduped_commits);
+        }
+        // The commit is applied; chaos may now eat or delay the ACK — the
+        // client's retry must land on the dedupe path above.
+        if (chaos_fire(daemon_.config_.chaos.drop_ack_rate)) {
+          count(&DaemonStats::chaos_drops);
+          socket_.close();
+          return false;
+        }
+        if (chaos_fire(daemon_.config_.chaos.stall_ack_rate)) {
+          count(&DaemonStats::chaos_stalls);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(daemon_.config_.chaos.stall_ms));
+        }
+        CommitReply reply;
+        reply.deduped = replay;
+        socket_.send_frame(FrameType::CommitOk, encode_body(reply));
+        return true;
+      }
+      throw WireProtocolError(
+          std::string("expected WriteChunk/CommitWrite, got ") +
+          frame_type_name(frame.type));
+    }
+  }
+
+  void handle_read(const std::string& key) {
+    std::unique_ptr<ckpt::StorageReader> reader;
+    try {
+      if (!session_->exists(key)) {
+        send_error(WireErrorCode::NotFound, "no such object: " + key);
+        return;
+      }
+      reader = session_->open_for_read(key);
+    } catch (const ScrutinyError& e) {
+      send_error(WireErrorCode::Internal, e.what());
+      return;
+    }
+    const std::optional<std::uint64_t> size = reader->size();
+    if (!size) {
+      send_error(WireErrorCode::Internal,
+                 "backend cannot size object: " + key);
+      return;
+    }
+    ObjectBeginReply begin;
+    begin.size = *size;
+    socket_.send_frame(FrameType::ObjectBegin, encode_body(begin));
+    std::vector<std::uint8_t> buffer(kWireChunkBytes);
+    Crc64 crc;
+    std::uint64_t remaining = *size;
+    while (remaining > 0) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, buffer.size()));
+      reader->read(buffer.data(), n);
+      crc.update(buffer.data(), n);
+      socket_.send_frame(FrameType::ObjectChunk, {buffer.data(), n});
+      remaining -= n;
+    }
+    ObjectEndReply end;
+    end.payload_crc = crc.value();
+    socket_.send_frame(FrameType::ObjectEnd, encode_body(end));
+  }
+
+  CheckpointDaemon& daemon_;
+  TcpSocket socket_;
+  std::string tenant_;
+  std::shared_ptr<ScheduledBackend> session_;
+};
+
+void CheckpointDaemon::serve_connection(TcpSocket socket) {
+  Connection connection(*this, std::move(socket));
+  connection.run();
+}
+
+}  // namespace scrutiny::serve

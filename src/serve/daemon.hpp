@@ -1,0 +1,147 @@
+// The scrutinyd network daemon: TCP connections multiplexed onto the
+// in-process CheckpointService.
+//
+//   client conn ── handshake (tenant + token) ── ScheduledBackend session ─┐
+//   client conn ── handshake ──────────────────── ScheduledBackend ────────┼─ CheckpointService
+//   client conn ── handshake ──────────────────── ScheduledBackend ────────┘
+//
+// One thread per connection (checkpoint streams are few and fat, not many
+// and chatty); the accept loop polls with a short timeout so stop() is
+// honored promptly without signals.  Each connection authenticates once —
+// tenant name validated by the PR 8 rules, token compared against the
+// daemon's shared secret — and then speaks the wire protocol of
+// serve/api.hpp against its tenant-scoped session backend.
+//
+// Idempotent commits: the daemon remembers, per tenant/key, the commit_id
+// of the last applied write.  A replayed CommitWrite with that id is
+// acknowledged CommitOk{deduped=true} without touching storage, which is
+// what lets the RemoteBackend client blindly replay a whole write after
+// any transport failure — including a commit whose ACK was lost — with no
+// risk of tearing or duplicating the object.
+//
+// NetChaos: deterministic fault injection for the chaos harness.  The
+// daemon can drop a connection mid-payload-stream, drop it *after applying
+// a commit but before the ACK* (forcing the client down the dedupe path),
+// or stall before ACKing (forcing the client's deadline machinery).  All
+// faults are seeded and counted so tests can assert they actually fired.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace scrutiny::serve {
+
+/// Deterministic daemon-side network fault injection.  Rates are
+/// per-opportunity probabilities in [0,1]; draws come from a seeded
+/// xorshift so a chaos run replays exactly.
+struct NetChaosConfig {
+  std::uint64_t seed = 0;
+  double drop_mid_stream_rate = 0.0;  ///< close during WriteChunk stream
+  double drop_ack_rate = 0.0;   ///< apply commit, close before CommitOk
+  double stall_ack_rate = 0.0;  ///< sleep stall_ms before replying
+  std::uint32_t stall_ms = 0;
+
+  [[nodiscard]] bool any() const {
+    return drop_mid_stream_rate > 0 || drop_ack_rate > 0 ||
+           stall_ack_rate > 0;
+  }
+};
+
+struct DaemonConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+  std::string auth_token;  ///< shared secret; empty = no auth required
+  ServiceConfig service;
+  NetChaosConfig chaos;
+  /// Seconds between per-tenant pressure log lines; 0 disables.
+  std::uint32_t log_interval_s = 0;
+};
+
+struct DaemonStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< failed handshakes
+  std::uint64_t requests = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t deduped_commits = 0;  ///< commit_id replays answered from
+                                      ///< the dedupe map
+  std::uint64_t chaos_drops = 0;      ///< connections killed by injection
+  std::uint64_t chaos_stalls = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class CheckpointDaemon {
+ public:
+  explicit CheckpointDaemon(DaemonConfig config);
+  ~CheckpointDaemon();
+
+  CheckpointDaemon(const CheckpointDaemon&) = delete;
+  CheckpointDaemon& operator=(const CheckpointDaemon&) = delete;
+
+  /// Binds the listener and starts the accept thread.  Throws on bind
+  /// failure.  After start(), port() reports the bound port.
+  void start();
+
+  /// Stops accepting, closes live connections' sessions at the next
+  /// request boundary, joins all threads.  Committed objects stay durable
+  /// in the service store; a restarted daemon over the same store config
+  /// serves them again (the restart-mid-run chaos leg).
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] CheckpointService& service() { return *service_; }
+  [[nodiscard]] DaemonStats stats() const;
+
+  /// One formatted per-tenant pressure report (the periodic log line body);
+  /// exposed so tests don't scrape stderr.
+  [[nodiscard]] std::string pressure_report();
+
+ private:
+  class Connection;
+
+  void accept_loop();
+  void serve_connection(TcpSocket socket);
+  void reap_finished_locked();
+  void maybe_log_pressure();
+
+  DaemonConfig config_;
+  std::unique_ptr<CheckpointService> service_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Worker> workers_;
+  DaemonStats stats_;
+  /// tenant -> key -> last applied commit_id (the idempotency map).
+  std::unordered_map<std::string, std::unordered_map<std::string,
+                                                     std::uint64_t>>
+      applied_commits_;
+  std::atomic<std::uint64_t> chaos_state_{0};
+  std::uint64_t last_log_tick_ = 0;
+};
+
+/// Registers the "remote" BackendSpec scheme with the ckpt layer
+/// (ckpt::register_remote_backend_factory), making
+/// `make_backend(remote:HOST:PORT)` construct a RemoteBackend.  Idempotent;
+/// CLI mains and network tests call it once at startup, mirroring
+/// npb::register_suite().
+void register_remote_scheme();
+
+}  // namespace scrutiny::serve

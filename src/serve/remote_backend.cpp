@@ -1,0 +1,359 @@
+#include "serve/remote_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <utility>
+
+#include "ckpt/backend_spec.hpp"
+#include "serve/daemon.hpp"
+#include "serve/write_scheduler.hpp"
+#include "support/crc64.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+
+using serve::Frame;
+using serve::FrameType;
+using serve::WireErrorCode;
+using serve::WireProtocolError;
+using serve::WireTransportError;
+
+namespace {
+
+/// Per-instance commit_id namespace: ids must not collide with the last
+/// applied commit of another client on the same tenant/key, or the daemon's
+/// dedupe would skip a genuine write.
+std::uint64_t fresh_nonce() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^
+         static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace
+
+/// Buffers appends locally; the network is only touched at commit().
+class RemoteWriter final : public StorageWriter {
+ public:
+  RemoteWriter(RemoteBackend& backend, std::string key,
+               std::uint64_t commit_id)
+      : backend_(&backend), key_(std::move(key)), commit_id_(commit_id) {}
+
+  void append(const void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(!committed_, "append after commit");
+    const auto* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  void commit() override {
+    SCRUTINY_REQUIRE(!committed_, "double commit");
+    backend_->commit_object(key_, commit_id_, buffer_);
+    committed_ = true;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override {
+    return buffer_.size();
+  }
+
+ private:
+  RemoteBackend* backend_;
+  std::string key_;
+  std::uint64_t commit_id_;
+  std::vector<std::byte> buffer_;
+  bool committed_ = false;
+};
+
+namespace {
+
+/// Reader over the fetched object snapshot (MemoryReader semantics).
+class RemoteReader final : public StorageReader {
+ public:
+  RemoteReader(std::vector<std::byte> object, std::string key)
+      : object_(std::move(object)), key_(std::move(key)) {}
+
+  void read(void* data, std::size_t size) override {
+    SCRUTINY_REQUIRE(offset_ + size <= object_.size(),
+                     "unexpected end of object: " + key_);
+    std::memcpy(data, object_.data() + offset_, size);
+    offset_ += size;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept override {
+    return offset_;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> size() const override {
+    return object_.size();
+  }
+
+ private:
+  std::vector<std::byte> object_;
+  std::string key_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+RemoteBackend::RemoteBackend(RemoteBackendConfig config)
+    : config_(std::move(config)), commit_nonce_(fresh_nonce()) {
+  SCRUTINY_REQUIRE(config_.port != 0, "remote backend needs a port");
+  SCRUTINY_REQUIRE(serve::is_valid_tenant_name(config_.tenant),
+                   "invalid tenant name \"" + config_.tenant + "\"");
+}
+
+RemoteBackend::~RemoteBackend() = default;
+
+void RemoteBackend::throw_server_error(const serve::ErrorReply& error) {
+  const std::string what = "scrutinyd [" + config_.host + ":" +
+                           std::to_string(config_.port) +
+                           "]: " + error.message;
+  if (error.code == WireErrorCode::Quota) {
+    throw serve::TenantQuotaError(what);
+  }
+  throw ScrutinyError(what);
+}
+
+void RemoteBackend::ensure_connected_locked() {
+  if (socket_.valid()) return;
+  socket_ = serve::TcpSocket::connect(config_.host, config_.port,
+                                      config_.timeout_ms);
+  socket_.set_timeout(config_.timeout_ms);
+  serve::HelloRequest hello;
+  hello.tenant = config_.tenant;
+  hello.token = config_.token;
+  socket_.send_frame(FrameType::Hello, serve::encode_body(hello));
+  const Frame reply = socket_.recv_frame();
+  if (reply.type == FrameType::Error) {
+    const serve::ErrorReply error = serve::decode_error_reply(reply.body);
+    socket_.close();
+    // Auth rejections are answers, not transport flakes: no retry.
+    throw_server_error(error);
+  }
+  if (reply.type != FrameType::HelloOk) {
+    socket_.close();
+    throw WireProtocolError(std::string("expected HelloOk, got ") +
+                            serve::frame_type_name(reply.type));
+  }
+  (void)serve::decode_hello_reply(reply.body);
+}
+
+template <typename Fn>
+auto RemoteBackend::with_retry_locked(const char* what, Fn&& fn)
+    -> decltype(fn()) {
+  int backoff_ms = config_.backoff_initial_ms;
+  std::string last_error;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+      ++stats_.reconnects;
+      if (attempt == 1) ++stats_.retried_ops;
+    }
+    try {
+      ensure_connected_locked();
+      auto result = fn();
+      ++stats_.round_trips;
+      return result;
+    } catch (const WireTransportError& e) {
+      socket_.close();
+      last_error = e.what();
+      if (attempt >= config_.max_retries) {
+        throw WireTransportError(std::string(what) + ": giving up after " +
+                                 std::to_string(attempt + 1) +
+                                 " attempts, last: " + last_error);
+      }
+    } catch (const WireProtocolError&) {
+      socket_.close();
+      throw;
+    }
+  }
+}
+
+Frame RemoteBackend::expect_reply_locked(FrameType expected) {
+  Frame reply = socket_.recv_frame();
+  if (reply.type == FrameType::Error) {
+    throw_server_error(serve::decode_error_reply(reply.body));
+  }
+  if (reply.type != expected) {
+    throw WireProtocolError(std::string("expected ") +
+                            serve::frame_type_name(expected) + ", got " +
+                            serve::frame_type_name(reply.type));
+  }
+  return reply;
+}
+
+std::unique_ptr<StorageWriter> RemoteBackend::open_for_write(
+    const std::string& key) {
+  std::uint64_t commit_id;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    commit_id = commit_nonce_ ^ (++commit_counter_ << 1);
+  }
+  return std::make_unique<RemoteWriter>(*this, key, commit_id);
+}
+
+bool RemoteBackend::commit_object(const std::string& key,
+                                  std::uint64_t commit_id,
+                                  const std::vector<std::byte>& bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t payload_crc = crc64(bytes.data(), bytes.size());
+  const bool deduped = with_retry_locked("commit", [&] {
+    serve::BeginWriteRequest begin;
+    begin.key = key;
+    begin.commit_id = commit_id;
+    socket_.send_frame(FrameType::BeginWrite, serve::encode_body(begin));
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const std::size_t n =
+          std::min(serve::kWireChunkBytes, bytes.size() - offset);
+      socket_.send_frame(
+          FrameType::WriteChunk,
+          {reinterpret_cast<const std::uint8_t*>(bytes.data()) + offset, n});
+      offset += n;
+    }
+    serve::CommitWriteRequest commit;
+    commit.commit_id = commit_id;
+    commit.total_bytes = bytes.size();
+    commit.payload_crc = payload_crc;
+    socket_.send_frame(FrameType::CommitWrite, serve::encode_body(commit));
+    const Frame reply = expect_reply_locked(FrameType::CommitOk);
+    return serve::decode_commit_reply(reply.body).deduped;
+  });
+  if (deduped) ++stats_.deduped_commits;
+  return deduped;
+}
+
+std::unique_ptr<StorageReader> RemoteBackend::open_for_read(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::byte> object = with_retry_locked("read", [&] {
+    serve::KeyRequest request;
+    request.key = key;
+    socket_.send_frame(FrameType::Read, serve::encode_body(request));
+    const Frame begin = expect_reply_locked(FrameType::ObjectBegin);
+    const std::uint64_t size =
+        serve::decode_object_begin(begin.body).size;
+    std::vector<std::byte> buffer;
+    buffer.reserve(size);
+    Crc64 crc;
+    while (buffer.size() < size) {
+      const Frame chunk = socket_.recv_frame();
+      if (chunk.type != FrameType::ObjectChunk) {
+        throw WireProtocolError(std::string("expected ObjectChunk, got ") +
+                                serve::frame_type_name(chunk.type));
+      }
+      if (buffer.size() + chunk.body.size() > size) {
+        throw WireProtocolError("object stream overran announced size");
+      }
+      crc.update(chunk.body.data(), chunk.body.size());
+      const auto* p = reinterpret_cast<const std::byte*>(chunk.body.data());
+      buffer.insert(buffer.end(), p, p + chunk.body.size());
+    }
+    const Frame end = expect_reply_locked(FrameType::ObjectEnd);
+    if (serve::decode_object_end(end.body).payload_crc != crc.value()) {
+      throw WireProtocolError("object payload CRC mismatch: " + key);
+    }
+    return buffer;
+  });
+  return std::make_unique<RemoteReader>(std::move(object), key);
+}
+
+bool RemoteBackend::exists(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return with_retry_locked("exists", [&] {
+    serve::KeyRequest request;
+    request.key = key;
+    socket_.send_frame(FrameType::Exists, serve::encode_body(request));
+    const Frame reply = expect_reply_locked(FrameType::Bool);
+    return serve::decode_bool_reply(reply.body).value;
+  });
+}
+
+void RemoteBackend::remove(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  with_retry_locked("remove", [&] {
+    serve::KeyRequest request;
+    request.key = key;
+    socket_.send_frame(FrameType::Remove, serve::encode_body(request));
+    (void)expect_reply_locked(FrameType::Ok);
+    return true;
+  });
+}
+
+std::vector<std::string> RemoteBackend::list(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return with_retry_locked("list", [&] {
+    serve::KeyRequest request;
+    request.key = prefix;
+    socket_.send_frame(FrameType::List, serve::encode_body(request));
+    const Frame reply = expect_reply_locked(FrameType::KeyList);
+    return serve::decode_key_list_reply(reply.body).keys;
+  });
+}
+
+void RemoteBackend::wait() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  with_retry_locked("wait", [&] {
+    socket_.send_frame(FrameType::Wait);
+    (void)expect_reply_locked(FrameType::Ok);
+    return true;
+  });
+}
+
+bool RemoteBackend::drained() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return with_retry_locked("drained", [&] {
+    socket_.send_frame(FrameType::Drained);
+    const Frame reply = expect_reply_locked(FrameType::Bool);
+    return serve::decode_bool_reply(reply.body).value;
+  });
+}
+
+void RemoteBackend::ping() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  with_retry_locked("ping", [&] {
+    socket_.send_frame(FrameType::Ping);
+    (void)expect_reply_locked(FrameType::Ok);
+    return true;
+  });
+}
+
+std::string RemoteBackend::name() const {
+  return "remote(" + config_.tenant + "@" + config_.host + ":" +
+         std::to_string(config_.port) + ")";
+}
+
+RemoteBackendStats RemoteBackend::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace scrutiny::ckpt
+
+namespace scrutiny::serve {
+
+void register_remote_scheme() {
+  ckpt::register_remote_backend_factory(
+      [](const ckpt::BackendSpec& spec) -> std::unique_ptr<
+          ckpt::StorageBackend> {
+        ckpt::RemoteBackendConfig config;
+        config.host = spec.host;
+        config.port = spec.port;
+        // Tenant/token are connection credentials, not part of the URI
+        // grammar; spec-driven construction (CLI, examples) reads them from
+        // the environment and defaults to the "default" tenant.
+        if (const char* tenant = std::getenv("SCRUTINY_REMOTE_TENANT")) {
+          config.tenant = tenant;
+        }
+        if (const char* token = std::getenv("SCRUTINY_REMOTE_TOKEN")) {
+          config.token = token;
+        }
+        return std::make_unique<ckpt::RemoteBackend>(std::move(config));
+      });
+}
+
+}  // namespace scrutiny::serve

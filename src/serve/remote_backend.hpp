@@ -1,0 +1,123 @@
+// RemoteBackend: the client side of the scrutinyd wire protocol.
+//
+// Completes the ckpt::StorageBackend family (file, memory, async, remote) —
+// the class lives in namespace ckpt because callers select it through the
+// same BackendSpec surface as every other backend, but the code lives in
+// src/serve/ because it speaks serve/wire.hpp (ckpt itself never links
+// sockets; the scheme is registered via serve::register_remote_scheme()).
+//
+// Write path: a writer buffers appends locally (the same staging cost as an
+// AsyncBackend slot) and transmits the object at commit() — BeginWrite,
+// 256 KiB WriteChunk frames, CommitWrite carrying length + CRC-64 — as one
+// exchange under the connection lock.  Buffering locally is what makes the
+// retry story airtight: any transport failure, *including a commit whose
+// ACK was dropped*, is handled by reconnecting with exponential backoff and
+// replaying the entire exchange with the same client-generated commit_id;
+// the daemon dedupes replays of an applied commit, so a retried commit can
+// never tear or duplicate (CommitOk{deduped} tells us which path ran).
+// Uncommitted writers never touch the network: dropping one aborts locally.
+//
+// Read path: open_for_read fetches the whole object (ObjectBegin/Chunk/End,
+// CRC-verified) into memory and returns a reader over the snapshot —
+// exactly MemoryBackend's read semantics, unmoved by later overwrites.
+//
+// Retry classes: transport errors (socket death, deadline expiry) retry up
+// to max_retries with backoff; server Error frames are *answers*, not
+// failures — they map to the same exceptions the in-process backends throw
+// (Quota → serve::TenantQuotaError) and are never retried; protocol
+// violations drop the connection and surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ckpt/storage_backend.hpp"
+#include "serve/wire.hpp"
+
+namespace scrutiny::ckpt {
+
+struct RemoteBackendConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string tenant = "default";
+  std::string token;             ///< must match the daemon's auth_token
+  int timeout_ms = 10'000;       ///< per-operation socket deadline
+  int max_retries = 5;           ///< reconnect attempts per operation
+  int backoff_initial_ms = 20;   ///< doubles per attempt ...
+  int backoff_max_ms = 2'000;    ///< ... up to this cap
+};
+
+struct RemoteBackendStats {
+  std::uint64_t round_trips = 0;   ///< request/reply exchanges completed
+  std::uint64_t reconnects = 0;    ///< sockets re-established after failure
+  std::uint64_t retried_ops = 0;   ///< operations that needed >1 attempt
+  std::uint64_t deduped_commits = 0;  ///< replays the daemon answered from
+                                      ///< its idempotency map
+};
+
+class RemoteBackend final : public StorageBackend {
+ public:
+  explicit RemoteBackend(RemoteBackendConfig config);
+  ~RemoteBackend() override;
+
+  [[nodiscard]] std::unique_ptr<StorageWriter> open_for_write(
+      const std::string& key) override;
+  [[nodiscard]] std::unique_ptr<StorageReader> open_for_read(
+      const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) override;
+  /// Joins the daemon-side scheduler for this tenant (Wait frame);
+  /// rethrows the tenant's first background drain error.
+  void wait() override;
+  [[nodiscard]] bool drained() override;
+  /// The daemon's sharded store rejects '/' in object keys.
+  [[nodiscard]] bool hierarchical_keys() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+
+  /// Round-trip connectivity probe (Ping frame).
+  void ping();
+
+  [[nodiscard]] RemoteBackendStats stats() const;
+  [[nodiscard]] const RemoteBackendConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  friend class RemoteWriter;
+
+  /// Streams one buffered object with retry/replay; returns true when the
+  /// daemon answered from its dedupe map.
+  bool commit_object(const std::string& key, std::uint64_t commit_id,
+                     const std::vector<std::byte>& bytes);
+
+  /// Connects + handshakes when no live socket; throws WireTransportError
+  /// on connect failure (retryable) or ScrutinyError on auth rejection
+  /// (not).  Caller holds mutex_.
+  void ensure_connected_locked();
+
+  /// Runs one request exchange with reconnect/backoff on transport
+  /// failures.  `fn` sends request frames and receives the reply on
+  /// socket_; it is replayed verbatim on retry, so everything it sends must
+  /// be idempotent (all our operations are — commits by commit_id).
+  template <typename Fn>
+  auto with_retry_locked(const char* what, Fn&& fn) -> decltype(fn());
+
+  /// Receives the single reply frame for a simple request; maps Error
+  /// frames to exceptions, enforces the expected type.
+  [[nodiscard]] serve::Frame expect_reply_locked(serve::FrameType expected);
+
+  [[noreturn]] void throw_server_error(const serve::ErrorReply& error);
+
+  RemoteBackendConfig config_;
+  mutable std::mutex mutex_;
+  serve::TcpSocket socket_;       // guarded by mutex_
+  RemoteBackendStats stats_;      // guarded by mutex_
+  std::uint64_t commit_nonce_;    // per-instance commit_id namespace
+  std::uint64_t commit_counter_ = 0;  // guarded by mutex_
+};
+
+}  // namespace scrutiny::ckpt

@@ -36,4 +36,9 @@ ServiceStats CheckpointService::stats() const {
   return stats;
 }
 
+std::vector<std::string> CheckpointService::tenant_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {tenants_.begin(), tenants_.end()};
+}
+
 }  // namespace scrutiny::serve

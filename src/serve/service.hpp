@@ -25,6 +25,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "serve/sharded_store.hpp"
 #include "serve/write_scheduler.hpp"
@@ -72,6 +73,10 @@ class CheckpointService {
   }
 
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Tenants that have opened at least one session, sorted.  The daemon's
+  /// periodic pressure log iterates these.
+  [[nodiscard]] std::vector<std::string> tenant_names() const;
 
  private:
   std::shared_ptr<ShardedStore> store_;

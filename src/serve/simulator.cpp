@@ -8,11 +8,13 @@
 #include <thread>
 #include <utility>
 
+#include "ckpt/async_backend.hpp"
 #include "ckpt/codec.hpp"
 #include "ckpt/failure.hpp"
 #include "ckpt/manager.hpp"
 #include "ckpt/registry.hpp"
 #include "mask/critical_mask.hpp"
+#include "serve/remote_backend.hpp"
 #include "support/error.hpp"
 #include "support/npb_random.hpp"
 
@@ -71,7 +73,10 @@ struct SessionRuntime {
   ckpt::CheckpointRegistry registry;
   ckpt::PruneMap masks;
   std::shared_ptr<ChaosBackend> chaos;  ///< null when chaos is off
-  std::shared_ptr<ScheduledBackend> backend;
+  /// In-process: the tenant's ScheduledBackend from open_session.  Remote:
+  /// this session's own RemoteBackend client connection (possibly wrapped
+  /// in AsyncBackend).  Everything downstream only needs the contract.
+  std::shared_ptr<ckpt::StorageBackend> backend;
   std::unique_ptr<ckpt::CheckpointManager> manager;
 
   SessionResult result;
@@ -245,14 +250,39 @@ SimulationReport run_simulation(const SimulatorConfig& config) {
                         config.chaos.slow_drain_probability > 0.0 ||
                         config.bitflip_final_probability > 0.0;
 
-  CheckpointService service(config.service);
+  const bool remote =
+      config.storage.scheme == ckpt::BackendScheme::Remote;
+  SCRUTINY_REQUIRE(!remote || !chaos_on,
+                   "storage-side chaos (torn/slow/bitflip) decorates the "
+                   "in-process store below the scheduler and cannot reach a "
+                   "remote daemon's storage; run the daemon with its "
+                   "network-chaos knobs instead");
+  SCRUTINY_REQUIRE(remote || !config.storage.async,
+                   "+async only applies to remote: specs here; in-process "
+                   "simulation already drains through the write scheduler");
+
+  // file:/memory: specs select the in-process sharded store's physical
+  // backend (file:DIR overrides the configured root).
+  ServiceConfig service_config = config.service;
+  if (config.storage.scheme == ckpt::BackendScheme::File) {
+    service_config.store.kind = ckpt::BackendKind::File;
+    if (!config.storage.directory.empty()) {
+      service_config.store.root = config.storage.directory;
+    }
+  } else if (config.storage.scheme == ckpt::BackendScheme::Memory) {
+    service_config.store.kind = ckpt::BackendKind::Memory;
+  }
+
+  std::optional<CheckpointService> service;
+  if (!remote) service.emplace(service_config);
   std::vector<std::unique_ptr<SessionRuntime>> sessions;
   sessions.reserve(config.sessions);
 
   for (std::size_t i = 0; i < config.sessions; ++i) {
     auto session = std::make_unique<SessionRuntime>();
     session->index = i;
-    session->result.tenant = "tenant" + std::to_string(i % config.tenants);
+    session->result.tenant =
+        config.tenant_prefix + std::to_string(i % config.tenants);
     session->result.program = "app" + std::to_string(i);
     session->last_ckpt_step =
         config.steps - (config.steps % config.interval);
@@ -286,18 +316,35 @@ SimulationReport run_simulation(const SimulatorConfig& config) {
     }
     session->masks.emplace("state", std::move(mask));
 
-    CheckpointService::StoreDecorator decorate;
-    if (chaos_on) {
-      ChaosConfig chaos = config.chaos;
-      chaos.seed = config.seed * kGolden + 0xc8a0'0000 + i;
-      auto* slot = &session->chaos;
-      decorate = [chaos, slot](std::shared_ptr<ckpt::StorageBackend> inner) {
-        *slot = std::make_shared<ChaosBackend>(std::move(inner), chaos);
-        return *slot;
-      };
+    if (remote) {
+      // Each session is a real network client under its tenant's
+      // credentials — the out-of-process multi-tenant shape.
+      ckpt::RemoteBackendConfig remote_config;
+      remote_config.host = config.storage.host;
+      remote_config.port = config.storage.port;
+      remote_config.tenant = session->result.tenant;
+      remote_config.token = config.remote_token;
+      std::unique_ptr<ckpt::StorageBackend> backend =
+          std::make_unique<ckpt::RemoteBackend>(remote_config);
+      if (config.storage.async) {
+        backend = std::make_unique<ckpt::AsyncBackend>(std::move(backend));
+      }
+      session->backend = std::move(backend);
+    } else {
+      CheckpointService::StoreDecorator decorate;
+      if (chaos_on) {
+        ChaosConfig chaos = config.chaos;
+        chaos.seed = config.seed * kGolden + 0xc8a0'0000 + i;
+        auto* slot = &session->chaos;
+        decorate = [chaos,
+                    slot](std::shared_ptr<ckpt::StorageBackend> inner) {
+          *slot = std::make_shared<ChaosBackend>(std::move(inner), chaos);
+          return *slot;
+        };
+      }
+      session->backend =
+          service->open_session(session->result.tenant, decorate);
     }
-    session->backend =
-        service.open_session(session->result.tenant, decorate);
 
     ckpt::ManagerConfig manager_config;
     manager_config.basename = session->result.program;
@@ -339,14 +386,30 @@ SimulationReport run_simulation(const SimulatorConfig& config) {
 
   // Phase 2: drain everything, harvesting every pending tenant error (a
   // torn write whose session already exited still has one stored).
-  const std::uint64_t error_budget =
-      service.scheduler()->stats().submitted + config.sessions + 1;
-  for (std::uint64_t i = 0; i < error_budget; ++i) {
-    try {
-      service.wait_all();
-      break;
-    } catch (const std::exception&) {
-      ++report.drain_errors_surfaced;
+  if (remote) {
+    // Each remote client settles its own connection (an AsyncBackend wrap
+    // joins its drain thread here); the daemon's scheduler drains on its
+    // side at service shutdown.
+    for (auto& session : sessions) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        try {
+          session->backend->wait();
+          break;
+        } catch (const std::exception&) {
+          ++report.drain_errors_surfaced;
+        }
+      }
+    }
+  } else {
+    const std::uint64_t error_budget =
+        service->scheduler()->stats().submitted + config.sessions + 1;
+    for (std::uint64_t i = 0; i < error_budget; ++i) {
+      try {
+        service->wait_all();
+        break;
+      } catch (const std::exception&) {
+        ++report.drain_errors_surfaced;
+      }
     }
   }
 
@@ -366,10 +429,14 @@ SimulationReport run_simulation(const SimulatorConfig& config) {
     }
     report.sessions.push_back(std::move(session->result));
   }
-  const ServiceStats stats = service.stats();
-  report.scheduler = stats.scheduler;
-  report.shards = stats.shards;
-  report.objects = stats.objects;
+  if (!remote) {
+    // Remote mode leaves these zero: scheduler pressure and shard/object
+    // counts live daemon-side (its periodic pressure report has them).
+    const ServiceStats stats = service->stats();
+    report.scheduler = stats.scheduler;
+    report.shards = stats.shards;
+    report.objects = stats.objects;
+  }
   return report;
 }
 

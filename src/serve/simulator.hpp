@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/backend_spec.hpp"
 #include "ckpt/codec.hpp"
 #include "serve/chaos.hpp"
 #include "serve/service.hpp"
@@ -57,6 +58,19 @@ struct SimulatorConfig {
   /// multi-tenant shape where each tenant picks its own pipeline.
   ckpt::CodecConfig codec;
   bool mixed_codecs = false;
+
+  /// Where checkpoints go, as a BackendSpec URI.  file:/memory: run the
+  /// in-process service (the spec selects the sharded store's physical
+  /// backend; `service.store.root` is the default file root).  A
+  /// remote:HOST:PORT spec makes every session a real network client: each
+  /// one opens its own RemoteBackend connection to a scrutinyd daemon
+  /// under its tenant name — the out-of-process multi-tenant shape.
+  /// +async wraps each remote session in the AsyncBackend double buffer;
+  /// it is rejected for in-process specs (the write scheduler already
+  /// drains in the background there).
+  ckpt::BackendSpec storage = ckpt::BackendSpec::memory();
+  std::string remote_token;          ///< auth token for remote sessions
+  std::string tenant_prefix = "tenant";  ///< tenants are `<prefix><i>`
 
   ServiceConfig service;
 

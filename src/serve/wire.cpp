@@ -1,0 +1,680 @@
+#include "serve/wire.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/crc64.hpp"
+
+namespace scrutiny::serve {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 12;
+constexpr std::size_t kCrcBytes = 8;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw WireTransportError(what + ": " + std::strerror(errno));
+}
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Waits for the fd to become readable/writable within timeout_ms.
+void wait_ready(int fd, short events, int timeout_ms, const char* what) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return;
+    if (rc == 0) {
+      throw WireTransportError(std::string(what) + ": timed out after " +
+                               std::to_string(timeout_ms) + " ms");
+    }
+    if (errno == EINTR) continue;
+    throw_errno(std::string(what) + ": poll");
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::Hello: return "Hello";
+    case FrameType::BeginWrite: return "BeginWrite";
+    case FrameType::WriteChunk: return "WriteChunk";
+    case FrameType::CommitWrite: return "CommitWrite";
+    case FrameType::Read: return "Read";
+    case FrameType::Exists: return "Exists";
+    case FrameType::Remove: return "Remove";
+    case FrameType::List: return "List";
+    case FrameType::Drained: return "Drained";
+    case FrameType::Wait: return "Wait";
+    case FrameType::Ping: return "Ping";
+    case FrameType::HelloOk: return "HelloOk";
+    case FrameType::Ok: return "Ok";
+    case FrameType::Error: return "Error";
+    case FrameType::Bool: return "Bool";
+    case FrameType::KeyList: return "KeyList";
+    case FrameType::ObjectBegin: return "ObjectBegin";
+    case FrameType::ObjectChunk: return "ObjectChunk";
+    case FrameType::ObjectEnd: return "ObjectEnd";
+    case FrameType::CommitOk: return "CommitOk";
+  }
+  return "?";
+}
+
+// --- WireWriter -------------------------------------------------------------
+
+void WireWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + 2);
+  put_u16(buffer_.data() + at, v);
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + 4);
+  put_u32(buffer_.data() + at, v);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + 8);
+  put_u64(buffer_.data() + at, v);
+}
+
+void WireWriter::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+void WireWriter::str(std::string_view s) {
+  SCRUTINY_REQUIRE(s.size() <= 0xffffffffu, "wire string too long");
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+// --- WireCursor -------------------------------------------------------------
+
+void WireCursor::need(std::size_t n) {
+  if (data_.size() - pos_ < n) {
+    throw WireProtocolError("truncated wire struct: wanted " +
+                            std::to_string(n) + " more bytes, have " +
+                            std::to_string(data_.size() - pos_));
+  }
+}
+
+std::uint8_t WireCursor::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireCursor::u16() {
+  need(2);
+  const std::uint16_t v = get_u16(data_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireCursor::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireCursor::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::string WireCursor::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void WireCursor::expect_end(std::string_view what) const {
+  if (pos_ != data_.size()) {
+    throw WireProtocolError(std::string(what) + ": " +
+                            std::to_string(data_.size() - pos_) +
+                            " trailing bytes after struct");
+  }
+}
+
+// --- frame encoding ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> body) {
+  SCRUTINY_REQUIRE(body.size() <= kMaxFrameBody,
+                   "frame body exceeds kMaxFrameBody");
+  std::vector<std::uint8_t> out(kHeaderBytes + body.size() + kCrcBytes);
+  put_u32(out.data(), kWireMagic);
+  put_u16(out.data() + 4, kWireVersion);
+  put_u16(out.data() + 6, static_cast<std::uint16_t>(type));
+  put_u32(out.data() + 8, static_cast<std::uint32_t>(body.size()));
+  if (!body.empty()) {
+    std::memcpy(out.data() + kHeaderBytes, body.data(), body.size());
+  }
+  const std::uint64_t crc =
+      crc64(out.data(), kHeaderBytes + body.size());
+  put_u64(out.data() + kHeaderBytes + body.size(), crc);
+  return out;
+}
+
+// --- struct codecs ----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const HelloRequest& m) {
+  WireWriter w;
+  w.u16(m.version);
+  w.str(m.tenant);
+  w.str(m.token);
+  return w.take();
+}
+
+HelloRequest decode_hello_request(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  HelloRequest m;
+  m.version = c.u16();
+  m.tenant = c.str();
+  m.token = c.str();
+  c.expect_end("Hello");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const HelloReply& m) {
+  WireWriter w;
+  w.u16(m.version);
+  w.str(m.server);
+  return w.take();
+}
+
+HelloReply decode_hello_reply(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  HelloReply m;
+  m.version = c.u16();
+  m.server = c.str();
+  c.expect_end("HelloOk");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const BeginWriteRequest& m) {
+  WireWriter w;
+  w.str(m.key);
+  w.u64(m.commit_id);
+  return w.take();
+}
+
+BeginWriteRequest decode_begin_write(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  BeginWriteRequest m;
+  m.key = c.str();
+  m.commit_id = c.u64();
+  c.expect_end("BeginWrite");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const CommitWriteRequest& m) {
+  WireWriter w;
+  w.u64(m.commit_id);
+  w.u64(m.total_bytes);
+  w.u64(m.payload_crc);
+  return w.take();
+}
+
+CommitWriteRequest decode_commit_write(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  CommitWriteRequest m;
+  m.commit_id = c.u64();
+  m.total_bytes = c.u64();
+  m.payload_crc = c.u64();
+  c.expect_end("CommitWrite");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const CommitReply& m) {
+  WireWriter w;
+  w.u8(m.deduped ? 1 : 0);
+  return w.take();
+}
+
+CommitReply decode_commit_reply(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  CommitReply m;
+  m.deduped = c.u8() != 0;
+  c.expect_end("CommitOk");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const KeyRequest& m) {
+  WireWriter w;
+  w.str(m.key);
+  return w.take();
+}
+
+KeyRequest decode_key_request(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  KeyRequest m;
+  m.key = c.str();
+  c.expect_end("KeyRequest");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const ErrorReply& m) {
+  WireWriter w;
+  w.u16(static_cast<std::uint16_t>(m.code));
+  w.str(m.message);
+  return w.take();
+}
+
+ErrorReply decode_error_reply(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  ErrorReply m;
+  m.code = static_cast<WireErrorCode>(c.u16());
+  m.message = c.str();
+  c.expect_end("Error");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const BoolReply& m) {
+  WireWriter w;
+  w.u8(m.value ? 1 : 0);
+  return w.take();
+}
+
+BoolReply decode_bool_reply(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  BoolReply m;
+  m.value = c.u8() != 0;
+  c.expect_end("Bool");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const KeyListReply& m) {
+  WireWriter w;
+  SCRUTINY_REQUIRE(m.keys.size() <= 0xffffffffu, "key list too long");
+  w.u32(static_cast<std::uint32_t>(m.keys.size()));
+  for (const std::string& key : m.keys) w.str(key);
+  return w.take();
+}
+
+KeyListReply decode_key_list_reply(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  KeyListReply m;
+  const std::uint32_t count = c.u32();
+  m.keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.keys.push_back(c.str());
+  c.expect_end("KeyList");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const ObjectBeginReply& m) {
+  WireWriter w;
+  w.u64(m.size);
+  return w.take();
+}
+
+ObjectBeginReply decode_object_begin(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  ObjectBeginReply m;
+  m.size = c.u64();
+  c.expect_end("ObjectBegin");
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const ObjectEndReply& m) {
+  WireWriter w;
+  w.u64(m.payload_crc);
+  return w.take();
+}
+
+ObjectEndReply decode_object_end(std::span<const std::uint8_t> body) {
+  WireCursor c(body);
+  ObjectEndReply m;
+  m.payload_crc = c.u64();
+  c.expect_end("ObjectEnd");
+  return m;
+}
+
+// --- TcpSocket --------------------------------------------------------------
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    timeout_ms_ = other.timeout_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port,
+                             int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res);
+  if (gai != 0) {
+    throw WireTransportError("resolve " + host + ": " + gai_strerror(gai));
+  }
+
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc < 0 && errno != EINPROGRESS) {
+      last_error = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    if (rc < 0) {
+      // Wait for the async connect, then read the real outcome.
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int prc = ::poll(&pfd, 1, timeout_ms);
+      if (prc <= 0) {
+        last_error = prc == 0 ? "connect: timed out"
+                              : std::string("connect poll: ") +
+                                    std::strerror(errno);
+        ::close(fd);
+        continue;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+          err != 0) {
+        last_error =
+            std::string("connect: ") + std::strerror(err != 0 ? err : errno);
+        ::close(fd);
+        continue;
+      }
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(res);
+    TcpSocket sock(fd);
+    sock.set_timeout(timeout_ms);
+    return sock;
+  }
+  ::freeaddrinfo(res);
+  throw WireTransportError("connect " + host + ":" + port_text + ": " +
+                           last_error);
+}
+
+void TcpSocket::send_all(const void* data, std::size_t size) {
+  SCRUTINY_REQUIRE(valid(), "send on closed socket");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd_, POLLOUT, timeout_ms_, "send");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void TcpSocket::recv_all(void* data, std::size_t size) {
+  SCRUTINY_REQUIRE(valid(), "recv on closed socket");
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      throw WireTransportError("connection closed by peer (" +
+                               std::to_string(got) + "/" +
+                               std::to_string(size) + " bytes)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd_, POLLIN, timeout_ms_, "recv");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+bool TcpSocket::wait_readable(int timeout_ms) {
+  SCRUTINY_REQUIRE(valid(), "wait_readable on closed socket");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("wait_readable: poll");
+  }
+}
+
+void TcpSocket::send_frame(FrameType type,
+                           std::span<const std::uint8_t> body) {
+  const std::vector<std::uint8_t> wire = encode_frame(type, body);
+  send_all(wire.data(), wire.size());
+}
+
+Frame TcpSocket::recv_frame() {
+  std::uint8_t header[kHeaderBytes];
+  recv_all(header, sizeof(header));
+  const std::uint32_t magic = get_u32(header);
+  if (magic != kWireMagic) {
+    throw WireProtocolError("bad frame magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", magic);
+      return std::string(buf);
+    }());
+  }
+  const std::uint16_t version = get_u16(header + 4);
+  if (version != kWireVersion) {
+    throw WireProtocolError("wire version mismatch: peer " +
+                            std::to_string(version) + ", expected " +
+                            std::to_string(kWireVersion));
+  }
+  const std::uint16_t raw_type = get_u16(header + 6);
+  const std::uint32_t body_len = get_u32(header + 8);
+  if (body_len > kMaxFrameBody) {
+    throw WireProtocolError("frame body length " + std::to_string(body_len) +
+                            " exceeds limit");
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.body.resize(body_len);
+  if (body_len > 0) recv_all(frame.body.data(), body_len);
+
+  std::uint8_t crc_bytes[kCrcBytes];
+  recv_all(crc_bytes, sizeof(crc_bytes));
+  Crc64 crc;
+  crc.update(header, sizeof(header));
+  crc.update(frame.body.data(), frame.body.size());
+  if (get_u64(crc_bytes) != crc.value()) {
+    throw WireProtocolError(std::string("frame CRC mismatch on ") +
+                            frame_type_name(frame.type));
+  }
+  return frame;
+}
+
+// --- TcpListener ------------------------------------------------------------
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  set_nonblocking(fd);
+
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+std::optional<TcpSocket> TcpListener::accept(int timeout_ms) {
+  SCRUTINY_REQUIRE(valid(), "accept on closed listener");
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc == 0) return std::nullopt;
+      if (rc < 0 && errno != EINTR) throw_errno("accept poll");
+      continue;
+    }
+    throw_errno("accept");
+  }
+}
+
+}  // namespace scrutiny::serve

@@ -1,0 +1,224 @@
+// Framing and transport for the scrutinyd wire protocol.
+//
+// One frame on the wire:
+//
+//   offset  size  field
+//   0       4     magic      kWireMagic, little-endian
+//   4       2     version    kWireVersion
+//   6       2     type       FrameType
+//   8       4     body_len   bytes of body (<= kMaxFrameBody)
+//   12      n     body       struct encoding or raw chunk payload
+//   12+n    8     crc64      ECMA-182 CRC over header + body
+//
+// All integers are little-endian, matching the checkpoint container format.
+// The trailing CRC makes a truncated or bit-flipped frame detectable before
+// any field is trusted; a bad magic/version/length drops the connection
+// rather than attempting resync (the client reconnects and replays).
+//
+// This header has three layers:
+//   1. WireWriter/WireCursor — bounds-checked little-endian buffer codecs
+//      (the in-memory sibling of support/binary_io's file streams).
+//   2. encode_*/decode_* — one function pair per api.hpp struct; the only
+//      serializer either side uses, pinned by WireVersionTest.
+//   3. TcpSocket/TcpListener — blocking sockets with poll-based deadlines;
+//      all transport failures throw WireTransportError (retryable by the
+//      client), all protocol violations throw WireProtocolError (not).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/api.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::serve {
+
+/// Socket-level failure: connect refused, peer hung up, deadline expired.
+/// The RemoteBackend treats these as retryable (reconnect + replay).
+class WireTransportError : public ScrutinyError {
+ public:
+  explicit WireTransportError(const std::string& what) : ScrutinyError(what) {}
+};
+
+/// The peer spoke the protocol wrong: bad magic, version skew, CRC
+/// mismatch, truncated struct, oversized body.  Never retried.
+class WireProtocolError : public ScrutinyError {
+ public:
+  explicit WireProtocolError(const std::string& what) : ScrutinyError(what) {}
+};
+
+// --- layer 1: buffer codecs ------------------------------------------------
+
+/// Appends little-endian fields to a growable byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(const void* data, std::size_t size);
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads little-endian fields from a byte span; any overrun throws
+/// WireProtocolError (a short struct means the peer encoded it wrong).
+class WireCursor {
+ public:
+  explicit WireCursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws unless the whole span was consumed — trailing garbage in a
+  /// struct body is a protocol error, not padding.
+  void expect_end(std::string_view what) const;
+
+ private:
+  void need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- layer 2: frames and struct codecs -------------------------------------
+
+struct Frame {
+  FrameType type = FrameType::Ping;
+  std::vector<std::uint8_t> body;
+};
+
+/// Full wire encoding of one frame: header + body + trailing CRC.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> body);
+
+// Body encoders — one per api.hpp struct.  Frames whose body is raw payload
+// bytes (WriteChunk/ObjectChunk) have no struct and no encoder here.
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const HelloRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const HelloReply& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const BeginWriteRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(
+    const CommitWriteRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const CommitReply& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const KeyRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ErrorReply& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const BoolReply& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const KeyListReply& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ObjectBeginReply& m);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ObjectEndReply& m);
+
+// Body decoders.  Each consumes the whole span or throws WireProtocolError.
+[[nodiscard]] HelloRequest decode_hello_request(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] HelloReply decode_hello_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] BeginWriteRequest decode_begin_write(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] CommitWriteRequest decode_commit_write(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] CommitReply decode_commit_reply(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] KeyRequest decode_key_request(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] ErrorReply decode_error_reply(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] BoolReply decode_bool_reply(std::span<const std::uint8_t> body);
+[[nodiscard]] KeyListReply decode_key_list_reply(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] ObjectBeginReply decode_object_begin(
+    std::span<const std::uint8_t> body);
+[[nodiscard]] ObjectEndReply decode_object_end(
+    std::span<const std::uint8_t> body);
+
+// --- layer 3: sockets -------------------------------------------------------
+
+/// A connected TCP stream.  Move-only; closes on destruction.  Every
+/// operation takes the socket's configured deadline (set_timeout); a
+/// deadline expiry or peer hangup throws WireTransportError.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port within timeout_ms.  Numeric IPv4 or names
+  /// resolvable by getaddrinfo.
+  [[nodiscard]] static TcpSocket connect(const std::string& host,
+                                         std::uint16_t port, int timeout_ms);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Per-operation deadline for send/recv, milliseconds (default 10s).
+  void set_timeout(int timeout_ms) { timeout_ms_ = timeout_ms; }
+  [[nodiscard]] int timeout_ms() const { return timeout_ms_; }
+
+  void send_all(const void* data, std::size_t size);
+  void recv_all(void* data, std::size_t size);
+
+  /// True when a recv would not block (data or hangup pending); false on
+  /// timeout.  The daemon polls this between requests so its per-connection
+  /// threads notice a stop flag without waiting out the socket deadline.
+  [[nodiscard]] bool wait_readable(int timeout_ms);
+
+  /// Encodes and sends one frame.
+  void send_frame(FrameType type, std::span<const std::uint8_t> body);
+  void send_frame(FrameType type) { send_frame(type, {}); }
+
+  /// Receives and validates one frame (magic, version, length, CRC).
+  [[nodiscard]] Frame recv_frame();
+
+ private:
+  int fd_ = -1;
+  int timeout_ms_ = 10'000;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.  Port 0 binds an ephemeral
+/// port; `port()` reports the actual one (how test fixtures and
+/// `scrutinyd serve --port 0` discover their endpoint).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] static TcpListener bind(std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void close();
+
+  /// Waits up to timeout_ms for a connection; nullopt on timeout.  The
+  /// daemon loop polls with a short timeout so a stop flag is honored
+  /// promptly without signals.
+  [[nodiscard]] std::optional<TcpSocket> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace scrutiny::serve

@@ -248,6 +248,9 @@ TenantSchedulerStats WriteScheduler::tenant_stats(
   if (it == tenants_.end()) return {};
   TenantSchedulerStats stats = it->second.stats;
   stats.pending_bytes = it->second.pending_bytes;
+  stats.queue_depth = it->second.queued_jobs;
+  stats.inflight_jobs = it->second.inflight_jobs;
+  stats.bytes_in_flight = it->second.pending_bytes;
   return stats;
 }
 

@@ -67,6 +67,12 @@ struct TenantSchedulerStats {
   std::uint64_t pending_bytes = 0;  ///< queued + draining right now
   std::uint64_t quota_rejections = 0;
   std::uint64_t admission_stalls = 0;
+  // AsyncBackend-style pressure counters, per tenant (the CLI storage table
+  // shows them for a single AsyncBackend; the daemon's periodic log lines
+  // report them per tenant from here).
+  std::uint64_t queue_depth = 0;      ///< jobs staged, not yet draining
+  std::uint64_t inflight_jobs = 0;    ///< jobs in the pool right now
+  std::uint64_t bytes_in_flight = 0;  ///< alias of pending_bytes
 };
 
 struct SchedulerStats {

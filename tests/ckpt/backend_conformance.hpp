@@ -1,0 +1,214 @@
+// Shared StorageBackend conformance suite.
+//
+// Every backend implementation must satisfy the same contract: append →
+// atomic commit (a writer dropped without commit publishes nothing),
+// whole-object reads, exists/remove/list-by-prefix, and checkpoint
+// container round trips.  The suite is a value-parameterized fixture so
+// each backend registers with one INSTANTIATE_TEST_SUITE_P:
+//
+//   tests/ckpt/test_storage_backend.cpp — file, memory, async(file),
+//       async(memory)
+//   tests/serve/test_remote_backend.cpp — remote(loopback daemon) and
+//       async(remote), the network instantiations
+//
+// The header defines TEST_P cases, so include it from exactly one
+// translation unit per test executable.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_io.hpp"
+#include "ckpt/storage_backend.hpp"
+#include "support/error.hpp"
+#include "support/npb_random.hpp"
+
+namespace scrutiny::ckpt {
+
+struct BackendCase {
+  const char* name;
+  /// Builds a fresh backend; `dir` is a per-test scratch directory for
+  /// file-rooted cases (network cases ignore it and dial their fixture).
+  std::function<std::unique_ptr<StorageBackend>(
+      const std::filesystem::path& dir)>
+      make;
+};
+
+class BackendConformance : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("scrutiny_backend_" + std::to_string(::getpid()) + "_" +
+            GetParam().name);
+    std::filesystem::create_directories(dir_);
+    backend_ = GetParam().make(dir_);
+  }
+  void TearDown() override {
+    backend_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static std::vector<std::byte> pattern(std::size_t size,
+                                        std::uint64_t salt = 0) {
+    std::vector<std::byte> bytes(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      bytes[i] = static_cast<std::byte>((i * 131 + salt) & 0xFF);
+    }
+    return bytes;
+  }
+
+  void put(const std::string& key, const std::vector<std::byte>& bytes) {
+    auto writer = backend_->open_for_write(key);
+    writer->append(bytes.data(), bytes.size());
+    writer->commit();
+  }
+
+  std::vector<std::byte> get(const std::string& key, std::size_t size) {
+    auto reader = backend_->open_for_read(key);
+    std::vector<std::byte> bytes(size);
+    reader->read(bytes.data(), bytes.size());
+    return bytes;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<StorageBackend> backend_;
+};
+
+TEST_P(BackendConformance, RoundTripsChunkedAppends) {
+  const auto part1 = pattern(1000, 1);
+  const auto part2 = pattern(77, 2);
+  auto writer = backend_->open_for_write("chunked");
+  writer->append(part1.data(), part1.size());
+  writer->append(part2.data(), part2.size());
+  EXPECT_EQ(writer->bytes_written(), part1.size() + part2.size());
+  writer->commit();
+  backend_->wait();
+
+  auto read_back = get("chunked", part1.size() + part2.size());
+  EXPECT_TRUE(std::equal(part1.begin(), part1.end(), read_back.begin()));
+  EXPECT_TRUE(std::equal(part2.begin(), part2.end(),
+                         read_back.begin() + part1.size()));
+}
+
+TEST_P(BackendConformance, LargePayloadRoundTrips) {
+  // > kWireChunkBytes so the remote case streams multiple chunk frames.
+  std::vector<std::byte> big(3u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(
+        static_cast<unsigned>(hashed_uniform(i) * 255.0));
+  }
+  put("big", big);
+  backend_->wait();
+  EXPECT_EQ(get("big", big.size()), big);
+}
+
+TEST_P(BackendConformance, UncommittedWriteIsInvisible) {
+  {
+    auto writer = backend_->open_for_write("aborted");
+    const auto bytes = pattern(256);
+    writer->append(bytes.data(), bytes.size());
+    // destroyed without commit
+  }
+  backend_->wait();
+  EXPECT_FALSE(backend_->exists("aborted"));
+  EXPECT_TRUE(backend_->list("aborted").empty());
+  EXPECT_THROW((void)backend_->open_for_read("aborted"), ScrutinyError);
+}
+
+TEST_P(BackendConformance, OverwriteIsAtomic) {
+  const auto old_bytes = pattern(512, 7);
+  put("slot", old_bytes);
+  backend_->wait();
+
+  // A new in-flight write must not disturb readers of the committed object.
+  auto writer = backend_->open_for_write("slot");
+  const auto half = pattern(100, 9);
+  writer->append(half.data(), half.size());
+  EXPECT_EQ(get("slot", old_bytes.size()), old_bytes);
+
+  const auto rest = pattern(100, 10);
+  writer->append(rest.data(), rest.size());
+  writer->commit();
+  backend_->wait();
+  auto read_back = get("slot", half.size() + rest.size());
+  EXPECT_TRUE(std::equal(half.begin(), half.end(), read_back.begin()));
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(),
+                         read_back.begin() + half.size()));
+}
+
+TEST_P(BackendConformance, ExistsRemoveAndListByPrefix) {
+  put("run.0001.ckpt", pattern(16));
+  put("run.0002.ckpt", pattern(16));
+  put("other.0001.ckpt", pattern(16));
+  // Drain first: scheduler-staged backends (the remote daemon's sessions)
+  // conservatively answer exists=true for any key while the tenant has
+  // writes in flight.
+  backend_->wait();
+
+  EXPECT_TRUE(backend_->exists("run.0001.ckpt"));
+  EXPECT_FALSE(backend_->exists("run.0003.ckpt"));
+
+  auto keys = backend_->list("run.");
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"run.0001.ckpt",
+                                            "run.0002.ckpt"}));
+
+  backend_->remove("run.0001.ckpt");
+  backend_->wait();
+  EXPECT_FALSE(backend_->exists("run.0001.ckpt"));
+  EXPECT_EQ(backend_->list("run.").size(), 1u);
+  // Removing a missing key is a no-op, not an error.
+  backend_->remove("run.0001.ckpt");
+}
+
+TEST_P(BackendConformance, ShortReadThrows) {
+  put("short", pattern(32));
+  backend_->wait();
+  auto reader = backend_->open_for_read("short");
+  std::vector<std::byte> sink(33);
+  EXPECT_THROW(reader->read(sink.data(), sink.size()), ScrutinyError);
+}
+
+TEST_P(BackendConformance, CheckpointRoundTripsThroughBackend) {
+  std::vector<double> values(257);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = hashed_uniform(i);
+  }
+  CheckpointRegistry registry;
+  registry.register_f64("values", values);
+
+  PruneMap masks;
+  CriticalMask mask(values.size());
+  for (std::size_t i = 0; i < 200; ++i) mask.set(i);
+  masks["values"] = mask;
+
+  const WriteReport report =
+      write_checkpoint(*backend_, "snapshot.ckpt", registry, 11, &masks);
+  EXPECT_EQ(report.elements_skipped, values.size() - 200);
+  EXPECT_GE(report.seconds, 0.0);
+
+  std::vector<double> restored_values(values.size(), -1.0);
+  CheckpointRegistry reader;
+  reader.register_f64("values", restored_values);
+  const RestoreReport restored =
+      restore_checkpoint(*backend_, "snapshot.ckpt", reader);
+  EXPECT_EQ(restored.step, 11u);
+  EXPECT_EQ(restored.file_bytes, report.file_bytes);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(restored_values[i], values[i]) << i;
+  }
+  for (std::size_t i = 200; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored_values[i], -1.0) << i;
+  }
+  EXPECT_EQ(peek_checkpoint_step(*backend_, "snapshot.ckpt"), 11u);
+}
+
+}  // namespace scrutiny::ckpt

@@ -1,0 +1,148 @@
+// BackendSpec: the one URI grammar every storage selection surface parses
+// (CLI --backend, ManagerConfig.storage, ScrutinySession::use_storage,
+// scrutinyd serve/simulate).
+#include "ckpt/backend_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "ckpt/async_backend.hpp"
+#include "ckpt/storage_backend.hpp"
+#include "support/error.hpp"
+
+namespace scrutiny::ckpt {
+namespace {
+
+TEST(BackendSpecParse, FileWithDirectory) {
+  const BackendSpec spec = BackendSpec::parse("file:/data/ckpt");
+  EXPECT_EQ(spec.scheme, BackendScheme::File);
+  EXPECT_EQ(spec.directory, "/data/ckpt");
+  EXPECT_FALSE(spec.async);
+}
+
+TEST(BackendSpecParse, FileWithoutDirectoryDefersToDefault) {
+  const BackendSpec spec = BackendSpec::parse("file:");
+  EXPECT_EQ(spec.scheme, BackendScheme::File);
+  EXPECT_TRUE(spec.directory.empty());
+}
+
+TEST(BackendSpecParse, Memory) {
+  const BackendSpec spec = BackendSpec::parse("memory:");
+  EXPECT_EQ(spec.scheme, BackendScheme::Memory);
+  EXPECT_FALSE(spec.async);
+}
+
+TEST(BackendSpecParse, Remote) {
+  const BackendSpec spec = BackendSpec::parse("remote:ckpt.example.com:7000");
+  EXPECT_EQ(spec.scheme, BackendScheme::Remote);
+  EXPECT_EQ(spec.host, "ckpt.example.com");
+  EXPECT_EQ(spec.port, 7000);
+  EXPECT_FALSE(spec.async);
+}
+
+TEST(BackendSpecParse, AsyncMarkerOnEveryScheme) {
+  EXPECT_TRUE(BackendSpec::parse("file+async:/tmp/x").async);
+  EXPECT_TRUE(BackendSpec::parse("memory+async:").async);
+  const BackendSpec remote = BackendSpec::parse("remote+async:127.0.0.1:19");
+  EXPECT_TRUE(remote.async);
+  EXPECT_EQ(remote.host, "127.0.0.1");
+  EXPECT_EQ(remote.port, 19);
+}
+
+TEST(BackendSpecParse, BareAliasesKeepTheHistoricalSpellings) {
+  // The pre-URI --backend enum values stay valid.
+  EXPECT_EQ(BackendSpec::parse("file").scheme, BackendScheme::File);
+  EXPECT_EQ(BackendSpec::parse("memory").scheme, BackendScheme::Memory);
+  EXPECT_FALSE(BackendSpec::parse("file").async);
+}
+
+TEST(BackendSpecParse, RemoteHostMayContainColons) {
+  // rfind(':') splits the port, so a bracketed/IPv6-ish host survives.
+  const BackendSpec spec = BackendSpec::parse("remote:::1:8080");
+  EXPECT_EQ(spec.host, "::1");
+  EXPECT_EQ(spec.port, 8080);
+}
+
+TEST(BackendSpecParse, RejectionsNameTheInventory) {
+  for (const char* bad :
+       {"", "bogus", "bogus:stuff", "tape+async:", "remote:", "remote:host",
+        "remote:host:0", "remote:host:65536", "remote:host:12x",
+        "remote::900", "memory:junk"}) {
+    try {
+      (void)BackendSpec::parse(bad);
+      FAIL() << "accepted \"" << bad << "\"";
+    } catch (const ScrutinyError& error) {
+      // Every rejection teaches the valid inventory.
+      EXPECT_NE(std::string(error.what()).find("file:DIR"),
+                std::string::npos)
+          << bad << " -> " << error.what();
+      EXPECT_NE(std::string(error.what()).find("remote:HOST:PORT"),
+                std::string::npos)
+          << bad << " -> " << error.what();
+    }
+  }
+}
+
+TEST(BackendSpecFormat, RoundTripsThroughParse) {
+  for (const char* text :
+       {"file:/data/ckpt", "file:", "file+async:/x", "memory:",
+        "memory+async:", "remote:h:1", "remote+async:10.0.0.1:65535"}) {
+    const BackendSpec spec = BackendSpec::parse(text);
+    EXPECT_EQ(spec.format(), text);
+    const BackendSpec again = BackendSpec::parse(spec.format());
+    EXPECT_EQ(again.scheme, spec.scheme);
+    EXPECT_EQ(again.async, spec.async);
+    EXPECT_EQ(again.directory, spec.directory);
+    EXPECT_EQ(again.host, spec.host);
+    EXPECT_EQ(again.port, spec.port);
+  }
+}
+
+TEST(BackendSpecMakeBackend, BuildsTheNamedStack) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_spec_" + std::to_string(::getpid()));
+  auto file = make_backend(BackendSpec::parse("file:" + dir.string()));
+  EXPECT_EQ(file->name(), "file");
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(make_backend(BackendSpec::parse("memory:"))->name(), "memory");
+  EXPECT_EQ(make_backend(BackendSpec::parse("memory+async:"))->name(),
+            "async(memory)");
+}
+
+TEST(BackendSpecMakeBackend, FileSpecWithoutDirectoryUsesTheDefault) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("scrutiny_spec_default_" + std::to_string(::getpid()));
+  auto backend = make_backend(BackendSpec::parse("file:"), dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  {
+    auto writer = backend->open_for_write("probe");
+    const char byte = 'p';
+    writer->append(&byte, 1);
+    writer->commit();
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir / "probe"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BackendSpecMakeBackend, RemoteWithoutRegisteredFactoryExplains) {
+  // This executable never links the serve layer's registration, so the
+  // remote scheme must fail with linking guidance, not a null deref.
+  if (remote_backend_factory_registered()) {
+    GTEST_SKIP() << "remote factory registered by another test";
+  }
+  try {
+    (void)make_backend(BackendSpec::parse("remote:127.0.0.1:9"));
+    FAIL() << "constructed a remote backend with no factory";
+  } catch (const ScrutinyError& error) {
+    EXPECT_NE(std::string(error.what()).find("register_remote_scheme"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace scrutiny::ckpt

@@ -81,7 +81,8 @@ ManagerConfig delta_config(const std::filesystem::path& dir,
   config.directory = dir;
   config.basename = "chain";
   config.keep_slots = keep_slots;
-  config.backend = backend;
+  config.storage = backend == BackendKind::Memory ? BackendSpec::memory()
+                                                  : BackendSpec::file();
   config.codec.delta = true;
   config.codec.keyframe_interval = keyframe_interval;
   return config;

@@ -326,7 +326,7 @@ TEST_F(ManagerTest, AsyncRestartFallsBackPastBackgroundWriteFailure) {
 
 TEST_F(ManagerTest, MemoryBackendRunsTheFullLifecycle) {
   ManagerConfig cfg = config(1, 2);
-  cfg.backend = BackendKind::Memory;
+  cfg.storage = BackendSpec::memory();
   CheckpointManager manager(cfg);
   for (std::uint64_t step = 0; step < 5; ++step) {
     counter_ = static_cast<std::int32_t>(step * 10);
@@ -363,7 +363,7 @@ TEST_F(ManagerTest, InjectedBackendIsShared) {
 
 TEST_F(ManagerTest, AsyncIoOverlapsAndRestartJoins) {
   ManagerConfig cfg = config(1, 3);
-  cfg.async_io = true;
+  cfg.storage.async = true;
   CheckpointManager manager(cfg);
   for (std::uint64_t step = 0; step < 6; ++step) {
     counter_ = static_cast<std::int32_t>(step * 100);

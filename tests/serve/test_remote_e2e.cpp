@@ -1,0 +1,100 @@
+// Out-of-process end to end: spawn the real `scrutinyd serve` binary on an
+// ephemeral port, then run `scrutinyd simulate --backend remote:...` as a
+// genuinely separate client process — the full multi-tenant simulation
+// speaking the wire protocol over loopback, exactly the deployment shape.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+#ifndef SCRUTINYD_PATH
+#error "SCRUTINYD_PATH must point at the scrutinyd binary"
+#endif
+
+/// A `scrutinyd serve` child whose bound port is parsed from its first
+/// stdout line ("scrutinyd: listening on 127.0.0.1:PORT").
+class ServeProcess {
+ public:
+  explicit ServeProcess(const std::string& extra_args) { spawn(extra_args); }
+
+  // ASSERT_* needs a void-returning frame, hence not in the constructor.
+  void spawn(const std::string& extra_args) {
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    pid_ = fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      const std::string command = "exec " + std::string(SCRUTINYD_PATH) +
+                                  " serve --port 0 --token e2e " +
+                                  extra_args;
+      execl("/bin/sh", "sh", "-c", command.c_str(),
+            static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(fds[1]);
+    stdout_ = fdopen(fds[0], "r");
+    ASSERT_NE(stdout_, nullptr);
+    char line[256];
+    ASSERT_NE(fgets(line, sizeof line, stdout_), nullptr)
+        << "daemon printed no listening line";
+    const std::string text = line;
+    const auto colon = text.rfind(':');
+    ASSERT_NE(colon, std::string::npos) << text;
+    port_ = static_cast<std::uint16_t>(std::stoi(text.substr(colon + 1)));
+    ASSERT_GT(port_, 0) << text;
+  }
+
+  ~ServeProcess() {
+    if (pid_ > 0) {
+      // `sh -c "exec ..."` replaced the shell, so pid_ is scrutinyd itself.
+      kill(pid_, SIGTERM);
+      int status = 0;
+      waitpid(pid_, &status, 0);
+      EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+          << "daemon did not shut down cleanly: status " << status;
+    }
+    if (stdout_ != nullptr) fclose(stdout_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  pid_t pid_ = -1;
+  FILE* stdout_ = nullptr;
+  std::uint16_t port_ = 0;
+};
+
+int run_simulate(const std::string& backend_spec, std::uint16_t port,
+                 const std::string& extra = "") {
+  const std::string command =
+      std::string(SCRUTINYD_PATH) + " simulate --backend " + backend_spec +
+      "127.0.0.1:" + std::to_string(port) +
+      " --token e2e --sessions 4 --tenants 2 --steps 10 --interval 3"
+      " --elements 256 " +
+      extra + " > /dev/null";
+  return std::system(command.c_str());
+}
+
+TEST(RemoteEndToEnd, SimulationRunsAgainstASpawnedDaemon) {
+  ServeProcess daemon("");
+  EXPECT_EQ(run_simulate("remote:", daemon.port()), 0);
+}
+
+TEST(RemoteEndToEnd, AsyncRemoteSessionsAndNetChaosSurvive) {
+  ServeProcess daemon("--net-chaos stall --stall-ms 10");
+  EXPECT_EQ(run_simulate("remote+async:", daemon.port(),
+                         "--tenant-prefix chaos"),
+            0);
+}
+
+}  // namespace

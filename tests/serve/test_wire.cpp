@@ -1,0 +1,273 @@
+// Wire protocol: golden-pinned encodings (WireVersionTest) plus codec
+// round trips and transport framing over a loopback socket pair.
+//
+// WireVersionTest pins exact bytes the same way the checkpoint container
+// tests pin the file format: if any of these fail, the wire format changed
+// and kWireVersion must be bumped (which makes old/new handshakes fail
+// loudly instead of misparsing frames).
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/api.hpp"
+
+namespace scrutiny::serve {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<unsigned> values) {
+  std::vector<std::uint8_t> out;
+  for (unsigned v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WireVersionTest: golden bytes.
+// ---------------------------------------------------------------------------
+
+TEST(WireVersionTest, ConstantsArePinned) {
+  EXPECT_EQ(kWireMagic, 0x50574353u);  // 'S' 'C' 'W' 'P' little-endian
+  EXPECT_EQ(kWireVersion, 1);
+  EXPECT_EQ(kWireChunkBytes, 256u * 1024);
+  EXPECT_EQ(kMaxFrameBody, 4u << 20);
+}
+
+TEST(WireVersionTest, EmptyFrameEncodingIsPinned) {
+  // Header (magic, version, type, body_len) + CRC-64/ECMA trailer.
+  EXPECT_EQ(encode_frame(FrameType::Ping, {}),
+            bytes_of({0x53, 0x43, 0x57, 0x50, 0x01, 0x00, 0x0b, 0x00,
+                      0x00, 0x00, 0x00, 0x00, 0xe5, 0xc9, 0x31, 0xd9,
+                      0xeb, 0x91, 0x8f, 0x40}));
+}
+
+TEST(WireVersionTest, HelloFrameEncodingIsPinned) {
+  HelloRequest hello;
+  hello.tenant = "t0";
+  hello.token = "s3";
+  EXPECT_EQ(encode_body(hello),
+            bytes_of({0x01, 0x00, 0x02, 0x00, 0x00, 0x00, 0x74, 0x30,
+                      0x02, 0x00, 0x00, 0x00, 0x73, 0x33}));
+  EXPECT_EQ(encode_frame(FrameType::Hello, encode_body(hello)),
+            bytes_of({0x53, 0x43, 0x57, 0x50, 0x01, 0x00, 0x01, 0x00,
+                      0x0e, 0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00,
+                      0x00, 0x00, 0x74, 0x30, 0x02, 0x00, 0x00, 0x00,
+                      0x73, 0x33, 0x8a, 0xea, 0xe6, 0x3f, 0x8b, 0x4b,
+                      0xdb, 0x66}));
+}
+
+TEST(WireVersionTest, WriteConversationBodiesArePinned) {
+  BeginWriteRequest begin;
+  begin.key = "k";
+  begin.commit_id = 0x1122334455667788ull;
+  EXPECT_EQ(encode_body(begin),
+            bytes_of({0x01, 0x00, 0x00, 0x00, 0x6b, 0x88, 0x77, 0x66,
+                      0x55, 0x44, 0x33, 0x22, 0x11}));
+
+  CommitWriteRequest commit;
+  commit.commit_id = 0x1122334455667788ull;
+  commit.total_bytes = 259;
+  commit.payload_crc = 0xA5A5A5A5A5A5A5A5ull;
+  EXPECT_EQ(encode_body(commit),
+            bytes_of({0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+                      0x03, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                      0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5}));
+}
+
+TEST(WireVersionTest, ReplyBodiesArePinned) {
+  ErrorReply error;
+  error.code = WireErrorCode::Quota;
+  error.message = "q";
+  EXPECT_EQ(encode_body(error),
+            bytes_of({0x04, 0x00, 0x01, 0x00, 0x00, 0x00, 0x71}));
+
+  KeyListReply list;
+  list.keys = {"a", "bc"};
+  EXPECT_EQ(encode_body(list),
+            bytes_of({0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+                      0x61, 0x02, 0x00, 0x00, 0x00, 0x62, 0x63}));
+}
+
+// ---------------------------------------------------------------------------
+// Codec round trips and decode strictness.
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, EveryStructRoundTrips) {
+  HelloRequest hello;
+  hello.tenant = "tenant-7";
+  hello.token = "secret";
+  const HelloRequest hello2 = decode_hello_request(encode_body(hello));
+  EXPECT_EQ(hello2.version, kWireVersion);
+  EXPECT_EQ(hello2.tenant, hello.tenant);
+  EXPECT_EQ(hello2.token, hello.token);
+
+  HelloReply hello_ok;
+  hello_ok.server = "scrutinyd";
+  EXPECT_EQ(decode_hello_reply(encode_body(hello_ok)).server, "scrutinyd");
+
+  BeginWriteRequest begin;
+  begin.key = "app.00000000000000000012.ckpt";
+  begin.commit_id = 0xdeadbeefcafef00dull;
+  const BeginWriteRequest begin2 = decode_begin_write(encode_body(begin));
+  EXPECT_EQ(begin2.key, begin.key);
+  EXPECT_EQ(begin2.commit_id, begin.commit_id);
+
+  CommitWriteRequest commit;
+  commit.commit_id = 7;
+  commit.total_bytes = 1u << 22;
+  commit.payload_crc = 42;
+  const CommitWriteRequest commit2 =
+      decode_commit_write(encode_body(commit));
+  EXPECT_EQ(commit2.commit_id, 7u);
+  EXPECT_EQ(commit2.total_bytes, 1u << 22);
+  EXPECT_EQ(commit2.payload_crc, 42u);
+
+  CommitReply commit_ok;
+  commit_ok.deduped = true;
+  EXPECT_TRUE(decode_commit_reply(encode_body(commit_ok)).deduped);
+
+  KeyRequest key;
+  key.key = "prefix.";
+  EXPECT_EQ(decode_key_request(encode_body(key)).key, "prefix.");
+
+  ErrorReply error;
+  error.code = WireErrorCode::NotFound;
+  error.message = "no such object";
+  const ErrorReply error2 = decode_error_reply(encode_body(error));
+  EXPECT_EQ(error2.code, WireErrorCode::NotFound);
+  EXPECT_EQ(error2.message, error.message);
+
+  BoolReply yes;
+  yes.value = true;
+  EXPECT_TRUE(decode_bool_reply(encode_body(yes)).value);
+
+  KeyListReply list;
+  list.keys = {"a.1", "a.2", "b"};
+  EXPECT_EQ(decode_key_list_reply(encode_body(list)).keys, list.keys);
+
+  ObjectBeginReply object_begin;
+  object_begin.size = 0x100000001ull;
+  EXPECT_EQ(decode_object_begin(encode_body(object_begin)).size,
+            object_begin.size);
+
+  ObjectEndReply object_end;
+  object_end.payload_crc = 0x55aa55aa55aa55aaull;
+  EXPECT_EQ(decode_object_end(encode_body(object_end)).payload_crc,
+            object_end.payload_crc);
+}
+
+TEST(WireCodec, TruncatedStructThrows) {
+  BeginWriteRequest begin;
+  begin.key = "k";
+  begin.commit_id = 1;
+  auto body = encode_body(begin);
+  body.pop_back();
+  EXPECT_THROW((void)decode_begin_write(body), WireProtocolError);
+}
+
+TEST(WireCodec, TrailingGarbageThrows) {
+  BoolReply yes;
+  yes.value = true;
+  auto body = encode_body(yes);
+  body.push_back(0);
+  EXPECT_THROW((void)decode_bool_reply(body), WireProtocolError);
+}
+
+TEST(WireCodec, OversizedFrameBodyRejected) {
+  const std::vector<std::uint8_t> too_big(kMaxFrameBody + 1);
+  EXPECT_THROW((void)encode_frame(FrameType::WriteChunk, too_big),
+               ScrutinyError);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport.
+// ---------------------------------------------------------------------------
+
+struct Loopback {
+  TcpListener listener = TcpListener::bind(0);
+  TcpSocket client;
+  TcpSocket server;
+
+  Loopback() {
+    std::thread dial([this] {
+      client = TcpSocket::connect("127.0.0.1", listener.port(), 2000);
+    });
+    auto accepted = listener.accept(2000);
+    dial.join();
+    if (accepted) server = std::move(*accepted);
+    client.set_timeout(2000);
+    server.set_timeout(2000);
+  }
+};
+
+TEST(WireTransport, FramesCrossTheSocketIntact) {
+  Loopback loop;
+  BeginWriteRequest begin;
+  begin.key = "obj";
+  begin.commit_id = 99;
+  loop.client.send_frame(FrameType::BeginWrite, encode_body(begin));
+  const Frame frame = loop.server.recv_frame();
+  EXPECT_EQ(frame.type, FrameType::BeginWrite);
+  EXPECT_EQ(decode_begin_write(frame.body).commit_id, 99u);
+}
+
+TEST(WireTransport, CorruptedCrcDropsTheFrame) {
+  Loopback loop;
+  auto encoded = encode_frame(FrameType::Ping, {});
+  encoded.back() ^= 0xFF;  // flip a CRC byte
+  loop.client.send_all(encoded.data(), encoded.size());
+  EXPECT_THROW((void)loop.server.recv_frame(), WireProtocolError);
+}
+
+TEST(WireTransport, BadMagicDropsTheFrame) {
+  Loopback loop;
+  auto encoded = encode_frame(FrameType::Ping, {});
+  encoded[0] ^= 0xFF;
+  loop.client.send_all(encoded.data(), encoded.size());
+  EXPECT_THROW((void)loop.server.recv_frame(), WireProtocolError);
+}
+
+TEST(WireTransport, VersionSkewDropsTheFrame) {
+  Loopback loop;
+  auto encoded = encode_frame(FrameType::Ping, {});
+  encoded[4] = 0x7F;  // version field
+  loop.client.send_all(encoded.data(), encoded.size());
+  EXPECT_THROW((void)loop.server.recv_frame(), WireProtocolError);
+}
+
+TEST(WireTransport, PeerHangupIsATransportError) {
+  Loopback loop;
+  loop.client.close();
+  EXPECT_THROW((void)loop.server.recv_frame(), WireTransportError);
+}
+
+TEST(WireTransport, DeadlineExpiryIsATransportError) {
+  Loopback loop;
+  loop.server.set_timeout(50);
+  EXPECT_THROW((void)loop.server.recv_frame(), WireTransportError);
+}
+
+TEST(WireTransport, ConnectRefusedIsATransportError) {
+  // Bind then close a listener: the port is very likely unbound now.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener = TcpListener::bind(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW((void)TcpSocket::connect("127.0.0.1", dead_port, 500),
+               WireTransportError);
+}
+
+TEST(WireTransport, WaitReadableSeesPendingFrame) {
+  Loopback loop;
+  EXPECT_FALSE(loop.server.wait_readable(10));
+  loop.client.send_frame(FrameType::Ping);
+  EXPECT_TRUE(loop.server.wait_readable(2000));
+  EXPECT_EQ(loop.server.recv_frame().type, FrameType::Ping);
+}
+
+}  // namespace
+}  // namespace scrutiny::serve
